@@ -1,0 +1,169 @@
+// E2 — I/O-work vs. response-time trade-off (paper §3.2).
+//
+// "Often the throughput and response time goals are contradicting":
+// fragmentations clustering query hits minimize I/O work but limit
+// parallelism; declustering ones minimize response time but inflate I/O.
+// This bench evaluates a representative candidate set fully and prints the
+// (work, response) scatter plus which candidate each single-objective
+// policy would pick versus WARLOCK's twofold compromise.
+
+#include <algorithm>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/text_table.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+struct Point {
+  std::string label;
+  double work_ms;
+  double response_ms;
+  uint64_t fragments;
+};
+
+std::vector<Point> EvaluateSet(const Apb1Bench& b) {
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  const std::vector<std::vector<std::pair<std::string, std::string>>> cands =
+      {
+          {},
+          {{"Time", "Year"}},
+          {{"Time", "Quarter"}},
+          {{"Time", "Month"}},
+          {{"Product", "Line"}},
+          {{"Product", "Family"}},
+          {{"Product", "Group"}},
+          {{"Customer", "Retailer"}},
+          {{"Channel", "Base"}},
+          {{"Time", "Month"}, {"Channel", "Base"}},
+          {{"Time", "Month"}, {"Product", "Division"}},
+          {{"Time", "Month"}, {"Product", "Line"}},
+          {{"Time", "Month"}, {"Product", "Family"}},
+          {{"Time", "Month"}, {"Product", "Group"}},
+          {{"Time", "Month"}, {"Customer", "Retailer"}},
+          {{"Time", "Quarter"}, {"Product", "Family"}},
+          {{"Time", "Month"}, {"Product", "Family"}, {"Channel", "Base"}},
+          {{"Time", "Month"}, {"Product", "Line"}, {"Channel", "Base"}},
+          {{"Time", "Month"}, {"Product", "Family"},
+           {"Customer", "Retailer"}},
+          {{"Time", "Month"}, {"Product", "Group"}, {"Channel", "Base"}},
+      };
+  std::vector<Point> points;
+  for (const auto& attrs : cands) {
+    auto frag =
+        warlock::fragment::Fragmentation::FromNames(attrs, b.schema);
+    if (!frag.ok()) continue;
+    auto ec = advisor.EvaluateOne(*frag);
+    if (!ec.ok()) continue;
+    points.push_back({frag->Label(b.schema), ec->cost.io_work_ms,
+                      ec->cost.response_ms, ec->num_fragments});
+  }
+  return points;
+}
+
+void PrintExperiment() {
+  Apb1Bench b = Apb1Bench::Make();
+  const std::vector<Point> points = EvaluateSet(b);
+  Banner("E2", "I/O work vs response time per candidate (APB-1, 64 disks)");
+  warlock::TextTable table({"Fragmentation", "#Frags", "Work/Q", "Resp/Q"});
+  for (const Point& p : points) {
+    table.BeginRow()
+        .Add(p.label)
+        .AddNumeric(warlock::FormatCount(static_cast<double>(p.fragments)))
+        .AddNumeric(warlock::FormatMillis(p.work_ms))
+        .AddNumeric(warlock::FormatMillis(p.response_ms));
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const auto min_work = std::min_element(
+      points.begin(), points.end(),
+      [](const Point& a, const Point& c) { return a.work_ms < c.work_ms; });
+  const auto min_resp = std::min_element(
+      points.begin(), points.end(), [](const Point& a, const Point& c) {
+        return a.response_ms < c.response_ms;
+      });
+  // The twofold compromise: leading 25% by work, best response among them.
+  std::vector<Point> by_work = points;
+  std::sort(by_work.begin(), by_work.end(),
+            [](const Point& a, const Point& c) {
+              return a.work_ms < c.work_ms;
+            });
+  by_work.resize(std::max<size_t>(1, by_work.size() / 4));
+  const auto twofold = std::min_element(
+      by_work.begin(), by_work.end(), [](const Point& a, const Point& c) {
+        return a.response_ms < c.response_ms;
+      });
+  std::printf("\nmin-work pick     : %s\n", min_work->label.c_str());
+  std::printf("min-response pick : %s\n", min_resp->label.c_str());
+  std::printf("twofold pick      : %s\n", twofold->label.c_str());
+
+  // Pareto frontier of (work, response): more than one point means the two
+  // goals genuinely conflict somewhere in the space.
+  std::printf("\nPareto frontier (work vs response):\n");
+  for (const Point& p : points) {
+    bool dominated = false;
+    for (const Point& q : points) {
+      if (q.work_ms < p.work_ms && q.response_ms < p.response_ms) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      std::printf("  %-28s work %s  resp %s\n", p.label.c_str(),
+                  warlock::FormatMillis(p.work_ms).c_str(),
+                  warlock::FormatMillis(p.response_ms).c_str());
+    }
+  }
+
+  // The conflict is sharpest among one-dimensional candidates: clustering
+  // (Month) minimizes work, declustering (Group) minimizes response.
+  const auto is_1d = [](const Point& p) {
+    return p.label.find(" x ") == std::string::npos && p.label != "-";
+  };
+  std::vector<Point> one_d;
+  std::copy_if(points.begin(), points.end(), std::back_inserter(one_d),
+               is_1d);
+  if (!one_d.empty()) {
+    const auto w1 = std::min_element(
+        one_d.begin(), one_d.end(), [](const Point& a, const Point& c) {
+          return a.work_ms < c.work_ms;
+        });
+    const auto r1 = std::min_element(
+        one_d.begin(), one_d.end(), [](const Point& a, const Point& c) {
+          return a.response_ms < c.response_ms;
+        });
+    std::printf("\n1D-only picks: min-work %s, min-response %s%s\n\n",
+                w1->label.c_str(), r1->label.c_str(),
+                w1->label != r1->label
+                    ? "  => the goals conflict; WARLOCK's twofold metric "
+                      "resolves it toward low work"
+                    : "");
+  }
+}
+
+void BM_EvaluateCandidate(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  auto frag = warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, b.schema);
+  for (auto _ : state) {
+    auto ec = advisor.EvaluateOne(*frag);
+    benchmark::DoNotOptimize(ec);
+  }
+}
+BENCHMARK(BM_EvaluateCandidate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

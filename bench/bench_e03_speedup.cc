@@ -1,0 +1,84 @@
+// E3 — Response-time speedup vs. number of disks (MDHF companion paper's
+// headline result).
+//
+// Multi-dimensional fragmentation sustains speedup to higher disk counts
+// than one-dimensional fragmentation: a 1D candidate runs out of fragments
+// to parallelize over (a Month query hits 1 of 24 fragments), while an MD
+// candidate keeps every disk busy. Expected shape: both curves drop with
+// disk count; the 1D curve flattens early, the MD curve keeps scaling.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/text_table.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+void PrintExperiment() {
+  Apb1Bench b = Apb1Bench::Make();
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+
+  const std::vector<std::pair<std::string,
+                              std::vector<std::pair<std::string, std::string>>>>
+      candidates = {
+          {"1D", {{"Time", "Month"}}},
+          {"2D", {{"Time", "Month"}, {"Product", "Family"}}},
+          {"3D",
+           {{"Time", "Month"}, {"Product", "Family"}, {"Channel", "Base"}}},
+      };
+
+  Banner("E3", "weighted mix response time vs #disks (speedup)");
+  warlock::TextTable table(
+      {"Disks", "1D Resp", "2D Resp", "3D Resp", "1D speedup", "2D speedup",
+       "3D speedup"});
+  std::vector<double> base(candidates.size(), 0.0);
+  for (uint32_t disks : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    std::vector<double> resp;
+    for (const auto& [name, attrs] : candidates) {
+      auto frag =
+          warlock::fragment::Fragmentation::FromNames(attrs, b.schema);
+      warlock::core::Advisor::Overrides ov;
+      ov.num_disks = disks;
+      auto ec = advisor.EvaluateOne(*frag, ov);
+      resp.push_back(ec.ok() ? ec->cost.response_ms : -1.0);
+    }
+    for (size_t i = 0; i < resp.size(); ++i) {
+      if (base[i] == 0.0) base[i] = resp[i];
+    }
+    table.BeginRow().AddNumeric(std::to_string(disks));
+    for (double r : resp) table.AddNumeric(warlock::FormatMillis(r));
+    for (size_t i = 0; i < resp.size(); ++i) {
+      table.AddNumeric(warlock::FormatFixed(base[i] / resp[i], 1) + "x");
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BM_ResponseAtDisks(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  auto frag = warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, b.schema);
+  warlock::core::Advisor::Overrides ov;
+  ov.num_disks = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto ec = advisor.EvaluateOne(*frag, ov);
+    benchmark::DoNotOptimize(ec);
+    if (ec.ok()) state.counters["resp_ms"] = ec->cost.response_ms;
+  }
+}
+BENCHMARK(BM_ResponseAtDisks)->Arg(8)->Arg(64)->Arg(256)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

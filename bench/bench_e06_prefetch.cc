@@ -1,0 +1,134 @@
+// E6 — Prefetching-granule sensitivity and WARLOCK's automatic optimum
+// (paper §3.1).
+//
+// "With respect to the performance-sensitive prefetch size, WARLOCK offers
+// the choice to set a fixed value or to determine itself optimal values
+// for fact tables and bitmaps, which strongly differ with respect to
+// fragment sizes." Expected shapes: single-user response falls with the
+// fact granule until fragment size caps it; bitmap granules saturate
+// almost immediately (bitmap fragments are tiny); under multi-user load
+// (closed-loop simulation) oversized granules hurt concurrent response
+// times, producing the U-shape that motivates tuning.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocators.h"
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/text_table.h"
+#include "cost/prefetch.h"
+#include "sim/disk_sim.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+struct Parts {
+  warlock::fragment::Fragmentation frag;
+  warlock::fragment::FragmentSizes sizes;
+  warlock::bitmap::BitmapScheme scheme;
+  warlock::alloc::DiskAllocation allocation;
+};
+
+Parts BuildParts(const Apb1Bench& b) {
+  auto frag = warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, b.schema);
+  auto sizes = warlock::fragment::FragmentSizes::Compute(
+      *frag, b.schema, 0, b.config.cost.disks.page_size_bytes);
+  auto scheme = warlock::bitmap::BitmapScheme::Select(b.schema);
+  auto allocation = warlock::alloc::RoundRobinAllocate(
+      *sizes, scheme, b.config.cost.disks.num_disks);
+  return Parts{std::move(frag).value(), std::move(sizes).value(),
+               std::move(scheme), std::move(allocation).value()};
+}
+
+// Closed-loop mean response of `streams` concurrent query streams.
+double MultiUserResponse(const Apb1Bench& b, const Parts& parts,
+                         uint64_t gf, uint64_t gb, uint32_t streams) {
+  warlock::cost::CostParameters params = b.config.cost;
+  params.fact_granule = gf;
+  params.bitmap_granule = gb;
+  const warlock::cost::QueryCostModel model(
+      b.schema, 0, parts.frag, parts.sizes, parts.scheme, parts.allocation,
+      params);
+  warlock::Rng rng(11);
+  std::vector<std::vector<std::vector<warlock::cost::IoOp>>> specs(streams);
+  for (uint32_t s = 0; s < streams; ++s) {
+    for (int q = 0; q < 4; ++q) {
+      const size_t ci = rng.Uniform(b.mix.size());
+      const auto cq = warlock::workload::Instantiate(b.mix.query_class(ci),
+                                                     b.schema, rng);
+      specs[s].push_back(model.PlanIos(cq));
+    }
+  }
+  warlock::sim::SimConfig config;
+  config.disks = params.disks;
+  config.randomize_positioning = true;
+  config.seed = 5;
+  const warlock::sim::SimReport report =
+      warlock::sim::SimulateClosedLoop(config, specs);
+  double mean = 0.0;
+  for (double r : report.response_ms) mean += r / report.response_ms.size();
+  return mean;
+}
+
+void PrintExperiment() {
+  Apb1Bench b = Apb1Bench::Make();
+  const Parts parts = BuildParts(b);
+
+  Banner("E6", "response time vs prefetch granule (Month x Family)");
+  warlock::TextTable table({"Granule", "1-user resp (model)",
+                            "1-user work (model)", "8-user resp (sim)"});
+  for (uint64_t g : {1ULL, 2ULL, 4ULL, 8ULL, 16ULL, 32ULL, 64ULL, 128ULL,
+                     256ULL}) {
+    warlock::cost::CostParameters params = b.config.cost;
+    params.fact_granule = g;
+    params.bitmap_granule = 4;
+    const warlock::cost::QueryCostModel model(
+        b.schema, 0, parts.frag, parts.sizes, parts.scheme,
+        parts.allocation, params);
+    const warlock::cost::MixCost mc =
+        warlock::cost::CostMix(model, b.mix, params.seed);
+    const double multi = MultiUserResponse(b, parts, g, 4, 8);
+    table.BeginRow()
+        .AddNumeric(std::to_string(g))
+        .AddNumeric(warlock::FormatMillis(mc.response_ms))
+        .AddNumeric(warlock::FormatMillis(mc.io_work_ms))
+        .AddNumeric(warlock::FormatMillis(multi));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const warlock::cost::PrefetchChoice choice = warlock::cost::OptimizePrefetch(
+      b.schema, 0, parts.frag, parts.sizes, parts.scheme, parts.allocation,
+      b.mix, b.config.cost);
+  std::printf("WARLOCK prefetch suggestion: fact granule %llu pages, "
+              "bitmap granule %llu pages (they differ because bitmap\n"
+              "fragments are orders of magnitude smaller than fact "
+              "fragments).\n\n",
+              static_cast<unsigned long long>(choice.fact_granule),
+              static_cast<unsigned long long>(choice.bitmap_granule));
+}
+
+void BM_OptimizePrefetch(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  const Parts parts = BuildParts(b);
+  for (auto _ : state) {
+    auto choice = warlock::cost::OptimizePrefetch(
+        b.schema, 0, parts.frag, parts.sizes, parts.scheme,
+        parts.allocation, b.mix, b.config.cost);
+    benchmark::DoNotOptimize(choice);
+    state.counters["fact_granule"] =
+        static_cast<double>(choice.fact_granule);
+  }
+}
+BENCHMARK(BM_OptimizePrefetch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,160 @@
+// E7 — Standard vs. hierarchically encoded bitmaps across attribute
+// cardinalities (paper §3.2).
+//
+// "WARLOCK determines a bitmap scheme per fragmentation that encompasses
+// standard bitmaps on low-cardinal attributes and hierarchically encoded
+// bitmaps on high-cardinal attributes." Expected shape: standard storage
+// grows linearly with cardinality while encoded storage grows with
+// log2(cardinality); probes read 1 vector (standard) versus the prefix
+// plane count (encoded); the space crossover justifies the default
+// threshold. Measured on real indexes, not just the model: build times,
+// probe latencies and WAH compression are timed below.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "bitmap/encoded_index.h"
+#include "bitmap/standard_index.h"
+#include "bitmap/wah.h"
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/text_table.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+void PrintExperiment() {
+  Apb1Bench b = Apb1Bench::Make();
+  const double frag_rows = 17496000.0 * 0.005 / (24.0 * 20.0);  // per frag
+
+  Banner("E7",
+         "bitmap scheme per APB-1 attribute (per-fragment storage, probe "
+         "cost)");
+  warlock::TextTable table({"Attribute", "Card", "Std vectors",
+                            "Enc planes(probe)", "Std bytes/frag",
+                            "Enc bytes/frag", "Chosen"});
+  const auto scheme = warlock::bitmap::BitmapScheme::Select(b.schema);
+  for (size_t d = 0; d < b.schema.num_dimensions(); ++d) {
+    const auto& dim = b.schema.dimension(d);
+    for (size_t l = 0; l < dim.num_levels(); ++l) {
+      const uint64_t card = dim.cardinality(l);
+      const uint32_t enc_probe =
+          warlock::bitmap::EncodedBitmapIndex::PlanesForProbe(dim, l);
+      const double vec_bytes =
+          warlock::bitmap::BitmapScheme::BytesPerVector(frag_rows);
+      const auto kind = scheme.kind(static_cast<uint32_t>(d),
+                                    static_cast<uint32_t>(l));
+      table.BeginRow()
+          .Add(dim.name() + "." + dim.level(l).name)
+          .AddNumeric(std::to_string(card))
+          .AddNumeric(std::to_string(card))
+          .AddNumeric(std::to_string(enc_probe))
+          .AddNumeric(warlock::FormatBytes(
+              static_cast<uint64_t>(card * vec_bytes)))
+          .AddNumeric(warlock::FormatBytes(
+              static_cast<uint64_t>(enc_probe * vec_bytes)))
+          .Add(kind == warlock::bitmap::BitmapKind::kStandard ? "standard"
+                                                              : "encoded");
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "=> encoded wins storage above the 64-value threshold; a probe pays\n"
+      "   the prefix planes instead, which coarse levels keep small.\n\n");
+}
+
+std::vector<uint32_t> RandomBottom(uint64_t rows, uint64_t card,
+                                   uint64_t seed) {
+  warlock::Rng rng(seed);
+  std::vector<uint32_t> values(rows);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.Uniform(card));
+  return values;
+}
+
+void BM_BuildStandardIndex(benchmark::State& state) {
+  const uint64_t card = static_cast<uint64_t>(state.range(0));
+  const auto values = RandomBottom(50000, card, 7);
+  for (auto _ : state) {
+    auto idx = warlock::bitmap::StandardBitmapIndex::Build(values, card);
+    benchmark::DoNotOptimize(idx);
+  }
+  state.counters["card"] = static_cast<double>(card);
+}
+BENCHMARK(BM_BuildStandardIndex)->Arg(9)->Arg(100)->Arg(900)->Unit(
+    benchmark::kMillisecond);
+
+void BM_BuildEncodedIndex(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  const auto& product = b.schema.dimension(0);
+  const auto values = RandomBottom(50000, 9000, 7);
+  for (auto _ : state) {
+    auto idx = warlock::bitmap::EncodedBitmapIndex::Build(values, product);
+    benchmark::DoNotOptimize(idx);
+  }
+}
+BENCHMARK(BM_BuildEncodedIndex)->Unit(benchmark::kMillisecond);
+
+void BM_ProbeStandard(benchmark::State& state) {
+  const auto values = RandomBottom(50000, 900, 7);
+  auto idx = warlock::bitmap::StandardBitmapIndex::Build(values, 900);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    auto bm = idx->Probe(v++ % 900);
+    benchmark::DoNotOptimize(bm);
+  }
+}
+BENCHMARK(BM_ProbeStandard);
+
+void BM_ProbeEncoded(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  const auto& product = b.schema.dimension(0);
+  const auto values = RandomBottom(50000, 9000, 7);
+  auto idx = warlock::bitmap::EncodedBitmapIndex::Build(values, product);
+  const size_t level = static_cast<size_t>(state.range(0));
+  uint64_t v = 0;
+  for (auto _ : state) {
+    auto bm = idx->Probe(level, v++ % product.cardinality(level));
+    benchmark::DoNotOptimize(bm);
+  }
+  state.counters["planes"] = warlock::bitmap::EncodedBitmapIndex::
+      PlanesForProbe(product, level);
+}
+BENCHMARK(BM_ProbeEncoded)->Arg(0)->Arg(3)->Arg(5)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_WahCompressSparse(benchmark::State& state) {
+  const auto values = RandomBottom(200000, 900, 3);
+  auto idx = warlock::bitmap::StandardBitmapIndex::Build(values, 900);
+  const auto* bm = idx->Probe(7).value();
+  for (auto _ : state) {
+    auto wah = warlock::bitmap::WahBitVector::Compress(*bm);
+    benchmark::DoNotOptimize(wah);
+    state.counters["ratio"] = wah.CompressionRatio();
+  }
+}
+BENCHMARK(BM_WahCompressSparse)->Unit(benchmark::kMicrosecond);
+
+void BM_WahAnd(benchmark::State& state) {
+  const auto va = RandomBottom(200000, 900, 3);
+  auto idx = warlock::bitmap::StandardBitmapIndex::Build(va, 900);
+  const auto wa =
+      warlock::bitmap::WahBitVector::Compress(*idx->Probe(7).value());
+  const auto wb =
+      warlock::bitmap::WahBitVector::Compress(*idx->Probe(8).value());
+  for (auto _ : state) {
+    auto r = warlock::bitmap::WahBitVector::And(wa, wb);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WahAnd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

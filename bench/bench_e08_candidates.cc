@@ -1,0 +1,90 @@
+// E8 — Candidate-space generation and threshold pruning (paper §3.2).
+//
+// WARLOCK limits the evaluation space to point fragmentations and applies
+// thresholds (fragment count, fragment size vs. prefetching granule,
+// dimensionality) before costing anything. Expected shape: the APB-1 space
+// holds 168 candidates; tighter thresholds prune aggressively, and the
+// screening phase stays fast even with lax thresholds.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/text_table.h"
+#include "fragment/candidates.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+void PrintExperiment() {
+  Apb1Bench b = Apb1Bench::Make();
+  Banner("E8", "candidate space vs exclusion thresholds (APB-1)");
+  std::printf("candidate space: %llu point fragmentations\n\n",
+              static_cast<unsigned long long>(
+                  warlock::fragment::CandidateSpaceSize(b.schema)));
+
+  warlock::TextTable table({"max_fragments", "min_avg_pages", "max_dims",
+                            "included", "excluded"});
+  const uint64_t mf[] = {1ULL << 30, 1ULL << 20, 1ULL << 14, 1ULL << 10};
+  const uint64_t mp[] = {1, 4, 32, 128};
+  for (uint64_t max_frags : mf) {
+    for (uint64_t min_pages : mp) {
+      warlock::fragment::Thresholds t;
+      t.max_fragments = max_frags;
+      t.min_avg_fragment_pages = min_pages;
+      t.max_dimensions = 4;
+      auto cands = warlock::fragment::EnumerateCandidates(
+          b.schema, 0, b.config.cost.disks.page_size_bytes, t);
+      if (!cands.ok()) continue;
+      size_t excluded = 0;
+      for (const auto& c : *cands) {
+        if (c.excluded) ++excluded;
+      }
+      table.BeginRow()
+          .AddNumeric(std::to_string(max_frags))
+          .AddNumeric(std::to_string(min_pages))
+          .AddNumeric("4")
+          .AddNumeric(std::to_string(cands->size() - excluded))
+          .AddNumeric(std::to_string(excluded));
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BM_EnumerateCandidates(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  warlock::fragment::Thresholds t;
+  for (auto _ : state) {
+    auto cands = warlock::fragment::EnumerateCandidates(
+        b.schema, 0, b.config.cost.disks.page_size_bytes, t);
+    benchmark::DoNotOptimize(cands);
+  }
+}
+BENCHMARK(BM_EnumerateCandidates)->Unit(benchmark::kMicrosecond);
+
+void BM_ScreeningPhase(benchmark::State& state) {
+  // Full advisor phase 1 only: top_k 1 and leading_fraction epsilon keep
+  // phase 2 to a single candidate, isolating screening cost.
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  b.config.ranking.top_k = 1;
+  b.config.ranking.leading_fraction = 0.01;
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  for (auto _ : state) {
+    auto result = advisor.Run();
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) {
+      state.counters["screened"] = static_cast<double>(result->screened);
+    }
+  }
+}
+BENCHMARK(BM_ScreeningPhase)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,177 @@
+// E9 — Analytical model vs. event-driven disk simulation (role of the
+// BTW'01 companion's validation).
+//
+// WARLOCK's recommendations stand on an analytical I/O model; this
+// experiment replays the model's I/O plans through the event-driven
+// multi-disk simulator and compares response times, single-user
+// (deterministic and randomized positioning) and multi-user. Expected
+// shape: single-user deviations within a few percent (the simulator and
+// the model sum the same service times); randomized positioning stays
+// unbiased; contention stretches responses beyond the single-user model,
+// growing with the number of concurrent streams.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocators.h"
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/text_table.h"
+#include "sim/disk_sim.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+struct Parts {
+  warlock::fragment::Fragmentation frag;
+  warlock::fragment::FragmentSizes sizes;
+  warlock::bitmap::BitmapScheme scheme;
+  warlock::alloc::DiskAllocation allocation;
+};
+
+Parts BuildParts(const Apb1Bench& b,
+                 std::vector<std::pair<std::string, std::string>> attrs) {
+  auto frag = warlock::fragment::Fragmentation::FromNames(attrs, b.schema);
+  auto sizes = warlock::fragment::FragmentSizes::Compute(
+      *frag, b.schema, 0, b.config.cost.disks.page_size_bytes);
+  auto scheme = warlock::bitmap::BitmapScheme::Select(b.schema);
+  auto allocation = warlock::alloc::RoundRobinAllocate(
+      *sizes, scheme, b.config.cost.disks.num_disks);
+  return Parts{std::move(frag).value(), std::move(sizes).value(),
+               std::move(scheme), std::move(allocation).value()};
+}
+
+void PrintExperiment() {
+  Apb1Bench b = Apb1Bench::Make();
+  const std::vector<
+      std::pair<std::string, std::vector<std::pair<std::string, std::string>>>>
+      candidates = {
+          {"Month", {{"Time", "Month"}}},
+          {"Month x Family", {{"Time", "Month"}, {"Product", "Family"}}},
+          {"Month x Family x Base",
+           {{"Time", "Month"}, {"Product", "Family"}, {"Channel", "Base"}}},
+      };
+
+  Banner("E9", "analytical response time vs simulated (per query class)");
+  warlock::TextTable table({"Fragmentation", "Class", "Model", "Sim(det)",
+                            "err%", "Sim(rand)", "err%"});
+  double worst_det_err = 0.0;
+  for (const auto& [label, attrs] : candidates) {
+    const Parts parts = BuildParts(b, attrs);
+    warlock::cost::CostParameters params = b.config.cost;
+    const warlock::cost::QueryCostModel model(
+        b.schema, 0, parts.frag, parts.sizes, parts.scheme,
+        parts.allocation, params);
+    for (size_t ci = 0; ci < b.mix.size(); ci += 3) {
+      warlock::Rng rng(17 + ci);
+      const auto cq = warlock::workload::Instantiate(
+          b.mix.query_class(ci), b.schema, rng);
+      const auto predicted = model.CostConcrete(cq);
+      warlock::sim::SimQuery sq;
+      sq.ops = model.PlanIos(cq);
+
+      warlock::sim::SimConfig det;
+      det.disks = params.disks;
+      det.randomize_positioning = false;
+      const auto det_report = warlock::sim::SimulateBatch(det, {sq});
+
+      warlock::sim::SimConfig rnd = det;
+      rnd.randomize_positioning = true;
+      rnd.seed = 23;
+      const auto rnd_report = warlock::sim::SimulateBatch(rnd, {sq});
+
+      const double det_err =
+          (det_report.response_ms[0] - predicted.response_ms) /
+          predicted.response_ms * 100.0;
+      const double rnd_err =
+          (rnd_report.response_ms[0] - predicted.response_ms) /
+          predicted.response_ms * 100.0;
+      worst_det_err = std::max(worst_det_err, std::fabs(det_err));
+      table.BeginRow()
+          .Add(label)
+          .Add(b.mix.query_class(ci).name())
+          .AddNumeric(warlock::FormatMillis(predicted.response_ms))
+          .AddNumeric(warlock::FormatMillis(det_report.response_ms[0]))
+          .AddNumeric(warlock::FormatFixed(det_err, 1))
+          .AddNumeric(warlock::FormatMillis(rnd_report.response_ms[0]))
+          .AddNumeric(warlock::FormatFixed(rnd_err, 1));
+    }
+  }
+  std::printf("%s\nworst deterministic deviation: %.1f%%\n\n",
+              table.ToString().c_str(), worst_det_err);
+
+  // Multi-user: closed-loop streams over the best candidate.
+  const Parts parts = BuildParts(
+      b, {{"Time", "Month"}, {"Product", "Family"}, {"Channel", "Base"}});
+  const warlock::cost::QueryCostModel model(
+      b.schema, 0, parts.frag, parts.sizes, parts.scheme, parts.allocation,
+      b.config.cost);
+  Banner("E9", "multi-user contention (closed loop, Month x Family x Base)");
+  warlock::TextTable mu({"Streams", "Mean resp", "p95 resp", "vs 1-user",
+                         "Utilization"});
+  double single = 0.0;
+  for (uint32_t streams : {1u, 2u, 4u, 8u, 16u}) {
+    warlock::Rng rng(29);
+    std::vector<std::vector<std::vector<warlock::cost::IoOp>>> specs(
+        streams);
+    for (uint32_t s = 0; s < streams; ++s) {
+      for (int q = 0; q < 3; ++q) {
+        const size_t ci = rng.Uniform(b.mix.size());
+        const auto cq = warlock::workload::Instantiate(
+            b.mix.query_class(ci), b.schema, rng);
+        specs[s].push_back(model.PlanIos(cq));
+      }
+    }
+    warlock::sim::SimConfig config;
+    config.disks = b.config.cost.disks;
+    config.randomize_positioning = true;
+    config.seed = 31;
+    const auto report = warlock::sim::SimulateClosedLoop(config, specs);
+    const double mean = report.MeanResponseMs();
+    if (streams == 1) single = mean;
+    mu.BeginRow()
+        .AddNumeric(std::to_string(streams))
+        .AddNumeric(warlock::FormatMillis(mean))
+        .AddNumeric(
+            warlock::FormatMillis(report.ResponsePercentileMs(0.95)))
+        .AddNumeric(warlock::FormatFixed(mean / single, 2) + "x")
+        .AddNumeric(warlock::FormatPercent(report.avg_utilization));
+  }
+  std::printf("%s\n", mu.ToString().c_str());
+}
+
+void BM_SimulateBatch(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  const Parts parts =
+      BuildParts(b, {{"Time", "Month"}, {"Product", "Family"}});
+  const warlock::cost::QueryCostModel model(
+      b.schema, 0, parts.frag, parts.sizes, parts.scheme, parts.allocation,
+      b.config.cost);
+  warlock::Rng rng(3);
+  std::vector<warlock::sim::SimQuery> queries;
+  for (int i = 0; i < 16; ++i) {
+    const auto cq = warlock::workload::Instantiate(
+        b.mix.query_class(i % b.mix.size()), b.schema, rng);
+    queries.push_back({0.0, model.PlanIos(cq)});
+  }
+  warlock::sim::SimConfig config;
+  config.disks = b.config.cost.disks;
+  for (auto _ : state) {
+    auto report = warlock::sim::SimulateBatch(config, queries);
+    benchmark::DoNotOptimize(report);
+    state.counters["ios"] = static_cast<double>(report.total_ios);
+  }
+}
+BENCHMARK(BM_SimulateBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E10 — Advisor behaviour across data volumes (tool practicality).
+//
+// The demonstration lets attendants enter their own warehouse sizes; this
+// experiment sweeps the APB-1 fact density (1.75M to 87M rows) and reports
+// the recommended fragmentation, its response time, and the advisor's own
+// runtime. Expected shape: recommendations stay structurally stable (Time
+// plus a Product level, the Product level getting finer as fragments grow),
+// response times scale roughly linearly with volume, advisor runtime stays
+// interactive.
+
+#include <chrono>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/text_table.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+void PrintExperiment() {
+  Banner("E10", "recommendation vs fact-table volume (APB-1, 64 disks)");
+  warlock::TextTable table({"Rows", "Best fragmentation", "#Frags",
+                            "Resp/Q", "Work/Q", "Advisor ms"});
+  for (double density : {0.001, 0.005, 0.01, 0.05}) {
+    Apb1Bench b = Apb1Bench::Make(density);
+    const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = advisor.Run();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok() || result->ranking.empty()) continue;
+    const auto& best = result->candidates[result->ranking[0]];
+    const double advisor_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    table.BeginRow()
+        .AddNumeric(warlock::FormatCount(
+            static_cast<double>(b.schema.fact().row_count())))
+        .Add(best.fragmentation.Label(b.schema))
+        .AddNumeric(warlock::FormatCount(
+            static_cast<double>(best.num_fragments)))
+        .AddNumeric(warlock::FormatMillis(best.cost.response_ms))
+        .AddNumeric(warlock::FormatMillis(best.cost.io_work_ms))
+        .AddNumeric(warlock::FormatFixed(advisor_ms, 0));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BM_AdvisorByDensity(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 10000.0;
+  Apb1Bench b = Apb1Bench::Make(density);
+  b.config.cost.samples_per_class = 2;
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  for (auto _ : state) {
+    auto result = advisor.Run();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] =
+      static_cast<double>(b.schema.fact().row_count());
+}
+BENCHMARK(BM_AdvisorByDensity)->Arg(10)->Arg(50)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E12 — Execution validation: predicted vs. executed selectivities and
+// page hits on materialized data.
+//
+// The synthetic-data engine materializes fragments following exactly the
+// value distribution the cost model assumes, builds the scheme's bitmap
+// indexes, and executes concrete star queries. Expected shape: executed
+// qualifying-row counts track the enumeration's expectations, and executed
+// distinct-page counts track the Yao estimator within sampling noise —
+// i.e. the analytical pipeline's two core estimates hold on real data.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/math.h"
+#include "common/text_table.h"
+#include "engine/executor.h"
+#include "fragment/query_hits.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+void PrintExperiment() {
+  // Small density so materialization stays in memory (875k rows).
+  Apb1Bench b = Apb1Bench::Make(0.0005);
+  auto frag = warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, b.schema);
+  auto sizes = warlock::fragment::FragmentSizes::Compute(
+      *frag, b.schema, 0, b.config.cost.disks.page_size_bytes);
+  const auto scheme = warlock::bitmap::BitmapScheme::Select(b.schema);
+  warlock::engine::FragmentStore store(b.schema, 0, *frag, *sizes, scheme,
+                                       /*seed=*/1234);
+
+  Banner("E12",
+         "executed vs predicted rows and page hits (875k materialized "
+         "rows, Month x Family)");
+  warlock::TextTable table({"Class", "Pred rows", "Exec rows", "err%",
+                            "Pred pages", "Exec pages", "err%"});
+  for (size_t ci = 0; ci < b.mix.size(); ++ci) {
+    const auto& qc = b.mix.query_class(ci);
+    warlock::Rng rng(41 + ci);
+    double pred_rows = 0.0, exec_rows = 0.0;
+    double pred_pages = 0.0, exec_pages = 0.0;
+    const int n = 4;
+    bool ok = true;
+    for (int i = 0; i < n && ok; ++i) {
+      const auto cq = warlock::workload::Instantiate(qc, b.schema, rng);
+      auto hits =
+          warlock::fragment::EnumerateHits(*frag, cq, b.schema, 0, *sizes);
+      if (!hits.ok()) {
+        ok = false;
+        break;
+      }
+      for (const auto& h : *hits) {
+        pred_rows += h.qualifying_rows / n;
+        pred_pages +=
+            warlock::YaoPageHits(
+                sizes->pages(h.fragment_id),
+                static_cast<uint64_t>(
+                    std::max(1.0, sizes->rows(h.fragment_id))),
+                static_cast<uint64_t>(std::llround(h.qualifying_rows))) /
+            n;
+      }
+      auto result = store.Execute(cq, /*max_hit_fragments=*/2048);
+      if (!result.ok()) {
+        ok = false;
+        break;
+      }
+      exec_rows += static_cast<double>(result->qualifying_rows) / n;
+      exec_pages += static_cast<double>(result->page_hits) / n;
+    }
+    if (!ok) continue;
+    auto err = [](double pred, double exec) {
+      return pred > 0 ? (exec - pred) / pred * 100.0 : 0.0;
+    };
+    table.BeginRow()
+        .Add(qc.name())
+        .AddNumeric(warlock::FormatCount(pred_rows))
+        .AddNumeric(warlock::FormatCount(exec_rows))
+        .AddNumeric(warlock::FormatFixed(err(pred_rows, exec_rows), 1))
+        .AddNumeric(warlock::FormatCount(pred_pages))
+        .AddNumeric(warlock::FormatCount(exec_pages))
+        .AddNumeric(warlock::FormatFixed(err(pred_pages, exec_pages), 1));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("materialized fragments: %zu\n\n", store.cached_fragments());
+}
+
+void BM_GenerateFragment(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.0005);
+  auto frag = warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}}, b.schema);
+  auto sizes = warlock::fragment::FragmentSizes::Compute(
+      *frag, b.schema, 0, b.config.cost.disks.page_size_bytes);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    auto data = warlock::engine::GenerateFragment(
+        *frag, b.schema, 0, *sizes, id++ % frag->NumFragments(), 7);
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_GenerateFragment)->Unit(benchmark::kMillisecond);
+
+void BM_ExecuteQuery(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.0005);
+  auto frag = warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, b.schema);
+  auto sizes = warlock::fragment::FragmentSizes::Compute(
+      *frag, b.schema, 0, b.config.cost.disks.page_size_bytes);
+  const auto scheme = warlock::bitmap::BitmapScheme::Select(b.schema);
+  warlock::engine::FragmentStore store(b.schema, 0, *frag, *sizes, scheme,
+                                       7);
+  const auto& qc = b.mix.query_class(4);  // MonthGroup
+  warlock::Rng rng(5);
+  for (auto _ : state) {
+    const auto cq = warlock::workload::Instantiate(qc, b.schema, rng);
+    auto result = store.Execute(cq, 2048);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecuteQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef WARLOCK_BENCH_BENCH_UTIL_H_
+#define WARLOCK_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the experiment harness. Every bench binary reproduces
+// one experiment of DESIGN.md section 3 on the APB-1 configuration the
+// demo paper uses, prints the series/rows the experiment is about, and
+// registers google-benchmark timings for the computations involved.
+
+#include <cstdio>
+#include <string>
+
+#include "core/advisor.h"
+#include "schema/apb1.h"
+#include "workload/apb1_workload.h"
+
+namespace warlock::bench {
+
+/// Default experiment configuration: APB-1 at reduced density so every
+/// binary finishes in seconds, 64 disks, fixed granules unless the
+/// experiment sweeps them.
+struct Apb1Bench {
+  schema::StarSchema schema;
+  workload::QueryMix mix;
+  core::ToolConfig config;
+
+  static Apb1Bench Make(double density = 0.005, double product_theta = 0.0,
+                        uint32_t disks = 64) {
+    auto s = schema::Apb1Schema(
+        {.density = density, .product_theta = product_theta});
+    if (!s.ok()) {
+      std::fprintf(stderr, "APB-1 schema: %s\n",
+                   s.status().ToString().c_str());
+      std::abort();
+    }
+    auto mix = workload::Apb1QueryMix(*s);
+    if (!mix.ok()) {
+      std::fprintf(stderr, "APB-1 mix: %s\n",
+                   mix.status().ToString().c_str());
+      std::abort();
+    }
+    core::ToolConfig config;
+    config.cost.disks.num_disks = disks;
+    config.cost.samples_per_class = 4;
+    config.prefetch = core::PrefetchPolicy::kFixed;
+    config.cost.fact_granule = 32;
+    config.cost.bitmap_granule = 4;
+    config.thresholds.max_fragments = 1 << 18;
+    config.thresholds.min_avg_fragment_pages = 4;
+    config.ranking.top_k = 10;
+    return Apb1Bench{std::move(s).value(), std::move(mix).value(),
+                     std::move(config)};
+  }
+};
+
+/// Prints a section header so `for b in bench/*; do $b; done` output reads
+/// as a lab notebook.
+inline void Banner(const char* experiment, const char* title) {
+  std::printf("\n==== %s: %s ====\n", experiment, title);
+}
+
+}  // namespace warlock::bench
+
+#endif  // WARLOCK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// Quickstart: run the WARLOCK advisor on the built-in APB-1 configuration
+// and print the ranked fragmentation candidates, the detailed statistics of
+// the winner, and its disk allocation.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "report/report.h"
+#include "schema/apb1.h"
+#include "workload/apb1_workload.h"
+
+int main() {
+  using namespace warlock;
+
+  // 1. Input layer: star schema, query mix, database & disk parameters.
+  auto schema_or = schema::Apb1Schema({.density = 0.01});
+  if (!schema_or.ok()) {
+    std::fprintf(stderr, "schema: %s\n",
+                 schema_or.status().ToString().c_str());
+    return 1;
+  }
+  const schema::StarSchema& schema = *schema_or;
+
+  auto mix_or = workload::Apb1QueryMix(schema);
+  if (!mix_or.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 mix_or.status().ToString().c_str());
+    return 1;
+  }
+  const workload::QueryMix& mix = *mix_or;
+
+  core::ToolConfig config;
+  config.cost.disks.num_disks = 64;
+  config.thresholds.max_fragments = 1 << 20;
+  config.thresholds.min_avg_fragment_pages = 4;
+  config.ranking.top_k = 10;
+
+  // 2. Prediction layer: enumerate, exclude, cost, twofold-rank.
+  core::Advisor advisor(schema, mix, config);
+  auto result_or = advisor.Run();
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "advisor: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const core::AdvisorResult& result = *result_or;
+
+  // 3. Analysis layer: ranked list, per-query statistics, allocation.
+  std::printf("%s\n", report::RenderRanking(result, schema).c_str());
+  if (!result.ranking.empty()) {
+    const core::EvaluatedCandidate& best =
+        result.candidates[result.ranking[0]];
+    std::printf("%s\n", report::RenderQueryStats(best, mix, schema).c_str());
+    std::printf("%s\n", report::RenderOccupancy(best).c_str());
+
+    auto profile_or = advisor.DiskAccessProfile(
+        best.fragmentation, mix.query_class(0));
+    if (profile_or.ok()) {
+      std::printf("%s\n",
+                  report::RenderDiskProfile(*profile_or,
+                                            mix.query_class(0).name())
+                      .c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Skew study: how Zipf data skew changes WARLOCK's recommendation.
+//
+// Sweeps the Product dimension's bottom-level Zipf parameter and shows,
+// for each skew level, the recommended fragmentation, the allocation
+// scheme the tool switches to (round-robin -> greedy), the occupancy
+// balance both schemes would achieve, and the response-time cost of
+// ignoring skew.
+//
+// Usage: ./build/examples/skew_study
+
+#include <cstdio>
+
+#include "alloc/allocators.h"
+#include "common/format.h"
+#include "common/text_table.h"
+#include "core/advisor.h"
+#include "schema/apb1.h"
+#include "workload/apb1_workload.h"
+
+int main() {
+  using namespace warlock;
+
+  TextTable table({"theta", "Recommended", "Alloc", "SizeSkew",
+                   "RR balance", "GR balance", "Resp (chosen)",
+                   "Resp (RR forced)"});
+
+  for (double theta : {0.0, 0.5, 0.75, 1.0}) {
+    auto schema_or =
+        schema::Apb1Schema({.density = 0.005, .product_theta = theta});
+    if (!schema_or.ok()) return 1;
+    auto mix_or = workload::Apb1QueryMix(*schema_or);
+    if (!mix_or.ok()) return 1;
+
+    core::ToolConfig config;
+    config.cost.disks.num_disks = 64;
+    config.cost.samples_per_class = 4;
+    config.prefetch = core::PrefetchPolicy::kFixed;
+    config.cost.fact_granule = 32;
+    config.cost.bitmap_granule = 4;
+    config.thresholds.max_fragments = 1 << 18;
+    config.thresholds.min_avg_fragment_pages = 4;
+    config.ranking.top_k = 3;
+
+    const core::Advisor advisor(*schema_or, *mix_or, config);
+    auto result_or = advisor.Run();
+    if (!result_or.ok() || result_or->ranking.empty()) {
+      std::fprintf(stderr, "advisor failed at theta=%.2f\n", theta);
+      continue;
+    }
+    const core::EvaluatedCandidate& best =
+        result_or->candidates[result_or->ranking[0]];
+
+    // What would round-robin placement cost at this skew level?
+    core::Advisor::Overrides rr;
+    rr.allocation_scheme = alloc::AllocationScheme::kRoundRobin;
+    auto rr_ec = advisor.EvaluateOne(best.fragmentation, rr);
+    core::Advisor::Overrides gr;
+    gr.allocation_scheme = alloc::AllocationScheme::kGreedy;
+    auto gr_ec = advisor.EvaluateOne(best.fragmentation, gr);
+    if (!rr_ec.ok() || !gr_ec.ok()) continue;
+
+    table.BeginRow()
+        .AddNumeric(FormatFixed(theta, 2))
+        .Add(best.fragmentation.Label(*schema_or))
+        .Add(alloc::AllocationSchemeName(best.allocation_scheme))
+        .AddNumeric(FormatFixed(best.size_skew_factor, 2))
+        .AddNumeric(FormatFixed(rr_ec->allocation_balance, 3))
+        .AddNumeric(FormatFixed(gr_ec->allocation_balance, 3))
+        .AddNumeric(FormatMillis(best.cost.response_ms))
+        .AddNumeric(FormatMillis(rr_ec->cost.response_ms));
+  }
+
+  std::printf("Skew study (APB-1, 64 disks, Product bottom-level Zipf)\n\n");
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: under notable skew WARLOCK switches to the greedy\n"
+      "size-based scheme, which keeps *occupancy* balanced (the paper's\n"
+      "stated goal: no disk overflows) where round-robin degrades.\n"
+      "Per-query response can still slightly favor round-robin's regular\n"
+      "striping, because a query's hit set is contiguous in logical\n"
+      "fragment order — occupancy balance and access balance are\n"
+      "different goals, which is why WARLOCK only applies greedy under\n"
+      "notable skew.\n");
+  return 0;
+}

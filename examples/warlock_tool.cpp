@@ -1,0 +1,132 @@
+// The WARLOCK command-line tool: the full input -> prediction -> analysis
+// pipeline driven by the three input-layer files (star schema, weighted
+// query mix, database & disk parameters), as a DBA would run it.
+//
+// Usage:
+//   warlock_tool <schema.txt> <workload.txt> <config.txt> [csv_out_dir]
+//
+// Sample inputs live in examples/data/ :
+//   ./build/examples/warlock_tool examples/data/apb1.schema \
+//       examples/data/apb1.workload examples/data/default.config /tmp
+//
+// Prints the ranked candidate list, the exclusion report, the winner's
+// per-query-class statistics, disk occupancy, and a per-class disk access
+// profile; optionally writes the CSV exports.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/format.h"
+#include "core/advisor.h"
+#include "core/config_text.h"
+#include "report/report.h"
+#include "schema/schema_text.h"
+#include "workload/workload_text.h"
+
+namespace {
+
+warlock::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return warlock::Status::IoError("cannot open " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace warlock;
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <schema.txt> <workload.txt> <config.txt> "
+                 "[csv_out_dir]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto schema_text = ReadFile(argv[1]);
+  auto workload_text = ReadFile(argv[2]);
+  auto config_text = ReadFile(argv[3]);
+  for (const auto* r : {&schema_text, &workload_text, &config_text}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto schema_or = schema::SchemaFromText(*schema_text);
+  if (!schema_or.ok()) {
+    std::fprintf(stderr, "schema: %s\n",
+                 schema_or.status().ToString().c_str());
+    return 1;
+  }
+  auto mix_or = workload::QueryMixFromText(*workload_text, *schema_or);
+  if (!mix_or.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 mix_or.status().ToString().c_str());
+    return 1;
+  }
+  auto config_or = core::ToolConfigFromText(*config_text);
+  if (!config_or.ok()) {
+    std::fprintf(stderr, "config: %s\n",
+                 config_or.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("WARLOCK data allocation tool\n");
+  std::printf("schema '%s': %zu dimensions, fact '%s' with %llu rows\n",
+              schema_or->name().c_str(), schema_or->num_dimensions(),
+              schema_or->fact().name().c_str(),
+              static_cast<unsigned long long>(
+                  schema_or->fact().row_count()));
+  std::printf("workload: %zu weighted query classes\n", mix_or->size());
+  std::printf("disks: %u x %s\n\n", config_or->cost.disks.num_disks,
+              FormatBytes(config_or->cost.disks.disk_capacity_bytes)
+                  .c_str());
+
+  const core::Advisor advisor(*schema_or, *mix_or, *config_or);
+  auto result_or = advisor.Run();
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "advisor: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const core::AdvisorResult& result = *result_or;
+
+  std::printf("%s\n", report::RenderRanking(result, *schema_or).c_str());
+  std::printf("%s\n", report::RenderExclusions(result, *schema_or).c_str());
+
+  if (!result.ranking.empty()) {
+    const core::EvaluatedCandidate& best =
+        result.candidates[result.ranking[0]];
+    std::printf("%s\n",
+                report::RenderQueryStats(best, *mix_or, *schema_or).c_str());
+    std::printf("%s\n", report::RenderOccupancy(best).c_str());
+    auto profile = advisor.DiskAccessProfile(best.fragmentation,
+                                             mix_or->query_class(0));
+    if (profile.ok()) {
+      std::printf("%s\n",
+                  report::RenderDiskProfile(*profile,
+                                            mix_or->query_class(0).name())
+                      .c_str());
+    }
+    if (argc > 4) {
+      const std::string dir = argv[4];
+      auto st = report::RankingToCsv(result, *schema_or)
+                    .WriteFile(dir + "/warlock_ranking.csv");
+      if (st.ok()) {
+        st = report::QueryStatsToCsv(best, *mix_or, *schema_or)
+                 .WriteFile(dir + "/warlock_best_stats.csv");
+      }
+      if (!st.ok()) {
+        std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("CSV reports written to %s\n", dir.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Interactive fine-tuning session (paper §3.3): starting from the
+// advisor's recommendation, explore the what-if knobs the GUI exposes —
+// disk count, prefetch granules, allocation scheme, and bitmap-index
+// exclusions — and print the performance variation each change implies.
+//
+// Usage: ./build/examples/whatif_tuning
+
+#include <cstdio>
+
+#include "alloc/allocators.h"
+#include "common/format.h"
+#include "common/text_table.h"
+#include "core/advisor.h"
+#include "schema/apb1.h"
+#include "workload/apb1_workload.h"
+
+namespace {
+
+void AddRow(warlock::TextTable& table, const char* label,
+            const warlock::core::EvaluatedCandidate& ec) {
+  table.BeginRow()
+      .Add(label)
+      .AddNumeric(warlock::FormatMillis(ec.cost.io_work_ms))
+      .AddNumeric(warlock::FormatMillis(ec.cost.response_ms))
+      .AddNumeric(warlock::FormatBytes(
+          static_cast<uint64_t>(ec.bitmap_storage_bytes)))
+      .AddNumeric(warlock::FormatFixed(ec.allocation_balance, 3))
+      .AddNumeric(std::to_string(ec.fact_granule) + "/" +
+                  std::to_string(ec.bitmap_granule));
+}
+
+}  // namespace
+
+int main() {
+  using namespace warlock;
+
+  auto schema_or = schema::Apb1Schema({.density = 0.005});
+  if (!schema_or.ok()) return 1;
+  auto mix_or = workload::Apb1QueryMix(*schema_or);
+  if (!mix_or.ok()) return 1;
+
+  core::ToolConfig config;
+  config.cost.disks.num_disks = 64;
+  config.cost.samples_per_class = 4;
+  config.prefetch = core::PrefetchPolicy::kFixed;
+  config.cost.fact_granule = 32;
+  config.cost.bitmap_granule = 4;
+  config.thresholds.max_fragments = 1 << 18;
+  config.thresholds.min_avg_fragment_pages = 4;
+
+  const core::Advisor advisor(*schema_or, *mix_or, config);
+  auto frag = fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}, {"Channel", "Base"}},
+      *schema_or);
+  if (!frag.ok()) return 1;
+
+  std::printf("What-if tuning on %s (APB-1, 8.7M rows)\n\n",
+              frag->Label(*schema_or).c_str());
+  TextTable table({"Scenario", "Work/Q", "Resp/Q", "Bitmap space",
+                   "Balance", "Gf/Gb"});
+
+  auto base = advisor.EvaluateOne(*frag);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  AddRow(table, "baseline (64 disks, Gf=32/Gb=4)", *base);
+
+  {
+    core::Advisor::Overrides ov;
+    ov.num_disks = 128;
+    auto ec = advisor.EvaluateOne(*frag, ov);
+    if (ec.ok()) AddRow(table, "double the disks (128)", *ec);
+  }
+  {
+    core::Advisor::Overrides ov;
+    ov.num_disks = 16;
+    auto ec = advisor.EvaluateOne(*frag, ov);
+    if (ec.ok()) AddRow(table, "shrink to 16 disks", *ec);
+  }
+  {
+    core::Advisor::Overrides ov;
+    ov.fact_granule = 1;
+    ov.bitmap_granule = 1;
+    auto ec = advisor.EvaluateOne(*frag, ov);
+    if (ec.ok()) AddRow(table, "no prefetching (granule 1/1)", *ec);
+  }
+  {
+    core::Advisor::Overrides ov;
+    ov.fact_granule = 128;
+    ov.bitmap_granule = 16;
+    auto ec = advisor.EvaluateOne(*frag, ov);
+    if (ec.ok()) AddRow(table, "aggressive prefetch (128/16)", *ec);
+  }
+  {
+    core::Advisor::Overrides ov;
+    ov.allocation_scheme = alloc::AllocationScheme::kGreedy;
+    auto ec = advisor.EvaluateOne(*frag, ov);
+    if (ec.ok()) AddRow(table, "force greedy allocation", *ec);
+  }
+  {
+    // Drop the space-heavy encoded indexes of Product and Customer.
+    core::Advisor::Overrides ov;
+    const size_t product = schema_or->DimensionIndex("Product").value();
+    const size_t customer = schema_or->DimensionIndex("Customer").value();
+    ov.excluded_bitmaps = {
+        {static_cast<uint32_t>(product), 5},   // Code
+        {static_cast<uint32_t>(product), 4},   // Class
+        {static_cast<uint32_t>(customer), 1},  // Store
+    };
+    auto ec = advisor.EvaluateOne(*frag, ov);
+    if (ec.ok()) AddRow(table, "drop Code/Class/Store bitmaps", *ec);
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: doubling disks halves response at constant work; dropping\n"
+      "prefetching multiplies positioning overhead; excluding the\n"
+      "high-cardinality bitmap indexes saves space but sends fine-grained\n"
+      "restrictions back to fragment scans.\n");
+  return 0;
+}

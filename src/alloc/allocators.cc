@@ -1,0 +1,125 @@
+#include "alloc/allocators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace warlock::alloc {
+
+namespace {
+
+// Computes per-fragment fact and bitmap byte sizes. Bitmap bundles are
+// rounded up to whole pages (they are stored page-aligned like any other
+// database object).
+void PieceSizes(const fragment::FragmentSizes& sizes,
+                const bitmap::BitmapScheme& scheme,
+                std::vector<uint64_t>* fact_bytes,
+                std::vector<uint64_t>* bitmap_bytes) {
+  const uint64_t m = sizes.num_fragments();
+  const double page = static_cast<double>(sizes.page_size());
+  fact_bytes->resize(m);
+  bitmap_bytes->resize(m);
+  for (uint64_t f = 0; f < m; ++f) {
+    (*fact_bytes)[f] = sizes.bytes(f);
+    const double raw = scheme.StoredBytesPerFragment(sizes.rows(f));
+    (*bitmap_bytes)[f] =
+        static_cast<uint64_t>(std::ceil(raw / page)) * sizes.page_size();
+  }
+}
+
+}  // namespace
+
+Result<DiskAllocation> RoundRobinAllocate(const fragment::FragmentSizes& sizes,
+                                          const bitmap::BitmapScheme& scheme,
+                                          uint32_t num_disks,
+                                          uint32_t bitmap_offset) {
+  if (num_disks == 0) {
+    return Status::InvalidArgument("allocation needs at least one disk");
+  }
+  if (bitmap_offset == UINT32_MAX) bitmap_offset = num_disks / 2;
+  std::vector<uint64_t> fact_bytes, bitmap_bytes;
+  PieceSizes(sizes, scheme, &fact_bytes, &bitmap_bytes);
+  const uint64_t m = sizes.num_fragments();
+  std::vector<uint32_t> fact_disk(m), bitmap_disk(m);
+  for (uint64_t f = 0; f < m; ++f) {
+    fact_disk[f] = static_cast<uint32_t>(f % num_disks);
+    bitmap_disk[f] = static_cast<uint32_t>((f + bitmap_offset) % num_disks);
+  }
+  return DiskAllocation(num_disks, std::move(fact_disk),
+                        std::move(bitmap_disk), std::move(fact_bytes),
+                        std::move(bitmap_bytes));
+}
+
+Result<DiskAllocation> GreedyAllocate(const fragment::FragmentSizes& sizes,
+                                      const bitmap::BitmapScheme& scheme,
+                                      uint32_t num_disks) {
+  if (num_disks == 0) {
+    return Status::InvalidArgument("allocation needs at least one disk");
+  }
+  std::vector<uint64_t> fact_bytes, bitmap_bytes;
+  PieceSizes(sizes, scheme, &fact_bytes, &bitmap_bytes);
+  const uint64_t m = sizes.num_fragments();
+
+  // Piece ids: [0, m) are fact fragments, [m, 2m) bitmap bundles.
+  std::vector<uint64_t> order(2 * m);
+  std::iota(order.begin(), order.end(), 0);
+  auto piece_bytes = [&](uint64_t p) {
+    return p < m ? fact_bytes[p] : bitmap_bytes[p - m];
+  };
+  std::stable_sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    return piece_bytes(a) > piece_bytes(b);
+  });
+
+  // Min-heap of (occupied bytes, disk); ties resolved by disk id for
+  // determinism.
+  using Entry = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (uint32_t d = 0; d < num_disks; ++d) heap.push({0, d});
+
+  std::vector<uint32_t> fact_disk(m), bitmap_disk(m);
+  for (uint64_t p : order) {
+    auto [bytes, disk] = heap.top();
+    heap.pop();
+    if (p < m) {
+      fact_disk[p] = disk;
+    } else {
+      bitmap_disk[p - m] = disk;
+    }
+    heap.push({bytes + piece_bytes(p), disk});
+  }
+  return DiskAllocation(num_disks, std::move(fact_disk),
+                        std::move(bitmap_disk), std::move(fact_bytes),
+                        std::move(bitmap_bytes));
+}
+
+Result<DiskAllocation> Allocate(AllocationScheme scheme_choice,
+                                const fragment::FragmentSizes& sizes,
+                                const bitmap::BitmapScheme& scheme,
+                                uint32_t num_disks) {
+  switch (scheme_choice) {
+    case AllocationScheme::kRoundRobin:
+      return RoundRobinAllocate(sizes, scheme, num_disks);
+    case AllocationScheme::kGreedy:
+      return GreedyAllocate(sizes, scheme, num_disks);
+  }
+  return Status::InvalidArgument("unknown allocation scheme");
+}
+
+AllocationScheme ChooseScheme(const fragment::FragmentSizes& sizes,
+                              double skew_threshold) {
+  return sizes.SkewFactor() > skew_threshold ? AllocationScheme::kGreedy
+                                             : AllocationScheme::kRoundRobin;
+}
+
+const char* AllocationSchemeName(AllocationScheme scheme) {
+  switch (scheme) {
+    case AllocationScheme::kRoundRobin:
+      return "round-robin";
+    case AllocationScheme::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+}  // namespace warlock::alloc

@@ -1,0 +1,56 @@
+#ifndef WARLOCK_ALLOC_ALLOCATORS_H_
+#define WARLOCK_ALLOC_ALLOCATORS_H_
+
+#include <cstdint>
+
+#include "alloc/disk_allocation.h"
+#include "bitmap/scheme.h"
+#include "common/result.h"
+#include "fragment/fragment_sizes.h"
+
+namespace warlock::alloc {
+
+/// Allocation scheme selector.
+enum class AllocationScheme {
+  /// Logical round-robin: fragments walked in the logical order of the
+  /// fragmentation dimensions, dealt onto disks cyclically.
+  kRoundRobin,
+  /// Greedy size-based: fragments ordered by decreasing size, each placed
+  /// on the currently least occupied disk — WARLOCK's scheme under notable
+  /// data skew.
+  kGreedy,
+};
+
+/// Logical round-robin allocation. Fact fragment i goes to disk i mod D;
+/// fragment i's bitmap bundle goes to disk (i + bitmap_offset) mod D so that
+/// bitmap probe and fact fetch of the same fragment can proceed on distinct
+/// devices. `bitmap_offset == UINT32_MAX` (default) picks D/2.
+Result<DiskAllocation> RoundRobinAllocate(
+    const fragment::FragmentSizes& sizes, const bitmap::BitmapScheme& scheme,
+    uint32_t num_disks, uint32_t bitmap_offset = UINT32_MAX);
+
+/// Greedy size-based allocation: all pieces (fact fragments and bitmap
+/// bundles), ordered by decreasing byte size, each placed onto the least
+/// occupied disk at that time. Keeps disk occupancy balanced under skewed
+/// fragment size distributions.
+Result<DiskAllocation> GreedyAllocate(const fragment::FragmentSizes& sizes,
+                                      const bitmap::BitmapScheme& scheme,
+                                      uint32_t num_disks);
+
+/// Dispatches on `scheme_choice`.
+Result<DiskAllocation> Allocate(AllocationScheme scheme_choice,
+                                const fragment::FragmentSizes& sizes,
+                                const bitmap::BitmapScheme& scheme,
+                                uint32_t num_disks);
+
+/// The automatic WARLOCK policy: greedy under notable skew (size-skew factor
+/// above `skew_threshold`), round-robin otherwise.
+AllocationScheme ChooseScheme(const fragment::FragmentSizes& sizes,
+                              double skew_threshold = 1.25);
+
+/// Name for reports ("round-robin" / "greedy").
+const char* AllocationSchemeName(AllocationScheme scheme);
+
+}  // namespace warlock::alloc
+
+#endif  // WARLOCK_ALLOC_ALLOCATORS_H_

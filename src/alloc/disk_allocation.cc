@@ -1,0 +1,67 @@
+#include "alloc/disk_allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace warlock::alloc {
+
+DiskAllocation::DiskAllocation(uint32_t num_disks,
+                               std::vector<uint32_t> fact_disk,
+                               std::vector<uint32_t> bitmap_disk,
+                               std::vector<uint64_t> fact_bytes,
+                               std::vector<uint64_t> bitmap_bytes)
+    : num_disks_(num_disks),
+      fact_disk_(std::move(fact_disk)),
+      bitmap_disk_(std::move(bitmap_disk)),
+      fact_bytes_(std::move(fact_bytes)),
+      bitmap_bytes_(std::move(bitmap_bytes)),
+      disk_bytes_(num_disks, 0) {
+  for (size_t f = 0; f < fact_disk_.size(); ++f) {
+    disk_bytes_[fact_disk_[f]] += fact_bytes_[f];
+    disk_bytes_[bitmap_disk_[f]] += bitmap_bytes_[f];
+  }
+}
+
+uint64_t DiskAllocation::TotalBytes() const {
+  uint64_t total = 0;
+  for (uint64_t b : disk_bytes_) total += b;
+  return total;
+}
+
+double DiskAllocation::BalanceRatio() const {
+  const uint64_t total = TotalBytes();
+  if (total == 0) return 1.0;
+  const uint64_t mx = *std::max_element(disk_bytes_.begin(), disk_bytes_.end());
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(num_disks_);
+  return static_cast<double>(mx) / avg;
+}
+
+double DiskAllocation::OccupancyCv() const {
+  const uint64_t total = TotalBytes();
+  if (total == 0) return 0.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(num_disks_);
+  double var = 0.0;
+  for (uint64_t b : disk_bytes_) {
+    const double d = static_cast<double>(b) - avg;
+    var += d * d;
+  }
+  var /= static_cast<double>(num_disks_);
+  return std::sqrt(var) / avg;
+}
+
+Status DiskAllocation::ValidateCapacity(uint64_t capacity_bytes) const {
+  for (uint32_t d = 0; d < num_disks_; ++d) {
+    if (disk_bytes_[d] > capacity_bytes) {
+      return Status::ResourceExhausted(
+          "disk " + std::to_string(d) + " holds " +
+          std::to_string(disk_bytes_[d]) + " bytes, above the capacity of " +
+          std::to_string(capacity_bytes));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace warlock::alloc

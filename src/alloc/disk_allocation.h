@@ -1,0 +1,69 @@
+#ifndef WARLOCK_ALLOC_DISK_ALLOCATION_H_
+#define WARLOCK_ALLOC_DISK_ALLOCATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace warlock::alloc {
+
+/// The physical allocation scheme WARLOCK outputs for a fragmentation: the
+/// placement of every fact-table fragment and of every fragment's bitmap
+/// bundle (all bitmap vectors of that fragment — bitmap fragmentation
+/// follows the fact fragmentation exactly) onto the declustered disk set of
+/// a Shared Everything / Shared Disk system.
+class DiskAllocation {
+ public:
+  DiskAllocation(uint32_t num_disks, std::vector<uint32_t> fact_disk,
+                 std::vector<uint32_t> bitmap_disk,
+                 std::vector<uint64_t> fact_bytes,
+                 std::vector<uint64_t> bitmap_bytes);
+
+  /// Number of disks.
+  uint32_t num_disks() const { return num_disks_; }
+
+  /// Number of fragments placed.
+  uint64_t num_fragments() const { return fact_disk_.size(); }
+
+  /// Disk holding fact fragment `frag`.
+  uint32_t FactDisk(uint64_t frag) const { return fact_disk_[frag]; }
+
+  /// Disk holding fragment `frag`'s bitmap bundle.
+  uint32_t BitmapDisk(uint64_t frag) const { return bitmap_disk_[frag]; }
+
+  /// Bytes of fact fragment `frag`.
+  uint64_t FactBytes(uint64_t frag) const { return fact_bytes_[frag]; }
+
+  /// Bytes of fragment `frag`'s bitmap bundle.
+  uint64_t BitmapBytes(uint64_t frag) const { return bitmap_bytes_[frag]; }
+
+  /// Total occupied bytes per disk (facts + bitmaps).
+  const std::vector<uint64_t>& disk_bytes() const { return disk_bytes_; }
+
+  /// Total occupied bytes across all disks.
+  uint64_t TotalBytes() const;
+
+  /// Max/avg disk occupancy; 1.0 is perfectly balanced. The metric WARLOCK's
+  /// allocation analysis reports to show skew handling.
+  double BalanceRatio() const;
+
+  /// Coefficient of variation (stddev/mean) of disk occupancy.
+  double OccupancyCv() const;
+
+  /// Fails with ResourceExhausted naming the first overflowing disk when any
+  /// disk exceeds `capacity_bytes`.
+  Status ValidateCapacity(uint64_t capacity_bytes) const;
+
+ private:
+  uint32_t num_disks_;
+  std::vector<uint32_t> fact_disk_;
+  std::vector<uint32_t> bitmap_disk_;
+  std::vector<uint64_t> fact_bytes_;
+  std::vector<uint64_t> bitmap_bytes_;
+  std::vector<uint64_t> disk_bytes_;
+};
+
+}  // namespace warlock::alloc
+
+#endif  // WARLOCK_ALLOC_DISK_ALLOCATION_H_

@@ -1,0 +1,55 @@
+#include "bitmap/bit_vector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace warlock::bitmap {
+
+BitVector::BitVector(uint64_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+uint64_t BitVector::Count() const {
+  uint64_t c = 0;
+  for (uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+void BitVector::And(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::Or(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::AndNot(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void BitVector::Not() {
+  for (uint64_t& w : words_) w = ~w;
+  MaskTail();
+}
+
+void BitVector::MaskTail() {
+  const uint64_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+void BitVector::ForEachSet(const std::function<void(uint64_t)>& fn) const {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      fn((static_cast<uint64_t>(wi) << 6) + static_cast<uint64_t>(b));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace warlock::bitmap

@@ -1,0 +1,70 @@
+#ifndef WARLOCK_BITMAP_BIT_VECTOR_H_
+#define WARLOCK_BITMAP_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace warlock::bitmap {
+
+/// Dense, uncompressed bit vector with word-parallel logical operations.
+/// One bit per fact row of a fragment — the indicator representation
+/// standard bitmap indexes and encoded bitplanes share.
+class BitVector {
+ public:
+  /// Creates an all-zero vector of `num_bits` bits.
+  explicit BitVector(uint64_t num_bits = 0);
+
+  /// Number of bits.
+  uint64_t size() const { return num_bits_; }
+
+  /// Sets bit `i` (must be < size()).
+  void Set(uint64_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+
+  /// Clears bit `i`.
+  void Clear(uint64_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  /// Reads bit `i`.
+  bool Test(uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Number of set bits.
+  uint64_t Count() const;
+
+  /// In-place intersection; `other` must have the same size.
+  void And(const BitVector& other);
+
+  /// In-place union; `other` must have the same size.
+  void Or(const BitVector& other);
+
+  /// In-place a &= ~b; `other` must have the same size.
+  void AndNot(const BitVector& other);
+
+  /// In-place complement (bits beyond size() stay zero).
+  void Not();
+
+  /// Invokes `fn` for every set bit in ascending order.
+  void ForEachSet(const std::function<void(uint64_t)>& fn) const;
+
+  /// Underlying 64-bit words (trailing bits zero).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Bytes of the dense representation (the size WARLOCK's model charges
+  /// for an uncompressed bitmap of one fragment).
+  uint64_t DenseBytes() const { return (num_bits_ + 7) / 8; }
+
+  bool operator==(const BitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+ private:
+  void MaskTail();
+
+  uint64_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace warlock::bitmap
+
+#endif  // WARLOCK_BITMAP_BIT_VECTOR_H_

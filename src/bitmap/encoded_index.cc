@@ -1,0 +1,112 @@
+#include "bitmap/encoded_index.h"
+
+#include <string>
+
+#include "common/math.h"
+
+namespace warlock::bitmap {
+
+namespace {
+
+// Local child rank of `ancestor_at_level` below `ancestor_at_parent`.
+uint64_t LocalCode(const schema::Dimension& dim, size_t level,
+                   uint64_t ancestor_at_level, uint64_t ancestor_at_parent) {
+  if (level == 0) return ancestor_at_level;
+  const auto [begin, end] =
+      dim.DescendantRange(level - 1, ancestor_at_parent, level);
+  (void)end;
+  return ancestor_at_level - begin;
+}
+
+}  // namespace
+
+uint32_t EncodedBitmapIndex::FieldWidth(const schema::Dimension& dim,
+                                        size_t level) {
+  if (level == 0) return Log2Ceil(dim.cardinality(0));
+  // With the contiguous even mapping, every parent has floor or ceil of the
+  // average fan-out children, so the max local rank is ceil(cf/cc) - 1.
+  const uint64_t max_children =
+      CeilDiv(dim.cardinality(level), dim.cardinality(level - 1));
+  return Log2Ceil(max_children);
+}
+
+uint32_t EncodedBitmapIndex::PlanesForProbe(const schema::Dimension& dim,
+                                            size_t level) {
+  uint32_t planes = 0;
+  for (size_t i = 0; i <= level; ++i) planes += FieldWidth(dim, i);
+  return planes;
+}
+
+Result<EncodedBitmapIndex> EncodedBitmapIndex::Build(
+    const std::vector<uint32_t>& bottom_values, const schema::Dimension& dim) {
+  const size_t levels = dim.num_levels();
+  const uint64_t bottom_card = dim.cardinality(dim.bottom_level());
+  const uint64_t rows = bottom_values.size();
+
+  std::vector<std::vector<BitVector>> planes(levels);
+  for (size_t l = 0; l < levels; ++l) {
+    planes[l].assign(FieldWidth(dim, l), BitVector(rows));
+  }
+
+  for (uint64_t row = 0; row < rows; ++row) {
+    const uint64_t v = bottom_values[row];
+    if (v >= bottom_card) {
+      return Status::OutOfRange("row " + std::to_string(row) +
+                                " has bottom value " + std::to_string(v) +
+                                " >= cardinality " +
+                                std::to_string(bottom_card));
+    }
+    uint64_t parent = 0;
+    for (size_t l = 0; l < levels; ++l) {
+      const uint64_t a = dim.AncestorValue(dim.bottom_level(), v, l);
+      const uint64_t code = LocalCode(dim, l, a, parent);
+      for (uint32_t b = 0; b < planes[l].size(); ++b) {
+        if ((code >> b) & 1ULL) planes[l][b].Set(row);
+      }
+      parent = a;
+    }
+  }
+  return EncodedBitmapIndex(&dim, std::move(planes), rows);
+}
+
+uint32_t EncodedBitmapIndex::TotalPlanes() const {
+  uint32_t total = 0;
+  for (const auto& level_planes : planes_) {
+    total += static_cast<uint32_t>(level_planes.size());
+  }
+  return total;
+}
+
+Result<BitVector> EncodedBitmapIndex::Probe(size_t level,
+                                            uint64_t value) const {
+  if (level >= planes_.size()) {
+    return Status::OutOfRange("probe level out of range");
+  }
+  if (value >= dim_->cardinality(level)) {
+    return Status::OutOfRange("probe value " + std::to_string(value) +
+                              " >= cardinality " +
+                              std::to_string(dim_->cardinality(level)));
+  }
+  BitVector result(num_rows_);
+  result.Not();  // all ones
+  uint64_t parent = 0;
+  for (size_t l = 0; l <= level; ++l) {
+    const uint64_t a = dim_->AncestorValue(level, value, l);
+    const uint64_t code = LocalCode(*dim_, l, a, parent);
+    for (uint32_t b = 0; b < planes_[l].size(); ++b) {
+      if ((code >> b) & 1ULL) {
+        result.And(planes_[l][b]);
+      } else {
+        result.AndNot(planes_[l][b]);
+      }
+    }
+    parent = a;
+  }
+  return result;
+}
+
+uint64_t EncodedBitmapIndex::DenseBytes() const {
+  return static_cast<uint64_t>(TotalPlanes()) * ((num_rows_ + 7) / 8);
+}
+
+}  // namespace warlock::bitmap

@@ -1,0 +1,66 @@
+#ifndef WARLOCK_BITMAP_ENCODED_INDEX_H_
+#define WARLOCK_BITMAP_ENCODED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bit_vector.h"
+#include "common/result.h"
+#include "schema/dimension.h"
+
+namespace warlock::bitmap {
+
+/// Hierarchically encoded bitmap index over one *dimension* of one fact
+/// table fragment — WARLOCK's choice for high-cardinality attributes.
+///
+/// Instead of one bitmap per value, each fact row's dimension value is
+/// encoded as a path code: one bit field per hierarchy level, field i
+/// holding the row's local child rank below its level-(i-1) ancestor. Each
+/// bit position is stored as one bitplane. An equality probe at hierarchy
+/// level l decodes to an AND over the planes of fields 0..l only — coarser
+/// probes read fewer planes, and a single index serves every level of the
+/// dimension.
+///
+/// Total planes ~= ceil(log2(bottom cardinality)) plus rounding per field,
+/// versus `cardinality` bitmaps for the standard scheme.
+class EncodedBitmapIndex {
+ public:
+  /// Builds from per-row *bottom-level* values of `dim`.
+  static Result<EncodedBitmapIndex> Build(
+      const std::vector<uint32_t>& bottom_values, const schema::Dimension& dim);
+
+  /// Bit width of the field encoding hierarchy level `level` of `dim`
+  /// (0 when a level adds no information, e.g. fan-out 1).
+  static uint32_t FieldWidth(const schema::Dimension& dim, size_t level);
+
+  /// Number of planes read by an equality probe at `level` (prefix sum of
+  /// field widths).
+  static uint32_t PlanesForProbe(const schema::Dimension& dim, size_t level);
+
+  /// Total stored planes (== PlanesForProbe at the bottom level).
+  uint32_t TotalPlanes() const;
+
+  /// Rows covered.
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// All rows whose `level`-ancestor equals `value`.
+  Result<BitVector> Probe(size_t level, uint64_t value) const;
+
+  /// Dense size: TotalPlanes() * ceil(rows/8) bytes.
+  uint64_t DenseBytes() const;
+
+ private:
+  EncodedBitmapIndex(const schema::Dimension* dim,
+                     std::vector<std::vector<BitVector>> planes,
+                     uint64_t num_rows)
+      : dim_(dim), planes_(std::move(planes)), num_rows_(num_rows) {}
+
+  const schema::Dimension* dim_;
+  // planes_[level][bit] — bitplanes of each level's field.
+  std::vector<std::vector<BitVector>> planes_;
+  uint64_t num_rows_;
+};
+
+}  // namespace warlock::bitmap
+
+#endif  // WARLOCK_BITMAP_ENCODED_INDEX_H_

@@ -1,0 +1,116 @@
+#include "bitmap/scheme.h"
+
+#include <cmath>
+
+#include "bitmap/encoded_index.h"
+
+namespace warlock::bitmap {
+
+BitmapScheme BitmapScheme::Select(const schema::StarSchema& schema,
+                                  const SchemeOptions& options) {
+  BitmapScheme scheme;
+  scheme.attrs_.resize(schema.num_dimensions());
+  scheme.encoded_stored_planes_.assign(schema.num_dimensions(), 0);
+  for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+    const schema::Dimension& dim = schema.dimension(d);
+    scheme.attrs_[d].resize(dim.num_levels());
+    for (size_t l = 0; l < dim.num_levels(); ++l) {
+      AttrInfo& info = scheme.attrs_[d][l];
+      info.cardinality = dim.cardinality(l);
+      info.encoded_probe_planes = EncodedBitmapIndex::PlanesForProbe(dim, l);
+      info.kind = info.cardinality <= options.standard_max_cardinality
+                      ? BitmapKind::kStandard
+                      : BitmapKind::kEncoded;
+    }
+  }
+  scheme.RecomputeEncodedStorage();
+  return scheme;
+}
+
+void BitmapScheme::RecomputeEncodedStorage() {
+  for (size_t d = 0; d < attrs_.size(); ++d) {
+    uint32_t planes = 0;
+    for (const AttrInfo& info : attrs_[d]) {
+      if (info.kind == BitmapKind::kEncoded) {
+        planes = std::max(planes, info.encoded_probe_planes);
+      }
+    }
+    encoded_stored_planes_[d] = planes;
+  }
+}
+
+Status BitmapScheme::Exclude(uint32_t dim, uint32_t level) {
+  if (dim >= attrs_.size() || level >= attrs_[dim].size()) {
+    return Status::OutOfRange("no such attribute to exclude");
+  }
+  attrs_[dim][level].kind = BitmapKind::kNone;
+  RecomputeEncodedStorage();
+  return Status::OK();
+}
+
+uint32_t BitmapScheme::VectorsReadForProbe(uint32_t dim,
+                                           uint32_t level) const {
+  const AttrInfo& info = attrs_[dim][level];
+  switch (info.kind) {
+    case BitmapKind::kNone:
+      return 0;
+    case BitmapKind::kStandard:
+      return 1;
+    case BitmapKind::kEncoded:
+      return info.encoded_probe_planes;
+  }
+  return 0;
+}
+
+double BitmapScheme::BytesPerVector(double rows) {
+  return std::ceil(rows / 8.0);
+}
+
+double BitmapScheme::ProbeBytes(uint32_t dim, uint32_t level,
+                                double rows) const {
+  return static_cast<double>(VectorsReadForProbe(dim, level)) *
+         BytesPerVector(rows);
+}
+
+double BitmapScheme::StoredBytesPerFragment(double rows) const {
+  return static_cast<double>(StoredVectorsPerFragment()) *
+         BytesPerVector(rows);
+}
+
+uint64_t BitmapScheme::StoredVectorsPerFragment() const {
+  uint64_t vectors = 0;
+  for (size_t d = 0; d < attrs_.size(); ++d) {
+    for (const AttrInfo& info : attrs_[d]) {
+      if (info.kind == BitmapKind::kStandard) vectors += info.cardinality;
+    }
+    vectors += encoded_stored_planes_[d];
+  }
+  return vectors;
+}
+
+std::string BitmapScheme::Describe(const schema::StarSchema& schema) const {
+  std::string out;
+  for (size_t d = 0; d < attrs_.size(); ++d) {
+    const schema::Dimension& dim = schema.dimension(d);
+    for (size_t l = 0; l < attrs_[d].size(); ++l) {
+      const AttrInfo& info = attrs_[d][l];
+      out += dim.name() + "." + dim.level(l).name + ": ";
+      switch (info.kind) {
+        case BitmapKind::kNone:
+          out += "none";
+          break;
+        case BitmapKind::kStandard:
+          out += "standard(" + std::to_string(info.cardinality) + " bitmaps)";
+          break;
+        case BitmapKind::kEncoded:
+          out += "encoded(" + std::to_string(info.encoded_probe_planes) +
+                 " planes)";
+          break;
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace warlock::bitmap

@@ -1,0 +1,92 @@
+#ifndef WARLOCK_BITMAP_SCHEME_H_
+#define WARLOCK_BITMAP_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/star_schema.h"
+
+namespace warlock::bitmap {
+
+/// How one dimension attribute is bitmap-indexed within each fragment.
+enum class BitmapKind : uint8_t {
+  kNone = 0,      ///< Not indexed; restrictions fall back to fragment scans.
+  kStandard = 1,  ///< One bitmap per attribute value.
+  kEncoded = 2,   ///< Via the dimension's hierarchically encoded index.
+};
+
+/// Scheme-selection knobs.
+struct SchemeOptions {
+  /// Attributes with cardinality <= this get standard bitmaps; higher
+  /// cardinalities use the hierarchically encoded index (the WARLOCK
+  /// heuristic: "standard bitmaps on low-cardinal attributes and
+  /// hierarchically encoded bitmaps on high-cardinal attributes").
+  uint64_t standard_max_cardinality = 64;
+};
+
+/// The bitmap scheme WARLOCK determines per fragmentation: a per-attribute
+/// choice of standard/encoded/none, with size and probe-cost accounting used
+/// by the I/O model and the allocation planner. Bitmap fragments follow the
+/// fact-table fragmentation, so all sizes here are per fragment, as a
+/// function of the fragment's row count.
+class BitmapScheme {
+ public:
+  /// Selects the default scheme for `schema` under `options`.
+  static BitmapScheme Select(const schema::StarSchema& schema,
+                             const SchemeOptions& options = {});
+
+  /// Index kind of attribute (dim, level).
+  BitmapKind kind(uint32_t dim, uint32_t level) const {
+    return attrs_[dim][level].kind;
+  }
+
+  /// Interactive fine-tuning: drop the index on (dim, level), e.g. to limit
+  /// space requirements. Storage accounting adapts (an encoded dimension
+  /// index shrinks to the planes its remaining probe levels need).
+  Status Exclude(uint32_t dim, uint32_t level);
+
+  /// Bit vectors an equality probe at (dim, level) reads: 1 for standard,
+  /// the prefix plane count for encoded, 0 when not indexed.
+  uint32_t VectorsReadForProbe(uint32_t dim, uint32_t level) const;
+
+  /// Bytes one bit vector occupies for a fragment of `rows` rows.
+  static double BytesPerVector(double rows);
+
+  /// Bytes an equality probe at (dim, level) reads in one fragment of
+  /// `rows` rows (0 when not indexed).
+  double ProbeBytes(uint32_t dim, uint32_t level, double rows) const;
+
+  /// Total bitmap storage per fragment of `rows` rows across the scheme:
+  /// standard attributes store one bitmap per value; each dimension with
+  /// encoded attributes stores one plane set sized for its deepest encoded
+  /// level.
+  double StoredBytesPerFragment(double rows) const;
+
+  /// Stored bit vectors per fragment (same accounting as
+  /// StoredBytesPerFragment, in vector counts).
+  uint64_t StoredVectorsPerFragment() const;
+
+  /// Human-readable summary like "Product.Code: encoded(14 planes)".
+  std::string Describe(const schema::StarSchema& schema) const;
+
+ private:
+  struct AttrInfo {
+    BitmapKind kind = BitmapKind::kNone;
+    uint64_t cardinality = 0;
+    /// Planes an encoded probe at this level reads (prefix field widths).
+    uint32_t encoded_probe_planes = 0;
+  };
+
+  void RecomputeEncodedStorage();
+
+  // attrs_[dim][level]
+  std::vector<std::vector<AttrInfo>> attrs_;
+  // Stored planes of each dimension's encoded index (0 = no encoded index).
+  std::vector<uint32_t> encoded_stored_planes_;
+};
+
+}  // namespace warlock::bitmap
+
+#endif  // WARLOCK_BITMAP_SCHEME_H_

@@ -1,0 +1,61 @@
+#include "bitmap/standard_index.h"
+
+#include <string>
+
+#include "bitmap/wah.h"
+
+namespace warlock::bitmap {
+
+Result<StandardBitmapIndex> StandardBitmapIndex::Build(
+    const std::vector<uint32_t>& row_values, uint64_t cardinality) {
+  if (cardinality == 0) {
+    return Status::InvalidArgument("bitmap index cardinality must be > 0");
+  }
+  std::vector<BitVector> bitmaps(cardinality, BitVector(row_values.size()));
+  for (size_t row = 0; row < row_values.size(); ++row) {
+    if (row_values[row] >= cardinality) {
+      return Status::OutOfRange(
+          "row " + std::to_string(row) + " has value " +
+          std::to_string(row_values[row]) + " >= cardinality " +
+          std::to_string(cardinality));
+    }
+    bitmaps[row_values[row]].Set(row);
+  }
+  return StandardBitmapIndex(std::move(bitmaps), row_values.size());
+}
+
+Result<const BitVector*> StandardBitmapIndex::Probe(uint64_t value) const {
+  if (value >= bitmaps_.size()) {
+    return Status::OutOfRange("probe value " + std::to_string(value) +
+                              " >= cardinality " +
+                              std::to_string(bitmaps_.size()));
+  }
+  return &bitmaps_[value];
+}
+
+Result<BitVector> StandardBitmapIndex::ProbeRange(uint64_t begin,
+                                                  uint64_t end) const {
+  if (begin >= end || end > bitmaps_.size()) {
+    return Status::OutOfRange("probe range [" + std::to_string(begin) + ", " +
+                              std::to_string(end) + ") invalid");
+  }
+  BitVector out = bitmaps_[begin];
+  for (uint64_t v = begin + 1; v < end; ++v) out.Or(bitmaps_[v]);
+  return out;
+}
+
+uint64_t StandardBitmapIndex::DenseBytes() const {
+  uint64_t bytes = 0;
+  for (const BitVector& b : bitmaps_) bytes += b.DenseBytes();
+  return bytes;
+}
+
+uint64_t StandardBitmapIndex::CompressedBytes() const {
+  uint64_t bytes = 0;
+  for (const BitVector& b : bitmaps_) {
+    bytes += WahBitVector::Compress(b).CompressedBytes();
+  }
+  return bytes;
+}
+
+}  // namespace warlock::bitmap

@@ -1,0 +1,177 @@
+#include "bitmap/wah.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace warlock::bitmap {
+
+namespace {
+
+// Extracts the `gi`-th 31-bit group of a dense vector.
+uint32_t DenseGroup(const BitVector& dense, uint64_t gi) {
+  const uint64_t first_bit = gi * 31;
+  uint32_t group = 0;
+  const auto& words = dense.words();
+  for (uint32_t b = 0; b < 31; ++b) {
+    const uint64_t bit = first_bit + b;
+    if (bit >= dense.size()) break;
+    const uint64_t w = words[bit >> 6];
+    if ((w >> (bit & 63)) & 1ULL) group |= (1u << b);
+  }
+  return group;
+}
+
+}  // namespace
+
+void WahBitVector::AppendGroup(uint32_t group) { AppendFill(group, 1); }
+
+void WahBitVector::AppendFill(uint32_t group, uint64_t count) {
+  // Emit `count` copies of `group`, merging with the trailing code word.
+  const bool is_zero = group == 0;
+  const bool is_ones = group == kAllOnes;
+  while (count > 0) {
+    if (is_zero || is_ones) {
+      const uint32_t fill_code =
+          kFillFlag | (is_ones ? kFillValueBit : 0u);
+      // Merge into a trailing fill of the same value when possible.
+      if (!words_.empty() && (words_.back() & ~kRunMask) == fill_code &&
+          (words_.back() & kRunMask) < kRunMask) {
+        const uint64_t capacity = kRunMask - (words_.back() & kRunMask);
+        const uint64_t take = count < capacity ? count : capacity;
+        words_.back() += static_cast<uint32_t>(take);
+        count -= take;
+        continue;
+      }
+      const uint64_t take = count < kRunMask ? count : kRunMask;
+      words_.push_back(fill_code | static_cast<uint32_t>(take));
+      count -= take;
+    } else {
+      words_.push_back(group);  // literal (MSB clear by construction)
+      --count;
+    }
+  }
+}
+
+WahBitVector WahBitVector::Compress(const BitVector& dense) {
+  WahBitVector out;
+  out.num_bits_ = dense.size();
+  const uint64_t groups = (dense.size() + kGroupBits - 1) / kGroupBits;
+  for (uint64_t gi = 0; gi < groups; ++gi) {
+    out.AppendGroup(DenseGroup(dense, gi));
+  }
+  return out;
+}
+
+BitVector WahBitVector::Decompress() const {
+  BitVector out(num_bits_);
+  uint64_t bit = 0;
+  for (uint32_t code : words_) {
+    if (code & kFillFlag) {
+      const uint64_t run = code & kRunMask;
+      if (code & kFillValueBit) {
+        for (uint64_t i = 0; i < run * kGroupBits && bit + i < num_bits_; ++i) {
+          out.Set(bit + i);
+        }
+      }
+      bit += run * kGroupBits;
+    } else {
+      for (uint32_t b = 0; b < kGroupBits; ++b) {
+        if (bit + b >= num_bits_) break;
+        if ((code >> b) & 1u) out.Set(bit + b);
+      }
+      bit += kGroupBits;
+    }
+  }
+  return out;
+}
+
+uint32_t WahBitVector::Decoder::Next(uint64_t* run) {
+  if (fill_remaining > 0) {
+    *run = fill_remaining;
+    return fill_group;
+  }
+  const uint32_t code = (*words)[pos];
+  if (code & kFillFlag) {
+    fill_group = (code & kFillValueBit) ? kAllOnes : 0u;
+    fill_remaining = code & kRunMask;
+    *run = fill_remaining;
+    return fill_group;
+  }
+  *run = 1;
+  fill_group = code;
+  fill_remaining = 1;
+  return code;
+}
+
+void WahBitVector::Decoder::Consume(uint64_t n) {
+  assert(n <= fill_remaining);
+  fill_remaining -= n;
+  if (fill_remaining == 0) ++pos;
+}
+
+WahBitVector WahBitVector::And(const WahBitVector& a, const WahBitVector& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  WahBitVector out;
+  out.num_bits_ = a.num_bits_;
+  Decoder da{&a.words_}, db{&b.words_};
+  uint64_t groups = (a.num_bits_ + kGroupBits - 1) / kGroupBits;
+  while (groups > 0) {
+    uint64_t ra = 0, rb = 0;
+    const uint32_t ga = da.Next(&ra);
+    const uint32_t gb = db.Next(&rb);
+    const uint64_t take =
+        (ga == 0 || gb == 0 || (ga == kAllOnes && gb == kAllOnes))
+            ? std::min({ra, rb, groups})
+            : 1;
+    out.AppendFill(ga & gb, take);
+    da.Consume(take);
+    db.Consume(take);
+    groups -= take;
+  }
+  return out;
+}
+
+WahBitVector WahBitVector::Or(const WahBitVector& a, const WahBitVector& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  WahBitVector out;
+  out.num_bits_ = a.num_bits_;
+  Decoder da{&a.words_}, db{&b.words_};
+  uint64_t groups = (a.num_bits_ + kGroupBits - 1) / kGroupBits;
+  while (groups > 0) {
+    uint64_t ra = 0, rb = 0;
+    const uint32_t ga = da.Next(&ra);
+    const uint32_t gb = db.Next(&rb);
+    const uint64_t take =
+        (ga == kAllOnes || gb == kAllOnes || (ga == 0 && gb == 0))
+            ? std::min({ra, rb, groups})
+            : 1;
+    out.AppendFill(ga | gb, take);
+    da.Consume(take);
+    db.Consume(take);
+    groups -= take;
+  }
+  return out;
+}
+
+uint64_t WahBitVector::Count() const {
+  uint64_t count = 0;
+  for (uint32_t code : words_) {
+    if (code & kFillFlag) {
+      if (code & kFillValueBit) {
+        count += static_cast<uint64_t>(code & kRunMask) * kGroupBits;
+      }
+    } else {
+      count += std::popcount(code);
+    }
+  }
+  return count;
+}
+
+double WahBitVector::CompressionRatio() const {
+  if (words_.empty()) return 1.0;
+  const double dense = static_cast<double>((num_bits_ + 7) / 8);
+  return dense / static_cast<double>(CompressedBytes());
+}
+
+}  // namespace warlock::bitmap

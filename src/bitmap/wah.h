@@ -1,0 +1,80 @@
+#ifndef WARLOCK_BITMAP_WAH_H_
+#define WARLOCK_BITMAP_WAH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bit_vector.h"
+
+namespace warlock::bitmap {
+
+/// Word-Aligned Hybrid (WAH) run-length compressed bit vector.
+///
+/// 32-bit code words: a literal word (MSB 0) carries 31 verbatim bits; a
+/// fill word (MSB 1) carries the fill bit and a 30-bit run length counted in
+/// 31-bit groups. Sparse bitmaps — the common case for standard bitmap
+/// indexes over high-cardinality attributes — compress by orders of
+/// magnitude, and AND/OR run directly on the compressed form.
+class WahBitVector {
+ public:
+  /// Creates an empty (zero-length) vector.
+  WahBitVector() = default;
+
+  /// Compresses a dense vector.
+  static WahBitVector Compress(const BitVector& dense);
+
+  /// Expands back to the dense representation.
+  BitVector Decompress() const;
+
+  /// Compressed intersection; both operands must have equal bit length.
+  static WahBitVector And(const WahBitVector& a, const WahBitVector& b);
+
+  /// Compressed union; both operands must have equal bit length.
+  static WahBitVector Or(const WahBitVector& a, const WahBitVector& b);
+
+  /// Number of set bits, computed on the compressed form.
+  uint64_t Count() const;
+
+  /// Logical size in bits.
+  uint64_t size() const { return num_bits_; }
+
+  /// Physical size of the compressed form.
+  uint64_t CompressedBytes() const { return words_.size() * sizeof(uint32_t); }
+
+  /// Dense size / compressed size (>= 1 means compression pays off).
+  double CompressionRatio() const;
+
+  bool operator==(const WahBitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+ private:
+  static constexpr uint32_t kFillFlag = 0x80000000u;
+  static constexpr uint32_t kFillValueBit = 0x40000000u;
+  static constexpr uint32_t kRunMask = 0x3FFFFFFFu;
+  static constexpr uint32_t kGroupBits = 31;
+  static constexpr uint32_t kAllOnes = 0x7FFFFFFFu;
+
+  // Streaming reader yielding 31-bit groups with run acceleration.
+  struct Decoder {
+    const std::vector<uint32_t>* words;
+    size_t pos = 0;
+    uint64_t fill_remaining = 0;
+    uint32_t fill_group = 0;
+
+    // Returns the next group; `run` is set to how many identical groups
+    // (including this one) are available cheaply.
+    uint32_t Next(uint64_t* run);
+    void Consume(uint64_t n);  // consume n-1 additional groups of last run
+  };
+
+  void AppendGroup(uint32_t group);
+  void AppendFill(uint32_t group, uint64_t count);
+
+  uint64_t num_bits_ = 0;
+  std::vector<uint32_t> words_;
+};
+
+}  // namespace warlock::bitmap
+
+#endif  // WARLOCK_BITMAP_WAH_H_

@@ -1,0 +1,75 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace warlock {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+CsvWriter& CsvWriter::BeginRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+CsvWriter& CsvWriter::Add(const std::string& cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(Escape(cell));
+  return *this;
+}
+
+CsvWriter& CsvWriter::Add(uint64_t v) { return Add(std::to_string(v)); }
+
+CsvWriter& CsvWriter::Add(int64_t v) { return Add(std::to_string(v)); }
+
+CsvWriter& CsvWriter::Add(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return Add(std::string(buf));
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << Escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f << ToString();
+  if (!f) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace warlock

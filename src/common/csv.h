@@ -1,0 +1,51 @@
+#ifndef WARLOCK_COMMON_CSV_H_
+#define WARLOCK_COMMON_CSV_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace warlock {
+
+/// Minimal CSV document builder with RFC-4180 quoting. Every report table in
+/// WARLOCK's analysis layer can be exported through this writer so that
+/// experiment outputs are machine-readable.
+class CsvWriter {
+ public:
+  /// Starts a document with the given column headers.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Begins a new row; subsequent Add* calls append cells to it.
+  CsvWriter& BeginRow();
+
+  /// Appends a string cell (quoted when necessary).
+  CsvWriter& Add(const std::string& cell);
+  /// Appends an integer cell.
+  CsvWriter& Add(uint64_t v);
+  /// Appends an integer cell.
+  CsvWriter& Add(int64_t v);
+  /// Appends a floating-point cell rendered with max precision.
+  CsvWriter& Add(double v);
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full document.
+  std::string ToString() const;
+
+  /// Writes the document to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_CSV_H_

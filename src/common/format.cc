@@ -1,0 +1,59 @@
+#include "common/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace warlock {
+
+namespace {
+
+std::string Printf(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  std::string out(buf);
+  out += suffix;
+  return out;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) return Printf("%.0f ", v, units[u]);
+  return Printf("%.2f ", v, units[u]);
+}
+
+std::string FormatCount(double count) {
+  const double a = std::fabs(count);
+  if (a >= 1e9) return Printf("%.2f", count / 1e9, "G");
+  if (a >= 1e6) return Printf("%.2f", count / 1e6, "M");
+  if (a >= 1e3) return Printf("%.2f", count / 1e3, "k");
+  if (a == std::floor(a)) return Printf("%.0f", count, "");
+  return Printf("%.2f", count, "");
+}
+
+std::string FormatFixed(double v, int digits) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", digits);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string FormatMillis(double ms) {
+  if (ms >= 1000.0) return Printf("%.2f", ms / 1000.0, " s");
+  if (ms >= 1.0) return Printf("%.2f", ms, " ms");
+  return Printf("%.1f", ms * 1000.0, " us");
+}
+
+std::string FormatPercent(double fraction) {
+  return Printf("%.1f", fraction * 100.0, "%");
+}
+
+}  // namespace warlock

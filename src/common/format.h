@@ -1,0 +1,27 @@
+#ifndef WARLOCK_COMMON_FORMAT_H_
+#define WARLOCK_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace warlock {
+
+/// "1.5 GB"-style rendering of a byte count (binary units).
+std::string FormatBytes(uint64_t bytes);
+
+/// "12.3k" / "4.5M"-style rendering of a count.
+std::string FormatCount(double count);
+
+/// Fixed-point rendering with `digits` decimals, e.g. FormatFixed(1.234, 2)
+/// == "1.23".
+std::string FormatFixed(double v, int digits);
+
+/// Milliseconds with adaptive precision, e.g. "12.4 ms", "3.21 s".
+std::string FormatMillis(double ms);
+
+/// Percentage with one decimal, e.g. "42.0%". Input is a fraction in [0,1].
+std::string FormatPercent(double fraction);
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_FORMAT_H_

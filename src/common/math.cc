@@ -1,0 +1,61 @@
+#include "common/math.h"
+
+#include <cmath>
+#include <limits>
+
+namespace warlock {
+
+uint32_t Log2Ceil(uint64_t n) {
+  if (n <= 1) return 0;
+  uint32_t bits = 0;
+  uint64_t v = n - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+double CardenasPageHits(uint64_t pages, uint64_t k) {
+  if (pages == 0) return 0.0;
+  if (k == 0) return 0.0;
+  const double m = static_cast<double>(pages);
+  // m * (1 - (1 - 1/m)^k), computed in log space for numeric stability.
+  const double log_term = static_cast<double>(k) * std::log1p(-1.0 / m);
+  return m * (1.0 - std::exp(log_term));
+}
+
+double YaoPageHits(uint64_t pages, uint64_t total_rows, uint64_t k) {
+  if (pages == 0 || k == 0 || total_rows == 0) return 0.0;
+  if (k >= total_rows) return static_cast<double>(pages);
+  if (pages == 1) return 1.0;
+  // Rows per page under the uniform-spread assumption.
+  const double n = static_cast<double>(total_rows) / static_cast<double>(pages);
+  // Yao: pages * (1 - prod_{i=0}^{k-1} (N - n - i) / (N - i)).
+  // The exact product is O(k); beyond a threshold the Cardenas approximation
+  // is indistinguishable (relative error < 1e-6 for k > ~10^4).
+  constexpr uint64_t kExactLimit = 20000;
+  if (k > kExactLimit) return CardenasPageHits(pages, k);
+  const double big_n = static_cast<double>(total_rows);
+  if (big_n - n < 1.0) return static_cast<double>(pages);
+  double log_prod = 0.0;
+  for (uint64_t i = 0; i < k; ++i) {
+    const double numer = big_n - n - static_cast<double>(i);
+    const double denom = big_n - static_cast<double>(i);
+    if (numer <= 0.0) return static_cast<double>(pages);
+    log_prod += std::log(numer / denom);
+  }
+  return static_cast<double>(pages) * (1.0 - std::exp(log_prod));
+}
+
+bool MulWouldOverflow(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return false;
+  return a > std::numeric_limits<uint64_t>::max() / b;
+}
+
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (MulWouldOverflow(a, b)) return std::numeric_limits<uint64_t>::max();
+  return a * b;
+}
+
+}  // namespace warlock

@@ -1,0 +1,42 @@
+#ifndef WARLOCK_COMMON_MATH_H_
+#define WARLOCK_COMMON_MATH_H_
+
+#include <cstdint>
+
+namespace warlock {
+
+/// Integer ceiling division; `b` must be > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Smallest k with 2^k >= n; `Log2Ceil(0) == 0`, `Log2Ceil(1) == 0`.
+/// This is the number of bit positions (bit slices) needed to encode `n`
+/// distinct values, as used by hierarchically encoded bitmap indexes.
+uint32_t Log2Ceil(uint64_t n);
+
+/// Expected number of distinct pages touched when `k` of `total_rows` rows
+/// qualify, the rows being uniformly spread over `pages` pages
+/// (`total_rows = pages * rows_per_page` conceptually).
+///
+/// Uses Yao's exact formula for small `k` and the Cardenas approximation
+/// `pages * (1 - (1 - 1/pages)^k)` beyond, which converges to the same value.
+/// This is the classical block-hit estimator used by the WARLOCK cost model
+/// to predict fact-table page accesses after bitmap filtering.
+double YaoPageHits(uint64_t pages, uint64_t total_rows, uint64_t k);
+
+/// Cardenas approximation of `YaoPageHits` (rows drawn with replacement).
+double CardenasPageHits(uint64_t pages, uint64_t k);
+
+/// Clamps `v` into [lo, hi].
+constexpr double ClampDouble(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Returns true iff `a * b` would overflow uint64.
+bool MulWouldOverflow(uint64_t a, uint64_t b);
+
+/// Saturating uint64 multiplication (caps at UINT64_MAX on overflow).
+uint64_t SaturatingMul(uint64_t a, uint64_t b);
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_MATH_H_

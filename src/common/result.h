@@ -1,0 +1,84 @@
+#ifndef WARLOCK_COMMON_RESULT_H_
+#define WARLOCK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace warlock {
+
+/// A value-or-error holder, the `Status` analogue of `std::expected`.
+///
+/// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing the value of an error result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`. Intentionally implicit so that
+  /// functions can `return value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an error result from a non-OK status. Intentionally implicit
+  /// so that functions can `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// The held value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+
+  /// The held value; must only be called when `ok()`.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the held value out; must only be called when `ok()`.
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; otherwise assigns the
+/// value to `lhs`. `lhs` may declare a new variable.
+#define WARLOCK_ASSIGN_OR_RETURN(lhs, expr)                      \
+  WARLOCK_ASSIGN_OR_RETURN_IMPL_(                                \
+      WARLOCK_RESULT_CONCAT_(_warlock_result_, __LINE__), lhs, expr)
+
+#define WARLOCK_RESULT_CONCAT_INNER_(a, b) a##b
+#define WARLOCK_RESULT_CONCAT_(a, b) WARLOCK_RESULT_CONCAT_INNER_(a, b)
+
+#define WARLOCK_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_RESULT_H_

@@ -1,0 +1,41 @@
+#ifndef WARLOCK_COMMON_RNG_H_
+#define WARLOCK_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace warlock {
+
+/// Deterministic 64-bit PRNG (splitmix64). All randomized components of
+/// WARLOCK (query instantiation sampling, synthetic data generation, the disk
+/// simulator) take explicit seeds so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Derives an independent child generator; useful to give each query class
+  /// or fragment its own stable stream.
+  Rng Fork(uint64_t salt) { return Rng(Next() ^ (salt * 0x2545F4914F6CDD1DULL)); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_RNG_H_

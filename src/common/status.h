@@ -1,0 +1,104 @@
+#ifndef WARLOCK_COMMON_STATUS_H_
+#define WARLOCK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace warlock {
+
+/// Error/result status for fallible operations.
+///
+/// WARLOCK follows the database-systems convention (RocksDB, LevelDB, Arrow)
+/// of returning a `Status` rather than throwing exceptions. A default
+/// constructed `Status` is OK; error states carry a code and a message.
+class Status {
+ public:
+  /// Broad error categories. Codes are stable; messages are free-form.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kOutOfRange = 3,
+    kFailedPrecondition = 4,
+    kResourceExhausted = 5,
+    kInternal = 6,
+    kIoError = 7,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// Returns an error for a malformed or out-of-domain argument.
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+
+  /// Returns an error for a missing entity (name lookup failures etc.).
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+
+  /// Returns an error for an index or value outside its valid range.
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+
+  /// Returns an error for an operation invoked in the wrong state.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  /// Returns an error for an exhausted resource (capacity, budget).
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  /// Returns an error for an internal invariant violation.
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  /// Returns an error for a failed I/O operation (config files etc.).
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// The status code.
+  Code code() const { return code_; }
+
+  /// The human-readable message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Returns the symbolic name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(Status::Code code);
+
+/// Propagates an error status from the current function.
+#define WARLOCK_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::warlock::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_STATUS_H_

@@ -1,0 +1,75 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace warlock {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::BeginRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::Add(const std::string& cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back({cell, false});
+  return *this;
+}
+
+TextTable& TextTable::AddNumeric(const std::string& cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back({cell, true});
+  return *this;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].text.size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w, bool right) {
+    std::string out;
+    if (right) out.append(w - std::min(w, s.size()), ' ');
+    out += s;
+    if (!right) out.append(w - std::min(w, s.size()), ' ');
+    return out;
+  };
+  std::ostringstream os;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << " | ";
+    os << pad(header_[i], width[i], false);
+  }
+  os << '\n';
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << "-+-";
+    os << std::string(width[i], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << " | ";
+      os << pad(row[i].text, i < width.size() ? width[i] : row[i].text.size(),
+                row[i].right_align);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string AsciiBar(double fraction, size_t width) {
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const size_t filled =
+      static_cast<size_t>(fraction * static_cast<double>(width) + 0.5);
+  std::string out(filled, '#');
+  out.append(width - filled, '.');
+  return out;
+}
+
+}  // namespace warlock

@@ -1,0 +1,48 @@
+#ifndef WARLOCK_COMMON_TEXT_TABLE_H_
+#define WARLOCK_COMMON_TEXT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warlock {
+
+/// Fixed-width ASCII table renderer. WARLOCK's original GUI presents ranked
+/// candidate lists and per-query statistics in tabular views; the C++ port
+/// renders the same views as monospace text.
+class TextTable {
+ public:
+  /// Starts a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begins a new row.
+  TextTable& BeginRow();
+  /// Appends a left-aligned string cell.
+  TextTable& Add(const std::string& cell);
+  /// Appends a right-aligned numeric cell.
+  TextTable& AddNumeric(const std::string& cell);
+
+  /// Number of data rows.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column separators and a header rule.
+  std::string ToString() const;
+
+ private:
+  struct Cell {
+    std::string text;
+    bool right_align = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Renders a horizontal ASCII bar of `width` characters filled proportionally
+/// to `fraction` in [0,1], e.g. "#####....." — used for disk occupancy and
+/// disk access profiles.
+std::string AsciiBar(double fraction, size_t width);
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,86 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <deque>
+#include <string>
+
+namespace warlock {
+
+Result<std::vector<double>> ZipfWeights(uint64_t n, double theta) {
+  if (n == 0) return Status::InvalidArgument("ZipfWeights: n must be > 0");
+  if (theta < 0.0) {
+    return Status::InvalidArgument("ZipfWeights: theta must be >= 0, got " +
+                                   std::to_string(theta));
+  }
+  std::vector<double> w(n);
+  if (theta == 0.0) {
+    const double u = 1.0 / static_cast<double>(n);
+    for (auto& x : w) x = u;
+    return w;
+  }
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -theta);
+    sum += w[i];
+  }
+  for (auto& x : w) x /= sum;
+  return w;
+}
+
+Result<AliasSampler> AliasSampler::Create(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("AliasSampler: empty weight vector");
+  }
+  if (weights.size() > UINT32_MAX) {
+    return Status::InvalidArgument("AliasSampler: too many values");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("AliasSampler: negative/non-finite weight");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("AliasSampler: weights sum to zero");
+  }
+  const uint64_t n = weights.size();
+  std::vector<double> prob(n);
+  std::vector<uint32_t> alias(n);
+  // Scaled probabilities; classic two-worklist alias construction.
+  std::vector<double> scaled(n);
+  std::deque<uint32_t> small, large;
+  for (uint64_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] / sum * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.front();
+    small.pop_front();
+    const uint32_t l = large.front();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_front();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t i : large) {
+    prob[i] = 1.0;
+    alias[i] = i;
+  }
+  for (uint32_t i : small) {
+    // Only reachable through floating-point round-off; treat as certain.
+    prob[i] = 1.0;
+    alias[i] = i;
+  }
+  return AliasSampler(std::move(prob), std::move(alias));
+}
+
+uint64_t AliasSampler::Sample(Rng& rng) const {
+  const uint64_t i = rng.Uniform(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace warlock

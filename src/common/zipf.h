@@ -1,0 +1,47 @@
+#ifndef WARLOCK_COMMON_ZIPF_H_
+#define WARLOCK_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace warlock {
+
+/// Normalized Zipf(theta) weights over `n` values: weight of rank-i value
+/// (i from 0) is proportional to 1/(i+1)^theta. `theta == 0` is uniform;
+/// larger theta skews mass toward low ranks. This is the "zipf-like data
+/// distribution" WARLOCK's input layer accepts for the bottom level of each
+/// dimension.
+///
+/// Returns InvalidArgument for n == 0 or theta < 0.
+Result<std::vector<double>> ZipfWeights(uint64_t n, double theta);
+
+/// Samples from a fixed discrete distribution in O(1) using Walker's alias
+/// method. Used by the synthetic data generator to draw dimension values
+/// according to (possibly skewed) level weights.
+class AliasSampler {
+ public:
+  /// Builds the sampler; `weights` need not be normalized but must be
+  /// non-empty, non-negative, with a positive sum.
+  static Result<AliasSampler> Create(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Number of values in the distribution.
+  uint64_t size() const { return prob_.size(); }
+
+ private:
+  AliasSampler(std::vector<double> prob, std::vector<uint32_t> alias)
+      : prob_(std::move(prob)), alias_(std::move(alias)) {}
+
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_ZIPF_H_

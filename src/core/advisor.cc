@@ -1,0 +1,278 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "fragment/fragment_sizes.h"
+
+namespace warlock::core {
+
+namespace {
+
+// Total bitmap storage of a scheme over all fragments.
+double BitmapStorageBytes(const fragment::FragmentSizes& sizes,
+                          const bitmap::BitmapScheme& scheme) {
+  double total = 0.0;
+  for (uint64_t f = 0; f < sizes.num_fragments(); ++f) {
+    total += scheme.StoredBytesPerFragment(sizes.rows(f));
+  }
+  return total;
+}
+
+}  // namespace
+
+Advisor::Advisor(const schema::StarSchema& schema,
+                 const workload::QueryMix& mix, ToolConfig config)
+    : schema_(schema), mix_(mix), config_(std::move(config)) {}
+
+Result<EvaluatedCandidate> Advisor::FullyEvaluate(
+    const fragment::Fragmentation& fragmentation,
+    const Overrides& overrides) const {
+  cost::CostParameters params = config_.cost;
+  params.force_expected = false;
+  if (overrides.num_disks.has_value()) {
+    params.disks.num_disks = *overrides.num_disks;
+  }
+  WARLOCK_RETURN_IF_ERROR(params.disks.Validate());
+
+  EvaluatedCandidate ec;
+  ec.fragmentation = fragmentation;
+
+  WARLOCK_ASSIGN_OR_RETURN(
+      fragment::FragmentSizes sizes,
+      fragment::FragmentSizes::Compute(fragmentation, schema_,
+                                       config_.fact_index,
+                                       params.disks.page_size_bytes,
+                                       config_.thresholds.max_fragments));
+  ec.num_fragments = sizes.num_fragments();
+  ec.total_pages = sizes.TotalPages();
+  ec.avg_fragment_pages = sizes.AvgPages();
+  ec.size_skew_factor = sizes.SkewFactor();
+
+  bitmap::BitmapScheme scheme =
+      bitmap::BitmapScheme::Select(schema_, config_.bitmap_options);
+  for (const auto& [dim, level] : overrides.excluded_bitmaps) {
+    WARLOCK_RETURN_IF_ERROR(scheme.Exclude(dim, level));
+  }
+  ec.bitmap_storage_bytes = BitmapStorageBytes(sizes, scheme);
+
+  alloc::AllocationScheme alloc_scheme;
+  if (overrides.allocation_scheme.has_value()) {
+    alloc_scheme = *overrides.allocation_scheme;
+  } else {
+    switch (config_.allocation) {
+      case AllocationPolicy::kRoundRobin:
+        alloc_scheme = alloc::AllocationScheme::kRoundRobin;
+        break;
+      case AllocationPolicy::kGreedy:
+        alloc_scheme = alloc::AllocationScheme::kGreedy;
+        break;
+      case AllocationPolicy::kAuto:
+      default:
+        alloc_scheme = alloc::ChooseScheme(sizes, config_.skew_threshold);
+        break;
+    }
+  }
+  ec.allocation_scheme = alloc_scheme;
+  WARLOCK_ASSIGN_OR_RETURN(
+      alloc::DiskAllocation allocation,
+      alloc::Allocate(alloc_scheme, sizes, scheme, params.disks.num_disks));
+  ec.allocation_balance = allocation.BalanceRatio();
+  ec.disk_bytes = allocation.disk_bytes();
+  WARLOCK_RETURN_IF_ERROR(
+      allocation.ValidateCapacity(params.disks.disk_capacity_bytes));
+
+  // Prefetch granule determination.
+  if (overrides.fact_granule.has_value() ||
+      overrides.bitmap_granule.has_value() ||
+      config_.prefetch == PrefetchPolicy::kFixed) {
+    if (overrides.fact_granule.has_value()) {
+      params.fact_granule = *overrides.fact_granule;
+    }
+    if (overrides.bitmap_granule.has_value()) {
+      params.bitmap_granule = *overrides.bitmap_granule;
+    }
+  } else {
+    const cost::PrefetchChoice choice = cost::OptimizePrefetch(
+        schema_, config_.fact_index, fragmentation, sizes, scheme,
+        allocation, mix_, params);
+    params.fact_granule = choice.fact_granule;
+    params.bitmap_granule = choice.bitmap_granule;
+  }
+  ec.fact_granule = params.fact_granule;
+  ec.bitmap_granule = params.bitmap_granule;
+
+  const cost::QueryCostModel model(schema_, config_.fact_index,
+                                   fragmentation, sizes, scheme, allocation,
+                                   params);
+  ec.cost = cost::CostMix(model, mix_, params.seed);
+  ec.fully_evaluated = true;
+  return ec;
+}
+
+Result<EvaluatedCandidate> Advisor::EvaluateOne(
+    const fragment::Fragmentation& fragmentation,
+    const Overrides& overrides) const {
+  return FullyEvaluate(fragmentation, overrides);
+}
+
+Result<std::vector<double>> Advisor::DiskAccessProfile(
+    const fragment::Fragmentation& fragmentation,
+    const workload::QueryClass& qc, const Overrides& overrides) const {
+  cost::CostParameters params = config_.cost;
+  if (overrides.num_disks.has_value()) {
+    params.disks.num_disks = *overrides.num_disks;
+  }
+  if (overrides.fact_granule.has_value()) {
+    params.fact_granule = *overrides.fact_granule;
+  }
+  if (overrides.bitmap_granule.has_value()) {
+    params.bitmap_granule = *overrides.bitmap_granule;
+  }
+  WARLOCK_RETURN_IF_ERROR(params.disks.Validate());
+  WARLOCK_ASSIGN_OR_RETURN(
+      fragment::FragmentSizes sizes,
+      fragment::FragmentSizes::Compute(fragmentation, schema_,
+                                       config_.fact_index,
+                                       params.disks.page_size_bytes,
+                                       config_.thresholds.max_fragments));
+  bitmap::BitmapScheme scheme =
+      bitmap::BitmapScheme::Select(schema_, config_.bitmap_options);
+  for (const auto& [dim, level] : overrides.excluded_bitmaps) {
+    WARLOCK_RETURN_IF_ERROR(scheme.Exclude(dim, level));
+  }
+  const alloc::AllocationScheme alloc_scheme =
+      overrides.allocation_scheme.value_or(
+          alloc::ChooseScheme(sizes, config_.skew_threshold));
+  WARLOCK_ASSIGN_OR_RETURN(
+      alloc::DiskAllocation allocation,
+      alloc::Allocate(alloc_scheme, sizes, scheme, params.disks.num_disks));
+  const cost::QueryCostModel model(schema_, config_.fact_index,
+                                   fragmentation, sizes, scheme, allocation,
+                                   params);
+
+  std::vector<double> profile(params.disks.num_disks, 0.0);
+  Rng rng(params.seed ^ 0xD15CACCE55ULL);
+  const uint32_t samples = std::max<uint32_t>(1, params.samples_per_class);
+  for (uint32_t s = 0; s < samples; ++s) {
+    const workload::ConcreteQuery cq =
+        workload::Instantiate(qc, schema_, rng, params.value_distribution);
+    const std::vector<double> one = model.DiskProfile(cq);
+    for (size_t d = 0; d < profile.size(); ++d) {
+      profile[d] += one[d] / static_cast<double>(samples);
+    }
+  }
+  return profile;
+}
+
+Result<AdvisorResult> Advisor::Run() const {
+  WARLOCK_RETURN_IF_ERROR(config_.cost.disks.Validate());
+  WARLOCK_ASSIGN_OR_RETURN(
+      std::vector<fragment::Candidate> raw,
+      fragment::EnumerateCandidates(schema_, config_.fact_index,
+                                    config_.cost.disks.page_size_bytes,
+                                    config_.thresholds));
+
+  AdvisorResult result;
+  result.enumerated = raw.size();
+  result.candidates.reserve(raw.size());
+
+  // Phase 1: screening with the expected-value model (allocation-agnostic,
+  // cheap enough for the whole space).
+  cost::CostParameters screen_params = config_.cost;
+  screen_params.force_expected = true;
+  const alloc::DiskAllocation dummy_alloc(
+      screen_params.disks.num_disks, {}, {}, {}, {});
+  const bitmap::BitmapScheme scheme =
+      bitmap::BitmapScheme::Select(schema_, config_.bitmap_options);
+
+  std::vector<size_t> included;
+  for (fragment::Candidate& cand : raw) {
+    EvaluatedCandidate ec;
+    ec.fragmentation = cand.fragmentation;
+    ec.excluded = cand.excluded;
+    ec.exclusion_reason = std::move(cand.exclusion_reason);
+    if (!ec.excluded) {
+      auto sizes_or = fragment::FragmentSizes::Compute(
+          ec.fragmentation, schema_, config_.fact_index,
+          screen_params.disks.page_size_bytes,
+          config_.thresholds.max_fragments);
+      if (!sizes_or.ok()) {
+        ec.excluded = true;
+        ec.exclusion_reason = sizes_or.status().message();
+      } else {
+        const fragment::FragmentSizes& sizes = *sizes_or;
+        ec.num_fragments = sizes.num_fragments();
+        ec.total_pages = sizes.TotalPages();
+        ec.avg_fragment_pages = sizes.AvgPages();
+        ec.size_skew_factor = sizes.SkewFactor();
+        ec.bitmap_storage_bytes = BitmapStorageBytes(sizes, scheme);
+        const cost::QueryCostModel model(schema_, config_.fact_index,
+                                         ec.fragmentation, sizes, scheme,
+                                         dummy_alloc, screen_params);
+        const cost::MixCost mc = cost::CostMix(model, mix_,
+                                               screen_params.seed);
+        ec.screening_io_work_ms = mc.io_work_ms;
+        included.push_back(result.candidates.size());
+      }
+    }
+    if (ec.excluded) ++result.excluded;
+    result.candidates.push_back(std::move(ec));
+  }
+  result.screened = included.size();
+
+  // Phase 2: the leading X% by I/O work get the full allocation-aware
+  // evaluation (WARLOCK's heuristic prefers fragmentations reducing overall
+  // I/O, which also serves multi-user throughput).
+  std::sort(included.begin(), included.end(), [&](size_t a, size_t b) {
+    return result.candidates[a].screening_io_work_ms <
+           result.candidates[b].screening_io_work_ms;
+  });
+  size_t leading = static_cast<size_t>(std::ceil(
+      config_.ranking.leading_fraction *
+      static_cast<double>(included.size())));
+  leading = std::max(leading, std::min(config_.ranking.top_k,
+                                       included.size()));
+  leading = std::min(leading, included.size());
+
+  for (size_t i = 0; i < leading; ++i) {
+    const size_t ci = included[i];
+    auto full_or = FullyEvaluate(result.candidates[ci].fragmentation, {});
+    if (!full_or.ok()) {
+      // E.g. capacity violation at this disk count: record as excluded.
+      result.candidates[ci].excluded = true;
+      result.candidates[ci].exclusion_reason = full_or.status().message();
+      ++result.excluded;
+      continue;
+    }
+    EvaluatedCandidate full = std::move(full_or).value();
+    full.screening_io_work_ms = result.candidates[ci].screening_io_work_ms;
+    result.candidates[ci] = std::move(full);
+    ++result.fully_evaluated;
+  }
+
+  // Final ranking: response time over the fully evaluated set.
+  std::vector<size_t> ranked;
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    if (result.candidates[i].fully_evaluated &&
+        !result.candidates[i].excluded) {
+      ranked.push_back(i);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](size_t a, size_t b) {
+    const auto& ca = result.candidates[a];
+    const auto& cb = result.candidates[b];
+    if (ca.cost.response_ms != cb.cost.response_ms) {
+      return ca.cost.response_ms < cb.cost.response_ms;
+    }
+    return ca.cost.io_work_ms < cb.cost.io_work_ms;
+  });
+  if (ranked.size() > config_.ranking.top_k) {
+    ranked.resize(config_.ranking.top_k);
+  }
+  result.ranking = std::move(ranked);
+  return result;
+}
+
+}  // namespace warlock::core

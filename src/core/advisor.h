@@ -1,0 +1,124 @@
+#ifndef WARLOCK_CORE_ADVISOR_H_
+#define WARLOCK_CORE_ADVISOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocators.h"
+#include "common/result.h"
+#include "core/tool_config.h"
+#include "cost/mix_cost.h"
+#include "cost/prefetch.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock::core {
+
+/// One fragmentation candidate after the prediction layer ran over it.
+struct EvaluatedCandidate {
+  fragment::Fragmentation fragmentation;
+
+  /// Threshold verdict (excluded candidates carry no cost figures).
+  bool excluded = false;
+  std::string exclusion_reason;
+
+  /// Database statistics.
+  uint64_t num_fragments = 0;
+  uint64_t total_pages = 0;
+  double avg_fragment_pages = 0.0;
+  double size_skew_factor = 1.0;
+
+  /// Bitmap scheme storage over all fragments, in bytes.
+  double bitmap_storage_bytes = 0.0;
+
+  /// Chosen allocation scheme and its balance (max/avg occupancy).
+  alloc::AllocationScheme allocation_scheme =
+      alloc::AllocationScheme::kRoundRobin;
+  double allocation_balance = 1.0;
+  /// Occupied bytes per disk under the chosen allocation.
+  std::vector<uint64_t> disk_bytes;
+
+  /// Prefetch granule suggestion (pages) for fact and bitmap access.
+  uint64_t fact_granule = 1;
+  uint64_t bitmap_granule = 1;
+
+  /// Screening-phase weighted I/O work (expected-value model).
+  double screening_io_work_ms = 0.0;
+
+  /// Full evaluation (populated for candidates that reached phase 2).
+  bool fully_evaluated = false;
+  cost::MixCost cost;
+};
+
+/// Output of `Advisor::Run`: the complete candidate space with verdicts and
+/// costs, plus the twofold ranking.
+struct AdvisorResult {
+  /// Every enumerated candidate, in enumeration order.
+  std::vector<EvaluatedCandidate> candidates;
+
+  /// Indices into `candidates` of the reported top fragmentations: the
+  /// leading X% by I/O work, re-ranked by response time, truncated to
+  /// top_k.
+  std::vector<size_t> ranking;
+
+  /// Bookkeeping for the analysis layer.
+  size_t enumerated = 0;
+  size_t excluded = 0;
+  size_t screened = 0;        ///< candidates costed with the screening model
+  size_t fully_evaluated = 0; ///< candidates costed with the full model
+};
+
+/// The WARLOCK prediction layer: generation of fragmentations & bitmap
+/// schemes, threshold exclusion, twofold cost ranking, and physical
+/// allocation — the automated path from DBA input to a recommended disk
+/// allocation.
+class Advisor {
+ public:
+  /// `schema` and `mix` must outlive the advisor.
+  Advisor(const schema::StarSchema& schema, const workload::QueryMix& mix,
+          ToolConfig config);
+
+  /// Runs the full pipeline.
+  Result<AdvisorResult> Run() const;
+
+  /// Evaluates a single fragmentation with the full (phase-2) model —
+  /// the building block of interactive what-if tuning. `overrides` fields
+  /// that are set replace the corresponding config values.
+  struct Overrides {
+    std::optional<uint32_t> num_disks;
+    std::optional<uint64_t> fact_granule;
+    std::optional<uint64_t> bitmap_granule;
+    std::optional<alloc::AllocationScheme> allocation_scheme;
+    /// Bitmap indexes to drop, e.g. to limit space requirements.
+    std::vector<std::pair<uint32_t, uint32_t>> excluded_bitmaps;
+  };
+  Result<EvaluatedCandidate> EvaluateOne(
+      const fragment::Fragmentation& fragmentation,
+      const Overrides& overrides = {}) const;
+
+  /// Per-disk busy-time profile of one query class under a fragmentation —
+  /// the data behind the analysis layer's disk access visualization.
+  Result<std::vector<double>> DiskAccessProfile(
+      const fragment::Fragmentation& fragmentation,
+      const workload::QueryClass& qc, const Overrides& overrides = {}) const;
+
+  const schema::StarSchema& schema() const { return schema_; }
+  const workload::QueryMix& mix() const { return mix_; }
+  const ToolConfig& config() const { return config_; }
+
+ private:
+  // Shared phase-2 evaluation; fills everything but the screening figure.
+  Result<EvaluatedCandidate> FullyEvaluate(
+      const fragment::Fragmentation& fragmentation,
+      const Overrides& overrides) const;
+
+  const schema::StarSchema& schema_;
+  const workload::QueryMix& mix_;
+  ToolConfig config_;
+};
+
+}  // namespace warlock::core
+
+#endif  // WARLOCK_CORE_ADVISOR_H_

@@ -1,0 +1,159 @@
+#include "core/config_text.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace warlock::core {
+
+namespace {
+
+Result<double> ParseNum(const std::string& tok, const std::string& key,
+                        size_t line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": invalid value '" + tok + "' for " +
+                                   key);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<ToolConfig> ToolConfigFromText(std::string_view text) {
+  ToolConfig config;
+  std::istringstream input{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    std::istringstream is(line);
+    std::string key, value;
+    if (!(is >> key)) continue;
+    if (key[0] == '#') continue;
+    if (!(is >> value)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": key '" + key + "' without value");
+    }
+    std::string extra;
+    if (is >> extra && extra[0] != '#') {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unexpected token '" + extra + "'");
+    }
+
+    if (key == "fact_granule" || key == "bitmap_granule") {
+      uint64_t granule = 0;
+      if (value != "auto") {
+        WARLOCK_ASSIGN_OR_RETURN(double v, ParseNum(value, key, line_no));
+        if (v < 1) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": granule must be >= 1 or 'auto'");
+        }
+        granule = static_cast<uint64_t>(v);
+        config.prefetch = PrefetchPolicy::kFixed;
+      }
+      if (key == "fact_granule") {
+        if (granule != 0) config.cost.fact_granule = granule;
+      } else {
+        if (granule != 0) config.cost.bitmap_granule = granule;
+      }
+      continue;
+    }
+    if (key == "allocation") {
+      if (value == "auto") {
+        config.allocation = AllocationPolicy::kAuto;
+      } else if (value == "roundrobin") {
+        config.allocation = AllocationPolicy::kRoundRobin;
+      } else if (value == "greedy") {
+        config.allocation = AllocationPolicy::kGreedy;
+      } else {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": unknown allocation '" + value +
+                                       "'");
+      }
+      continue;
+    }
+
+    WARLOCK_ASSIGN_OR_RETURN(double v, ParseNum(value, key, line_no));
+    if (key == "disks") {
+      config.cost.disks.num_disks = static_cast<uint32_t>(v);
+    } else if (key == "page_size") {
+      config.cost.disks.page_size_bytes = static_cast<uint32_t>(v);
+    } else if (key == "disk_capacity_gb") {
+      config.cost.disks.disk_capacity_bytes =
+          static_cast<uint64_t>(v * (1ULL << 30));
+    } else if (key == "seek_ms") {
+      config.cost.disks.avg_seek_ms = v;
+    } else if (key == "rotational_ms") {
+      config.cost.disks.avg_rotational_ms = v;
+    } else if (key == "transfer_mbs") {
+      config.cost.disks.transfer_mb_per_s = v;
+    } else if (key == "max_fragments") {
+      config.thresholds.max_fragments = static_cast<uint64_t>(v);
+    } else if (key == "min_avg_fragment_pages") {
+      config.thresholds.min_avg_fragment_pages = static_cast<uint64_t>(v);
+    } else if (key == "max_dimensions") {
+      config.thresholds.max_dimensions = static_cast<uint32_t>(v);
+    } else if (key == "standard_max_cardinality") {
+      config.bitmap_options.standard_max_cardinality =
+          static_cast<uint64_t>(v);
+    } else if (key == "leading_fraction") {
+      if (v <= 0.0 || v > 1.0) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": leading_fraction must be in (0,1]");
+      }
+      config.ranking.leading_fraction = v;
+    } else if (key == "top_k") {
+      config.ranking.top_k = static_cast<size_t>(v);
+    } else if (key == "samples_per_class") {
+      config.cost.samples_per_class = static_cast<uint32_t>(v);
+    } else if (key == "seed") {
+      config.cost.seed = static_cast<uint64_t>(v);
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown key '" + key + "'");
+    }
+  }
+  WARLOCK_RETURN_IF_ERROR(config.cost.disks.Validate());
+  return config;
+}
+
+std::string ToolConfigToText(const ToolConfig& config) {
+  std::ostringstream os;
+  os << "disks " << config.cost.disks.num_disks << "\n";
+  os << "page_size " << config.cost.disks.page_size_bytes << "\n";
+  os << "disk_capacity_gb "
+     << static_cast<double>(config.cost.disks.disk_capacity_bytes) /
+            static_cast<double>(1ULL << 30)
+     << "\n";
+  os << "seek_ms " << config.cost.disks.avg_seek_ms << "\n";
+  os << "rotational_ms " << config.cost.disks.avg_rotational_ms << "\n";
+  os << "transfer_mbs " << config.cost.disks.transfer_mb_per_s << "\n";
+  if (config.prefetch == PrefetchPolicy::kAuto) {
+    os << "fact_granule auto\nbitmap_granule auto\n";
+  } else {
+    os << "fact_granule " << config.cost.fact_granule << "\n";
+    os << "bitmap_granule " << config.cost.bitmap_granule << "\n";
+  }
+  os << "max_fragments " << config.thresholds.max_fragments << "\n";
+  os << "min_avg_fragment_pages " << config.thresholds.min_avg_fragment_pages
+     << "\n";
+  os << "max_dimensions " << config.thresholds.max_dimensions << "\n";
+  os << "standard_max_cardinality "
+     << config.bitmap_options.standard_max_cardinality << "\n";
+  os << "leading_fraction " << config.ranking.leading_fraction << "\n";
+  os << "top_k " << config.ranking.top_k << "\n";
+  const char* alloc = config.allocation == AllocationPolicy::kAuto
+                          ? "auto"
+                          : (config.allocation == AllocationPolicy::kGreedy
+                                 ? "greedy"
+                                 : "roundrobin");
+  os << "allocation " << alloc << "\n";
+  os << "samples_per_class " << config.cost.samples_per_class << "\n";
+  os << "seed " << config.cost.seed << "\n";
+  return os.str();
+}
+
+}  // namespace warlock::core

@@ -1,0 +1,34 @@
+#ifndef WARLOCK_CORE_CONFIG_TEXT_H_
+#define WARLOCK_CORE_CONFIG_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/tool_config.h"
+
+namespace warlock::core {
+
+/// Plain-text tool configuration, the third artifact of WARLOCK's input
+/// layer (besides the schema and workload files). Line-based `key value`
+/// pairs; `#` starts a comment; unknown keys are rejected. Keys:
+///
+/// ```
+/// disks <n>                       page_size <bytes>
+/// disk_capacity_gb <gb>           seek_ms <ms>
+/// rotational_ms <ms>              transfer_mbs <MB/s>
+/// fact_granule <pages|auto>       bitmap_granule <pages|auto>
+/// max_fragments <n>               min_avg_fragment_pages <n>
+/// max_dimensions <n>              standard_max_cardinality <n>
+/// leading_fraction <0..1>         top_k <n>
+/// allocation <auto|roundrobin|greedy>
+/// samples_per_class <n>           seed <n>
+/// ```
+Result<ToolConfig> ToolConfigFromText(std::string_view text);
+
+/// Inverse of `ToolConfigFromText`; round-trips.
+std::string ToolConfigToText(const ToolConfig& config);
+
+}  // namespace warlock::core
+
+#endif  // WARLOCK_CORE_CONFIG_TEXT_H_

@@ -1,0 +1,70 @@
+#ifndef WARLOCK_CORE_TOOL_CONFIG_H_
+#define WARLOCK_CORE_TOOL_CONFIG_H_
+
+#include <cstdint>
+
+#include "bitmap/scheme.h"
+#include "cost/query_cost.h"
+#include "fragment/candidates.h"
+
+namespace warlock::core {
+
+/// How fragments (and bitmap bundles) are placed on disk.
+enum class AllocationPolicy {
+  /// WARLOCK's default: greedy size-based under notable data skew, logical
+  /// round-robin otherwise.
+  kAuto,
+  kRoundRobin,
+  kGreedy,
+};
+
+/// How prefetching granules are chosen.
+enum class PrefetchPolicy {
+  /// WARLOCK determines optimal granules per candidate (they differ
+  /// strongly between fact tables and bitmaps).
+  kAuto,
+  /// Use the fixed granules of CostParameters.
+  kFixed,
+};
+
+/// Twofold-ranking parameters: candidates are first ordered by overall I/O
+/// work; the leading `leading_fraction` share is then re-ranked by response
+/// time and the best `top_k` are reported.
+struct RankingOptions {
+  double leading_fraction = 0.25;
+  size_t top_k = 10;
+};
+
+/// Everything WARLOCK's input layer collects, minus the schema and query
+/// mix themselves (which are passed alongside — they are independent
+/// artifacts the DBA may swap while tuning interactively).
+struct ToolConfig {
+  /// Index of the fact table to fragment.
+  size_t fact_index = 0;
+
+  /// Cost-model knobs (disk parameters, granules, sampling).
+  cost::CostParameters cost;
+
+  /// Candidate-exclusion thresholds.
+  fragment::Thresholds thresholds;
+
+  /// Bitmap scheme selection.
+  bitmap::SchemeOptions bitmap_options;
+
+  /// Allocation scheme policy.
+  AllocationPolicy allocation = AllocationPolicy::kAuto;
+
+  /// Prefetch determination policy.
+  PrefetchPolicy prefetch = PrefetchPolicy::kAuto;
+
+  /// Twofold ranking parameters.
+  RankingOptions ranking;
+
+  /// Skew threshold for AllocationPolicy::kAuto (size-skew factor above
+  /// which greedy replaces round-robin).
+  double skew_threshold = 1.25;
+};
+
+}  // namespace warlock::core
+
+#endif  // WARLOCK_CORE_TOOL_CONFIG_H_

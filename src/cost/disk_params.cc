@@ -1,0 +1,24 @@
+#include "cost/disk_params.h"
+
+namespace warlock::cost {
+
+Status DiskParameters::Validate() const {
+  if (page_size_bytes == 0) {
+    return Status::InvalidArgument("page size must be > 0");
+  }
+  if (num_disks == 0) {
+    return Status::InvalidArgument("at least one disk is required");
+  }
+  if (disk_capacity_bytes == 0) {
+    return Status::InvalidArgument("disk capacity must be > 0");
+  }
+  if (!(avg_seek_ms >= 0.0) || !(avg_rotational_ms >= 0.0)) {
+    return Status::InvalidArgument("seek/rotational times must be >= 0");
+  }
+  if (!(transfer_mb_per_s > 0.0)) {
+    return Status::InvalidArgument("transfer rate must be > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace warlock::cost

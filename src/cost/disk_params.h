@@ -1,0 +1,48 @@
+#ifndef WARLOCK_COST_DISK_PARAMS_H_
+#define WARLOCK_COST_DISK_PARAMS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace warlock::cost {
+
+/// Database and disk parameters of WARLOCK's input layer: page size, number
+/// of disks and their capacity, average seek / rotational / transfer times.
+/// Defaults model a 2001-era parallel warehouse server (7200 rpm drives on a
+/// Shared Everything node).
+struct DiskParameters {
+  /// Database page size in bytes.
+  uint32_t page_size_bytes = 8192;
+
+  /// Number of disks data is declustered over.
+  uint32_t num_disks = 64;
+
+  /// Per-disk capacity.
+  uint64_t disk_capacity_bytes = 16ULL << 30;
+
+  /// Average seek time.
+  double avg_seek_ms = 8.0;
+
+  /// Average rotational delay (half a revolution; ~4.2 ms at 7200 rpm).
+  double avg_rotational_ms = 4.2;
+
+  /// Sustained sequential transfer rate.
+  double transfer_mb_per_s = 25.0;
+
+  /// Positioning time of one physical I/O (seek + rotational delay).
+  double PositioningMs() const { return avg_seek_ms + avg_rotational_ms; }
+
+  /// Transfer time of one page.
+  double TransferMsPerPage() const {
+    return static_cast<double>(page_size_bytes) /
+           (transfer_mb_per_s * 1e6) * 1e3;
+  }
+
+  /// Validates all parameters are positive.
+  Status Validate() const;
+};
+
+}  // namespace warlock::cost
+
+#endif  // WARLOCK_COST_DISK_PARAMS_H_

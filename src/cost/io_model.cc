@@ -1,0 +1,23 @@
+#include "cost/io_model.h"
+
+#include "common/math.h"
+
+namespace warlock::cost {
+
+uint64_t IoModel::SequentialIoCount(uint64_t pages, uint64_t granule) const {
+  if (pages == 0) return 0;
+  if (granule == 0) granule = 1;
+  return CeilDiv(pages, granule);
+}
+
+double IoModel::SequentialReadMs(uint64_t pages, uint64_t granule) const {
+  if (pages == 0) return 0.0;
+  if (granule == 0) granule = 1;
+  const uint64_t full = pages / granule;
+  const uint64_t tail = pages % granule;
+  double ms = static_cast<double>(full) * IoTimeMs(granule);
+  if (tail != 0) ms += IoTimeMs(tail);
+  return ms;
+}
+
+}  // namespace warlock::cost

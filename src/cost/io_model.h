@@ -1,0 +1,49 @@
+#ifndef WARLOCK_COST_IO_MODEL_H_
+#define WARLOCK_COST_IO_MODEL_H_
+
+#include <cstdint>
+
+#include "cost/disk_params.h"
+
+namespace warlock::cost {
+
+/// The analytical I/O timing model (reconstruction of the model of Stöhr's
+/// BTW 2001 analysis): one physical I/O of G pages costs
+/// `positioning + G * page transfer`; a sequential scan of S pages with
+/// prefetching granule G issues ceil(S/G) I/Os (the last one possibly
+/// short); random page fetches are single-page I/Os each paying full
+/// positioning.
+class IoModel {
+ public:
+  explicit IoModel(const DiskParameters& params) : params_(params) {}
+
+  /// Service time of one physical I/O reading `pages` contiguous pages.
+  double IoTimeMs(uint64_t pages) const {
+    return params_.PositioningMs() +
+           static_cast<double>(pages) * params_.TransferMsPerPage();
+  }
+
+  /// Number of I/Os a sequential read of `pages` pages issues at prefetch
+  /// granule `granule`.
+  uint64_t SequentialIoCount(uint64_t pages, uint64_t granule) const;
+
+  /// Total service time of sequentially reading `pages` pages at prefetch
+  /// granule `granule` (full I/Os of `granule` pages plus one short tail
+  /// I/O).
+  double SequentialReadMs(uint64_t pages, uint64_t granule) const;
+
+  /// Total service time of randomly fetching `pages` individual pages.
+  double RandomReadMs(double pages) const {
+    return pages * IoTimeMs(1);
+  }
+
+  /// The underlying parameters.
+  const DiskParameters& params() const { return params_; }
+
+ private:
+  DiskParameters params_;
+};
+
+}  // namespace warlock::cost
+
+#endif  // WARLOCK_COST_IO_MODEL_H_

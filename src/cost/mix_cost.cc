@@ -1,0 +1,23 @@
+#include "cost/mix_cost.h"
+
+namespace warlock::cost {
+
+MixCost CostMix(const QueryCostModel& model, const workload::QueryMix& mix,
+                uint64_t seed) {
+  MixCost out;
+  out.per_class.reserve(mix.size());
+  Rng root(seed);
+  for (size_t i = 0; i < mix.size(); ++i) {
+    Rng class_rng = root.Fork(i + 1);
+    const QueryCost c = model.CostClass(mix.query_class(i), class_rng);
+    const double w = mix.weight(i);
+    out.io_work_ms += w * c.io_work_ms;
+    out.response_ms += w * c.response_ms;
+    out.total_ios += w * (c.fact_ios + c.bitmap_ios);
+    out.total_pages += w * (c.fact_pages + c.bitmap_pages);
+    out.per_class.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace warlock::cost

@@ -1,0 +1,35 @@
+#ifndef WARLOCK_COST_MIX_COST_H_
+#define WARLOCK_COST_MIX_COST_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/query_cost.h"
+#include "workload/query_mix.h"
+
+namespace warlock::cost {
+
+/// Workload-level roll-up of per-class costs under a candidate: the weighted
+/// I/O work and weighted response time are the two goodness metrics of
+/// WARLOCK's twofold candidate ranking.
+struct MixCost {
+  /// Weighted total device busy time per query (throughput metric).
+  double io_work_ms = 0.0;
+  /// Weighted response time per query.
+  double response_ms = 0.0;
+  /// Weighted physical I/Os per query (fact + bitmap).
+  double total_ios = 0.0;
+  /// Weighted pages per query (fact + bitmap).
+  double total_pages = 0.0;
+  /// Per-class breakdown, parallel to the mix's classes.
+  std::vector<QueryCost> per_class;
+};
+
+/// Evaluates the whole mix against `model`. Deterministic for a fixed
+/// `seed`: every class gets an independent, stable sampling stream.
+MixCost CostMix(const QueryCostModel& model, const workload::QueryMix& mix,
+                uint64_t seed);
+
+}  // namespace warlock::cost
+
+#endif  // WARLOCK_COST_MIX_COST_H_

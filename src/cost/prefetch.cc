@@ -1,0 +1,98 @@
+#include "cost/prefetch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace warlock::cost {
+
+namespace {
+
+// Weighted (response, work) of the mix at the given granule pair.
+std::pair<double, double> Evaluate(
+    const schema::StarSchema& schema, size_t fact_index,
+    const fragment::Fragmentation& fragmentation,
+    const fragment::FragmentSizes& sizes, const bitmap::BitmapScheme& scheme,
+    const alloc::DiskAllocation& allocation,
+    const workload::QueryMix& mix, CostParameters params, uint64_t gf,
+    uint64_t gb, uint32_t samples) {
+  params.fact_granule = gf;
+  params.bitmap_granule = gb;
+  params.samples_per_class = samples;
+  const QueryCostModel model(schema, fact_index, fragmentation, sizes,
+                             scheme, allocation, params);
+  const MixCost mc = CostMix(model, mix, params.seed);
+  return {mc.response_ms, mc.io_work_ms};
+}
+
+}  // namespace
+
+PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
+                                size_t fact_index,
+                                const fragment::Fragmentation& fragmentation,
+                                const fragment::FragmentSizes& sizes,
+                                const bitmap::BitmapScheme& scheme,
+                                const alloc::DiskAllocation& allocation,
+                                const workload::QueryMix& mix,
+                                const CostParameters& base_params,
+                                const PrefetchOptions& options) {
+  const uint64_t frag_cap = std::max<uint64_t>(1, sizes.MaxPages());
+  const uint64_t cap =
+      std::min<uint64_t>(options.max_granule_pages, frag_cap);
+
+  auto candidates = [&cap]() {
+    std::vector<uint64_t> gs;
+    for (uint64_t g = 1; g <= cap; g *= 2) gs.push_back(g);
+    if (gs.empty() || gs.back() != cap) gs.push_back(cap);
+    return gs;
+  }();
+
+  auto better = [](const std::pair<double, double>& a,
+                   const std::pair<double, double>& b) {
+    // Lower response wins; near-ties (0.1 %) resolved by lower work.
+    if (a.first < b.first * 0.999) return true;
+    if (b.first < a.first * 0.999) return false;
+    return a.second < b.second;
+  };
+
+  // Phase 1: fact granule with the bitmap granule at the base value.
+  uint64_t best_gf = base_params.fact_granule == 0
+                         ? 1
+                         : std::min(base_params.fact_granule, cap);
+  const uint64_t gb0 = base_params.bitmap_granule == 0
+                           ? 1
+                           : std::min(base_params.bitmap_granule, cap);
+  std::pair<double, double> best{1e300, 1e300};
+  for (uint64_t gf : candidates) {
+    const auto score =
+        Evaluate(schema, fact_index, fragmentation, sizes, scheme,
+                 allocation, mix, base_params, gf, gb0,
+                 options.search_samples);
+    if (better(score, best)) {
+      best = score;
+      best_gf = gf;
+    }
+  }
+
+  // Phase 2: bitmap granule at the chosen fact granule.
+  uint64_t best_gb = gb0;
+  best = {1e300, 1e300};
+  for (uint64_t gb : candidates) {
+    const auto score =
+        Evaluate(schema, fact_index, fragmentation, sizes, scheme,
+                 allocation, mix, base_params, best_gf, gb,
+                 options.search_samples);
+    if (better(score, best)) {
+      best = score;
+      best_gb = gb;
+    }
+  }
+
+  PrefetchChoice out;
+  out.fact_granule = best_gf;
+  out.bitmap_granule = best_gb;
+  out.response_ms = best.first;
+  out.io_work_ms = best.second;
+  return out;
+}
+
+}  // namespace warlock::cost

@@ -1,0 +1,53 @@
+#ifndef WARLOCK_COST_PREFETCH_H_
+#define WARLOCK_COST_PREFETCH_H_
+
+#include <cstdint>
+
+#include "alloc/disk_allocation.h"
+#include "bitmap/scheme.h"
+#include "cost/mix_cost.h"
+#include "fragment/fragment_sizes.h"
+#include "fragment/fragmentation.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock::cost {
+
+/// Result of the prefetch-granule search.
+struct PrefetchChoice {
+  uint64_t fact_granule = 1;
+  uint64_t bitmap_granule = 1;
+  /// Weighted mix response time at the chosen granules.
+  double response_ms = 0.0;
+  /// Weighted mix I/O work at the chosen granules.
+  double io_work_ms = 0.0;
+};
+
+/// Search bounds.
+struct PrefetchOptions {
+  /// Largest granule considered (buffer-memory bound per I/O stream).
+  uint64_t max_granule_pages = 256;
+  /// Samples per class during the search (smaller than the final
+  /// evaluation for speed).
+  uint32_t search_samples = 4;
+};
+
+/// WARLOCK's prefetch-size determination: sweeps power-of-two granules for
+/// fact-table and bitmap access independently (their optima differ strongly
+/// because fragment and bitmap sizes differ by orders of magnitude), picking
+/// the granule pair minimizing the weighted mix response time, with I/O work
+/// as tie-break. Granules are additionally capped by the largest fragment
+/// so no I/O can span past a fragment.
+PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
+                                size_t fact_index,
+                                const fragment::Fragmentation& fragmentation,
+                                const fragment::FragmentSizes& sizes,
+                                const bitmap::BitmapScheme& scheme,
+                                const alloc::DiskAllocation& allocation,
+                                const workload::QueryMix& mix,
+                                const CostParameters& base_params,
+                                const PrefetchOptions& options = {});
+
+}  // namespace warlock::cost
+
+#endif  // WARLOCK_COST_PREFETCH_H_

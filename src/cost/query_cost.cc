@@ -1,0 +1,283 @@
+#include "cost/query_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace warlock::cost {
+
+void QueryCost::Accumulate(const QueryCost& other, double scale) {
+  fragments_hit += other.fragments_hit * scale;
+  fact_pages += other.fact_pages * scale;
+  bitmap_pages += other.bitmap_pages * scale;
+  fact_ios += other.fact_ios * scale;
+  bitmap_ios += other.bitmap_ios * scale;
+  io_work_ms += other.io_work_ms * scale;
+  response_ms += other.response_ms * scale;
+  disks_used += other.disks_used * scale;
+}
+
+QueryCostModel::QueryCostModel(const schema::StarSchema& schema,
+                               size_t fact_index,
+                               const fragment::Fragmentation& fragmentation,
+                               const fragment::FragmentSizes& sizes,
+                               const bitmap::BitmapScheme& scheme,
+                               const alloc::DiskAllocation& allocation,
+                               const CostParameters& params)
+    : schema_(schema),
+      fact_index_(fact_index),
+      fragmentation_(fragmentation),
+      sizes_(sizes),
+      scheme_(scheme),
+      allocation_(allocation),
+      params_(params),
+      io_(params.disks) {}
+
+QueryCostModel::FragmentAccess QueryCostModel::AccessFragment(
+    const workload::QueryClass& qc, double frag_rows, uint64_t frag_pages,
+    double qualifying_rows, bool fully_qualified) const {
+  FragmentAccess a;
+  const uint64_t gf = params_.fact_granule == 0 ? 1 : params_.fact_granule;
+  const uint64_t gb = params_.bitmap_granule == 0 ? 1 : params_.bitmap_granule;
+
+  auto sequential_scan = [&]() {
+    a.fact_ms = io_.SequentialReadMs(frag_pages, gf);
+    a.fact_pages = static_cast<double>(frag_pages);
+    a.fact_ios =
+        static_cast<double>(io_.SequentialIoCount(frag_pages, gf));
+    a.fact_random = false;
+    a.seq_pages = frag_pages;
+  };
+
+  if (fully_qualified) {
+    // Every row qualifies: read the whole fragment sequentially; bitmap
+    // filtering would add work without saving any page.
+    sequential_scan();
+    return a;
+  }
+
+  // Restrictions not resolved by the fragment boundaries need bitmap
+  // filtering (or, lacking an index, degrade to an unfiltered read).
+  double unindexed_selectivity = 1.0;
+  bool any_indexed = false;
+  double bitmap_bytes = 0.0;
+  for (const workload::Restriction& r : qc.restrictions()) {
+    const auto frag_level = fragmentation_.LevelOf(r.dim);
+    if (frag_level.has_value() && r.level <= *frag_level) {
+      continue;  // resolved by fragmentation
+    }
+    const schema::Dimension& dim = schema_.dimension(r.dim);
+    uint64_t vectors = scheme_.VectorsReadForProbe(r.dim, r.level);
+    if (vectors == 0) {
+      // Not indexed: this restriction cannot narrow the fact access.
+      unindexed_selectivity *= static_cast<double>(r.num_values) /
+                               static_cast<double>(dim.cardinality(r.level));
+      continue;
+    }
+    if (scheme_.kind(r.dim, r.level) == bitmap::BitmapKind::kStandard) {
+      vectors *= r.num_values;  // IN-list probe ORs one bitmap per value
+    }
+    any_indexed = true;
+    bitmap_bytes += static_cast<double>(vectors) *
+                    bitmap::BitmapScheme::BytesPerVector(frag_rows);
+  }
+
+  if (!any_indexed) {
+    sequential_scan();
+    return a;
+  }
+
+  const double page = static_cast<double>(params_.disks.page_size_bytes);
+  const uint64_t bitmap_pages =
+      static_cast<uint64_t>(std::ceil(bitmap_bytes / page));
+  const double bitmap_ms = io_.SequentialReadMs(bitmap_pages, gb);
+
+  // Rows the bitmaps identify: unindexed restrictions do not filter the
+  // fetch, so divide their selectivity back out.
+  double fetch_rows = qualifying_rows;
+  if (unindexed_selectivity > 0.0) {
+    fetch_rows = std::min(frag_rows, qualifying_rows / unindexed_selectivity);
+  }
+  const uint64_t rows_int =
+      static_cast<uint64_t>(std::llround(std::max(1.0, frag_rows)));
+  const uint64_t fetch_int =
+      static_cast<uint64_t>(std::llround(fetch_rows));
+  const double page_hits = YaoPageHits(frag_pages, rows_int, fetch_int);
+
+  // Declustering trade-off: fetch the hit pages individually, or scan the
+  // fragment sequentially with prefetching — whichever is cheaper. The
+  // bitmap path only pays off when probe + fetch beat the plain scan; the
+  // model (like the optimizer it stands in for) skips non-beneficial
+  // bitmaps.
+  const double random_ms = io_.RandomReadMs(page_hits);
+  const double seq_ms = io_.SequentialReadMs(frag_pages, gf);
+  if (bitmap_ms + random_ms <= seq_ms) {
+    a.bitmap_ms = bitmap_ms;
+    a.bitmap_pages = static_cast<double>(bitmap_pages);
+    a.bitmap_ios =
+        static_cast<double>(io_.SequentialIoCount(bitmap_pages, gb));
+    a.fact_ms = random_ms;
+    a.fact_pages = page_hits;
+    a.fact_ios = page_hits;
+    a.fact_random = true;
+  } else {
+    sequential_scan();
+  }
+  return a;
+}
+
+namespace {
+
+// Splits a sequential read of `pages` pages into I/O ops of `granule` pages.
+void EmitSequential(uint32_t disk, uint64_t pages, uint64_t granule,
+                    std::vector<IoOp>* ops) {
+  if (granule == 0) granule = 1;
+  while (pages > 0) {
+    const uint64_t take = std::min<uint64_t>(pages, granule);
+    ops->push_back({disk, static_cast<uint32_t>(take)});
+    pages -= take;
+  }
+}
+
+}  // namespace
+
+std::vector<IoOp> QueryCostModel::PlanIos(
+    const workload::ConcreteQuery& cq) const {
+  const uint64_t gf = params_.fact_granule == 0 ? 1 : params_.fact_granule;
+  const uint64_t gb =
+      params_.bitmap_granule == 0 ? 1 : params_.bitmap_granule;
+  std::vector<IoOp> ops;
+  auto hits_or =
+      fragment::EnumerateHits(fragmentation_, cq, schema_, fact_index_,
+                              sizes_, params_.max_enumerated_hits);
+  if (hits_or.ok()) {
+    for (const fragment::FragmentHit& hit : *hits_or) {
+      const uint64_t id = hit.fragment_id;
+      const FragmentAccess a =
+          AccessFragment(*cq.query_class, sizes_.rows(id), sizes_.pages(id),
+                         hit.qualifying_rows, hit.fully_qualified);
+      const uint32_t fact_disk = allocation_.FactDisk(id);
+      if (a.fact_random) {
+        const uint64_t n =
+            static_cast<uint64_t>(std::llround(a.fact_pages));
+        for (uint64_t i = 0; i < n; ++i) ops.push_back({fact_disk, 1});
+      } else {
+        EmitSequential(fact_disk, a.seq_pages, gf, &ops);
+      }
+      if (a.bitmap_pages > 0.0) {
+        EmitSequential(allocation_.BitmapDisk(id),
+                       static_cast<uint64_t>(std::llround(a.bitmap_pages)),
+                       gb, &ops);
+      }
+    }
+    return ops;
+  }
+  // Expected-value fallback: spread the aggregate work evenly.
+  QueryCost cost;
+  std::vector<double> disk_ms(allocation_.num_disks(), 0.0);
+  ApplyExpected(*cq.query_class, &cost, &disk_ms);
+  const double pages_total = cost.fact_pages + cost.bitmap_pages;
+  const uint32_t used = static_cast<uint32_t>(std::max(
+      1.0, std::min<double>(allocation_.num_disks(), cost.fragments_hit)));
+  const uint64_t per_disk = static_cast<uint64_t>(
+      std::llround(pages_total / static_cast<double>(used)));
+  for (uint32_t d = 0; d < used; ++d) {
+    EmitSequential(d, per_disk, gf, &ops);
+  }
+  return ops;
+}
+
+void QueryCostModel::Apply(const workload::ConcreteQuery& cq, QueryCost* cost,
+                           std::vector<double>* disk_ms) const {
+  if (params_.force_expected) {
+    ApplyExpected(*cq.query_class, cost, disk_ms);
+    return;
+  }
+  auto hits_or =
+      fragment::EnumerateHits(fragmentation_, cq, schema_, fact_index_,
+                              sizes_, params_.max_enumerated_hits);
+  if (!hits_or.ok()) {
+    ApplyExpected(*cq.query_class, cost, disk_ms);
+    return;
+  }
+  const auto& hits = *hits_or;
+  cost->fragments_hit += static_cast<double>(hits.size());
+  for (const fragment::FragmentHit& hit : hits) {
+    const uint64_t id = hit.fragment_id;
+    const FragmentAccess a =
+        AccessFragment(*cq.query_class, sizes_.rows(id), sizes_.pages(id),
+                       hit.qualifying_rows, hit.fully_qualified);
+    (*disk_ms)[allocation_.FactDisk(id)] += a.fact_ms;
+    (*disk_ms)[allocation_.BitmapDisk(id)] += a.bitmap_ms;
+    cost->fact_pages += a.fact_pages;
+    cost->bitmap_pages += a.bitmap_pages;
+    cost->fact_ios += a.fact_ios;
+    cost->bitmap_ios += a.bitmap_ios;
+  }
+}
+
+void QueryCostModel::ApplyExpected(const workload::QueryClass& qc,
+                                   QueryCost* cost,
+                                   std::vector<double>* disk_ms) const {
+  const fragment::HitSummary summary =
+      fragment::AnalyzeExpected(fragmentation_, qc, schema_, fact_index_);
+  const uint64_t m = sizes_.num_fragments();
+  const double avg_rows = sizes_.total_rows() / static_cast<double>(m);
+  const uint64_t avg_pages = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(sizes_.AvgPages())));
+  const bool fully = summary.residual_selectivity >= 1.0;
+  const FragmentAccess a =
+      AccessFragment(qc, avg_rows, avg_pages, summary.rows_per_hit_fragment,
+                     fully);
+  const double hits = summary.fragments_hit;
+  cost->fragments_hit += hits;
+  cost->fact_pages += a.fact_pages * hits;
+  cost->bitmap_pages += a.bitmap_pages * hits;
+  cost->fact_ios += a.fact_ios * hits;
+  cost->bitmap_ios += a.bitmap_ios * hits;
+  // Spread the work evenly over the disks the hit set can reach.
+  const uint32_t disks = allocation_.num_disks();
+  const uint32_t used = static_cast<uint32_t>(
+      std::min<double>(disks, std::max(1.0, std::ceil(hits))));
+  const double total_ms = (a.fact_ms + a.bitmap_ms) * hits;
+  for (uint32_t d = 0; d < used; ++d) {
+    (*disk_ms)[d] += total_ms / static_cast<double>(used);
+  }
+}
+
+QueryCost QueryCostModel::CostConcrete(
+    const workload::ConcreteQuery& cq) const {
+  QueryCost cost;
+  std::vector<double> disk_ms(allocation_.num_disks(), 0.0);
+  Apply(cq, &cost, &disk_ms);
+  for (double ms : disk_ms) {
+    cost.io_work_ms += ms;
+    cost.response_ms = std::max(cost.response_ms, ms);
+    if (ms > 0.0) cost.disks_used += 1.0;
+  }
+  return cost;
+}
+
+QueryCost QueryCostModel::CostClass(const workload::QueryClass& qc,
+                                    Rng& rng) const {
+  QueryCost avg;
+  const uint32_t n = std::max<uint32_t>(1, params_.samples_per_class);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    const workload::ConcreteQuery cq =
+        workload::Instantiate(qc, schema_, rng, params_.value_distribution);
+    avg.Accumulate(CostConcrete(cq), scale);
+  }
+  return avg;
+}
+
+std::vector<double> QueryCostModel::DiskProfile(
+    const workload::ConcreteQuery& cq) const {
+  QueryCost cost;
+  std::vector<double> disk_ms(allocation_.num_disks(), 0.0);
+  Apply(cq, &cost, &disk_ms);
+  return disk_ms;
+}
+
+}  // namespace warlock::cost

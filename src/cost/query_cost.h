@@ -1,0 +1,162 @@
+#ifndef WARLOCK_COST_QUERY_COST_H_
+#define WARLOCK_COST_QUERY_COST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/disk_allocation.h"
+#include "bitmap/scheme.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "cost/io_model.h"
+#include "fragment/fragment_sizes.h"
+#include "fragment/fragmentation.h"
+#include "fragment/query_hits.h"
+#include "schema/star_schema.h"
+#include "workload/query.h"
+
+namespace warlock::cost {
+
+/// Knobs of the prediction layer's cost evaluation.
+struct CostParameters {
+  DiskParameters disks;
+
+  /// Prefetching granule (pages per I/O) for fact-table fragments; 0 lets
+  /// the caller run the PrefetchOptimizer first.
+  uint64_t fact_granule = 16;
+
+  /// Prefetching granule for bitmap fragments (bitmaps are much smaller, so
+  /// their optimum differs strongly from the fact-table one).
+  uint64_t bitmap_granule = 4;
+
+  /// Distribution restriction values are drawn from when sampling concrete
+  /// queries.
+  workload::ValueDistribution value_distribution =
+      workload::ValueDistribution::kUniform;
+
+  /// Concrete query instantiations averaged per query class.
+  uint32_t samples_per_class = 12;
+
+  /// Fragment-enumeration cap per concrete query; beyond it the model falls
+  /// back to the expected-value approximation.
+  uint64_t max_enumerated_hits = 1ULL << 18;
+
+  /// Seed for the deterministic sampling streams.
+  uint64_t seed = 42;
+
+  /// Force the expected-value approximation for every query (no fragment
+  /// enumeration, allocation-agnostic). WARLOCK's prediction layer uses
+  /// this for the cheap first-phase screening of the whole candidate space
+  /// before the leading candidates get the full allocation-aware
+  /// evaluation.
+  bool force_expected = false;
+};
+
+/// Predicted I/O cost of one query (or the average over a class): the two
+/// goodness metrics of WARLOCK's twofold ranking — I/O work (throughput
+/// proxy) and response time — plus the access statistics shown in the
+/// analysis layer.
+struct QueryCost {
+  /// Fragments touched.
+  double fragments_hit = 0.0;
+  /// Fact-table pages read.
+  double fact_pages = 0.0;
+  /// Bitmap pages read.
+  double bitmap_pages = 0.0;
+  /// Physical fact I/Os.
+  double fact_ios = 0.0;
+  /// Physical bitmap I/Os.
+  double bitmap_ios = 0.0;
+  /// Total device busy time across all disks (the I/O work metric).
+  double io_work_ms = 0.0;
+  /// Parallel completion time: max per-disk busy time for this query.
+  double response_ms = 0.0;
+  /// Distinct disks participating.
+  double disks_used = 0.0;
+
+  /// Element-wise accumulation helper (for averaging samples).
+  void Accumulate(const QueryCost& other, double scale);
+};
+
+/// One planned physical I/O: `pages` contiguous pages on `disk`. The list a
+/// query plans is consumed both by the analytical timing (summed service
+/// times) and by the event-driven disk simulator (queueing behaviour).
+struct IoOp {
+  uint32_t disk = 0;
+  uint32_t pages = 1;
+};
+
+/// Evaluates predicted I/O costs of star queries against one fragmentation
+/// candidate with its bitmap scheme and disk allocation.
+class QueryCostModel {
+ public:
+  /// All referenced objects must outlive the model.
+  QueryCostModel(const schema::StarSchema& schema, size_t fact_index,
+                 const fragment::Fragmentation& fragmentation,
+                 const fragment::FragmentSizes& sizes,
+                 const bitmap::BitmapScheme& scheme,
+                 const alloc::DiskAllocation& allocation,
+                 const CostParameters& params);
+
+  /// Cost of one concrete query. Exact per-fragment accounting when the hit
+  /// set is enumerable; expected-value approximation beyond
+  /// `max_enumerated_hits`.
+  QueryCost CostConcrete(const workload::ConcreteQuery& cq) const;
+
+  /// Average cost of a query class over `samples_per_class` concrete
+  /// instantiations drawn from `rng`.
+  QueryCost CostClass(const workload::QueryClass& qc, Rng& rng) const;
+
+  /// Per-disk busy time of one concrete query (response-time profile used
+  /// by the disk access visualization); same length as the disk count.
+  std::vector<double> DiskProfile(const workload::ConcreteQuery& cq) const;
+
+  /// Materializes the physical I/O plan of one concrete query — the same
+  /// accesses the analytical timing charges, as individual operations for
+  /// the disk simulator. Falls back to an even-spread plan when the hit set
+  /// is too large to enumerate.
+  std::vector<IoOp> PlanIos(const workload::ConcreteQuery& cq) const;
+
+ private:
+  // Adds cq's I/O to `disk_ms` and the counters of `cost`.
+  void Apply(const workload::ConcreteQuery& cq, QueryCost* cost,
+             std::vector<double>* disk_ms) const;
+
+  // Expected-value fallback for hit sets too large to enumerate.
+  void ApplyExpected(const workload::QueryClass& qc, QueryCost* cost,
+                     std::vector<double>* disk_ms) const;
+
+  // Cost of accessing one fragment, returned via the out-params; helper
+  // shared by the exact and expected paths.
+  struct FragmentAccess {
+    double fact_ms = 0.0;
+    double bitmap_ms = 0.0;
+    double fact_pages = 0.0;
+    double bitmap_pages = 0.0;
+    double fact_ios = 0.0;
+    double bitmap_ios = 0.0;
+    /// True when the fact access fetches individual hit pages rather than
+    /// scanning the fragment sequentially.
+    bool fact_random = false;
+    /// Pages of the sequential fact read (the fragment size) when
+    /// `!fact_random`.
+    uint64_t seq_pages = 0;
+  };
+  FragmentAccess AccessFragment(const workload::QueryClass& qc,
+                                double frag_rows, uint64_t frag_pages,
+                                double qualifying_rows,
+                                bool fully_qualified) const;
+
+  const schema::StarSchema& schema_;
+  size_t fact_index_;
+  const fragment::Fragmentation& fragmentation_;
+  const fragment::FragmentSizes& sizes_;
+  const bitmap::BitmapScheme& scheme_;
+  const alloc::DiskAllocation& allocation_;
+  CostParameters params_;
+  IoModel io_;
+};
+
+}  // namespace warlock::cost
+
+#endif  // WARLOCK_COST_QUERY_COST_H_

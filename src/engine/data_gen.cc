@@ -1,0 +1,62 @@
+#include "engine/data_gen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace warlock::engine {
+
+Result<FragmentData> GenerateFragment(
+    const fragment::Fragmentation& fragmentation,
+    const schema::StarSchema& schema, size_t fact_index,
+    const fragment::FragmentSizes& sizes, uint64_t fragment_id,
+    uint64_t seed) {
+  if (fact_index >= schema.num_facts()) {
+    return Status::OutOfRange("fact table index out of range");
+  }
+  if (fragment_id >= fragmentation.NumFragments()) {
+    return Status::OutOfRange("fragment id out of range");
+  }
+  const std::vector<uint64_t> coords = fragmentation.Coordinates(fragment_id);
+
+  FragmentData data;
+  data.fragment_id = fragment_id;
+  data.num_rows =
+      static_cast<uint64_t>(std::llround(sizes.rows(fragment_id)));
+  data.columns.resize(schema.num_dimensions());
+
+  Rng rng(seed ^ (fragment_id * 0x9E3779B97F4A7C15ULL + 1));
+  for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+    const schema::Dimension& dim = schema.dimension(d);
+    const size_t bottom = dim.bottom_level();
+    const std::vector<double>& weights = dim.LevelWeights(bottom);
+
+    // Fragmentation dimensions draw only among the fragment's descendants.
+    uint64_t begin = 0, end = dim.cardinality(bottom);
+    const auto frag_level = fragmentation.LevelOf(static_cast<uint32_t>(d));
+    if (frag_level.has_value()) {
+      size_t attr_pos = 0;
+      for (size_t i = 0; i < fragmentation.num_attrs(); ++i) {
+        if (fragmentation.attrs()[i].dim == d) attr_pos = i;
+      }
+      const auto range =
+          dim.DescendantRange(*frag_level, coords[attr_pos], bottom);
+      begin = range.first;
+      end = range.second;
+    }
+
+    std::vector<double> conditional(weights.begin() + begin,
+                                    weights.begin() + end);
+    WARLOCK_ASSIGN_OR_RETURN(AliasSampler sampler,
+                             AliasSampler::Create(conditional));
+    std::vector<uint32_t>& col = data.columns[d];
+    col.resize(data.num_rows);
+    for (uint64_t r = 0; r < data.num_rows; ++r) {
+      col[r] = static_cast<uint32_t>(begin + sampler.Sample(rng));
+    }
+  }
+  return data;
+}
+
+}  // namespace warlock::engine

@@ -1,0 +1,38 @@
+#ifndef WARLOCK_ENGINE_DATA_GEN_H_
+#define WARLOCK_ENGINE_DATA_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "fragment/fragment_sizes.h"
+#include "fragment/fragmentation.h"
+#include "schema/star_schema.h"
+
+namespace warlock::engine {
+
+/// Materialized rows of one fact-table fragment. Column-wise: for every
+/// schema dimension, the per-row *bottom-level* value (coarser-level values
+/// derive through the hierarchy mapping). Measures are not materialized —
+/// WARLOCK's I/O behaviour depends only on row counts and dimension values.
+struct FragmentData {
+  uint64_t fragment_id = 0;
+  uint64_t num_rows = 0;
+  /// columns[d][row] = bottom-level value of dimension d.
+  std::vector<std::vector<uint32_t>> columns;
+};
+
+/// Synthesizes the rows of fragment `fragment_id` under `fragmentation`:
+/// row counts follow the fragment's expected size; dimension values are
+/// drawn from the schema's (possibly Zipf-skewed) value weights,
+/// conditioned on the fragment's coordinate values for fragmentation
+/// dimensions. Deterministic for a fixed `seed`.
+Result<FragmentData> GenerateFragment(
+    const fragment::Fragmentation& fragmentation,
+    const schema::StarSchema& schema, size_t fact_index,
+    const fragment::FragmentSizes& sizes, uint64_t fragment_id,
+    uint64_t seed);
+
+}  // namespace warlock::engine
+
+#endif  // WARLOCK_ENGINE_DATA_GEN_H_

@@ -1,0 +1,136 @@
+#include "engine/executor.h"
+
+#include "bitmap/encoded_index.h"
+#include "bitmap/standard_index.h"
+
+namespace warlock::engine {
+
+FragmentStore::FragmentStore(const schema::StarSchema& schema,
+                             size_t fact_index,
+                             const fragment::Fragmentation& fragmentation,
+                             const fragment::FragmentSizes& sizes,
+                             const bitmap::BitmapScheme& scheme,
+                             uint64_t seed)
+    : schema_(schema),
+      fact_index_(fact_index),
+      fragmentation_(fragmentation),
+      sizes_(sizes),
+      scheme_(scheme),
+      seed_(seed) {}
+
+Result<const FragmentData*> FragmentStore::Get(uint64_t fragment_id) {
+  auto it = cache_.find(fragment_id);
+  if (it == cache_.end()) {
+    WARLOCK_ASSIGN_OR_RETURN(
+        FragmentData data,
+        GenerateFragment(fragmentation_, schema_, fact_index_, sizes_,
+                         fragment_id, seed_));
+    it = cache_.emplace(fragment_id, std::move(data)).first;
+  }
+  return &it->second;
+}
+
+Result<bitmap::BitVector> FragmentStore::FilterRows(
+    const FragmentData& data, const workload::Restriction& r,
+    uint64_t v0) const {
+  const schema::Dimension& dim = schema_.dimension(r.dim);
+  const std::vector<uint32_t>& bottom_values = data.columns[r.dim];
+  const size_t bottom = dim.bottom_level();
+  const uint64_t v_end = v0 + r.num_values;  // exclusive, at r.level
+
+  switch (scheme_.kind(r.dim, r.level)) {
+    case bitmap::BitmapKind::kStandard: {
+      // Build the standard bitmap index at the restriction level and probe
+      // the value range.
+      std::vector<uint32_t> level_values(data.num_rows);
+      for (uint64_t row = 0; row < data.num_rows; ++row) {
+        level_values[row] = static_cast<uint32_t>(
+            dim.AncestorValue(bottom, bottom_values[row], r.level));
+      }
+      WARLOCK_ASSIGN_OR_RETURN(
+          bitmap::StandardBitmapIndex index,
+          bitmap::StandardBitmapIndex::Build(level_values,
+                                             dim.cardinality(r.level)));
+      return index.ProbeRange(v0, v_end);
+    }
+    case bitmap::BitmapKind::kEncoded: {
+      WARLOCK_ASSIGN_OR_RETURN(
+          bitmap::EncodedBitmapIndex index,
+          bitmap::EncodedBitmapIndex::Build(bottom_values, dim));
+      WARLOCK_ASSIGN_OR_RETURN(bitmap::BitVector acc,
+                               index.Probe(r.level, v0));
+      for (uint64_t v = v0 + 1; v < v_end; ++v) {
+        WARLOCK_ASSIGN_OR_RETURN(bitmap::BitVector bv, index.Probe(r.level, v));
+        acc.Or(bv);
+      }
+      return acc;
+    }
+    case bitmap::BitmapKind::kNone: {
+      // No index: plain predicate scan over the column.
+      bitmap::BitVector bv(data.num_rows);
+      for (uint64_t row = 0; row < data.num_rows; ++row) {
+        const uint64_t a =
+            dim.AncestorValue(bottom, bottom_values[row], r.level);
+        if (a >= v0 && a < v_end) bv.Set(row);
+      }
+      return bv;
+    }
+  }
+  return Status::Internal("unknown bitmap kind");
+}
+
+Result<ExecutionResult> FragmentStore::Execute(
+    const workload::ConcreteQuery& cq, uint64_t max_hit_fragments) {
+  const workload::QueryClass& qc = *cq.query_class;
+  WARLOCK_ASSIGN_OR_RETURN(
+      std::vector<fragment::FragmentHit> hits,
+      fragment::EnumerateHits(fragmentation_, cq, schema_, fact_index_,
+                              sizes_, max_hit_fragments));
+
+  const uint64_t rows_per_page = sizes_.rows_per_page();
+  ExecutionResult result;
+  result.fragments_touched = hits.size();
+  for (const fragment::FragmentHit& hit : hits) {
+    WARLOCK_ASSIGN_OR_RETURN(const FragmentData* data, Get(hit.fragment_id));
+    if (data->num_rows == 0) continue;
+
+    // AND together the filters of all restrictions not resolved by the
+    // fragment boundaries.
+    bitmap::BitVector qualifying(data->num_rows);
+    qualifying.Not();  // all rows qualify until filtered
+    bool any_filter = false;
+    const auto& rs = qc.restrictions();
+    for (size_t ri = 0; ri < rs.size(); ++ri) {
+      const auto frag_level = fragmentation_.LevelOf(rs[ri].dim);
+      if (frag_level.has_value() && rs[ri].level <= *frag_level) {
+        continue;  // resolved: every row of this fragment matches
+      }
+      WARLOCK_ASSIGN_OR_RETURN(
+          bitmap::BitVector filter,
+          FilterRows(*data, rs[ri], cq.start_values[ri]));
+      qualifying.And(filter);
+      any_filter = true;
+    }
+
+    const uint64_t count = qualifying.Count();
+    result.qualifying_rows += count;
+    if (!any_filter || count == data->num_rows) {
+      ++result.fragments_fully_qualified;
+    }
+    // Distinct pages containing qualifying rows (rows are laid out in
+    // generation order, rows_per_page per page).
+    uint64_t pages = 0;
+    uint64_t last_page = UINT64_MAX;
+    qualifying.ForEachSet([&](uint64_t row) {
+      const uint64_t page = row / rows_per_page;
+      if (page != last_page) {
+        ++pages;
+        last_page = page;
+      }
+    });
+    result.page_hits += pages;
+  }
+  return result;
+}
+
+}  // namespace warlock::engine

@@ -1,0 +1,73 @@
+#ifndef WARLOCK_ENGINE_EXECUTOR_H_
+#define WARLOCK_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bitmap/bit_vector.h"
+#include "bitmap/scheme.h"
+#include "common/result.h"
+#include "engine/data_gen.h"
+#include "fragment/query_hits.h"
+#include "workload/query.h"
+
+namespace warlock::engine {
+
+/// Ground-truth result of executing a star query over materialized
+/// fragments — what the analytical predictions are validated against.
+struct ExecutionResult {
+  /// Rows satisfying all restrictions.
+  uint64_t qualifying_rows = 0;
+  /// Distinct fact pages containing at least one qualifying row (summed
+  /// over fragments) — the quantity the Yao estimator predicts.
+  uint64_t page_hits = 0;
+  /// Fragments the query touched.
+  uint64_t fragments_touched = 0;
+  /// Touched fragments whose rows all qualified.
+  uint64_t fragments_fully_qualified = 0;
+};
+
+/// Materializes fragments on demand (cached) and executes concrete star
+/// queries over them through the bitmap indexes the scheme prescribes —
+/// standard bitmap probes, hierarchically encoded plane probes, or plain
+/// predicate scans for unindexed attributes. All three paths produce
+/// identical row sets; the indexes exist so tests can assert that.
+class FragmentStore {
+ public:
+  /// All referenced objects must outlive the store.
+  FragmentStore(const schema::StarSchema& schema, size_t fact_index,
+                const fragment::Fragmentation& fragmentation,
+                const fragment::FragmentSizes& sizes,
+                const bitmap::BitmapScheme& scheme, uint64_t seed);
+
+  /// The materialized data of `fragment_id` (generated on first access).
+  Result<const FragmentData*> Get(uint64_t fragment_id);
+
+  /// Executes a concrete query: enumerates hit fragments, filters each
+  /// through the scheme's indexes, counts qualifying rows and page hits.
+  /// Fails with ResourceExhausted when more than `max_hit_fragments`
+  /// fragments are touched.
+  Result<ExecutionResult> Execute(const workload::ConcreteQuery& cq,
+                                  uint64_t max_hit_fragments = 4096);
+
+  /// Number of fragments materialized so far.
+  size_t cached_fragments() const { return cache_.size(); }
+
+ private:
+  // Bit set of rows in `data` satisfying restriction `r` with start `v0`.
+  Result<bitmap::BitVector> FilterRows(const FragmentData& data,
+                                       const workload::Restriction& r,
+                                       uint64_t v0) const;
+
+  const schema::StarSchema& schema_;
+  size_t fact_index_;
+  const fragment::Fragmentation& fragmentation_;
+  const fragment::FragmentSizes& sizes_;
+  const bitmap::BitmapScheme& scheme_;
+  uint64_t seed_;
+  std::unordered_map<uint64_t, FragmentData> cache_;
+};
+
+}  // namespace warlock::engine
+
+#endif  // WARLOCK_ENGINE_EXECUTOR_H_

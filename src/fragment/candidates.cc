@@ -1,0 +1,105 @@
+#include "fragment/candidates.h"
+
+#include "common/math.h"
+
+namespace warlock::fragment {
+
+uint64_t CandidateSpaceSize(const schema::StarSchema& schema) {
+  uint64_t n = 1;
+  for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+    n = SaturatingMul(n, schema.dimension(d).num_levels() + 1);
+  }
+  return n;
+}
+
+Result<std::vector<Candidate>> EnumerateCandidates(
+    const schema::StarSchema& schema, size_t fact_index, uint32_t page_size,
+    const Thresholds& thresholds) {
+  if (fact_index >= schema.num_facts()) {
+    return Status::OutOfRange("fact table index out of range");
+  }
+  if (page_size == 0) {
+    return Status::InvalidArgument("page size must be > 0");
+  }
+  constexpr uint64_t kMaxCandidateSpace = 1ULL << 22;
+  if (CandidateSpaceSize(schema) > kMaxCandidateSpace) {
+    return Status::ResourceExhausted(
+        "candidate space too large to enumerate exhaustively");
+  }
+
+  const schema::FactTable& fact = schema.fact(fact_index);
+  const uint64_t total_pages = fact.TotalPages(page_size);
+
+  const size_t num_dims = schema.num_dimensions();
+  // Odometer over per-dimension choices: 0 = dimension unused, 1..L = level
+  // index + 1.
+  std::vector<size_t> choice(num_dims, 0);
+  std::vector<Candidate> out;
+  while (true) {
+    std::vector<FragAttr> attrs;
+    for (size_t d = 0; d < num_dims; ++d) {
+      if (choice[d] > 0) {
+        attrs.push_back({static_cast<uint32_t>(d),
+                         static_cast<uint32_t>(choice[d] - 1)});
+      }
+    }
+    Candidate cand{Fragmentation(), false, ""};
+    {
+      auto frag = Fragmentation::Create(std::move(attrs), schema);
+      if (!frag.ok()) {
+        // Fragment count overflow: treat as an excluded candidate rather
+        // than failing the whole enumeration.
+        cand.excluded = true;
+        cand.exclusion_reason = frag.status().message();
+        auto empty = Fragmentation::Create({}, schema);
+        cand.fragmentation = std::move(empty).value();
+      } else {
+        cand.fragmentation = std::move(frag).value();
+      }
+    }
+    if (!cand.excluded) {
+      const Fragmentation& f = cand.fragmentation;
+      if (f.num_attrs() > thresholds.max_dimensions) {
+        cand.excluded = true;
+        cand.exclusion_reason =
+            "fragments " + std::to_string(f.num_attrs()) +
+            " dimensions, above the limit of " +
+            std::to_string(thresholds.max_dimensions);
+      } else if (f.NumFragments() > thresholds.max_fragments) {
+        cand.excluded = true;
+        cand.exclusion_reason =
+            std::to_string(f.NumFragments()) +
+            " fragments exceed the limit of " +
+            std::to_string(thresholds.max_fragments);
+      } else if (thresholds.exclude_empty && f.num_attrs() == 0) {
+        cand.excluded = true;
+        cand.exclusion_reason = "empty fragmentation excluded";
+      } else {
+        const uint64_t avg_pages =
+            CeilDiv(total_pages, f.NumFragments());
+        if (avg_pages < thresholds.min_avg_fragment_pages) {
+          cand.excluded = true;
+          cand.exclusion_reason =
+              "average fragment of " + std::to_string(avg_pages) +
+              " page(s) drops below the prefetching granule of " +
+              std::to_string(thresholds.min_avg_fragment_pages);
+        }
+      }
+    }
+    out.push_back(std::move(cand));
+
+    size_t d = num_dims;
+    bool done = true;
+    while (d-- > 0) {
+      if (++choice[d] <= schema.dimension(d).num_levels()) {
+        done = false;
+        break;
+      }
+      choice[d] = 0;
+    }
+    if (done) break;
+  }
+  return out;
+}
+
+}  // namespace warlock::fragment

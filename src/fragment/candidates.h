@@ -1,0 +1,60 @@
+#ifndef WARLOCK_FRAGMENT_CANDIDATES_H_
+#define WARLOCK_FRAGMENT_CANDIDATES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fragment/fragmentation.h"
+#include "schema/star_schema.h"
+
+namespace warlock::fragment {
+
+/// Exclusion thresholds applied by WARLOCK's prediction layer before any
+/// cost evaluation ("additional thresholds are applied to exclude
+/// fragmentations that, for instance, cause fragment sizes to drop below the
+/// prefetching granule etc.").
+struct Thresholds {
+  /// Exclude candidates with more fragments than this (metadata and
+  /// allocation overhead bound).
+  uint64_t max_fragments = 1ULL << 20;
+
+  /// Exclude candidates whose *average* fragment is smaller than this many
+  /// pages. Set this to the prefetching granule so that every fragment can
+  /// absorb at least one full prefetch I/O.
+  uint64_t min_avg_fragment_pages = 1;
+
+  /// Exclude candidates fragmenting more than this many dimensions.
+  uint32_t max_dimensions = 4;
+
+  /// When true, the degenerate empty fragmentation (single fragment, no
+  /// parallelism) is excluded as well.
+  bool exclude_empty = false;
+};
+
+/// An enumerated fragmentation candidate with its threshold verdict.
+struct Candidate {
+  Fragmentation fragmentation;
+  bool excluded = false;
+  /// Empty when not excluded; otherwise the human-readable reason shown in
+  /// the analysis layer.
+  std::string exclusion_reason;
+};
+
+/// Enumerates the complete "point" fragmentation space for `schema`: every
+/// combination of at most one hierarchy level per dimension (including the
+/// empty fragmentation), each checked against `thresholds`.
+///
+/// The candidate count is the product over dimensions of (1 + #levels);
+/// e.g. APB-1 yields 7 * 3 * 4 * 2 = 168 candidates.
+Result<std::vector<Candidate>> EnumerateCandidates(
+    const schema::StarSchema& schema, size_t fact_index, uint32_t page_size,
+    const Thresholds& thresholds);
+
+/// Number of candidates `EnumerateCandidates` produces for `schema`.
+uint64_t CandidateSpaceSize(const schema::StarSchema& schema);
+
+}  // namespace warlock::fragment
+
+#endif  // WARLOCK_FRAGMENT_CANDIDATES_H_

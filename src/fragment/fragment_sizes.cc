@@ -1,0 +1,90 @@
+#include "fragment/fragment_sizes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace warlock::fragment {
+
+Result<FragmentSizes> FragmentSizes::Compute(
+    const Fragmentation& fragmentation, const schema::StarSchema& schema,
+    size_t fact_index, uint32_t page_size, uint64_t max_fragments) {
+  if (fact_index >= schema.num_facts()) {
+    return Status::OutOfRange("fact table index out of range");
+  }
+  if (page_size == 0) {
+    return Status::InvalidArgument("page size must be > 0");
+  }
+  const uint64_t m = fragmentation.NumFragments();
+  if (m > max_fragments) {
+    return Status::ResourceExhausted(
+        "fragmentation has " + std::to_string(m) +
+        " fragments, above the computation limit of " +
+        std::to_string(max_fragments));
+  }
+  const schema::FactTable& fact = schema.fact(fact_index);
+  const double total_rows = static_cast<double>(fact.row_count());
+
+  // Fragment weight = product of the attribute-value weights along its
+  // coordinates. Computed as an m-sized array built attribute by attribute.
+  std::vector<double> rows(m, total_rows);
+  uint64_t stride = m;  // product of cardinalities not yet consumed
+  const auto& attrs = fragmentation.attrs();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    const schema::Dimension& d = schema.dimension(attrs[i].dim);
+    const std::vector<double>& w = d.LevelWeights(attrs[i].level);
+    const uint64_t card = w.size();
+    stride /= card;
+    // Fragment id layout: coords[0] is the most significant digit.
+    // id = (((c0 * card1) + c1) * card2 + c2) ...; attribute i's coordinate
+    // cycles with period `stride`, repeating `m / (card * stride)` times.
+    uint64_t id = 0;
+    const uint64_t repeats = m / (card * stride);
+    for (uint64_t rep = 0; rep < repeats; ++rep) {
+      for (uint64_t v = 0; v < card; ++v) {
+        for (uint64_t s = 0; s < stride; ++s) {
+          rows[id++] *= w[v];
+        }
+      }
+    }
+  }
+
+  const uint64_t rpp = fact.RowsPerPage(page_size);
+  return FragmentSizes(std::move(rows), rpp, page_size, total_rows);
+}
+
+uint64_t FragmentSizes::pages(uint64_t id) const {
+  const double r = rows_[id];
+  if (r <= 0.0) return 1;
+  const uint64_t rows_ceil = static_cast<uint64_t>(std::ceil(r));
+  const uint64_t p = CeilDiv(rows_ceil, rows_per_page_);
+  return p == 0 ? 1 : p;
+}
+
+uint64_t FragmentSizes::TotalPages() const {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < rows_.size(); ++i) total += pages(i);
+  return total;
+}
+
+uint64_t FragmentSizes::MaxPages() const {
+  uint64_t mx = 0;
+  for (uint64_t i = 0; i < rows_.size(); ++i) mx = std::max(mx, pages(i));
+  return mx;
+}
+
+double FragmentSizes::AvgPages() const {
+  if (rows_.empty()) return 0.0;
+  return static_cast<double>(TotalPages()) / static_cast<double>(rows_.size());
+}
+
+double FragmentSizes::SkewFactor() const {
+  if (rows_.empty()) return 1.0;
+  double mx = 0.0;
+  for (double r : rows_) mx = std::max(mx, r);
+  const double avg = total_rows_ / static_cast<double>(rows_.size());
+  return avg > 0.0 ? mx / avg : 1.0;
+}
+
+}  // namespace warlock::fragment

@@ -1,0 +1,82 @@
+#ifndef WARLOCK_FRAGMENT_FRAGMENT_SIZES_H_
+#define WARLOCK_FRAGMENT_FRAGMENT_SIZES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "fragment/fragmentation.h"
+#include "schema/star_schema.h"
+
+namespace warlock::fragment {
+
+/// Per-fragment size statistics of a fragmentation applied to a fact table.
+///
+/// Fragment row counts are *expected* values under the schema's per-level
+/// value weights: uniform data gives identical fragments; Zipf skew at a
+/// dimension's bottom level propagates to whichever level fragments that
+/// dimension, making fragment sizes the product of per-dimension value
+/// weights. These sizes feed both the I/O cost model and the greedy
+/// size-based allocation scheme.
+class FragmentSizes {
+ public:
+  /// Computes sizes for every fragment. Fails with ResourceExhausted when
+  /// the fragmentation has more than `max_fragments` fragments (callers
+  /// exclude such candidates by threshold before costing them).
+  static Result<FragmentSizes> Compute(const Fragmentation& fragmentation,
+                                       const schema::StarSchema& schema,
+                                       size_t fact_index, uint32_t page_size,
+                                       uint64_t max_fragments = 1ULL << 22);
+
+  /// Number of fragments.
+  uint64_t num_fragments() const { return rows_.size(); }
+
+  /// Expected rows in fragment `id`.
+  double rows(uint64_t id) const { return rows_[id]; }
+
+  /// Pages occupied by fragment `id` (>= 1: a fragment owns at least one
+  /// page on disk).
+  uint64_t pages(uint64_t id) const;
+
+  /// Bytes occupied by fragment `id` (pages * page_size).
+  uint64_t bytes(uint64_t id) const { return pages(id) * page_size_; }
+
+  /// Rows per fact page.
+  uint64_t rows_per_page() const { return rows_per_page_; }
+
+  /// Page size the computation used.
+  uint32_t page_size() const { return page_size_; }
+
+  /// Total fact rows.
+  double total_rows() const { return total_rows_; }
+
+  /// Total pages over all fragments.
+  uint64_t TotalPages() const;
+
+  /// Largest fragment's pages.
+  uint64_t MaxPages() const;
+
+  /// Mean fragment pages.
+  double AvgPages() const;
+
+  /// Size-skew ratio: max fragment rows / mean fragment rows (1.0 when
+  /// perfectly balanced).
+  double SkewFactor() const;
+
+ private:
+  FragmentSizes(std::vector<double> rows, uint64_t rows_per_page,
+                uint32_t page_size, double total_rows)
+      : rows_(std::move(rows)),
+        rows_per_page_(rows_per_page),
+        page_size_(page_size),
+        total_rows_(total_rows) {}
+
+  std::vector<double> rows_;
+  uint64_t rows_per_page_;
+  uint32_t page_size_;
+  double total_rows_;
+};
+
+}  // namespace warlock::fragment
+
+#endif  // WARLOCK_FRAGMENT_FRAGMENT_SIZES_H_

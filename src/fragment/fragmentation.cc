@@ -1,0 +1,97 @@
+#include "fragment/fragmentation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/math.h"
+
+namespace warlock::fragment {
+
+Result<Fragmentation> Fragmentation::Create(std::vector<FragAttr> attrs,
+                                            const schema::StarSchema& schema) {
+  std::set<uint32_t> dims;
+  for (const FragAttr& a : attrs) {
+    if (a.dim >= schema.num_dimensions()) {
+      return Status::OutOfRange("fragmentation: dimension index " +
+                                std::to_string(a.dim) + " out of range");
+    }
+    const schema::Dimension& d = schema.dimension(a.dim);
+    if (a.level >= d.num_levels()) {
+      return Status::OutOfRange("fragmentation: level index " +
+                                std::to_string(a.level) +
+                                " out of range for dimension '" + d.name() +
+                                "'");
+    }
+    if (!dims.insert(a.dim).second) {
+      return Status::InvalidArgument(
+          "fragmentation: multiple attributes for dimension '" + d.name() +
+          "'");
+    }
+  }
+  std::sort(attrs.begin(), attrs.end(),
+            [](const FragAttr& a, const FragAttr& b) { return a.dim < b.dim; });
+  std::vector<uint64_t> cards;
+  cards.reserve(attrs.size());
+  uint64_t num_fragments = 1;
+  for (const FragAttr& a : attrs) {
+    const uint64_t card = schema.dimension(a.dim).cardinality(a.level);
+    if (MulWouldOverflow(num_fragments, card)) {
+      return Status::InvalidArgument(
+          "fragmentation: fragment count overflows 64 bits");
+    }
+    num_fragments *= card;
+    cards.push_back(card);
+  }
+  return Fragmentation(std::move(attrs), std::move(cards), num_fragments);
+}
+
+Result<Fragmentation> Fragmentation::FromNames(
+    const std::vector<std::pair<std::string, std::string>>& attr_names,
+    const schema::StarSchema& schema) {
+  std::vector<FragAttr> attrs;
+  attrs.reserve(attr_names.size());
+  for (const auto& [dim_name, level_name] : attr_names) {
+    WARLOCK_ASSIGN_OR_RETURN(size_t dim, schema.DimensionIndex(dim_name));
+    WARLOCK_ASSIGN_OR_RETURN(size_t level,
+                             schema.dimension(dim).LevelIndex(level_name));
+    attrs.push_back(
+        {static_cast<uint32_t>(dim), static_cast<uint32_t>(level)});
+  }
+  return Create(std::move(attrs), schema);
+}
+
+std::optional<uint32_t> Fragmentation::LevelOf(uint32_t dim) const {
+  for (const FragAttr& a : attrs_) {
+    if (a.dim == dim) return a.level;
+  }
+  return std::nullopt;
+}
+
+uint64_t Fragmentation::FragmentId(const std::vector<uint64_t>& coords) const {
+  uint64_t id = 0;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    id = id * cards_[i] + coords[i];
+  }
+  return id;
+}
+
+std::vector<uint64_t> Fragmentation::Coordinates(uint64_t fragment_id) const {
+  std::vector<uint64_t> coords(attrs_.size());
+  for (size_t i = attrs_.size(); i-- > 0;) {
+    coords[i] = fragment_id % cards_[i];
+    fragment_id /= cards_[i];
+  }
+  return coords;
+}
+
+std::string Fragmentation::Label(const schema::StarSchema& schema) const {
+  if (attrs_.empty()) return "-";
+  std::string label;
+  for (const FragAttr& a : attrs_) {
+    if (!label.empty()) label += " x ";
+    label += schema.dimension(a.dim).level(a.level).name;
+  }
+  return label;
+}
+
+}  // namespace warlock::fragment

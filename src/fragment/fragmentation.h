@@ -1,0 +1,98 @@
+#ifndef WARLOCK_FRAGMENT_FRAGMENTATION_H_
+#define WARLOCK_FRAGMENT_FRAGMENTATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/star_schema.h"
+
+namespace warlock::fragment {
+
+/// A fragmentation attribute: dimension `dim` fragmented at hierarchy level
+/// `level` ("point" fragmentation — attribute range size 1, as WARLOCK's
+/// prediction layer restricts the evaluation space to).
+struct FragAttr {
+  uint32_t dim = 0;
+  uint32_t level = 0;
+
+  bool operator==(const FragAttr&) const = default;
+};
+
+/// A multi-dimensional hierarchical range fragmentation (MDHF) of a fact
+/// table: a set of fragmentation attributes, at most one per dimension. All
+/// fact rows sharing one value combination of the fragmentation attributes
+/// form one fragment. The empty attribute set is the degenerate
+/// "no fragmentation" (a single fragment). Bitmap fragments follow the fact
+/// fragmentation exactly.
+///
+/// Fragments are identified by ids in [0, NumFragments()) that enumerate the
+/// value combinations in *logical order*: lexicographic by attribute, in
+/// schema dimension order — the order the logical round-robin allocation
+/// scheme walks.
+class Fragmentation {
+ public:
+  /// Constructs the empty fragmentation (a single fragment). Prefer
+  /// `Create({}, schema)` when a schema is at hand; this constructor exists
+  /// so containers and aggregates can hold fragmentations.
+  Fragmentation() = default;
+
+  /// Validates `attrs` against `schema`: indexes in range, at most one
+  /// attribute per dimension, and the fragment count representable in 64
+  /// bits. Attributes are normalized to schema dimension order.
+  static Result<Fragmentation> Create(std::vector<FragAttr> attrs,
+                                      const schema::StarSchema& schema);
+
+  /// Convenience: build from (dimension name, level name) pairs.
+  static Result<Fragmentation> FromNames(
+      const std::vector<std::pair<std::string, std::string>>& attr_names,
+      const schema::StarSchema& schema);
+
+  /// The attributes in schema dimension order.
+  const std::vector<FragAttr>& attrs() const { return attrs_; }
+
+  /// Number of fragmentation dimensions (0 = unfragmented).
+  size_t num_attrs() const { return attrs_.size(); }
+
+  /// Fragmentation level of dimension `dim`, or nullopt if `dim` is not a
+  /// fragmentation dimension.
+  std::optional<uint32_t> LevelOf(uint32_t dim) const;
+
+  /// Total number of fragments (product of attribute cardinalities; 1 for
+  /// the empty fragmentation).
+  uint64_t NumFragments() const { return num_fragments_; }
+
+  /// Cardinality of attribute `i` (parallel to attrs()).
+  const std::vector<uint64_t>& cardinalities() const { return cards_; }
+
+  /// Maps attribute value coordinates (parallel to attrs()) to the fragment
+  /// id in logical order.
+  uint64_t FragmentId(const std::vector<uint64_t>& coords) const;
+
+  /// Inverse of `FragmentId`.
+  std::vector<uint64_t> Coordinates(uint64_t fragment_id) const;
+
+  /// Human-readable label like "Month x Group" ("-" when empty).
+  std::string Label(const schema::StarSchema& schema) const;
+
+  bool operator==(const Fragmentation& other) const {
+    return attrs_ == other.attrs_;
+  }
+
+ private:
+  Fragmentation(std::vector<FragAttr> attrs, std::vector<uint64_t> cards,
+                uint64_t num_fragments)
+      : attrs_(std::move(attrs)),
+        cards_(std::move(cards)),
+        num_fragments_(num_fragments) {}
+
+  std::vector<FragAttr> attrs_;
+  std::vector<uint64_t> cards_;
+  uint64_t num_fragments_ = 1;
+};
+
+}  // namespace warlock::fragment
+
+#endif  // WARLOCK_FRAGMENT_FRAGMENTATION_H_

@@ -1,0 +1,199 @@
+#include "fragment/query_hits.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace warlock::fragment {
+
+namespace {
+
+// Sum of weights[v] for v in [begin, end).
+double SumWeights(const std::vector<double>& weights, uint64_t begin,
+                  uint64_t end) {
+  double s = 0.0;
+  for (uint64_t v = begin; v < end; ++v) s += weights[v];
+  return s;
+}
+
+// Index of `dim`'s restriction within cq's restriction list, or SIZE_MAX.
+size_t RestrictionIndex(const workload::QueryClass& qc, uint32_t dim) {
+  const auto& rs = qc.restrictions();
+  for (size_t i = 0; i < rs.size(); ++i) {
+    if (rs[i].dim == dim) return i;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+HitSummary AnalyzeExpected(const Fragmentation& fragmentation,
+                           const workload::QueryClass& qc,
+                           const schema::StarSchema& schema,
+                           size_t fact_index) {
+  const double total_rows =
+      static_cast<double>(schema.fact(fact_index).row_count());
+  double frag_hits = 1.0;
+  double num_fragments = 1.0;
+  for (size_t i = 0; i < fragmentation.num_attrs(); ++i) {
+    const FragAttr& a = fragmentation.attrs()[i];
+    const schema::Dimension& d = schema.dimension(a.dim);
+    const double card_f = static_cast<double>(d.cardinality(a.level));
+    num_fragments *= card_f;
+    const workload::Restriction* r = qc.RestrictionFor(a.dim);
+    if (r == nullptr) {
+      frag_hits *= card_f;
+      continue;
+    }
+    const double card_q = static_cast<double>(d.cardinality(r->level));
+    const double nv = static_cast<double>(r->num_values);
+    double hits_d;
+    if (r->level <= a.level) {
+      // Query attribute is the fragmentation attribute or an ancestor of it:
+      // the nv selected values' descendants are hit, nothing else.
+      hits_d = std::min(card_f, nv * card_f / card_q);
+    } else {
+      // Query is finer than the fragmentation: nv contiguous fine values
+      // fall under ~ (nv-1)*card_f/card_q + 1 ancestors.
+      hits_d = std::min(card_f, (nv - 1.0) * card_f / card_q + 1.0);
+    }
+    frag_hits *= hits_d;
+  }
+
+  HitSummary out;
+  out.fragments_hit = frag_hits;
+  out.qualifying_rows = total_rows * qc.UniformSelectivity(schema);
+  out.rows_per_hit_fragment =
+      frag_hits > 0.0 ? out.qualifying_rows / frag_hits : 0.0;
+  // residual = qualifying rows per hit fragment / rows per fragment
+  //          = sel * num_fragments / frag_hits  (uniform data).
+  out.residual_selectivity = std::min(
+      1.0, qc.UniformSelectivity(schema) * num_fragments / frag_hits);
+  return out;
+}
+
+uint64_t HitRanges::NumFragments() const {
+  uint64_t n = 1;
+  for (size_t i = 0; i < begin.size(); ++i) n *= end[i] - begin[i];
+  return n;
+}
+
+HitRanges ComputeHitRanges(const Fragmentation& fragmentation,
+                           const workload::ConcreteQuery& cq,
+                           const schema::StarSchema& schema) {
+  const workload::QueryClass& qc = *cq.query_class;
+  HitRanges ranges;
+  ranges.begin.resize(fragmentation.num_attrs());
+  ranges.end.resize(fragmentation.num_attrs());
+  for (size_t i = 0; i < fragmentation.num_attrs(); ++i) {
+    const FragAttr& a = fragmentation.attrs()[i];
+    const schema::Dimension& d = schema.dimension(a.dim);
+    const size_t ri = RestrictionIndex(qc, a.dim);
+    if (ri == SIZE_MAX) {
+      ranges.begin[i] = 0;
+      ranges.end[i] = d.cardinality(a.level);
+      continue;
+    }
+    const workload::Restriction& r = qc.restrictions()[ri];
+    const uint64_t v0 = cq.start_values[ri];
+    const uint64_t v1 = v0 + r.num_values - 1;  // inclusive last value
+    if (r.level <= a.level) {
+      // Restriction at same-or-coarser level: hit fragments are the
+      // descendants of the selected value range.
+      ranges.begin[i] = d.DescendantRange(r.level, v0, a.level).first;
+      ranges.end[i] = d.DescendantRange(r.level, v1, a.level).second;
+    } else {
+      // Restriction finer than fragmentation: hit fragments are the
+      // ancestors of the selected value range.
+      ranges.begin[i] = d.AncestorValue(r.level, v0, a.level);
+      ranges.end[i] = d.AncestorValue(r.level, v1, a.level) + 1;
+    }
+  }
+  return ranges;
+}
+
+Result<std::vector<FragmentHit>> EnumerateHits(
+    const Fragmentation& fragmentation, const workload::ConcreteQuery& cq,
+    const schema::StarSchema& schema, size_t fact_index,
+    const FragmentSizes& sizes, uint64_t max_hits) {
+  (void)fact_index;
+  const workload::QueryClass& qc = *cq.query_class;
+  const HitRanges ranges = ComputeHitRanges(fragmentation, cq, schema);
+  const uint64_t num_hits = ranges.NumFragments();
+  if (num_hits > max_hits) {
+    return Status::ResourceExhausted(
+        "concrete query touches " + std::to_string(num_hits) +
+        " fragments, above the enumeration limit of " +
+        std::to_string(max_hits));
+  }
+
+  // Selectivity contribution of restrictions on non-fragmentation
+  // dimensions: identical for every hit fragment.
+  double unfragmented_factor = 1.0;
+  bool unfragmented_fully = true;
+  {
+    const auto& rs = qc.restrictions();
+    for (size_t ri = 0; ri < rs.size(); ++ri) {
+      if (fragmentation.LevelOf(rs[ri].dim).has_value()) continue;
+      const schema::Dimension& d = schema.dimension(rs[ri].dim);
+      const std::vector<double>& w = d.LevelWeights(rs[ri].level);
+      const uint64_t v0 = cq.start_values[ri];
+      unfragmented_factor *= SumWeights(w, v0, v0 + rs[ri].num_values);
+      if (rs[ri].num_values != d.cardinality(rs[ri].level)) {
+        unfragmented_fully = false;
+      }
+    }
+  }
+
+  const size_t k = fragmentation.num_attrs();
+  std::vector<FragmentHit> hits;
+  hits.reserve(num_hits);
+  std::vector<uint64_t> coord(ranges.begin);
+  const double total_rows = sizes.total_rows();
+  while (true) {
+    // Weight (row fraction) and full-qualification flag of this fragment.
+    double weight = 1.0;
+    bool fully = unfragmented_fully;
+    for (size_t i = 0; i < k; ++i) {
+      const FragAttr& a = fragmentation.attrs()[i];
+      const schema::Dimension& d = schema.dimension(a.dim);
+      const std::vector<double>& wf = d.LevelWeights(a.level);
+      const size_t ri = RestrictionIndex(qc, a.dim);
+      if (ri == SIZE_MAX || qc.restrictions()[ri].level <= a.level) {
+        // Unrestricted dimension, or restriction resolved by the fragment
+        // boundary: the fragment's whole extent in this dimension qualifies.
+        weight *= wf[coord[i]];
+      } else {
+        // Finer restriction: only the overlap of the query's value range
+        // with this fragment's descendants qualifies.
+        const workload::Restriction& r = qc.restrictions()[ri];
+        const std::vector<double>& wq = d.LevelWeights(r.level);
+        const uint64_t v0 = cq.start_values[ri];
+        const uint64_t v1 = v0 + r.num_values;  // exclusive
+        const auto [dlo, dhi] = d.DescendantRange(a.level, coord[i], r.level);
+        const uint64_t lo = std::max(v0, dlo);
+        const uint64_t hi = std::min(v1, dhi);
+        weight *= lo < hi ? SumWeights(wq, lo, hi) : 0.0;
+        if (!(v0 <= dlo && dhi <= v1)) fully = false;
+      }
+    }
+    weight *= unfragmented_factor;
+
+    FragmentHit hit;
+    hit.fragment_id = fragmentation.FragmentId(coord);
+    hit.qualifying_rows =
+        std::min(total_rows * weight, sizes.rows(hit.fragment_id));
+    hit.fully_qualified = fully;
+    if (hit.qualifying_rows > 0.0) hits.push_back(hit);
+
+    // Odometer increment over the hit ranges.
+    size_t i = k;
+    while (i-- > 0) {
+      if (++coord[i] < ranges.end[i]) break;
+      coord[i] = ranges.begin[i];
+      if (i == 0) return hits;
+    }
+    if (k == 0) return hits;  // empty fragmentation: single fragment
+  }
+}
+
+}  // namespace warlock::fragment

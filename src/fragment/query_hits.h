@@ -1,0 +1,76 @@
+#ifndef WARLOCK_FRAGMENT_QUERY_HITS_H_
+#define WARLOCK_FRAGMENT_QUERY_HITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "fragment/fragment_sizes.h"
+#include "fragment/fragmentation.h"
+#include "schema/star_schema.h"
+#include "workload/query.h"
+
+namespace warlock::fragment {
+
+/// Expected-value summary of which fragments a query class touches under a
+/// fragmentation — MDHF's central property: star query work is confined to a
+/// subset of the fragments whenever at least one fragmentation dimension is
+/// accessed.
+struct HitSummary {
+  /// Expected number of fragments the query touches.
+  double fragments_hit = 0.0;
+  /// Expected total qualifying fact rows.
+  double qualifying_rows = 0.0;
+  /// Expected qualifying rows per touched fragment.
+  double rows_per_hit_fragment = 0.0;
+  /// Fraction of a touched fragment's rows that qualify (residual
+  /// selectivity the bitmap indexes must resolve; 1.0 means the fragment
+  /// qualifies entirely and no bitmap filtering is needed).
+  double residual_selectivity = 1.0;
+};
+
+/// Computes the expected-value hit summary for `qc` under `fragmentation`,
+/// assuming query values drawn uniformly.
+HitSummary AnalyzeExpected(const Fragmentation& fragmentation,
+                           const workload::QueryClass& qc,
+                           const schema::StarSchema& schema,
+                           size_t fact_index);
+
+/// One fragment touched by a concrete query.
+struct FragmentHit {
+  uint64_t fragment_id = 0;
+  /// Expected qualifying rows inside this fragment (fractional: expectation
+  /// under the data distribution).
+  double qualifying_rows = 0.0;
+  /// True iff every row of the fragment qualifies (the restrictions are
+  /// fully resolved by the fragment boundaries in all dimensions).
+  bool fully_qualified = false;
+};
+
+/// Per-attribute contiguous range [begin, end) of fragmentation-attribute
+/// values a concrete query touches; parallel to `Fragmentation::attrs()`.
+struct HitRanges {
+  std::vector<uint64_t> begin;
+  std::vector<uint64_t> end;
+
+  /// Product of range widths = number of fragments hit.
+  uint64_t NumFragments() const;
+};
+
+/// Computes the fragmentation-coordinate ranges `cq` touches.
+HitRanges ComputeHitRanges(const Fragmentation& fragmentation,
+                           const workload::ConcreteQuery& cq,
+                           const schema::StarSchema& schema);
+
+/// Enumerates every fragment a concrete query touches, with expected
+/// qualifying row counts. Fails with ResourceExhausted when more than
+/// `max_hits` fragments are touched (the caller falls back to the
+/// expected-value model).
+Result<std::vector<FragmentHit>> EnumerateHits(
+    const Fragmentation& fragmentation, const workload::ConcreteQuery& cq,
+    const schema::StarSchema& schema, size_t fact_index,
+    const FragmentSizes& sizes, uint64_t max_hits = 1ULL << 20);
+
+}  // namespace warlock::fragment
+
+#endif  // WARLOCK_FRAGMENT_QUERY_HITS_H_

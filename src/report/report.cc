@@ -1,0 +1,179 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "alloc/allocators.h"
+#include "common/format.h"
+#include "common/text_table.h"
+
+namespace warlock::report {
+
+std::string RenderRanking(const core::AdvisorResult& result,
+                          const schema::StarSchema& schema) {
+  TextTable table({"Rank", "Fragmentation", "#Frags", "Pages", "BitmapMB",
+                   "Alloc", "Gf", "Gb", "Work/Q", "Resp/Q", "Balance"});
+  size_t rank = 1;
+  for (size_t idx : result.ranking) {
+    const core::EvaluatedCandidate& c = result.candidates[idx];
+    table.BeginRow()
+        .AddNumeric(std::to_string(rank++))
+        .Add(c.fragmentation.Label(schema))
+        .AddNumeric(FormatCount(static_cast<double>(c.num_fragments)))
+        .AddNumeric(FormatCount(static_cast<double>(c.total_pages)))
+        .AddNumeric(FormatFixed(c.bitmap_storage_bytes / (1 << 20), 1))
+        .Add(alloc::AllocationSchemeName(c.allocation_scheme))
+        .AddNumeric(std::to_string(c.fact_granule))
+        .AddNumeric(std::to_string(c.bitmap_granule))
+        .AddNumeric(FormatMillis(c.cost.io_work_ms))
+        .AddNumeric(FormatMillis(c.cost.response_ms))
+        .AddNumeric(FormatFixed(c.allocation_balance, 3));
+  }
+  std::ostringstream os;
+  os << "WARLOCK fragmentation ranking (top " << result.ranking.size()
+     << " of " << result.enumerated << " candidates; " << result.excluded
+     << " excluded, " << result.screened << " screened, "
+     << result.fully_evaluated << " fully evaluated)\n"
+     << table.ToString();
+  return os.str();
+}
+
+std::string RenderExclusions(const core::AdvisorResult& result,
+                             const schema::StarSchema& schema) {
+  TextTable table({"Fragmentation", "Reason"});
+  for (const core::EvaluatedCandidate& c : result.candidates) {
+    if (!c.excluded) continue;
+    table.BeginRow().Add(c.fragmentation.Label(schema)).Add(
+        c.exclusion_reason);
+  }
+  std::ostringstream os;
+  os << "Excluded candidates (" << result.excluded << ")\n"
+     << table.ToString();
+  return os.str();
+}
+
+std::string RenderQueryStats(const core::EvaluatedCandidate& candidate,
+                             const workload::QueryMix& mix,
+                             const schema::StarSchema& schema) {
+  std::ostringstream os;
+  os << "Fragmentation: " << candidate.fragmentation.Label(schema) << "\n";
+  os << "Database statistic: " << candidate.num_fragments << " fragments, "
+     << candidate.total_pages << " pages, avg fragment "
+     << FormatFixed(candidate.avg_fragment_pages, 1) << " pages, size skew "
+     << FormatFixed(candidate.size_skew_factor, 2) << "\n";
+  os << "Bitmap storage: "
+     << FormatBytes(static_cast<uint64_t>(candidate.bitmap_storage_bytes))
+     << "\n";
+  os << "Prefetch suggestion: fact granule " << candidate.fact_granule
+     << " pages, bitmap granule " << candidate.bitmap_granule << " pages\n";
+  os << "Allocation: "
+     << alloc::AllocationSchemeName(candidate.allocation_scheme)
+     << ", balance " << FormatFixed(candidate.allocation_balance, 3) << "\n";
+
+  TextTable table({"Class", "Weight", "Signature", "#FragHits", "FactPages",
+                   "BmpPages", "#I/Os", "Work", "Resp", "Disks"});
+  for (size_t i = 0; i < mix.size(); ++i) {
+    if (i >= candidate.cost.per_class.size()) break;
+    const cost::QueryCost& qc = candidate.cost.per_class[i];
+    table.BeginRow()
+        .Add(mix.query_class(i).name())
+        .AddNumeric(FormatPercent(mix.weight(i)))
+        .Add(mix.query_class(i).Signature(schema))
+        .AddNumeric(FormatCount(qc.fragments_hit))
+        .AddNumeric(FormatCount(qc.fact_pages))
+        .AddNumeric(FormatCount(qc.bitmap_pages))
+        .AddNumeric(FormatCount(qc.fact_ios + qc.bitmap_ios))
+        .AddNumeric(FormatMillis(qc.io_work_ms))
+        .AddNumeric(FormatMillis(qc.response_ms))
+        .AddNumeric(FormatFixed(qc.disks_used, 1));
+  }
+  os << table.ToString();
+  return os.str();
+}
+
+std::string RenderOccupancy(const core::EvaluatedCandidate& candidate) {
+  std::ostringstream os;
+  os << "Disk occupancy (balance " << FormatFixed(candidate.allocation_balance, 3)
+     << ")\n";
+  if (candidate.disk_bytes.empty()) return os.str();
+  const uint64_t mx = *std::max_element(candidate.disk_bytes.begin(),
+                                        candidate.disk_bytes.end());
+  for (size_t d = 0; d < candidate.disk_bytes.size(); ++d) {
+    const double frac =
+        mx > 0 ? static_cast<double>(candidate.disk_bytes[d]) /
+                     static_cast<double>(mx)
+               : 0.0;
+    os << "disk " << (d < 10 ? " " : "") << d << " |" << AsciiBar(frac, 40)
+       << "| " << FormatBytes(candidate.disk_bytes[d]) << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderDiskProfile(const std::vector<double>& profile_ms,
+                              const std::string& title) {
+  std::ostringstream os;
+  os << "Disk access profile: " << title << "\n";
+  const double mx =
+      profile_ms.empty()
+          ? 0.0
+          : *std::max_element(profile_ms.begin(), profile_ms.end());
+  for (size_t d = 0; d < profile_ms.size(); ++d) {
+    const double frac = mx > 0.0 ? profile_ms[d] / mx : 0.0;
+    os << "disk " << (d < 10 ? " " : "") << d << " |" << AsciiBar(frac, 40)
+       << "| " << FormatMillis(profile_ms[d]) << "\n";
+  }
+  return os.str();
+}
+
+CsvWriter RankingToCsv(const core::AdvisorResult& result,
+                       const schema::StarSchema& schema) {
+  CsvWriter csv({"rank", "fragmentation", "num_fragments", "total_pages",
+                 "bitmap_bytes", "allocation", "fact_granule",
+                 "bitmap_granule", "io_work_ms", "response_ms", "balance",
+                 "screening_io_work_ms"});
+  size_t rank = 1;
+  for (size_t idx : result.ranking) {
+    const core::EvaluatedCandidate& c = result.candidates[idx];
+    csv.BeginRow()
+        .Add(static_cast<uint64_t>(rank++))
+        .Add(c.fragmentation.Label(schema))
+        .Add(c.num_fragments)
+        .Add(c.total_pages)
+        .Add(c.bitmap_storage_bytes)
+        .Add(std::string(alloc::AllocationSchemeName(c.allocation_scheme)))
+        .Add(c.fact_granule)
+        .Add(c.bitmap_granule)
+        .Add(c.cost.io_work_ms)
+        .Add(c.cost.response_ms)
+        .Add(c.allocation_balance)
+        .Add(c.screening_io_work_ms);
+  }
+  return csv;
+}
+
+CsvWriter QueryStatsToCsv(const core::EvaluatedCandidate& candidate,
+                          const workload::QueryMix& mix,
+                          const schema::StarSchema& schema) {
+  CsvWriter csv({"class", "weight", "signature", "fragment_hits",
+                 "fact_pages", "bitmap_pages", "fact_ios", "bitmap_ios",
+                 "io_work_ms", "response_ms", "disks_used"});
+  for (size_t i = 0; i < mix.size(); ++i) {
+    if (i >= candidate.cost.per_class.size()) break;
+    const cost::QueryCost& qc = candidate.cost.per_class[i];
+    csv.BeginRow()
+        .Add(mix.query_class(i).name())
+        .Add(mix.weight(i))
+        .Add(mix.query_class(i).Signature(schema))
+        .Add(qc.fragments_hit)
+        .Add(qc.fact_pages)
+        .Add(qc.bitmap_pages)
+        .Add(qc.fact_ios)
+        .Add(qc.bitmap_ios)
+        .Add(qc.io_work_ms)
+        .Add(qc.response_ms)
+        .Add(qc.disks_used);
+  }
+  return csv;
+}
+
+}  // namespace warlock::report

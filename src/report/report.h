@@ -1,0 +1,53 @@
+#ifndef WARLOCK_REPORT_REPORT_H_
+#define WARLOCK_REPORT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "core/advisor.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock::report {
+
+/// Renders the ranked list of fragmentation candidates — the primary output
+/// of WARLOCK's analysis layer (rank, attributes, #fragments, I/O work,
+/// response time, allocation scheme, granule suggestion).
+std::string RenderRanking(const core::AdvisorResult& result,
+                          const schema::StarSchema& schema);
+
+/// Renders the exclusion report: every candidate dropped by thresholds with
+/// its reason.
+std::string RenderExclusions(const core::AdvisorResult& result,
+                             const schema::StarSchema& schema);
+
+/// Renders the detailed per-query-class statistic of one fragmentation
+/// (Fig. 2 of the paper): database statistic, I/O access statistic
+/// (#accessed fragments and pages, #I/Os), response times, prefetch
+/// suggestion.
+std::string RenderQueryStats(const core::EvaluatedCandidate& candidate,
+                             const workload::QueryMix& mix,
+                             const schema::StarSchema& schema);
+
+/// Renders the physical allocation summary: disk occupancy distribution as
+/// ASCII bars plus balance figures.
+std::string RenderOccupancy(const core::EvaluatedCandidate& candidate);
+
+/// Renders a disk access profile (per-disk busy time of a query class) as
+/// ASCII bars.
+std::string RenderDiskProfile(const std::vector<double>& profile_ms,
+                              const std::string& title);
+
+/// CSV of the ranked candidates (one row per candidate, ranked first).
+CsvWriter RankingToCsv(const core::AdvisorResult& result,
+                       const schema::StarSchema& schema);
+
+/// CSV of one candidate's per-class statistics.
+CsvWriter QueryStatsToCsv(const core::EvaluatedCandidate& candidate,
+                          const workload::QueryMix& mix,
+                          const schema::StarSchema& schema);
+
+}  // namespace warlock::report
+
+#endif  // WARLOCK_REPORT_REPORT_H_

@@ -1,0 +1,51 @@
+#include "schema/apb1.h"
+
+#include <cmath>
+
+namespace warlock::schema {
+
+Result<StarSchema> Apb1Schema(const Apb1Options& options) {
+  if (!(options.density > 0.0) || options.density > 1.0) {
+    return Status::InvalidArgument("APB-1 density must be in (0, 1]");
+  }
+  WARLOCK_ASSIGN_OR_RETURN(
+      Dimension product,
+      Dimension::Create("Product",
+                        {{"Division", 2},
+                         {"Line", 7},
+                         {"Family", 20},
+                         {"Group", 100},
+                         {"Class", 900},
+                         {"Code", 9000}},
+                        options.product_theta));
+  WARLOCK_ASSIGN_OR_RETURN(
+      Dimension customer,
+      Dimension::Create("Customer", {{"Retailer", 90}, {"Store", 900}},
+                        options.customer_theta));
+  WARLOCK_ASSIGN_OR_RETURN(
+      Dimension time,
+      Dimension::Create("Time", {{"Year", 2}, {"Quarter", 8}, {"Month", 24}},
+                        options.time_theta));
+  WARLOCK_ASSIGN_OR_RETURN(
+      Dimension channel,
+      Dimension::Create("Channel", {{"Base", 9}}, options.channel_theta));
+
+  const double cube = 9000.0 * 900.0 * 24.0 * 9.0;
+  const uint64_t rows =
+      static_cast<uint64_t>(std::llround(cube * options.density));
+  WARLOCK_ASSIGN_OR_RETURN(
+      FactTable sales,
+      FactTable::Create("Sales", rows == 0 ? 1 : rows, options.fact_row_bytes,
+                        {{"UnitsSold", 8},
+                         {"DollarSales", 8},
+                         {"DollarCost", 8}}));
+
+  std::vector<Dimension> dims;
+  dims.push_back(std::move(product));
+  dims.push_back(std::move(customer));
+  dims.push_back(std::move(time));
+  dims.push_back(std::move(channel));
+  return StarSchema::Create("APB1", std::move(dims), std::move(sales));
+}
+
+}  // namespace warlock::schema

@@ -1,0 +1,47 @@
+#ifndef WARLOCK_SCHEMA_APB1_H_
+#define WARLOCK_SCHEMA_APB1_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "schema/star_schema.h"
+
+namespace warlock::schema {
+
+/// Parameters for the built-in APB-1 star schema.
+///
+/// The WARLOCK demonstration uses "APB-1-based configurations" (the OLAP
+/// Council APB-1 benchmark, Release II). The benchmark's dimension
+/// hierarchies are encoded here with their published cardinalities:
+///
+///   Product : Division(2) > Line(7) > Family(20) > Group(100) > Class(900)
+///             > Code(9000)
+///   Customer: Retailer(90) > Store(900)
+///   Time    : Year(2) > Quarter(8) > Month(24)
+///   Channel : Base(9)
+///
+/// The fact ("Sales") population is `density` times the full bottom-level
+/// cross product (9000 * 900 * 24 * 9 combinations), matching APB-1's
+/// density-controlled history generation.
+struct Apb1Options {
+  /// Fraction of the bottom-level cross product present as fact rows.
+  /// The default 0.01 yields ~17.5M rows.
+  double density = 0.01;
+
+  /// Physical fact row width (FKs + measures).
+  uint32_t fact_row_bytes = 100;
+
+  /// Optional Zipf skew per dimension's bottom level (0 = uniform).
+  double product_theta = 0.0;
+  double customer_theta = 0.0;
+  double time_theta = 0.0;
+  double channel_theta = 0.0;
+};
+
+/// Builds the APB-1 star schema. Returns InvalidArgument for densities
+/// outside (0, 1].
+Result<StarSchema> Apb1Schema(const Apb1Options& options = {});
+
+}  // namespace warlock::schema
+
+#endif  // WARLOCK_SCHEMA_APB1_H_

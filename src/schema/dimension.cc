@@ -1,0 +1,133 @@
+#include "schema/dimension.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/zipf.h"
+
+namespace warlock::schema {
+
+namespace {
+
+// Upper bound on bottom-level cardinality: weight vectors are materialized
+// per level, so keep memory bounded (16M doubles = 128 MiB worst case).
+constexpr uint64_t kMaxBottomCardinality = 16ULL * 1024 * 1024;
+
+}  // namespace
+
+Result<Dimension> Dimension::Create(std::string name,
+                                    std::vector<DimensionLevel> levels,
+                                    double zipf_theta) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dimension name must be non-empty");
+  }
+  if (levels.empty()) {
+    return Status::InvalidArgument("dimension '" + name + "' has no levels");
+  }
+  std::set<std::string> seen;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].name.empty()) {
+      return Status::InvalidArgument("dimension '" + name +
+                                     "': empty level name");
+    }
+    if (!seen.insert(levels[i].name).second) {
+      return Status::InvalidArgument("dimension '" + name +
+                                     "': duplicate level name '" +
+                                     levels[i].name + "'");
+    }
+    if (levels[i].cardinality == 0) {
+      return Status::InvalidArgument("dimension '" + name + "': level '" +
+                                     levels[i].name + "' has cardinality 0");
+    }
+    if (i > 0 && levels[i].cardinality < levels[i - 1].cardinality) {
+      return Status::InvalidArgument(
+          "dimension '" + name +
+          "': cardinalities must be non-decreasing from top to bottom ('" +
+          levels[i].name + "' is finer but smaller)");
+    }
+  }
+  if (zipf_theta < 0.0) {
+    return Status::InvalidArgument("dimension '" + name +
+                                   "': zipf theta must be >= 0");
+  }
+  const uint64_t bottom_card = levels.back().cardinality;
+  if (bottom_card > kMaxBottomCardinality) {
+    return Status::InvalidArgument(
+        "dimension '" + name +
+        "': bottom-level cardinality exceeds supported maximum");
+  }
+
+  // Bottom-level weights: Zipf(theta); theta == 0 yields uniform.
+  WARLOCK_ASSIGN_OR_RETURN(std::vector<double> bottom,
+                           ZipfWeights(bottom_card, zipf_theta));
+  std::vector<std::vector<double>> weights(levels.size());
+  weights.back() = std::move(bottom);
+  // Aggregate bottom weights upward using the contiguous parent mapping.
+  for (size_t li = levels.size() - 1; li-- > 0;) {
+    const uint64_t card = levels[li].cardinality;
+    const uint64_t child_card = levels[li + 1].cardinality;
+    std::vector<double> w(card, 0.0);
+    const std::vector<double>& child = weights[li + 1];
+    for (uint64_t v = 0; v < child_card; ++v) {
+      // parent(v) = floor(v * card / child_card)
+      const uint64_t p =
+          static_cast<uint64_t>((static_cast<__uint128_t>(v) * card) /
+                                child_card);
+      w[p] += child[v];
+    }
+    weights[li] = std::move(w);
+  }
+
+  return Dimension(std::move(name), std::move(levels), zipf_theta,
+                   std::move(weights));
+}
+
+Result<size_t> Dimension::LevelIndex(std::string_view level_name) const {
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].name == level_name) return i;
+  }
+  return Status::NotFound("dimension '" + name_ + "' has no level '" +
+                          std::string(level_name) + "'");
+}
+
+uint64_t Dimension::AncestorValue(size_t fine_level, uint64_t value,
+                                  size_t coarse_level) const {
+  // Composed through adjacent levels so the hierarchy is transitive:
+  // ancestor(bottom -> coarse) == ancestor(ancestor(bottom -> mid) ->
+  // coarse) for every mid level. (The direct floor map between distant
+  // levels would violate this for non-divisible cardinalities.)
+  uint64_t v = value;
+  for (size_t l = fine_level; l > coarse_level; --l) {
+    const uint64_t cc = levels_[l - 1].cardinality;
+    const uint64_t cf = levels_[l].cardinality;
+    v = static_cast<uint64_t>((static_cast<__uint128_t>(v) * cc) / cf);
+  }
+  return v;
+}
+
+std::pair<uint64_t, uint64_t> Dimension::DescendantRange(
+    size_t coarse_level, uint64_t value, size_t fine_level) const {
+  // Composed adjacent-level expansion, the inverse of AncestorValue:
+  // children of `value` at level l are v with floor(v*cc/cf) == value,
+  // i.e. v in [ceil(value*cf/cc), ceil((value+1)*cf/cc)).
+  uint64_t begin = value;
+  uint64_t end = value + 1;
+  for (size_t l = coarse_level; l < fine_level; ++l) {
+    const uint64_t cc = levels_[l].cardinality;
+    const uint64_t cf = levels_[l + 1].cardinality;
+    auto ceil_mul_div = [&](uint64_t x) {
+      return static_cast<uint64_t>(
+          (static_cast<__uint128_t>(x) * cf + cc - 1) / cc);
+    };
+    begin = ceil_mul_div(begin);
+    end = ceil_mul_div(end);
+  }
+  return {begin, end};
+}
+
+double Dimension::AvgFanout(size_t coarse_level, size_t fine_level) const {
+  return static_cast<double>(levels_[fine_level].cardinality) /
+         static_cast<double>(levels_[coarse_level].cardinality);
+}
+
+}  // namespace warlock::schema

@@ -1,0 +1,110 @@
+#ifndef WARLOCK_SCHEMA_DIMENSION_H_
+#define WARLOCK_SCHEMA_DIMENSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace warlock::schema {
+
+/// One level of a dimension hierarchy. Levels are ordered coarse to fine
+/// (index 0 is the top, e.g. Year; the last index is the bottom, e.g. Month).
+/// `cardinality` is the total number of distinct values at the level.
+struct DimensionLevel {
+  std::string name;
+  uint64_t cardinality = 0;
+};
+
+/// A denormalized, hierarchically organized dimension table, as assumed by
+/// WARLOCK's star-schema model. Each level is a dimension attribute that can
+/// serve as a fragmentation attribute, a query restriction attribute, or a
+/// bitmap-index attribute.
+///
+/// The hierarchy between adjacent levels is modeled as the monotone
+/// contiguous mapping `parent(v) = floor(v * card_parent / card_child)`,
+/// which distributes children as evenly as possible while keeping each
+/// parent's children in one contiguous value range (the property
+/// hierarchical range fragmentation relies on). Non-divisible cardinalities
+/// (e.g. APB-1's 7 Lines over 20 Families) are supported.
+///
+/// Data skew is modeled as the paper specifies: a Zipf-like distribution
+/// over the values of the *bottom* level; weights of coarser-level values
+/// aggregate their descendants' weights.
+class Dimension {
+ public:
+  /// Validates and builds a dimension.
+  ///
+  /// Requirements: non-empty name and level list; level names non-empty and
+  /// unique; cardinalities >= 1 and non-decreasing from top to bottom;
+  /// `zipf_theta >= 0` (0 = uniform).
+  static Result<Dimension> Create(std::string name,
+                                  std::vector<DimensionLevel> levels,
+                                  double zipf_theta = 0.0);
+
+  /// Dimension name, e.g. "Product".
+  const std::string& name() const { return name_; }
+
+  /// Number of hierarchy levels.
+  size_t num_levels() const { return levels_.size(); }
+
+  /// Level metadata; `i < num_levels()`.
+  const DimensionLevel& level(size_t i) const { return levels_[i]; }
+
+  /// Index of the bottom (finest) level.
+  size_t bottom_level() const { return levels_.size() - 1; }
+
+  /// Cardinality of level `i`.
+  uint64_t cardinality(size_t i) const { return levels_[i].cardinality; }
+
+  /// Finds a level by name.
+  Result<size_t> LevelIndex(std::string_view level_name) const;
+
+  /// Zipf parameter of the bottom-level value distribution (0 = uniform).
+  double zipf_theta() const { return zipf_theta_; }
+
+  /// True iff the dimension carries data skew.
+  bool skewed() const { return zipf_theta_ > 0.0; }
+
+  /// Ancestor of `value` (at `fine_level`) at the coarser `coarse_level`.
+  /// Requires coarse_level <= fine_level and value < cardinality(fine_level).
+  uint64_t AncestorValue(size_t fine_level, uint64_t value,
+                         size_t coarse_level) const;
+
+  /// Half-open range [begin, end) of `fine_level` values descending from
+  /// `value` at `coarse_level`. Requires coarse_level <= fine_level.
+  std::pair<uint64_t, uint64_t> DescendantRange(size_t coarse_level,
+                                                uint64_t value,
+                                                size_t fine_level) const;
+
+  /// Average fan-out card(fine)/card(coarse) as a double.
+  double AvgFanout(size_t coarse_level, size_t fine_level) const;
+
+  /// Per-value row-weight vector of level `i` (sums to 1). Under skew the
+  /// bottom level is Zipf-distributed and coarser levels aggregate their
+  /// descendants; without skew all vectors are uniform.
+  const std::vector<double>& LevelWeights(size_t i) const {
+    return weights_[i];
+  }
+
+ private:
+  Dimension(std::string name, std::vector<DimensionLevel> levels,
+            double zipf_theta, std::vector<std::vector<double>> weights)
+      : name_(std::move(name)),
+        levels_(std::move(levels)),
+        zipf_theta_(zipf_theta),
+        weights_(std::move(weights)) {}
+
+  std::string name_;
+  std::vector<DimensionLevel> levels_;
+  double zipf_theta_ = 0.0;
+  // weights_[level][value] = fraction of fact rows carrying that value.
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace warlock::schema
+
+#endif  // WARLOCK_SCHEMA_DIMENSION_H_

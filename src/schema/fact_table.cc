@@ -1,0 +1,47 @@
+#include "schema/fact_table.h"
+
+#include "common/math.h"
+
+namespace warlock::schema {
+
+Result<FactTable> FactTable::Create(std::string name, uint64_t row_count,
+                                    uint32_t row_size_bytes,
+                                    std::vector<Measure> measures) {
+  if (name.empty()) {
+    return Status::InvalidArgument("fact table name must be non-empty");
+  }
+  if (row_count == 0) {
+    return Status::InvalidArgument("fact table '" + name + "' has no rows");
+  }
+  if (row_size_bytes == 0) {
+    return Status::InvalidArgument("fact table '" + name +
+                                   "': row size must be >= 1 byte");
+  }
+  for (const auto& m : measures) {
+    if (m.name.empty()) {
+      return Status::InvalidArgument("fact table '" + name +
+                                     "': empty measure name");
+    }
+  }
+  if (MulWouldOverflow(row_count, row_size_bytes)) {
+    return Status::InvalidArgument("fact table '" + name +
+                                   "': total size overflows");
+  }
+  return FactTable(std::move(name), row_count, row_size_bytes,
+                   std::move(measures));
+}
+
+uint64_t FactTable::RowsPerPage(uint32_t page_size) const {
+  const uint64_t rpp = page_size / row_size_bytes_;
+  return rpp == 0 ? 1 : rpp;
+}
+
+uint64_t FactTable::TotalPages(uint32_t page_size) const {
+  return CeilDiv(row_count_, RowsPerPage(page_size));
+}
+
+uint64_t FactTable::TotalBytes() const {
+  return row_count_ * row_size_bytes_;
+}
+
+}  // namespace warlock::schema

@@ -1,0 +1,67 @@
+#ifndef WARLOCK_SCHEMA_FACT_TABLE_H_
+#define WARLOCK_SCHEMA_FACT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace warlock::schema {
+
+/// A measure attribute of a fact table (aggregation target of star queries).
+struct Measure {
+  std::string name;
+  uint32_t size_bytes = 8;
+};
+
+/// A fact table of the star schema: row population, row width, the measure
+/// attributes, plus foreign keys to every dimension of the schema (implicit:
+/// WARLOCK's model assumes each fact row references the bottom level of each
+/// dimension).
+class FactTable {
+ public:
+  /// Validates and builds a fact table. `row_size_bytes` is the physical row
+  /// width including foreign keys and measures; it must be >= 1.
+  static Result<FactTable> Create(std::string name, uint64_t row_count,
+                                  uint32_t row_size_bytes,
+                                  std::vector<Measure> measures = {});
+
+  /// Table name, e.g. "Sales".
+  const std::string& name() const { return name_; }
+
+  /// Number of fact rows.
+  uint64_t row_count() const { return row_count_; }
+
+  /// Physical row width in bytes.
+  uint32_t row_size_bytes() const { return row_size_bytes_; }
+
+  /// Measure attributes (may be empty; metadata only).
+  const std::vector<Measure>& measures() const { return measures_; }
+
+  /// Rows fitting one page of `page_size` bytes (>= 1).
+  uint64_t RowsPerPage(uint32_t page_size) const;
+
+  /// Total pages occupied by the table at the given page size.
+  uint64_t TotalPages(uint32_t page_size) const;
+
+  /// Total bytes (row_count * row_size).
+  uint64_t TotalBytes() const;
+
+ private:
+  FactTable(std::string name, uint64_t row_count, uint32_t row_size_bytes,
+            std::vector<Measure> measures)
+      : name_(std::move(name)),
+        row_count_(row_count),
+        row_size_bytes_(row_size_bytes),
+        measures_(std::move(measures)) {}
+
+  std::string name_;
+  uint64_t row_count_;
+  uint32_t row_size_bytes_;
+  std::vector<Measure> measures_;
+};
+
+}  // namespace warlock::schema
+
+#endif  // WARLOCK_SCHEMA_FACT_TABLE_H_

@@ -1,0 +1,187 @@
+#include "schema/schema_text.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace warlock::schema {
+
+namespace {
+
+// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (!tok.empty() && tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+Result<uint64_t> ParseU64(const std::string& tok, const char* what,
+                          size_t line_no) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": invalid " + what + " '" + tok + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& tok, const char* what,
+                           size_t line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": invalid " + what + " '" + tok + "'");
+  }
+  return v;
+}
+
+// Builder state for one dimension under construction.
+struct PendingDimension {
+  std::string name;
+  double theta = 0.0;
+  std::vector<DimensionLevel> levels;
+};
+
+struct PendingFact {
+  std::string name;
+  uint64_t rows = 0;
+  uint32_t row_bytes = 0;
+  std::vector<Measure> measures;
+};
+
+}  // namespace
+
+Result<StarSchema> SchemaFromText(std::string_view text) {
+  std::string schema_name;
+  std::vector<PendingDimension> dims;
+  std::vector<PendingFact> facts;
+
+  std::istringstream input{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    const std::vector<std::string> tok = Tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+    if (kw == "schema") {
+      if (tok.size() != 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'schema <name>'");
+      }
+      schema_name = tok[1];
+    } else if (kw == "dimension") {
+      if (tok.size() != 2 && !(tok.size() == 4 && tok[2] == "skew")) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'dimension <name> [skew <theta>]'");
+      }
+      PendingDimension d;
+      d.name = tok[1];
+      if (tok.size() == 4) {
+        WARLOCK_ASSIGN_OR_RETURN(d.theta,
+                                 ParseDouble(tok[3], "skew theta", line_no));
+      }
+      dims.push_back(std::move(d));
+    } else if (kw == "level") {
+      if (dims.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": 'level' before any 'dimension'");
+      }
+      if (tok.size() != 3) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'level <name> <cardinality>'");
+      }
+      WARLOCK_ASSIGN_OR_RETURN(uint64_t card,
+                               ParseU64(tok[2], "cardinality", line_no));
+      dims.back().levels.push_back({tok[1], card});
+    } else if (kw == "fact") {
+      if (tok.size() != 4) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'fact <name> <rows> <rowbytes>'");
+      }
+      PendingFact f;
+      f.name = tok[1];
+      WARLOCK_ASSIGN_OR_RETURN(f.rows, ParseU64(tok[2], "row count", line_no));
+      WARLOCK_ASSIGN_OR_RETURN(uint64_t rb,
+                               ParseU64(tok[3], "row bytes", line_no));
+      if (rb == 0 || rb > UINT32_MAX) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": row bytes out of range");
+      }
+      f.row_bytes = static_cast<uint32_t>(rb);
+      facts.push_back(std::move(f));
+    } else if (kw == "measure") {
+      if (facts.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": 'measure' before any 'fact'");
+      }
+      if (tok.size() != 3) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'measure <name> <bytes>'");
+      }
+      WARLOCK_ASSIGN_OR_RETURN(uint64_t bytes,
+                               ParseU64(tok[2], "measure bytes", line_no));
+      facts.back().measures.push_back(
+          {tok[1], static_cast<uint32_t>(bytes)});
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown keyword '" + kw + "'");
+    }
+  }
+
+  if (schema_name.empty()) {
+    return Status::InvalidArgument("missing 'schema <name>' line");
+  }
+  std::vector<Dimension> dimensions;
+  for (auto& d : dims) {
+    WARLOCK_ASSIGN_OR_RETURN(
+        Dimension dim,
+        Dimension::Create(d.name, std::move(d.levels), d.theta));
+    dimensions.push_back(std::move(dim));
+  }
+  std::vector<FactTable> fact_tables;
+  for (auto& f : facts) {
+    WARLOCK_ASSIGN_OR_RETURN(
+        FactTable ft,
+        FactTable::Create(f.name, f.rows, f.row_bytes, std::move(f.measures)));
+    fact_tables.push_back(std::move(ft));
+  }
+  return StarSchema::Create(schema_name, std::move(dimensions),
+                            std::move(fact_tables));
+}
+
+std::string SchemaToText(const StarSchema& schema) {
+  std::ostringstream os;
+  os << "schema " << schema.name() << "\n";
+  for (size_t i = 0; i < schema.num_dimensions(); ++i) {
+    const Dimension& d = schema.dimension(i);
+    os << "dimension " << d.name();
+    if (d.skewed()) os << " skew " << d.zipf_theta();
+    os << "\n";
+    for (size_t l = 0; l < d.num_levels(); ++l) {
+      os << "level " << d.level(l).name << " " << d.level(l).cardinality
+         << "\n";
+    }
+  }
+  for (size_t i = 0; i < schema.num_facts(); ++i) {
+    const FactTable& f = schema.fact(i);
+    os << "fact " << f.name() << " " << f.row_count() << " "
+       << f.row_size_bytes() << "\n";
+    for (const auto& m : f.measures()) {
+      os << "measure " << m.name << " " << m.size_bytes << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace warlock::schema

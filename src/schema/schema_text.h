@@ -1,0 +1,31 @@
+#ifndef WARLOCK_SCHEMA_SCHEMA_TEXT_H_
+#define WARLOCK_SCHEMA_SCHEMA_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "schema/star_schema.h"
+
+namespace warlock::schema {
+
+/// Plain-text star-schema description, the file format of WARLOCK's input
+/// layer. Line-based; `#` starts a comment. Grammar:
+///
+/// ```
+/// schema    <name>
+/// dimension <name> [skew <theta>]
+/// level     <name> <cardinality>     # attaches to the last dimension
+/// fact      <name> <rows> <rowbytes>
+/// measure   <name> <bytes>           # attaches to the last fact table
+/// ```
+///
+/// Levels are listed coarse to fine (top of the hierarchy first).
+Result<StarSchema> SchemaFromText(std::string_view text);
+
+/// Inverse of `SchemaFromText`; round-trips exactly.
+std::string SchemaToText(const StarSchema& schema);
+
+}  // namespace warlock::schema
+
+#endif  // WARLOCK_SCHEMA_SCHEMA_TEXT_H_

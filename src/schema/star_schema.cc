@@ -1,0 +1,79 @@
+#include "schema/star_schema.h"
+
+#include <set>
+
+#include "common/math.h"
+
+namespace warlock::schema {
+
+Result<StarSchema> StarSchema::Create(std::string name,
+                                      std::vector<Dimension> dimensions,
+                                      std::vector<FactTable> facts) {
+  if (name.empty()) {
+    return Status::InvalidArgument("schema name must be non-empty");
+  }
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("schema '" + name + "' has no dimensions");
+  }
+  if (facts.empty()) {
+    return Status::InvalidArgument("schema '" + name + "' has no fact table");
+  }
+  std::set<std::string> dim_names;
+  for (const auto& d : dimensions) {
+    if (!dim_names.insert(d.name()).second) {
+      return Status::InvalidArgument("schema '" + name +
+                                     "': duplicate dimension '" + d.name() +
+                                     "'");
+    }
+  }
+  std::set<std::string> fact_names;
+  for (const auto& f : facts) {
+    if (!fact_names.insert(f.name()).second) {
+      return Status::InvalidArgument("schema '" + name +
+                                     "': duplicate fact table '" + f.name() +
+                                     "'");
+    }
+  }
+  return StarSchema(std::move(name), std::move(dimensions), std::move(facts));
+}
+
+Result<StarSchema> StarSchema::Create(std::string name,
+                                      std::vector<Dimension> dimensions,
+                                      FactTable fact) {
+  std::vector<FactTable> facts;
+  facts.push_back(std::move(fact));
+  return Create(std::move(name), std::move(dimensions), std::move(facts));
+}
+
+Result<size_t> StarSchema::DimensionIndex(std::string_view name) const {
+  for (size_t i = 0; i < dimensions_.size(); ++i) {
+    if (dimensions_[i].name() == name) return i;
+  }
+  return Status::NotFound("schema '" + name_ + "' has no dimension '" +
+                          std::string(name) + "'");
+}
+
+Result<size_t> StarSchema::FactIndex(std::string_view name) const {
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    if (facts_[i].name() == name) return i;
+  }
+  return Status::NotFound("schema '" + name_ + "' has no fact table '" +
+                          std::string(name) + "'");
+}
+
+bool StarSchema::HasSkew() const {
+  for (const auto& d : dimensions_) {
+    if (d.skewed()) return true;
+  }
+  return false;
+}
+
+uint64_t StarSchema::CubeSize() const {
+  uint64_t size = 1;
+  for (const auto& d : dimensions_) {
+    size = SaturatingMul(size, d.cardinality(d.bottom_level()));
+  }
+  return size;
+}
+
+}  // namespace warlock::schema

@@ -1,0 +1,77 @@
+#ifndef WARLOCK_SCHEMA_STAR_SCHEMA_H_
+#define WARLOCK_SCHEMA_STAR_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/dimension.h"
+#include "schema/fact_table.h"
+
+namespace warlock::schema {
+
+/// A relational star schema: hierarchically organized dimension tables and
+/// one or more fact tables referring to them. This is the first artifact the
+/// DBA specifies in WARLOCK's input layer.
+class StarSchema {
+ public:
+  /// Validates and builds a schema. Requirements: non-empty name, at least
+  /// one dimension and one fact table, unique dimension and fact names.
+  static Result<StarSchema> Create(std::string name,
+                                   std::vector<Dimension> dimensions,
+                                   std::vector<FactTable> facts);
+
+  /// Convenience overload for the common single-fact-table case.
+  static Result<StarSchema> Create(std::string name,
+                                   std::vector<Dimension> dimensions,
+                                   FactTable fact);
+
+  /// Schema name.
+  const std::string& name() const { return name_; }
+
+  /// Number of dimensions.
+  size_t num_dimensions() const { return dimensions_.size(); }
+
+  /// Dimension by index.
+  const Dimension& dimension(size_t i) const { return dimensions_[i]; }
+
+  /// All dimensions.
+  const std::vector<Dimension>& dimensions() const { return dimensions_; }
+
+  /// Finds a dimension by name.
+  Result<size_t> DimensionIndex(std::string_view name) const;
+
+  /// Number of fact tables.
+  size_t num_facts() const { return facts_.size(); }
+
+  /// Fact table by index (index 0 is the primary fact table).
+  const FactTable& fact(size_t i = 0) const { return facts_[i]; }
+
+  /// Finds a fact table by name.
+  Result<size_t> FactIndex(std::string_view name) const;
+
+  /// True iff any dimension carries Zipf skew; drives WARLOCK's automatic
+  /// choice between round-robin and greedy size-based allocation.
+  bool HasSkew() const;
+
+  /// Total distinct bottom-level value combinations (the full cube size);
+  /// saturates at UINT64_MAX.
+  uint64_t CubeSize() const;
+
+ private:
+  StarSchema(std::string name, std::vector<Dimension> dimensions,
+             std::vector<FactTable> facts)
+      : name_(std::move(name)),
+        dimensions_(std::move(dimensions)),
+        facts_(std::move(facts)) {}
+
+  std::string name_;
+  std::vector<Dimension> dimensions_;
+  std::vector<FactTable> facts_;
+};
+
+}  // namespace warlock::schema
+
+#endif  // WARLOCK_SCHEMA_STAR_SCHEMA_H_

@@ -1,0 +1,209 @@
+#include "sim/disk_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace warlock::sim {
+
+double SimReport::MeanResponseMs() const {
+  if (response_ms.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : response_ms) sum += r;
+  return sum / static_cast<double>(response_ms.size());
+}
+
+double SimReport::ResponsePercentileMs(double q) const {
+  if (response_ms.empty()) return 0.0;
+  std::vector<double> sorted = response_ms;
+  std::sort(sorted.begin(), sorted.end());
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const size_t rank = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[rank];
+}
+
+namespace {
+
+struct DiskState {
+  std::deque<std::pair<uint32_t, double>> pending;  // (query uid, service)
+  bool busy = false;
+  uint32_t current_query = 0;
+  double busy_ms = 0.0;
+};
+
+struct QueryState {
+  uint64_t remaining_ops = 0;
+  double arrival_ms = 0.0;
+  double completion_ms = 0.0;
+  uint32_t stream = 0;
+};
+
+struct Event {
+  double time;
+  uint64_t seq;  // tie-break for determinism
+  enum class Kind { kArrival, kDiskDone } kind;
+  uint32_t index;  // query uid for arrivals, disk id for completions
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const SimConfig& config, uint32_t num_disks)
+      : config_(config),
+        io_(config.disks),
+        rng_(config.seed),
+        disks_(num_disks) {}
+
+  // Adds a query (its ops become available at `arrival`). Returns its uid.
+  uint32_t AddQuery(double arrival, std::vector<cost::IoOp> ops,
+                    uint32_t stream) {
+    const uint32_t uid = static_cast<uint32_t>(queries_.size());
+    queries_.push_back({ops.size(), arrival, 0.0, stream});
+    plans_.push_back(std::move(ops));
+    Push({arrival, next_seq_++, Event::Kind::kArrival, uid});
+    return uid;
+  }
+
+  // next_query(stream) supplies the follow-up plan for closed-loop streams.
+  SimReport Run(
+      const std::function<bool(uint32_t, std::vector<cost::IoOp>*)>&
+          next_query) {
+    double now = 0.0;
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      now = ev.time;
+      if (ev.kind == Event::Kind::kArrival) {
+        QueryState& q = queries_[ev.index];
+        if (q.remaining_ops == 0) {
+          // Zero-I/O query: completes instantly.
+          q.completion_ms = now;
+          OnQueryComplete(ev.index, now, next_query);
+          continue;
+        }
+        for (const cost::IoOp& op : plans_[ev.index]) {
+          disks_[op.disk].pending.push_back(
+              {ev.index, ServiceMs(op.pages)});
+          MaybeStart(op.disk, now);
+        }
+      } else {
+        DiskState& d = disks_[ev.index];
+        d.busy = false;
+        QueryState& q = queries_[d.current_query];
+        if (--q.remaining_ops == 0) {
+          q.completion_ms = now;
+          OnQueryComplete(d.current_query, now, next_query);
+        }
+        MaybeStart(ev.index, now);
+      }
+    }
+
+    SimReport report;
+    report.response_ms.reserve(queries_.size());
+    for (const QueryState& q : queries_) {
+      report.response_ms.push_back(q.completion_ms - q.arrival_ms);
+      report.makespan_ms = std::max(report.makespan_ms, q.completion_ms);
+    }
+    report.disk_busy_ms.reserve(disks_.size());
+    double busy_total = 0.0;
+    for (const DiskState& d : disks_) {
+      report.disk_busy_ms.push_back(d.busy_ms);
+      busy_total += d.busy_ms;
+    }
+    report.avg_utilization =
+        report.makespan_ms > 0.0
+            ? busy_total /
+                  (report.makespan_ms * static_cast<double>(disks_.size()))
+            : 0.0;
+    report.total_ios = total_ios_;
+    return report;
+  }
+
+ private:
+  void Push(Event ev) { events_.push(ev); }
+
+  double ServiceMs(uint32_t pages) {
+    double positioning;
+    if (config_.randomize_positioning) {
+      positioning = rng_.NextDouble() * 2.0 * config_.disks.avg_seek_ms +
+                    rng_.NextDouble() * 2.0 * config_.disks.avg_rotational_ms;
+    } else {
+      positioning = config_.disks.PositioningMs();
+    }
+    return positioning +
+           static_cast<double>(pages) * config_.disks.TransferMsPerPage();
+  }
+
+  void MaybeStart(uint32_t disk, double now) {
+    DiskState& d = disks_[disk];
+    if (d.busy || d.pending.empty()) return;
+    auto [uid, service] = d.pending.front();
+    d.pending.pop_front();
+    d.busy = true;
+    d.current_query = uid;
+    d.busy_ms += service;
+    ++total_ios_;
+    Push({now + service, next_seq_++, Event::Kind::kDiskDone, disk});
+  }
+
+  void OnQueryComplete(
+      uint32_t uid, double now,
+      const std::function<bool(uint32_t, std::vector<cost::IoOp>*)>&
+          next_query) {
+    if (!next_query) return;
+    std::vector<cost::IoOp> ops;
+    if (next_query(queries_[uid].stream, &ops)) {
+      AddQuery(now, std::move(ops), queries_[uid].stream);
+    }
+  }
+
+  SimConfig config_;
+  cost::IoModel io_;
+  Rng rng_;
+  std::vector<DiskState> disks_;
+  std::vector<QueryState> queries_;
+  std::vector<std::vector<cost::IoOp>> plans_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  uint64_t next_seq_ = 0;
+  uint64_t total_ios_ = 0;
+};
+
+}  // namespace
+
+SimReport SimulateBatch(const SimConfig& config,
+                        const std::vector<SimQuery>& queries) {
+  Engine engine(config, config.disks.num_disks);
+  for (const SimQuery& q : queries) {
+    engine.AddQuery(q.arrival_ms, q.ops, 0);
+  }
+  return engine.Run(nullptr);
+}
+
+SimReport SimulateClosedLoop(
+    const SimConfig& config,
+    const std::vector<std::vector<std::vector<cost::IoOp>>>& streams) {
+  Engine engine(config, config.disks.num_disks);
+  std::vector<size_t> next_index(streams.size(), 1);
+  for (size_t s = 0; s < streams.size(); ++s) {
+    if (!streams[s].empty()) {
+      engine.AddQuery(0.0, streams[s][0], static_cast<uint32_t>(s));
+    }
+  }
+  auto next_query = [&](uint32_t stream, std::vector<cost::IoOp>* ops) {
+    if (next_index[stream] >= streams[stream].size()) return false;
+    *ops = streams[stream][next_index[stream]++];
+    return true;
+  };
+  return engine.Run(next_query);
+}
+
+}  // namespace warlock::sim

@@ -1,0 +1,69 @@
+#ifndef WARLOCK_SIM_DISK_SIM_H_
+#define WARLOCK_SIM_DISK_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/query_cost.h"
+
+namespace warlock::sim {
+
+/// Simulator configuration.
+struct SimConfig {
+  cost::DiskParameters disks;
+  /// When true, positioning times are drawn uniformly from [0, 2*avg]
+  /// (preserving the mean the analytical model uses); when false every I/O
+  /// pays exactly the average — the simulator then reproduces the
+  /// analytical model up to queueing effects.
+  bool randomize_positioning = true;
+  uint64_t seed = 1;
+};
+
+/// One query to simulate: its physical I/O plan and its arrival time.
+struct SimQuery {
+  double arrival_ms = 0.0;
+  std::vector<cost::IoOp> ops;
+};
+
+/// Simulation outcome.
+struct SimReport {
+  /// Per-query response time (completion - arrival), in input order.
+  std::vector<double> response_ms;
+  /// Completion time of the last I/O.
+  double makespan_ms = 0.0;
+  /// Busy time per disk.
+  std::vector<double> disk_busy_ms;
+  /// Mean disk utilization over the makespan.
+  double avg_utilization = 0.0;
+  /// Physical I/Os served.
+  uint64_t total_ios = 0;
+
+  /// Mean of `response_ms` (0 when empty).
+  double MeanResponseMs() const;
+  /// Percentile of `response_ms` by nearest-rank, q in [0,1].
+  double ResponsePercentileMs(double q) const;
+};
+
+/// Event-driven simulation of a declustered disk subsystem (Shared
+/// Everything / Shared Disk: every query can reach every disk). Each disk
+/// serves its requests FCFS; a query's requests enter the disk queues at
+/// its arrival time in plan order; the query completes when its last
+/// request finishes. This is the executable stand-in for the testbed that
+/// validates WARLOCK's analytical response-time predictions.
+SimReport SimulateBatch(const SimConfig& config,
+                        const std::vector<SimQuery>& queries);
+
+/// Closed-loop multi-user simulation: `streams[s]` is a sequence of query
+/// plans; each stream issues its next query the moment the previous one
+/// completes (all streams start at time 0). Returns per-query responses in
+/// global issue order plus utilization statistics — used to study
+/// multi-user throughput effects (e.g. how oversized prefetch granules
+/// hurt concurrent response times).
+SimReport SimulateClosedLoop(
+    const SimConfig& config,
+    const std::vector<std::vector<std::vector<cost::IoOp>>>& streams);
+
+}  // namespace warlock::sim
+
+#endif  // WARLOCK_SIM_DISK_SIM_H_

@@ -1,0 +1,63 @@
+#include "workload/apb1_workload.h"
+
+namespace warlock::workload {
+
+namespace {
+
+struct ClassSpec {
+  const char* name;
+  double weight;
+  // (dimension name, level name) pairs.
+  std::vector<std::pair<const char*, const char*>> attrs;
+};
+
+}  // namespace
+
+Result<QueryMix> Apb1QueryMix(const schema::StarSchema& schema) {
+  const std::vector<ClassSpec> specs = {
+      {"Month", 10, {{"Time", "Month"}}},
+      {"MonthDivision", 8, {{"Time", "Month"}, {"Product", "Division"}}},
+      {"MonthLine", 8, {{"Time", "Month"}, {"Product", "Line"}}},
+      {"MonthFamily", 10, {{"Time", "Month"}, {"Product", "Family"}}},
+      {"MonthGroup", 10, {{"Time", "Month"}, {"Product", "Group"}}},
+      {"MonthClass", 5, {{"Time", "Month"}, {"Product", "Class"}}},
+      {"MonthCode", 4, {{"Time", "Month"}, {"Product", "Code"}}},
+      {"MonthStore", 8, {{"Time", "Month"}, {"Customer", "Store"}}},
+      {"MonthRetailer", 8, {{"Time", "Month"}, {"Customer", "Retailer"}}},
+      {"QuarterGroupRetailer",
+       8,
+       {{"Time", "Quarter"}, {"Product", "Group"}, {"Customer", "Retailer"}}},
+      {"YearFamily", 5, {{"Time", "Year"}, {"Product", "Family"}}},
+      {"MonthFamilyChannel",
+       8,
+       {{"Time", "Month"}, {"Product", "Family"}, {"Channel", "Base"}}},
+      {"MonthGroupStoreChannel",
+       4,
+       {{"Time", "Month"},
+        {"Product", "Group"},
+        {"Customer", "Store"},
+        {"Channel", "Base"}}},
+      {"ChannelOnly", 4, {{"Channel", "Base"}}},
+  };
+
+  std::vector<QueryClass> classes;
+  classes.reserve(specs.size());
+  for (const ClassSpec& spec : specs) {
+    std::vector<Restriction> restrictions;
+    for (const auto& [dim_name, level_name] : spec.attrs) {
+      WARLOCK_ASSIGN_OR_RETURN(size_t dim, schema.DimensionIndex(dim_name));
+      WARLOCK_ASSIGN_OR_RETURN(
+          size_t level, schema.dimension(dim).LevelIndex(level_name));
+      restrictions.push_back({static_cast<uint32_t>(dim),
+                              static_cast<uint32_t>(level), 1});
+    }
+    WARLOCK_ASSIGN_OR_RETURN(
+        QueryClass qc,
+        QueryClass::Create(spec.name, spec.weight, std::move(restrictions),
+                           schema));
+    classes.push_back(std::move(qc));
+  }
+  return QueryMix::Create(std::move(classes));
+}
+
+}  // namespace warlock::workload

@@ -1,0 +1,22 @@
+#ifndef WARLOCK_WORKLOAD_APB1_WORKLOAD_H_
+#define WARLOCK_WORKLOAD_APB1_WORKLOAD_H_
+
+#include "common/result.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock::workload {
+
+/// Builds the APB-1-style weighted star-query mix used by the WARLOCK
+/// demonstration. The classes span 1- to 4-dimensional restrictions across
+/// every hierarchy level of the APB-1 schema, mirroring the benchmark's
+/// "channel sales analysis" style queries; weights follow the companion
+/// MDHF study's emphasis on time-restricted queries.
+///
+/// `schema` must contain the APB-1 dimensions (Product, Customer, Time,
+/// Channel) with their standard levels; other schemas yield NotFound.
+Result<QueryMix> Apb1QueryMix(const schema::StarSchema& schema);
+
+}  // namespace warlock::workload
+
+#endif  // WARLOCK_WORKLOAD_APB1_WORKLOAD_H_

@@ -1,0 +1,111 @@
+#include "workload/query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace warlock::workload {
+
+Result<QueryClass> QueryClass::Create(std::string name, double weight,
+                                      std::vector<Restriction> restrictions,
+                                      const schema::StarSchema& schema) {
+  if (name.empty()) {
+    return Status::InvalidArgument("query class name must be non-empty");
+  }
+  if (!(weight > 0.0)) {
+    return Status::InvalidArgument("query class '" + name +
+                                   "': weight must be > 0");
+  }
+  std::set<uint32_t> dims;
+  for (const Restriction& r : restrictions) {
+    if (r.dim >= schema.num_dimensions()) {
+      return Status::OutOfRange("query class '" + name +
+                                "': dimension index " + std::to_string(r.dim) +
+                                " out of range");
+    }
+    const schema::Dimension& d = schema.dimension(r.dim);
+    if (r.level >= d.num_levels()) {
+      return Status::OutOfRange("query class '" + name + "': level index " +
+                                std::to_string(r.level) +
+                                " out of range for dimension '" + d.name() +
+                                "'");
+    }
+    if (!dims.insert(r.dim).second) {
+      return Status::InvalidArgument("query class '" + name +
+                                     "': multiple restrictions on dimension '" +
+                                     d.name() + "'");
+    }
+    if (r.num_values == 0 || r.num_values > d.cardinality(r.level)) {
+      return Status::InvalidArgument(
+          "query class '" + name + "': num_values must be in [1, " +
+          std::to_string(d.cardinality(r.level)) + "] for attribute '" +
+          d.level(r.level).name + "'");
+    }
+  }
+  std::sort(restrictions.begin(), restrictions.end(),
+            [](const Restriction& a, const Restriction& b) {
+              return a.dim < b.dim;
+            });
+  return QueryClass(std::move(name), weight, std::move(restrictions));
+}
+
+const Restriction* QueryClass::RestrictionFor(uint32_t dim) const {
+  for (const Restriction& r : restrictions_) {
+    if (r.dim == dim) return &r;
+  }
+  return nullptr;
+}
+
+double QueryClass::UniformSelectivity(
+    const schema::StarSchema& schema) const {
+  double sel = 1.0;
+  for (const Restriction& r : restrictions_) {
+    sel *= static_cast<double>(r.num_values) /
+           static_cast<double>(schema.dimension(r.dim).cardinality(r.level));
+  }
+  return sel;
+}
+
+std::string QueryClass::Signature(const schema::StarSchema& schema) const {
+  std::string sig;
+  for (const Restriction& r : restrictions_) {
+    if (!sig.empty()) sig += ",";
+    sig += schema.dimension(r.dim).level(r.level).name;
+    if (r.num_values > 1) sig += "[" + std::to_string(r.num_values) + "]";
+  }
+  if (sig.empty()) sig = "(full aggregate)";
+  return sig;
+}
+
+ConcreteQuery Instantiate(const QueryClass& qc,
+                          const schema::StarSchema& schema, Rng& rng,
+                          ValueDistribution dist) {
+  ConcreteQuery q;
+  q.query_class = &qc;
+  q.start_values.reserve(qc.restrictions().size());
+  for (const Restriction& r : qc.restrictions()) {
+    const schema::Dimension& d = schema.dimension(r.dim);
+    const uint64_t card = d.cardinality(r.level);
+    const uint64_t max_start = card - r.num_values;  // inclusive
+    uint64_t v = 0;
+    if (dist == ValueDistribution::kWeighted) {
+      // Inverse-CDF draw over the level's weights (weights are cached per
+      // dimension level; linear scan is fine at the cardinalities involved).
+      const std::vector<double>& w = d.LevelWeights(r.level);
+      double u = rng.NextDouble();
+      for (uint64_t i = 0; i < card; ++i) {
+        u -= w[i];
+        if (u <= 0.0) {
+          v = i;
+          break;
+        }
+      }
+    } else {
+      v = rng.Uniform(max_start + 1);
+    }
+    if (v > max_start) v = max_start;
+    q.start_values.push_back(v);
+  }
+  return q;
+}
+
+}  // namespace warlock::workload

@@ -1,0 +1,96 @@
+#ifndef WARLOCK_WORKLOAD_QUERY_H_
+#define WARLOCK_WORKLOAD_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "schema/star_schema.h"
+
+namespace warlock::workload {
+
+/// One dimensional restriction of a star-query class: the query fixes
+/// `num_values` contiguous value(s) of dimension `dim` at hierarchy level
+/// `level` (e.g. "Month = ?" or "Group IN (?, ?)"). `num_values == 1` is the
+/// standard point restriction of the MDHF evaluation space.
+struct Restriction {
+  uint32_t dim = 0;
+  uint32_t level = 0;
+  uint64_t num_values = 1;
+
+  bool operator==(const Restriction&) const = default;
+};
+
+/// A star-query class: a multi-dimensional join+aggregation query template
+/// over the fact table, characterized (as in APB-1) by the subset of
+/// dimension attributes it restricts. Queries aggregate measures over all
+/// unrestricted dimensions.
+class QueryClass {
+ public:
+  /// Validates against `schema`: dimension/level indexes in range, at most
+  /// one restriction per dimension, 1 <= num_values <= level cardinality,
+  /// weight > 0. An empty restriction list (full-table aggregate) is valid.
+  static Result<QueryClass> Create(std::string name, double weight,
+                                   std::vector<Restriction> restrictions,
+                                   const schema::StarSchema& schema);
+
+  /// Class name, e.g. "MonthGroup".
+  const std::string& name() const { return name_; }
+
+  /// Relative workload share (normalized by QueryMix).
+  double weight() const { return weight_; }
+
+  /// The restrictions, sorted by dimension index.
+  const std::vector<Restriction>& restrictions() const {
+    return restrictions_;
+  }
+
+  /// The restriction on dimension `dim`, or nullptr if unrestricted.
+  const Restriction* RestrictionFor(uint32_t dim) const;
+
+  /// Row selectivity assuming uniform data: product over restrictions of
+  /// num_values / cardinality(level).
+  double UniformSelectivity(const schema::StarSchema& schema) const;
+
+  /// Short signature like "Month,Group" for reports.
+  std::string Signature(const schema::StarSchema& schema) const;
+
+ private:
+  QueryClass(std::string name, double weight,
+             std::vector<Restriction> restrictions)
+      : name_(std::move(name)),
+        weight_(weight),
+        restrictions_(std::move(restrictions)) {}
+
+  std::string name_;
+  double weight_;
+  std::vector<Restriction> restrictions_;
+};
+
+/// How restriction values are drawn when instantiating concrete queries.
+enum class ValueDistribution {
+  /// Every attribute value equally likely (the papers' default assumption).
+  kUniform,
+  /// Values drawn proportionally to their data weight — hot data is queried
+  /// more often; exercises skew interplay.
+  kWeighted,
+};
+
+/// A concrete star query: one instantiation of a class with chosen values.
+/// `start_values[i]` is the first selected value of `restrictions()[i]`
+/// (num_values contiguous values are selected from there).
+struct ConcreteQuery {
+  const QueryClass* query_class = nullptr;
+  std::vector<uint64_t> start_values;
+};
+
+/// Draws a concrete query for `qc`. Deterministic given `rng` state.
+ConcreteQuery Instantiate(const QueryClass& qc,
+                          const schema::StarSchema& schema, Rng& rng,
+                          ValueDistribution dist = ValueDistribution::kUniform);
+
+}  // namespace warlock::workload
+
+#endif  // WARLOCK_WORKLOAD_QUERY_H_

@@ -1,0 +1,34 @@
+#include "workload/query_mix.h"
+
+#include <set>
+
+namespace warlock::workload {
+
+Result<QueryMix> QueryMix::Create(std::vector<QueryClass> classes) {
+  if (classes.empty()) {
+    return Status::InvalidArgument("query mix must contain at least one class");
+  }
+  std::set<std::string> names;
+  double sum = 0.0;
+  for (const QueryClass& qc : classes) {
+    if (!names.insert(qc.name()).second) {
+      return Status::InvalidArgument("query mix: duplicate class '" +
+                                     qc.name() + "'");
+    }
+    sum += qc.weight();
+  }
+  std::vector<double> weights;
+  weights.reserve(classes.size());
+  for (const QueryClass& qc : classes) weights.push_back(qc.weight() / sum);
+  return QueryMix(std::move(classes), std::move(weights));
+}
+
+Result<size_t> QueryMix::ClassIndex(std::string_view name) const {
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name() == name) return i;
+  }
+  return Status::NotFound("query mix has no class '" + std::string(name) +
+                          "'");
+}
+
+}  // namespace warlock::workload

@@ -1,0 +1,46 @@
+#ifndef WARLOCK_WORKLOAD_QUERY_MIX_H_
+#define WARLOCK_WORKLOAD_QUERY_MIX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/query.h"
+
+namespace warlock::workload {
+
+/// A weighted star-query mix — the representative workload WARLOCK optimizes
+/// for ("similar to APB-1, several weighted query classes can be specified").
+/// Weights are normalized to sum to 1 over the mix.
+class QueryMix {
+ public:
+  /// Builds a mix; requires at least one class and unique class names.
+  static Result<QueryMix> Create(std::vector<QueryClass> classes);
+
+  /// Number of query classes.
+  size_t size() const { return classes_.size(); }
+
+  /// Class by index.
+  const QueryClass& query_class(size_t i) const { return classes_[i]; }
+
+  /// Normalized weight (workload share) of class `i`; sums to 1.
+  double weight(size_t i) const { return normalized_weights_[i]; }
+
+  /// Finds a class by name.
+  Result<size_t> ClassIndex(std::string_view name) const;
+
+  /// All classes.
+  const std::vector<QueryClass>& classes() const { return classes_; }
+
+ private:
+  QueryMix(std::vector<QueryClass> classes, std::vector<double> weights)
+      : classes_(std::move(classes)),
+        normalized_weights_(std::move(weights)) {}
+
+  std::vector<QueryClass> classes_;
+  std::vector<double> normalized_weights_;
+};
+
+}  // namespace warlock::workload
+
+#endif  // WARLOCK_WORKLOAD_QUERY_MIX_H_

@@ -1,0 +1,114 @@
+#include "workload/workload_text.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace warlock::workload {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (!tok.empty() && tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+struct PendingClass {
+  std::string name;
+  double weight = 0.0;
+  std::vector<Restriction> restrictions;
+};
+
+}  // namespace
+
+Result<QueryMix> QueryMixFromText(std::string_view text,
+                                  const schema::StarSchema& schema) {
+  std::vector<PendingClass> pending;
+  std::istringstream input{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    const std::vector<std::string> tok = Tokenize(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "query") {
+      if (tok.size() != 3) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'query <name> <weight>'");
+      }
+      char* end = nullptr;
+      const double w = std::strtod(tok[2].c_str(), &end);
+      if (end == tok[2].c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": invalid weight '" + tok[2] + "'");
+      }
+      pending.push_back({tok[1], w, {}});
+    } else if (tok[0] == "restrict") {
+      if (pending.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": 'restrict' before any 'query'");
+      }
+      if (tok.size() != 3 && tok.size() != 4) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'restrict <dimension> <level> [<num_values>]'");
+      }
+      WARLOCK_ASSIGN_OR_RETURN(size_t dim, schema.DimensionIndex(tok[1]));
+      WARLOCK_ASSIGN_OR_RETURN(size_t level,
+                               schema.dimension(dim).LevelIndex(tok[2]));
+      uint64_t num_values = 1;
+      if (tok.size() == 4) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(tok[3].c_str(), &end, 10);
+        if (end == tok[3].c_str() || *end != '\0' || v == 0) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": invalid num_values '" + tok[3] +
+                                         "'");
+        }
+        num_values = v;
+      }
+      pending.back().restrictions.push_back({static_cast<uint32_t>(dim),
+                                             static_cast<uint32_t>(level),
+                                             num_values});
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown keyword '" + tok[0] + "'");
+    }
+  }
+  if (pending.empty()) {
+    return Status::InvalidArgument("workload text defines no query classes");
+  }
+  std::vector<QueryClass> classes;
+  for (auto& p : pending) {
+    WARLOCK_ASSIGN_OR_RETURN(
+        QueryClass qc,
+        QueryClass::Create(p.name, p.weight, std::move(p.restrictions),
+                           schema));
+    classes.push_back(std::move(qc));
+  }
+  return QueryMix::Create(std::move(classes));
+}
+
+std::string QueryMixToText(const QueryMix& mix,
+                           const schema::StarSchema& schema) {
+  std::ostringstream os;
+  for (size_t i = 0; i < mix.size(); ++i) {
+    const QueryClass& qc = mix.query_class(i);
+    os << "query " << qc.name() << " " << mix.weight(i) << "\n";
+    for (const Restriction& r : qc.restrictions()) {
+      const schema::Dimension& d = schema.dimension(r.dim);
+      os << "restrict " << d.name() << " " << d.level(r.level).name;
+      if (r.num_values != 1) os << " " << r.num_values;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace warlock::workload

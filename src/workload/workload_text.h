@@ -1,0 +1,31 @@
+#ifndef WARLOCK_WORKLOAD_WORKLOAD_TEXT_H_
+#define WARLOCK_WORKLOAD_WORKLOAD_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock::workload {
+
+/// Plain-text query-mix description for WARLOCK's input layer. Line-based;
+/// `#` starts a comment. Grammar:
+///
+/// ```
+/// query    <name> <weight>
+/// restrict <dimension> <level> [<num_values>]   # attaches to last query
+/// ```
+///
+/// Dimensions and levels are referenced by name against `schema`.
+Result<QueryMix> QueryMixFromText(std::string_view text,
+                                  const schema::StarSchema& schema);
+
+/// Inverse of `QueryMixFromText`. Weights are emitted normalized.
+std::string QueryMixToText(const QueryMix& mix,
+                           const schema::StarSchema& schema);
+
+}  // namespace warlock::workload
+
+#endif  // WARLOCK_WORKLOAD_WORKLOAD_TEXT_H_

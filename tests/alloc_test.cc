@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "alloc/allocators.h"
+#include "schema/apb1.h"
+
+namespace warlock::alloc {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+struct TestBed {
+  schema::StarSchema schema;
+  fragment::Fragmentation fragmentation;
+  fragment::FragmentSizes sizes;
+  bitmap::BitmapScheme scheme;
+};
+
+TestBed MakeSetup(double theta,
+                std::vector<std::pair<std::string, std::string>> attrs = {
+                    {"Product", "Group"}, {"Time", "Month"}}) {
+  auto s = schema::Apb1Schema({.product_theta = theta});
+  EXPECT_TRUE(s.ok());
+  auto frag = fragment::Fragmentation::FromNames(attrs, *s);
+  EXPECT_TRUE(frag.ok());
+  auto sizes = fragment::FragmentSizes::Compute(*frag, *s, 0, kPage);
+  EXPECT_TRUE(sizes.ok());
+  bitmap::BitmapScheme scheme = bitmap::BitmapScheme::Select(*s);
+  return TestBed{std::move(s).value(), std::move(frag).value(),
+               std::move(sizes).value(), std::move(scheme)};
+}
+
+TEST(RoundRobinTest, CyclesDisks) {
+  const TestBed su = MakeSetup(0.0);
+  auto a = RoundRobinAllocate(su.sizes, su.scheme, 64);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->num_disks(), 64u);
+  EXPECT_EQ(a->num_fragments(), 2400u);
+  for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+    EXPECT_EQ(a->FactDisk(f), f % 64);
+    EXPECT_EQ(a->BitmapDisk(f), (f + 32) % 64);
+  }
+}
+
+TEST(RoundRobinTest, CustomBitmapOffset) {
+  const TestBed su = MakeSetup(0.0);
+  auto a = RoundRobinAllocate(su.sizes, su.scheme, 8, 1);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->BitmapDisk(0), 1u);
+  EXPECT_EQ(a->BitmapDisk(7), 0u);
+}
+
+TEST(RoundRobinTest, UniformDataBalances) {
+  const TestBed su = MakeSetup(0.0);
+  auto a = RoundRobinAllocate(su.sizes, su.scheme, 64);
+  ASSERT_TRUE(a.ok());
+  EXPECT_LT(a->BalanceRatio(), 1.05);
+  EXPECT_LT(a->OccupancyCv(), 0.05);
+}
+
+TEST(RoundRobinTest, SkewUnbalances) {
+  const TestBed su = MakeSetup(1.0);
+  auto a = RoundRobinAllocate(su.sizes, su.scheme, 64);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GT(a->BalanceRatio(), 1.5);
+}
+
+TEST(GreedyTest, RestoresBalanceUnderSkew) {
+  const TestBed su = MakeSetup(1.0);
+  auto rr = RoundRobinAllocate(su.sizes, su.scheme, 64);
+  auto gr = GreedyAllocate(su.sizes, su.scheme, 64);
+  ASSERT_TRUE(rr.ok());
+  ASSERT_TRUE(gr.ok());
+  EXPECT_LT(gr->BalanceRatio(), rr->BalanceRatio());
+  // Greedy is near the max-piece lower bound: the most occupied disk holds
+  // no more than the largest single piece above the perfect split.
+  uint64_t max_piece = 0;
+  for (uint64_t f = 0; f < gr->num_fragments(); ++f) {
+    max_piece = std::max({max_piece, gr->FactBytes(f), gr->BitmapBytes(f)});
+  }
+  const double mean = static_cast<double>(gr->TotalBytes()) / 64.0;
+  const double lower_bound = std::max(1.0, static_cast<double>(max_piece) /
+                                               mean);
+  EXPECT_LT(gr->BalanceRatio(), lower_bound * 1.05 + 0.01);
+  // Same total bytes regardless of placement.
+  EXPECT_EQ(gr->TotalBytes(), rr->TotalBytes());
+}
+
+TEST(GreedyTest, DeterministicPlacement) {
+  const TestBed su = MakeSetup(0.7);
+  auto a = GreedyAllocate(su.sizes, su.scheme, 16);
+  auto b = GreedyAllocate(su.sizes, su.scheme, 16);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+    EXPECT_EQ(a->FactDisk(f), b->FactDisk(f));
+    EXPECT_EQ(a->BitmapDisk(f), b->BitmapDisk(f));
+  }
+}
+
+TEST(AllocTest, DiskBytesConsistent) {
+  const TestBed su = MakeSetup(0.5);
+  auto a = GreedyAllocate(su.sizes, su.scheme, 10);
+  ASSERT_TRUE(a.ok());
+  std::vector<uint64_t> recomputed(10, 0);
+  for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+    recomputed[a->FactDisk(f)] += a->FactBytes(f);
+    recomputed[a->BitmapDisk(f)] += a->BitmapBytes(f);
+  }
+  EXPECT_EQ(recomputed, a->disk_bytes());
+}
+
+TEST(AllocTest, FactBytesMatchFragmentSizes) {
+  const TestBed su = MakeSetup(0.0);
+  auto a = RoundRobinAllocate(su.sizes, su.scheme, 4);
+  ASSERT_TRUE(a.ok());
+  for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+    EXPECT_EQ(a->FactBytes(f), su.sizes.bytes(f));
+    // Bitmap bundles are page-aligned and nonzero (the scheme always
+    // stores something per fragment).
+    EXPECT_GT(a->BitmapBytes(f), 0u);
+    EXPECT_EQ(a->BitmapBytes(f) % kPage, 0u);
+  }
+}
+
+TEST(AllocTest, SingleDiskTakesEverything) {
+  const TestBed su = MakeSetup(0.9);
+  auto a = GreedyAllocate(su.sizes, su.scheme, 1);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->BalanceRatio(), 1.0);
+  EXPECT_EQ(a->disk_bytes()[0], a->TotalBytes());
+}
+
+TEST(AllocTest, ZeroDisksRejected) {
+  const TestBed su = MakeSetup(0.0);
+  EXPECT_FALSE(RoundRobinAllocate(su.sizes, su.scheme, 0).ok());
+  EXPECT_FALSE(GreedyAllocate(su.sizes, su.scheme, 0).ok());
+}
+
+TEST(AllocTest, CapacityValidation) {
+  const TestBed su = MakeSetup(0.0);
+  auto a = RoundRobinAllocate(su.sizes, su.scheme, 64);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->ValidateCapacity(16ULL << 30).ok());
+  auto small = a->ValidateCapacity(1 << 20);
+  EXPECT_FALSE(small.ok());
+  EXPECT_EQ(small.code(), Status::Code::kResourceExhausted);
+}
+
+TEST(AllocTest, ChooseSchemePolicy) {
+  const TestBed uniform = MakeSetup(0.0);
+  const TestBed skewed = MakeSetup(1.0);
+  EXPECT_EQ(ChooseScheme(uniform.sizes), AllocationScheme::kRoundRobin);
+  EXPECT_EQ(ChooseScheme(skewed.sizes), AllocationScheme::kGreedy);
+}
+
+TEST(AllocTest, AllocateDispatch) {
+  const TestBed su = MakeSetup(0.0);
+  auto rr = Allocate(AllocationScheme::kRoundRobin, su.sizes, su.scheme, 8);
+  auto gr = Allocate(AllocationScheme::kGreedy, su.sizes, su.scheme, 8);
+  ASSERT_TRUE(rr.ok());
+  ASSERT_TRUE(gr.ok());
+  EXPECT_EQ(rr->FactDisk(9), 1u);
+}
+
+TEST(AllocTest, SchemeNames) {
+  EXPECT_STREQ(AllocationSchemeName(AllocationScheme::kRoundRobin),
+               "round-robin");
+  EXPECT_STREQ(AllocationSchemeName(AllocationScheme::kGreedy), "greedy");
+}
+
+TEST(AllocTest, MoreDisksNeverWorseBalanceAbsolute) {
+  // Greedy with D disks: max load is within fragments' granularity of
+  // perfect; with more disks the absolute max occupancy never grows.
+  const TestBed su = MakeSetup(1.0);
+  uint64_t prev_max = UINT64_MAX;
+  for (uint32_t disks : {2u, 4u, 8u, 16u, 32u}) {
+    auto a = GreedyAllocate(su.sizes, su.scheme, disks);
+    ASSERT_TRUE(a.ok());
+    const uint64_t mx = *std::max_element(a->disk_bytes().begin(),
+                                          a->disk_bytes().end());
+    EXPECT_LE(mx, prev_max);
+    prev_max = mx;
+  }
+}
+
+}  // namespace
+}  // namespace warlock::alloc

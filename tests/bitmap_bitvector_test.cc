@@ -1,0 +1,109 @@
+#include "bitmap/bit_vector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace warlock::bitmap {
+namespace {
+
+TEST(BitVectorTest, StartsCleared) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.Count(), 0u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(v.Test(i));
+}
+
+TEST(BitVectorTest, SetClearTest) {
+  BitVector v(130);
+  v.Set(0);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(129));
+  EXPECT_FALSE(v.Test(1));
+  EXPECT_EQ(v.Count(), 3u);
+  v.Clear(64);
+  EXPECT_FALSE(v.Test(64));
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVectorTest, AndOrAndNot) {
+  BitVector a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(1);
+  b.Set(2);
+  BitVector and_v = a;
+  and_v.And(b);
+  EXPECT_EQ(and_v.Count(), 1u);
+  EXPECT_TRUE(and_v.Test(1));
+  BitVector or_v = a;
+  or_v.Or(b);
+  EXPECT_EQ(or_v.Count(), 3u);
+  BitVector diff = a;
+  diff.AndNot(b);
+  EXPECT_EQ(diff.Count(), 1u);
+  EXPECT_TRUE(diff.Test(65));
+}
+
+TEST(BitVectorTest, NotMasksTail) {
+  BitVector v(67);
+  v.Not();
+  EXPECT_EQ(v.Count(), 67u);  // no stray bits beyond size
+  v.Not();
+  EXPECT_EQ(v.Count(), 0u);
+}
+
+TEST(BitVectorTest, ForEachSetAscending) {
+  BitVector v(200);
+  const std::vector<uint64_t> expected = {0, 3, 63, 64, 127, 199};
+  for (uint64_t i : expected) v.Set(i);
+  std::vector<uint64_t> seen;
+  v.ForEachSet([&](uint64_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVectorTest, DenseBytes) {
+  EXPECT_EQ(BitVector(0).DenseBytes(), 0u);
+  EXPECT_EQ(BitVector(1).DenseBytes(), 1u);
+  EXPECT_EQ(BitVector(8).DenseBytes(), 1u);
+  EXPECT_EQ(BitVector(9).DenseBytes(), 2u);
+  EXPECT_EQ(BitVector(8192).DenseBytes(), 1024u);
+}
+
+TEST(BitVectorTest, Equality) {
+  BitVector a(10), b(10), c(11);
+  a.Set(3);
+  b.Set(3);
+  EXPECT_TRUE(a == b);
+  b.Set(4);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVectorTest, RandomizedCountMatchesReference) {
+  Rng rng(77);
+  BitVector v(5000);
+  std::vector<bool> ref(5000, false);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t pos = rng.Uniform(5000);
+    v.Set(pos);
+    ref[pos] = true;
+  }
+  uint64_t expected = 0;
+  for (bool b : ref) expected += b ? 1 : 0;
+  EXPECT_EQ(v.Count(), expected);
+  uint64_t visited = 0;
+  v.ForEachSet([&](uint64_t i) {
+    EXPECT_TRUE(ref[i]);
+    ++visited;
+  });
+  EXPECT_EQ(visited, expected);
+}
+
+}  // namespace
+}  // namespace warlock::bitmap

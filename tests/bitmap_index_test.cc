@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "bitmap/encoded_index.h"
+#include "bitmap/standard_index.h"
+#include "common/rng.h"
+#include "schema/apb1.h"
+
+namespace warlock::bitmap {
+namespace {
+
+TEST(StandardIndexTest, BuildValidates) {
+  EXPECT_FALSE(StandardBitmapIndex::Build({0, 1}, 0).ok());
+  EXPECT_FALSE(StandardBitmapIndex::Build({0, 5}, 3).ok());
+  EXPECT_TRUE(StandardBitmapIndex::Build({}, 3).ok());
+}
+
+TEST(StandardIndexTest, ProbeFindsRows) {
+  const std::vector<uint32_t> values = {2, 0, 1, 2, 2, 0};
+  auto idx = StandardBitmapIndex::Build(values, 3);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->cardinality(), 3u);
+  EXPECT_EQ(idx->num_rows(), 6u);
+  auto b2 = idx->Probe(2);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ((*b2)->Count(), 3u);
+  EXPECT_TRUE((*b2)->Test(0));
+  EXPECT_TRUE((*b2)->Test(3));
+  EXPECT_TRUE((*b2)->Test(4));
+  EXPECT_FALSE(idx->Probe(3).ok());
+}
+
+TEST(StandardIndexTest, BitmapsPartitionRows) {
+  Rng rng(5);
+  std::vector<uint32_t> values(1000);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.Uniform(17));
+  auto idx = StandardBitmapIndex::Build(values, 17);
+  ASSERT_TRUE(idx.ok());
+  uint64_t total = 0;
+  for (uint64_t v = 0; v < 17; ++v) {
+    total += (*idx->Probe(v))->Count();
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(StandardIndexTest, ProbeRange) {
+  const std::vector<uint32_t> values = {0, 1, 2, 3, 4, 0, 1};
+  auto idx = StandardBitmapIndex::Build(values, 5);
+  ASSERT_TRUE(idx.ok());
+  auto r = idx->ProbeRange(1, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Count(), 3u);  // values 1,2 at rows 1,2,6
+  EXPECT_FALSE(idx->ProbeRange(3, 3).ok());
+  EXPECT_FALSE(idx->ProbeRange(0, 6).ok());
+}
+
+TEST(StandardIndexTest, SizeAccounting) {
+  std::vector<uint32_t> values(800, 0);
+  auto idx = StandardBitmapIndex::Build(values, 10);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->DenseBytes(), 10u * 100u);
+  // Only one bitmap is dense, the rest are empty: WAH crushes them.
+  EXPECT_LT(idx->CompressedBytes(), idx->DenseBytes() / 2);
+}
+
+class EncodedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = schema::Apb1Schema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+  }
+  const schema::Dimension& Product() const { return schema_->dimension(0); }
+  std::unique_ptr<schema::StarSchema> schema_;
+};
+
+TEST_F(EncodedIndexTest, FieldWidths) {
+  const schema::Dimension& p = Product();
+  // Division(2): 1 bit. Line: ceil(7/2)=4 children -> 2 bits.
+  // Family: ceil(20/7)=3 -> 2 bits. Group: ceil(100/20)=5 -> 3 bits.
+  // Class: ceil(900/100)=9 -> 4 bits. Code: ceil(9000/900)=10 -> 4 bits.
+  EXPECT_EQ(EncodedBitmapIndex::FieldWidth(p, 0), 1u);
+  EXPECT_EQ(EncodedBitmapIndex::FieldWidth(p, 1), 2u);
+  EXPECT_EQ(EncodedBitmapIndex::FieldWidth(p, 2), 2u);
+  EXPECT_EQ(EncodedBitmapIndex::FieldWidth(p, 3), 3u);
+  EXPECT_EQ(EncodedBitmapIndex::FieldWidth(p, 4), 4u);
+  EXPECT_EQ(EncodedBitmapIndex::FieldWidth(p, 5), 4u);
+  // Prefix sums.
+  EXPECT_EQ(EncodedBitmapIndex::PlanesForProbe(p, 0), 1u);
+  EXPECT_EQ(EncodedBitmapIndex::PlanesForProbe(p, 3), 8u);
+  EXPECT_EQ(EncodedBitmapIndex::PlanesForProbe(p, 5), 16u);
+}
+
+TEST_F(EncodedIndexTest, CoarseProbesReadFewerPlanes) {
+  const schema::Dimension& p = Product();
+  for (size_t l = 1; l < p.num_levels(); ++l) {
+    EXPECT_GE(EncodedBitmapIndex::PlanesForProbe(p, l),
+              EncodedBitmapIndex::PlanesForProbe(p, l - 1));
+  }
+}
+
+TEST_F(EncodedIndexTest, FarFewerPlanesThanStandardBitmaps) {
+  const schema::Dimension& p = Product();
+  // 16 planes versus 9000 standard bitmaps at the bottom level.
+  EXPECT_LT(EncodedBitmapIndex::PlanesForProbe(p, 5), 20u);
+}
+
+TEST_F(EncodedIndexTest, BuildRejectsOutOfRange) {
+  EXPECT_FALSE(EncodedBitmapIndex::Build({9000}, Product()).ok());
+}
+
+TEST_F(EncodedIndexTest, ProbeMatchesDirectScanAtEveryLevel) {
+  Rng rng(9);
+  std::vector<uint32_t> bottom(2000);
+  for (auto& v : bottom) v = static_cast<uint32_t>(rng.Uniform(9000));
+  auto idx = EncodedBitmapIndex::Build(bottom, Product());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->num_rows(), 2000u);
+  EXPECT_EQ(idx->TotalPlanes(), 16u);
+  const schema::Dimension& p = Product();
+  for (size_t level = 0; level < p.num_levels(); ++level) {
+    // Probe three representative values per level.
+    for (uint64_t value : {uint64_t{0}, p.cardinality(level) / 2,
+                           p.cardinality(level) - 1}) {
+      auto bv = idx->Probe(level, value);
+      ASSERT_TRUE(bv.ok()) << "level " << level << " value " << value;
+      BitVector expected(bottom.size());
+      for (size_t row = 0; row < bottom.size(); ++row) {
+        if (p.AncestorValue(5, bottom[row], level) == value) {
+          expected.Set(row);
+        }
+      }
+      EXPECT_TRUE(*bv == expected)
+          << "level " << level << " value " << value;
+    }
+  }
+}
+
+TEST_F(EncodedIndexTest, ProbesPartitionRowsPerLevel) {
+  Rng rng(13);
+  std::vector<uint32_t> bottom(500);
+  for (auto& v : bottom) v = static_cast<uint32_t>(rng.Uniform(9000));
+  auto idx = EncodedBitmapIndex::Build(bottom, Product());
+  ASSERT_TRUE(idx.ok());
+  for (size_t level : {0UL, 2UL, 5UL}) {
+    uint64_t total = 0;
+    for (uint64_t v = 0; v < Product().cardinality(level); ++v) {
+      total += idx->Probe(level, v)->Count();
+    }
+    EXPECT_EQ(total, 500u) << "level " << level;
+  }
+}
+
+TEST_F(EncodedIndexTest, ProbeValidation) {
+  auto idx = EncodedBitmapIndex::Build({0, 1, 2}, Product());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_FALSE(idx->Probe(9, 0).ok());
+  EXPECT_FALSE(idx->Probe(0, 2).ok());
+}
+
+TEST_F(EncodedIndexTest, DenseBytes) {
+  auto idx = EncodedBitmapIndex::Build(std::vector<uint32_t>(80, 1),
+                                       Product());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->DenseBytes(), 16u * 10u);  // 16 planes x ceil(80/8) bytes
+}
+
+TEST_F(EncodedIndexTest, SingleLevelDimension) {
+  const schema::Dimension& channel = schema_->dimension(3);
+  EXPECT_EQ(EncodedBitmapIndex::FieldWidth(channel, 0), 4u);  // log2ceil(9)
+  std::vector<uint32_t> bottom = {0, 8, 4, 4, 2};
+  auto idx = EncodedBitmapIndex::Build(bottom, channel);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->Probe(0, 4)->Count(), 2u);
+  EXPECT_EQ(idx->Probe(0, 3)->Count(), 0u);
+}
+
+}  // namespace
+}  // namespace warlock::bitmap

@@ -1,0 +1,124 @@
+#include "bitmap/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "bitmap/encoded_index.h"
+#include "schema/apb1.h"
+
+namespace warlock::bitmap {
+namespace {
+
+schema::StarSchema MakeSchema() {
+  auto s = schema::Apb1Schema();
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(SchemeTest, DefaultSelectionByCardinality) {
+  const schema::StarSchema s = MakeSchema();
+  const BitmapScheme scheme = BitmapScheme::Select(s);  // threshold 64
+  // Product: Division(2), Line(7), Family(20) standard; Group(100),
+  // Class(900), Code(9000) encoded.
+  EXPECT_EQ(scheme.kind(0, 0), BitmapKind::kStandard);
+  EXPECT_EQ(scheme.kind(0, 1), BitmapKind::kStandard);
+  EXPECT_EQ(scheme.kind(0, 2), BitmapKind::kStandard);
+  EXPECT_EQ(scheme.kind(0, 3), BitmapKind::kEncoded);
+  EXPECT_EQ(scheme.kind(0, 4), BitmapKind::kEncoded);
+  EXPECT_EQ(scheme.kind(0, 5), BitmapKind::kEncoded);
+  // Customer: Retailer(90) encoded, Store(900) encoded.
+  EXPECT_EQ(scheme.kind(1, 0), BitmapKind::kEncoded);
+  EXPECT_EQ(scheme.kind(1, 1), BitmapKind::kEncoded);
+  // Time and Channel all standard.
+  EXPECT_EQ(scheme.kind(2, 2), BitmapKind::kStandard);
+  EXPECT_EQ(scheme.kind(3, 0), BitmapKind::kStandard);
+}
+
+TEST(SchemeTest, ThresholdChangesSelection) {
+  const schema::StarSchema s = MakeSchema();
+  const BitmapScheme all_std =
+      BitmapScheme::Select(s, {.standard_max_cardinality = 10000});
+  EXPECT_EQ(all_std.kind(0, 5), BitmapKind::kStandard);
+  const BitmapScheme all_enc =
+      BitmapScheme::Select(s, {.standard_max_cardinality = 1});
+  EXPECT_EQ(all_enc.kind(2, 0), BitmapKind::kEncoded);  // Year(2)
+}
+
+TEST(SchemeTest, ProbeVectorCounts) {
+  const schema::StarSchema s = MakeSchema();
+  const BitmapScheme scheme = BitmapScheme::Select(s);
+  EXPECT_EQ(scheme.VectorsReadForProbe(0, 0), 1u);  // standard
+  // Encoded probes read the prefix planes.
+  EXPECT_EQ(scheme.VectorsReadForProbe(0, 3),
+            EncodedBitmapIndex::PlanesForProbe(s.dimension(0), 3));
+  EXPECT_EQ(scheme.VectorsReadForProbe(0, 5), 16u);
+}
+
+TEST(SchemeTest, BytesPerVector) {
+  EXPECT_DOUBLE_EQ(BitmapScheme::BytesPerVector(800.0), 100.0);
+  EXPECT_DOUBLE_EQ(BitmapScheme::BytesPerVector(801.0), 101.0);
+  EXPECT_DOUBLE_EQ(BitmapScheme::BytesPerVector(0.0), 0.0);
+}
+
+TEST(SchemeTest, ProbeBytes) {
+  const schema::StarSchema s = MakeSchema();
+  const BitmapScheme scheme = BitmapScheme::Select(s);
+  EXPECT_DOUBLE_EQ(scheme.ProbeBytes(0, 0, 800.0), 100.0);
+  EXPECT_DOUBLE_EQ(scheme.ProbeBytes(0, 5, 800.0), 1600.0);  // 16 planes
+}
+
+TEST(SchemeTest, StorageAccounting) {
+  const schema::StarSchema s = MakeSchema();
+  const BitmapScheme scheme = BitmapScheme::Select(s);
+  // Standard: Division 2 + Line 7 + Family 20 (Product), Year 2 + Quarter 8
+  // + Month 24 (Time), Base 9 (Channel) = 72 bitmaps.
+  // Encoded: Product stores 16 planes; Customer stores
+  // PlanesForProbe(Store) = 7 (Retailer 90) + 4 (fanout 10) = 11.
+  const uint64_t expected_vectors = 72 + 16 + 11;
+  EXPECT_EQ(scheme.StoredVectorsPerFragment(), expected_vectors);
+  EXPECT_DOUBLE_EQ(scheme.StoredBytesPerFragment(800.0),
+                   static_cast<double>(expected_vectors) * 100.0);
+}
+
+TEST(SchemeTest, ExcludeDropsIndex) {
+  const schema::StarSchema s = MakeSchema();
+  BitmapScheme scheme = BitmapScheme::Select(s);
+  const uint64_t before = scheme.StoredVectorsPerFragment();
+  ASSERT_TRUE(scheme.Exclude(2, 2).ok());  // Month (standard, 24 bitmaps)
+  EXPECT_EQ(scheme.kind(2, 2), BitmapKind::kNone);
+  EXPECT_EQ(scheme.VectorsReadForProbe(2, 2), 0u);
+  EXPECT_EQ(scheme.StoredVectorsPerFragment(), before - 24);
+}
+
+TEST(SchemeTest, ExcludingDeepestEncodedShrinksPlanes) {
+  const schema::StarSchema s = MakeSchema();
+  BitmapScheme scheme = BitmapScheme::Select(s);
+  const uint64_t before = scheme.StoredVectorsPerFragment();
+  // Dropping Code (deepest encoded level of Product) shrinks the stored
+  // plane set to what Class probes need (12 planes instead of 16).
+  ASSERT_TRUE(scheme.Exclude(0, 5).ok());
+  EXPECT_EQ(scheme.StoredVectorsPerFragment(), before - 4);
+  // Dropping Class and Group too removes the Product encoded index
+  // entirely.
+  ASSERT_TRUE(scheme.Exclude(0, 4).ok());
+  ASSERT_TRUE(scheme.Exclude(0, 3).ok());
+  EXPECT_EQ(scheme.StoredVectorsPerFragment(), before - 16);
+}
+
+TEST(SchemeTest, ExcludeValidation) {
+  const schema::StarSchema s = MakeSchema();
+  BitmapScheme scheme = BitmapScheme::Select(s);
+  EXPECT_FALSE(scheme.Exclude(9, 0).ok());
+  EXPECT_FALSE(scheme.Exclude(0, 9).ok());
+}
+
+TEST(SchemeTest, DescribeMentionsEveryAttribute) {
+  const schema::StarSchema s = MakeSchema();
+  const BitmapScheme scheme = BitmapScheme::Select(s);
+  const std::string desc = scheme.Describe(s);
+  EXPECT_NE(desc.find("Product.Code: encoded"), std::string::npos);
+  EXPECT_NE(desc.find("Time.Month: standard"), std::string::npos);
+  EXPECT_NE(desc.find("Channel.Base: standard"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warlock::bitmap

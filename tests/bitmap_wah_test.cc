@@ -1,0 +1,147 @@
+#include "bitmap/wah.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace warlock::bitmap {
+namespace {
+
+BitVector RandomVector(uint64_t bits, double density, uint64_t seed) {
+  Rng rng(seed);
+  BitVector v(bits);
+  for (uint64_t i = 0; i < bits; ++i) {
+    if (rng.NextDouble() < density) v.Set(i);
+  }
+  return v;
+}
+
+TEST(WahTest, EmptyVector) {
+  BitVector v(0);
+  WahBitVector w = WahBitVector::Compress(v);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.Count(), 0u);
+  EXPECT_TRUE(w.Decompress() == v);
+}
+
+TEST(WahTest, RoundTripSmall) {
+  BitVector v(10);
+  v.Set(2);
+  v.Set(9);
+  WahBitVector w = WahBitVector::Compress(v);
+  EXPECT_TRUE(w.Decompress() == v);
+  EXPECT_EQ(w.Count(), 2u);
+}
+
+TEST(WahTest, AllZerosCompressesToOneWord) {
+  BitVector v(31 * 1000);
+  WahBitVector w = WahBitVector::Compress(v);
+  EXPECT_EQ(w.CompressedBytes(), 4u);
+  EXPECT_EQ(w.Count(), 0u);
+  EXPECT_TRUE(w.Decompress() == v);
+  EXPECT_GT(w.CompressionRatio(), 900.0);
+}
+
+TEST(WahTest, AllOnesCompressesToOneWord) {
+  BitVector v(31 * 1000);
+  v.Not();
+  WahBitVector w = WahBitVector::Compress(v);
+  EXPECT_EQ(w.CompressedBytes(), 4u);
+  EXPECT_EQ(w.Count(), 31000u);
+  EXPECT_TRUE(w.Decompress() == v);
+}
+
+TEST(WahTest, PartialTailGroup) {
+  // Size not a multiple of 31 exercises the tail handling.
+  for (uint64_t bits : {1ULL, 30ULL, 31ULL, 32ULL, 62ULL, 100ULL, 1023ULL}) {
+    BitVector v(bits);
+    if (bits > 0) v.Set(bits - 1);
+    WahBitVector w = WahBitVector::Compress(v);
+    EXPECT_TRUE(w.Decompress() == v) << "bits=" << bits;
+    EXPECT_EQ(w.Count(), v.Count()) << "bits=" << bits;
+  }
+}
+
+TEST(WahTest, RoundTripRandomDensities) {
+  for (double density : {0.001, 0.01, 0.1, 0.5, 0.9, 0.999}) {
+    const BitVector v = RandomVector(12345, density, 42);
+    WahBitVector w = WahBitVector::Compress(v);
+    EXPECT_TRUE(w.Decompress() == v) << "density=" << density;
+    EXPECT_EQ(w.Count(), v.Count()) << "density=" << density;
+  }
+}
+
+TEST(WahTest, SparseCompressesWell) {
+  const BitVector v = RandomVector(100000, 0.0005, 7);
+  WahBitVector w = WahBitVector::Compress(v);
+  EXPECT_GT(w.CompressionRatio(), 5.0);
+}
+
+TEST(WahTest, DenseDoesNotExplode) {
+  const BitVector v = RandomVector(100000, 0.5, 9);
+  WahBitVector w = WahBitVector::Compress(v);
+  // Worst case ~ 32/31 of dense size.
+  EXPECT_LT(static_cast<double>(w.CompressedBytes()),
+            static_cast<double>(v.DenseBytes()) * 1.1);
+}
+
+TEST(WahTest, AndMatchesDense) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const BitVector a = RandomVector(9999, 0.02, seed);
+    const BitVector b = RandomVector(9999, 0.3, seed + 100);
+    BitVector expected = a;
+    expected.And(b);
+    const WahBitVector wa = WahBitVector::Compress(a);
+    const WahBitVector wb = WahBitVector::Compress(b);
+    const WahBitVector wr = WahBitVector::And(wa, wb);
+    EXPECT_TRUE(wr.Decompress() == expected) << "seed=" << seed;
+    EXPECT_EQ(wr.Count(), expected.Count());
+  }
+}
+
+TEST(WahTest, OrMatchesDense) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const BitVector a = RandomVector(9999, 0.02, seed);
+    const BitVector b = RandomVector(9999, 0.3, seed + 100);
+    BitVector expected = a;
+    expected.Or(b);
+    const WahBitVector wa = WahBitVector::Compress(a);
+    const WahBitVector wb = WahBitVector::Compress(b);
+    const WahBitVector wr = WahBitVector::Or(wa, wb);
+    EXPECT_TRUE(wr.Decompress() == expected) << "seed=" << seed;
+    EXPECT_EQ(wr.Count(), expected.Count());
+  }
+}
+
+TEST(WahTest, AndWithFillsFastPath) {
+  BitVector zeros(31 * 100);
+  BitVector ones(31 * 100);
+  ones.Not();
+  const BitVector r = RandomVector(31 * 100, 0.2, 3);
+  const WahBitVector wz = WahBitVector::Compress(zeros);
+  const WahBitVector wo = WahBitVector::Compress(ones);
+  const WahBitVector wr = WahBitVector::Compress(r);
+  EXPECT_EQ(WahBitVector::And(wz, wr).Count(), 0u);
+  EXPECT_EQ(WahBitVector::And(wo, wr).Count(), r.Count());
+  EXPECT_EQ(WahBitVector::Or(wz, wr).Count(), r.Count());
+  EXPECT_EQ(WahBitVector::Or(wo, wr).Count(), 3100u);
+}
+
+TEST(WahTest, LongRunsAcrossWordBoundaries) {
+  BitVector v(31 * 10000);
+  // One long 1-run in the middle.
+  for (uint64_t i = 31 * 3000; i < 31 * 7000; ++i) v.Set(i);
+  WahBitVector w = WahBitVector::Compress(v);
+  EXPECT_TRUE(w.Decompress() == v);
+  EXPECT_EQ(w.Count(), 31u * 4000u);
+  // Three fills plus at most a couple of literals.
+  EXPECT_LE(w.CompressedBytes(), 6u * 4u);
+}
+
+TEST(WahTest, EqualityOperator) {
+  const BitVector v = RandomVector(500, 0.1, 11);
+  EXPECT_TRUE(WahBitVector::Compress(v) == WahBitVector::Compress(v));
+}
+
+}  // namespace
+}  // namespace warlock::bitmap

@@ -1,0 +1,155 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace warlock {
+namespace {
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+  EXPECT_EQ(CeilDiv(8, 4), 2u);
+}
+
+TEST(Log2CeilTest, Basics) {
+  EXPECT_EQ(Log2Ceil(0), 0u);
+  EXPECT_EQ(Log2Ceil(1), 0u);
+  EXPECT_EQ(Log2Ceil(2), 1u);
+  EXPECT_EQ(Log2Ceil(3), 2u);
+  EXPECT_EQ(Log2Ceil(4), 2u);
+  EXPECT_EQ(Log2Ceil(5), 3u);
+  EXPECT_EQ(Log2Ceil(8), 3u);
+  EXPECT_EQ(Log2Ceil(9), 4u);
+  EXPECT_EQ(Log2Ceil(9000), 14u);  // APB-1 Product.Code
+}
+
+TEST(Log2CeilTest, PowersOfTwo) {
+  for (uint32_t k = 1; k < 63; ++k) {
+    EXPECT_EQ(Log2Ceil(1ULL << k), k) << "n=2^" << k;
+    EXPECT_EQ(Log2Ceil((1ULL << k) + 1), k + 1) << "n=2^" << k << "+1";
+  }
+}
+
+TEST(CardenasTest, ZeroCases) {
+  EXPECT_DOUBLE_EQ(CardenasPageHits(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(CardenasPageHits(10, 0), 0.0);
+}
+
+TEST(CardenasTest, SingleRowTouchesOnePage) {
+  EXPECT_NEAR(CardenasPageHits(100, 1), 1.0, 1e-9);
+}
+
+TEST(CardenasTest, ManyRowsApproachAllPages) {
+  EXPECT_NEAR(CardenasPageHits(10, 10000), 10.0, 1e-3);
+}
+
+TEST(YaoTest, ZeroAndFullSelections) {
+  EXPECT_DOUBLE_EQ(YaoPageHits(10, 1000, 0), 0.0);
+  EXPECT_DOUBLE_EQ(YaoPageHits(10, 1000, 1000), 10.0);
+  EXPECT_DOUBLE_EQ(YaoPageHits(10, 1000, 2000), 10.0);
+}
+
+TEST(YaoTest, OneRowOnePage) {
+  EXPECT_NEAR(YaoPageHits(50, 5000, 1), 1.0, 1e-9);
+}
+
+TEST(YaoTest, SinglePage) {
+  EXPECT_DOUBLE_EQ(YaoPageHits(1, 100, 7), 1.0);
+}
+
+TEST(YaoTest, ExactSmallCase) {
+  // N=4 rows on M=2 pages (2 rows/page), k=2: P(hit both pages)
+  // = 1 - 2 * C(2,2)/C(4,2) = 1 - 2/6; expected pages = 2*(1 - C(2,2)/C(4,2))
+  // Yao: M * (1 - C(N-n, k)/C(N, k)) with n=2: C(2,2)/C(4,2) = 1/6.
+  EXPECT_NEAR(YaoPageHits(2, 4, 2), 2.0 * (1.0 - 1.0 / 6.0), 1e-9);
+}
+
+TEST(YaoTest, MonotoneInSelectedRows) {
+  double prev = 0.0;
+  for (uint64_t k = 0; k <= 500; k += 25) {
+    const double hits = YaoPageHits(100, 10000, k);
+    EXPECT_GE(hits, prev);
+    prev = hits;
+  }
+}
+
+TEST(YaoTest, BoundedByPagesAndRows) {
+  for (uint64_t k : {1ULL, 7ULL, 50ULL, 900ULL}) {
+    const double hits = YaoPageHits(64, 6400, k);
+    EXPECT_LE(hits, 64.0);
+    EXPECT_LE(hits, static_cast<double>(k) + 1e-9);
+    EXPECT_GT(hits, 0.0);
+  }
+}
+
+TEST(YaoTest, MatchesCardenasForLargeK) {
+  // Beyond the exact-evaluation threshold the two estimators agree.
+  const double yao = YaoPageHits(1000, 1000000, 50000);
+  const double cardenas = CardenasPageHits(1000, 50000);
+  EXPECT_NEAR(yao, cardenas, cardenas * 1e-6);
+}
+
+TEST(YaoTest, ExactVsCardenasCloseNearThreshold) {
+  // Just below the threshold exact Yao runs; Cardenas should be within a
+  // fraction of a percent at these sizes (k/N small).
+  const double yao = YaoPageHits(2000, 2000000, 19999);
+  const double cardenas = CardenasPageHits(2000, 19999);
+  EXPECT_NEAR(yao, cardenas, cardenas * 0.01);
+}
+
+TEST(OverflowTest, MulWouldOverflow) {
+  EXPECT_FALSE(MulWouldOverflow(0, UINT64_MAX));
+  EXPECT_FALSE(MulWouldOverflow(1, UINT64_MAX));
+  EXPECT_TRUE(MulWouldOverflow(2, UINT64_MAX / 2 + 1));
+  EXPECT_FALSE(MulWouldOverflow(1ULL << 32, (1ULL << 32) - 1));
+  EXPECT_TRUE(MulWouldOverflow(1ULL << 32, 1ULL << 32));
+}
+
+TEST(OverflowTest, SaturatingMul) {
+  EXPECT_EQ(SaturatingMul(3, 4), 12u);
+  EXPECT_EQ(SaturatingMul(1ULL << 40, 1ULL << 40),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ClampTest, ClampDouble) {
+  EXPECT_DOUBLE_EQ(ClampDouble(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(ClampDouble(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ClampDouble(2.0, 0.0, 1.0), 1.0);
+}
+
+// Property sweep: Yao must always lie within [max(1, ...), min(pages, k)]
+// for 0 < k <= rows, and increase with page count for fixed k.
+class YaoPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(YaoPropertyTest, WithinBounds) {
+  const auto [pages, k] = GetParam();
+  const uint64_t rows = pages * 100;
+  const uint64_t selected = std::min(k, rows);
+  const double hits = YaoPageHits(pages, rows, selected);
+  EXPECT_GT(hits, 0.0);
+  EXPECT_LE(hits, static_cast<double>(pages));
+  EXPECT_LE(hits, static_cast<double>(selected) + 1e-9);
+  // A page holds rows/pages rows, so `selected` rows cannot occupy fewer
+  // than selected/(rows/pages) pages.
+  const double lower = static_cast<double>(selected) /
+                       (static_cast<double>(rows) /
+                        static_cast<double>(pages));
+  EXPECT_GE(hits, lower - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, YaoPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 16, 128, 1024),
+                       ::testing::Values(1, 10, 100, 1000, 10000)));
+
+}  // namespace
+}  // namespace warlock

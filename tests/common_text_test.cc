@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/format.h"
+#include "common/text_table.h"
+
+namespace warlock {
+namespace {
+
+TEST(CsvTest, HeaderOnly) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_EQ(csv.ToString(), "a,b\n");
+  EXPECT_EQ(csv.row_count(), 0u);
+}
+
+TEST(CsvTest, SimpleRows) {
+  CsvWriter csv({"name", "value"});
+  csv.BeginRow().Add(std::string("x")).Add(uint64_t{42});
+  csv.BeginRow().Add(std::string("y")).Add(3.5);
+  EXPECT_EQ(csv.ToString(), "name,value\nx,42\ny,3.5\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"c"});
+  csv.BeginRow().Add(std::string("a,b"));
+  csv.BeginRow().Add(std::string("say \"hi\""));
+  csv.BeginRow().Add(std::string("line\nbreak"));
+  EXPECT_EQ(csv.ToString(),
+            "c\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n");
+}
+
+TEST(CsvTest, NegativeAndDoubleFormats) {
+  CsvWriter csv({"v"});
+  csv.BeginRow().Add(int64_t{-7});
+  csv.BeginRow().Add(0.125);
+  EXPECT_EQ(csv.ToString(), "v\n-7\n0.125\n");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "n"});
+  t.BeginRow().Add("alpha").AddNumeric("1");
+  t.BeginRow().Add("b").AddNumeric("200");
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name  | n"), std::string::npos);
+  EXPECT_NE(out.find("alpha |   1"), std::string::npos);
+  EXPECT_NE(out.find("b     | 200"), std::string::npos);
+}
+
+TEST(TextTableTest, HeaderRule) {
+  TextTable t({"ab"});
+  t.BeginRow().Add("x");
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(AsciiBarTest, Extremes) {
+  EXPECT_EQ(AsciiBar(0.0, 10), "..........");
+  EXPECT_EQ(AsciiBar(1.0, 10), "##########");
+  EXPECT_EQ(AsciiBar(0.5, 10), "#####.....");
+}
+
+TEST(AsciiBarTest, ClampsOutOfRange) {
+  EXPECT_EQ(AsciiBar(-0.5, 4), "....");
+  EXPECT_EQ(AsciiBar(7.0, 4), "####");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3ULL << 20), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(5ULL << 30), "5.00 GiB");
+}
+
+TEST(FormatTest, Count) {
+  EXPECT_EQ(FormatCount(12), "12");
+  EXPECT_EQ(FormatCount(1500), "1.50k");
+  EXPECT_EQ(FormatCount(2.5e6), "2.50M");
+  EXPECT_EQ(FormatCount(3e9), "3.00G");
+}
+
+TEST(FormatTest, Fixed) {
+  EXPECT_EQ(FormatFixed(1.2345, 2), "1.23");
+  EXPECT_EQ(FormatFixed(1.0, 0), "1");
+}
+
+TEST(FormatTest, Millis) {
+  EXPECT_EQ(FormatMillis(0.5), "500.0 us");
+  EXPECT_EQ(FormatMillis(12.34), "12.34 ms");
+  EXPECT_EQ(FormatMillis(2500.0), "2.50 s");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.421), "42.1%");
+  EXPECT_EQ(FormatPercent(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace warlock

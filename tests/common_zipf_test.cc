@@ -1,0 +1,146 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace warlock {
+namespace {
+
+TEST(ZipfTest, RejectsBadArguments) {
+  EXPECT_FALSE(ZipfWeights(0, 0.5).ok());
+  EXPECT_FALSE(ZipfWeights(10, -0.1).ok());
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  auto w = ZipfWeights(8, 0.0);
+  ASSERT_TRUE(w.ok());
+  for (double x : *w) EXPECT_DOUBLE_EQ(x, 1.0 / 8.0);
+}
+
+TEST(ZipfTest, WeightsNormalized) {
+  for (double theta : {0.0, 0.25, 0.5, 0.86, 1.0, 2.0}) {
+    auto w = ZipfWeights(1000, theta);
+    ASSERT_TRUE(w.ok());
+    const double sum = std::accumulate(w->begin(), w->end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, WeightsDecreasing) {
+  auto w = ZipfWeights(100, 0.8);
+  ASSERT_TRUE(w.ok());
+  for (size_t i = 1; i < w->size(); ++i) {
+    EXPECT_LE((*w)[i], (*w)[i - 1]);
+  }
+}
+
+TEST(ZipfTest, HigherThetaMoreSkew) {
+  auto w1 = ZipfWeights(100, 0.5);
+  auto w2 = ZipfWeights(100, 1.0);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_GT((*w2)[0], (*w1)[0]);
+}
+
+TEST(ZipfTest, ClassicRatios) {
+  // theta=1: weight_i proportional to 1/(i+1).
+  auto w = ZipfWeights(4, 1.0);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0] / (*w)[1], 2.0, 1e-9);
+  EXPECT_NEAR((*w)[0] / (*w)[3], 4.0, 1e-9);
+}
+
+TEST(AliasSamplerTest, RejectsBadInput) {
+  EXPECT_FALSE(AliasSampler::Create({}).ok());
+  EXPECT_FALSE(AliasSampler::Create({1.0, -0.5}).ok());
+  EXPECT_FALSE(AliasSampler::Create({0.0, 0.0}).ok());
+}
+
+TEST(AliasSamplerTest, SingleValue) {
+  auto s = AliasSampler::Create({3.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s->Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  auto s = AliasSampler::Create({1.0, 0.0, 1.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_NE(s->Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights = {4.0, 2.0, 1.0, 1.0};
+  auto s = AliasSampler::Create(weights);
+  ASSERT_TRUE(s.ok());
+  Rng rng(42);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(rng)];
+  for (size_t v = 0; v < weights.size(); ++v) {
+    const double expected = weights[v] / 8.0;
+    const double observed = static_cast<double>(counts[v]) / n;
+    EXPECT_NEAR(observed, expected, 0.01) << "value " << v;
+  }
+}
+
+TEST(AliasSamplerTest, ZipfEmpiricalMatch) {
+  auto w = ZipfWeights(50, 1.0);
+  ASSERT_TRUE(w.ok());
+  auto s = AliasSampler::Create(*w);
+  ASSERT_TRUE(s.ok());
+  Rng rng(99);
+  std::vector<int> counts(50, 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(rng)];
+  // Head of the distribution matches within 10% relative error.
+  for (size_t v = 0; v < 5; ++v) {
+    const double observed = static_cast<double>(counts[v]) / n;
+    EXPECT_NEAR(observed, (*w)[v], (*w)[v] * 0.1) << "value " << v;
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng root(7);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace warlock

@@ -1,0 +1,100 @@
+#include "core/config_text.h"
+
+#include <gtest/gtest.h>
+
+namespace warlock::core {
+namespace {
+
+TEST(ConfigTextTest, DefaultsRoundTrip) {
+  ToolConfig config;
+  const std::string text = ToolConfigToText(config);
+  auto parsed = ToolConfigFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->cost.disks.num_disks, config.cost.disks.num_disks);
+  EXPECT_EQ(parsed->cost.disks.page_size_bytes,
+            config.cost.disks.page_size_bytes);
+  EXPECT_DOUBLE_EQ(parsed->cost.disks.avg_seek_ms,
+                   config.cost.disks.avg_seek_ms);
+  EXPECT_EQ(parsed->thresholds.max_fragments,
+            config.thresholds.max_fragments);
+  EXPECT_EQ(parsed->ranking.top_k, config.ranking.top_k);
+  EXPECT_EQ(parsed->prefetch, PrefetchPolicy::kAuto);
+  EXPECT_EQ(parsed->allocation, AllocationPolicy::kAuto);
+}
+
+TEST(ConfigTextTest, ParsesAllKeys) {
+  const char* text = R"(
+# warlock configuration
+disks 32
+page_size 4096
+disk_capacity_gb 8
+seek_ms 6.5
+rotational_ms 3.0
+transfer_mbs 40
+fact_granule 64
+bitmap_granule 4
+max_fragments 500000
+min_avg_fragment_pages 16
+max_dimensions 3
+standard_max_cardinality 32
+leading_fraction 0.3
+top_k 7
+allocation greedy
+samples_per_class 6
+seed 99
+)";
+  auto config = ToolConfigFromText(text);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->cost.disks.num_disks, 32u);
+  EXPECT_EQ(config->cost.disks.page_size_bytes, 4096u);
+  EXPECT_EQ(config->cost.disks.disk_capacity_bytes, 8ULL << 30);
+  EXPECT_DOUBLE_EQ(config->cost.disks.avg_seek_ms, 6.5);
+  EXPECT_DOUBLE_EQ(config->cost.disks.avg_rotational_ms, 3.0);
+  EXPECT_DOUBLE_EQ(config->cost.disks.transfer_mb_per_s, 40.0);
+  EXPECT_EQ(config->prefetch, PrefetchPolicy::kFixed);
+  EXPECT_EQ(config->cost.fact_granule, 64u);
+  EXPECT_EQ(config->cost.bitmap_granule, 4u);
+  EXPECT_EQ(config->thresholds.max_fragments, 500000u);
+  EXPECT_EQ(config->thresholds.min_avg_fragment_pages, 16u);
+  EXPECT_EQ(config->thresholds.max_dimensions, 3u);
+  EXPECT_EQ(config->bitmap_options.standard_max_cardinality, 32u);
+  EXPECT_DOUBLE_EQ(config->ranking.leading_fraction, 0.3);
+  EXPECT_EQ(config->ranking.top_k, 7u);
+  EXPECT_EQ(config->allocation, AllocationPolicy::kGreedy);
+  EXPECT_EQ(config->cost.samples_per_class, 6u);
+  EXPECT_EQ(config->cost.seed, 99u);
+}
+
+TEST(ConfigTextTest, AutoGranulesKeepAutoPolicy) {
+  auto config =
+      ToolConfigFromText("fact_granule auto\nbitmap_granule auto\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->prefetch, PrefetchPolicy::kAuto);
+}
+
+TEST(ConfigTextTest, AllocationValues) {
+  EXPECT_EQ(ToolConfigFromText("allocation roundrobin\n")->allocation,
+            AllocationPolicy::kRoundRobin);
+  EXPECT_EQ(ToolConfigFromText("allocation auto\n")->allocation,
+            AllocationPolicy::kAuto);
+  EXPECT_FALSE(ToolConfigFromText("allocation zigzag\n").ok());
+}
+
+TEST(ConfigTextTest, Errors) {
+  EXPECT_FALSE(ToolConfigFromText("bogus_key 1\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("disks\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("disks abc\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("disks 4 5\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("leading_fraction 1.5\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("fact_granule 0\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("disks 0\n").ok());  // fails validation
+}
+
+TEST(ConfigTextTest, CommentsAndTrailing) {
+  auto config = ToolConfigFromText("disks 16  # sixteen spindles\n\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->cost.disks.num_disks, 16u);
+}
+
+}  // namespace
+}  // namespace warlock::core

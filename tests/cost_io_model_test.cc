@@ -1,0 +1,105 @@
+#include "cost/io_model.h"
+
+#include <gtest/gtest.h>
+
+namespace warlock::cost {
+namespace {
+
+DiskParameters DefaultDisks() {
+  DiskParameters p;
+  p.page_size_bytes = 8192;
+  p.avg_seek_ms = 8.0;
+  p.avg_rotational_ms = 4.0;
+  p.transfer_mb_per_s = 25.0;
+  return p;
+}
+
+TEST(DiskParametersTest, Validation) {
+  DiskParameters p = DefaultDisks();
+  EXPECT_TRUE(p.Validate().ok());
+  p.page_size_bytes = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DefaultDisks();
+  p.num_disks = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DefaultDisks();
+  p.disk_capacity_bytes = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DefaultDisks();
+  p.avg_seek_ms = -1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DefaultDisks();
+  p.transfer_mb_per_s = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(DiskParametersTest, DerivedQuantities) {
+  const DiskParameters p = DefaultDisks();
+  EXPECT_DOUBLE_EQ(p.PositioningMs(), 12.0);
+  // 8192 bytes at 25 MB/s = 8192 / 25e6 s = 0.32768 ms.
+  EXPECT_NEAR(p.TransferMsPerPage(), 0.32768, 1e-9);
+}
+
+TEST(IoModelTest, IoTime) {
+  const IoModel io(DefaultDisks());
+  EXPECT_NEAR(io.IoTimeMs(1), 12.32768, 1e-6);
+  EXPECT_NEAR(io.IoTimeMs(10), 12.0 + 3.2768, 1e-6);
+}
+
+TEST(IoModelTest, SequentialIoCount) {
+  const IoModel io(DefaultDisks());
+  EXPECT_EQ(io.SequentialIoCount(0, 8), 0u);
+  EXPECT_EQ(io.SequentialIoCount(1, 8), 1u);
+  EXPECT_EQ(io.SequentialIoCount(8, 8), 1u);
+  EXPECT_EQ(io.SequentialIoCount(9, 8), 2u);
+  EXPECT_EQ(io.SequentialIoCount(100, 8), 13u);
+  // Granule 0 treated as 1.
+  EXPECT_EQ(io.SequentialIoCount(5, 0), 5u);
+}
+
+TEST(IoModelTest, SequentialReadTailIo) {
+  const IoModel io(DefaultDisks());
+  // 10 pages at granule 8: one full I/O of 8 pages + one of 2 pages.
+  const double expected = io.IoTimeMs(8) + io.IoTimeMs(2);
+  EXPECT_NEAR(io.SequentialReadMs(10, 8), expected, 1e-9);
+  // Exact multiple: no tail.
+  EXPECT_NEAR(io.SequentialReadMs(16, 8), 2 * io.IoTimeMs(8), 1e-9);
+  EXPECT_DOUBLE_EQ(io.SequentialReadMs(0, 8), 0.0);
+}
+
+TEST(IoModelTest, LargerGranuleNeverSlowerSequential) {
+  const IoModel io(DefaultDisks());
+  double prev = 1e300;
+  for (uint64_t g = 1; g <= 512; g *= 2) {
+    const double ms = io.SequentialReadMs(1000, g);
+    EXPECT_LE(ms, prev + 1e-9) << "granule " << g;
+    prev = ms;
+  }
+}
+
+TEST(IoModelTest, RandomVsSequentialCrossover) {
+  const IoModel io(DefaultDisks());
+  // Fetching a handful of pages randomly beats scanning 1000 pages;
+  // fetching most pages randomly loses to a granule-64 scan.
+  EXPECT_LT(io.RandomReadMs(5), io.SequentialReadMs(1000, 64));
+  EXPECT_GT(io.RandomReadMs(900), io.SequentialReadMs(1000, 64));
+}
+
+TEST(IoModelTest, RandomReadLinear) {
+  const IoModel io(DefaultDisks());
+  EXPECT_NEAR(io.RandomReadMs(10), 10 * io.IoTimeMs(1), 1e-9);
+  EXPECT_NEAR(io.RandomReadMs(2.5), 2.5 * io.IoTimeMs(1), 1e-9);
+}
+
+TEST(IoModelTest, PrefetchAmortizesPositioning) {
+  const IoModel io(DefaultDisks());
+  // Reading 256 pages: granule 64 needs 4 positionings instead of 256.
+  const double g1 = io.SequentialReadMs(256, 1);
+  const double g64 = io.SequentialReadMs(256, 64);
+  const double transfer = 256 * DefaultDisks().TransferMsPerPage();
+  EXPECT_NEAR(g1 - transfer, 256 * 12.0, 1e-6);
+  EXPECT_NEAR(g64 - transfer, 4 * 12.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace warlock::cost

@@ -1,0 +1,114 @@
+#include "cost/prefetch.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocators.h"
+
+namespace warlock::cost {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+struct Fixture {
+  schema::StarSchema schema;
+  fragment::Fragmentation fragmentation;
+  fragment::FragmentSizes sizes;
+  bitmap::BitmapScheme scheme;
+  alloc::DiskAllocation allocation;
+  workload::QueryMix mix;
+  CostParameters params;
+};
+
+Fixture MakeFixture(
+    std::vector<std::pair<std::string, std::string>> frag_attrs) {
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto prod =
+      schema::Dimension::Create("Product", {{"Group", 10}, {"Code", 1000}});
+  auto fact = schema::FactTable::Create("Sales", 200000, 100);
+  auto s = schema::StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  auto frag = fragment::Fragmentation::FromNames(frag_attrs, *s);
+  auto sizes = fragment::FragmentSizes::Compute(*frag, *s, 0, kPage);
+  bitmap::BitmapScheme scheme = bitmap::BitmapScheme::Select(*s);
+  auto allocation = alloc::RoundRobinAllocate(*sizes, scheme, 8);
+  auto month = workload::QueryClass::Create("month", 2.0, {{0, 1, 1}}, *s);
+  auto month_code =
+      workload::QueryClass::Create("mc", 1.0, {{0, 1, 1}, {1, 1, 1}}, *s);
+  auto mix = workload::QueryMix::Create({month.value(), month_code.value()});
+  CostParameters params;
+  params.disks.num_disks = 8;
+  params.disks.page_size_bytes = kPage;
+  params.samples_per_class = 4;
+  return Fixture{std::move(s).value(),         std::move(frag).value(),
+                 std::move(sizes).value(),     std::move(scheme),
+                 std::move(allocation).value(), std::move(mix).value(),
+                 params};
+}
+
+TEST(PrefetchTest, ChoosesWithinBounds) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  PrefetchOptions opt;
+  opt.max_granule_pages = 64;
+  const PrefetchChoice choice =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params, opt);
+  EXPECT_GE(choice.fact_granule, 1u);
+  EXPECT_LE(choice.fact_granule, 64u);
+  EXPECT_GE(choice.bitmap_granule, 1u);
+  EXPECT_LE(choice.bitmap_granule, 64u);
+  EXPECT_GT(choice.response_ms, 0.0);
+  EXPECT_GT(choice.io_work_ms, 0.0);
+}
+
+TEST(PrefetchTest, FactGranuleTracksFragmentSize) {
+  // Large fragments (Month: ~103 pages) want a large fact granule; the
+  // optimizer should not pick 1.
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const PrefetchChoice choice =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params);
+  EXPECT_GT(choice.fact_granule, 8u);
+}
+
+TEST(PrefetchTest, FactAndBitmapOptimaDiffer) {
+  // The demo paper's observation: optimal values for fact tables and
+  // bitmaps strongly differ, because bitmap fragments are much smaller.
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const PrefetchChoice choice =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params);
+  EXPECT_GT(choice.fact_granule, choice.bitmap_granule);
+}
+
+TEST(PrefetchTest, CappedByLargestFragment) {
+  // 240 tiny fragments (Month x Group): granule never exceeds the largest
+  // fragment.
+  const Fixture fx = MakeFixture({{"Time", "Month"}, {"Product", "Group"}});
+  const PrefetchChoice choice =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params);
+  EXPECT_LE(choice.fact_granule, fx.sizes.MaxPages());
+}
+
+TEST(PrefetchTest, ChosenGranuleNoWorseThanExtremes) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const PrefetchChoice choice =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params);
+  auto evaluate = [&](uint64_t gf, uint64_t gb) {
+    CostParameters p = fx.params;
+    p.fact_granule = gf;
+    p.bitmap_granule = gb;
+    p.samples_per_class = 4;
+    const QueryCostModel model(fx.schema, 0, fx.fragmentation, fx.sizes,
+                               fx.scheme, fx.allocation, p);
+    return CostMix(model, fx.mix, p.seed).response_ms;
+  };
+  const double chosen = evaluate(choice.fact_granule, choice.bitmap_granule);
+  EXPECT_LE(chosen, evaluate(1, 1) * 1.001);
+  EXPECT_LE(chosen, evaluate(256, 256) * 1.001);
+}
+
+}  // namespace
+}  // namespace warlock::cost

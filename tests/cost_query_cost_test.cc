@@ -1,0 +1,283 @@
+#include "cost/query_cost.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocators.h"
+#include "cost/mix_cost.h"
+
+namespace warlock::cost {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+// Compact two-dimensional star schema for precise cost assertions:
+// Time (Year 2 > Month 24), Product (Group 10 > Code 1000),
+// 100k fact rows of 100 bytes (81 rows/page, 1235 pages).
+struct Fixture {
+  schema::StarSchema schema;
+  fragment::Fragmentation fragmentation;
+  fragment::FragmentSizes sizes;
+  bitmap::BitmapScheme scheme;
+  alloc::DiskAllocation allocation;
+  CostParameters params;
+
+  QueryCostModel Model() const {
+    return QueryCostModel(schema, 0, fragmentation, sizes, scheme,
+                          allocation, params);
+  }
+
+  workload::QueryClass MakeClass(
+      const std::vector<std::pair<std::string, std::string>>& attrs) const {
+    std::vector<workload::Restriction> rs;
+    for (const auto& [dn, ln] : attrs) {
+      const size_t dim = schema.DimensionIndex(dn).value();
+      const size_t level = schema.dimension(dim).LevelIndex(ln).value();
+      rs.push_back(
+          {static_cast<uint32_t>(dim), static_cast<uint32_t>(level), 1});
+    }
+    return workload::QueryClass::Create("t", 1.0, rs, schema).value();
+  }
+
+  workload::ConcreteQuery Concrete(const workload::QueryClass& qc,
+                                   std::vector<uint64_t> values) const {
+    workload::ConcreteQuery cq;
+    cq.query_class = &qc;
+    cq.start_values = std::move(values);
+    return cq;
+  }
+};
+
+Fixture MakeFixture(
+    std::vector<std::pair<std::string, std::string>> frag_attrs,
+    uint32_t num_disks = 8, uint64_t standard_max_card = 64) {
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto prod =
+      schema::Dimension::Create("Product", {{"Group", 10}, {"Code", 1000}});
+  auto fact = schema::FactTable::Create("Sales", 100000, 100);
+  auto s = schema::StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  EXPECT_TRUE(s.ok());
+  auto frag = fragment::Fragmentation::FromNames(frag_attrs, *s);
+  EXPECT_TRUE(frag.ok());
+  auto sizes = fragment::FragmentSizes::Compute(*frag, *s, 0, kPage);
+  EXPECT_TRUE(sizes.ok());
+  bitmap::BitmapScheme scheme = bitmap::BitmapScheme::Select(
+      *s, {.standard_max_cardinality = standard_max_card});
+  auto allocation =
+      alloc::RoundRobinAllocate(*sizes, scheme, num_disks);
+  EXPECT_TRUE(allocation.ok());
+  CostParameters params;
+  params.disks.num_disks = num_disks;
+  params.disks.page_size_bytes = kPage;
+  params.fact_granule = 8;
+  params.bitmap_granule = 2;
+  params.samples_per_class = 4;
+  return Fixture{std::move(s).value(),      std::move(frag).value(),
+                 std::move(sizes).value(),  std::move(scheme),
+                 std::move(allocation).value(), params};
+}
+
+TEST(QueryCostTest, FullyQualifiedFragmentIsSequentialScan) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const auto qc = fx.MakeClass({{"Time", "Month"}});
+  const auto cq = fx.Concrete(qc, {5});
+  const QueryCost cost = fx.Model().CostConcrete(cq);
+  EXPECT_DOUBLE_EQ(cost.fragments_hit, 1.0);
+  const uint64_t frag_pages = fx.sizes.pages(5);
+  EXPECT_DOUBLE_EQ(cost.fact_pages, static_cast<double>(frag_pages));
+  EXPECT_DOUBLE_EQ(cost.bitmap_pages, 0.0);  // resolved by fragmentation
+  const IoModel io(fx.params.disks);
+  EXPECT_NEAR(cost.io_work_ms, io.SequentialReadMs(frag_pages, 8), 1e-9);
+  // One fragment on one disk: response == work.
+  EXPECT_NEAR(cost.response_ms, cost.io_work_ms, 1e-9);
+  EXPECT_DOUBLE_EQ(cost.disks_used, 1.0);
+}
+
+TEST(QueryCostTest, UnrestrictedQueryScansEverythingInParallel) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const auto qc = fx.MakeClass({});
+  const auto cq = fx.Concrete(qc, {});
+  const QueryCost cost = fx.Model().CostConcrete(cq);
+  EXPECT_DOUBLE_EQ(cost.fragments_hit, 24.0);
+  EXPECT_NEAR(cost.fact_pages, static_cast<double>(fx.sizes.TotalPages()),
+              1.0);
+  // 24 fragments over 8 disks: response ~ work / 8.
+  EXPECT_NEAR(cost.response_ms, cost.io_work_ms / 8.0,
+              cost.io_work_ms * 0.05);
+  EXPECT_DOUBLE_EQ(cost.disks_used, 8.0);
+}
+
+TEST(QueryCostTest, BitmapProbeForUnresolvedRestriction) {
+  // Fragment by Month; restrict Code (unfragmented, encoded index).
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const auto qc = fx.MakeClass({{"Time", "Month"}, {"Product", "Code"}});
+  const auto cq = fx.Concrete(qc, {5, 123});
+  const QueryCost cost = fx.Model().CostConcrete(cq);
+  EXPECT_DOUBLE_EQ(cost.fragments_hit, 1.0);
+  EXPECT_GT(cost.bitmap_pages, 0.0);
+  // Selectivity 1/1000 within the fragment: random fetch of few pages
+  // instead of a 52-page scan.
+  EXPECT_LT(cost.fact_pages, 10.0);
+  EXPECT_GT(cost.fact_pages, 0.0);
+}
+
+TEST(QueryCostTest, NoIndexFallsBackToScan) {
+  Fixture fx = MakeFixture({{"Time", "Month"}});
+  ASSERT_TRUE(fx.scheme.Exclude(1, 1).ok());  // drop Code index
+  const auto qc = fx.MakeClass({{"Time", "Month"}, {"Product", "Code"}});
+  const auto cq = fx.Concrete(qc, {5, 123});
+  const QueryCost cost = fx.Model().CostConcrete(cq);
+  const uint64_t frag_pages = fx.sizes.pages(5);
+  EXPECT_DOUBLE_EQ(cost.fact_pages, static_cast<double>(frag_pages));
+  EXPECT_DOUBLE_EQ(cost.bitmap_pages, 0.0);
+}
+
+TEST(QueryCostTest, BitmapAvoidsScanConsiderably) {
+  // The O'Neil/Graefe point: with the index, I/O drops versus scanning.
+  Fixture with_index = MakeFixture({{"Time", "Month"}});
+  Fixture without_index = MakeFixture({{"Time", "Month"}});
+  ASSERT_TRUE(without_index.scheme.Exclude(1, 1).ok());
+  const auto qc =
+      with_index.MakeClass({{"Time", "Month"}, {"Product", "Code"}});
+  const auto cq = with_index.Concrete(qc, {5, 123});
+  const QueryCost a = with_index.Model().CostConcrete(cq);
+  const auto qc2 =
+      without_index.MakeClass({{"Time", "Month"}, {"Product", "Code"}});
+  const auto cq2 = without_index.Concrete(qc2, {5, 123});
+  const QueryCost b = without_index.Model().CostConcrete(cq2);
+  EXPECT_LT(a.io_work_ms, b.io_work_ms);
+}
+
+TEST(QueryCostTest, StandardProbeCheaperThanEncodedHere) {
+  // Group (card 10): standard index reads 1 vector; forcing encoded reads
+  // ceil(log2 10) + prefix planes — more bitmap bytes.
+  Fixture standard = MakeFixture({{"Time", "Month"}}, 8, 64);
+  Fixture encoded = MakeFixture({{"Time", "Month"}}, 8, 1);
+  const auto qs =
+      standard.MakeClass({{"Time", "Month"}, {"Product", "Group"}});
+  const auto qe =
+      encoded.MakeClass({{"Time", "Month"}, {"Product", "Group"}});
+  const QueryCost cs =
+      standard.Model().CostConcrete(standard.Concrete(qs, {5, 3}));
+  const QueryCost ce =
+      encoded.Model().CostConcrete(encoded.Concrete(qe, {5, 3}));
+  EXPECT_LE(cs.bitmap_pages, ce.bitmap_pages);
+}
+
+TEST(QueryCostTest, ResponseBoundedByWorkAndParallelism) {
+  const Fixture fx = MakeFixture({{"Product", "Group"}, {"Time", "Month"}});
+  const auto qc = fx.MakeClass({{"Time", "Month"}});
+  Rng rng(3);
+  const QueryCost cost = fx.Model().CostClass(qc, rng);
+  EXPECT_GT(cost.response_ms, 0.0);
+  EXPECT_LE(cost.response_ms, cost.io_work_ms + 1e-9);
+  EXPECT_GE(cost.response_ms,
+            cost.io_work_ms / fx.params.disks.num_disks - 1e-9);
+}
+
+TEST(QueryCostTest, CostClassDeterministicPerSeed) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const auto qc = fx.MakeClass({{"Time", "Month"}});
+  Rng r1(5), r2(5);
+  const QueryCost a = fx.Model().CostClass(qc, r1);
+  const QueryCost b = fx.Model().CostClass(qc, r2);
+  EXPECT_DOUBLE_EQ(a.io_work_ms, b.io_work_ms);
+  EXPECT_DOUBLE_EQ(a.response_ms, b.response_ms);
+}
+
+TEST(QueryCostTest, DiskProfileSumsToWork) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const auto qc = fx.MakeClass({{"Time", "Year"}});
+  const auto cq = fx.Concrete(qc, {1});
+  const QueryCostModel model = fx.Model();
+  const QueryCost cost = model.CostConcrete(cq);
+  const std::vector<double> profile = model.DiskProfile(cq);
+  double sum = 0.0, mx = 0.0;
+  for (double ms : profile) {
+    sum += ms;
+    mx = std::max(mx, ms);
+  }
+  EXPECT_NEAR(sum, cost.io_work_ms, 1e-9);
+  EXPECT_NEAR(mx, cost.response_ms, 1e-9);
+}
+
+TEST(QueryCostTest, ExpectedModeMatchesConcreteOnUniformData) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const auto qc = fx.MakeClass({{"Time", "Month"}});
+  Fixture expected_fx = MakeFixture({{"Time", "Month"}});
+  expected_fx.params.force_expected = true;
+  Rng r1(5), r2(5);
+  const QueryCost concrete = fx.Model().CostClass(qc, r1);
+  const QueryCost expected = expected_fx.Model().CostClass(qc, r2);
+  EXPECT_NEAR(expected.fragments_hit, concrete.fragments_hit, 1e-9);
+  EXPECT_NEAR(expected.io_work_ms, concrete.io_work_ms,
+              concrete.io_work_ms * 0.05);
+}
+
+TEST(QueryCostTest, PlanIosMatchesAccountedIos) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const auto qc = fx.MakeClass({{"Time", "Year"}});
+  const auto cq = fx.Concrete(qc, {1});
+  const QueryCostModel model = fx.Model();
+  const QueryCost cost = model.CostConcrete(cq);
+  const std::vector<IoOp> ops = model.PlanIos(cq);
+  EXPECT_NEAR(static_cast<double>(ops.size()),
+              cost.fact_ios + cost.bitmap_ios, 1.0);
+  double pages = 0.0;
+  for (const IoOp& op : ops) pages += op.pages;
+  EXPECT_NEAR(pages, cost.fact_pages + cost.bitmap_pages, 1.0);
+  // Ops land on the disks the allocation prescribes.
+  for (const IoOp& op : ops) {
+    EXPECT_LT(op.disk, fx.params.disks.num_disks);
+  }
+}
+
+TEST(QueryCostTest, AccumulateScales) {
+  QueryCost a;
+  a.fact_pages = 10;
+  a.io_work_ms = 4;
+  QueryCost b;
+  b.fact_pages = 20;
+  b.io_work_ms = 8;
+  a.Accumulate(b, 0.5);
+  EXPECT_DOUBLE_EQ(a.fact_pages, 20.0);
+  EXPECT_DOUBLE_EQ(a.io_work_ms, 8.0);
+}
+
+TEST(MixCostTest, WeightedRollup) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  auto c1 = workload::QueryClass::Create(
+      "cheap", 3.0, {{0, 1, 1}}, fx.schema);  // Month: 1 fragment
+  auto c2 = workload::QueryClass::Create(
+      "dear", 1.0, {}, fx.schema);  // full scan
+  auto mix = workload::QueryMix::Create({c1.value(), c2.value()});
+  ASSERT_TRUE(mix.ok());
+  const QueryCostModel model = fx.Model();
+  const MixCost mc = CostMix(model, *mix, 7);
+  ASSERT_EQ(mc.per_class.size(), 2u);
+  EXPECT_NEAR(mc.io_work_ms,
+              0.75 * mc.per_class[0].io_work_ms +
+                  0.25 * mc.per_class[1].io_work_ms,
+              1e-9);
+  EXPECT_GT(mc.per_class[1].io_work_ms, mc.per_class[0].io_work_ms);
+  EXPECT_GT(mc.total_ios, 0.0);
+  EXPECT_GT(mc.total_pages, 0.0);
+}
+
+TEST(MixCostTest, DeterministicPerSeed) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  auto c1 =
+      workload::QueryClass::Create("a", 1.0, {{0, 1, 1}}, fx.schema);
+  auto mix = workload::QueryMix::Create({c1.value()});
+  const QueryCostModel model = fx.Model();
+  const MixCost m1 = CostMix(model, *mix, 42);
+  const MixCost m2 = CostMix(model, *mix, 42);
+  EXPECT_DOUBLE_EQ(m1.io_work_ms, m2.io_work_ms);
+  EXPECT_DOUBLE_EQ(m1.response_ms, m2.response_ms);
+}
+
+}  // namespace
+}  // namespace warlock::cost

@@ -1,0 +1,242 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "engine/executor.h"
+#include "fragment/query_hits.h"
+
+namespace warlock::engine {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+struct Fixture {
+  schema::StarSchema schema;
+  fragment::Fragmentation fragmentation;
+  fragment::FragmentSizes sizes;
+  bitmap::BitmapScheme scheme;
+
+  workload::QueryClass MakeClass(
+      const std::vector<std::pair<std::string, std::string>>& attrs) const {
+    std::vector<workload::Restriction> rs;
+    for (const auto& [dn, ln] : attrs) {
+      const size_t dim = schema.DimensionIndex(dn).value();
+      const size_t level = schema.dimension(dim).LevelIndex(ln).value();
+      rs.push_back(
+          {static_cast<uint32_t>(dim), static_cast<uint32_t>(level), 1});
+    }
+    return workload::QueryClass::Create("t", 1.0, rs, schema).value();
+  }
+
+  workload::ConcreteQuery Concrete(const workload::QueryClass& qc,
+                                   std::vector<uint64_t> values) const {
+    workload::ConcreteQuery cq;
+    cq.query_class = &qc;
+    cq.start_values = std::move(values);
+    return cq;
+  }
+};
+
+Fixture MakeFixture(
+    std::vector<std::pair<std::string, std::string>> frag_attrs,
+    double theta = 0.0, uint64_t rows = 200000,
+    uint64_t standard_max_card = 64) {
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto prod = schema::Dimension::Create(
+      "Product", {{"Group", 10}, {"Code", 1000}}, theta);
+  auto fact = schema::FactTable::Create("Sales", rows, 100);
+  auto s = schema::StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  auto frag = fragment::Fragmentation::FromNames(frag_attrs, *s);
+  auto sizes = fragment::FragmentSizes::Compute(*frag, *s, 0, kPage);
+  bitmap::BitmapScheme scheme = bitmap::BitmapScheme::Select(
+      *s, {.standard_max_cardinality = standard_max_card});
+  return Fixture{std::move(s).value(), std::move(frag).value(),
+                 std::move(sizes).value(), std::move(scheme)};
+}
+
+TEST(DataGenTest, FragmentRowsMatchExpectedSizes) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  for (uint64_t f : {0ULL, 7ULL, 23ULL}) {
+    auto data = GenerateFragment(fx.fragmentation, fx.schema, 0, fx.sizes,
+                                 f, /*seed=*/1);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->fragment_id, f);
+    EXPECT_EQ(data->num_rows,
+              static_cast<uint64_t>(std::llround(fx.sizes.rows(f))));
+    ASSERT_EQ(data->columns.size(), 2u);
+  }
+}
+
+TEST(DataGenTest, FragmentationDimensionConfinedToDescendants) {
+  // Fragment by Month: every row of fragment m has Time bottom value m.
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  auto data =
+      GenerateFragment(fx.fragmentation, fx.schema, 0, fx.sizes, 7, 1);
+  ASSERT_TRUE(data.ok());
+  for (uint32_t v : data->columns[0]) EXPECT_EQ(v, 7u);
+  // Unfragmented Product column spans its full domain.
+  uint32_t mn = UINT32_MAX, mx = 0;
+  for (uint32_t v : data->columns[1]) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_LT(mn, 50u);
+  EXPECT_GT(mx, 950u);
+}
+
+TEST(DataGenTest, CoarseFragmentationConfinesToRange) {
+  // Fragment by Group: rows of fragment g have codes in g's descendant
+  // range.
+  const Fixture fx = MakeFixture({{"Product", "Group"}});
+  auto data =
+      GenerateFragment(fx.fragmentation, fx.schema, 0, fx.sizes, 3, 1);
+  ASSERT_TRUE(data.ok());
+  const auto [lo, hi] = fx.schema.dimension(1).DescendantRange(0, 3, 1);
+  for (uint32_t v : data->columns[1]) {
+    EXPECT_GE(v, lo);
+    EXPECT_LT(v, hi);
+  }
+}
+
+TEST(DataGenTest, DeterministicPerSeed) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  auto a = GenerateFragment(fx.fragmentation, fx.schema, 0, fx.sizes, 2, 9);
+  auto b = GenerateFragment(fx.fragmentation, fx.schema, 0, fx.sizes, 2, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->columns, b->columns);
+  auto c = GenerateFragment(fx.fragmentation, fx.schema, 0, fx.sizes, 2, 10);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->columns, c->columns);
+}
+
+TEST(DataGenTest, SkewShowsInValueFrequencies) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}}, /*theta=*/1.0);
+  auto data =
+      GenerateFragment(fx.fragmentation, fx.schema, 0, fx.sizes, 0, 3);
+  ASSERT_TRUE(data.ok());
+  uint64_t hot = 0;
+  for (uint32_t v : data->columns[1]) {
+    if (v < 10) ++hot;  // hottest 1% of codes
+  }
+  // Under Zipf(1.0) the top 10 of 1000 codes hold ~39% of the mass.
+  EXPECT_GT(static_cast<double>(hot) / data->num_rows, 0.2);
+}
+
+TEST(DataGenTest, Validation) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  EXPECT_FALSE(GenerateFragment(fx.fragmentation, fx.schema, 5, fx.sizes, 0,
+                                1)
+                   .ok());
+  EXPECT_FALSE(GenerateFragment(fx.fragmentation, fx.schema, 0, fx.sizes,
+                                999, 1)
+                   .ok());
+}
+
+TEST(ExecutorTest, ResolvedRestrictionQualifiesWholeFragment) {
+  Fixture fx = MakeFixture({{"Time", "Month"}});
+  FragmentStore store(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                      /*seed=*/5);
+  const auto qc = fx.MakeClass({{"Time", "Month"}});
+  auto result = store.Execute(fx.Concrete(qc, {5}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fragments_touched, 1u);
+  EXPECT_EQ(result->fragments_fully_qualified, 1u);
+  EXPECT_EQ(result->qualifying_rows,
+            static_cast<uint64_t>(std::llround(fx.sizes.rows(5))));
+}
+
+TEST(ExecutorTest, SelectivityMatchesModelPrediction) {
+  Fixture fx = MakeFixture({{"Time", "Month"}});
+  FragmentStore store(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme, 5);
+  const auto qc = fx.MakeClass({{"Time", "Month"}, {"Product", "Group"}});
+  // Average over several concrete queries: executed selectivity tracks the
+  // model's expectation within sampling noise.
+  double executed = 0.0;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    auto result = store.Execute(fx.Concrete(qc, {static_cast<uint64_t>(i),
+                                                 static_cast<uint64_t>(i)}));
+    ASSERT_TRUE(result.ok());
+    executed += static_cast<double>(result->qualifying_rows) / n;
+  }
+  const double predicted =
+      200000.0 * qc.UniformSelectivity(fx.schema);
+  EXPECT_NEAR(executed, predicted, predicted * 0.15);
+}
+
+TEST(ExecutorTest, PageHitsTrackYaoEstimate) {
+  Fixture fx = MakeFixture({{"Time", "Month"}});
+  FragmentStore store(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme, 5);
+  const auto qc = fx.MakeClass({{"Time", "Month"}, {"Product", "Group"}});
+  double executed_pages = 0.0, predicted_pages = 0.0;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    const auto cq = fx.Concrete(qc, {static_cast<uint64_t>(i + 3),
+                                     static_cast<uint64_t>(i)});
+    auto result = store.Execute(cq);
+    ASSERT_TRUE(result.ok());
+    executed_pages += static_cast<double>(result->page_hits) / n;
+    auto hits = fragment::EnumerateHits(fx.fragmentation, cq, fx.schema, 0,
+                                        fx.sizes);
+    ASSERT_TRUE(hits.ok());
+    for (const auto& h : *hits) {
+      predicted_pages +=
+          YaoPageHits(fx.sizes.pages(h.fragment_id),
+                      static_cast<uint64_t>(fx.sizes.rows(h.fragment_id)),
+                      static_cast<uint64_t>(std::llround(h.qualifying_rows))) /
+          n;
+    }
+  }
+  EXPECT_NEAR(executed_pages, predicted_pages, predicted_pages * 0.1);
+}
+
+TEST(ExecutorTest, IndexKindsAgree) {
+  // The same query answered through standard bitmaps, encoded planes, and
+  // raw predicate scans returns identical row counts.
+  const auto run = [](uint64_t standard_max_card, bool exclude) {
+    Fixture fx =
+        MakeFixture({{"Time", "Month"}}, 0.0, 100000, standard_max_card);
+    if (exclude) {
+      EXPECT_TRUE(fx.scheme.Exclude(1, 1).ok());
+    }
+    FragmentStore store(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                        77);
+    const auto qc = fx.MakeClass({{"Time", "Month"}, {"Product", "Code"}});
+    auto result = store.Execute(fx.Concrete(qc, {4, 321}));
+    EXPECT_TRUE(result.ok());
+    return result->qualifying_rows;
+  };
+  const uint64_t via_encoded = run(64, false);    // Code(1000) -> encoded
+  const uint64_t via_standard = run(10000, false);  // forced standard
+  const uint64_t via_scan = run(64, true);          // no index -> scan
+  EXPECT_EQ(via_encoded, via_standard);
+  EXPECT_EQ(via_encoded, via_scan);
+}
+
+TEST(ExecutorTest, CachesFragments) {
+  Fixture fx = MakeFixture({{"Time", "Month"}});
+  FragmentStore store(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme, 5);
+  const auto qc = fx.MakeClass({{"Time", "Month"}});
+  ASSERT_TRUE(store.Execute(fx.Concrete(qc, {1})).ok());
+  EXPECT_EQ(store.cached_fragments(), 1u);
+  ASSERT_TRUE(store.Execute(fx.Concrete(qc, {1})).ok());
+  EXPECT_EQ(store.cached_fragments(), 1u);
+  ASSERT_TRUE(store.Execute(fx.Concrete(qc, {2})).ok());
+  EXPECT_EQ(store.cached_fragments(), 2u);
+}
+
+TEST(ExecutorTest, RespectsHitCap) {
+  Fixture fx = MakeFixture({{"Time", "Month"}});
+  FragmentStore store(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme, 5);
+  const auto qc = fx.MakeClass({});
+  auto result = store.Execute(fx.Concrete(qc, {}), /*max_hit_fragments=*/4);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace warlock::engine

@@ -1,0 +1,114 @@
+#include "fragment/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+
+namespace warlock::fragment {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+schema::StarSchema MakeSchema() {
+  auto s = schema::Apb1Schema();
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(CandidatesTest, SpaceSizeApb1) {
+  const schema::StarSchema s = MakeSchema();
+  // (6+1) * (2+1) * (3+1) * (1+1) = 168.
+  EXPECT_EQ(CandidateSpaceSize(s), 168u);
+}
+
+TEST(CandidatesTest, EnumeratesFullSpace) {
+  const schema::StarSchema s = MakeSchema();
+  Thresholds t;
+  t.max_fragments = UINT64_MAX;
+  t.max_dimensions = 4;
+  t.min_avg_fragment_pages = 0;
+  auto cands = EnumerateCandidates(s, 0, kPage, t);
+  ASSERT_TRUE(cands.ok());
+  EXPECT_EQ(cands->size(), 168u);
+  // Exactly one empty fragmentation.
+  size_t empty = 0;
+  for (const Candidate& c : *cands) {
+    if (c.fragmentation.num_attrs() == 0 && !c.excluded) ++empty;
+  }
+  EXPECT_EQ(empty, 1u);
+  // All candidates distinct.
+  for (size_t i = 0; i < cands->size(); ++i) {
+    for (size_t j = i + 1; j < cands->size(); ++j) {
+      EXPECT_FALSE((*cands)[i].fragmentation == (*cands)[j].fragmentation)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(CandidatesTest, MaxFragmentsThreshold) {
+  const schema::StarSchema s = MakeSchema();
+  Thresholds t;
+  t.max_fragments = 10000;
+  auto cands = EnumerateCandidates(s, 0, kPage, t);
+  ASSERT_TRUE(cands.ok());
+  for (const Candidate& c : *cands) {
+    if (!c.excluded) {
+      EXPECT_LE(c.fragmentation.NumFragments(), 10000u);
+    } else if (c.fragmentation.NumFragments() > 10000 &&
+               c.fragmentation.num_attrs() <= t.max_dimensions) {
+      EXPECT_NE(c.exclusion_reason.find("exceed"), std::string::npos);
+    }
+  }
+}
+
+TEST(CandidatesTest, MinFragmentPagesThreshold) {
+  const schema::StarSchema s = MakeSchema();
+  Thresholds t;
+  t.max_fragments = UINT64_MAX;
+  t.min_avg_fragment_pages = 64;
+  auto cands = EnumerateCandidates(s, 0, kPage, t);
+  ASSERT_TRUE(cands.ok());
+  const uint64_t total_pages = s.fact().TotalPages(kPage);
+  for (const Candidate& c : *cands) {
+    if (c.excluded) continue;
+    EXPECT_GE(total_pages / c.fragmentation.NumFragments(), 63u)
+        << c.fragmentation.Label(s);
+  }
+}
+
+TEST(CandidatesTest, MaxDimensionsThreshold) {
+  const schema::StarSchema s = MakeSchema();
+  Thresholds t;
+  t.max_dimensions = 2;
+  auto cands = EnumerateCandidates(s, 0, kPage, t);
+  ASSERT_TRUE(cands.ok());
+  size_t excluded_for_dims = 0;
+  for (const Candidate& c : *cands) {
+    if (!c.excluded) {
+      EXPECT_LE(c.fragmentation.num_attrs(), 2u);
+    } else if (c.fragmentation.num_attrs() > 2) {
+      ++excluded_for_dims;
+    }
+  }
+  EXPECT_GT(excluded_for_dims, 0u);
+}
+
+TEST(CandidatesTest, ExcludeEmptyOption) {
+  const schema::StarSchema s = MakeSchema();
+  Thresholds t;
+  t.exclude_empty = true;
+  auto cands = EnumerateCandidates(s, 0, kPage, t);
+  ASSERT_TRUE(cands.ok());
+  for (const Candidate& c : *cands) {
+    if (c.fragmentation.num_attrs() == 0) EXPECT_TRUE(c.excluded);
+  }
+}
+
+TEST(CandidatesTest, InvalidInputs) {
+  const schema::StarSchema s = MakeSchema();
+  EXPECT_FALSE(EnumerateCandidates(s, 5, kPage, {}).ok());
+  EXPECT_FALSE(EnumerateCandidates(s, 0, 0, {}).ok());
+}
+
+}  // namespace
+}  // namespace warlock::fragment

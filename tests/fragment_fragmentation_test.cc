@@ -1,0 +1,122 @@
+#include "fragment/fragmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+
+namespace warlock::fragment {
+namespace {
+
+class FragmentationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = schema::Apb1Schema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+  }
+  std::unique_ptr<schema::StarSchema> schema_;
+};
+
+TEST_F(FragmentationTest, EmptyFragmentation) {
+  auto f = Fragmentation::Create({}, *schema_);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->num_attrs(), 0u);
+  EXPECT_EQ(f->NumFragments(), 1u);
+  EXPECT_EQ(f->Label(*schema_), "-");
+  EXPECT_EQ(f->FragmentId({}), 0u);
+  EXPECT_TRUE(f->Coordinates(0).empty());
+  EXPECT_FALSE(f->LevelOf(0).has_value());
+}
+
+TEST_F(FragmentationTest, DefaultConstructedIsEmpty) {
+  Fragmentation f;
+  EXPECT_EQ(f.num_attrs(), 0u);
+  EXPECT_EQ(f.NumFragments(), 1u);
+}
+
+TEST_F(FragmentationTest, Validation) {
+  EXPECT_FALSE(Fragmentation::Create({{9, 0}}, *schema_).ok());
+  EXPECT_FALSE(Fragmentation::Create({{0, 9}}, *schema_).ok());
+  EXPECT_FALSE(Fragmentation::Create({{0, 1}, {0, 2}}, *schema_).ok());
+}
+
+TEST_F(FragmentationTest, AttrsNormalizedToDimensionOrder) {
+  // Pass Time first, Product second; attrs come back Product, Time.
+  auto f = Fragmentation::Create({{2, 2}, {0, 3}}, *schema_);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->attrs()[0].dim, 0u);
+  EXPECT_EQ(f->attrs()[1].dim, 2u);
+  EXPECT_EQ(f->NumFragments(), 100u * 24u);  // Group x Month
+  EXPECT_EQ(f->Label(*schema_), "Group x Month");
+  ASSERT_TRUE(f->LevelOf(0).has_value());
+  EXPECT_EQ(*f->LevelOf(0), 3u);
+  EXPECT_FALSE(f->LevelOf(1).has_value());
+}
+
+TEST_F(FragmentationTest, FromNames) {
+  auto f = Fragmentation::FromNames({{"Time", "Month"}, {"Product", "Group"}},
+                                    *schema_);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->NumFragments(), 2400u);
+  EXPECT_FALSE(
+      Fragmentation::FromNames({{"Nope", "Month"}}, *schema_).ok());
+  EXPECT_FALSE(
+      Fragmentation::FromNames({{"Time", "Nope"}}, *schema_).ok());
+}
+
+TEST_F(FragmentationTest, FragmentIdRoundTrip) {
+  auto f = Fragmentation::Create({{0, 3}, {2, 2}, {3, 0}}, *schema_);
+  ASSERT_TRUE(f.ok());
+  // Group(100) x Month(24) x Base(9)
+  EXPECT_EQ(f->NumFragments(), 100u * 24u * 9u);
+  for (uint64_t id : {0ULL, 1ULL, 9ULL, 215ULL, 12345ULL, 21599ULL}) {
+    const std::vector<uint64_t> coords = f->Coordinates(id);
+    ASSERT_EQ(coords.size(), 3u);
+    EXPECT_LT(coords[0], 100u);
+    EXPECT_LT(coords[1], 24u);
+    EXPECT_LT(coords[2], 9u);
+    EXPECT_EQ(f->FragmentId(coords), id);
+  }
+}
+
+TEST_F(FragmentationTest, LogicalOrderIsLexicographic) {
+  auto f = Fragmentation::Create({{2, 2}, {3, 0}}, *schema_);  // Month x Base
+  ASSERT_TRUE(f.ok());
+  // id = month * 9 + channel.
+  EXPECT_EQ(f->FragmentId({0, 0}), 0u);
+  EXPECT_EQ(f->FragmentId({0, 8}), 8u);
+  EXPECT_EQ(f->FragmentId({1, 0}), 9u);
+  EXPECT_EQ(f->FragmentId({23, 8}), 215u);
+}
+
+TEST_F(FragmentationTest, Equality) {
+  auto a = Fragmentation::Create({{2, 2}}, *schema_);
+  auto b = Fragmentation::Create({{2, 2}}, *schema_);
+  auto c = Fragmentation::Create({{2, 1}}, *schema_);
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST_F(FragmentationTest, OverflowRejected) {
+  // Build a schema with two huge dimensions whose product overflows.
+  auto d1 = schema::Dimension::Create("A", {{"X", 1ULL << 40}});
+  auto d2 = schema::Dimension::Create("B", {{"Y", 1ULL << 40}});
+  // Bottom cardinality cap makes these invalid already; use valid sizes
+  // that still overflow when multiplied 4x.
+  auto e1 = schema::Dimension::Create("A", {{"X", 1ULL << 22}});
+  auto e2 = schema::Dimension::Create("B", {{"Y", 1ULL << 22}});
+  auto e3 = schema::Dimension::Create("C", {{"Z", 1ULL << 22}});
+  ASSERT_TRUE(e1.ok());
+  auto fact = schema::FactTable::Create("F", 1000, 100);
+  auto s = schema::StarSchema::Create(
+      "S", {e1.value(), e2.value(), e3.value()}, std::move(fact).value());
+  ASSERT_TRUE(s.ok());
+  // 2^66 fragments overflows... 2^22*3 = 2^66 > 2^64.
+  auto f = Fragmentation::Create({{0, 0}, {1, 0}, {2, 0}}, *s);
+  EXPECT_FALSE(f.ok());
+  (void)d1;
+  (void)d2;
+}
+
+}  // namespace
+}  // namespace warlock::fragment

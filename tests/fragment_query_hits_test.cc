@@ -1,0 +1,267 @@
+#include "fragment/query_hits.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+#include "workload/query.h"
+
+namespace warlock::fragment {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+class QueryHitsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = schema::Apb1Schema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+  }
+
+  workload::QueryClass MakeClass(
+      const std::vector<std::pair<std::string, std::string>>& attrs,
+      uint64_t num_values = 1) {
+    std::vector<workload::Restriction> rs;
+    for (const auto& [dim_name, level_name] : attrs) {
+      const size_t dim = schema_->DimensionIndex(dim_name).value();
+      const size_t level =
+          schema_->dimension(dim).LevelIndex(level_name).value();
+      rs.push_back({static_cast<uint32_t>(dim),
+                    static_cast<uint32_t>(level), num_values});
+    }
+    auto qc = workload::QueryClass::Create("t", 1.0, rs, *schema_);
+    EXPECT_TRUE(qc.ok());
+    return std::move(qc).value();
+  }
+
+  Fragmentation MakeFrag(
+      const std::vector<std::pair<std::string, std::string>>& attrs) {
+    auto f = Fragmentation::FromNames(attrs, *schema_);
+    EXPECT_TRUE(f.ok());
+    return std::move(f).value();
+  }
+
+  workload::ConcreteQuery Concrete(const workload::QueryClass& qc,
+                                   std::vector<uint64_t> values) {
+    workload::ConcreteQuery cq;
+    cq.query_class = &qc;
+    cq.start_values = std::move(values);
+    return cq;
+  }
+
+  std::unique_ptr<schema::StarSchema> schema_;
+};
+
+TEST_F(QueryHitsTest, ExpectedUnrestrictedHitsAllFragments) {
+  const Fragmentation f = MakeFrag({{"Time", "Month"}});
+  const workload::QueryClass qc = MakeClass({});
+  const HitSummary hs = AnalyzeExpected(f, qc, *schema_, 0);
+  EXPECT_DOUBLE_EQ(hs.fragments_hit, 24.0);
+  EXPECT_DOUBLE_EQ(hs.qualifying_rows, 17496000.0);
+  EXPECT_DOUBLE_EQ(hs.residual_selectivity, 1.0);
+}
+
+TEST_F(QueryHitsTest, ExpectedSameLevelHitsOneFragment) {
+  const Fragmentation f = MakeFrag({{"Time", "Month"}});
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const HitSummary hs = AnalyzeExpected(f, qc, *schema_, 0);
+  EXPECT_DOUBLE_EQ(hs.fragments_hit, 1.0);
+  EXPECT_NEAR(hs.qualifying_rows, 17496000.0 / 24.0, 1e-6);
+  EXPECT_DOUBLE_EQ(hs.residual_selectivity, 1.0);  // fully confined
+}
+
+TEST_F(QueryHitsTest, ExpectedCoarserQueryHitsDescendants) {
+  // Fragment by Month (24), query by Quarter (8): 3 months per quarter.
+  const Fragmentation f = MakeFrag({{"Time", "Month"}});
+  const workload::QueryClass qc = MakeClass({{"Time", "Quarter"}});
+  const HitSummary hs = AnalyzeExpected(f, qc, *schema_, 0);
+  EXPECT_DOUBLE_EQ(hs.fragments_hit, 3.0);
+  EXPECT_DOUBLE_EQ(hs.residual_selectivity, 1.0);
+}
+
+TEST_F(QueryHitsTest, ExpectedFinerQueryHitsAncestorWithResidual) {
+  // Fragment by Quarter (8), query by Month (24): 1 fragment, 1/3 of it.
+  const Fragmentation f = MakeFrag({{"Time", "Quarter"}});
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const HitSummary hs = AnalyzeExpected(f, qc, *schema_, 0);
+  EXPECT_DOUBLE_EQ(hs.fragments_hit, 1.0);
+  EXPECT_NEAR(hs.residual_selectivity, 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(QueryHitsTest, ExpectedUnfragmentedRestrictionLowersResidual) {
+  const Fragmentation f = MakeFrag({{"Time", "Month"}});
+  const workload::QueryClass qc =
+      MakeClass({{"Time", "Month"}, {"Product", "Group"}});
+  const HitSummary hs = AnalyzeExpected(f, qc, *schema_, 0);
+  EXPECT_DOUBLE_EQ(hs.fragments_hit, 1.0);
+  EXPECT_NEAR(hs.residual_selectivity, 1.0 / 100.0, 1e-9);
+}
+
+TEST_F(QueryHitsTest, ExpectedMultiDimensional) {
+  // MDHF property: Group x Month fragmentation, MonthGroup query -> 1 hit.
+  const Fragmentation f =
+      MakeFrag({{"Product", "Group"}, {"Time", "Month"}});
+  const workload::QueryClass qc =
+      MakeClass({{"Product", "Group"}, {"Time", "Month"}});
+  const HitSummary hs = AnalyzeExpected(f, qc, *schema_, 0);
+  EXPECT_DOUBLE_EQ(hs.fragments_hit, 1.0);
+  // One-dimensional query on the same fragmentation still confines work.
+  const workload::QueryClass month = MakeClass({{"Time", "Month"}});
+  const HitSummary hs2 = AnalyzeExpected(f, month, *schema_, 0);
+  EXPECT_DOUBLE_EQ(hs2.fragments_hit, 100.0);
+}
+
+TEST_F(QueryHitsTest, HitRangesSameLevel) {
+  const Fragmentation f = MakeFrag({{"Time", "Month"}});
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const auto cq = Concrete(qc, {7});
+  const HitRanges r = ComputeHitRanges(f, cq, *schema_);
+  ASSERT_EQ(r.begin.size(), 1u);
+  EXPECT_EQ(r.begin[0], 7u);
+  EXPECT_EQ(r.end[0], 8u);
+  EXPECT_EQ(r.NumFragments(), 1u);
+}
+
+TEST_F(QueryHitsTest, HitRangesCoarserRestriction) {
+  const Fragmentation f = MakeFrag({{"Time", "Month"}});
+  const workload::QueryClass qc = MakeClass({{"Time", "Quarter"}});
+  const auto cq = Concrete(qc, {2});  // quarter 2 -> months 6..8
+  const HitRanges r = ComputeHitRanges(f, cq, *schema_);
+  EXPECT_EQ(r.begin[0], 6u);
+  EXPECT_EQ(r.end[0], 9u);
+}
+
+TEST_F(QueryHitsTest, HitRangesFinerRestriction) {
+  const Fragmentation f = MakeFrag({{"Time", "Quarter"}});
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const auto cq = Concrete(qc, {7});  // month 7 -> quarter 2
+  const HitRanges r = ComputeHitRanges(f, cq, *schema_);
+  EXPECT_EQ(r.begin[0], 2u);
+  EXPECT_EQ(r.end[0], 3u);
+}
+
+TEST_F(QueryHitsTest, HitRangesUnrestrictedDimension) {
+  const Fragmentation f =
+      MakeFrag({{"Product", "Group"}, {"Time", "Month"}});
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const auto cq = Concrete(qc, {3});
+  const HitRanges r = ComputeHitRanges(f, cq, *schema_);
+  EXPECT_EQ(r.begin[0], 0u);
+  EXPECT_EQ(r.end[0], 100u);
+  EXPECT_EQ(r.begin[1], 3u);
+  EXPECT_EQ(r.end[1], 4u);
+  EXPECT_EQ(r.NumFragments(), 100u);
+}
+
+TEST_F(QueryHitsTest, EnumerateMatchesRanges) {
+  const Fragmentation f =
+      MakeFrag({{"Product", "Group"}, {"Time", "Month"}});
+  auto sizes = FragmentSizes::Compute(f, *schema_, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const auto cq = Concrete(qc, {3});
+  auto hits = EnumerateHits(f, cq, *schema_, 0, *sizes);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 100u);
+  double total = 0.0;
+  for (const FragmentHit& h : *hits) {
+    EXPECT_TRUE(h.fully_qualified);
+    // Every hit fragment has month coordinate 3.
+    EXPECT_EQ(f.Coordinates(h.fragment_id)[1], 3u);
+    total += h.qualifying_rows;
+  }
+  EXPECT_NEAR(total, 17496000.0 / 24.0, 1.0);
+}
+
+TEST_F(QueryHitsTest, EnumerateFinerRestrictionPartialQualification) {
+  const Fragmentation f = MakeFrag({{"Time", "Quarter"}});
+  auto sizes = FragmentSizes::Compute(f, *schema_, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const auto cq = Concrete(qc, {7});
+  auto hits = EnumerateHits(f, cq, *schema_, 0, *sizes);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_FALSE((*hits)[0].fully_qualified);
+  EXPECT_NEAR((*hits)[0].qualifying_rows, 17496000.0 / 24.0, 1.0);
+  EXPECT_NEAR((*hits)[0].qualifying_rows / sizes->rows(0), 1.0 / 3.0, 1e-6);
+}
+
+TEST_F(QueryHitsTest, EnumerateUnfragmentedRestriction) {
+  const Fragmentation f = MakeFrag({{"Time", "Month"}});
+  auto sizes = FragmentSizes::Compute(f, *schema_, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  const workload::QueryClass qc =
+      MakeClass({{"Time", "Month"}, {"Customer", "Retailer"}});
+  const auto cq = Concrete(qc, {5, 10});  // month 5, retailer 10
+  auto hits = EnumerateHits(f, cq, *schema_, 0, *sizes);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_FALSE((*hits)[0].fully_qualified);
+  EXPECT_NEAR((*hits)[0].qualifying_rows,
+              17496000.0 / 24.0 / 90.0, 1.0);
+}
+
+TEST_F(QueryHitsTest, EnumerateEmptyFragmentation) {
+  const Fragmentation f = MakeFrag({});
+  auto sizes = FragmentSizes::Compute(f, *schema_, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const auto cq = Concrete(qc, {0});
+  auto hits = EnumerateHits(f, cq, *schema_, 0, *sizes);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].fragment_id, 0u);
+  EXPECT_FALSE((*hits)[0].fully_qualified);
+}
+
+TEST_F(QueryHitsTest, EnumerateRespectsCap) {
+  const Fragmentation f =
+      MakeFrag({{"Product", "Code"}, {"Customer", "Store"}});
+  auto sizes =
+      FragmentSizes::Compute(f, *schema_, 0, kPage, 1ULL << 24);
+  ASSERT_TRUE(sizes.ok());
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const auto cq = Concrete(qc, {0});
+  auto hits = EnumerateHits(f, cq, *schema_, 0, *sizes, /*max_hits=*/1000);
+  EXPECT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), Status::Code::kResourceExhausted);
+}
+
+TEST_F(QueryHitsTest, EnumerateAgreesWithExpectedOnAverage) {
+  // Average concrete enumeration over all month values equals the
+  // expected-value summary (uniform data).
+  const Fragmentation f = MakeFrag({{"Time", "Quarter"}});
+  auto sizes = FragmentSizes::Compute(f, *schema_, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  const workload::QueryClass qc = MakeClass({{"Time", "Month"}});
+  const HitSummary hs = AnalyzeExpected(f, qc, *schema_, 0);
+  double avg_hits = 0.0, avg_rows = 0.0;
+  for (uint64_t month = 0; month < 24; ++month) {
+    const auto cq = Concrete(qc, {month});
+    auto hits = EnumerateHits(f, cq, *schema_, 0, *sizes);
+    ASSERT_TRUE(hits.ok());
+    avg_hits += static_cast<double>(hits->size()) / 24.0;
+    for (const FragmentHit& h : *hits) avg_rows += h.qualifying_rows / 24.0;
+  }
+  EXPECT_NEAR(avg_hits, hs.fragments_hit, 1e-9);
+  EXPECT_NEAR(avg_rows, hs.qualifying_rows, 1.0);
+}
+
+TEST_F(QueryHitsTest, InListTouchesContiguousDescendants) {
+  const Fragmentation f = MakeFrag({{"Time", "Month"}});
+  auto sizes = FragmentSizes::Compute(f, *schema_, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  const workload::QueryClass qc = MakeClass({{"Time", "Quarter"}}, 2);
+  const auto cq = Concrete(qc, {1});  // quarters 1-2 -> months 3..8
+  const HitRanges r = ComputeHitRanges(f, cq, *schema_);
+  EXPECT_EQ(r.begin[0], 3u);
+  EXPECT_EQ(r.end[0], 9u);
+  auto hits = EnumerateHits(f, cq, *schema_, 0, *sizes);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 6u);
+  for (const FragmentHit& h : *hits) EXPECT_TRUE(h.fully_qualified);
+}
+
+}  // namespace
+}  // namespace warlock::fragment

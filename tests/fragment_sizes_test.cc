@@ -1,0 +1,145 @@
+#include "fragment/fragment_sizes.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+
+namespace warlock::fragment {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+schema::StarSchema MakeSchema(double product_theta = 0.0) {
+  auto s = schema::Apb1Schema({.product_theta = product_theta});
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(FragmentSizesTest, EmptyFragmentationSingleFragment) {
+  const schema::StarSchema s = MakeSchema();
+  auto f = Fragmentation::Create({}, s);
+  auto sizes = FragmentSizes::Compute(*f, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(sizes->num_fragments(), 1u);
+  EXPECT_DOUBLE_EQ(sizes->rows(0), 17496000.0);
+  EXPECT_EQ(sizes->TotalPages(), s.fact().TotalPages(kPage));
+  EXPECT_DOUBLE_EQ(sizes->SkewFactor(), 1.0);
+}
+
+TEST(FragmentSizesTest, UniformFragmentsEqualSized) {
+  const schema::StarSchema s = MakeSchema();
+  auto f = Fragmentation::FromNames({{"Time", "Month"}}, s);
+  auto sizes = FragmentSizes::Compute(*f, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(sizes->num_fragments(), 24u);
+  for (uint64_t i = 0; i < 24; ++i) {
+    EXPECT_NEAR(sizes->rows(i), 17496000.0 / 24.0, 1e-6);
+  }
+  EXPECT_NEAR(sizes->AvgPages(), static_cast<double>(sizes->pages(0)), 1.0);
+  EXPECT_NEAR(sizes->SkewFactor(), 1.0, 1e-9);
+}
+
+TEST(FragmentSizesTest, RowsSumToTotal) {
+  const schema::StarSchema s = MakeSchema(0.86);
+  auto f = Fragmentation::FromNames({{"Product", "Group"}, {"Time", "Month"}},
+                                    s);
+  auto sizes = FragmentSizes::Compute(*f, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  double sum = 0.0;
+  for (uint64_t i = 0; i < sizes->num_fragments(); ++i) sum += sizes->rows(i);
+  EXPECT_NEAR(sum, 17496000.0, 1.0);
+}
+
+TEST(FragmentSizesTest, SkewRaisesSkewFactor) {
+  const schema::StarSchema uniform = MakeSchema(0.0);
+  const schema::StarSchema skewed = MakeSchema(1.0);
+  for (const auto* s : {&uniform, &skewed}) {
+    auto f = Fragmentation::FromNames({{"Product", "Group"}}, *s);
+    auto sizes = FragmentSizes::Compute(*f, *s, 0, kPage);
+    ASSERT_TRUE(sizes.ok());
+    if (s == &uniform) {
+      EXPECT_NEAR(sizes->SkewFactor(), 1.0, 1e-9);
+    } else {
+      EXPECT_GT(sizes->SkewFactor(), 5.0);  // Zipf(1) over 9000 codes
+    }
+  }
+}
+
+TEST(FragmentSizesTest, SkewedWeightsFollowHierarchy) {
+  const schema::StarSchema s = MakeSchema(1.0);
+  auto f = Fragmentation::FromNames({{"Product", "Division"}}, s);
+  auto sizes = FragmentSizes::Compute(*f, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  ASSERT_EQ(sizes->num_fragments(), 2u);
+  // Division 0 holds the hot half of the Zipf codes.
+  EXPECT_GT(sizes->rows(0), sizes->rows(1));
+}
+
+TEST(FragmentSizesTest, MultiDimensionalWeightsAreProducts) {
+  const schema::StarSchema s = MakeSchema(1.0);
+  auto f1 = Fragmentation::FromNames({{"Product", "Division"}}, s);
+  auto f2 = Fragmentation::FromNames(
+      {{"Product", "Division"}, {"Time", "Year"}}, s);
+  auto s1 = FragmentSizes::Compute(*f1, s, 0, kPage);
+  auto s2 = FragmentSizes::Compute(*f2, s, 0, kPage);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  // Time is uniform: each (division, year) cell holds half the division.
+  // Fragment order: division major, year minor.
+  EXPECT_NEAR(s2->rows(0), s1->rows(0) / 2.0, 1e-6);
+  EXPECT_NEAR(s2->rows(1), s1->rows(0) / 2.0, 1e-6);
+  EXPECT_NEAR(s2->rows(2), s1->rows(1) / 2.0, 1e-6);
+}
+
+TEST(FragmentSizesTest, PagesAtLeastOne) {
+  // Sparse configuration: 1.75M rows over 8.1M Code x Store fragments
+  // leaves well below one expected row per fragment — pages still >= 1.
+  auto sparse = schema::Apb1Schema({.density = 0.001});
+  ASSERT_TRUE(sparse.ok());
+  auto f = Fragmentation::FromNames(
+      {{"Product", "Code"}, {"Customer", "Store"}}, *sparse);
+  auto sizes = FragmentSizes::Compute(*f, *sparse, 0, kPage,
+                                      /*max_fragments=*/1ULL << 24);
+  ASSERT_TRUE(sizes.ok()) << sizes.status().ToString();
+  EXPECT_EQ(sizes->num_fragments(), 9000u * 900u);
+  EXPECT_LT(sizes->rows(0), 1.0);
+  EXPECT_GE(sizes->pages(0), 1u);
+}
+
+TEST(FragmentSizesTest, RespectsFragmentCap) {
+  const schema::StarSchema s = MakeSchema();
+  auto f = Fragmentation::FromNames({{"Product", "Code"},
+                                     {"Customer", "Store"}},
+                                    s);
+  auto sizes = FragmentSizes::Compute(*f, s, 0, kPage, /*max_fragments=*/1000);
+  EXPECT_FALSE(sizes.ok());
+  EXPECT_EQ(sizes.status().code(), Status::Code::kResourceExhausted);
+}
+
+TEST(FragmentSizesTest, InvalidInputs) {
+  const schema::StarSchema s = MakeSchema();
+  auto f = Fragmentation::Create({}, s);
+  EXPECT_FALSE(FragmentSizes::Compute(*f, s, 5, kPage).ok());
+  EXPECT_FALSE(FragmentSizes::Compute(*f, s, 0, 0).ok());
+}
+
+TEST(FragmentSizesTest, BytesMatchPages) {
+  const schema::StarSchema s = MakeSchema();
+  auto f = Fragmentation::FromNames({{"Time", "Quarter"}}, s);
+  auto sizes = FragmentSizes::Compute(*f, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  for (uint64_t i = 0; i < sizes->num_fragments(); ++i) {
+    EXPECT_EQ(sizes->bytes(i), sizes->pages(i) * kPage);
+  }
+}
+
+TEST(FragmentSizesTest, RowsPerPageFromFactTable) {
+  const schema::StarSchema s = MakeSchema();
+  auto f = Fragmentation::Create({}, s);
+  auto sizes = FragmentSizes::Compute(*f, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(sizes->rows_per_page(), 8192u / 100u);
+}
+
+}  // namespace
+}  // namespace warlock::fragment

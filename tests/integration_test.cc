@@ -1,0 +1,153 @@
+// End-to-end integration tests: the full WARLOCK pipeline on the APB-1
+// configuration the paper demonstrates, checking the qualitative findings
+// the MDHF companion study reports.
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "schema/apb1.h"
+#include "workload/apb1_workload.h"
+
+namespace warlock {
+namespace {
+
+core::ToolConfig FastConfig() {
+  core::ToolConfig config;
+  config.cost.disks.num_disks = 64;
+  config.cost.samples_per_class = 4;
+  config.prefetch = core::PrefetchPolicy::kFixed;
+  config.cost.fact_granule = 32;
+  config.cost.bitmap_granule = 4;
+  config.thresholds.max_fragments = 1 << 18;
+  config.thresholds.min_avg_fragment_pages = 4;
+  config.ranking.top_k = 10;
+  return config;
+}
+
+class Apb1IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto s = schema::Apb1Schema({.density = 0.005});
+    ASSERT_TRUE(s.ok());
+    schema_ = new schema::StarSchema(std::move(s).value());
+    auto mix = workload::Apb1QueryMix(*schema_);
+    ASSERT_TRUE(mix.ok());
+    mix_ = new workload::QueryMix(std::move(mix).value());
+    core::Advisor advisor(*schema_, *mix_, FastConfig());
+    auto result = advisor.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    result_ = new core::AdvisorResult(std::move(result).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    delete mix_;
+    delete schema_;
+    result_ = nullptr;
+    mix_ = nullptr;
+    schema_ = nullptr;
+  }
+
+  static schema::StarSchema* schema_;
+  static workload::QueryMix* mix_;
+  static core::AdvisorResult* result_;
+};
+
+schema::StarSchema* Apb1IntegrationTest::schema_ = nullptr;
+workload::QueryMix* Apb1IntegrationTest::mix_ = nullptr;
+core::AdvisorResult* Apb1IntegrationTest::result_ = nullptr;
+
+TEST_F(Apb1IntegrationTest, ProducesFullRanking) {
+  EXPECT_EQ(result_->enumerated, 168u);
+  EXPECT_EQ(result_->ranking.size(), 10u);
+}
+
+TEST_F(Apb1IntegrationTest, BestCandidateIsMultiDimensional) {
+  // The MDHF headline: multi-dimensional fragmentations beat
+  // one-dimensional ones for multi-dimensional star-query mixes.
+  const auto& best = result_->candidates[result_->ranking[0]];
+  EXPECT_GE(best.fragmentation.num_attrs(), 2u);
+}
+
+TEST_F(Apb1IntegrationTest, TopCandidatesFragmentTheTimeDimension) {
+  // Most APB-1 queries restrict Time: the winning fragmentations include a
+  // Time attribute so query work stays confined.
+  const size_t time_dim = schema_->DimensionIndex("Time").value();
+  size_t with_time = 0;
+  for (size_t i = 0; i < std::min<size_t>(5, result_->ranking.size()); ++i) {
+    const auto& c = result_->candidates[result_->ranking[i]];
+    if (c.fragmentation.LevelOf(static_cast<uint32_t>(time_dim))
+            .has_value()) {
+      ++with_time;
+    }
+  }
+  EXPECT_GE(with_time, 4u);
+}
+
+TEST_F(Apb1IntegrationTest, EmptyFragmentationNotRecommended) {
+  for (size_t idx : result_->ranking) {
+    EXPECT_GT(result_->candidates[idx].fragmentation.num_attrs(), 0u);
+  }
+}
+
+TEST_F(Apb1IntegrationTest, BestBeatsUnfragmentedByALot) {
+  core::Advisor advisor(*schema_, *mix_, FastConfig());
+  auto empty = fragment::Fragmentation::Create({}, *schema_);
+  ASSERT_TRUE(empty.ok());
+  auto unfragmented = advisor.EvaluateOne(*empty);
+  ASSERT_TRUE(unfragmented.ok());
+  const auto& best = result_->candidates[result_->ranking[0]];
+  // Fragmentation + declustering must win response time by a wide margin
+  // (the unfragmented table is a single sequential scan on one disk).
+  EXPECT_LT(best.cost.response_ms, unfragmented->cost.response_ms / 10.0);
+}
+
+TEST_F(Apb1IntegrationTest, RankedCandidatesBalanceDisks) {
+  for (size_t idx : result_->ranking) {
+    EXPECT_LT(result_->candidates[idx].allocation_balance, 1.3);
+  }
+}
+
+TEST_F(Apb1IntegrationTest, PerClassCostsCoverWholeMix) {
+  const auto& best = result_->candidates[result_->ranking[0]];
+  ASSERT_EQ(best.cost.per_class.size(), mix_->size());
+  for (size_t i = 0; i < mix_->size(); ++i) {
+    const auto& qc = best.cost.per_class[i];
+    EXPECT_GT(qc.io_work_ms, 0.0) << mix_->query_class(i).name();
+    EXPECT_GT(qc.response_ms, 0.0);
+    EXPECT_LE(qc.response_ms, qc.io_work_ms + 1e-9);
+  }
+}
+
+TEST_F(Apb1IntegrationTest, QueriesAlignedWithFragmentationStayLocal) {
+  // For the best fragmentation, the class matching its attributes exactly
+  // touches the fewest fragments.
+  const auto& best = result_->candidates[result_->ranking[0]];
+  double min_hits = 1e300;
+  double max_hits = 0.0;
+  for (const auto& qc : best.cost.per_class) {
+    min_hits = std::min(min_hits, qc.fragments_hit);
+    max_hits = std::max(max_hits, qc.fragments_hit);
+  }
+  EXPECT_LT(min_hits, 10.0);
+  EXPECT_GT(max_hits, min_hits);
+}
+
+TEST_F(Apb1IntegrationTest, SkewedConfigurationPrefersGreedy) {
+  auto skewed_schema = schema::Apb1Schema(
+      {.density = 0.005, .product_theta = 1.0});
+  ASSERT_TRUE(skewed_schema.ok());
+  auto mix = workload::Apb1QueryMix(*skewed_schema);
+  ASSERT_TRUE(mix.ok());
+  core::Advisor advisor(*skewed_schema, *mix, FastConfig());
+  auto frag = fragment::Fragmentation::FromNames(
+      {{"Product", "Group"}, {"Time", "Month"}}, *skewed_schema);
+  ASSERT_TRUE(frag.ok());
+  auto ec = advisor.EvaluateOne(*frag);
+  ASSERT_TRUE(ec.ok());
+  EXPECT_EQ(ec->allocation_scheme, alloc::AllocationScheme::kGreedy);
+  EXPECT_LT(ec->allocation_balance, 1.25);
+}
+
+}  // namespace
+}  // namespace warlock

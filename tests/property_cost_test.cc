@@ -1,0 +1,197 @@
+// Monotonicity and consistency laws of the cost model — the relationships
+// WARLOCK's ranking logic silently depends on.
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocators.h"
+#include "cost/mix_cost.h"
+
+namespace warlock::cost {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+struct World {
+  schema::StarSchema schema;
+  fragment::Fragmentation frag;
+  fragment::FragmentSizes sizes;
+  bitmap::BitmapScheme scheme;
+
+  static World Make(
+      std::vector<std::pair<std::string, std::string>> attrs) {
+    auto time = schema::Dimension::Create(
+        "Time", {{"Year", 2}, {"Quarter", 8}, {"Month", 24}});
+    auto prod = schema::Dimension::Create(
+        "Product", {{"Group", 25}, {"Code", 5000}});
+    auto fact = schema::FactTable::Create("Sales", 1000000, 100);
+    auto s = schema::StarSchema::Create(
+        "S", {std::move(time).value(), std::move(prod).value()},
+        std::move(fact).value());
+    auto frag = fragment::Fragmentation::FromNames(attrs, *s);
+    auto sizes = fragment::FragmentSizes::Compute(*frag, *s, 0, kPage);
+    auto scheme = bitmap::BitmapScheme::Select(*s);
+    return World{std::move(s).value(), std::move(frag).value(),
+                 std::move(sizes).value(), std::move(scheme)};
+  }
+
+  QueryCost Evaluate(const std::vector<workload::Restriction>& rs,
+                     uint32_t disks, uint64_t gf, uint64_t gb,
+                     uint64_t seed = 7) const {
+    auto allocation = alloc::RoundRobinAllocate(sizes, scheme, disks);
+    CostParameters params;
+    params.disks.num_disks = disks;
+    params.disks.page_size_bytes = kPage;
+    params.fact_granule = gf;
+    params.bitmap_granule = gb;
+    params.samples_per_class = 6;
+    const QueryCostModel model(schema, 0, frag, sizes, scheme, *allocation,
+                               params);
+    auto qc = workload::QueryClass::Create("q", 1.0, rs, schema);
+    Rng rng(seed);
+    return model.CostClass(*qc, rng);
+  }
+};
+
+TEST(CostLawsTest, ResponseNonIncreasingInDisks) {
+  const World w = World::Make({{"Time", "Month"}, {"Product", "Group"}});
+  double prev = 1e300;
+  for (uint32_t disks : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const QueryCost c = w.Evaluate({{0, 2, 1}}, disks, 16, 4);
+    EXPECT_LE(c.response_ms, prev * 1.0001) << "disks=" << disks;
+    prev = c.response_ms;
+  }
+}
+
+TEST(CostLawsTest, WorkUnaffectedByDiskCount) {
+  const World w = World::Make({{"Time", "Month"}, {"Product", "Group"}});
+  const QueryCost a = w.Evaluate({{0, 2, 1}}, 4, 16, 4);
+  const QueryCost b = w.Evaluate({{0, 2, 1}}, 64, 16, 4);
+  EXPECT_NEAR(a.io_work_ms, b.io_work_ms, a.io_work_ms * 1e-9);
+}
+
+TEST(CostLawsTest, ScanWorkNonIncreasingInFactGranule) {
+  // A fully-qualified scan query: larger granules only amortize
+  // positioning.
+  const World w = World::Make({{"Time", "Month"}});
+  double prev = 1e300;
+  for (uint64_t g : {1ULL, 2ULL, 4ULL, 8ULL, 16ULL, 64ULL, 256ULL}) {
+    const QueryCost c = w.Evaluate({{0, 2, 1}}, 8, g, 4);
+    EXPECT_LE(c.io_work_ms, prev * 1.0001) << "granule=" << g;
+    prev = c.io_work_ms;
+  }
+}
+
+TEST(CostLawsTest, AddingRestrictionNeverRaisesFactPages) {
+  // Extra restrictions only narrow what must be read (the model may keep
+  // the scan if bitmaps don't pay, but never reads more).
+  const World w = World::Make({{"Time", "Month"}});
+  const QueryCost broad = w.Evaluate({{0, 2, 1}}, 8, 16, 4);
+  const QueryCost narrow = w.Evaluate({{0, 2, 1}, {1, 1, 1}}, 8, 16, 4);
+  EXPECT_LE(narrow.fact_pages, broad.fact_pages * 1.0001);
+}
+
+TEST(CostLawsTest, CoarserRestrictionHitsMoreFragments) {
+  const World w = World::Make({{"Time", "Month"}});
+  const QueryCost month = w.Evaluate({{0, 2, 1}}, 8, 16, 4);
+  const QueryCost quarter = w.Evaluate({{0, 1, 1}}, 8, 16, 4);
+  const QueryCost year = w.Evaluate({{0, 0, 1}}, 8, 16, 4);
+  EXPECT_LT(month.fragments_hit, quarter.fragments_hit);
+  EXPECT_LT(quarter.fragments_hit, year.fragments_hit);
+  EXPECT_LT(month.io_work_ms, year.io_work_ms);
+}
+
+TEST(CostLawsTest, WiderInListCostsMore) {
+  const World w = World::Make({{"Time", "Month"}});
+  double prev = 0.0;
+  for (uint64_t nv : {1ULL, 2ULL, 4ULL, 8ULL}) {
+    const QueryCost c = w.Evaluate({{0, 2, nv}}, 8, 16, 4);
+    EXPECT_GE(c.io_work_ms, prev * 0.9999) << "nv=" << nv;
+    prev = c.io_work_ms;
+  }
+}
+
+TEST(CostLawsTest, FinerFragmentationNeverRaisesAlignedQueryWork) {
+  // For a query class matching the fragmentation attribute, fragmenting
+  // finer confines the same rows into a smaller scan.
+  const World month = World::Make({{"Time", "Month"}});
+  const World quarter = World::Make({{"Time", "Quarter"}});
+  const QueryCost cm = month.Evaluate({{0, 2, 1}}, 8, 16, 4);
+  const QueryCost cq = quarter.Evaluate({{0, 2, 1}}, 8, 16, 4);
+  EXPECT_LE(cm.fact_pages, cq.fact_pages * 1.0001);
+}
+
+TEST(CostLawsTest, MixWeightsInterpolateClassCosts) {
+  const World w = World::Make({{"Time", "Month"}});
+  auto allocation = alloc::RoundRobinAllocate(w.sizes, w.scheme, 8);
+  CostParameters params;
+  params.disks.num_disks = 8;
+  params.disks.page_size_bytes = kPage;
+  params.samples_per_class = 4;
+  const QueryCostModel model(w.schema, 0, w.frag, w.sizes, w.scheme,
+                             *allocation, params);
+  auto cheap = workload::QueryClass::Create("cheap", 9.0, {{0, 2, 1}},
+                                            w.schema);
+  auto dear =
+      workload::QueryClass::Create("dear", 1.0, {{0, 0, 1}}, w.schema);
+  auto mix = workload::QueryMix::Create({cheap.value(), dear.value()});
+  const MixCost mc = CostMix(model, *mix, 3);
+  const double lo = std::min(mc.per_class[0].io_work_ms,
+                             mc.per_class[1].io_work_ms);
+  const double hi = std::max(mc.per_class[0].io_work_ms,
+                             mc.per_class[1].io_work_ms);
+  EXPECT_GE(mc.io_work_ms, lo);
+  EXPECT_LE(mc.io_work_ms, hi);
+  // 90% weight on the cheap class pulls the mix toward it.
+  EXPECT_LT(mc.io_work_ms, 0.5 * (lo + hi));
+}
+
+TEST(CostLawsTest, ExpectedModeIsAllocationAgnostic) {
+  const World w = World::Make({{"Time", "Month"}, {"Product", "Group"}});
+  auto rr = alloc::RoundRobinAllocate(w.sizes, w.scheme, 8);
+  auto gr = alloc::GreedyAllocate(w.sizes, w.scheme, 8);
+  CostParameters params;
+  params.disks.num_disks = 8;
+  params.disks.page_size_bytes = kPage;
+  params.force_expected = true;
+  params.samples_per_class = 2;
+  const QueryCostModel m1(w.schema, 0, w.frag, w.sizes, w.scheme, *rr,
+                          params);
+  const QueryCostModel m2(w.schema, 0, w.frag, w.sizes, w.scheme, *gr,
+                          params);
+  auto qc = workload::QueryClass::Create("q", 1.0, {{0, 2, 1}}, w.schema);
+  Rng r1(5), r2(5);
+  EXPECT_DOUBLE_EQ(m1.CostClass(*qc, r1).io_work_ms,
+                   m2.CostClass(*qc, r2).io_work_ms);
+}
+
+// Granule sweep as a parameterized suite: for any granule pair, basic
+// sanity must hold on every query shape.
+class GranuleSweepTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(GranuleSweepTest, SanityAcrossQueryShapes) {
+  const auto [gf, gb] = GetParam();
+  const World w = World::Make({{"Time", "Month"}});
+  for (const auto& rs : std::vector<std::vector<workload::Restriction>>{
+           {},
+           {{0, 2, 1}},
+           {{1, 1, 1}},
+           {{0, 2, 1}, {1, 0, 1}},
+           {{0, 2, 1}, {1, 1, 1}}}) {
+    const QueryCost c = w.Evaluate(rs, 8, gf, gb);
+    EXPECT_GT(c.io_work_ms, 0.0);
+    EXPECT_LE(c.response_ms, c.io_work_ms + 1e-9);
+    EXPECT_GE(c.response_ms, c.io_work_ms / 8.0 - 1e-9);
+    EXPECT_GE(c.fact_ios + c.bitmap_ios, 1.0 - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GranuleSweepTest,
+    ::testing::Values(std::make_pair(1ULL, 1ULL), std::make_pair(4ULL, 1ULL),
+                      std::make_pair(16ULL, 4ULL),
+                      std::make_pair(64ULL, 16ULL),
+                      std::make_pair(512ULL, 128ULL)));
+
+}  // namespace
+}  // namespace warlock::cost

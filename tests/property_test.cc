@@ -1,0 +1,227 @@
+// Cross-module property tests: invariants that must hold for every
+// (fragmentation, query class) combination on a reference schema.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocators.h"
+#include "cost/mix_cost.h"
+#include "engine/executor.h"
+#include "fragment/query_hits.h"
+
+namespace warlock {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+constexpr uint64_t kRows = 300000;
+
+schema::StarSchema MakeSchema(double theta) {
+  auto time = schema::Dimension::Create(
+      "Time", {{"Year", 2}, {"Quarter", 8}, {"Month", 24}});
+  auto prod = schema::Dimension::Create(
+      "Product", {{"Line", 7}, {"Group", 50}, {"Code", 600}}, theta);
+  auto fact = schema::FactTable::Create("Sales", kRows, 100);
+  auto s = schema::StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+// Parameter: (fragmentation attrs, query attrs, theta) as index tuples.
+struct Case {
+  std::vector<std::pair<int, int>> frag;   // (dim, level)
+  std::vector<std::pair<int, int>> query;  // (dim, level)
+  double theta;
+};
+
+class HitInvariantTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(HitInvariantTest, EnumerationConsistentWithExpectation) {
+  const Case& c = GetParam();
+  const schema::StarSchema s = MakeSchema(c.theta);
+
+  std::vector<fragment::FragAttr> fattrs;
+  for (auto [d, l] : c.frag) {
+    fattrs.push_back(
+        {static_cast<uint32_t>(d), static_cast<uint32_t>(l)});
+  }
+  auto frag = fragment::Fragmentation::Create(fattrs, s);
+  ASSERT_TRUE(frag.ok());
+  auto sizes = fragment::FragmentSizes::Compute(*frag, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+
+  std::vector<workload::Restriction> rs;
+  for (auto [d, l] : c.query) {
+    rs.push_back({static_cast<uint32_t>(d), static_cast<uint32_t>(l), 1});
+  }
+  auto qc = workload::QueryClass::Create("q", 1.0, rs, s);
+  ASSERT_TRUE(qc.ok());
+
+  const fragment::HitSummary summary =
+      fragment::AnalyzeExpected(*frag, *qc, s, 0);
+
+  // Average concrete behaviour over samples.
+  Rng rng(13);
+  double avg_hits = 0.0, avg_rows = 0.0;
+  const int n = 24;
+  for (int i = 0; i < n; ++i) {
+    const workload::ConcreteQuery cq = workload::Instantiate(*qc, s, rng);
+    auto hits = fragment::EnumerateHits(*frag, cq, s, 0, *sizes);
+    ASSERT_TRUE(hits.ok());
+    double rows = 0.0;
+    for (const auto& h : *hits) {
+      EXPECT_LT(h.fragment_id, frag->NumFragments());
+      EXPECT_GE(h.qualifying_rows, 0.0);
+      EXPECT_LE(h.qualifying_rows, sizes->rows(h.fragment_id) + 1e-6);
+      rows += h.qualifying_rows;
+    }
+    avg_hits += static_cast<double>(hits->size()) / n;
+    avg_rows += rows / n;
+  }
+
+  // Fragment hits: concrete equals expectation exactly for point queries
+  // on uniform hierarchies (both count descendants/ancestors).
+  EXPECT_NEAR(avg_hits, summary.fragments_hit,
+              summary.fragments_hit * 0.25 + 1.0);
+  // Qualifying rows: expectation under uniform query values. Under skew,
+  // uniform-value sampling still matches because AnalyzeExpected assumes
+  // uniform selectivity — allow a wider band there.
+  const double tolerance =
+      (c.theta > 0 ? 0.6 : 0.15) * summary.qualifying_rows + 1.0;
+  EXPECT_NEAR(avg_rows, summary.qualifying_rows, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HitInvariantTest,
+    ::testing::Values(
+        Case{{}, {{0, 2}}, 0.0},
+        Case{{{0, 2}}, {{0, 2}}, 0.0},
+        Case{{{0, 2}}, {{0, 0}}, 0.0},
+        Case{{{0, 0}}, {{0, 2}}, 0.0},
+        Case{{{0, 2}}, {{1, 1}}, 0.0},
+        Case{{{0, 2}, {1, 1}}, {{0, 2}, {1, 1}}, 0.0},
+        Case{{{0, 2}, {1, 1}}, {{0, 1}}, 0.0},
+        Case{{{0, 2}, {1, 2}}, {{1, 0}}, 0.0},
+        Case{{{1, 1}}, {{1, 2}}, 0.0},
+        Case{{{0, 2}}, {}, 0.0},
+        Case{{{0, 2}}, {{0, 2}}, 0.9},
+        Case{{{1, 1}}, {{1, 1}}, 0.9},
+        Case{{{0, 2}, {1, 1}}, {{0, 2}, {1, 2}}, 0.9}));
+
+class CostInvariantTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CostInvariantTest, WorkResponseAndPageBounds) {
+  const Case& c = GetParam();
+  const schema::StarSchema s = MakeSchema(c.theta);
+  std::vector<fragment::FragAttr> fattrs;
+  for (auto [d, l] : c.frag) {
+    fattrs.push_back(
+        {static_cast<uint32_t>(d), static_cast<uint32_t>(l)});
+  }
+  auto frag = fragment::Fragmentation::Create(fattrs, s);
+  ASSERT_TRUE(frag.ok());
+  auto sizes = fragment::FragmentSizes::Compute(*frag, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  const bitmap::BitmapScheme scheme = bitmap::BitmapScheme::Select(s);
+  constexpr uint32_t kDisks = 8;
+  auto allocation = alloc::GreedyAllocate(*sizes, scheme, kDisks);
+  ASSERT_TRUE(allocation.ok());
+  cost::CostParameters params;
+  params.disks.num_disks = kDisks;
+  params.disks.page_size_bytes = kPage;
+  params.samples_per_class = 6;
+  const cost::QueryCostModel model(s, 0, *frag, *sizes, scheme, *allocation,
+                                   params);
+
+  std::vector<workload::Restriction> rs;
+  for (auto [d, l] : c.query) {
+    rs.push_back({static_cast<uint32_t>(d), static_cast<uint32_t>(l), 1});
+  }
+  auto qc = workload::QueryClass::Create("q", 1.0, rs, s);
+  ASSERT_TRUE(qc.ok());
+  Rng rng(5);
+  const cost::QueryCost cost = model.CostClass(*qc, rng);
+
+  EXPECT_GT(cost.io_work_ms, 0.0);
+  EXPECT_GT(cost.response_ms, 0.0);
+  EXPECT_LE(cost.response_ms, cost.io_work_ms + 1e-9);
+  EXPECT_GE(cost.response_ms, cost.io_work_ms / kDisks - 1e-9);
+  EXPECT_GE(cost.fragments_hit, 1.0 - 1e-9);
+  EXPECT_LE(cost.fragments_hit,
+            static_cast<double>(frag->NumFragments()) + 1e-9);
+  // Pages: never more than the whole table (plus bitmap reads).
+  EXPECT_LE(cost.fact_pages,
+            static_cast<double>(sizes->TotalPages()) * 1.001);
+  EXPECT_GE(cost.fact_ios, 0.0);
+  EXPECT_LE(cost.disks_used, kDisks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CostInvariantTest,
+    ::testing::Values(
+        Case{{}, {{0, 2}}, 0.0},
+        Case{{{0, 2}}, {{0, 2}}, 0.0},
+        Case{{{0, 2}}, {{1, 2}}, 0.0},
+        Case{{{0, 2}, {1, 1}}, {{0, 2}, {1, 2}}, 0.0},
+        Case{{{0, 1}}, {{0, 2}, {1, 0}}, 0.0},
+        Case{{{0, 2}, {1, 1}}, {}, 0.0},
+        Case{{{0, 2}}, {{0, 2}}, 0.9},
+        Case{{{0, 2}, {1, 1}}, {{0, 2}, {1, 1}}, 0.9}));
+
+// Executed ground truth vs. analytic prediction across fragmentations —
+// the engine-level validation that the cost model's selectivities hold.
+class ExecutionAgreementTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ExecutionAgreementTest, ExecutedRowsMatchEnumeratedPrediction) {
+  const Case& c = GetParam();
+  const schema::StarSchema s = MakeSchema(c.theta);
+  std::vector<fragment::FragAttr> fattrs;
+  for (auto [d, l] : c.frag) {
+    fattrs.push_back(
+        {static_cast<uint32_t>(d), static_cast<uint32_t>(l)});
+  }
+  auto frag = fragment::Fragmentation::Create(fattrs, s);
+  ASSERT_TRUE(frag.ok());
+  auto sizes = fragment::FragmentSizes::Compute(*frag, s, 0, kPage);
+  ASSERT_TRUE(sizes.ok());
+  const bitmap::BitmapScheme scheme = bitmap::BitmapScheme::Select(s);
+  engine::FragmentStore store(s, 0, *frag, *sizes, scheme, /*seed=*/21);
+
+  std::vector<workload::Restriction> rs;
+  for (auto [d, l] : c.query) {
+    rs.push_back({static_cast<uint32_t>(d), static_cast<uint32_t>(l), 1});
+  }
+  auto qc = workload::QueryClass::Create("q", 1.0, rs, s);
+  ASSERT_TRUE(qc.ok());
+
+  Rng rng(31);
+  double executed = 0.0, predicted = 0.0;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    const workload::ConcreteQuery cq = workload::Instantiate(*qc, s, rng);
+    auto hits = fragment::EnumerateHits(*frag, cq, s, 0, *sizes);
+    ASSERT_TRUE(hits.ok());
+    for (const auto& h : *hits) predicted += h.qualifying_rows / n;
+    auto result = store.Execute(cq);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    executed += static_cast<double>(result->qualifying_rows) / n;
+  }
+  // Generated data follows the exact per-value weights the prediction
+  // uses; sampling noise is the only source of divergence.
+  EXPECT_NEAR(executed, predicted, predicted * 0.2 + 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecutionAgreementTest,
+    ::testing::Values(
+        Case{{{0, 2}}, {{0, 2}}, 0.0},
+        Case{{{0, 2}}, {{0, 2}, {1, 1}}, 0.0},
+        Case{{{0, 1}}, {{0, 2}}, 0.0},
+        Case{{{0, 2}, {1, 1}}, {{0, 2}, {1, 2}}, 0.0},
+        Case{{{0, 2}}, {{0, 2}, {1, 1}}, 0.9},
+        Case{{{1, 1}}, {{1, 2}}, 0.9}));
+
+}  // namespace
+}  // namespace warlock

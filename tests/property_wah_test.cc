@@ -1,0 +1,97 @@
+// Parameterized WAH fuzzing: round-trip, counting, and compressed logical
+// operations must agree with the dense reference across sizes, densities
+// and clustering patterns.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "bitmap/wah.h"
+#include "common/rng.h"
+
+namespace warlock::bitmap {
+namespace {
+
+enum class Pattern { kUniform, kClustered, kAlternating, kEdges };
+
+BitVector Generate(uint64_t bits, double density, Pattern pattern,
+                   uint64_t seed) {
+  Rng rng(seed);
+  BitVector v(bits);
+  switch (pattern) {
+    case Pattern::kUniform:
+      for (uint64_t i = 0; i < bits; ++i) {
+        if (rng.NextDouble() < density) v.Set(i);
+      }
+      break;
+    case Pattern::kClustered: {
+      // Runs of set bits with expected length 64, spaced to hit density.
+      uint64_t i = 0;
+      while (i < bits) {
+        const uint64_t run = 1 + rng.Uniform(127);
+        if (rng.NextDouble() < density) {
+          for (uint64_t j = i; j < std::min(bits, i + run); ++j) v.Set(j);
+        }
+        i += run;
+      }
+      break;
+    }
+    case Pattern::kAlternating:
+      for (uint64_t i = 0; i < bits; i += 2) v.Set(i);
+      break;
+    case Pattern::kEdges:
+      if (bits > 0) {
+        v.Set(0);
+        v.Set(bits - 1);
+      }
+      break;
+  }
+  return v;
+}
+
+class WahFuzzTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, double, Pattern>> {};
+
+TEST_P(WahFuzzTest, RoundTripAndCount) {
+  const auto [bits, density, pattern] = GetParam();
+  const BitVector v = Generate(bits, density, pattern, bits * 31 + 7);
+  const WahBitVector w = WahBitVector::Compress(v);
+  EXPECT_EQ(w.size(), v.size());
+  EXPECT_EQ(w.Count(), v.Count());
+  EXPECT_TRUE(w.Decompress() == v);
+}
+
+TEST_P(WahFuzzTest, CompressedOpsMatchDense) {
+  const auto [bits, density, pattern] = GetParam();
+  const BitVector a = Generate(bits, density, pattern, 1000 + bits);
+  const BitVector b =
+      Generate(bits, 0.3, Pattern::kUniform, 2000 + bits);
+  BitVector and_ref = a;
+  and_ref.And(b);
+  BitVector or_ref = a;
+  or_ref.Or(b);
+  const WahBitVector wa = WahBitVector::Compress(a);
+  const WahBitVector wb = WahBitVector::Compress(b);
+  EXPECT_TRUE(WahBitVector::And(wa, wb).Decompress() == and_ref);
+  EXPECT_TRUE(WahBitVector::Or(wa, wb).Decompress() == or_ref);
+}
+
+TEST_P(WahFuzzTest, IdempotentOps) {
+  const auto [bits, density, pattern] = GetParam();
+  const BitVector a = Generate(bits, density, pattern, 3000 + bits);
+  const WahBitVector wa = WahBitVector::Compress(a);
+  EXPECT_TRUE(WahBitVector::And(wa, wa) == wa);
+  EXPECT_TRUE(WahBitVector::Or(wa, wa) == wa);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, WahFuzzTest,
+    ::testing::Combine(
+        ::testing::Values(0, 1, 30, 31, 32, 61, 62, 63, 1000, 99999),
+        ::testing::Values(0.0, 0.001, 0.05, 0.5, 1.0),
+        ::testing::Values(Pattern::kUniform, Pattern::kClustered,
+                          Pattern::kAlternating, Pattern::kEdges)));
+
+}  // namespace
+}  // namespace warlock::bitmap

@@ -1,0 +1,107 @@
+#include "report/report.h"
+
+#include <gtest/gtest.h>
+
+namespace warlock::report {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+struct Fixture {
+  schema::StarSchema schema;
+  workload::QueryMix mix;
+  core::AdvisorResult result;
+};
+
+Fixture MakeFixture() {
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto prod =
+      schema::Dimension::Create("Product", {{"Group", 10}, {"Code", 1000}});
+  auto fact = schema::FactTable::Create("Sales", 400000, 100);
+  auto s = schema::StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  auto month =
+      workload::QueryClass::Create("Month", 2.0, {{0, 1, 1}}, *s);
+  auto month_code = workload::QueryClass::Create("MonthCode", 1.0,
+                                                 {{0, 1, 1}, {1, 1, 1}}, *s);
+  auto mix = workload::QueryMix::Create({month.value(), month_code.value()});
+
+  core::ToolConfig config;
+  config.cost.disks.num_disks = 8;
+  config.cost.disks.page_size_bytes = kPage;
+  config.cost.samples_per_class = 2;
+  config.prefetch = core::PrefetchPolicy::kFixed;
+  config.thresholds.max_fragments = 5000;
+  core::Advisor advisor(*s, *mix, config);
+  auto result = advisor.Run();
+  EXPECT_TRUE(result.ok());
+  return Fixture{std::move(s).value(), std::move(mix).value(),
+                 std::move(result).value()};
+}
+
+TEST(ReportTest, RankingContainsHeaderAndRows) {
+  const Fixture fx = MakeFixture();
+  const std::string out = RenderRanking(fx.result, fx.schema);
+  EXPECT_NE(out.find("WARLOCK fragmentation ranking"), std::string::npos);
+  EXPECT_NE(out.find("Fragmentation"), std::string::npos);
+  EXPECT_NE(out.find("Resp/Q"), std::string::npos);
+  // The best candidate's label appears.
+  const auto& best = fx.result.candidates[fx.result.ranking[0]];
+  EXPECT_NE(out.find(best.fragmentation.Label(fx.schema)),
+            std::string::npos);
+}
+
+TEST(ReportTest, ExclusionsListReasons) {
+  const Fixture fx = MakeFixture();
+  const std::string out = RenderExclusions(fx.result, fx.schema);
+  EXPECT_NE(out.find("Excluded candidates"), std::string::npos);
+  // max_fragments 5000 excludes Code x Month (24000 fragments).
+  EXPECT_NE(out.find("exceed"), std::string::npos);
+}
+
+TEST(ReportTest, QueryStatsShowsEveryClass) {
+  const Fixture fx = MakeFixture();
+  const auto& best = fx.result.candidates[fx.result.ranking[0]];
+  const std::string out = RenderQueryStats(best, fx.mix, fx.schema);
+  EXPECT_NE(out.find("Database statistic"), std::string::npos);
+  EXPECT_NE(out.find("Prefetch suggestion"), std::string::npos);
+  EXPECT_NE(out.find("Month"), std::string::npos);
+  EXPECT_NE(out.find("MonthCode"), std::string::npos);
+}
+
+TEST(ReportTest, OccupancyBars) {
+  const Fixture fx = MakeFixture();
+  const auto& best = fx.result.candidates[fx.result.ranking[0]];
+  const std::string out = RenderOccupancy(best);
+  EXPECT_NE(out.find("Disk occupancy"), std::string::npos);
+  EXPECT_NE(out.find("disk  0 |"), std::string::npos);
+  EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+TEST(ReportTest, DiskProfileBars) {
+  const std::vector<double> profile = {1.0, 2.0, 0.0, 4.0};
+  const std::string out = RenderDiskProfile(profile, "Month");
+  EXPECT_NE(out.find("Disk access profile: Month"), std::string::npos);
+  EXPECT_NE(out.find("disk  3 |########################################|"),
+            std::string::npos);
+}
+
+TEST(ReportTest, RankingCsv) {
+  const Fixture fx = MakeFixture();
+  CsvWriter csv = RankingToCsv(fx.result, fx.schema);
+  EXPECT_EQ(csv.row_count(), fx.result.ranking.size());
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("rank,fragmentation"), std::string::npos);
+}
+
+TEST(ReportTest, QueryStatsCsv) {
+  const Fixture fx = MakeFixture();
+  const auto& best = fx.result.candidates[fx.result.ranking[0]];
+  CsvWriter csv = QueryStatsToCsv(best, fx.mix, fx.schema);
+  EXPECT_EQ(csv.row_count(), fx.mix.size());
+  EXPECT_NE(csv.ToString().find("class,weight"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warlock::report

@@ -1,0 +1,182 @@
+#include "schema/dimension.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace warlock::schema {
+namespace {
+
+Dimension MakeProduct(double theta = 0.0) {
+  auto d = Dimension::Create("Product",
+                             {{"Division", 2},
+                              {"Line", 7},
+                              {"Family", 20},
+                              {"Group", 100},
+                              {"Class", 900},
+                              {"Code", 9000}},
+                             theta);
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+  return std::move(d).value();
+}
+
+TEST(DimensionTest, CreateValidates) {
+  EXPECT_FALSE(Dimension::Create("", {{"L", 1}}).ok());
+  EXPECT_FALSE(Dimension::Create("D", {}).ok());
+  EXPECT_FALSE(Dimension::Create("D", {{"", 1}}).ok());
+  EXPECT_FALSE(Dimension::Create("D", {{"A", 2}, {"A", 4}}).ok());
+  EXPECT_FALSE(Dimension::Create("D", {{"A", 0}}).ok());
+  EXPECT_FALSE(Dimension::Create("D", {{"A", 4}, {"B", 2}}).ok());  // shrinking
+  EXPECT_FALSE(Dimension::Create("D", {{"A", 2}}, -0.5).ok());
+}
+
+TEST(DimensionTest, BasicAccessors) {
+  const Dimension d = MakeProduct();
+  EXPECT_EQ(d.name(), "Product");
+  EXPECT_EQ(d.num_levels(), 6u);
+  EXPECT_EQ(d.bottom_level(), 5u);
+  EXPECT_EQ(d.cardinality(0), 2u);
+  EXPECT_EQ(d.cardinality(5), 9000u);
+  EXPECT_FALSE(d.skewed());
+}
+
+TEST(DimensionTest, LevelIndexLookup) {
+  const Dimension d = MakeProduct();
+  auto idx = d.LevelIndex("Group");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 3u);
+  EXPECT_FALSE(d.LevelIndex("Nope").ok());
+}
+
+TEST(DimensionTest, AncestorIsMonotoneAndInRange) {
+  const Dimension d = MakeProduct();
+  uint64_t prev = 0;
+  for (uint64_t v = 0; v < 9000; v += 13) {
+    const uint64_t a = d.AncestorValue(5, v, 2);  // Code -> Family
+    EXPECT_LT(a, 20u);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(DimensionTest, AncestorAtSameLevelIsIdentity) {
+  const Dimension d = MakeProduct();
+  EXPECT_EQ(d.AncestorValue(3, 42, 3), 42u);
+}
+
+TEST(DimensionTest, DescendantRangesPartitionFineLevel) {
+  const Dimension d = MakeProduct();
+  // Families under Lines: 7 does not divide 20 — ranges still partition.
+  uint64_t covered = 0;
+  for (uint64_t line = 0; line < 7; ++line) {
+    const auto [begin, end] = d.DescendantRange(1, line, 2);
+    EXPECT_EQ(begin, covered);
+    EXPECT_GT(end, begin);
+    covered = end;
+  }
+  EXPECT_EQ(covered, 20u);
+}
+
+TEST(DimensionTest, DescendantRangeInverseOfAncestor) {
+  const Dimension d = MakeProduct();
+  for (uint64_t family = 0; family < 20; ++family) {
+    const auto [begin, end] = d.DescendantRange(2, family, 5);
+    for (uint64_t code = begin; code < end; ++code) {
+      EXPECT_EQ(d.AncestorValue(5, code, 2), family);
+    }
+  }
+}
+
+TEST(DimensionTest, AvgFanout) {
+  const Dimension d = MakeProduct();
+  EXPECT_DOUBLE_EQ(d.AvgFanout(0, 5), 4500.0);
+  EXPECT_NEAR(d.AvgFanout(1, 2), 20.0 / 7.0, 1e-12);
+}
+
+TEST(DimensionTest, UniformWeights) {
+  const Dimension d = MakeProduct();
+  for (size_t l = 0; l < d.num_levels(); ++l) {
+    const auto& w = d.LevelWeights(l);
+    ASSERT_EQ(w.size(), d.cardinality(l));
+    const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Uniform at every level when no skew: weights within a level are equal
+  // only if fan-outs divide evenly; at least the bottom level is uniform.
+  const auto& bottom = d.LevelWeights(5);
+  for (double w : bottom) EXPECT_DOUBLE_EQ(w, 1.0 / 9000.0);
+}
+
+TEST(DimensionTest, SkewedWeightsAggregateUpward) {
+  const Dimension d = MakeProduct(0.86);
+  EXPECT_TRUE(d.skewed());
+  EXPECT_DOUBLE_EQ(d.zipf_theta(), 0.86);
+  for (size_t l = 0; l < d.num_levels(); ++l) {
+    const auto& w = d.LevelWeights(l);
+    const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "level " << l;
+  }
+  // Each parent's weight equals the sum of its children's weights.
+  for (size_t l = 0; l + 1 < d.num_levels(); ++l) {
+    const auto& parent = d.LevelWeights(l);
+    const auto& child = d.LevelWeights(l + 1);
+    for (uint64_t p = 0; p < d.cardinality(l); ++p) {
+      const auto [begin, end] = d.DescendantRange(l, p, l + 1);
+      double sum = 0.0;
+      for (uint64_t c = begin; c < end; ++c) sum += child[c];
+      EXPECT_NEAR(parent[p], sum, 1e-12);
+    }
+  }
+  // Skew visible at the top: division 0 holds the hot codes.
+  const auto& top = d.LevelWeights(0);
+  EXPECT_GT(top[0], top[1]);
+}
+
+TEST(DimensionTest, SingleLevelDimension) {
+  auto d = Dimension::Create("Channel", {{"Base", 9}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_levels(), 1u);
+  EXPECT_EQ(d->bottom_level(), 0u);
+  EXPECT_EQ(d->AncestorValue(0, 5, 0), 5u);
+  const auto [b, e] = d->DescendantRange(0, 5, 0);
+  EXPECT_EQ(b, 5u);
+  EXPECT_EQ(e, 6u);
+}
+
+// Hierarchy property sweep over assorted (coarse, fine) cardinality pairs,
+// including non-divisible fan-outs.
+class HierarchyPropertyTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(HierarchyPropertyTest, RangesPartitionAndInvert) {
+  const auto [coarse, fine] = GetParam();
+  auto d = Dimension::Create("D", {{"C", coarse}, {"F", fine}});
+  ASSERT_TRUE(d.ok());
+  uint64_t covered = 0;
+  for (uint64_t p = 0; p < coarse; ++p) {
+    const auto [begin, end] = d->DescendantRange(0, p, 1);
+    EXPECT_EQ(begin, covered);
+    EXPECT_GE(end, begin);  // a parent may be empty only if fine < coarse
+    covered = end;
+    for (uint64_t c = begin; c < end; ++c) {
+      EXPECT_EQ(d->AncestorValue(1, c, 0), p);
+    }
+    // Even split: range sizes differ by at most 1.
+    const uint64_t lo = fine / coarse;
+    EXPECT_GE(end - begin, lo);
+    EXPECT_LE(end - begin, lo + 1);
+  }
+  EXPECT_EQ(covered, fine);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HierarchyPropertyTest,
+    ::testing::Values(std::make_pair(1ULL, 1ULL), std::make_pair(1ULL, 17ULL),
+                      std::make_pair(2ULL, 7ULL), std::make_pair(7ULL, 20ULL),
+                      std::make_pair(3ULL, 9ULL),
+                      std::make_pair(90ULL, 900ULL),
+                      std::make_pair(13ULL, 4096ULL),
+                      std::make_pair(900ULL, 9000ULL)));
+
+}  // namespace
+}  // namespace warlock::schema

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+#include "schema/fact_table.h"
+#include "schema/schema_text.h"
+#include "schema/star_schema.h"
+
+namespace warlock::schema {
+namespace {
+
+TEST(FactTableTest, CreateValidates) {
+  EXPECT_FALSE(FactTable::Create("", 10, 100).ok());
+  EXPECT_FALSE(FactTable::Create("F", 0, 100).ok());
+  EXPECT_FALSE(FactTable::Create("F", 10, 0).ok());
+  EXPECT_FALSE(FactTable::Create("F", 10, 100, {{"", 8}}).ok());
+  EXPECT_TRUE(FactTable::Create("F", 10, 100).ok());
+}
+
+TEST(FactTableTest, PageMath) {
+  auto f = FactTable::Create("F", 1000, 100);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->RowsPerPage(8192), 81u);
+  EXPECT_EQ(f->TotalPages(8192), 13u);  // ceil(1000/81)
+  EXPECT_EQ(f->TotalBytes(), 100000u);
+}
+
+TEST(FactTableTest, RowLargerThanPage) {
+  auto f = FactTable::Create("F", 10, 10000);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->RowsPerPage(8192), 1u);  // clamped to 1 row/page
+  EXPECT_EQ(f->TotalPages(8192), 10u);
+}
+
+StarSchema SmallSchema() {
+  auto time = Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto prod = Dimension::Create("Product", {{"Group", 10}, {"Code", 100}});
+  auto fact = FactTable::Create("Sales", 100000, 100);
+  auto s = StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(StarSchemaTest, CreateValidates) {
+  auto d = Dimension::Create("D", {{"A", 2}});
+  auto f = FactTable::Create("F", 10, 10);
+  EXPECT_FALSE(
+      StarSchema::Create("", {d.value()}, FactTable(f.value())).ok());
+  EXPECT_FALSE(StarSchema::Create("S", {}, FactTable(f.value())).ok());
+  EXPECT_FALSE(
+      StarSchema::Create("S", {d.value(), d.value()}, FactTable(f.value()))
+          .ok());
+  std::vector<FactTable> no_facts;
+  EXPECT_FALSE(StarSchema::Create("S", {d.value()}, no_facts).ok());
+}
+
+TEST(StarSchemaTest, Lookups) {
+  const StarSchema s = SmallSchema();
+  EXPECT_EQ(s.num_dimensions(), 2u);
+  EXPECT_EQ(s.num_facts(), 1u);
+  auto idx = s.DimensionIndex("Product");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(s.DimensionIndex("X").ok());
+  auto fidx = s.FactIndex("Sales");
+  ASSERT_TRUE(fidx.ok());
+  EXPECT_EQ(*fidx, 0u);
+  EXPECT_FALSE(s.FactIndex("X").ok());
+  EXPECT_FALSE(s.HasSkew());
+  EXPECT_EQ(s.CubeSize(), 24u * 100u);
+}
+
+TEST(Apb1Test, DefaultSchemaShape) {
+  auto s = Apb1Schema();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->name(), "APB1");
+  EXPECT_EQ(s->num_dimensions(), 4u);
+  const Dimension& product = s->dimension(0);
+  EXPECT_EQ(product.name(), "Product");
+  EXPECT_EQ(product.num_levels(), 6u);
+  EXPECT_EQ(product.cardinality(product.bottom_level()), 9000u);
+  const Dimension& customer = s->dimension(1);
+  EXPECT_EQ(customer.cardinality(customer.bottom_level()), 900u);
+  const Dimension& time = s->dimension(2);
+  EXPECT_EQ(time.cardinality(time.bottom_level()), 24u);
+  const Dimension& channel = s->dimension(3);
+  EXPECT_EQ(channel.cardinality(channel.bottom_level()), 9u);
+  // density 0.01 of 9000*900*24*9.
+  EXPECT_EQ(s->fact().row_count(), 17496000u);
+  EXPECT_EQ(s->CubeSize(), 1749600000u);
+}
+
+TEST(Apb1Test, DensityScalesRows) {
+  auto s = Apb1Schema({.density = 0.001});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->fact().row_count(), 1749600u);
+}
+
+TEST(Apb1Test, RejectsBadDensity) {
+  EXPECT_FALSE(Apb1Schema({.density = 0.0}).ok());
+  EXPECT_FALSE(Apb1Schema({.density = 1.5}).ok());
+}
+
+TEST(Apb1Test, SkewOptionsApply) {
+  Apb1Options opt;
+  opt.product_theta = 0.86;
+  auto s = Apb1Schema(opt);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->HasSkew());
+  EXPECT_TRUE(s->dimension(0).skewed());
+  EXPECT_FALSE(s->dimension(1).skewed());
+}
+
+TEST(SchemaTextTest, RoundTrip) {
+  auto s = Apb1Schema({.product_theta = 0.5});
+  ASSERT_TRUE(s.ok());
+  const std::string text = SchemaToText(*s);
+  auto parsed = SchemaFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name(), s->name());
+  EXPECT_EQ(parsed->num_dimensions(), s->num_dimensions());
+  for (size_t d = 0; d < s->num_dimensions(); ++d) {
+    EXPECT_EQ(parsed->dimension(d).name(), s->dimension(d).name());
+    EXPECT_EQ(parsed->dimension(d).num_levels(),
+              s->dimension(d).num_levels());
+    EXPECT_DOUBLE_EQ(parsed->dimension(d).zipf_theta(),
+                     s->dimension(d).zipf_theta());
+  }
+  EXPECT_EQ(parsed->fact().row_count(), s->fact().row_count());
+  EXPECT_EQ(parsed->fact().measures().size(), s->fact().measures().size());
+  // Idempotent: serializing again yields the same text.
+  EXPECT_EQ(SchemaToText(*parsed), text);
+}
+
+TEST(SchemaTextTest, ParsesCommentsAndBlanks) {
+  const char* text = R"(
+# a star schema
+schema Demo
+
+dimension Time
+level Year 2   # coarse
+level Month 24
+
+fact Sales 1000 64
+measure Units 8
+)";
+  auto s = SchemaFromText(text);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->name(), "Demo");
+  EXPECT_EQ(s->dimension(0).num_levels(), 2u);
+  EXPECT_EQ(s->fact().measures().size(), 1u);
+}
+
+TEST(SchemaTextTest, Errors) {
+  EXPECT_FALSE(SchemaFromText("").ok());
+  EXPECT_FALSE(SchemaFromText("schema S\nlevel A 2\n").ok());
+  EXPECT_FALSE(SchemaFromText("schema S\nbogus x\n").ok());
+  EXPECT_FALSE(SchemaFromText("schema S\ndimension D\nlevel A xyz\n").ok());
+  EXPECT_FALSE(
+      SchemaFromText("schema S\nmeasure M 8\n").ok());  // measure before fact
+  // No dimensions / no facts rejected by StarSchema::Create.
+  EXPECT_FALSE(SchemaFromText("schema S\nfact F 10 10\n").ok());
+}
+
+}  // namespace
+}  // namespace warlock::schema

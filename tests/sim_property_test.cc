@@ -1,0 +1,172 @@
+// Conservation and ordering invariants of the event-driven disk simulator.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sim/disk_sim.h"
+
+namespace warlock::sim {
+namespace {
+
+SimConfig MakeConfig(uint32_t disks, bool randomize, uint64_t seed) {
+  SimConfig config;
+  config.disks.num_disks = disks;
+  config.disks.page_size_bytes = 8192;
+  config.disks.avg_seek_ms = 8.0;
+  config.disks.avg_rotational_ms = 4.0;
+  config.disks.transfer_mb_per_s = 25.0;
+  config.randomize_positioning = randomize;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<SimQuery> RandomBatch(uint32_t disks, size_t queries,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SimQuery> batch(queries);
+  double arrival = 0.0;
+  for (auto& q : batch) {
+    q.arrival_ms = arrival;
+    arrival += rng.NextDouble() * 20.0;
+    const size_t ops = 1 + rng.Uniform(12);
+    for (size_t i = 0; i < ops; ++i) {
+      q.ops.push_back({static_cast<uint32_t>(rng.Uniform(disks)),
+                       static_cast<uint32_t>(1 + rng.Uniform(32))});
+    }
+  }
+  return batch;
+}
+
+class SimInvariantTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, bool, uint64_t>> {
+};
+
+TEST_P(SimInvariantTest, ConservationLaws) {
+  const auto [disks, randomize, seed] = GetParam();
+  const SimConfig config = MakeConfig(disks, randomize, seed);
+  const auto batch = RandomBatch(disks, 24, seed * 13 + 1);
+  const SimReport report = SimulateBatch(config, batch);
+
+  // Every query completes, with non-negative response.
+  ASSERT_EQ(report.response_ms.size(), batch.size());
+  uint64_t total_ops = 0;
+  for (const auto& q : batch) total_ops += q.ops.size();
+  EXPECT_EQ(report.total_ios, total_ops);
+  for (double r : report.response_ms) EXPECT_GE(r, 0.0);
+
+  // Busy time per disk never exceeds the makespan; utilization in [0,1].
+  for (double busy : report.disk_busy_ms) {
+    EXPECT_GE(busy, 0.0);
+    EXPECT_LE(busy, report.makespan_ms + 1e-6);
+  }
+  EXPECT_GE(report.avg_utilization, 0.0);
+  EXPECT_LE(report.avg_utilization, 1.0 + 1e-9);
+
+  // Makespan >= longest single response measured from time 0.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_LE(batch[i].arrival_ms + report.response_ms[i],
+              report.makespan_ms + 1e-6);
+  }
+
+  // With deterministic positioning, total busy time equals the sum of
+  // service times exactly.
+  if (!randomize) {
+    const cost::IoModel io(config.disks);
+    double expected_busy = 0.0;
+    for (const auto& q : batch) {
+      for (const auto& op : q.ops) expected_busy += io.IoTimeMs(op.pages);
+    }
+    double busy = 0.0;
+    for (double b : report.disk_busy_ms) busy += b;
+    EXPECT_NEAR(busy, expected_busy, 1e-6);
+  }
+}
+
+TEST_P(SimInvariantTest, WorkConservingOnOneDisk) {
+  const auto [disks, randomize, seed] = GetParam();
+  if (disks != 1) return;
+  // On a single disk with all arrivals at 0, makespan == total service.
+  SimConfig config = MakeConfig(1, false, seed);
+  auto batch = RandomBatch(1, 10, seed);
+  for (auto& q : batch) q.arrival_ms = 0.0;
+  const SimReport report = SimulateBatch(config, batch);
+  const cost::IoModel io(config.disks);
+  double total = 0.0;
+  for (const auto& q : batch) {
+    for (const auto& op : q.ops) total += io.IoTimeMs(op.pages);
+  }
+  EXPECT_NEAR(report.makespan_ms, total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimInvariantTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u, 64u),
+                       ::testing::Bool(),
+                       ::testing::Values(1ULL, 42ULL, 1234ULL)));
+
+TEST(SimStatsTest, PercentilesOrderedAndBounded) {
+  const SimConfig config = MakeConfig(4, true, 9);
+  const auto batch = RandomBatch(4, 50, 17);
+  const SimReport report = SimulateBatch(config, batch);
+  const double p0 = report.ResponsePercentileMs(0.0);
+  const double p50 = report.ResponsePercentileMs(0.5);
+  const double p95 = report.ResponsePercentileMs(0.95);
+  const double p100 = report.ResponsePercentileMs(1.0);
+  EXPECT_LE(p0, p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p100);
+  const double mean = report.MeanResponseMs();
+  EXPECT_GE(mean, p0);
+  EXPECT_LE(mean, p100);
+}
+
+TEST(SimStatsTest, EmptyReportStats) {
+  SimReport report;
+  EXPECT_DOUBLE_EQ(report.MeanResponseMs(), 0.0);
+  EXPECT_DOUBLE_EQ(report.ResponsePercentileMs(0.5), 0.0);
+}
+
+TEST(SimStatsTest, SingleQueryAllPercentilesEqual) {
+  const SimConfig config = MakeConfig(1, false, 1);
+  SimQuery q;
+  q.ops = {{0, 4}};
+  const SimReport report = SimulateBatch(config, {q});
+  EXPECT_DOUBLE_EQ(report.ResponsePercentileMs(0.1),
+                   report.ResponsePercentileMs(0.9));
+  EXPECT_DOUBLE_EQ(report.MeanResponseMs(), report.response_ms[0]);
+}
+
+TEST(SimClosedLoopTest, ThroughputBoundedByBottleneckDisk) {
+  // All streams hammer disk 0: makespan can never beat the serial sum.
+  const SimConfig config = MakeConfig(4, false, 1);
+  const cost::IoModel io(config.disks);
+  std::vector<std::vector<std::vector<cost::IoOp>>> streams(
+      4, std::vector<std::vector<cost::IoOp>>(5, {{0, 8}}));
+  const SimReport report = SimulateClosedLoop(config, streams);
+  EXPECT_NEAR(report.makespan_ms, 20 * io.IoTimeMs(8), 1e-6);
+}
+
+TEST(SimClosedLoopTest, MoreStreamsNeverLowerUtilization) {
+  double prev = 0.0;
+  for (uint32_t streams : {1u, 2u, 4u, 8u}) {
+    const SimConfig config = MakeConfig(8, true, 5);
+    Rng rng(99);
+    std::vector<std::vector<std::vector<cost::IoOp>>> specs(streams);
+    for (auto& s : specs) {
+      for (int q = 0; q < 6; ++q) {
+        std::vector<cost::IoOp> ops;
+        for (int i = 0; i < 8; ++i) {
+          ops.push_back({static_cast<uint32_t>(rng.Uniform(8)), 4});
+        }
+        s.push_back(std::move(ops));
+      }
+    }
+    const SimReport report = SimulateClosedLoop(config, specs);
+    EXPECT_GE(report.avg_utilization, prev * 0.9);  // allow small noise
+    prev = report.avg_utilization;
+  }
+}
+
+}  // namespace
+}  // namespace warlock::sim

@@ -1,0 +1,197 @@
+#include "sim/disk_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocators.h"
+#include "cost/mix_cost.h"
+
+namespace warlock::sim {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+SimConfig MakeConfig(uint32_t disks, bool randomize = false) {
+  SimConfig config;
+  config.disks.num_disks = disks;
+  config.disks.page_size_bytes = kPage;
+  config.disks.avg_seek_ms = 8.0;
+  config.disks.avg_rotational_ms = 4.0;
+  config.disks.transfer_mb_per_s = 25.0;
+  config.randomize_positioning = randomize;
+  config.seed = 3;
+  return config;
+}
+
+TEST(DiskSimTest, SingleIoTakesServiceTime) {
+  const SimConfig config = MakeConfig(2);
+  const cost::IoModel io(config.disks);
+  SimQuery q;
+  q.ops = {{0, 4}};
+  const SimReport report = SimulateBatch(config, {q});
+  ASSERT_EQ(report.response_ms.size(), 1u);
+  EXPECT_NEAR(report.response_ms[0], io.IoTimeMs(4), 1e-9);
+  EXPECT_NEAR(report.makespan_ms, io.IoTimeMs(4), 1e-9);
+  EXPECT_EQ(report.total_ios, 1u);
+}
+
+TEST(DiskSimTest, SameDiskSerializes) {
+  const SimConfig config = MakeConfig(2);
+  const cost::IoModel io(config.disks);
+  SimQuery q;
+  q.ops = {{0, 1}, {0, 1}, {0, 1}};
+  const SimReport report = SimulateBatch(config, {q});
+  EXPECT_NEAR(report.response_ms[0], 3 * io.IoTimeMs(1), 1e-9);
+}
+
+TEST(DiskSimTest, DistinctDisksParallelize) {
+  const SimConfig config = MakeConfig(4);
+  const cost::IoModel io(config.disks);
+  SimQuery q;
+  q.ops = {{0, 1}, {1, 1}, {2, 1}, {3, 1}};
+  const SimReport report = SimulateBatch(config, {q});
+  EXPECT_NEAR(report.response_ms[0], io.IoTimeMs(1), 1e-9);
+  EXPECT_NEAR(report.avg_utilization, 1.0, 1e-9);
+}
+
+TEST(DiskSimTest, QueueingDelaysSecondQuery) {
+  const SimConfig config = MakeConfig(1);
+  const cost::IoModel io(config.disks);
+  SimQuery q1, q2;
+  q1.ops = {{0, 10}};
+  q2.ops = {{0, 10}};
+  const SimReport report = SimulateBatch(config, {q1, q2});
+  EXPECT_NEAR(report.response_ms[0], io.IoTimeMs(10), 1e-9);
+  EXPECT_NEAR(report.response_ms[1], 2 * io.IoTimeMs(10), 1e-9);
+}
+
+TEST(DiskSimTest, LaterArrivalSeesEmptierQueue) {
+  const SimConfig config = MakeConfig(1);
+  const cost::IoModel io(config.disks);
+  SimQuery q1, q2;
+  q1.ops = {{0, 10}};
+  q2.arrival_ms = io.IoTimeMs(10);  // arrives exactly when q1 finishes
+  q2.ops = {{0, 10}};
+  const SimReport report = SimulateBatch(config, {q1, q2});
+  EXPECT_NEAR(report.response_ms[1], io.IoTimeMs(10), 1e-9);
+}
+
+TEST(DiskSimTest, ZeroIoQueryCompletesInstantly) {
+  const SimConfig config = MakeConfig(1);
+  SimQuery q;
+  const SimReport report = SimulateBatch(config, {q});
+  EXPECT_DOUBLE_EQ(report.response_ms[0], 0.0);
+}
+
+TEST(DiskSimTest, BusyTimeAccounted) {
+  const SimConfig config = MakeConfig(2);
+  const cost::IoModel io(config.disks);
+  SimQuery q;
+  q.ops = {{0, 2}, {0, 2}, {1, 4}};
+  const SimReport report = SimulateBatch(config, {q});
+  EXPECT_NEAR(report.disk_busy_ms[0], 2 * io.IoTimeMs(2), 1e-9);
+  EXPECT_NEAR(report.disk_busy_ms[1], io.IoTimeMs(4), 1e-9);
+}
+
+TEST(DiskSimTest, RandomizedPositioningPreservesMean) {
+  SimConfig config = MakeConfig(1, /*randomize=*/true);
+  const cost::IoModel io(config.disks);
+  // Many independent single-I/O queries: mean response approaches the
+  // deterministic service time (uniform [0,2*avg] positioning).
+  std::vector<SimQuery> queries(2000);
+  double t = 0.0;
+  for (auto& q : queries) {
+    q.arrival_ms = t;
+    t += 1000.0;  // no queueing
+    q.ops = {{0, 1}};
+  }
+  const SimReport report = SimulateBatch(config, queries);
+  double mean = 0.0;
+  for (double r : report.response_ms) mean += r / 2000.0;
+  EXPECT_NEAR(mean, io.IoTimeMs(1), io.IoTimeMs(1) * 0.05);
+}
+
+TEST(DiskSimTest, DeterministicWithFixedSeed) {
+  SimConfig config = MakeConfig(4, /*randomize=*/true);
+  SimQuery q;
+  q.ops = {{0, 1}, {1, 2}, {2, 3}};
+  const SimReport a = SimulateBatch(config, {q});
+  const SimReport b = SimulateBatch(config, {q});
+  EXPECT_EQ(a.response_ms, b.response_ms);
+}
+
+TEST(ClosedLoopTest, StreamsIssueSequentially) {
+  const SimConfig config = MakeConfig(1);
+  const cost::IoModel io(config.disks);
+  // One stream, three queries of one I/O each: they run back to back.
+  std::vector<std::vector<std::vector<cost::IoOp>>> streams = {
+      {{{0, 1}}, {{0, 1}}, {{0, 1}}}};
+  const SimReport report = SimulateClosedLoop(config, streams);
+  ASSERT_EQ(report.response_ms.size(), 3u);
+  for (double r : report.response_ms) {
+    EXPECT_NEAR(r, io.IoTimeMs(1), 1e-9);
+  }
+  EXPECT_NEAR(report.makespan_ms, 3 * io.IoTimeMs(1), 1e-9);
+}
+
+TEST(ClosedLoopTest, ContentionStretchesResponses) {
+  const SimConfig config = MakeConfig(1);
+  const cost::IoModel io(config.disks);
+  // Two streams fight over one disk: each query's response roughly doubles.
+  std::vector<std::vector<std::vector<cost::IoOp>>> streams = {
+      {{{0, 1}}, {{0, 1}}}, {{{0, 1}}, {{0, 1}}}};
+  const SimReport report = SimulateClosedLoop(config, streams);
+  double mean = 0.0;
+  for (double r : report.response_ms) mean += r / 4.0;
+  EXPECT_GT(mean, io.IoTimeMs(1) * 1.4);
+}
+
+// The cross-check the simulator exists for: a single query's simulated
+// response (deterministic positioning, FCFS, no contention) equals the
+// analytical model's response prediction exactly, because both sum the
+// same service times per disk and take the max.
+TEST(ModelValidationTest, SimMatchesAnalyticalSingleQuery) {
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto prod =
+      schema::Dimension::Create("Product", {{"Group", 10}, {"Code", 1000}});
+  auto fact = schema::FactTable::Create("Sales", 200000, 100);
+  auto s = schema::StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}}, *s);
+  auto sizes = fragment::FragmentSizes::Compute(*frag, *s, 0, kPage);
+  bitmap::BitmapScheme scheme = bitmap::BitmapScheme::Select(*s);
+  auto allocation = alloc::RoundRobinAllocate(*sizes, scheme, 8);
+  cost::CostParameters params;
+  params.disks = MakeConfig(8).disks;
+  params.fact_granule = 8;
+  params.bitmap_granule = 2;
+  const cost::QueryCostModel model(*s, 0, *frag, *sizes, scheme,
+                                   *allocation, params);
+
+  for (const auto& attrs :
+       std::vector<std::vector<workload::Restriction>>{
+           {{0, 1, 1}},            // Month
+           {{0, 0, 1}},            // Year
+           {{0, 1, 1}, {1, 1, 1}},  // Month + Code
+           {}}) {
+    auto qc = workload::QueryClass::Create("q", 1.0, attrs, *s);
+    ASSERT_TRUE(qc.ok());
+    Rng rng(11);
+    const workload::ConcreteQuery cq =
+        workload::Instantiate(*qc, *s, rng);
+    const cost::QueryCost predicted = model.CostConcrete(cq);
+
+    SimQuery sq;
+    sq.ops = model.PlanIos(cq);
+    const SimReport report = SimulateBatch(MakeConfig(8), {sq});
+    // The plan rounds fractional Yao page counts to whole I/Os, so allow
+    // one single-page service time of slack on top of 2%.
+    const cost::IoModel io(params.disks);
+    EXPECT_NEAR(report.response_ms[0], predicted.response_ms,
+                predicted.response_ms * 0.02 + io.IoTimeMs(1))
+        << "restrictions=" << attrs.size();
+  }
+}
+
+}  // namespace
+}  // namespace warlock::sim

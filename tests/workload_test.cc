@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "schema/apb1.h"
+#include "workload/apb1_workload.h"
+#include "workload/query.h"
+#include "workload/query_mix.h"
+#include "workload/workload_text.h"
+
+namespace warlock::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = schema::Apb1Schema();
+    ASSERT_TRUE(s.ok());
+    schema_ = std::make_unique<schema::StarSchema>(std::move(s).value());
+  }
+  std::unique_ptr<schema::StarSchema> schema_;
+};
+
+TEST_F(WorkloadTest, QueryClassValidates) {
+  // dim out of range
+  EXPECT_FALSE(QueryClass::Create("q", 1.0, {{9, 0, 1}}, *schema_).ok());
+  // level out of range
+  EXPECT_FALSE(QueryClass::Create("q", 1.0, {{0, 9, 1}}, *schema_).ok());
+  // duplicate dimension
+  EXPECT_FALSE(
+      QueryClass::Create("q", 1.0, {{0, 1, 1}, {0, 2, 1}}, *schema_).ok());
+  // num_values zero or too large
+  EXPECT_FALSE(QueryClass::Create("q", 1.0, {{0, 0, 0}}, *schema_).ok());
+  EXPECT_FALSE(QueryClass::Create("q", 1.0, {{0, 0, 3}}, *schema_).ok());
+  // weight must be positive
+  EXPECT_FALSE(QueryClass::Create("q", 0.0, {{0, 0, 1}}, *schema_).ok());
+  EXPECT_FALSE(QueryClass::Create("", 1.0, {{0, 0, 1}}, *schema_).ok());
+  // empty restriction list is the full aggregate
+  EXPECT_TRUE(QueryClass::Create("q", 1.0, {}, *schema_).ok());
+}
+
+TEST_F(WorkloadTest, RestrictionsSortedByDimension) {
+  auto qc = QueryClass::Create("q", 1.0, {{2, 2, 1}, {0, 3, 1}}, *schema_);
+  ASSERT_TRUE(qc.ok());
+  EXPECT_EQ(qc->restrictions()[0].dim, 0u);
+  EXPECT_EQ(qc->restrictions()[1].dim, 2u);
+  EXPECT_NE(qc->RestrictionFor(0), nullptr);
+  EXPECT_NE(qc->RestrictionFor(2), nullptr);
+  EXPECT_EQ(qc->RestrictionFor(1), nullptr);
+}
+
+TEST_F(WorkloadTest, UniformSelectivity) {
+  // Month (1/24) and Group (1/100).
+  auto qc = QueryClass::Create("q", 1.0, {{2, 2, 1}, {0, 3, 1}}, *schema_);
+  ASSERT_TRUE(qc.ok());
+  EXPECT_NEAR(qc->UniformSelectivity(*schema_), 1.0 / 24 / 100, 1e-12);
+  // IN-list of 3 months.
+  auto qc2 = QueryClass::Create("q2", 1.0, {{2, 2, 3}}, *schema_);
+  ASSERT_TRUE(qc2.ok());
+  EXPECT_NEAR(qc2->UniformSelectivity(*schema_), 3.0 / 24, 1e-12);
+}
+
+TEST_F(WorkloadTest, Signature) {
+  auto qc = QueryClass::Create("q", 1.0, {{2, 2, 1}, {0, 3, 1}}, *schema_);
+  ASSERT_TRUE(qc.ok());
+  EXPECT_EQ(qc->Signature(*schema_), "Group,Month");
+  auto empty = QueryClass::Create("e", 1.0, {}, *schema_);
+  EXPECT_EQ(empty->Signature(*schema_), "(full aggregate)");
+}
+
+TEST_F(WorkloadTest, MixNormalizesWeights) {
+  auto a = QueryClass::Create("a", 3.0, {{2, 2, 1}}, *schema_);
+  auto b = QueryClass::Create("b", 1.0, {{0, 3, 1}}, *schema_);
+  auto mix = QueryMix::Create({a.value(), b.value()});
+  ASSERT_TRUE(mix.ok());
+  EXPECT_DOUBLE_EQ(mix->weight(0), 0.75);
+  EXPECT_DOUBLE_EQ(mix->weight(1), 0.25);
+  auto idx = mix->ClassIndex("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(mix->ClassIndex("zzz").ok());
+}
+
+TEST_F(WorkloadTest, MixRejectsDuplicatesAndEmpty) {
+  auto a = QueryClass::Create("a", 1.0, {{2, 2, 1}}, *schema_);
+  EXPECT_FALSE(QueryMix::Create({}).ok());
+  EXPECT_FALSE(QueryMix::Create({a.value(), a.value()}).ok());
+}
+
+TEST_F(WorkloadTest, Apb1MixIsValid) {
+  auto mix = Apb1QueryMix(*schema_);
+  ASSERT_TRUE(mix.ok()) << mix.status().ToString();
+  EXPECT_GE(mix->size(), 10u);
+  double total = 0.0;
+  for (size_t i = 0; i < mix->size(); ++i) total += mix->weight(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Every class restricts at least one dimension except none; all reference
+  // valid attributes (Create validated them).
+  size_t multi_dim = 0;
+  for (size_t i = 0; i < mix->size(); ++i) {
+    if (mix->query_class(i).restrictions().size() >= 2) ++multi_dim;
+  }
+  EXPECT_GE(multi_dim, 5u);  // the mix is genuinely multi-dimensional
+}
+
+TEST_F(WorkloadTest, Apb1MixRequiresApb1Schema) {
+  auto time = schema::Dimension::Create("T", {{"Year", 2}});
+  auto fact = schema::FactTable::Create("F", 10, 10);
+  auto other = schema::StarSchema::Create("Other", {time.value()},
+                                          std::move(fact).value());
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(Apb1QueryMix(*other).ok());
+}
+
+TEST_F(WorkloadTest, InstantiateUniformInRange) {
+  auto qc = QueryClass::Create("q", 1.0, {{2, 2, 3}, {0, 3, 1}}, *schema_);
+  ASSERT_TRUE(qc.ok());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const ConcreteQuery cq = Instantiate(*qc, *schema_, rng);
+    ASSERT_EQ(cq.start_values.size(), 2u);
+    // restriction 0: dim 0 (Product.Group, card 100, nv 1)
+    EXPECT_LT(cq.start_values[0], 100u);
+    // restriction 1: dim 2 (Time.Month, card 24, nv 3) -> start <= 21
+    EXPECT_LE(cq.start_values[1], 21u);
+  }
+}
+
+TEST_F(WorkloadTest, InstantiateWeightedPrefersHotValues) {
+  auto s = schema::Apb1Schema({.product_theta = 1.2});
+  ASSERT_TRUE(s.ok());
+  auto qc = QueryClass::Create("q", 1.0, {{0, 5, 1}}, *s);
+  ASSERT_TRUE(qc.ok());
+  Rng rng(11);
+  uint64_t low = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const ConcreteQuery cq =
+        Instantiate(*qc, *s, rng, ValueDistribution::kWeighted);
+    if (cq.start_values[0] < 90) ++low;  // hottest 1% of codes
+  }
+  // Under Zipf(1.2) the top percent holds far more than 10% of the mass.
+  EXPECT_GT(low, static_cast<uint64_t>(n / 10));
+}
+
+TEST_F(WorkloadTest, InstantiateDeterministicPerSeed) {
+  auto qc = QueryClass::Create("q", 1.0, {{2, 2, 1}}, *schema_);
+  Rng r1(3), r2(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(Instantiate(*qc, *schema_, r1).start_values[0],
+              Instantiate(*qc, *schema_, r2).start_values[0]);
+  }
+}
+
+TEST_F(WorkloadTest, TextRoundTrip) {
+  auto mix = Apb1QueryMix(*schema_);
+  ASSERT_TRUE(mix.ok());
+  const std::string text = QueryMixToText(*mix, *schema_);
+  auto parsed = QueryMixFromText(text, *schema_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), mix->size());
+  for (size_t i = 0; i < mix->size(); ++i) {
+    EXPECT_EQ(parsed->query_class(i).name(), mix->query_class(i).name());
+    EXPECT_NEAR(parsed->weight(i), mix->weight(i), 1e-9);
+    EXPECT_EQ(parsed->query_class(i).restrictions(),
+              mix->query_class(i).restrictions());
+  }
+}
+
+TEST_F(WorkloadTest, TextParseErrors) {
+  EXPECT_FALSE(QueryMixFromText("", *schema_).ok());
+  EXPECT_FALSE(QueryMixFromText("restrict Time Month\n", *schema_).ok());
+  EXPECT_FALSE(QueryMixFromText("query q notanumber\n", *schema_).ok());
+  EXPECT_FALSE(
+      QueryMixFromText("query q 1\nrestrict Bogus Month\n", *schema_).ok());
+  EXPECT_FALSE(
+      QueryMixFromText("query q 1\nrestrict Time Bogus\n", *schema_).ok());
+  EXPECT_FALSE(
+      QueryMixFromText("query q 1\nrestrict Time Month 0\n", *schema_).ok());
+  EXPECT_FALSE(QueryMixFromText("zzz\n", *schema_).ok());
+}
+
+TEST_F(WorkloadTest, TextParsesInListSizes) {
+  auto mix =
+      QueryMixFromText("query q 2\nrestrict Time Month 3\n", *schema_);
+  ASSERT_TRUE(mix.ok());
+  EXPECT_EQ(mix->query_class(0).restrictions()[0].num_values, 3u);
+}
+
+}  // namespace
+}  // namespace warlock::workload
