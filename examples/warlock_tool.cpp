@@ -6,8 +6,7 @@
 //   warlock_tool <schema.txt> <workload.txt> <config.txt> [csv_out_dir]
 //
 // Sample inputs live in examples/data/ :
-//   ./build/examples/warlock_tool examples/data/apb1.schema \
-//       examples/data/apb1.workload examples/data/default.config /tmp
+//   ./build/examples/warlock_tool examples/data/apb1.schema examples/data/apb1.workload examples/data/default.config /tmp
 //
 // Prints the ranked candidate list, the exclusion report, the winner's
 // per-query-class statistics, disk occupancy, and a per-class disk access

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-shot tier-1 verify: configure + build + ctest, exactly what CI runs.
+#
+# Usage:
+#   scripts/check.sh            # Release build in build/
+#   PRESET=asan scripts/check.sh  # use a CMakePresets.json configure preset
+#   BUILD_DIR=out scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+if [[ -n "${PRESET:-}" ]]; then
+  cmake --preset "$PRESET"
+  cmake --build --preset "$PRESET" -j "$JOBS"
+  ctest --preset "$PRESET"
+else
+  BUILD_DIR="${BUILD_DIR:-build}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+fi

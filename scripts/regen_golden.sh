@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate the golden ranking snapshot after an intentional model change.
+# Builds the golden test, reruns it with WARLOCK_UPDATE_GOLDEN=1 (which
+# rewrites tests/testdata/*.golden), then verifies the fresh snapshot
+# passes. Review the resulting diff before committing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="$(realpath -m "${BUILD_DIR:-build}")"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target golden_ranking_test -j >/dev/null
+
+cd tests
+WARLOCK_UPDATE_GOLDEN=1 "$BUILD_DIR/tests/golden_ranking_test" >/dev/null
+"$BUILD_DIR/tests/golden_ranking_test"
+git --no-pager diff -- testdata

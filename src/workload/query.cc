@@ -70,7 +70,11 @@ std::string QueryClass::Signature(const schema::StarSchema& schema) const {
   for (const Restriction& r : restrictions_) {
     if (!sig.empty()) sig += ",";
     sig += schema.dimension(r.dim).level(r.level).name;
-    if (r.num_values > 1) sig += "[" + std::to_string(r.num_values) + "]";
+    if (r.num_values > 1) {
+      sig += "[";
+      sig += std::to_string(r.num_values);
+      sig += "]";
+    }
   }
   if (sig.empty()) sig = "(full aggregate)";
   return sig;

@@ -100,7 +100,9 @@ TEST(CandidatesTest, ExcludeEmptyOption) {
   auto cands = EnumerateCandidates(s, 0, kPage, t);
   ASSERT_TRUE(cands.ok());
   for (const Candidate& c : *cands) {
-    if (c.fragmentation.num_attrs() == 0) EXPECT_TRUE(c.excluded);
+    if (c.fragmentation.num_attrs() == 0) {
+      EXPECT_TRUE(c.excluded);
+    }
   }
 }
 

@@ -1,0 +1,115 @@
+// Golden-file test: locks the advisor's top-k ranking on a checked-in
+// APB-1-based configuration so future refactors cannot silently change
+// results.
+//
+// The fixtures live in tests/testdata/ (the CTest working directory is
+// tests/, see tests/CMakeLists.txt). To regenerate the snapshot after an
+// intentional model change, run the binary with WARLOCK_UPDATE_GOLDEN=1 and
+// review the diff.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/format.h"
+#include "core/advisor.h"
+#include "core/config_text.h"
+#include "schema/schema_text.h"
+#include "workload/workload_text.h"
+
+namespace warlock {
+namespace {
+
+constexpr char kSchemaPath[] = "testdata/apb1_tiny.schema";
+constexpr char kWorkloadPath[] = "testdata/apb1_tiny.workload";
+constexpr char kConfigPath[] = "testdata/apb1_tiny.config";
+constexpr char kGoldenPath[] = "testdata/apb1_tiny_ranking.golden";
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path
+                        << " (tests must run with tests/ as cwd)";
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+// One stable line per ranked candidate. Doubles are printed with fixed
+// precision so the snapshot is insensitive to formatting-layer changes but
+// still locks the model's numbers.
+std::string Snapshot(const core::AdvisorResult& result,
+                     const schema::StarSchema& schema) {
+  std::ostringstream os;
+  os << "enumerated=" << result.enumerated
+     << " excluded=" << result.excluded << " screened=" << result.screened
+     << " fully_evaluated=" << result.fully_evaluated << "\n";
+  int rank = 0;
+  for (size_t idx : result.ranking) {
+    const core::EvaluatedCandidate& c = result.candidates[idx];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%d|%s|frags=%llu|pages=%llu|alloc=%s|Gf=%llu|Gb=%llu|"
+                  "work_ms=%.2f|resp_ms=%.2f\n",
+                  ++rank, c.fragmentation.Label(schema).c_str(),
+                  static_cast<unsigned long long>(c.num_fragments),
+                  static_cast<unsigned long long>(c.total_pages),
+                  alloc::AllocationSchemeName(c.allocation_scheme),
+                  static_cast<unsigned long long>(c.fact_granule),
+                  static_cast<unsigned long long>(c.bitmap_granule),
+                  c.cost.io_work_ms, c.cost.response_ms);
+    os << buf;
+  }
+  return os.str();
+}
+
+TEST(GoldenRankingTest, TopKRankingMatchesSnapshot) {
+  auto schema_or = schema::SchemaFromText(ReadFileOrDie(kSchemaPath));
+  ASSERT_TRUE(schema_or.ok()) << schema_or.status().ToString();
+  auto mix_or =
+      workload::QueryMixFromText(ReadFileOrDie(kWorkloadPath), *schema_or);
+  ASSERT_TRUE(mix_or.ok()) << mix_or.status().ToString();
+  auto config_or = core::ToolConfigFromText(ReadFileOrDie(kConfigPath));
+  ASSERT_TRUE(config_or.ok()) << config_or.status().ToString();
+
+  const core::Advisor advisor(*schema_or, *mix_or, *config_or);
+  auto result_or = advisor.Run();
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+
+  const std::string actual = Snapshot(*result_or, *schema_or);
+
+  if (std::getenv("WARLOCK_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << actual;
+    GTEST_SKIP() << "golden snapshot regenerated at " << kGoldenPath;
+  }
+
+  const std::string expected = ReadFileOrDie(kGoldenPath);
+  EXPECT_EQ(actual, expected)
+      << "advisor ranking drifted from the golden snapshot; if the change "
+         "is intentional, rerun with WARLOCK_UPDATE_GOLDEN=1 and review "
+         "the diff";
+}
+
+// The ranking must be deterministic run-to-run (fixed seed in the config):
+// two advisor runs over the same inputs produce identical snapshots.
+TEST(GoldenRankingTest, RankingIsDeterministic) {
+  auto schema_or = schema::SchemaFromText(ReadFileOrDie(kSchemaPath));
+  ASSERT_TRUE(schema_or.ok()) << schema_or.status().ToString();
+  auto mix_or =
+      workload::QueryMixFromText(ReadFileOrDie(kWorkloadPath), *schema_or);
+  ASSERT_TRUE(mix_or.ok()) << mix_or.status().ToString();
+  auto config_or = core::ToolConfigFromText(ReadFileOrDie(kConfigPath));
+  ASSERT_TRUE(config_or.ok()) << config_or.status().ToString();
+
+  const core::Advisor advisor(*schema_or, *mix_or, *config_or);
+  auto first = advisor.Run();
+  auto second = advisor.Run();
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(Snapshot(*first, *schema_or), Snapshot(*second, *schema_or));
+}
+
+}  // namespace
+}  // namespace warlock

@@ -2,6 +2,7 @@
 // operations must agree with the dense reference across sizes, densities
 // and clustering patterns.
 
+#include <algorithm>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -92,6 +93,82 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(0.0, 0.001, 0.05, 0.5, 1.0),
         ::testing::Values(Pattern::kUniform, Pattern::kClustered,
                           Pattern::kAlternating, Pattern::kEdges)));
+
+// Randomized round-trip property: encode -> decode must reproduce the input
+// exactly for seeded random vectors of random length and density, and the
+// compressed form must agree on Count(). Complements the parameterized
+// grid above with lengths and shapes the grid does not enumerate.
+TEST(WahRandomizedRoundTripTest, EncodeDecodeIsIdentity) {
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Lengths cluster around WAH group boundaries (multiples of 31) to
+    // stress partial-last-group handling, with a tail of larger sizes.
+    uint64_t bits = rng.Uniform(4 * 31 + 2);
+    if (trial % 5 == 0) bits = 31 * rng.Uniform(700);
+    const double density = rng.NextDouble();
+    BitVector v(bits);
+    for (uint64_t i = 0; i < bits; ++i) {
+      if (rng.NextDouble() < density) v.Set(i);
+    }
+    const WahBitVector w = WahBitVector::Compress(v);
+    ASSERT_EQ(w.size(), v.size()) << "trial " << trial << " bits " << bits;
+    ASSERT_EQ(w.Count(), v.Count()) << "trial " << trial << " bits " << bits;
+    ASSERT_TRUE(w.Decompress() == v)
+        << "trial " << trial << " bits " << bits << " density " << density;
+  }
+}
+
+// All-zero and all-one vectors are pure fills: they must round-trip and
+// collapse to O(1) words regardless of length.
+TEST(WahRandomizedRoundTripTest, AllZeroAndAllOneCollapseToFills) {
+  for (uint64_t bits : {1ull, 31ull, 32ull, 62ull, 1000ull, 500000ull}) {
+    BitVector zeros(bits);
+    BitVector ones(bits);
+    for (uint64_t i = 0; i < bits; ++i) ones.Set(i);
+
+    const WahBitVector wz = WahBitVector::Compress(zeros);
+    EXPECT_EQ(wz.Count(), 0u);
+    EXPECT_TRUE(wz.Decompress() == zeros) << "all-zero, bits " << bits;
+
+    const WahBitVector wo = WahBitVector::Compress(ones);
+    EXPECT_EQ(wo.Count(), bits);
+    EXPECT_TRUE(wo.Decompress() == ones) << "all-one, bits " << bits;
+
+    // A fill-dominated vector must not exceed a handful of code words.
+    if (bits >= 1000) {
+      EXPECT_LE(wz.CompressedBytes(), 16u);
+      EXPECT_LE(wo.CompressedBytes(), 16u);
+      EXPECT_GT(wz.CompressionRatio(), 1.0);
+    }
+  }
+}
+
+// Long homogeneous runs with randomized run lengths: alternating 0-runs and
+// 1-runs whose lengths can far exceed one 31-bit group, including runs long
+// enough to need multi-word fill counts.
+TEST(WahRandomizedRoundTripTest, LongRunsRoundTrip) {
+  Rng rng(0xBADF00D);
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint64_t bits = 1000 + rng.Uniform(200000);
+    BitVector v(bits);
+    uint64_t i = 0;
+    bool fill = (trial % 2) == 0;
+    while (i < bits) {
+      // Run lengths from 1 bit up to ~10 groups, occasionally huge.
+      uint64_t run = 1 + rng.Uniform(310);
+      if (rng.Uniform(10) == 0) run = 31 * (1 + rng.Uniform(3000));
+      const uint64_t end = std::min(bits, i + run);
+      if (fill) {
+        for (uint64_t j = i; j < end; ++j) v.Set(j);
+      }
+      fill = !fill;
+      i = end;
+    }
+    const WahBitVector w = WahBitVector::Compress(v);
+    ASSERT_EQ(w.Count(), v.Count()) << "trial " << trial;
+    ASSERT_TRUE(w.Decompress() == v) << "trial " << trial;
+  }
+}
 
 }  // namespace
 }  // namespace warlock::bitmap
