@@ -54,7 +54,7 @@ void BM_ScreeningOnly(benchmark::State& state) {
   auto frag = warlock::fragment::Fragmentation::FromNames(
       {{"Product", "Family"}, {"Time", "Month"}}, b.schema);
   for (auto _ : state) {
-    auto ec = advisor.EvaluateOne(*frag);
+    auto ec = advisor.FullyEvaluate(*frag);
     benchmark::DoNotOptimize(ec);
   }
 }

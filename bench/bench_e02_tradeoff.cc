@@ -59,7 +59,7 @@ std::vector<Point> EvaluateSet(const Apb1Bench& b) {
     auto frag =
         warlock::fragment::Fragmentation::FromNames(attrs, b.schema);
     if (!frag.ok()) continue;
-    auto ec = advisor.EvaluateOne(*frag);
+    auto ec = advisor.FullyEvaluate(*frag);
     if (!ec.ok()) continue;
     points.push_back({frag->Label(b.schema), ec->cost.io_work_ms,
                       ec->cost.response_ms, ec->num_fragments});
@@ -153,7 +153,7 @@ void BM_EvaluateCandidate(benchmark::State& state) {
   auto frag = warlock::fragment::Fragmentation::FromNames(
       {{"Time", "Month"}, {"Product", "Family"}}, b.schema);
   for (auto _ : state) {
-    auto ec = advisor.EvaluateOne(*frag);
+    auto ec = advisor.FullyEvaluate(*frag);
     benchmark::DoNotOptimize(ec);
   }
 }

@@ -43,7 +43,7 @@ void PrintExperiment() {
           warlock::fragment::Fragmentation::FromNames(attrs, b.schema);
       warlock::core::Advisor::Overrides ov;
       ov.num_disks = disks;
-      auto ec = advisor.EvaluateOne(*frag, ov);
+      auto ec = advisor.FullyEvaluate(*frag, ov);
       resp.push_back(ec.ok() ? ec->cost.response_ms : -1.0);
     }
     for (size_t i = 0; i < resp.size(); ++i) {
@@ -66,7 +66,7 @@ void BM_ResponseAtDisks(benchmark::State& state) {
   warlock::core::Advisor::Overrides ov;
   ov.num_disks = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     benchmark::DoNotOptimize(ec);
     if (ec.ok()) state.counters["resp_ms"] = ec->cost.response_ms;
   }

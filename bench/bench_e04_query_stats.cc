@@ -34,7 +34,7 @@ void PrintExperiment() {
   std::printf("%s\n", warlock::report::RenderOccupancy(best).c_str());
 
   auto empty = warlock::fragment::Fragmentation::Create({}, b.schema);
-  auto unfragmented = advisor.EvaluateOne(*empty);
+  auto unfragmented = advisor.FullyEvaluate(*empty);
   if (unfragmented.ok()) {
     Banner("E4", "per-query-class statistics: unfragmented baseline");
     std::printf("%s\n", warlock::report::RenderQueryStats(*unfragmented,
@@ -62,7 +62,7 @@ void BM_RenderQueryStats(benchmark::State& state) {
   const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
   auto frag = warlock::fragment::Fragmentation::FromNames(
       {{"Time", "Month"}, {"Product", "Family"}}, b.schema);
-  auto ec = advisor.EvaluateOne(*frag);
+  auto ec = advisor.FullyEvaluate(*frag);
   for (auto _ : state) {
     const std::string out =
         warlock::report::RenderQueryStats(*ec, b.mix, b.schema);

@@ -36,8 +36,8 @@ void PrintExperiment() {
     rr.allocation_scheme = warlock::alloc::AllocationScheme::kRoundRobin;
     warlock::core::Advisor::Overrides gr;
     gr.allocation_scheme = warlock::alloc::AllocationScheme::kGreedy;
-    auto rr_ec = advisor.EvaluateOne(*frag, rr);
-    auto gr_ec = advisor.EvaluateOne(*frag, gr);
+    auto rr_ec = advisor.FullyEvaluate(*frag, rr);
+    auto gr_ec = advisor.FullyEvaluate(*frag, gr);
     if (!rr_ec.ok() || !gr_ec.ok()) continue;
     table.BeginRow()
         .AddNumeric(warlock::FormatFixed(theta, 2))

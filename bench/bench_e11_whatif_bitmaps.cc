@@ -46,7 +46,7 @@ void PrintExperiment() {
   warlock::TextTable table({"Configuration", "Bitmap space", "Work/Q",
                             "Resp/Q", "Work penalty"});
   warlock::core::Advisor::Overrides ov;
-  auto base = advisor.EvaluateOne(*frag, ov);
+  auto base = advisor.FullyEvaluate(*frag, ov);
   if (!base.ok()) {
     std::fprintf(stderr, "evaluate: %s\n", base.status().ToString().c_str());
     return;
@@ -64,7 +64,7 @@ void PrintExperiment() {
         b.schema.dimension(dim).LevelIndex(attr.second).value();
     ov.excluded_bitmaps.push_back({static_cast<uint32_t>(dim),
                                    static_cast<uint32_t>(level)});
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     if (!ec.ok()) continue;
     table.BeginRow()
         .Add("+ " + label)
@@ -86,7 +86,7 @@ void BM_WhatIfReevaluation(benchmark::State& state) {
   warlock::core::Advisor::Overrides ov;
   ov.excluded_bitmaps = {{0, 5}, {0, 4}};
   for (auto _ : state) {
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     benchmark::DoNotOptimize(ec);
   }
 }

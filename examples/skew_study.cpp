@@ -53,10 +53,10 @@ int main() {
     // What would round-robin placement cost at this skew level?
     core::Advisor::Overrides rr;
     rr.allocation_scheme = alloc::AllocationScheme::kRoundRobin;
-    auto rr_ec = advisor.EvaluateOne(best.fragmentation, rr);
+    auto rr_ec = advisor.FullyEvaluate(best.fragmentation, rr);
     core::Advisor::Overrides gr;
     gr.allocation_scheme = alloc::AllocationScheme::kGreedy;
-    auto gr_ec = advisor.EvaluateOne(best.fragmentation, gr);
+    auto gr_ec = advisor.FullyEvaluate(best.fragmentation, gr);
     if (!rr_ec.ok() || !gr_ec.ok()) continue;
 
     table.BeginRow()

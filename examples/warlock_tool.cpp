@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/format.h"
+#include "common/thread_pool.h"
 #include "core/advisor.h"
 #include "core/config_text.h"
 #include "report/report.h"
@@ -82,9 +83,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   schema_or->fact().row_count()));
   std::printf("workload: %zu weighted query classes\n", mix_or->size());
-  std::printf("disks: %u x %s\n\n", config_or->cost.disks.num_disks,
+  std::printf("disks: %u x %s\n", config_or->cost.disks.num_disks,
               FormatBytes(config_or->cost.disks.disk_capacity_bytes)
                   .c_str());
+  std::printf("evaluation threads: %u%s\n\n",
+              common::ThreadPool::ResolveThreadCount(config_or->threads),
+              config_or->threads == 0 ? " (auto)" : "");
 
   const core::Advisor advisor(*schema_or, *mix_or, *config_or);
   auto result_or = advisor.Run();

@@ -59,7 +59,7 @@ int main() {
   TextTable table({"Scenario", "Work/Q", "Resp/Q", "Bitmap space",
                    "Balance", "Gf/Gb"});
 
-  auto base = advisor.EvaluateOne(*frag);
+  auto base = advisor.FullyEvaluate(*frag);
   if (!base.ok()) {
     std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
     return 1;
@@ -69,33 +69,33 @@ int main() {
   {
     core::Advisor::Overrides ov;
     ov.num_disks = 128;
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     if (ec.ok()) AddRow(table, "double the disks (128)", *ec);
   }
   {
     core::Advisor::Overrides ov;
     ov.num_disks = 16;
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     if (ec.ok()) AddRow(table, "shrink to 16 disks", *ec);
   }
   {
     core::Advisor::Overrides ov;
     ov.fact_granule = 1;
     ov.bitmap_granule = 1;
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     if (ec.ok()) AddRow(table, "no prefetching (granule 1/1)", *ec);
   }
   {
     core::Advisor::Overrides ov;
     ov.fact_granule = 128;
     ov.bitmap_granule = 16;
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     if (ec.ok()) AddRow(table, "aggressive prefetch (128/16)", *ec);
   }
   {
     core::Advisor::Overrides ov;
     ov.allocation_scheme = alloc::AllocationScheme::kGreedy;
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     if (ec.ok()) AddRow(table, "force greedy allocation", *ec);
   }
   {
@@ -108,7 +108,7 @@ int main() {
         {static_cast<uint32_t>(product), 4},   // Class
         {static_cast<uint32_t>(customer), 1},  // Store
     };
-    auto ec = advisor.EvaluateOne(*frag, ov);
+    auto ec = advisor.FullyEvaluate(*frag, ov);
     if (ec.ok()) AddRow(table, "drop Code/Class/Store bitmaps", *ec);
   }
 

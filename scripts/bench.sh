@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Timed perf harness: runs the advisor benchmark drivers (Google Benchmark)
+# with JSON output and optionally gates the result against the checked-in
+# baseline — the regression fence CI uses once hot-path work lands.
+#
+# Usage:
+#   scripts/bench.sh                       # build + run, writes BENCH_advisor.json
+#   OUT=/tmp/b.json scripts/bench.sh       # choose the output path
+#   BENCH_FILTER=Threads scripts/bench.sh  # --benchmark_filter passthrough
+#   CHECK_BASELINE=1 scripts/bench.sh      # also fail if any series is more
+#                                          # than BENCH_THRESHOLD (default 2.0)
+#                                          # times slower than
+#                                          # bench/BENCH_advisor_baseline.json
+#
+# Regenerate the baseline after an intentional perf-relevant change:
+#   OUT=bench/BENCH_advisor_baseline.json scripts/bench.sh
+# and review the diff alongside the code change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_advisor.json}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+DRIVER="bench_e13_parallel_advisor"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+if ! cmake --build "$BUILD_DIR" -j "$JOBS" --target "$DRIVER" >/dev/null; then
+  echo "error: cannot build $DRIVER (is Google Benchmark installed?)" >&2
+  exit 3
+fi
+
+BIN="$BUILD_DIR/bench/$DRIVER"
+ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json
+      --benchmark_format=json)
+if [[ -n "${BENCH_FILTER:-}" ]]; then
+  ARGS+=(--benchmark_filter="$BENCH_FILTER")
+fi
+
+# The drivers print their experiment notebook to stdout before the JSON;
+# keep the console readable and rely on --benchmark_out for the artifact.
+"$BIN" "${ARGS[@]}" >/dev/null
+echo "wrote $OUT"
+
+if [[ -n "${CHECK_BASELINE:-}" ]]; then
+  python3 scripts/bench_gate.py \
+    --baseline bench/BENCH_advisor_baseline.json \
+    --current "$OUT" \
+    --threshold "${BENCH_THRESHOLD:-2.0}"
+fi

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Coarse perf-regression gate over Google Benchmark JSON output.
+
+Compares every benchmark series present in both the checked-in baseline and
+the current run by real (wall-clock) time and fails when any series is more
+than --threshold times slower. The threshold is deliberately coarse: it
+catches accidental serialization of the advisor's parallel phases or an
+O(n) slip in the hot path, while staying insensitive to machine speed
+differences of CI runners within a factor of the threshold.
+
+Usage:
+  bench_gate.py --baseline bench/BENCH_advisor_baseline.json \
+                --current BENCH_advisor.json [--threshold 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_series(path):
+    with open(path) as f:
+        doc = json.load(f)
+    series = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        series[b["name"]] = float(b["real_time"])
+    return series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=2.0)
+    args = parser.parse_args()
+
+    baseline = load_series(args.baseline)
+    current = load_series(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("bench_gate: no common benchmark series between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        verdict = "FAIL" if ratio > args.threshold else "ok"
+        print(f"  {verdict:4} {name}: baseline {baseline[name]:.2f}, "
+              f"current {current[name]:.2f} ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failures.append(name)
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"bench_gate: series missing from current run: {missing}",
+              file=sys.stderr)
+        failures.extend(missing)
+
+    if failures:
+        print(f"bench_gate: {len(failures)} series regressed beyond "
+              f"{args.threshold}x: {failures}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: {len(shared)} series within {args.threshold}x "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace warlock::common {
+
+unsigned ThreadPool::ResolveThreadCount(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = ResolveThreadCount(num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    has_error_.store(false, std::memory_order_relaxed);
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t count = end - begin;
+  if (num_threads() == 1 || count == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Stack-local cursor is safe: Wait() below outlives every task, the same
+  // lifetime guarantee that lets the tasks capture fn by reference.
+  std::atomic<size_t> cursor{begin};
+  const size_t chunks = std::min<size_t>(num_threads(), count);
+  for (size_t c = 0; c < chunks; ++c) {
+    Submit([this, &cursor, end, &fn] {
+      size_t i;
+      while (!has_error_.load(std::memory_order_relaxed) &&
+             (i = cursor.fetch_add(1, std::memory_order_relaxed)) < end) {
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      RecordError(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RecordError(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_error_) {
+    first_error_ = std::move(error);
+    has_error_.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace warlock::common

@@ -1,0 +1,91 @@
+#ifndef WARLOCK_COMMON_THREAD_POOL_H_
+#define WARLOCK_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace warlock::common {
+
+/// A fixed-size worker pool for fan-out over read-only shared state — the
+/// execution engine behind the advisor's parallel candidate evaluation.
+///
+/// Design constraints (in order):
+///   1. Determinism: `ParallelFor` hands each index to exactly one worker
+///      and the caller writes results into pre-sized, per-index slots, so
+///      the outcome is independent of scheduling. The pool itself never
+///      reorders or merges results.
+///   2. Simplicity: a single locked queue, no work stealing. The advisor's
+///      tasks are hundreds of microseconds to milliseconds each, so queue
+///      contention is negligible.
+///
+/// Thread-safety: the pool expects ONE coordinating thread driving
+/// `Submit`/`Wait`/`ParallelFor` (the advisor's pattern). `pending_` and
+/// the error slot are pool-global, so two threads waiting concurrently
+/// would block on each other's tasks and could observe each other's
+/// exceptions. `ParallelFor` must not be called from inside a pool task
+/// (a worker waiting on its own pool deadlocks).
+class ThreadPool {
+ public:
+  /// Spawns `ResolveThreadCount(num_threads)` workers.
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers. Any exception a
+  /// still-running task threw is swallowed (call `Wait` first to observe
+  /// it).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task threw since the last `Wait` (remaining tasks
+  /// still run to completion; their exceptions after the first are
+  /// dropped).
+  void Wait();
+
+  /// Runs `fn(i)` for every `i` in `[begin, end)` across the pool and
+  /// blocks until all iterations are done. Iterations are claimed from an
+  /// atomic cursor, so each index runs exactly once; with one worker (or a
+  /// single-element range) the loop runs inline on the calling thread.
+  /// Rethrows the first exception thrown by `fn`; once an exception is
+  /// recorded, workers stop claiming further indices.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  /// `0` resolves to `std::thread::hardware_concurrency()` (at least 1);
+  /// any other value is returned unchanged.
+  static unsigned ResolveThreadCount(unsigned requested);
+
+ private:
+  void WorkerLoop();
+  void RecordError(std::exception_ptr error);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task ready / stop
+  std::condition_variable idle_cv_;  // signals Wait(): all tasks done
+  std::queue<std::function<void()>> queue_;
+  size_t pending_ = 0;  // queued + currently running tasks
+  std::exception_ptr first_error_;
+  std::atomic<bool> has_error_{false};
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace warlock::common
+
+#endif  // WARLOCK_COMMON_THREAD_POOL_H_

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
+#include <utility>
 
-#include "fragment/fragment_sizes.h"
+#include "common/thread_pool.h"
+#include "fragment/candidates.h"
 
 namespace warlock::core {
 
@@ -24,140 +27,149 @@ double BitmapStorageBytes(const fragment::FragmentSizes& sizes,
 
 Advisor::Advisor(const schema::StarSchema& schema,
                  const workload::QueryMix& mix, ToolConfig config)
-    : schema_(schema), mix_(mix), config_(std::move(config)) {}
+    : schema_(schema),
+      mix_(mix),
+      config_(std::move(config)),
+      base_scheme_(std::make_shared<const bitmap::BitmapScheme>(
+          bitmap::BitmapScheme::Select(schema_, config_.bitmap_options))) {}
+
+Result<Advisor::EvalContext> Advisor::BuildEvalContext(
+    const fragment::Fragmentation& fragmentation, const Overrides& overrides,
+    EvalMode mode) const {
+  EvalContext ctx;
+  ctx.params = config_.cost;
+  if (mode == EvalMode::kScreening) ctx.params.force_expected = true;
+  if (mode == EvalMode::kFull) ctx.params.force_expected = false;
+  if (overrides.num_disks.has_value()) {
+    ctx.params.disks.num_disks = *overrides.num_disks;
+  }
+  WARLOCK_RETURN_IF_ERROR(ctx.params.disks.Validate());
+
+  WARLOCK_ASSIGN_OR_RETURN(
+      ctx.sizes,
+      sizes_cache_.GetOrCompute(fragmentation, schema_, config_.fact_index,
+                                ctx.params.disks.page_size_bytes,
+                                config_.thresholds.max_fragments));
+
+  if (overrides.excluded_bitmaps.empty()) {
+    ctx.scheme = base_scheme_;
+  } else {
+    auto modified = std::make_shared<bitmap::BitmapScheme>(*base_scheme_);
+    for (const auto& [dim, level] : overrides.excluded_bitmaps) {
+      WARLOCK_RETURN_IF_ERROR(modified->Exclude(dim, level));
+    }
+    ctx.scheme = std::move(modified);
+  }
+
+  if (mode == EvalMode::kScreening) {
+    // Screening is placement-agnostic: the expected-value model never reads
+    // the allocation, so an empty one of the right width suffices.
+    ctx.allocation =
+        alloc::DiskAllocation(ctx.params.disks.num_disks, {}, {}, {}, {});
+    return ctx;
+  }
+
+  if (overrides.allocation_scheme.has_value()) {
+    ctx.alloc_scheme = *overrides.allocation_scheme;
+  } else {
+    switch (config_.allocation) {
+      case AllocationPolicy::kRoundRobin:
+        ctx.alloc_scheme = alloc::AllocationScheme::kRoundRobin;
+        break;
+      case AllocationPolicy::kGreedy:
+        ctx.alloc_scheme = alloc::AllocationScheme::kGreedy;
+        break;
+      case AllocationPolicy::kAuto:
+      default:
+        ctx.alloc_scheme =
+            alloc::ChooseScheme(*ctx.sizes, config_.skew_threshold);
+        break;
+    }
+  }
+  WARLOCK_ASSIGN_OR_RETURN(
+      ctx.allocation,
+      alloc::Allocate(ctx.alloc_scheme, *ctx.sizes, *ctx.scheme,
+                      ctx.params.disks.num_disks));
+  if (mode == EvalMode::kFull) {
+    WARLOCK_RETURN_IF_ERROR(
+        ctx.allocation.ValidateCapacity(ctx.params.disks.disk_capacity_bytes));
+  }
+
+  // Prefetch granule determination. Full evaluation optimizes granules per
+  // candidate under the auto policy; profiles sample at the configured (or
+  // overridden) granules.
+  if (mode == EvalMode::kFull) {
+    if (overrides.fact_granule.has_value() ||
+        overrides.bitmap_granule.has_value() ||
+        config_.prefetch == PrefetchPolicy::kFixed) {
+      if (overrides.fact_granule.has_value()) {
+        ctx.params.fact_granule = *overrides.fact_granule;
+      }
+      if (overrides.bitmap_granule.has_value()) {
+        ctx.params.bitmap_granule = *overrides.bitmap_granule;
+      }
+    } else {
+      const cost::PrefetchChoice choice = cost::OptimizePrefetch(
+          schema_, config_.fact_index, fragmentation, *ctx.sizes, *ctx.scheme,
+          ctx.allocation, mix_, ctx.params);
+      ctx.params.fact_granule = choice.fact_granule;
+      ctx.params.bitmap_granule = choice.bitmap_granule;
+    }
+  } else {
+    if (overrides.fact_granule.has_value()) {
+      ctx.params.fact_granule = *overrides.fact_granule;
+    }
+    if (overrides.bitmap_granule.has_value()) {
+      ctx.params.bitmap_granule = *overrides.bitmap_granule;
+    }
+  }
+  return ctx;
+}
 
 Result<EvaluatedCandidate> Advisor::FullyEvaluate(
     const fragment::Fragmentation& fragmentation,
     const Overrides& overrides) const {
-  cost::CostParameters params = config_.cost;
-  params.force_expected = false;
-  if (overrides.num_disks.has_value()) {
-    params.disks.num_disks = *overrides.num_disks;
-  }
-  WARLOCK_RETURN_IF_ERROR(params.disks.Validate());
+  WARLOCK_ASSIGN_OR_RETURN(
+      EvalContext ctx,
+      BuildEvalContext(fragmentation, overrides, EvalMode::kFull));
 
   EvaluatedCandidate ec;
   ec.fragmentation = fragmentation;
-
-  WARLOCK_ASSIGN_OR_RETURN(
-      fragment::FragmentSizes sizes,
-      fragment::FragmentSizes::Compute(fragmentation, schema_,
-                                       config_.fact_index,
-                                       params.disks.page_size_bytes,
-                                       config_.thresholds.max_fragments));
-  ec.num_fragments = sizes.num_fragments();
-  ec.total_pages = sizes.TotalPages();
-  ec.avg_fragment_pages = sizes.AvgPages();
-  ec.size_skew_factor = sizes.SkewFactor();
-
-  bitmap::BitmapScheme scheme =
-      bitmap::BitmapScheme::Select(schema_, config_.bitmap_options);
-  for (const auto& [dim, level] : overrides.excluded_bitmaps) {
-    WARLOCK_RETURN_IF_ERROR(scheme.Exclude(dim, level));
-  }
-  ec.bitmap_storage_bytes = BitmapStorageBytes(sizes, scheme);
-
-  alloc::AllocationScheme alloc_scheme;
-  if (overrides.allocation_scheme.has_value()) {
-    alloc_scheme = *overrides.allocation_scheme;
-  } else {
-    switch (config_.allocation) {
-      case AllocationPolicy::kRoundRobin:
-        alloc_scheme = alloc::AllocationScheme::kRoundRobin;
-        break;
-      case AllocationPolicy::kGreedy:
-        alloc_scheme = alloc::AllocationScheme::kGreedy;
-        break;
-      case AllocationPolicy::kAuto:
-      default:
-        alloc_scheme = alloc::ChooseScheme(sizes, config_.skew_threshold);
-        break;
-    }
-  }
-  ec.allocation_scheme = alloc_scheme;
-  WARLOCK_ASSIGN_OR_RETURN(
-      alloc::DiskAllocation allocation,
-      alloc::Allocate(alloc_scheme, sizes, scheme, params.disks.num_disks));
-  ec.allocation_balance = allocation.BalanceRatio();
-  ec.disk_bytes = allocation.disk_bytes();
-  WARLOCK_RETURN_IF_ERROR(
-      allocation.ValidateCapacity(params.disks.disk_capacity_bytes));
-
-  // Prefetch granule determination.
-  if (overrides.fact_granule.has_value() ||
-      overrides.bitmap_granule.has_value() ||
-      config_.prefetch == PrefetchPolicy::kFixed) {
-    if (overrides.fact_granule.has_value()) {
-      params.fact_granule = *overrides.fact_granule;
-    }
-    if (overrides.bitmap_granule.has_value()) {
-      params.bitmap_granule = *overrides.bitmap_granule;
-    }
-  } else {
-    const cost::PrefetchChoice choice = cost::OptimizePrefetch(
-        schema_, config_.fact_index, fragmentation, sizes, scheme,
-        allocation, mix_, params);
-    params.fact_granule = choice.fact_granule;
-    params.bitmap_granule = choice.bitmap_granule;
-  }
-  ec.fact_granule = params.fact_granule;
-  ec.bitmap_granule = params.bitmap_granule;
+  ec.num_fragments = ctx.sizes->num_fragments();
+  ec.total_pages = ctx.sizes->TotalPages();
+  ec.avg_fragment_pages = ctx.sizes->AvgPages();
+  ec.size_skew_factor = ctx.sizes->SkewFactor();
+  ec.bitmap_storage_bytes = BitmapStorageBytes(*ctx.sizes, *ctx.scheme);
+  ec.allocation_scheme = ctx.alloc_scheme;
+  ec.allocation_balance = ctx.allocation.BalanceRatio();
+  ec.disk_bytes = ctx.allocation.disk_bytes();
+  ec.fact_granule = ctx.params.fact_granule;
+  ec.bitmap_granule = ctx.params.bitmap_granule;
 
   const cost::QueryCostModel model(schema_, config_.fact_index,
-                                   fragmentation, sizes, scheme, allocation,
-                                   params);
-  ec.cost = cost::CostMix(model, mix_, params.seed);
+                                   fragmentation, *ctx.sizes, *ctx.scheme,
+                                   ctx.allocation, ctx.params);
+  ec.cost = cost::CostMix(model, mix_, ctx.params.seed);
   ec.fully_evaluated = true;
   return ec;
-}
-
-Result<EvaluatedCandidate> Advisor::EvaluateOne(
-    const fragment::Fragmentation& fragmentation,
-    const Overrides& overrides) const {
-  return FullyEvaluate(fragmentation, overrides);
 }
 
 Result<std::vector<double>> Advisor::DiskAccessProfile(
     const fragment::Fragmentation& fragmentation,
     const workload::QueryClass& qc, const Overrides& overrides) const {
-  cost::CostParameters params = config_.cost;
-  if (overrides.num_disks.has_value()) {
-    params.disks.num_disks = *overrides.num_disks;
-  }
-  if (overrides.fact_granule.has_value()) {
-    params.fact_granule = *overrides.fact_granule;
-  }
-  if (overrides.bitmap_granule.has_value()) {
-    params.bitmap_granule = *overrides.bitmap_granule;
-  }
-  WARLOCK_RETURN_IF_ERROR(params.disks.Validate());
   WARLOCK_ASSIGN_OR_RETURN(
-      fragment::FragmentSizes sizes,
-      fragment::FragmentSizes::Compute(fragmentation, schema_,
-                                       config_.fact_index,
-                                       params.disks.page_size_bytes,
-                                       config_.thresholds.max_fragments));
-  bitmap::BitmapScheme scheme =
-      bitmap::BitmapScheme::Select(schema_, config_.bitmap_options);
-  for (const auto& [dim, level] : overrides.excluded_bitmaps) {
-    WARLOCK_RETURN_IF_ERROR(scheme.Exclude(dim, level));
-  }
-  const alloc::AllocationScheme alloc_scheme =
-      overrides.allocation_scheme.value_or(
-          alloc::ChooseScheme(sizes, config_.skew_threshold));
-  WARLOCK_ASSIGN_OR_RETURN(
-      alloc::DiskAllocation allocation,
-      alloc::Allocate(alloc_scheme, sizes, scheme, params.disks.num_disks));
+      EvalContext ctx,
+      BuildEvalContext(fragmentation, overrides, EvalMode::kProfile));
   const cost::QueryCostModel model(schema_, config_.fact_index,
-                                   fragmentation, sizes, scheme, allocation,
-                                   params);
+                                   fragmentation, *ctx.sizes, *ctx.scheme,
+                                   ctx.allocation, ctx.params);
 
-  std::vector<double> profile(params.disks.num_disks, 0.0);
-  Rng rng(params.seed ^ 0xD15CACCE55ULL);
-  const uint32_t samples = std::max<uint32_t>(1, params.samples_per_class);
+  std::vector<double> profile(ctx.params.disks.num_disks, 0.0);
+  Rng rng(ctx.params.seed ^ 0xD15CACCE55ULL);
+  const uint32_t samples = std::max<uint32_t>(1, ctx.params.samples_per_class);
   for (uint32_t s = 0; s < samples; ++s) {
-    const workload::ConcreteQuery cq =
-        workload::Instantiate(qc, schema_, rng, params.value_distribution);
+    const workload::ConcreteQuery cq = workload::Instantiate(
+        qc, schema_, rng, ctx.params.value_distribution);
     const std::vector<double> one = model.DiskProfile(cq);
     for (size_t d = 0; d < profile.size(); ++d) {
       profile[d] += one[d] / static_cast<double>(samples);
@@ -176,49 +188,50 @@ Result<AdvisorResult> Advisor::Run() const {
 
   AdvisorResult result;
   result.enumerated = raw.size();
-  result.candidates.reserve(raw.size());
+  result.candidates.resize(raw.size());
+
+  common::ThreadPool pool(config_.threads);
+  const Overrides no_overrides;
 
   // Phase 1: screening with the expected-value model (allocation-agnostic,
-  // cheap enough for the whole space).
-  cost::CostParameters screen_params = config_.cost;
-  screen_params.force_expected = true;
-  const alloc::DiskAllocation dummy_alloc(
-      screen_params.disks.num_disks, {}, {}, {}, {});
-  const bitmap::BitmapScheme scheme =
-      bitmap::BitmapScheme::Select(schema_, config_.bitmap_options);
-
-  std::vector<size_t> included;
-  for (fragment::Candidate& cand : raw) {
-    EvaluatedCandidate ec;
-    ec.fragmentation = cand.fragmentation;
+  // cheap enough for the whole space). Candidates are independent and
+  // read-only over the shared state, so they fan out over the pool; slot i
+  // belongs exclusively to candidate i, keeping the outcome bit-identical
+  // to a serial walk regardless of scheduling.
+  pool.ParallelFor(0, raw.size(), [&](size_t i) {
+    fragment::Candidate& cand = raw[i];
+    EvaluatedCandidate& ec = result.candidates[i];
+    ec.fragmentation = std::move(cand.fragmentation);
     ec.excluded = cand.excluded;
     ec.exclusion_reason = std::move(cand.exclusion_reason);
-    if (!ec.excluded) {
-      auto sizes_or = fragment::FragmentSizes::Compute(
-          ec.fragmentation, schema_, config_.fact_index,
-          screen_params.disks.page_size_bytes,
-          config_.thresholds.max_fragments);
-      if (!sizes_or.ok()) {
-        ec.excluded = true;
-        ec.exclusion_reason = sizes_or.status().message();
-      } else {
-        const fragment::FragmentSizes& sizes = *sizes_or;
-        ec.num_fragments = sizes.num_fragments();
-        ec.total_pages = sizes.TotalPages();
-        ec.avg_fragment_pages = sizes.AvgPages();
-        ec.size_skew_factor = sizes.SkewFactor();
-        ec.bitmap_storage_bytes = BitmapStorageBytes(sizes, scheme);
-        const cost::QueryCostModel model(schema_, config_.fact_index,
-                                         ec.fragmentation, sizes, scheme,
-                                         dummy_alloc, screen_params);
-        const cost::MixCost mc = cost::CostMix(model, mix_,
-                                               screen_params.seed);
-        ec.screening_io_work_ms = mc.io_work_ms;
-        included.push_back(result.candidates.size());
-      }
+    if (ec.excluded) return;
+    auto ctx_or =
+        BuildEvalContext(ec.fragmentation, no_overrides, EvalMode::kScreening);
+    if (!ctx_or.ok()) {
+      ec.excluded = true;
+      ec.exclusion_reason = ctx_or.status().message();
+      return;
     }
-    if (ec.excluded) ++result.excluded;
-    result.candidates.push_back(std::move(ec));
+    const EvalContext& ctx = *ctx_or;
+    ec.num_fragments = ctx.sizes->num_fragments();
+    ec.total_pages = ctx.sizes->TotalPages();
+    ec.avg_fragment_pages = ctx.sizes->AvgPages();
+    ec.size_skew_factor = ctx.sizes->SkewFactor();
+    ec.bitmap_storage_bytes = BitmapStorageBytes(*ctx.sizes, *ctx.scheme);
+    const cost::QueryCostModel model(schema_, config_.fact_index,
+                                     ec.fragmentation, *ctx.sizes,
+                                     *ctx.scheme, ctx.allocation, ctx.params);
+    const cost::MixCost mc = cost::CostMix(model, mix_, ctx.params.seed);
+    ec.screening_io_work_ms = mc.io_work_ms;
+  });
+
+  std::vector<size_t> included;
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    if (result.candidates[i].excluded) {
+      ++result.excluded;
+    } else {
+      included.push_back(i);
+    }
   }
   result.screened = included.size();
 
@@ -236,20 +249,30 @@ Result<AdvisorResult> Advisor::Run() const {
                                        included.size()));
   leading = std::min(leading, included.size());
 
-  for (size_t i = 0; i < leading; ++i) {
+  // Per-candidate RNG streams fork from the config seed, so full
+  // evaluations are order-independent too; each task owns its slot.
+  std::vector<unsigned char> full_ok(leading, 0);
+  pool.ParallelFor(0, leading, [&](size_t i) {
     const size_t ci = included[i];
-    auto full_or = FullyEvaluate(result.candidates[ci].fragmentation, {});
+    EvaluatedCandidate& slot = result.candidates[ci];
+    auto full_or = FullyEvaluate(slot.fragmentation, no_overrides);
     if (!full_or.ok()) {
       // E.g. capacity violation at this disk count: record as excluded.
-      result.candidates[ci].excluded = true;
-      result.candidates[ci].exclusion_reason = full_or.status().message();
-      ++result.excluded;
-      continue;
+      slot.excluded = true;
+      slot.exclusion_reason = full_or.status().message();
+      return;
     }
     EvaluatedCandidate full = std::move(full_or).value();
-    full.screening_io_work_ms = result.candidates[ci].screening_io_work_ms;
-    result.candidates[ci] = std::move(full);
-    ++result.fully_evaluated;
+    full.screening_io_work_ms = slot.screening_io_work_ms;
+    slot = std::move(full);
+    full_ok[i] = 1;
+  });
+  for (size_t i = 0; i < leading; ++i) {
+    if (full_ok[i]) {
+      ++result.fully_evaluated;
+    } else {
+      ++result.excluded;
+    }
   }
 
   // Final ranking: response time over the fully evaluated set.

@@ -2,6 +2,7 @@
 #define WARLOCK_CORE_ADVISOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/tool_config.h"
 #include "cost/mix_cost.h"
 #include "cost/prefetch.h"
+#include "fragment/fragment_sizes.h"
 #include "schema/star_schema.h"
 #include "workload/query_mix.h"
 
@@ -74,6 +76,13 @@ struct AdvisorResult {
 /// schemes, threshold exclusion, twofold cost ranking, and physical
 /// allocation — the automated path from DBA input to a recommended disk
 /// allocation.
+///
+/// `Run` fans both evaluation phases out over a `common::ThreadPool` sized
+/// by `ToolConfig::threads`. Every candidate evaluation reads only shared
+/// immutable state (schema, mix, the advisor-wide bitmap scheme, memoized
+/// fragment sizes) and writes into its own pre-sized result slot, so the
+/// ranking is bit-identical for every thread count. All public methods are
+/// const and safe to call concurrently.
 class Advisor {
  public:
   /// `schema` and `mix` must outlive the advisor.
@@ -83,9 +92,8 @@ class Advisor {
   /// Runs the full pipeline.
   Result<AdvisorResult> Run() const;
 
-  /// Evaluates a single fragmentation with the full (phase-2) model —
-  /// the building block of interactive what-if tuning. `overrides` fields
-  /// that are set replace the corresponding config values.
+  /// Per-evaluation replacements for config values, the building block of
+  /// interactive what-if tuning: fields that are set win over the config.
   struct Overrides {
     std::optional<uint32_t> num_disks;
     std::optional<uint64_t> fact_granule;
@@ -94,7 +102,10 @@ class Advisor {
     /// Bitmap indexes to drop, e.g. to limit space requirements.
     std::vector<std::pair<uint32_t, uint32_t>> excluded_bitmaps;
   };
-  Result<EvaluatedCandidate> EvaluateOne(
+
+  /// Evaluates a single fragmentation with the full (phase-2)
+  /// allocation-aware model.
+  Result<EvaluatedCandidate> FullyEvaluate(
       const fragment::Fragmentation& fragmentation,
       const Overrides& overrides = {}) const;
 
@@ -109,14 +120,40 @@ class Advisor {
   const ToolConfig& config() const { return config_; }
 
  private:
-  // Shared phase-2 evaluation; fills everything but the screening figure.
-  Result<EvaluatedCandidate> FullyEvaluate(
+  // How BuildEvalContext shapes the shared state for its caller.
+  enum class EvalMode {
+    kScreening,  // expected-value model, placement-agnostic dummy allocation
+    kFull,       // allocation-aware, capacity-checked, prefetch-optimized
+    kProfile,    // allocation-aware, per-query sampling (no capacity check)
+  };
+
+  // Everything a cost-model construction needs, assembled once per
+  // evaluation: effective parameters, memoized fragment sizes, the bitmap
+  // scheme (the advisor-wide one unless overrides exclude indexes), and the
+  // disk allocation. Sizes and scheme are shared immutable snapshots so
+  // concurrent evaluations never copy or mutate them.
+  struct EvalContext {
+    cost::CostParameters params;
+    std::shared_ptr<const fragment::FragmentSizes> sizes;
+    std::shared_ptr<const bitmap::BitmapScheme> scheme;
+    alloc::AllocationScheme alloc_scheme = alloc::AllocationScheme::kRoundRobin;
+    alloc::DiskAllocation allocation{0, {}, {}, {}, {}};
+  };
+  Result<EvalContext> BuildEvalContext(
       const fragment::Fragmentation& fragmentation,
-      const Overrides& overrides) const;
+      const Overrides& overrides, EvalMode mode) const;
 
   const schema::StarSchema& schema_;
   const workload::QueryMix& mix_;
   ToolConfig config_;
+
+  // Advisor-wide bitmap scheme: Select() depends only on schema and
+  // options, so it is computed once and shared by every evaluation.
+  std::shared_ptr<const bitmap::BitmapScheme> base_scheme_;
+
+  // Memo of per-candidate fragment sizes (screening derives them, full
+  // evaluation and what-if calls reuse them). Internally synchronized.
+  mutable fragment::FragmentSizesCache sizes_cache_;
 };
 
 }  // namespace warlock::core

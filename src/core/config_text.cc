@@ -111,6 +111,12 @@ Result<ToolConfig> ToolConfigFromText(std::string_view text) {
       config.cost.samples_per_class = static_cast<uint32_t>(v);
     } else if (key == "seed") {
       config.cost.seed = static_cast<uint64_t>(v);
+    } else if (key == "threads") {
+      if (v < 0) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": threads must be >= 0");
+      }
+      config.threads = static_cast<uint32_t>(v);
     } else {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": unknown key '" + key + "'");
@@ -153,6 +159,7 @@ std::string ToolConfigToText(const ToolConfig& config) {
   os << "allocation " << alloc << "\n";
   os << "samples_per_class " << config.cost.samples_per_class << "\n";
   os << "seed " << config.cost.seed << "\n";
+  os << "threads " << config.threads << "\n";
   return os.str();
 }
 

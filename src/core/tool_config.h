@@ -63,6 +63,11 @@ struct ToolConfig {
   /// Skew threshold for AllocationPolicy::kAuto (size-skew factor above
   /// which greedy replaces round-robin).
   double skew_threshold = 1.25;
+
+  /// Worker threads for the advisor's candidate-evaluation fan-out
+  /// (0 = one per hardware thread). Results are bit-identical for every
+  /// thread count; this knob only trades wall-clock for cores.
+  uint32_t threads = 0;
 };
 
 }  // namespace warlock::core

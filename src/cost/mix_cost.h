@@ -26,7 +26,9 @@ struct MixCost {
 };
 
 /// Evaluates the whole mix against `model`. Deterministic for a fixed
-/// `seed`: every class gets an independent, stable sampling stream.
+/// `seed`: every class gets an independent, stable sampling stream. Safe to
+/// call concurrently from the advisor's evaluation workers — the RNG state
+/// lives entirely on this call's stack.
 MixCost CostMix(const QueryCostModel& model, const workload::QueryMix& mix,
                 uint64_t seed);
 

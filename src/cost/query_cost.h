@@ -88,6 +88,14 @@ struct IoOp {
 
 /// Evaluates predicted I/O costs of star queries against one fragmentation
 /// candidate with its bitmap scheme and disk allocation.
+///
+/// Thread-safety: the model is immutable after construction — every method
+/// is const, there is no mutable or static state, and all randomness flows
+/// through caller-owned `Rng` streams. Distinct threads may therefore share
+/// one model (or build models over shared sizes/scheme/allocation
+/// snapshots) without synchronization, which is what the advisor's
+/// thread-pool fan-out relies on. Keep it that way: no caches or counters
+/// inside the model without revisiting the advisor's parallel phases.
 class QueryCostModel {
  public:
   /// All referenced objects must outlive the model.

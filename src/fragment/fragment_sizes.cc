@@ -87,4 +87,46 @@ double FragmentSizes::SkewFactor() const {
   return avg > 0.0 ? mx / avg : 1.0;
 }
 
+Result<std::shared_ptr<const FragmentSizes>> FragmentSizesCache::GetOrCompute(
+    const Fragmentation& fragmentation, const schema::StarSchema& schema,
+    size_t fact_index, uint32_t page_size, uint64_t max_fragments) {
+  Key key;
+  key.reserve(4 + 2 * fragmentation.attrs().size());
+  // The schema's identity is part of the key: the same attrs over a
+  // different schema (weights, row counts) yield different sizes, and the
+  // signature invites passing varying schemas to one cache.
+  key.push_back(reinterpret_cast<uintptr_t>(&schema));
+  key.push_back(fact_index);
+  key.push_back(page_size);
+  key.push_back(max_fragments);
+  for (const FragAttr& attr : fragmentation.attrs()) {
+    key.push_back(attr.dim);
+    key.push_back(attr.level);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+
+  // Compute outside the lock so concurrent misses on distinct candidates
+  // proceed in parallel (the screening fan-out's common case).
+  WARLOCK_ASSIGN_OR_RETURN(
+      FragmentSizes sizes,
+      FragmentSizes::Compute(fragmentation, schema, fact_index, page_size,
+                             max_fragments));
+  auto snapshot = std::make_shared<const FragmentSizes>(std::move(sizes));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(std::move(key), std::move(snapshot));
+  (void)inserted;  // a racing insert won; hand out the surviving snapshot
+  return it->second;
+}
+
+size_t FragmentSizesCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
 }  // namespace warlock::fragment

@@ -2,6 +2,9 @@
 #define WARLOCK_FRAGMENT_FRAGMENT_SIZES_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -75,6 +78,36 @@ class FragmentSizes {
   uint64_t rows_per_page_;
   uint32_t page_size_;
   double total_rows_;
+};
+
+/// Thread-safe memo of `FragmentSizes::Compute` results keyed by
+/// fragmentation (plus the compute inputs that could vary between calls).
+/// The advisor's screening phase derives every candidate's sizes once; the
+/// full-evaluation phase and interactive what-if calls then reuse them
+/// instead of recomputing the per-fragment weight products.
+///
+/// Entries are shared immutable snapshots (`shared_ptr<const>`), so hits are
+/// safe to hand to concurrent cost-model constructions. Failed computations
+/// are not cached (callers exclude those candidates before re-asking).
+class FragmentSizesCache {
+ public:
+  /// Returns the cached sizes for the key, computing and inserting on miss.
+  /// Concurrent misses on the same key may compute twice; the first insert
+  /// wins and both callers observe the same snapshot. The schema's address
+  /// participates in the key, so every schema passed here must stay alive
+  /// (and unmodified) for the cache's lifetime.
+  Result<std::shared_ptr<const FragmentSizes>> GetOrCompute(
+      const Fragmentation& fragmentation, const schema::StarSchema& schema,
+      size_t fact_index, uint32_t page_size, uint64_t max_fragments);
+
+  /// Entries currently memoized (test/introspection hook).
+  size_t size() const;
+
+ private:
+  using Key = std::vector<uint64_t>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const FragmentSizes>> cache_;
 };
 
 }  // namespace warlock::fragment

@@ -1,0 +1,124 @@
+// Parallel-evaluation determinism: the advisor's thread-pool fan-out must
+// be invisible in the results. `Run()` with 1 worker and with 8 workers has
+// to produce identical rankings, costs, and bookkeeping on the checked-in
+// APB-1 fixtures (per-candidate RNG streams fork from the config seed, and
+// every candidate writes its own pre-sized slot).
+//
+// Fixtures live in tests/testdata/ (the CTest working directory is tests/).
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/config_text.h"
+#include "schema/schema_text.h"
+#include "workload/workload_text.h"
+
+namespace warlock {
+namespace {
+
+constexpr char kSchemaPath[] = "testdata/apb1_tiny.schema";
+constexpr char kWorkloadPath[] = "testdata/apb1_tiny.workload";
+constexpr char kConfigPath[] = "testdata/apb1_tiny.config";
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path
+                        << " (tests must run with tests/ as cwd)";
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+struct Fixture {
+  schema::StarSchema schema;
+  workload::QueryMix mix;
+  core::ToolConfig config;
+};
+
+Fixture LoadFixture() {
+  auto schema_or = schema::SchemaFromText(ReadFileOrDie(kSchemaPath));
+  EXPECT_TRUE(schema_or.ok()) << schema_or.status().ToString();
+  auto mix_or =
+      workload::QueryMixFromText(ReadFileOrDie(kWorkloadPath), *schema_or);
+  EXPECT_TRUE(mix_or.ok()) << mix_or.status().ToString();
+  auto config_or = core::ToolConfigFromText(ReadFileOrDie(kConfigPath));
+  EXPECT_TRUE(config_or.ok()) << config_or.status().ToString();
+  return Fixture{std::move(schema_or).value(), std::move(mix_or).value(),
+                 std::move(config_or).value()};
+}
+
+core::AdvisorResult RunWithThreads(const Fixture& fx, uint32_t threads) {
+  core::ToolConfig config = fx.config;
+  config.threads = threads;
+  const core::Advisor advisor(fx.schema, fx.mix, config);
+  auto result = advisor.Run();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// Every figure the analysis layer consumes, not just the ranking order.
+void ExpectIdentical(const core::AdvisorResult& a,
+                     const core::AdvisorResult& b) {
+  EXPECT_EQ(a.enumerated, b.enumerated);
+  EXPECT_EQ(a.excluded, b.excluded);
+  EXPECT_EQ(a.screened, b.screened);
+  EXPECT_EQ(a.fully_evaluated, b.fully_evaluated);
+  EXPECT_EQ(a.ranking, b.ranking);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    const core::EvaluatedCandidate& ca = a.candidates[i];
+    const core::EvaluatedCandidate& cb = b.candidates[i];
+    EXPECT_EQ(ca.fragmentation, cb.fragmentation) << "candidate " << i;
+    EXPECT_EQ(ca.excluded, cb.excluded) << "candidate " << i;
+    EXPECT_EQ(ca.exclusion_reason, cb.exclusion_reason) << "candidate " << i;
+    EXPECT_EQ(ca.fully_evaluated, cb.fully_evaluated) << "candidate " << i;
+    EXPECT_EQ(ca.num_fragments, cb.num_fragments) << "candidate " << i;
+    EXPECT_EQ(ca.total_pages, cb.total_pages) << "candidate " << i;
+    EXPECT_EQ(ca.allocation_scheme, cb.allocation_scheme) << "candidate " << i;
+    EXPECT_EQ(ca.fact_granule, cb.fact_granule) << "candidate " << i;
+    EXPECT_EQ(ca.bitmap_granule, cb.bitmap_granule) << "candidate " << i;
+    EXPECT_EQ(ca.disk_bytes, cb.disk_bytes) << "candidate " << i;
+    // Bit-identical, not approximately equal: the parallel run must charge
+    // exactly the serial run's arithmetic.
+    EXPECT_EQ(ca.screening_io_work_ms, cb.screening_io_work_ms)
+        << "candidate " << i;
+    EXPECT_EQ(ca.bitmap_storage_bytes, cb.bitmap_storage_bytes)
+        << "candidate " << i;
+    EXPECT_EQ(ca.allocation_balance, cb.allocation_balance)
+        << "candidate " << i;
+    EXPECT_EQ(ca.cost.io_work_ms, cb.cost.io_work_ms) << "candidate " << i;
+    EXPECT_EQ(ca.cost.response_ms, cb.cost.response_ms) << "candidate " << i;
+    EXPECT_EQ(ca.cost.total_ios, cb.cost.total_ios) << "candidate " << i;
+    EXPECT_EQ(ca.cost.total_pages, cb.cost.total_pages)
+        << "candidate " << i;
+  }
+}
+
+TEST(AdvisorParallelTest, OneAndEightThreadsBitIdentical) {
+  const Fixture fx = LoadFixture();
+  const core::AdvisorResult serial = RunWithThreads(fx, 1);
+  const core::AdvisorResult parallel = RunWithThreads(fx, 8);
+  ASSERT_FALSE(serial.ranking.empty());
+  ExpectIdentical(serial, parallel);
+}
+
+TEST(AdvisorParallelTest, OddThreadCountsBitIdentical) {
+  const Fixture fx = LoadFixture();
+  const core::AdvisorResult serial = RunWithThreads(fx, 1);
+  // Worker counts that do not divide the candidate count evenly, plus
+  // more workers than phase-2 candidates.
+  for (uint32_t threads : {2u, 3u, 5u, 16u}) {
+    ExpectIdentical(serial, RunWithThreads(fx, threads));
+  }
+}
+
+TEST(AdvisorParallelTest, AutoThreadsBitIdenticalToSerial) {
+  const Fixture fx = LoadFixture();
+  ExpectIdentical(RunWithThreads(fx, 1), RunWithThreads(fx, 0));
+}
+
+}  // namespace
+}  // namespace warlock

@@ -145,7 +145,7 @@ TEST(AdvisorTest, AutoAllocationPicksGreedyUnderSkew) {
   auto frag = fragment::Fragmentation::FromNames(
       {{"Product", "Group"}, {"Time", "Month"}}, fx.schema);
   ASSERT_TRUE(frag.ok());
-  auto ec = advisor.EvaluateOne(*frag);
+  auto ec = advisor.FullyEvaluate(*frag);
   ASSERT_TRUE(ec.ok()) << ec.status().ToString();
   EXPECT_EQ(ec->allocation_scheme, alloc::AllocationScheme::kGreedy);
   EXPECT_GT(ec->size_skew_factor, 1.25);
@@ -154,17 +154,17 @@ TEST(AdvisorTest, AutoAllocationPicksGreedyUnderSkew) {
   // Round-robin on the same fragmentation is visibly worse.
   Advisor::Overrides rr;
   rr.allocation_scheme = alloc::AllocationScheme::kRoundRobin;
-  auto rr_ec = advisor.EvaluateOne(*frag, rr);
+  auto rr_ec = advisor.FullyEvaluate(*frag, rr);
   ASSERT_TRUE(rr_ec.ok());
   EXPECT_GT(rr_ec->allocation_balance, ec->allocation_balance);
 }
 
-TEST(AdvisorTest, EvaluateOneUniformPicksRoundRobin) {
+TEST(AdvisorTest, FullyEvaluateUniformPicksRoundRobin) {
   const Fixture fx = MakeFixture(0.0);
   const Advisor advisor(fx.schema, fx.mix, fx.config);
   auto frag =
       fragment::Fragmentation::FromNames({{"Time", "Month"}}, fx.schema);
-  auto ec = advisor.EvaluateOne(*frag);
+  auto ec = advisor.FullyEvaluate(*frag);
   ASSERT_TRUE(ec.ok());
   EXPECT_EQ(ec->allocation_scheme, alloc::AllocationScheme::kRoundRobin);
   EXPECT_TRUE(ec->fully_evaluated);
@@ -181,8 +181,8 @@ TEST(AdvisorTest, OverridesApply) {
 
   Advisor::Overrides more_disks;
   more_disks.num_disks = 32;
-  auto wide = advisor.EvaluateOne(*frag, more_disks);
-  auto base = advisor.EvaluateOne(*frag);
+  auto wide = advisor.FullyEvaluate(*frag, more_disks);
+  auto base = advisor.FullyEvaluate(*frag);
   ASSERT_TRUE(wide.ok());
   ASSERT_TRUE(base.ok());
   // More disks: response improves (or stays equal), work unchanged apart
@@ -193,14 +193,14 @@ TEST(AdvisorTest, OverridesApply) {
   Advisor::Overrides granule;
   granule.fact_granule = 4;
   granule.bitmap_granule = 1;
-  auto g = advisor.EvaluateOne(*frag, granule);
+  auto g = advisor.FullyEvaluate(*frag, granule);
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->fact_granule, 4u);
   EXPECT_EQ(g->bitmap_granule, 1u);
 
   Advisor::Overrides alloc_override;
   alloc_override.allocation_scheme = alloc::AllocationScheme::kGreedy;
-  auto a = advisor.EvaluateOne(*frag, alloc_override);
+  auto a = advisor.FullyEvaluate(*frag, alloc_override);
   ASSERT_TRUE(a.ok());
   EXPECT_EQ(a->allocation_scheme, alloc::AllocationScheme::kGreedy);
 }
@@ -210,10 +210,10 @@ TEST(AdvisorTest, ExcludingBitmapRaisesCostForFineQuery) {
   const Advisor advisor(fx.schema, fx.mix, fx.config);
   auto frag =
       fragment::Fragmentation::FromNames({{"Time", "Month"}}, fx.schema);
-  auto base = advisor.EvaluateOne(*frag);
+  auto base = advisor.FullyEvaluate(*frag);
   Advisor::Overrides no_code_index;
   no_code_index.excluded_bitmaps = {{1, 1}};  // Product.Code
-  auto stripped = advisor.EvaluateOne(*frag, no_code_index);
+  auto stripped = advisor.FullyEvaluate(*frag, no_code_index);
   ASSERT_TRUE(base.ok());
   ASSERT_TRUE(stripped.ok());
   // Space shrinks, I/O work grows (MonthCode degrades to scans).
@@ -232,6 +232,44 @@ TEST(AdvisorTest, DiskAccessProfile) {
   double total = 0.0;
   for (double ms : *profile) total += ms;
   EXPECT_GT(total, 0.0);
+}
+
+// DiskAccessProfile must honor config_.allocation like FullyEvaluate does
+// (it used to ignore the policy and always fall back to ChooseScheme, so
+// profiles could show a different placement than the evaluation reported).
+TEST(AdvisorTest, DiskAccessProfileRespectsAllocationPolicy) {
+  // Skewed data: the auto policy would pick greedy, so forcing round-robin
+  // in the config distinguishes "policy honored" from "ChooseScheme
+  // fallback".
+  Fixture fx = MakeFixture(/*product_theta=*/1.0);
+  fx.config.allocation = AllocationPolicy::kRoundRobin;
+  const Advisor advisor(fx.schema, fx.mix, fx.config);
+  auto frag = fragment::Fragmentation::FromNames(
+      {{"Product", "Group"}, {"Time", "Month"}}, fx.schema);
+  ASSERT_TRUE(frag.ok());
+
+  // The evaluation under this config places fragments round-robin...
+  auto ec = advisor.FullyEvaluate(*frag);
+  ASSERT_TRUE(ec.ok());
+  ASSERT_EQ(ec->allocation_scheme, alloc::AllocationScheme::kRoundRobin);
+
+  // ...and the profile must describe that same placement: identical to an
+  // explicit round-robin override, different from the greedy placement the
+  // old ChooseScheme fallback would have used.
+  auto profile = advisor.DiskAccessProfile(*frag, fx.mix.query_class(1));
+  Advisor::Overrides rr;
+  rr.allocation_scheme = alloc::AllocationScheme::kRoundRobin;
+  auto rr_profile =
+      advisor.DiskAccessProfile(*frag, fx.mix.query_class(1), rr);
+  Advisor::Overrides greedy;
+  greedy.allocation_scheme = alloc::AllocationScheme::kGreedy;
+  auto greedy_profile =
+      advisor.DiskAccessProfile(*frag, fx.mix.query_class(1), greedy);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_TRUE(rr_profile.ok());
+  ASSERT_TRUE(greedy_profile.ok());
+  EXPECT_EQ(*profile, *rr_profile);
+  EXPECT_NE(*profile, *greedy_profile);
 }
 
 TEST(AdvisorTest, AutoPrefetchPolicyChoosesPerCandidateGranules) {

@@ -42,6 +42,7 @@ top_k 7
 allocation greedy
 samples_per_class 6
 seed 99
+threads 4
 )";
   auto config = ToolConfigFromText(text);
   ASSERT_TRUE(config.ok()) << config.status().ToString();
@@ -63,6 +64,16 @@ seed 99
   EXPECT_EQ(config->allocation, AllocationPolicy::kGreedy);
   EXPECT_EQ(config->cost.samples_per_class, 6u);
   EXPECT_EQ(config->cost.seed, 99u);
+  EXPECT_EQ(config->threads, 4u);
+}
+
+TEST(ConfigTextTest, ThreadsKnob) {
+  EXPECT_EQ(ToolConfigFromText("threads 0\n")->threads, 0u);  // 0 = auto
+  EXPECT_EQ(ToolConfigFromText("threads 8\n")->threads, 8u);
+  EXPECT_FALSE(ToolConfigFromText("threads -1\n").ok());
+  // Default round-trips as auto.
+  ToolConfig config;
+  EXPECT_EQ(ToolConfigFromText(ToolConfigToText(config))->threads, 0u);
 }
 
 TEST(ConfigTextTest, AutoGranulesKeepAutoPolicy) {

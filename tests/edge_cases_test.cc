@@ -79,7 +79,7 @@ TEST(EdgeTest, FragmentationAtBottomOfEveryDimension) {
   EXPECT_TRUE(found_bottom);
 }
 
-TEST(EdgeTest, CapacityViolationSurfacesInEvaluateOne) {
+TEST(EdgeTest, CapacityViolationSurfacesInFullyEvaluate) {
   auto s = schema::Apb1Schema({.density = 0.01});
   ASSERT_TRUE(s.ok());
   auto mix = workload::Apb1QueryMix(*s);
@@ -89,7 +89,7 @@ TEST(EdgeTest, CapacityViolationSurfacesInEvaluateOne) {
   config.prefetch = core::PrefetchPolicy::kFixed;
   const core::Advisor advisor(*s, *mix, config);
   auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}}, *s);
-  auto ec = advisor.EvaluateOne(*frag);
+  auto ec = advisor.FullyEvaluate(*frag);
   EXPECT_FALSE(ec.ok());
   EXPECT_EQ(ec.status().code(), Status::Code::kResourceExhausted);
 }
@@ -172,11 +172,11 @@ TEST(EdgeTest, WeightedValueDistributionInCostModel) {
   const core::Advisor advisor(*s, *mix, config);
   auto frag = fragment::Fragmentation::FromNames(
       {{"Product", "Group"}, {"Time", "Month"}}, *s);
-  auto weighted = advisor.EvaluateOne(*frag);
+  auto weighted = advisor.FullyEvaluate(*frag);
   ASSERT_TRUE(weighted.ok());
   config.cost.value_distribution = workload::ValueDistribution::kUniform;
   const core::Advisor advisor2(*s, *mix, config);
-  auto uniform = advisor2.EvaluateOne(*frag);
+  auto uniform = advisor2.FullyEvaluate(*frag);
   ASSERT_TRUE(uniform.ok());
   EXPECT_GT(weighted->cost.io_work_ms, 0.0);
   // Hot-value queries touch bigger fragments: weighted work >= uniform.

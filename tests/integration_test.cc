@@ -94,7 +94,7 @@ TEST_F(Apb1IntegrationTest, BestBeatsUnfragmentedByALot) {
   core::Advisor advisor(*schema_, *mix_, FastConfig());
   auto empty = fragment::Fragmentation::Create({}, *schema_);
   ASSERT_TRUE(empty.ok());
-  auto unfragmented = advisor.EvaluateOne(*empty);
+  auto unfragmented = advisor.FullyEvaluate(*empty);
   ASSERT_TRUE(unfragmented.ok());
   const auto& best = result_->candidates[result_->ranking[0]];
   // Fragmentation + declustering must win response time by a wide margin
@@ -143,7 +143,7 @@ TEST_F(Apb1IntegrationTest, SkewedConfigurationPrefersGreedy) {
   auto frag = fragment::Fragmentation::FromNames(
       {{"Product", "Group"}, {"Time", "Month"}}, *skewed_schema);
   ASSERT_TRUE(frag.ok());
-  auto ec = advisor.EvaluateOne(*frag);
+  auto ec = advisor.FullyEvaluate(*frag);
   ASSERT_TRUE(ec.ok());
   EXPECT_EQ(ec->allocation_scheme, alloc::AllocationScheme::kGreedy);
   EXPECT_LT(ec->allocation_balance, 1.25);
