@@ -1,0 +1,153 @@
+// E14 — Parallel prefetch-granule search (second-level fan-out).
+//
+// The prefetch-size determination is the dominant serial cost inside each
+// phase-2 full evaluation: every power-of-two granule pair costs a fresh
+// QueryCostModel sweep. The search now builds each phase's evaluation grid
+// up front and fans the independent grid-point evaluations out over a
+// caller-supplied ThreadPool — nested safely under the advisor's
+// candidate-level parallelism via work-assist. This driver locks both the
+// isolated search latency (by worker count) and the end-to-end phase-2 win
+// (Advisor::Run under the auto prefetch policy).
+//
+// Run via scripts/bench.sh to get the JSON the CI regression gate compares
+// against bench/BENCH_advisor_baseline.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "alloc/allocators.h"
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "cost/prefetch.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+struct Parts {
+  warlock::fragment::Fragmentation frag;
+  warlock::fragment::FragmentSizes sizes;
+  warlock::bitmap::BitmapScheme scheme;
+  warlock::alloc::DiskAllocation allocation;
+};
+
+Parts BuildParts(const Apb1Bench& b) {
+  auto frag = warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, b.schema);
+  auto sizes = warlock::fragment::FragmentSizes::Compute(
+      *frag, b.schema, 0, b.config.cost.disks.page_size_bytes);
+  auto scheme = warlock::bitmap::BitmapScheme::Select(b.schema);
+  auto allocation = warlock::alloc::RoundRobinAllocate(
+      *sizes, scheme, b.config.cost.disks.num_disks);
+  return Parts{std::move(frag).value(), std::move(sizes).value(),
+               std::move(scheme), std::move(allocation).value()};
+}
+
+void PrintExperiment() {
+  Banner("E14", "parallel prefetch-granule search (Month x Family)");
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  const Parts parts = BuildParts(b);
+
+  const warlock::cost::PrefetchOptions options;
+  const uint64_t fact_cap =
+      std::min(options.max_granule_pages, parts.sizes.MaxPages());
+  const uint64_t bitmap_cap = std::min(
+      options.max_granule_pages,
+      warlock::cost::LargestBitmapPages(parts.sizes, parts.scheme));
+  const warlock::cost::PrefetchChoice serial = warlock::cost::OptimizePrefetch(
+      b.schema, 0, parts.frag, parts.sizes, parts.scheme, parts.allocation,
+      b.mix, b.config.cost, options);
+  std::printf(
+      "grid: fact cap %llu pages (%zu points), bitmap cap %llu pages; "
+      "%zu evaluations total\n",
+      static_cast<unsigned long long>(fact_cap),
+      warlock::cost::GranuleCandidates(fact_cap).size(),
+      static_cast<unsigned long long>(bitmap_cap), serial.evaluations);
+  std::printf("choice: fact granule %llu, bitmap granule %llu\n",
+              static_cast<unsigned long long>(serial.fact_granule),
+              static_cast<unsigned long long>(serial.bitmap_granule));
+  std::printf("search wall-clock by worker count (one warm run each):\n");
+  double serial_ms = 0.0;
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    warlock::common::ThreadPool pool(workers);
+    const auto start = std::chrono::steady_clock::now();
+    const warlock::cost::PrefetchChoice c = warlock::cost::OptimizePrefetch(
+        b.schema, 0, parts.frag, parts.sizes, parts.scheme, parts.allocation,
+        b.mix, b.config.cost, {}, &pool);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (workers == 1) serial_ms = ms;
+    std::printf("  workers=%u: %8.2f ms  (speedup vs 1: %.2fx, choice %llux%llu)\n",
+                workers, ms, serial_ms > 0.0 ? serial_ms / ms : 0.0,
+                static_cast<unsigned long long>(c.fact_granule),
+                static_cast<unsigned long long>(c.bitmap_granule));
+  }
+}
+
+// Isolated search latency: the unit of work each phase-2 candidate pays
+// under the auto prefetch policy. Arg = worker count; 0 = no pool (the
+// serial fallback path). UseRealTime so the JSON reports wall-clock.
+void BM_OptimizePrefetchWorkers(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  const Parts parts = BuildParts(b);
+  const unsigned workers = static_cast<unsigned>(state.range(0));
+  warlock::common::ThreadPool pool(workers == 0 ? 1 : workers);
+  warlock::common::ThreadPool* pool_arg = workers == 0 ? nullptr : &pool;
+  for (auto _ : state) {
+    auto choice = warlock::cost::OptimizePrefetch(
+        b.schema, 0, parts.frag, parts.sizes, parts.scheme, parts.allocation,
+        b.mix, b.config.cost, {}, pool_arg);
+    benchmark::DoNotOptimize(choice);
+    state.counters["evaluations"] = static_cast<double>(choice.evaluations);
+  }
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_OptimizePrefetchWorkers)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end phase-2 latency under the auto prefetch policy: every leading
+// candidate runs the granule search nested inside the candidate fan-out.
+// This is the series the cap fix and the nested parallelism speed up.
+void BM_AdvisorRunAutoPrefetch(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  b.config.cost.samples_per_class = 2;
+  b.config.prefetch = warlock::core::PrefetchPolicy::kAuto;
+  b.config.prefetch_samples = 2;
+  b.config.threads = static_cast<uint32_t>(state.range(0));
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  for (auto _ : state) {
+    auto result = advisor.Run();
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    state.counters["fully_evaluated"] =
+        static_cast<double>(result->fully_evaluated);
+  }
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AdvisorRunAutoPrefetch)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,6 +3,10 @@
 # with JSON output and optionally gates the result against the checked-in
 # baseline — the regression fence CI uses once hot-path work lands.
 #
+# Drivers: bench_e13_parallel_advisor (candidate-level fan-out) and
+# bench_e14_prefetch_search (nested prefetch-granule search). Their JSON
+# outputs are merged into one artifact so the gate sees every series.
+#
 # Usage:
 #   scripts/bench.sh                       # build + run, writes BENCH_advisor.json
 #   OUT=/tmp/b.json scripts/bench.sh       # choose the output path
@@ -22,24 +26,49 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_advisor.json}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
-DRIVER="bench_e13_parallel_advisor"
+DRIVERS=(bench_e13_parallel_advisor bench_e14_prefetch_search)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-if ! cmake --build "$BUILD_DIR" -j "$JOBS" --target "$DRIVER" >/dev/null; then
-  echo "error: cannot build $DRIVER (is Google Benchmark installed?)" >&2
-  exit 3
-fi
+for driver in "${DRIVERS[@]}"; do
+  if ! cmake --build "$BUILD_DIR" -j "$JOBS" --target "$driver" >/dev/null; then
+    echo "error: cannot build $driver (is Google Benchmark installed?)" >&2
+    exit 3
+  fi
+done
 
-BIN="$BUILD_DIR/bench/$DRIVER"
-ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json
-      --benchmark_format=json)
-if [[ -n "${BENCH_FILTER:-}" ]]; then
-  ARGS+=(--benchmark_filter="$BENCH_FILTER")
-fi
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
 
-# The drivers print their experiment notebook to stdout before the JSON;
-# keep the console readable and rely on --benchmark_out for the artifact.
-"$BIN" "${ARGS[@]}" >/dev/null
+for driver in "${DRIVERS[@]}"; do
+  BIN="$BUILD_DIR/bench/$driver"
+  ARGS=(--benchmark_out="$TMP_DIR/$driver.json" --benchmark_out_format=json
+        --benchmark_format=json)
+  if [[ -n "${BENCH_FILTER:-}" ]]; then
+    ARGS+=(--benchmark_filter="$BENCH_FILTER")
+  fi
+  # The drivers print their experiment notebook to stdout before the JSON;
+  # keep the console readable and rely on --benchmark_out for the artifact.
+  "$BIN" "${ARGS[@]}" >/dev/null
+done
+
+# Merge the per-driver outputs into one artifact: first driver's context,
+# concatenated benchmark series.
+python3 - "$OUT" "$TMP_DIR"/*.json <<'EOF'
+import json
+import sys
+
+out_path, *inputs = sys.argv[1:]
+merged = None
+for path in inputs:
+    with open(path) as f:
+        doc = json.load(f)
+    if merged is None:
+        merged = doc
+    else:
+        merged["benchmarks"].extend(doc.get("benchmarks", []))
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+EOF
 echo "wrote $OUT"
 
 if [[ -n "${CHECK_BASELINE:-}" ]]; then

@@ -48,6 +48,27 @@ void ThreadPool::Wait() {
   }
 }
 
+void ThreadPool::RunLoop(LoopState& state) {
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    ++state.active;
+  }
+  size_t i;
+  while (!state.has_error.load(std::memory_order_relaxed) &&
+         (i = state.cursor.fetch_add(1, std::memory_order_relaxed)) <
+             state.end) {
+    try {
+      state.fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (!state.error) state.error = std::current_exception();
+      state.has_error.store(true, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (--state.active == 0) state.done_cv.notify_all();
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   if (end <= begin) return;
@@ -57,20 +78,40 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     return;
   }
 
-  // Stack-local cursor is safe: Wait() below outlives every task, the same
-  // lifetime guarantee that lets the tasks capture fn by reference.
-  std::atomic<size_t> cursor{begin};
-  const size_t chunks = std::min<size_t>(num_threads(), count);
-  for (size_t c = 0; c < chunks; ++c) {
-    Submit([this, &cursor, end, &fn] {
-      size_t i;
-      while (!has_error_.load(std::memory_order_relaxed) &&
-             (i = cursor.fetch_add(1, std::memory_order_relaxed)) < end) {
-        fn(i);
-      }
-    });
+  // Per-call state on the heap: helper tasks hold shared ownership, so a
+  // helper scheduled after this call returned (every index already
+  // claimed) still finds live state and exits cleanly.
+  auto state = std::make_shared<LoopState>();
+  state->cursor.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->fn = fn;
+
+  const size_t helpers = std::min<size_t>(num_threads(), count) - 1;
+  for (size_t c = 0; c < helpers; ++c) {
+    Submit([state] { RunLoop(*state); });
   }
-  Wait();
+
+  // Work-assist: the caller claims iterations of its own loop. When every
+  // worker is busy (e.g. this is a nested call from inside a pool task and
+  // the helpers never leave the queue), the caller alone drains the range —
+  // the property that makes nesting deadlock-free.
+  RunLoop(*state);
+
+  // Stragglers: helpers still running a claimed iteration. Helpers that
+  // have not started cannot claim anything anymore (the cursor is
+  // exhausted, or the error flag stops them), so waiting for active == 0
+  // means every iteration has finished.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] {
+    return state->active == 0 &&
+           (state->cursor.load(std::memory_order_relaxed) >= state->end ||
+            state->has_error.load(std::memory_order_relaxed));
+  });
+  if (state->error) {
+    std::exception_ptr error = state->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -14,23 +15,28 @@
 namespace warlock::common {
 
 /// A fixed-size worker pool for fan-out over read-only shared state — the
-/// execution engine behind the advisor's parallel candidate evaluation.
+/// execution engine behind the advisor's parallel candidate evaluation and
+/// the nested prefetch-granule search.
 ///
 /// Design constraints (in order):
-///   1. Determinism: `ParallelFor` hands each index to exactly one worker
-///      and the caller writes results into pre-sized, per-index slots, so
-///      the outcome is independent of scheduling. The pool itself never
-///      reorders or merges results.
-///   2. Simplicity: a single locked queue, no work stealing. The advisor's
+///   1. Determinism: `ParallelFor` hands each index to exactly one
+///      participant and the caller writes results into pre-sized,
+///      per-index slots, so the outcome is independent of scheduling. The
+///      pool itself never reorders or merges results.
+///   2. Nestability: `ParallelFor` may be called from inside a pool task.
+///      Each call owns its completion state and the calling thread
+///      work-assists (it claims and runs iterations of its own loop), so an
+///      inner loop completes even when every worker is busy with outer
+///      tasks — no worker ever blocks on work that cannot be scheduled.
+///   3. Simplicity: a single locked queue, no work stealing. The advisor's
 ///      tasks are hundreds of microseconds to milliseconds each, so queue
 ///      contention is negligible.
 ///
-/// Thread-safety: the pool expects ONE coordinating thread driving
-/// `Submit`/`Wait`/`ParallelFor` (the advisor's pattern). `pending_` and
-/// the error slot are pool-global, so two threads waiting concurrently
-/// would block on each other's tasks and could observe each other's
-/// exceptions. `ParallelFor` must not be called from inside a pool task
-/// (a worker waiting on its own pool deadlocks).
+/// Thread-safety: `ParallelFor` is safe from any thread, including pool
+/// workers (arbitrary nesting depth). `Submit`/`Wait` keep the original
+/// single-coordinator contract: `pending_` and the error slot are
+/// pool-global, so two threads waiting concurrently would block on each
+/// other's tasks and could observe each other's exceptions.
 class ThreadPool {
  public:
   /// Spawns `ResolveThreadCount(num_threads)` workers.
@@ -62,8 +68,11 @@ class ThreadPool {
   /// blocks until all iterations are done. Iterations are claimed from an
   /// atomic cursor, so each index runs exactly once; with one worker (or a
   /// single-element range) the loop runs inline on the calling thread.
-  /// Rethrows the first exception thrown by `fn`; once an exception is
-  /// recorded, workers stop claiming further indices.
+  /// The caller always participates in running iterations (work-assist),
+  /// which makes nested calls from inside pool tasks deadlock-free: the
+  /// innermost caller drives its own loop to completion even when no
+  /// worker is free. Rethrows the first exception thrown by `fn`; once an
+  /// exception is recorded, participants stop claiming further indices.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 
@@ -72,6 +81,22 @@ class ThreadPool {
   static unsigned ResolveThreadCount(unsigned requested);
 
  private:
+  // Per-ParallelFor completion state, heap-allocated and shared with the
+  // helper tasks: a helper that only runs after the originating call
+  // returned (all indices already claimed) must still find live state.
+  struct LoopState {
+    std::atomic<size_t> cursor{0};
+    size_t end = 0;
+    std::function<void(size_t)> fn;  // owned copy — helpers may outlive
+                                     // the caller's reference
+    std::atomic<bool> has_error{false};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t active = 0;  // participants currently claiming/running
+    std::exception_ptr error;
+  };
+  static void RunLoop(LoopState& state);
+
   void WorkerLoop();
   void RecordError(std::exception_ptr error);
 

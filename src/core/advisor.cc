@@ -35,7 +35,7 @@ Advisor::Advisor(const schema::StarSchema& schema,
 
 Result<Advisor::EvalContext> Advisor::BuildEvalContext(
     const fragment::Fragmentation& fragmentation, const Overrides& overrides,
-    EvalMode mode) const {
+    EvalMode mode, common::ThreadPool* pool) const {
   EvalContext ctx;
   ctx.params = config_.cost;
   if (mode == EvalMode::kScreening) ctx.params.force_expected = true;
@@ -109,9 +109,12 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
         ctx.params.bitmap_granule = *overrides.bitmap_granule;
       }
     } else {
+      cost::PrefetchOptions prefetch_options;
+      prefetch_options.max_granule_pages = config_.prefetch_max_granule;
+      prefetch_options.search_samples = config_.prefetch_samples;
       const cost::PrefetchChoice choice = cost::OptimizePrefetch(
           schema_, config_.fact_index, fragmentation, *ctx.sizes, *ctx.scheme,
-          ctx.allocation, mix_, ctx.params);
+          ctx.allocation, mix_, ctx.params, prefetch_options, pool);
       ctx.params.fact_granule = choice.fact_granule;
       ctx.params.bitmap_granule = choice.bitmap_granule;
     }
@@ -127,11 +130,11 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
 }
 
 Result<EvaluatedCandidate> Advisor::FullyEvaluate(
-    const fragment::Fragmentation& fragmentation,
-    const Overrides& overrides) const {
+    const fragment::Fragmentation& fragmentation, const Overrides& overrides,
+    common::ThreadPool* pool) const {
   WARLOCK_ASSIGN_OR_RETURN(
       EvalContext ctx,
-      BuildEvalContext(fragmentation, overrides, EvalMode::kFull));
+      BuildEvalContext(fragmentation, overrides, EvalMode::kFull, pool));
 
   EvaluatedCandidate ec;
   ec.fragmentation = fragmentation;
@@ -233,7 +236,6 @@ Result<AdvisorResult> Advisor::Run() const {
       included.push_back(i);
     }
   }
-  result.screened = included.size();
 
   // Phase 2: the leading X% by I/O work get the full allocation-aware
   // evaluation (WARLOCK's heuristic prefers fragmentations reducing overall
@@ -250,12 +252,15 @@ Result<AdvisorResult> Advisor::Run() const {
   leading = std::min(leading, included.size());
 
   // Per-candidate RNG streams fork from the config seed, so full
-  // evaluations are order-independent too; each task owns its slot.
+  // evaluations are order-independent too; each task owns its slot. The
+  // pool is also handed down into each candidate's prefetch-granule
+  // search: the nested ParallelFor work-assists, so idle workers speed up
+  // the granule sweep while saturated ones cost nothing.
   std::vector<unsigned char> full_ok(leading, 0);
   pool.ParallelFor(0, leading, [&](size_t i) {
     const size_t ci = included[i];
     EvaluatedCandidate& slot = result.candidates[ci];
-    auto full_or = FullyEvaluate(slot.fragmentation, no_overrides);
+    auto full_or = FullyEvaluate(slot.fragmentation, no_overrides, &pool);
     if (!full_or.ok()) {
       // E.g. capacity violation at this disk count: record as excluded.
       slot.excluded = true;
@@ -267,6 +272,9 @@ Result<AdvisorResult> Advisor::Run() const {
     slot = std::move(full);
     full_ok[i] = 1;
   });
+  // Final buckets: a phase-2 failure moves the candidate from "screened"
+  // to "excluded", keeping fully_evaluated + excluded + screened ==
+  // enumerated (the invariant the analysis layer reports against).
   for (size_t i = 0; i < leading; ++i) {
     if (full_ok[i]) {
       ++result.fully_evaluated;
@@ -274,6 +282,7 @@ Result<AdvisorResult> Advisor::Run() const {
       ++result.excluded;
     }
   }
+  result.screened = included.size() - leading;
 
   // Final ranking: response time over the fully evaluated set.
   std::vector<size_t> ranked;

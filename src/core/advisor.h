@@ -9,6 +9,7 @@
 
 #include "alloc/allocators.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/tool_config.h"
 #include "cost/mix_cost.h"
 #include "cost/prefetch.h"
@@ -65,11 +66,20 @@ struct AdvisorResult {
   /// top_k.
   std::vector<size_t> ranking;
 
-  /// Bookkeeping for the analysis layer.
+  /// Bookkeeping for the analysis layer. Every enumerated candidate ends in
+  /// exactly one of the three buckets, so
+  /// `fully_evaluated + excluded + screened == enumerated` always holds.
   size_t enumerated = 0;
+  /// Final verdict "excluded": by threshold, or by a phase-2 failure such
+  /// as a capacity violation (those candidates keep their screening cost
+  /// but do not count as screened).
   size_t excluded = 0;
-  size_t screened = 0;        ///< candidates costed with the screening model
-  size_t fully_evaluated = 0; ///< candidates costed with the full model
+  /// Final verdict "screening only": costed with the cheap expected-value
+  /// model but outside the leading share that reached phase 2.
+  size_t screened = 0;
+  /// Final verdict "fully evaluated": costed with the full
+  /// allocation-aware model.
+  size_t fully_evaluated = 0;
 };
 
 /// The WARLOCK prediction layer: generation of fragmentations & bitmap
@@ -81,8 +91,11 @@ struct AdvisorResult {
 /// by `ToolConfig::threads`. Every candidate evaluation reads only shared
 /// immutable state (schema, mix, the advisor-wide bitmap scheme, memoized
 /// fragment sizes) and writes into its own pre-sized result slot, so the
-/// ranking is bit-identical for every thread count. All public methods are
-/// const and safe to call concurrently.
+/// ranking is bit-identical for every thread count. Phase-2 candidates
+/// additionally hand the pool down into their prefetch-granule search —
+/// the nested `ParallelFor` work-assists, so idle workers accelerate the
+/// sweep and a saturated pool costs nothing. All public methods are const
+/// and safe to call concurrently.
 class Advisor {
  public:
   /// `schema` and `mix` must outlive the advisor.
@@ -104,10 +117,15 @@ class Advisor {
   };
 
   /// Evaluates a single fragmentation with the full (phase-2)
-  /// allocation-aware model.
+  /// allocation-aware model. `pool` (optional) parallelizes the prefetch
+  /// granule search under `PrefetchPolicy::kAuto`; it may be the same pool
+  /// a caller is already fanning candidates out over — nested
+  /// `ParallelFor` work-assists, and the granule choice is bit-identical
+  /// at every worker count.
   Result<EvaluatedCandidate> FullyEvaluate(
       const fragment::Fragmentation& fragmentation,
-      const Overrides& overrides = {}) const;
+      const Overrides& overrides = {},
+      common::ThreadPool* pool = nullptr) const;
 
   /// Per-disk busy-time profile of one query class under a fragmentation —
   /// the data behind the analysis layer's disk access visualization.
@@ -141,7 +159,8 @@ class Advisor {
   };
   Result<EvalContext> BuildEvalContext(
       const fragment::Fragmentation& fragmentation,
-      const Overrides& overrides, EvalMode mode) const;
+      const Overrides& overrides, EvalMode mode,
+      common::ThreadPool* pool = nullptr) const;
 
   const schema::StarSchema& schema_;
   const workload::QueryMix& mix_;

@@ -77,6 +77,21 @@ Result<ToolConfig> ToolConfigFromText(std::string_view text) {
     }
 
     WARLOCK_ASSIGN_OR_RETURN(double v, ParseNum(value, key, line_no));
+    // Keys stored in unsigned fields: a negative value would wrap through
+    // static_cast into a huge count (or hit undefined behaviour for the
+    // float-to-unsigned conversion), so reject it here with the line
+    // number instead.
+    const bool unsigned_key =
+        key == "disks" || key == "page_size" || key == "disk_capacity_gb" ||
+        key == "max_fragments" || key == "min_avg_fragment_pages" ||
+        key == "max_dimensions" || key == "standard_max_cardinality" ||
+        key == "top_k" || key == "samples_per_class" || key == "seed" ||
+        key == "threads" || key == "prefetch_max_granule" ||
+        key == "prefetch_samples";
+    if (unsigned_key && v < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + key + " must be >= 0");
+    }
     if (key == "disks") {
       config.cost.disks.num_disks = static_cast<uint32_t>(v);
     } else if (key == "page_size") {
@@ -112,11 +127,26 @@ Result<ToolConfig> ToolConfigFromText(std::string_view text) {
     } else if (key == "seed") {
       config.cost.seed = static_cast<uint64_t>(v);
     } else if (key == "threads") {
-      if (v < 0) {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": threads must be >= 0");
-      }
       config.threads = static_cast<uint32_t>(v);
+    } else if (key == "skew_threshold") {
+      if (v < 1.0) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": skew_threshold must be >= 1 (a size-skew factor)");
+      }
+      config.skew_threshold = v;
+    } else if (key == "prefetch_max_granule") {
+      if (v < 1) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": prefetch_max_granule must be >= 1");
+      }
+      config.prefetch_max_granule = static_cast<uint64_t>(v);
+    } else if (key == "prefetch_samples") {
+      if (v < 1) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": prefetch_samples must be >= 1");
+      }
+      config.prefetch_samples = static_cast<uint32_t>(v);
     } else {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": unknown key '" + key + "'");
@@ -143,6 +173,8 @@ std::string ToolConfigToText(const ToolConfig& config) {
     os << "fact_granule " << config.cost.fact_granule << "\n";
     os << "bitmap_granule " << config.cost.bitmap_granule << "\n";
   }
+  os << "prefetch_max_granule " << config.prefetch_max_granule << "\n";
+  os << "prefetch_samples " << config.prefetch_samples << "\n";
   os << "max_fragments " << config.thresholds.max_fragments << "\n";
   os << "min_avg_fragment_pages " << config.thresholds.min_avg_fragment_pages
      << "\n";
@@ -157,6 +189,7 @@ std::string ToolConfigToText(const ToolConfig& config) {
                                  ? "greedy"
                                  : "roundrobin");
   os << "allocation " << alloc << "\n";
+  os << "skew_threshold " << config.skew_threshold << "\n";
   os << "samples_per_class " << config.cost.samples_per_class << "\n";
   os << "seed " << config.cost.seed << "\n";
   os << "threads " << config.threads << "\n";

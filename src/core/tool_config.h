@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "bitmap/scheme.h"
+#include "cost/prefetch.h"
 #include "cost/query_cost.h"
 #include "fragment/candidates.h"
 
@@ -56,6 +57,14 @@ struct ToolConfig {
 
   /// Prefetch determination policy.
   PrefetchPolicy prefetch = PrefetchPolicy::kAuto;
+
+  /// Search bounds for PrefetchPolicy::kAuto (config text:
+  /// `prefetch_max_granule` / `prefetch_samples`): the largest granule the
+  /// sweep considers (buffer-memory bound per I/O stream) and the samples
+  /// per query class during the search. Defaults come from
+  /// cost::PrefetchOptions so the two cannot drift apart.
+  uint64_t prefetch_max_granule = cost::PrefetchOptions{}.max_granule_pages;
+  uint32_t prefetch_samples = cost::PrefetchOptions{}.search_samples;
 
   /// Twofold ranking parameters.
   RankingOptions ranking;

@@ -2,19 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace warlock::cost {
 
 namespace {
 
-// Weighted (response, work) of the mix at the given granule pair.
-std::pair<double, double> Evaluate(
-    const schema::StarSchema& schema, size_t fact_index,
-    const fragment::Fragmentation& fragmentation,
-    const fragment::FragmentSizes& sizes, const bitmap::BitmapScheme& scheme,
-    const alloc::DiskAllocation& allocation,
-    const workload::QueryMix& mix, CostParameters params, uint64_t gf,
-    uint64_t gb, uint32_t samples) {
+using Score = std::pair<double, double>;  // (response_ms, io_work_ms)
+
+// Weighted (response, work) of the mix at the given granule pair. Each
+// grid point re-seeds its sampling streams from the base seed, so a
+// point's score depends only on its coordinates — never on which worker
+// evaluates it or in what order.
+Score Evaluate(const schema::StarSchema& schema, size_t fact_index,
+               const fragment::Fragmentation& fragmentation,
+               const fragment::FragmentSizes& sizes,
+               const bitmap::BitmapScheme& scheme,
+               const alloc::DiskAllocation& allocation,
+               const workload::QueryMix& mix, CostParameters params,
+               uint64_t gf, uint64_t gb, uint32_t samples) {
   params.fact_granule = gf;
   params.bitmap_granule = gb;
   params.samples_per_class = samples;
@@ -24,7 +32,41 @@ std::pair<double, double> Evaluate(
   return {mc.response_ms, mc.io_work_ms};
 }
 
+bool Better(const Score& a, const Score& b) {
+  // Lower response wins; near-ties (0.1 %) resolved by lower work.
+  if (a.first < b.first * 0.999) return true;
+  if (b.first < a.first * 0.999) return false;
+  return a.second < b.second;
+}
+
 }  // namespace
+
+std::vector<uint64_t> GranuleCandidates(uint64_t cap) {
+  cap = std::max<uint64_t>(1, cap);
+  std::vector<uint64_t> gs;
+  uint64_t g = 1;
+  while (g <= cap) {
+    gs.push_back(g);
+    if (g > cap / 2) break;  // next doubling would exceed cap (or overflow)
+    g *= 2;
+  }
+  if (gs.back() != cap) gs.push_back(cap);
+  return gs;
+}
+
+uint64_t LargestBitmapPages(const fragment::FragmentSizes& sizes,
+                            const bitmap::BitmapScheme& scheme) {
+  double max_rows = 0.0;
+  for (uint64_t f = 0; f < sizes.num_fragments(); ++f) {
+    max_rows = std::max(max_rows, sizes.rows(f));
+  }
+  // Stored bytes grow monotonically with rows, so the biggest fragment
+  // carries the biggest bitmap set.
+  const double bytes = scheme.StoredBytesPerFragment(max_rows);
+  const double pages =
+      std::ceil(bytes / static_cast<double>(sizes.page_size()));
+  return std::max<uint64_t>(1, static_cast<uint64_t>(pages));
+}
 
 PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
                                 size_t fact_index,
@@ -34,60 +76,86 @@ PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
                                 const alloc::DiskAllocation& allocation,
                                 const workload::QueryMix& mix,
                                 const CostParameters& base_params,
-                                const PrefetchOptions& options) {
-  const uint64_t frag_cap = std::max<uint64_t>(1, sizes.MaxPages());
-  const uint64_t cap =
-      std::min<uint64_t>(options.max_granule_pages, frag_cap);
+                                const PrefetchOptions& options,
+                                common::ThreadPool* pool) {
+  // Independent caps: fact granules never span past the largest fact
+  // fragment; bitmap granules never span past the largest fragment's
+  // stored bitmaps (orders of magnitude smaller — capping both by the
+  // fact fragment would sweep a grid no bitmap I/O can ever use).
+  const uint64_t fact_cap =
+      std::min<uint64_t>(options.max_granule_pages,
+                         std::max<uint64_t>(1, sizes.MaxPages()));
+  const uint64_t bitmap_cap = std::min<uint64_t>(
+      options.max_granule_pages, LargestBitmapPages(sizes, scheme));
 
-  auto candidates = [&cap]() {
-    std::vector<uint64_t> gs;
-    for (uint64_t g = 1; g <= cap; g *= 2) gs.push_back(g);
-    if (gs.empty() || gs.back() != cap) gs.push_back(cap);
-    return gs;
-  }();
+  const std::vector<uint64_t> fact_grid = GranuleCandidates(fact_cap);
+  const std::vector<uint64_t> bitmap_grid = GranuleCandidates(bitmap_cap);
 
-  auto better = [](const std::pair<double, double>& a,
-                   const std::pair<double, double>& b) {
-    // Lower response wins; near-ties (0.1 %) resolved by lower work.
-    if (a.first < b.first * 0.999) return true;
-    if (b.first < a.first * 0.999) return false;
-    return a.second < b.second;
-  };
-
-  // Phase 1: fact granule with the bitmap granule at the base value.
-  uint64_t best_gf = base_params.fact_granule == 0
-                         ? 1
-                         : std::min(base_params.fact_granule, cap);
   const uint64_t gb0 = base_params.bitmap_granule == 0
                            ? 1
-                           : std::min(base_params.bitmap_granule, cap);
-  std::pair<double, double> best{1e300, 1e300};
-  for (uint64_t gf : candidates) {
-    const auto score =
-        Evaluate(schema, fact_index, fragmentation, sizes, scheme,
-                 allocation, mix, base_params, gf, gb0,
-                 options.search_samples);
-    if (better(score, best)) {
-      best = score;
-      best_gf = gf;
+                           : std::min(base_params.bitmap_granule, bitmap_cap);
+
+  // Evaluates every grid point into its own slot — over the pool when one
+  // is supplied, serially otherwise — then reduces the winner in grid
+  // order. Slot-per-point plus ordered reduction keeps the choice
+  // bit-identical at every worker count.
+  auto evaluate_batch = [&](const std::vector<std::pair<uint64_t, uint64_t>>&
+                                points) {
+    std::vector<Score> slots(points.size());
+    auto eval_point = [&](size_t i) {
+      slots[i] = Evaluate(schema, fact_index, fragmentation, sizes, scheme,
+                          allocation, mix, base_params, points[i].first,
+                          points[i].second, options.search_samples);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, points.size(), eval_point);
+    } else {
+      for (size_t i = 0; i < points.size(); ++i) eval_point(i);
+    }
+    return slots;
+  };
+
+  PrefetchChoice out;
+
+  // Phase 1: fact granule with the bitmap granule at the base value.
+  std::vector<std::pair<uint64_t, uint64_t>> points;
+  points.reserve(fact_grid.size());
+  for (uint64_t gf : fact_grid) points.emplace_back(gf, gb0);
+  const std::vector<Score> phase1 = evaluate_batch(points);
+  out.evaluations += points.size();
+
+  uint64_t best_gf = fact_grid.front();
+  Score best{1e300, 1e300};
+  for (size_t i = 0; i < fact_grid.size(); ++i) {
+    if (Better(phase1[i], best)) {
+      best = phase1[i];
+      best_gf = fact_grid[i];
     }
   }
+  const Score phase1_best = best;
 
-  // Phase 2: bitmap granule at the chosen fact granule.
+  // Phase 2: bitmap granule at the chosen fact granule. The point
+  // (best_gf, gb0) was already costed in phase 1 — reuse that score
+  // instead of re-evaluating it (evaluations are deterministic, so reuse
+  // is bit-identical to recomputation).
+  points.clear();
+  for (uint64_t gb : bitmap_grid) {
+    if (gb != gb0) points.emplace_back(best_gf, gb);
+  }
+  const std::vector<Score> phase2 = evaluate_batch(points);
+  out.evaluations += points.size();
+
   uint64_t best_gb = gb0;
   best = {1e300, 1e300};
-  for (uint64_t gb : candidates) {
-    const auto score =
-        Evaluate(schema, fact_index, fragmentation, sizes, scheme,
-                 allocation, mix, base_params, best_gf, gb,
-                 options.search_samples);
-    if (better(score, best)) {
+  size_t next = 0;
+  for (uint64_t gb : bitmap_grid) {
+    const Score score = gb == gb0 ? phase1_best : phase2[next++];
+    if (Better(score, best)) {
       best = score;
       best_gb = gb;
     }
   }
 
-  PrefetchChoice out;
   out.fact_granule = best_gf;
   out.bitmap_granule = best_gb;
   out.response_ms = best.first;

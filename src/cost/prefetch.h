@@ -2,6 +2,7 @@
 #define WARLOCK_COST_PREFETCH_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "alloc/disk_allocation.h"
 #include "bitmap/scheme.h"
@@ -10,6 +11,10 @@
 #include "fragment/fragmentation.h"
 #include "schema/star_schema.h"
 #include "workload/query_mix.h"
+
+namespace warlock::common {
+class ThreadPool;
+}  // namespace warlock::common
 
 namespace warlock::cost {
 
@@ -21,6 +26,9 @@ struct PrefetchChoice {
   double response_ms = 0.0;
   /// Weighted mix I/O work at the chosen granules.
   double io_work_ms = 0.0;
+  /// Cost-model evaluations the search performed (grid points actually
+  /// costed; duplicate points are evaluated once).
+  size_t evaluations = 0;
 };
 
 /// Search bounds.
@@ -32,12 +40,32 @@ struct PrefetchOptions {
   uint32_t search_samples = 4;
 };
 
+/// The power-of-two granule grid the search sweeps: 1, 2, 4, ... up to and
+/// including `cap` (the cap itself is appended when it is not a power of
+/// two). Exposed so tests and benches can reason about the exact grid.
+std::vector<uint64_t> GranuleCandidates(uint64_t cap);
+
+/// Pages of the largest per-fragment stored bitmap set under `scheme` —
+/// the natural upper bound for the bitmap prefetch granule: no bitmap I/O
+/// can span more pages than the biggest fragment's bitmaps occupy. At
+/// least 1.
+uint64_t LargestBitmapPages(const fragment::FragmentSizes& sizes,
+                            const bitmap::BitmapScheme& scheme);
+
 /// WARLOCK's prefetch-size determination: sweeps power-of-two granules for
 /// fact-table and bitmap access independently (their optima differ strongly
 /// because fragment and bitmap sizes differ by orders of magnitude), picking
 /// the granule pair minimizing the weighted mix response time, with I/O work
-/// as tie-break. Granules are additionally capped by the largest fragment
-/// so no I/O can span past a fragment.
+/// as tie-break. Fact granules are capped by the largest fact fragment and
+/// bitmap granules by the largest fragment's stored bitmaps, so no I/O can
+/// span past the object it reads.
+///
+/// The search builds each phase's evaluation grid up front and, when `pool`
+/// is non-null, fans the independent grid-point evaluations out over it —
+/// every point owns a result slot and an independently seeded sampling
+/// stream, and the winner is reduced in grid order, so the chosen pair is
+/// bit-identical at every worker count (nullptr = serial). Safe to call
+/// from inside a pool task (the pool's `ParallelFor` work-assists).
 PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
                                 size_t fact_index,
                                 const fragment::Fragmentation& fragmentation,
@@ -46,7 +74,8 @@ PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
                                 const alloc::DiskAllocation& allocation,
                                 const workload::QueryMix& mix,
                                 const CostParameters& base_params,
-                                const PrefetchOptions& options = {});
+                                const PrefetchOptions& options = {},
+                                common::ThreadPool* pool = nullptr);
 
 }  // namespace warlock::cost
 

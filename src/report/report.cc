@@ -32,7 +32,7 @@ std::string RenderRanking(const core::AdvisorResult& result,
   std::ostringstream os;
   os << "WARLOCK fragmentation ranking (top " << result.ranking.size()
      << " of " << result.enumerated << " candidates; " << result.excluded
-     << " excluded, " << result.screened << " screened, "
+     << " excluded, " << result.screened << " screened-only, "
      << result.fully_evaluated << " fully evaluated)\n"
      << table.ToString();
   return os.str();

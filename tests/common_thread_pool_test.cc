@@ -152,6 +152,74 @@ TEST(ThreadPoolTest, FirstOfManyExceptionsWins) {
   pool.Wait();  // nothing pending, no stale error
 }
 
+// Nested fan-out: outer ParallelFor tasks issue inner ParallelFors on the
+// SAME pool (the advisor's phase-2 pattern: candidate tasks running the
+// prefetch-granule sweep). The caller work-assists its own loop, so this
+// must complete without deadlock at any worker count — including a pool
+// fully saturated by the outer level.
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kOuter = 12;
+    constexpr size_t kInner = 64;
+    std::vector<std::vector<double>> slots(kOuter,
+                                           std::vector<double>(kInner, 0.0));
+    pool.ParallelFor(0, kOuter, [&](size_t o) {
+      pool.ParallelFor(0, kInner, [&slots, o](size_t i) {
+        slots[o][i] = static_cast<double>(o * 1000 + i);
+      });
+    });
+    for (size_t o = 0; o < kOuter; ++o) {
+      for (size_t i = 0; i < kInner; ++i) {
+        EXPECT_EQ(slots[o][i], static_cast<double>(o * 1000 + i))
+            << "threads=" << threads << " outer=" << o << " inner=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, TriplyNestedParallelForCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, 4, [&](size_t) {
+    pool.ParallelFor(0, 4, [&](size_t) {
+      pool.ParallelFor(0, 4, [&counter](size_t) { counter.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// An exception in an inner loop surfaces through the outer loop to the
+// original caller, and the pool stays usable.
+TEST(ThreadPoolTest, NestedParallelForExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 8,
+                                [&](size_t o) {
+                                  pool.ParallelFor(0, 8, [o](size_t i) {
+                                    if (o == 3 && i == 5) {
+                                      throw std::runtime_error("inner");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, 16, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 16);
+}
+
+// ParallelFor completion is per-call: helper tasks left in the queue from
+// a finished loop must not satisfy or block a later loop on the same pool.
+TEST(ThreadPoolTest, BackToBackParallelForsStayIndependent) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> slots(64, 0);
+    pool.ParallelFor(0, slots.size(), [&slots](size_t i) { slots[i] = 1; });
+    for (size_t i = 0; i < slots.size(); ++i) {
+      ASSERT_EQ(slots[i], 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {

@@ -315,6 +315,52 @@ TEST(AdvisorTest, SkewedRunRecommendsGreedyCandidates) {
   }
 }
 
+// Every enumerated candidate lands in exactly one bucket:
+// fully_evaluated + excluded + screened == enumerated.
+TEST(AdvisorTest, CounterBucketsPartitionTheCandidateSpace) {
+  const Fixture fx = MakeFixture();
+  const Advisor advisor(fx.schema, fx.mix, fx.config);
+  auto result = advisor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fully_evaluated + result->excluded + result->screened,
+            result->enumerated);
+  // The buckets match the per-candidate verdicts.
+  size_t excluded = 0, fully = 0, screened_only = 0;
+  for (const auto& c : result->candidates) {
+    if (c.excluded) {
+      ++excluded;
+    } else if (c.fully_evaluated) {
+      ++fully;
+    } else {
+      ++screened_only;
+    }
+  }
+  EXPECT_EQ(result->excluded, excluded);
+  EXPECT_EQ(result->fully_evaluated, fully);
+  EXPECT_EQ(result->screened, screened_only);
+}
+
+// A candidate that fails phase 2 (here: capacity violation on every
+// candidate) must move from "screened" to "excluded" — it used to count in
+// both, breaking screened + excluded <= enumerated.
+TEST(AdvisorTest, PhaseTwoFailureCountsAsExcludedNotScreened) {
+  Fixture fx = MakeFixture();
+  fx.config.cost.disks.disk_capacity_bytes = 1 << 20;  // 1 MB per disk
+  const Advisor advisor(fx.schema, fx.mix, fx.config);
+  auto result = advisor.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fully_evaluated, 0u);
+  EXPECT_TRUE(result->ranking.empty());
+  EXPECT_GT(result->excluded, 0u);
+  EXPECT_EQ(result->fully_evaluated + result->excluded + result->screened,
+            result->enumerated);
+  for (const auto& c : result->candidates) {
+    if (c.excluded) {
+      EXPECT_FALSE(c.exclusion_reason.empty());
+    }
+  }
+}
+
 TEST(AdvisorTest, InvalidConfigRejected) {
   Fixture fx = MakeFixture();
   fx.config.cost.disks.num_disks = 0;

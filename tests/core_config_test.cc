@@ -1,5 +1,7 @@
 #include "core/config_text.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace warlock::core {
@@ -89,6 +91,116 @@ TEST(ConfigTextTest, AllocationValues) {
   EXPECT_EQ(ToolConfigFromText("allocation auto\n")->allocation,
             AllocationPolicy::kAuto);
   EXPECT_FALSE(ToolConfigFromText("allocation zigzag\n").ok());
+}
+
+// Negative values for unsigned fields used to static_cast-wrap into huge
+// counts; they must be rejected with a line-numbered error instead.
+TEST(ConfigTextTest, NegativeValuesRejectedForUnsignedKeys) {
+  const char* keys[] = {"disks",
+                        "page_size",
+                        "disk_capacity_gb",
+                        "max_fragments",
+                        "min_avg_fragment_pages",
+                        "max_dimensions",
+                        "standard_max_cardinality",
+                        "top_k",
+                        "samples_per_class",
+                        "seed",
+                        "threads",
+                        "prefetch_max_granule",
+                        "prefetch_samples"};
+  for (const char* key : keys) {
+    auto parsed = ToolConfigFromText(std::string(key) + " -1\n");
+    EXPECT_FALSE(parsed.ok()) << key << " -1 must not parse";
+    EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos)
+        << key << ": error should carry the line number, got '"
+        << parsed.status().message() << "'";
+  }
+  // Sanity: the same keys accept non-negative values.
+  EXPECT_TRUE(ToolConfigFromText("seed 0\n").ok());
+  EXPECT_TRUE(ToolConfigFromText("top_k 3\n").ok());
+}
+
+TEST(ConfigTextTest, SkewThresholdKey) {
+  auto config = ToolConfigFromText("skew_threshold 1.6\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_DOUBLE_EQ(config->skew_threshold, 1.6);
+  // A size-skew factor is >= 1 by construction.
+  EXPECT_FALSE(ToolConfigFromText("skew_threshold 0.5\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("skew_threshold -2\n").ok());
+}
+
+TEST(ConfigTextTest, PrefetchSearchKeys) {
+  auto config =
+      ToolConfigFromText("prefetch_max_granule 128\nprefetch_samples 8\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->prefetch_max_granule, 128u);
+  EXPECT_EQ(config->prefetch_samples, 8u);
+  EXPECT_FALSE(ToolConfigFromText("prefetch_max_granule 0\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("prefetch_samples 0\n").ok());
+}
+
+// Print -> parse over a fully non-default config must be lossless (the
+// printer used to drop skew_threshold entirely).
+TEST(ConfigTextTest, NonDefaultConfigRoundTripsLosslessly) {
+  ToolConfig config;
+  config.cost.disks.num_disks = 48;
+  config.cost.disks.page_size_bytes = 4096;
+  config.cost.disks.disk_capacity_bytes = 24ULL << 30;
+  config.cost.disks.avg_seek_ms = 7.25;
+  config.cost.disks.avg_rotational_ms = 2.5;
+  config.cost.disks.transfer_mb_per_s = 80;
+  config.prefetch = PrefetchPolicy::kFixed;
+  config.cost.fact_granule = 48;
+  config.cost.bitmap_granule = 3;
+  config.prefetch_max_granule = 512;
+  config.prefetch_samples = 2;
+  config.thresholds.max_fragments = 12345;
+  config.thresholds.min_avg_fragment_pages = 7;
+  config.thresholds.max_dimensions = 2;
+  config.bitmap_options.standard_max_cardinality = 96;
+  config.ranking.leading_fraction = 0.5;
+  config.ranking.top_k = 4;
+  config.allocation = AllocationPolicy::kGreedy;
+  config.skew_threshold = 1.75;
+  config.cost.samples_per_class = 9;
+  config.cost.seed = 987654321;
+  config.threads = 6;
+
+  auto parsed = ToolConfigFromText(ToolConfigToText(config));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->cost.disks.num_disks, config.cost.disks.num_disks);
+  EXPECT_EQ(parsed->cost.disks.page_size_bytes,
+            config.cost.disks.page_size_bytes);
+  EXPECT_EQ(parsed->cost.disks.disk_capacity_bytes,
+            config.cost.disks.disk_capacity_bytes);
+  EXPECT_DOUBLE_EQ(parsed->cost.disks.avg_seek_ms,
+                   config.cost.disks.avg_seek_ms);
+  EXPECT_DOUBLE_EQ(parsed->cost.disks.avg_rotational_ms,
+                   config.cost.disks.avg_rotational_ms);
+  EXPECT_DOUBLE_EQ(parsed->cost.disks.transfer_mb_per_s,
+                   config.cost.disks.transfer_mb_per_s);
+  EXPECT_EQ(parsed->prefetch, config.prefetch);
+  EXPECT_EQ(parsed->cost.fact_granule, config.cost.fact_granule);
+  EXPECT_EQ(parsed->cost.bitmap_granule, config.cost.bitmap_granule);
+  EXPECT_EQ(parsed->prefetch_max_granule, config.prefetch_max_granule);
+  EXPECT_EQ(parsed->prefetch_samples, config.prefetch_samples);
+  EXPECT_EQ(parsed->thresholds.max_fragments,
+            config.thresholds.max_fragments);
+  EXPECT_EQ(parsed->thresholds.min_avg_fragment_pages,
+            config.thresholds.min_avg_fragment_pages);
+  EXPECT_EQ(parsed->thresholds.max_dimensions,
+            config.thresholds.max_dimensions);
+  EXPECT_EQ(parsed->bitmap_options.standard_max_cardinality,
+            config.bitmap_options.standard_max_cardinality);
+  EXPECT_DOUBLE_EQ(parsed->ranking.leading_fraction,
+                   config.ranking.leading_fraction);
+  EXPECT_EQ(parsed->ranking.top_k, config.ranking.top_k);
+  EXPECT_EQ(parsed->allocation, config.allocation);
+  EXPECT_DOUBLE_EQ(parsed->skew_threshold, config.skew_threshold);
+  EXPECT_EQ(parsed->cost.samples_per_class, config.cost.samples_per_class);
+  EXPECT_EQ(parsed->cost.seed, config.cost.seed);
+  EXPECT_EQ(parsed->threads, config.threads);
 }
 
 TEST(ConfigTextTest, Errors) {

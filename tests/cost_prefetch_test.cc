@@ -1,8 +1,11 @@
 #include "cost/prefetch.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "alloc/allocators.h"
+#include "common/thread_pool.h"
 
 namespace warlock::cost {
 namespace {
@@ -89,6 +92,96 @@ TEST(PrefetchTest, CappedByLargestFragment) {
       OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
                        fx.allocation, fx.mix, fx.params);
   EXPECT_LE(choice.fact_granule, fx.sizes.MaxPages());
+}
+
+TEST(PrefetchTest, GranuleCandidatesArePowersOfTwoPlusCap) {
+  EXPECT_EQ(GranuleCandidates(1), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(GranuleCandidates(8), (std::vector<uint64_t>{1, 2, 4, 8}));
+  EXPECT_EQ(GranuleCandidates(11), (std::vector<uint64_t>{1, 2, 4, 8, 11}));
+  EXPECT_EQ(GranuleCandidates(0), (std::vector<uint64_t>{1}));
+}
+
+// The parallel search must be invisible in the result: the same choice,
+// bit-identical scores, and the same evaluation count at every worker
+// count (and as when no pool is supplied at all).
+TEST(PrefetchTest, PoolPathBitIdenticalAtEveryWorkerCount) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const PrefetchChoice serial =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params);
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    common::ThreadPool pool(workers);
+    const PrefetchChoice parallel =
+        OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                         fx.allocation, fx.mix, fx.params, {}, &pool);
+    EXPECT_EQ(parallel.fact_granule, serial.fact_granule)
+        << "workers=" << workers;
+    EXPECT_EQ(parallel.bitmap_granule, serial.bitmap_granule)
+        << "workers=" << workers;
+    EXPECT_EQ(parallel.response_ms, serial.response_ms)
+        << "workers=" << workers;
+    EXPECT_EQ(parallel.io_work_ms, serial.io_work_ms)
+        << "workers=" << workers;
+    EXPECT_EQ(parallel.evaluations, serial.evaluations)
+        << "workers=" << workers;
+  }
+}
+
+// Running the search from inside a pool task (the advisor's phase-2
+// pattern) must neither deadlock nor change the choice.
+TEST(PrefetchTest, NestedUnderPoolTaskBitIdentical) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const PrefetchChoice serial =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params);
+  common::ThreadPool pool(4);
+  std::vector<PrefetchChoice> slots(6);
+  pool.ParallelFor(0, slots.size(), [&](size_t i) {
+    slots[i] =
+        OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                         fx.allocation, fx.mix, fx.params, {}, &pool);
+  });
+  for (const PrefetchChoice& c : slots) {
+    EXPECT_EQ(c.fact_granule, serial.fact_granule);
+    EXPECT_EQ(c.bitmap_granule, serial.bitmap_granule);
+    EXPECT_EQ(c.response_ms, serial.response_ms);
+    EXPECT_EQ(c.io_work_ms, serial.io_work_ms);
+  }
+}
+
+// The phase-2 sweep is bounded by the largest stored bitmap, not by the
+// (orders of magnitude larger) fact fragment.
+TEST(PrefetchTest, BitmapGranuleCappedByLargestStoredBitmap) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  const uint64_t bitmap_cap = LargestBitmapPages(fx.sizes, fx.scheme);
+  // The fixture separates the caps: bitmaps are far smaller than fact
+  // fragments, so the cap fix is observable here.
+  ASSERT_LT(bitmap_cap, fx.sizes.MaxPages());
+  const PrefetchChoice choice =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params);
+  EXPECT_LE(choice.bitmap_granule, bitmap_cap);
+}
+
+// Grid accounting: phase 1 sweeps the fact grid, phase 2 the bitmap grid
+// minus the base bitmap granule already costed in phase 1 (duplicate grid
+// points are evaluated exactly once).
+TEST(PrefetchTest, DuplicateGridPointEvaluatedOnce) {
+  const Fixture fx = MakeFixture({{"Time", "Month"}});
+  PrefetchOptions opt;
+  const uint64_t fact_cap =
+      std::min<uint64_t>(opt.max_granule_pages, fx.sizes.MaxPages());
+  const uint64_t bitmap_cap = std::min<uint64_t>(
+      opt.max_granule_pages, LargestBitmapPages(fx.sizes, fx.scheme));
+  const size_t fact_grid = GranuleCandidates(fact_cap).size();
+  const size_t bitmap_grid = GranuleCandidates(bitmap_cap).size();
+  // The base bitmap granule (default 4, a power of two) sits inside the
+  // bitmap grid, so exactly one phase-2 point is deduplicated.
+  ASSERT_GE(bitmap_cap, fx.params.bitmap_granule);
+  const PrefetchChoice choice =
+      OptimizePrefetch(fx.schema, 0, fx.fragmentation, fx.sizes, fx.scheme,
+                       fx.allocation, fx.mix, fx.params, opt);
+  EXPECT_EQ(choice.evaluations, fact_grid + bitmap_grid - 1);
 }
 
 TEST(PrefetchTest, ChosenGranuleNoWorseThanExtremes) {
