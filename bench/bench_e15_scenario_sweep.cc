@@ -1,0 +1,126 @@
+// E15 — Scenario sweep throughput (outer, scenario-level parallelism).
+//
+// Measures `scenario::RunSweep` over a 16-scenario synthetic spec at
+// 1/2/4/8 sweep workers. Scenarios are far coarser-grained than candidate
+// evaluations (each is a whole Advisor::Run()), so this is the easiest
+// parallelism in the system: wall-clock should drop near-linearly with
+// cores while the CSV/JSON artifacts stay bit-identical (locked by
+// scenario_sweep_test; this driver locks the speed).
+//
+// Run via scripts/bench.sh to get the JSON the CI regression gate compares
+// against bench/BENCH_advisor_baseline.json.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "scenario/sweep.h"
+
+namespace {
+
+using warlock::bench::Banner;
+
+warlock::scenario::ScenarioSpec SweepSpec() {
+  warlock::scenario::ScenarioSpec spec;
+  spec.name = "bench-e15";
+  spec.seed = 2001;
+  spec.scenarios = 16;
+  spec.dimensions = {2, 3};
+  spec.levels = {1, 2};
+  spec.top_cardinality = {2, 4};
+  spec.fanout = {2, 4};
+  spec.skew_probability = 0.5;
+  spec.skew_theta = {0.5, 1.0};
+  spec.fact_rows = {100000, 400000};
+  spec.row_bytes = {64, 96};
+  spec.measures = {1, 2};
+  spec.query_classes = {2, 4};
+  spec.restrictions = {1, 2};
+  spec.num_values = {1, 2};
+  spec.disks = {8, 16};
+  spec.samples_per_class = 2;
+  spec.top_k = 3;
+  return spec;
+}
+
+void PrintExperiment() {
+  Banner("E15", "scenario sweep scaling (16 synthetic scenarios)");
+  std::printf("hardware threads: %u\n",
+              warlock::common::ThreadPool::ResolveThreadCount(0));
+  std::printf("RunSweep() wall-clock by sweep worker count:\n");
+  const auto spec = SweepSpec();
+  double serial_ms = 0.0;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = warlock::scenario::RunSweep(spec, {.threads = threads});
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (!result.ok()) {
+      std::fprintf(stderr, "sweep: %s\n",
+                   result.status().ToString().c_str());
+      return;
+    }
+    if (threads == 1) serial_ms = ms;
+    std::printf("  threads=%u: %8.1f ms  (speedup vs 1 thread: %.2fx)\n",
+                threads, ms, serial_ms > 0.0 ? serial_ms / ms : 0.0);
+  }
+}
+
+// The headline series: a full sweep at varying outer worker counts.
+// UseRealTime so the JSON reports wall-clock, not summed worker CPU time.
+void BM_SweepThreads(benchmark::State& state) {
+  const auto spec = SweepSpec();
+  warlock::scenario::SweepOptions options;
+  options.threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = warlock::scenario::RunSweep(spec, options);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    state.counters["scenarios"] =
+        static_cast<double>(result->outcomes.size());
+  }
+  // "workers", not "threads": Google Benchmark emits its own "threads"
+  // field per run, and a duplicate JSON key would corrupt the artifact.
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SweepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The unit of work the sweep pool distributes: generating one scenario
+// (schema + mix + config) without running the advisor. Tracks generator
+// overhead so sweep scaling numbers can be attributed to advisor work.
+void BM_GenerateScenario(benchmark::State& state) {
+  const auto spec = SweepSpec();
+  uint32_t index = 0;
+  for (auto _ : state) {
+    auto s = warlock::scenario::GenerateScenario(
+        spec, index++ % spec.scenarios);
+    benchmark::DoNotOptimize(s);
+    if (!s.ok()) {
+      state.SkipWithError(s.status().ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_GenerateScenario)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// The WARLOCK scenario sweep driver: expands a declarative sweep spec into
+// N synthetic warehouse scenarios (star schema + query mix + disk config),
+// runs the full advisor pipeline on every one of them in parallel, and
+// reports the per-scenario winners — the batch counterpart of the
+// interactive warlock_tool.
+//
+// Usage:
+//   warlock_sweep <spec.sweep> [--threads N] [--advisor-threads N]
+//                 [--csv path] [--json path] [--quiet]
+//
+// Sample specs live in examples/data/ :
+//   ./build/examples/warlock_sweep examples/data/demo.sweep
+//
+// The sweep output is deterministic: for a fixed spec the table, CSV and
+// JSON are bit-identical at every --threads / --advisor-threads setting.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "scenario/scenario_text.h"
+#include "scenario/sweep.h"
+
+namespace {
+
+warlock::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return warlock::Status::IoError("cannot open " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <spec.sweep> [--threads N] [--advisor-threads N] "
+               "[--csv path] [--json path] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+// Strict non-negative integer option parse: rejects the sign wrap and junk
+// that strtoul would silently accept ("-1" -> 4 billion workers).
+bool ParseU32Option(const char* arg, uint32_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (arg[0] == '-' || end == arg || *end != '\0' || v > 4096) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace warlock;
+  if (argc < 2) return Usage(argv[0]);
+
+  const std::string spec_path = argv[1];
+  scenario::SweepOptions options;
+  std::string csv_path, json_path;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--threads" && has_value) {
+      if (!ParseU32Option(argv[++i], &options.threads)) return Usage(argv[0]);
+    } else if (arg == "--advisor-threads" && has_value) {
+      if (!ParseU32Option(argv[++i], &options.advisor_threads)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--csv" && has_value) {
+      csv_path = argv[++i];
+    } else if (arg == "--json" && has_value) {
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.advisor_threads == 0) options.advisor_threads = 1;
+
+  auto text = ReadFile(spec_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto spec = scenario::SpecFromText(*text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!quiet) {
+    std::printf("WARLOCK scenario sweep\n");
+    std::printf("spec '%s': %u scenarios, seed %llu\n", spec->name.c_str(),
+                spec->scenarios,
+                static_cast<unsigned long long>(spec->seed));
+    std::printf("sweep threads: %u%s, advisor threads: %u\n\n",
+                common::ThreadPool::ResolveThreadCount(options.threads),
+                options.threads == 0 ? " (auto)" : "",
+                options.advisor_threads);
+  }
+
+  auto result = scenario::RunSweep(*spec, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sweep: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!quiet) {
+    std::printf("%s\n", scenario::RenderSweep(*result).c_str());
+  }
+
+  size_t failures = 0;
+  for (const auto& o : result->outcomes) {
+    if (!o.ok) ++failures;
+  }
+
+  if (!csv_path.empty()) {
+    auto st = scenario::SweepToCsv(*result).WriteFile(csv_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!quiet) std::printf("CSV report written to %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "json: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    out << scenario::SweepToJson(*result);
+    if (!quiet) std::printf("JSON report written to %s\n", json_path.c_str());
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%zu of %zu scenarios failed\n", failures,
+                 result->outcomes.size());
+    return 1;
+  }
+  return 0;
+}

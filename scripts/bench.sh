@@ -3,8 +3,9 @@
 # with JSON output and optionally gates the result against the checked-in
 # baseline — the regression fence CI uses once hot-path work lands.
 #
-# Drivers: bench_e13_parallel_advisor (candidate-level fan-out) and
-# bench_e14_prefetch_search (nested prefetch-granule search). Their JSON
+# Drivers: bench_e13_parallel_advisor (candidate-level fan-out),
+# bench_e14_prefetch_search (nested prefetch-granule search) and
+# bench_e15_scenario_sweep (scenario-level sweep fan-out). Their JSON
 # outputs are merged into one artifact so the gate sees every series.
 #
 # Usage:
@@ -26,7 +27,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_advisor.json}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
-DRIVERS=(bench_e13_parallel_advisor bench_e14_prefetch_search)
+DRIVERS=(bench_e13_parallel_advisor bench_e14_prefetch_search
+         bench_e15_scenario_sweep)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 for driver in "${DRIVERS[@]}"; do

@@ -15,9 +15,18 @@ if [[ -n "${PRESET:-}" ]]; then
   cmake --preset "$PRESET"
   cmake --build --preset "$PRESET" -j "$JOBS"
   ctest --preset "$PRESET"
+  BUILD_DIR="build-$PRESET"
 else
   BUILD_DIR="${BUILD_DIR:-build}"
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j "$JOBS"
   (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 fi
+
+# Scenario-sweep smoke: the tiny 4-scenario spec end to end (spec parse ->
+# generator -> parallel advisor runs -> reports), so release/asan/werror all
+# exercise the scenario subsystem beyond its unit tests.
+"$BUILD_DIR/examples/warlock_sweep" examples/data/smoke.sweep --threads 2 \
+  --csv "$BUILD_DIR/sweep_smoke.csv" --json "$BUILD_DIR/sweep_smoke.json" \
+  --quiet
+echo "warlock_sweep smoke OK"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace warlock {
 
@@ -54,6 +55,17 @@ std::string FormatMillis(double ms) {
 
 std::string FormatPercent(double fraction) {
   return Printf("%.1f", fraction * 100.0, "%");
+}
+
+std::string FormatDoubleRoundTrip(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  // 17 significant digits always round-trip a finite double; reaching here
+  // means v is inf/nan, which the callers' validation layers never emit.
+  return buf;
 }
 
 }  // namespace warlock

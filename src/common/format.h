@@ -22,6 +22,13 @@ std::string FormatMillis(double ms);
 /// Percentage with one decimal, e.g. "42.0%". Input is a fraction in [0,1].
 std::string FormatPercent(double fraction);
 
+/// Shortest decimal rendering of a finite double that strtod parses back to
+/// the identical bit pattern. The text printers (schema skew theta, workload
+/// weights, scenario-spec parameters) use this so print -> parse round-trips
+/// are lossless while typical values stay short ("0.86", not
+/// "0.85999999999999999").
+std::string FormatDoubleRoundTrip(double v);
+
 }  // namespace warlock
 
 #endif  // WARLOCK_COMMON_FORMAT_H_

@@ -1,0 +1,46 @@
+#include "common/parse_text.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace warlock {
+
+std::vector<std::string> TokenizeLine(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (!tok.empty() && tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+Result<uint64_t> ParseU64Field(const std::string& tok, const std::string& what,
+                               size_t line_no) {
+  if (!tok.empty() && tok[0] == '-') {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   what + " must be >= 0, got '" + tok + "'");
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": invalid " + what + " '" + tok + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<double> ParseDoubleField(const std::string& tok,
+                                const std::string& what, size_t line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0' || !std::isfinite(v)) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": invalid " + what + " '" + tok + "'");
+  }
+  return v;
+}
+
+}  // namespace warlock

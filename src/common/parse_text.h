@@ -1,0 +1,35 @@
+#ifndef WARLOCK_COMMON_PARSE_TEXT_H_
+#define WARLOCK_COMMON_PARSE_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace warlock {
+
+/// Shared building blocks of WARLOCK's line-based text formats (schema,
+/// workload, config, scenario spec): whitespace tokenization with `#`
+/// comments, and line-numbered numeric field parsing with the wrap/NaN
+/// pitfalls of strtoull/strtod closed off in one place.
+
+/// Splits a line into whitespace-separated tokens, dropping everything from
+/// the first token that starts with '#'.
+std::vector<std::string> TokenizeLine(const std::string& line);
+
+/// Parses an unsigned 64-bit field. Rejects a leading '-' explicitly
+/// (strtoull would silently wrap "-5" to a huge value). Errors name the
+/// field and carry `line_no`.
+Result<uint64_t> ParseU64Field(const std::string& tok, const std::string& what,
+                               size_t line_no);
+
+/// Parses a finite double field. Rejects "nan"/"inf" (strtod accepts them,
+/// and NaN then slips through every comparison-based validation). Errors
+/// name the field and carry `line_no`.
+Result<double> ParseDoubleField(const std::string& tok,
+                                const std::string& what, size_t line_no);
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_PARSE_TEXT_H_

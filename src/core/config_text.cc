@@ -1,8 +1,9 @@
 #include "core/config_text.h"
 
-#include <cstdlib>
 #include <sstream>
 #include <vector>
+
+#include "common/parse_text.h"
 
 namespace warlock::core {
 
@@ -10,14 +11,9 @@ namespace {
 
 Result<double> ParseNum(const std::string& tok, const std::string& key,
                         size_t line_no) {
-  char* end = nullptr;
-  const double v = std::strtod(tok.c_str(), &end);
-  if (end == tok.c_str() || *end != '\0') {
-    return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                   ": invalid value '" + tok + "' for " +
-                                   key);
-  }
-  return v;
+  // Shared field parser: rejects junk and non-finite values ("nan" would
+  // slip through every range check below) with the line number.
+  return ParseDoubleField(tok, key, line_no);
 }
 
 }  // namespace

@@ -1,0 +1,242 @@
+#include "scenario/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace warlock::scenario {
+
+namespace {
+
+// Bottom-level cardinalities are capped so the per-level weight vectors the
+// Dimension precomputes (one double per value per level) stay small even
+// under adversarial fanout ranges.
+constexpr uint64_t kMaxLevelCardinality = 1ULL << 20;
+
+Status CheckRange(const Range& r, const char* what, uint64_t min_lo,
+                  uint64_t max_hi) {
+  if (r.lo > r.hi) {
+    return Status::InvalidArgument(std::string(what) + ": lo " +
+                                   std::to_string(r.lo) + " > hi " +
+                                   std::to_string(r.hi));
+  }
+  if (r.lo < min_lo) {
+    return Status::InvalidArgument(std::string(what) + ": lo must be >= " +
+                                   std::to_string(min_lo));
+  }
+  if (r.hi > max_hi) {
+    return Status::InvalidArgument(std::string(what) + ": hi must be <= " +
+                                   std::to_string(max_hi));
+  }
+  return Status::OK();
+}
+
+uint64_t DrawRange(Rng& rng, const Range& r) {
+  // The full-width range [0, UINT64_MAX] would overflow the width to 0 and
+  // turn Uniform into a modulo-by-zero; Validate's caps keep real specs far
+  // below that, but stay safe for any Range.
+  const uint64_t width = r.hi - r.lo + 1;
+  return width == 0 ? rng.Next() : r.lo + rng.Uniform(width);
+}
+
+double DrawReal(Rng& rng, const RealRange& r) {
+  return r.lo + rng.NextDouble() * (r.hi - r.lo);
+}
+
+// "D0", "L2", "Q5", ... — built via append rather than operator+ because
+// GCC 12's -Wrestrict false-fires on inlined literal+to_string
+// concatenation (PR 105329) and the werror preset must stay clean.
+std::string IndexedName(char prefix, uint64_t i) {
+  std::string name(1, prefix);
+  name += std::to_string(i);
+  return name;
+}
+
+}  // namespace
+
+Status ScenarioSpec::Validate() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("scenario spec: name must be non-empty");
+  }
+  if (scenarios == 0 || scenarios > (1u << 20)) {
+    return Status::InvalidArgument(
+        "scenario spec: scenarios must be in [1, 2^20]");
+  }
+  // The hi caps are generation-cost sanity bounds: they keep every
+  // per-scenario loop small and every range width far from the uint64
+  // overflow DrawRange would otherwise have to survive.
+  WARLOCK_RETURN_IF_ERROR(CheckRange(dimensions, "dimensions", 1, 64));
+  WARLOCK_RETURN_IF_ERROR(CheckRange(levels, "levels", 1, 32));
+  WARLOCK_RETURN_IF_ERROR(
+      CheckRange(top_cardinality, "top_cardinality", 1, kMaxLevelCardinality));
+  WARLOCK_RETURN_IF_ERROR(
+      CheckRange(fanout, "fanout", 1, kMaxLevelCardinality));
+  WARLOCK_RETURN_IF_ERROR(
+      CheckRange(fact_rows, "fact_rows", 1, 1ULL << 50));
+  WARLOCK_RETURN_IF_ERROR(CheckRange(row_bytes, "row_bytes", 1, UINT32_MAX));
+  WARLOCK_RETURN_IF_ERROR(CheckRange(measures, "measures", 0, 256));
+  WARLOCK_RETURN_IF_ERROR(
+      CheckRange(query_classes, "query_classes", 1, 4096));
+  WARLOCK_RETURN_IF_ERROR(CheckRange(restrictions, "restrictions", 0, 64));
+  WARLOCK_RETURN_IF_ERROR(
+      CheckRange(num_values, "num_values", 1, kMaxLevelCardinality));
+  WARLOCK_RETURN_IF_ERROR(CheckRange(disks, "disks", 1, 1u << 20));
+  // NaN fails every comparison, so test finiteness explicitly.
+  if (!std::isfinite(skew_probability) || skew_probability < 0.0 ||
+      skew_probability > 1.0) {
+    return Status::InvalidArgument(
+        "scenario spec: skew_probability must be in [0,1]");
+  }
+  if (!std::isfinite(skew_theta.lo) || !std::isfinite(skew_theta.hi) ||
+      skew_theta.lo < 0.0 || skew_theta.lo > skew_theta.hi) {
+    return Status::InvalidArgument(
+        "scenario spec: skew_theta must satisfy 0 <= lo <= hi");
+  }
+  if (samples_per_class == 0) {
+    return Status::InvalidArgument(
+        "scenario spec: samples_per_class must be >= 1");
+  }
+  if (top_k == 0) {
+    return Status::InvalidArgument("scenario spec: top_k must be >= 1");
+  }
+  return Status::OK();
+}
+
+uint64_t ScenarioSeed(uint64_t base_seed, uint32_t index) {
+  // One splitmix step over the base seed, then a large-odd-multiple XOR per
+  // index — the same derivation Rng::Fork uses, but without consuming a
+  // shared stream, so scenario i's seed never depends on how many scenarios
+  // precede it.
+  Rng base(base_seed);
+  return base.Next() ^ ((static_cast<uint64_t>(index) + 1) *
+                        0x2545F4914F6CDD1DULL);
+}
+
+Result<Scenario> GenerateScenario(const ScenarioSpec& spec, uint32_t index) {
+  WARLOCK_RETURN_IF_ERROR(spec.Validate());
+  if (index >= spec.scenarios) {
+    return Status::InvalidArgument(
+        "scenario index " + std::to_string(index) + " out of range (spec has " +
+        std::to_string(spec.scenarios) + " scenarios)");
+  }
+  const uint64_t seed = ScenarioSeed(spec.seed, index);
+  Rng rng(seed);
+
+  // Star schema: dimensions with monotone non-decreasing hierarchy
+  // cardinalities (fanout >= 1 by validation), optional Zipf skew.
+  const uint64_t ndims = DrawRange(rng, spec.dimensions);
+  std::vector<schema::Dimension> dims;
+  dims.reserve(ndims);
+  for (uint64_t d = 0; d < ndims; ++d) {
+    const uint64_t nlevels = DrawRange(rng, spec.levels);
+    std::vector<schema::DimensionLevel> levels;
+    levels.reserve(nlevels);
+    uint64_t card = DrawRange(rng, spec.top_cardinality);
+    for (uint64_t l = 0; l < nlevels; ++l) {
+      // Dimension-qualified ("D2.L1") so fragmentation labels in sweep
+      // reports stay unambiguous across dimensions.
+      std::string level_name = IndexedName('D', d);
+      level_name += '.';
+      level_name += IndexedName('L', l);
+      levels.push_back({std::move(level_name), card});
+      const uint64_t f = DrawRange(rng, spec.fanout);
+      // Saturating, monotone growth toward the leaf.
+      card = (card > kMaxLevelCardinality / f) ? kMaxLevelCardinality
+                                               : card * f;
+    }
+    const double theta = rng.NextDouble() < spec.skew_probability
+                             ? DrawReal(rng, spec.skew_theta)
+                             : 0.0;
+    WARLOCK_ASSIGN_OR_RETURN(
+        schema::Dimension dim,
+        schema::Dimension::Create(IndexedName('D', d), std::move(levels),
+                                  theta));
+    dims.push_back(std::move(dim));
+  }
+
+  const uint64_t rows = DrawRange(rng, spec.fact_rows);
+  const uint64_t row_bytes = DrawRange(rng, spec.row_bytes);
+  const uint64_t nmeasures = DrawRange(rng, spec.measures);
+  std::vector<schema::Measure> measures;
+  for (uint64_t m = 0; m < nmeasures; ++m) {
+    measures.push_back({IndexedName('M', m), 8});
+  }
+  WARLOCK_ASSIGN_OR_RETURN(
+      schema::FactTable fact,
+      schema::FactTable::Create("Fact", rows,
+                                static_cast<uint32_t>(row_bytes),
+                                std::move(measures)));
+  WARLOCK_ASSIGN_OR_RETURN(
+      schema::StarSchema star,
+      schema::StarSchema::Create(spec.name + "-s" + std::to_string(index),
+                                 std::move(dims), std::move(fact)));
+
+  // Query mix: weighted classes restricting distinct dimensions at random
+  // levels. Weights are drawn in [0.1, 1) so no class degenerates to zero
+  // share before normalization.
+  const uint64_t nclasses = DrawRange(rng, spec.query_classes);
+  std::vector<workload::QueryClass> classes;
+  classes.reserve(nclasses);
+  for (uint64_t q = 0; q < nclasses; ++q) {
+    const uint64_t nrestr =
+        std::min(DrawRange(rng, spec.restrictions), star.num_dimensions());
+    // Partial Fisher-Yates: the first nrestr entries are a uniform draw of
+    // distinct dimensions (at most one restriction per dimension).
+    std::vector<uint32_t> dim_order(star.num_dimensions());
+    std::iota(dim_order.begin(), dim_order.end(), 0u);
+    for (uint64_t i = 0; i < nrestr; ++i) {
+      const uint64_t j = i + rng.Uniform(dim_order.size() - i);
+      std::swap(dim_order[i], dim_order[j]);
+    }
+    std::vector<workload::Restriction> restrictions;
+    restrictions.reserve(nrestr);
+    for (uint64_t i = 0; i < nrestr; ++i) {
+      const schema::Dimension& dim = star.dimension(dim_order[i]);
+      const uint32_t level =
+          static_cast<uint32_t>(rng.Uniform(dim.num_levels()));
+      const uint64_t nv = std::min(DrawRange(rng, spec.num_values),
+                                   dim.cardinality(level));
+      restrictions.push_back({dim_order[i], level, nv});
+    }
+    const double weight = 0.1 + rng.NextDouble() * 0.9;
+    WARLOCK_ASSIGN_OR_RETURN(
+        workload::QueryClass qc,
+        workload::QueryClass::Create(IndexedName('Q', q), weight,
+                                     std::move(restrictions), star));
+    classes.push_back(std::move(qc));
+  }
+  WARLOCK_ASSIGN_OR_RETURN(workload::QueryMix mix,
+                           workload::QueryMix::Create(std::move(classes)));
+
+  // Disk / tool configuration. The cost-model seed is the scenario seed so
+  // sampling streams differ between scenarios but stay reproducible; the
+  // sweep runner overrides `threads` with its advisor-level worker count.
+  core::ToolConfig config;
+  config.cost.disks.num_disks =
+      static_cast<uint32_t>(DrawRange(rng, spec.disks));
+  config.cost.samples_per_class = spec.samples_per_class;
+  config.cost.seed = seed;
+  config.ranking.top_k = spec.top_k;
+  config.threads = 1;
+  WARLOCK_RETURN_IF_ERROR(config.cost.disks.Validate());
+
+  return Scenario{index, seed, std::move(star), std::move(mix),
+                  std::move(config)};
+}
+
+Result<std::vector<Scenario>> ExpandSpec(const ScenarioSpec& spec) {
+  WARLOCK_RETURN_IF_ERROR(spec.Validate());
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(spec.scenarios);
+  for (uint32_t i = 0; i < spec.scenarios; ++i) {
+    WARLOCK_ASSIGN_OR_RETURN(Scenario s, GenerateScenario(spec, i));
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+}  // namespace warlock::scenario

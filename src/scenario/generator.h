@@ -1,0 +1,122 @@
+#ifndef WARLOCK_SCENARIO_GENERATOR_H_
+#define WARLOCK_SCENARIO_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/tool_config.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock::scenario {
+
+/// Inclusive integer parameter range [lo, hi] the generator draws from
+/// uniformly.
+struct Range {
+  uint64_t lo = 1;
+  uint64_t hi = 1;
+
+  bool operator==(const Range&) const = default;
+};
+
+/// Inclusive real parameter range [lo, hi].
+struct RealRange {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool operator==(const RealRange&) const = default;
+};
+
+/// A parameterized family of warehouse scenarios: every knob of WARLOCK's
+/// input layer (star-schema shape, attribute skew, fact population, query
+/// mix, disk configuration) as a range the seeded generator samples — the
+/// declarative core of a sweep. Defaults describe a small, fast family that
+/// still exercises multi-dimensional fragmentation and the twofold ranking.
+///
+/// The design-space framing follows DWEB and the data-warehouse benchmarking
+/// literature: fixed benchmarks under-exercise allocation advisors, so the
+/// schema/workload generator itself is parameterized.
+struct ScenarioSpec {
+  /// Sweep name; scenario schemas are named "<name>-s<index>".
+  std::string name = "sweep";
+
+  /// Base seed; scenario `i` derives its own independent stream from
+  /// (seed, i), so generation is index-addressable and order-free.
+  uint64_t seed = 42;
+
+  /// Number of scenarios the spec expands into.
+  uint32_t scenarios = 16;
+
+  /// Dimensions per schema.
+  Range dimensions{2, 4};
+  /// Hierarchy levels per dimension.
+  Range levels{1, 3};
+  /// Cardinality of the coarsest (top) level.
+  Range top_cardinality{2, 8};
+  /// Per-level cardinality multiplier toward the leaf (>= 1 keeps the
+  /// hierarchy cardinalities monotone non-decreasing).
+  Range fanout{2, 8};
+  /// Probability that a dimension carries Zipf skew on its bottom level.
+  double skew_probability = 0.0;
+  /// Zipf theta drawn for a skewed dimension.
+  RealRange skew_theta{0.5, 1.0};
+
+  /// Fact-table rows.
+  Range fact_rows{100000, 2000000};
+  /// Fact row width in bytes.
+  Range row_bytes{64, 128};
+  /// Measure attributes on the fact table.
+  Range measures{1, 3};
+
+  /// Query classes per mix.
+  Range query_classes{3, 6};
+  /// Restrictions per class (clamped to the dimension count; 0 is the
+  /// full-table aggregate).
+  Range restrictions{1, 3};
+  /// IN-list size per restriction (clamped to the level cardinality).
+  Range num_values{1, 2};
+
+  /// Disks of the scenario's disk configuration.
+  Range disks{8, 32};
+  /// Concrete query samples per class during cost evaluation (kept small:
+  /// a sweep multiplies this by scenarios x candidates).
+  uint32_t samples_per_class = 4;
+  /// Ranking length reported per scenario.
+  uint32_t top_k = 5;
+
+  /// Structural validity: every range lo <= hi, counts >= 1 where required,
+  /// fanout >= 1, skew_probability in [0,1], theta >= 0, row_bytes <= 2^32-1.
+  Status Validate() const;
+
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+/// One generated warehouse scenario: the three input-layer artifacts the
+/// advisor consumes, plus provenance (spec index and derived seed).
+struct Scenario {
+  uint32_t index;
+  uint64_t seed;
+  schema::StarSchema schema;
+  workload::QueryMix mix;
+  core::ToolConfig config;
+};
+
+/// Derived seed of scenario `index` under `base_seed`: O(1), independent of
+/// every other index, stable across runs and thread counts.
+uint64_t ScenarioSeed(uint64_t base_seed, uint32_t index);
+
+/// Deterministically generates scenario `index` of the spec. Guarantees for
+/// every returned scenario: the schema validates (hierarchy cardinalities
+/// monotone non-decreasing toward the leaf, unique names), the mix is
+/// non-empty with at most one restriction per dimension and in-range
+/// IN-list sizes, and the config passes DiskParameters::Validate().
+Result<Scenario> GenerateScenario(const ScenarioSpec& spec, uint32_t index);
+
+/// Expands the whole spec (indices 0 .. spec.scenarios-1).
+Result<std::vector<Scenario>> ExpandSpec(const ScenarioSpec& spec);
+
+}  // namespace warlock::scenario
+
+#endif  // WARLOCK_SCENARIO_GENERATOR_H_

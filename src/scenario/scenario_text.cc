@@ -1,0 +1,140 @@
+#include "scenario/scenario_text.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/format.h"
+#include "common/parse_text.h"
+
+namespace warlock::scenario {
+
+namespace {
+
+Result<double> ParseNonNegative(const std::string& tok, const std::string& key,
+                                size_t line_no) {
+  WARLOCK_ASSIGN_OR_RETURN(double v, ParseDoubleField(tok, key, line_no));
+  if (v < 0.0) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   key + " must be >= 0");
+  }
+  return v;
+}
+
+Result<uint32_t> ParsePositiveU32(const std::string& tok,
+                                  const std::string& key, size_t line_no) {
+  WARLOCK_ASSIGN_OR_RETURN(uint64_t v, ParseU64Field(tok, key, line_no));
+  if (v == 0 || v > UINT32_MAX) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   key + " out of range");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Result<ScenarioSpec> SpecFromText(std::string_view text) {
+  ScenarioSpec spec;
+  std::istringstream input{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    const std::vector<std::string> tok = TokenizeLine(line);
+    if (tok.empty()) continue;
+    const std::string& key = tok[0];
+
+    // Integer range keys: exactly 'key <lo> <hi>'.
+    Range* range = nullptr;
+    if (key == "dimensions") range = &spec.dimensions;
+    else if (key == "levels") range = &spec.levels;
+    else if (key == "top_cardinality") range = &spec.top_cardinality;
+    else if (key == "fanout") range = &spec.fanout;
+    else if (key == "fact_rows") range = &spec.fact_rows;
+    else if (key == "row_bytes") range = &spec.row_bytes;
+    else if (key == "measures") range = &spec.measures;
+    else if (key == "query_classes") range = &spec.query_classes;
+    else if (key == "restrictions") range = &spec.restrictions;
+    else if (key == "num_values") range = &spec.num_values;
+    else if (key == "disks") range = &spec.disks;
+    if (range != nullptr) {
+      if (tok.size() != 3) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected '" + key + " <lo> <hi>'");
+      }
+      WARLOCK_ASSIGN_OR_RETURN(range->lo, ParseU64Field(tok[1], key, line_no));
+      WARLOCK_ASSIGN_OR_RETURN(range->hi, ParseU64Field(tok[2], key, line_no));
+      continue;
+    }
+
+    if (key == "skew_theta") {
+      if (tok.size() != 3) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'skew_theta <lo> <hi>'");
+      }
+      WARLOCK_ASSIGN_OR_RETURN(spec.skew_theta.lo,
+                               ParseNonNegative(tok[1], key, line_no));
+      WARLOCK_ASSIGN_OR_RETURN(spec.skew_theta.hi,
+                               ParseNonNegative(tok[2], key, line_no));
+      continue;
+    }
+
+    // Scalar keys: exactly 'key <value>'.
+    if (tok.size() != 2) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected '" + key + " <value>'");
+    }
+    const std::string& value = tok[1];
+    if (key == "sweep") {
+      spec.name = value;
+    } else if (key == "seed") {
+      WARLOCK_ASSIGN_OR_RETURN(spec.seed, ParseU64Field(value, key, line_no));
+    } else if (key == "scenarios") {
+      WARLOCK_ASSIGN_OR_RETURN(spec.scenarios,
+                               ParsePositiveU32(value, key, line_no));
+    } else if (key == "skew_probability") {
+      WARLOCK_ASSIGN_OR_RETURN(spec.skew_probability,
+                               ParseNonNegative(value, key, line_no));
+    } else if (key == "samples_per_class") {
+      WARLOCK_ASSIGN_OR_RETURN(spec.samples_per_class,
+                               ParsePositiveU32(value, key, line_no));
+    } else if (key == "top_k") {
+      WARLOCK_ASSIGN_OR_RETURN(spec.top_k,
+                               ParsePositiveU32(value, key, line_no));
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown key '" + key + "'");
+    }
+  }
+  WARLOCK_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+std::string SpecToText(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  const auto range = [&os](const char* key, const Range& r) {
+    os << key << " " << r.lo << " " << r.hi << "\n";
+  };
+  os << "sweep " << spec.name << "\n";
+  os << "seed " << spec.seed << "\n";
+  os << "scenarios " << spec.scenarios << "\n";
+  range("dimensions", spec.dimensions);
+  range("levels", spec.levels);
+  range("top_cardinality", spec.top_cardinality);
+  range("fanout", spec.fanout);
+  os << "skew_probability " << FormatDoubleRoundTrip(spec.skew_probability)
+     << "\n";
+  os << "skew_theta " << FormatDoubleRoundTrip(spec.skew_theta.lo) << " "
+     << FormatDoubleRoundTrip(spec.skew_theta.hi) << "\n";
+  range("fact_rows", spec.fact_rows);
+  range("row_bytes", spec.row_bytes);
+  range("measures", spec.measures);
+  range("query_classes", spec.query_classes);
+  range("restrictions", spec.restrictions);
+  range("num_values", spec.num_values);
+  range("disks", spec.disks);
+  os << "samples_per_class " << spec.samples_per_class << "\n";
+  os << "top_k " << spec.top_k << "\n";
+  return os.str();
+}
+
+}  // namespace warlock::scenario

@@ -1,0 +1,48 @@
+#ifndef WARLOCK_SCENARIO_SCENARIO_TEXT_H_
+#define WARLOCK_SCENARIO_SCENARIO_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "scenario/generator.h"
+
+namespace warlock::scenario {
+
+/// Plain-text scenario-sweep specification, the declarative file format the
+/// `warlock_sweep` driver consumes. Line-based; `#` starts a comment; every
+/// key is optional and defaults to the ScenarioSpec default. Grammar:
+///
+/// ```
+/// sweep             <name>
+/// seed              <n>
+/// scenarios         <n>
+/// dimensions        <lo> <hi>
+/// levels            <lo> <hi>
+/// top_cardinality   <lo> <hi>
+/// fanout            <lo> <hi>
+/// skew_probability  <p>
+/// skew_theta        <lo> <hi>
+/// fact_rows         <lo> <hi>
+/// row_bytes         <lo> <hi>
+/// measures          <lo> <hi>
+/// query_classes     <lo> <hi>
+/// restrictions      <lo> <hi>
+/// num_values        <lo> <hi>
+/// disks             <lo> <hi>
+/// samples_per_class <n>
+/// top_k             <n>
+/// ```
+///
+/// Errors carry line numbers; negative values for unsigned keys are rejected
+/// (they would otherwise wrap), and the assembled spec is validated before
+/// it is returned.
+Result<ScenarioSpec> SpecFromText(std::string_view text);
+
+/// Inverse of `SpecFromText`; round-trips losslessly (doubles are printed
+/// with round-trip precision).
+std::string SpecToText(const ScenarioSpec& spec);
+
+}  // namespace warlock::scenario
+
+#endif  // WARLOCK_SCENARIO_SCENARIO_TEXT_H_

@@ -1,0 +1,218 @@
+#include "scenario/sweep.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "alloc/allocators.h"
+#include "common/format.h"
+#include "common/text_table.h"
+#include "common/thread_pool.h"
+#include "core/advisor.h"
+
+namespace warlock::scenario {
+
+namespace {
+
+// Runs one scenario end to end and fills its outcome slot. Never throws:
+// generation or advisor failures land in `out->error`.
+void RunScenario(const ScenarioSpec& spec, uint32_t index,
+                 uint32_t advisor_threads, ScenarioOutcome* out) {
+  out->index = index;
+  out->seed = ScenarioSeed(spec.seed, index);
+
+  auto scenario_or = GenerateScenario(spec, index);
+  if (!scenario_or.ok()) {
+    out->error = scenario_or.status().message();
+    return;
+  }
+  Scenario& scenario = *scenario_or;
+  scenario.config.threads = advisor_threads;
+
+  out->dimensions = static_cast<uint32_t>(scenario.schema.num_dimensions());
+  out->fact_rows = scenario.schema.fact().row_count();
+  out->query_classes = static_cast<uint32_t>(scenario.mix.size());
+  out->disks = scenario.config.cost.disks.num_disks;
+  out->skewed = scenario.schema.HasSkew();
+
+  const core::Advisor advisor(scenario.schema, scenario.mix, scenario.config);
+  auto result_or = advisor.Run();
+  if (!result_or.ok()) {
+    out->error = result_or.status().message();
+    return;
+  }
+  const core::AdvisorResult& result = *result_or;
+  out->ok = true;
+  out->enumerated = result.enumerated;
+  out->excluded = result.excluded;
+  out->screened = result.screened;
+  out->fully_evaluated = result.fully_evaluated;
+  if (result.ranking.empty()) return;  // winner/allocation keep their "-"
+  const core::EvaluatedCandidate& best = result.candidates[result.ranking[0]];
+  out->winner = best.fragmentation.Label(scenario.schema);
+  out->winner_fragments = best.num_fragments;
+  out->allocation = alloc::AllocationSchemeName(best.allocation_scheme);
+  out->fact_granule = best.fact_granule;
+  out->bitmap_granule = best.bitmap_granule;
+  out->io_work_ms = best.cost.io_work_ms;
+  out->response_ms = best.cost.response_ms;
+}
+
+// Minimal JSON string escaping: the labels we emit are alphanumeric with
+// punctuation, but error messages may quote arbitrary input.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SweepResult> RunSweep(const ScenarioSpec& spec,
+                             const SweepOptions& options) {
+  WARLOCK_RETURN_IF_ERROR(spec.Validate());
+
+  SweepResult result;
+  result.spec_name = spec.name;
+  result.spec_seed = spec.seed;
+  result.outcomes.resize(spec.scenarios);
+
+  // Outer fan-out: scenarios are independent (each derives its randomness
+  // from (spec.seed, index) and owns outcome slot `i` exclusively), so the
+  // pool only trades wall-clock for cores. Each scenario's advisor spins up
+  // its own inner pool of `advisor_threads` workers; its nested
+  // ParallelFor work-assists, so the two axes compose without deadlock.
+  common::ThreadPool pool(options.threads);
+  pool.ParallelFor(0, spec.scenarios, [&](size_t i) {
+    RunScenario(spec, static_cast<uint32_t>(i), options.advisor_threads,
+                &result.outcomes[i]);
+  });
+  return result;
+}
+
+CsvWriter SweepToCsv(const SweepResult& result) {
+  CsvWriter csv({"scenario", "seed", "dimensions", "fact_rows",
+                 "query_classes", "disks", "skewed", "status", "enumerated",
+                 "excluded", "screened", "fully_evaluated", "winner",
+                 "winner_fragments", "allocation", "fact_granule",
+                 "bitmap_granule", "io_work_ms", "response_ms", "error"});
+  for (const ScenarioOutcome& o : result.outcomes) {
+    csv.BeginRow()
+        .Add(static_cast<uint64_t>(o.index))
+        .Add(o.seed)
+        .Add(static_cast<uint64_t>(o.dimensions))
+        .Add(o.fact_rows)
+        .Add(static_cast<uint64_t>(o.query_classes))
+        .Add(static_cast<uint64_t>(o.disks))
+        .Add(std::string(o.skewed ? "yes" : "no"))
+        .Add(std::string(o.ok ? "ok" : "error"))
+        .Add(o.enumerated)
+        .Add(o.excluded)
+        .Add(o.screened)
+        .Add(o.fully_evaluated)
+        .Add(o.winner)
+        .Add(o.winner_fragments)
+        .Add(o.allocation)
+        .Add(o.fact_granule)
+        .Add(o.bitmap_granule)
+        .Add(o.io_work_ms)
+        .Add(o.response_ms)
+        .Add(o.error);
+  }
+  return csv;
+}
+
+std::string SweepToJson(const SweepResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"sweep\": \"" << JsonEscape(result.spec_name) << "\",\n";
+  os << "  \"seed\": " << result.spec_seed << ",\n";
+  os << "  \"scenarios\": [\n";
+  for (size_t i = 0; i < result.outcomes.size(); ++i) {
+    const ScenarioOutcome& o = result.outcomes[i];
+    os << "    {\"index\": " << o.index << ", \"seed\": " << o.seed
+       << ", \"dimensions\": " << o.dimensions
+       << ", \"fact_rows\": " << o.fact_rows
+       << ", \"query_classes\": " << o.query_classes
+       << ", \"disks\": " << o.disks
+       << ", \"skewed\": " << (o.skewed ? "true" : "false")
+       << ", \"ok\": " << (o.ok ? "true" : "false")
+       << ", \"enumerated\": " << o.enumerated
+       << ", \"excluded\": " << o.excluded
+       << ", \"screened\": " << o.screened
+       << ", \"fully_evaluated\": " << o.fully_evaluated
+       << ", \"winner\": \"" << JsonEscape(o.winner) << "\""
+       << ", \"winner_fragments\": " << o.winner_fragments
+       << ", \"allocation\": \"" << JsonEscape(o.allocation) << "\""
+       << ", \"fact_granule\": " << o.fact_granule
+       << ", \"bitmap_granule\": " << o.bitmap_granule
+       << ", \"io_work_ms\": " << FormatDoubleRoundTrip(o.io_work_ms)
+       << ", \"response_ms\": " << FormatDoubleRoundTrip(o.response_ms)
+       << ", \"error\": \"" << JsonEscape(o.error) << "\"}"
+       << (i + 1 < result.outcomes.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string RenderSweep(const SweepResult& result) {
+  TextTable table({"Scenario", "Dims", "FactRows", "Classes", "Disks",
+                   "Cands", "Winner", "#Frags", "Alloc", "Work/Q", "Resp/Q"});
+  size_t failures = 0;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    if (!o.ok) {
+      ++failures;
+      table.BeginRow()
+          .AddNumeric(std::to_string(o.index))
+          .AddNumeric(std::to_string(o.dimensions))
+          .AddNumeric(FormatCount(static_cast<double>(o.fact_rows)))
+          .AddNumeric(std::to_string(o.query_classes))
+          .AddNumeric(std::to_string(o.disks))
+          .AddNumeric("-")
+          .Add("error: " + o.error)
+          .AddNumeric("-")
+          .Add("-")
+          .AddNumeric("-")
+          .AddNumeric("-");
+      continue;
+    }
+    table.BeginRow()
+        .AddNumeric(std::to_string(o.index))
+        .AddNumeric(std::to_string(o.dimensions))
+        .AddNumeric(FormatCount(static_cast<double>(o.fact_rows)))
+        .AddNumeric(std::to_string(o.query_classes))
+        .AddNumeric(std::to_string(o.disks))
+        .AddNumeric(std::to_string(o.enumerated))
+        .Add(o.winner)
+        .AddNumeric(FormatCount(static_cast<double>(o.winner_fragments)))
+        .Add(o.allocation)
+        .AddNumeric(FormatMillis(o.io_work_ms))
+        .AddNumeric(FormatMillis(o.response_ms));
+  }
+  std::ostringstream os;
+  os << "WARLOCK scenario sweep '" << result.spec_name << "' (seed "
+     << result.spec_seed << "): " << result.outcomes.size() << " scenarios";
+  if (failures > 0) os << ", " << failures << " failed";
+  os << "\n" << table.ToString();
+  return os.str();
+}
+
+}  // namespace warlock::scenario

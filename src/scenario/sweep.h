@@ -1,0 +1,91 @@
+#ifndef WARLOCK_SCENARIO_SWEEP_H_
+#define WARLOCK_SCENARIO_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "scenario/generator.h"
+
+namespace warlock::scenario {
+
+/// Execution knobs of a sweep run.
+struct SweepOptions {
+  /// Worker threads of the scenario-level (outer) fan-out; 0 = one per
+  /// hardware thread.
+  uint32_t threads = 0;
+
+  /// Worker threads each scenario's advisor uses internally (the inner
+  /// parallelism axis of PR 2/3). The default of 1 keeps a fully loaded
+  /// outer pool from oversubscribing cores; raise it when scenarios are few
+  /// and large. Results are bit-identical for every combination of the two
+  /// knobs.
+  uint32_t advisor_threads = 1;
+};
+
+/// Per-scenario result row of a sweep: the scenario's shape, the advisor's
+/// bookkeeping counters, and the ranking winner's headline figures.
+struct ScenarioOutcome {
+  uint32_t index = 0;
+  uint64_t seed = 0;
+
+  // Scenario shape.
+  uint32_t dimensions = 0;
+  uint64_t fact_rows = 0;
+  uint32_t query_classes = 0;
+  uint32_t disks = 0;
+  bool skewed = false;
+
+  // Run verdict. `error` is set when generation or the advisor failed; the
+  // sweep keeps going (one degenerate scenario must not sink the batch).
+  bool ok = false;
+  std::string error;
+
+  // Advisor counters (fully_evaluated + excluded + screened == enumerated).
+  uint64_t enumerated = 0;
+  uint64_t excluded = 0;
+  uint64_t screened = 0;
+  uint64_t fully_evaluated = 0;
+
+  // Ranking winner ("-" when the ranking is empty or the run failed).
+  std::string winner = "-";
+  uint64_t winner_fragments = 0;
+  std::string allocation = "-";
+  uint64_t fact_granule = 1;
+  uint64_t bitmap_granule = 1;
+  double io_work_ms = 0.0;
+  double response_ms = 0.0;
+};
+
+/// Output of `RunSweep`: one outcome per scenario, in scenario-index order.
+struct SweepResult {
+  std::string spec_name;
+  uint64_t spec_seed = 0;
+  std::vector<ScenarioOutcome> outcomes;
+};
+
+/// Expands `spec` into its scenarios and fans the independent
+/// `Advisor::Run()` invocations out over a `common::ThreadPool` sized by
+/// `options.threads` — the second, scenario-level parallelism axis above
+/// the advisor's candidate-level one. Every worker writes only its own
+/// pre-sized outcome slot and each scenario derives all randomness from
+/// (spec.seed, index), so the result — and the CSV/JSON renderings below —
+/// is bit-identical at every worker count.
+Result<SweepResult> RunSweep(const ScenarioSpec& spec,
+                             const SweepOptions& options = {});
+
+/// CSV export (one row per scenario, index order; deterministic).
+CsvWriter SweepToCsv(const SweepResult& result);
+
+/// JSON export (scenario rows in index order; doubles printed with
+/// round-trip precision so the document is deterministic).
+std::string SweepToJson(const SweepResult& result);
+
+/// Human-readable summary table.
+std::string RenderSweep(const SweepResult& result);
+
+}  // namespace warlock::scenario
+
+#endif  // WARLOCK_SCENARIO_SWEEP_H_

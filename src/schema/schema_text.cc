@@ -1,46 +1,14 @@
 #include "schema/schema_text.h"
 
-#include <cstdlib>
 #include <sstream>
 #include <vector>
+
+#include "common/format.h"
+#include "common/parse_text.h"
 
 namespace warlock::schema {
 
 namespace {
-
-// Splits a line into whitespace-separated tokens, dropping '#' comments.
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream is(line);
-  std::string tok;
-  while (is >> tok) {
-    if (!tok.empty() && tok[0] == '#') break;
-    tokens.push_back(tok);
-  }
-  return tokens;
-}
-
-Result<uint64_t> ParseU64(const std::string& tok, const char* what,
-                          size_t line_no) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
-  if (end == tok.c_str() || *end != '\0') {
-    return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                   ": invalid " + what + " '" + tok + "'");
-  }
-  return static_cast<uint64_t>(v);
-}
-
-Result<double> ParseDouble(const std::string& tok, const char* what,
-                           size_t line_no) {
-  char* end = nullptr;
-  const double v = std::strtod(tok.c_str(), &end);
-  if (end == tok.c_str() || *end != '\0') {
-    return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                   ": invalid " + what + " '" + tok + "'");
-  }
-  return v;
-}
 
 // Builder state for one dimension under construction.
 struct PendingDimension {
@@ -68,7 +36,7 @@ Result<StarSchema> SchemaFromText(std::string_view text) {
   size_t line_no = 0;
   while (std::getline(input, line)) {
     ++line_no;
-    const std::vector<std::string> tok = Tokenize(line);
+    const std::vector<std::string> tok = TokenizeLine(line);
     if (tok.empty()) continue;
     const std::string& kw = tok[0];
     if (kw == "schema") {
@@ -87,7 +55,7 @@ Result<StarSchema> SchemaFromText(std::string_view text) {
       d.name = tok[1];
       if (tok.size() == 4) {
         WARLOCK_ASSIGN_OR_RETURN(d.theta,
-                                 ParseDouble(tok[3], "skew theta", line_no));
+                                 ParseDoubleField(tok[3], "skew theta", line_no));
       }
       dims.push_back(std::move(d));
     } else if (kw == "level") {
@@ -101,7 +69,7 @@ Result<StarSchema> SchemaFromText(std::string_view text) {
             ": expected 'level <name> <cardinality>'");
       }
       WARLOCK_ASSIGN_OR_RETURN(uint64_t card,
-                               ParseU64(tok[2], "cardinality", line_no));
+                               ParseU64Field(tok[2], "cardinality", line_no));
       dims.back().levels.push_back({tok[1], card});
     } else if (kw == "fact") {
       if (tok.size() != 4) {
@@ -111,9 +79,9 @@ Result<StarSchema> SchemaFromText(std::string_view text) {
       }
       PendingFact f;
       f.name = tok[1];
-      WARLOCK_ASSIGN_OR_RETURN(f.rows, ParseU64(tok[2], "row count", line_no));
+      WARLOCK_ASSIGN_OR_RETURN(f.rows, ParseU64Field(tok[2], "row count", line_no));
       WARLOCK_ASSIGN_OR_RETURN(uint64_t rb,
-                               ParseU64(tok[3], "row bytes", line_no));
+                               ParseU64Field(tok[3], "row bytes", line_no));
       if (rb == 0 || rb > UINT32_MAX) {
         return Status::InvalidArgument("line " + std::to_string(line_no) +
                                        ": row bytes out of range");
@@ -130,7 +98,11 @@ Result<StarSchema> SchemaFromText(std::string_view text) {
                                        ": expected 'measure <name> <bytes>'");
       }
       WARLOCK_ASSIGN_OR_RETURN(uint64_t bytes,
-                               ParseU64(tok[2], "measure bytes", line_no));
+                               ParseU64Field(tok[2], "measure bytes", line_no));
+      if (bytes == 0 || bytes > UINT32_MAX) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": measure bytes out of range");
+      }
       facts.back().measures.push_back(
           {tok[1], static_cast<uint32_t>(bytes)});
     } else {
@@ -166,7 +138,7 @@ std::string SchemaToText(const StarSchema& schema) {
   for (size_t i = 0; i < schema.num_dimensions(); ++i) {
     const Dimension& d = schema.dimension(i);
     os << "dimension " << d.name();
-    if (d.skewed()) os << " skew " << d.zipf_theta();
+    if (d.skewed()) os << " skew " << FormatDoubleRoundTrip(d.zipf_theta());
     os << "\n";
     for (size_t l = 0; l < d.num_levels(); ++l) {
       os << "level " << d.level(l).name << " " << d.level(l).cardinality

@@ -1,23 +1,14 @@
 #include "workload/workload_text.h"
 
-#include <cstdlib>
 #include <sstream>
 #include <vector>
+
+#include "common/format.h"
+#include "common/parse_text.h"
 
 namespace warlock::workload {
 
 namespace {
-
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream is(line);
-  std::string tok;
-  while (is >> tok) {
-    if (!tok.empty() && tok[0] == '#') break;
-    tokens.push_back(tok);
-  }
-  return tokens;
-}
 
 struct PendingClass {
   std::string name;
@@ -35,19 +26,15 @@ Result<QueryMix> QueryMixFromText(std::string_view text,
   size_t line_no = 0;
   while (std::getline(input, line)) {
     ++line_no;
-    const std::vector<std::string> tok = Tokenize(line);
+    const std::vector<std::string> tok = TokenizeLine(line);
     if (tok.empty()) continue;
     if (tok[0] == "query") {
       if (tok.size() != 3) {
         return Status::InvalidArgument("line " + std::to_string(line_no) +
                                        ": expected 'query <name> <weight>'");
       }
-      char* end = nullptr;
-      const double w = std::strtod(tok[2].c_str(), &end);
-      if (end == tok[2].c_str() || *end != '\0') {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": invalid weight '" + tok[2] + "'");
-      }
+      WARLOCK_ASSIGN_OR_RETURN(double w,
+                               ParseDoubleField(tok[2], "weight", line_no));
       pending.push_back({tok[1], w, {}});
     } else if (tok[0] == "restrict") {
       if (pending.empty()) {
@@ -64,14 +51,13 @@ Result<QueryMix> QueryMixFromText(std::string_view text,
                                schema.dimension(dim).LevelIndex(tok[2]));
       uint64_t num_values = 1;
       if (tok.size() == 4) {
-        char* end = nullptr;
-        const unsigned long long v = std::strtoull(tok[3].c_str(), &end, 10);
-        if (end == tok[3].c_str() || *end != '\0' || v == 0) {
+        WARLOCK_ASSIGN_OR_RETURN(
+            num_values, ParseU64Field(tok[3], "num_values", line_no));
+        if (num_values == 0) {
           return Status::InvalidArgument("line " + std::to_string(line_no) +
                                          ": invalid num_values '" + tok[3] +
                                          "'");
         }
-        num_values = v;
       }
       pending.back().restrictions.push_back({static_cast<uint32_t>(dim),
                                              static_cast<uint32_t>(level),
@@ -100,7 +86,8 @@ std::string QueryMixToText(const QueryMix& mix,
   std::ostringstream os;
   for (size_t i = 0; i < mix.size(); ++i) {
     const QueryClass& qc = mix.query_class(i);
-    os << "query " << qc.name() << " " << mix.weight(i) << "\n";
+    os << "query " << qc.name() << " " << FormatDoubleRoundTrip(mix.weight(i))
+       << "\n";
     for (const Restriction& r : qc.restrictions()) {
       const schema::Dimension& d = schema.dimension(r.dim);
       os << "restrict " << d.name() << " " << d.level(r.level).name;

@@ -1,3 +1,5 @@
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "common/csv.h"
@@ -93,6 +95,24 @@ TEST(FormatTest, Millis) {
 TEST(FormatTest, Percent) {
   EXPECT_EQ(FormatPercent(0.421), "42.1%");
   EXPECT_EQ(FormatPercent(1.0), "100.0%");
+}
+
+TEST(FormatTest, DoubleRoundTripShortForTypicalValues) {
+  EXPECT_EQ(FormatDoubleRoundTrip(0.0), "0");
+  EXPECT_EQ(FormatDoubleRoundTrip(1.0), "1");
+  EXPECT_EQ(FormatDoubleRoundTrip(0.86), "0.86");
+  EXPECT_EQ(FormatDoubleRoundTrip(0.25), "0.25");
+  EXPECT_EQ(FormatDoubleRoundTrip(42.0), "42");
+}
+
+TEST(FormatTest, DoubleRoundTripIsLossless) {
+  const double values[] = {1.0 / 3.0,  0.1,   0.8612345678901234,
+                           1e-9,       1e300, 123456789.123456789,
+                           -0.7531902467} ;
+  for (double v : values) {
+    const std::string s = FormatDoubleRoundTrip(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
 }
 
 }  // namespace

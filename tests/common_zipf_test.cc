@@ -54,6 +54,62 @@ TEST(ZipfTest, ClassicRatios) {
   EXPECT_NEAR((*w)[0] / (*w)[3], 4.0, 1e-9);
 }
 
+// Edge parameters the scenario generator feeds in: a single-element domain
+// must carry the whole mass regardless of theta.
+TEST(ZipfTest, SingleElementDomain) {
+  for (double theta : {0.0, 0.5, 1.0, 10.0}) {
+    auto w = ZipfWeights(1, theta);
+    ASSERT_TRUE(w.ok()) << "theta=" << theta;
+    ASSERT_EQ(w->size(), 1u);
+    EXPECT_DOUBLE_EQ((*w)[0], 1.0) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, LargeDomainUniform) {
+  const uint64_t n = 1'000'000;
+  auto w = ZipfWeights(n, 0.0);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), n);
+  EXPECT_DOUBLE_EQ((*w)[0], 1.0 / static_cast<double>(n));
+  EXPECT_DOUBLE_EQ((*w)[n - 1], 1.0 / static_cast<double>(n));
+}
+
+TEST(ZipfTest, LargeDomainSkewedNormalizedAndMonotone) {
+  const uint64_t n = 1'000'000;
+  auto w = ZipfWeights(n, 0.86);
+  ASSERT_TRUE(w.ok());
+  const double sum = std::accumulate(w->begin(), w->end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT((*w)[0], (*w)[n - 1]);
+  for (uint64_t i : {uint64_t{1}, uint64_t{1000}, n - 1}) {
+    EXPECT_LE((*w)[i], (*w)[i - 1]) << "i=" << i;
+  }
+}
+
+// Extreme theta underflows the tail to zero; the head must still normalize
+// and stay samplable (zero tail weights are valid AliasSampler input).
+TEST(ZipfTest, ExtremeThetaUnderflowingTailStaysNormalized) {
+  auto w = ZipfWeights(1000, 50.0);
+  ASSERT_TRUE(w.ok());
+  const double sum = std::accumulate(w->begin(), w->end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR((*w)[0], 1.0, 1e-12);
+  auto s = AliasSampler::Create(*w);
+  ASSERT_TRUE(s.ok());
+  Rng rng(3);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(s->Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, LargeUniformDomainInRange) {
+  auto w = ZipfWeights(100'000, 0.0);
+  ASSERT_TRUE(w.ok());
+  auto s = AliasSampler::Create(*w);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 100'000u);
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(s->Sample(rng), 100'000u);
+}
+
 TEST(AliasSamplerTest, RejectsBadInput) {
   EXPECT_FALSE(AliasSampler::Create({}).ok());
   EXPECT_FALSE(AliasSampler::Create({1.0, -0.5}).ok());

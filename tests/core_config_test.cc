@@ -205,6 +205,9 @@ TEST(ConfigTextTest, NonDefaultConfigRoundTripsLosslessly) {
 
 TEST(ConfigTextTest, Errors) {
   EXPECT_FALSE(ToolConfigFromText("bogus_key 1\n").ok());
+  // NaN passes every comparison-based range check; reject it at parse.
+  EXPECT_FALSE(ToolConfigFromText("disks nan\n").ok());
+  EXPECT_FALSE(ToolConfigFromText("skew_threshold nan\n").ok());
   EXPECT_FALSE(ToolConfigFromText("disks\n").ok());
   EXPECT_FALSE(ToolConfigFromText("disks abc\n").ok());
   EXPECT_FALSE(ToolConfigFromText("disks 4 5\n").ok());

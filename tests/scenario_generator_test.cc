@@ -1,0 +1,216 @@
+#include "scenario/generator.h"
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "schema/schema_text.h"
+#include "workload/workload_text.h"
+
+namespace warlock::scenario {
+namespace {
+
+// A wide spec that exercises every generator knob, small enough that a
+// property sweep over dozens of scenarios stays fast.
+ScenarioSpec WideSpec() {
+  ScenarioSpec spec;
+  spec.name = "prop";
+  spec.seed = 1234;
+  spec.scenarios = 40;
+  spec.dimensions = {1, 5};
+  spec.levels = {1, 4};
+  spec.top_cardinality = {1, 10};
+  spec.fanout = {1, 12};
+  spec.skew_probability = 0.5;
+  spec.skew_theta = {0.25, 1.5};
+  spec.fact_rows = {1000, 500000};
+  spec.row_bytes = {32, 200};
+  spec.measures = {0, 4};
+  spec.query_classes = {1, 7};
+  spec.restrictions = {0, 5};
+  spec.num_values = {1, 3};
+  spec.disks = {2, 64};
+  spec.samples_per_class = 2;
+  spec.top_k = 3;
+  return spec;
+}
+
+TEST(ScenarioSpecTest, DefaultSpecValidates) {
+  EXPECT_TRUE(ScenarioSpec{}.Validate().ok());
+}
+
+TEST(ScenarioSpecTest, ValidateCapsRangeWidths) {
+  ScenarioSpec spec;
+  spec.measures = {0, UINT64_MAX};  // full width would overflow DrawRange
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = ScenarioSpec{};
+  spec.skew_probability = std::nan("");
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = ScenarioSpec{};
+  spec.skew_theta = {0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(ScenarioSpecTest, ValidateCatchesBadRanges) {
+  ScenarioSpec spec;
+  spec.dimensions = {3, 2};
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = ScenarioSpec{};
+  spec.fanout = {0, 4};  // fanout 0 would break hierarchy monotonicity
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = ScenarioSpec{};
+  spec.skew_probability = -0.1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = ScenarioSpec{};
+  spec.scenarios = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = ScenarioSpec{};
+  spec.name.clear();
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(ScenarioSeedTest, StableAndPerIndexDistinct) {
+  const uint64_t s0 = ScenarioSeed(42, 0);
+  EXPECT_EQ(s0, ScenarioSeed(42, 0));
+  std::set<uint64_t> seeds;
+  for (uint32_t i = 0; i < 100; ++i) seeds.insert(ScenarioSeed(42, i));
+  EXPECT_EQ(seeds.size(), 100u);
+  EXPECT_NE(ScenarioSeed(42, 0), ScenarioSeed(43, 0));
+}
+
+// Every generated scenario must be structurally valid: the factories
+// succeeded, hierarchy cardinalities grow monotonically toward the leaf,
+// restrictions are in range, weights normalize, config validates.
+TEST(ScenarioGeneratorTest, GeneratedScenariosAreStructurallyValid) {
+  const ScenarioSpec spec = WideSpec();
+  for (uint32_t i = 0; i < spec.scenarios; ++i) {
+    auto s = GenerateScenario(spec, i);
+    ASSERT_TRUE(s.ok()) << "scenario " << i << ": "
+                        << s.status().ToString();
+    EXPECT_EQ(s->index, i);
+    EXPECT_EQ(s->seed, ScenarioSeed(spec.seed, i));
+
+    const schema::StarSchema& schema = s->schema;
+    EXPECT_GE(schema.num_dimensions(), spec.dimensions.lo);
+    EXPECT_LE(schema.num_dimensions(), spec.dimensions.hi);
+    for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+      const schema::Dimension& dim = schema.dimension(d);
+      EXPECT_GE(dim.num_levels(), spec.levels.lo);
+      EXPECT_LE(dim.num_levels(), spec.levels.hi);
+      EXPECT_GE(dim.cardinality(0), spec.top_cardinality.lo);
+      EXPECT_LE(dim.cardinality(0), spec.top_cardinality.hi);
+      for (size_t l = 1; l < dim.num_levels(); ++l) {
+        EXPECT_GE(dim.cardinality(l), dim.cardinality(l - 1))
+            << "scenario " << i << " dim " << d << " level " << l;
+      }
+      if (dim.skewed()) {
+        EXPECT_GE(dim.zipf_theta(), spec.skew_theta.lo);
+        EXPECT_LE(dim.zipf_theta(), spec.skew_theta.hi);
+      }
+    }
+    EXPECT_GE(schema.fact().row_count(), spec.fact_rows.lo);
+    EXPECT_LE(schema.fact().row_count(), spec.fact_rows.hi);
+    EXPECT_GE(schema.fact().measures().size(), spec.measures.lo);
+    EXPECT_LE(schema.fact().measures().size(), spec.measures.hi);
+
+    const workload::QueryMix& mix = s->mix;
+    ASSERT_GE(mix.size(), spec.query_classes.lo);
+    ASSERT_LE(mix.size(), spec.query_classes.hi);
+    double weight_sum = 0.0;
+    for (size_t q = 0; q < mix.size(); ++q) {
+      weight_sum += mix.weight(q);
+      const workload::QueryClass& qc = mix.query_class(q);
+      EXPECT_LE(qc.restrictions().size(), schema.num_dimensions());
+      std::set<uint32_t> restricted_dims;
+      for (const workload::Restriction& r : qc.restrictions()) {
+        EXPECT_TRUE(restricted_dims.insert(r.dim).second)
+            << "duplicate restriction dimension";
+        ASSERT_LT(r.dim, schema.num_dimensions());
+        const schema::Dimension& dim = schema.dimension(r.dim);
+        ASSERT_LT(r.level, dim.num_levels());
+        EXPECT_GE(r.num_values, 1u);
+        EXPECT_LE(r.num_values, dim.cardinality(r.level));
+      }
+    }
+    EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+
+    EXPECT_GE(s->config.cost.disks.num_disks, spec.disks.lo);
+    EXPECT_LE(s->config.cost.disks.num_disks, spec.disks.hi);
+    EXPECT_EQ(s->config.cost.samples_per_class, spec.samples_per_class);
+    EXPECT_EQ(s->config.ranking.top_k, spec.top_k);
+    EXPECT_EQ(s->config.cost.seed, s->seed);
+    EXPECT_TRUE(s->config.cost.disks.Validate().ok());
+  }
+}
+
+// Generation must be a pure function of (spec, index): repeated calls yield
+// bit-identical artifacts, and an index can be generated out of order or in
+// isolation with the same result (the property the parallel sweep runner's
+// determinism rests on).
+TEST(ScenarioGeneratorTest, GenerationIsDeterministicAndIndexAddressable) {
+  const ScenarioSpec spec = WideSpec();
+  auto expanded = ExpandSpec(spec);
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  ASSERT_EQ(expanded->size(), spec.scenarios);
+  for (uint32_t i : {0u, 7u, 23u, spec.scenarios - 1}) {
+    auto direct = GenerateScenario(spec, i);
+    ASSERT_TRUE(direct.ok());
+    const Scenario& a = (*expanded)[i];
+    EXPECT_EQ(schema::SchemaToText(direct->schema),
+              schema::SchemaToText(a.schema));
+    EXPECT_EQ(workload::QueryMixToText(direct->mix, direct->schema),
+              workload::QueryMixToText(a.mix, a.schema));
+    EXPECT_EQ(direct->config.cost.disks.num_disks,
+              a.config.cost.disks.num_disks);
+    EXPECT_EQ(direct->config.cost.seed, a.config.cost.seed);
+  }
+}
+
+TEST(ScenarioGeneratorTest, SkewProbabilityExtremes) {
+  ScenarioSpec spec = WideSpec();
+  spec.skew_probability = 0.0;
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto s = GenerateScenario(spec, i);
+    ASSERT_TRUE(s.ok());
+    EXPECT_FALSE(s->schema.HasSkew()) << "scenario " << i;
+  }
+  spec.skew_probability = 1.0;
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto s = GenerateScenario(spec, i);
+    ASSERT_TRUE(s.ok());
+    for (size_t d = 0; d < s->schema.num_dimensions(); ++d) {
+      EXPECT_TRUE(s->schema.dimension(d).skewed())
+          << "scenario " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(ScenarioGeneratorTest, DifferentSeedsDiffer) {
+  ScenarioSpec a = WideSpec();
+  ScenarioSpec b = WideSpec();
+  b.seed = a.seed + 1;
+  auto sa = GenerateScenario(a, 0);
+  auto sb = GenerateScenario(b, 0);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_NE(schema::SchemaToText(sa->schema),
+            schema::SchemaToText(sb->schema));
+}
+
+TEST(ScenarioGeneratorTest, IndexOutOfRangeRejected) {
+  const ScenarioSpec spec;  // 16 scenarios
+  EXPECT_FALSE(GenerateScenario(spec, spec.scenarios).ok());
+}
+
+TEST(ScenarioGeneratorTest, InvalidSpecRejected) {
+  ScenarioSpec spec;
+  spec.fanout = {0, 2};
+  EXPECT_FALSE(GenerateScenario(spec, 0).ok());
+  EXPECT_FALSE(ExpandSpec(spec).ok());
+}
+
+}  // namespace
+}  // namespace warlock::scenario

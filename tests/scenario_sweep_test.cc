@@ -1,0 +1,145 @@
+#include "scenario/sweep.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario_text.h"
+
+namespace warlock::scenario {
+namespace {
+
+// The acceptance-criteria spec: >= 16 scenarios, kept tiny so four full
+// sweeps (worker counts 1/2/4/8) finish quickly even under sanitizers.
+ScenarioSpec TestSpec() {
+  ScenarioSpec spec;
+  spec.name = "sweeptest";
+  spec.seed = 99;
+  spec.scenarios = 16;
+  spec.dimensions = {2, 3};
+  spec.levels = {1, 2};
+  spec.top_cardinality = {2, 4};
+  spec.fanout = {2, 4};
+  spec.skew_probability = 0.5;
+  spec.skew_theta = {0.5, 1.0};
+  spec.fact_rows = {50000, 200000};
+  spec.row_bytes = {64, 96};
+  spec.measures = {1, 2};
+  spec.query_classes = {2, 4};
+  spec.restrictions = {1, 2};
+  spec.num_values = {1, 2};
+  spec.disks = {4, 8};
+  spec.samples_per_class = 2;
+  spec.top_k = 3;
+  return spec;
+}
+
+TEST(SweepTest, RunsEveryScenarioAndKeepsCountersConsistent) {
+  auto result = RunSweep(TestSpec(), {.threads = 1});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->outcomes.size(), 16u);
+  for (const ScenarioOutcome& o : result->outcomes) {
+    EXPECT_TRUE(o.ok) << "scenario " << o.index << ": " << o.error;
+    EXPECT_EQ(o.enumerated, o.excluded + o.screened + o.fully_evaluated)
+        << "scenario " << o.index;
+    EXPECT_GT(o.enumerated, 0u) << "scenario " << o.index;
+    EXPECT_NE(o.winner, "") << "scenario " << o.index;
+  }
+}
+
+// The headline determinism contract (acceptance criterion): the sweep's
+// CSV and JSON artifacts are bit-identical at every worker count, on a
+// >= 16 scenario spec.
+TEST(SweepTest, OutputBitIdenticalAcrossWorkerCounts) {
+  const ScenarioSpec spec = TestSpec();
+  auto baseline = RunSweep(spec, {.threads = 1});
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string csv1 = SweepToCsv(*baseline).ToString();
+  const std::string json1 = SweepToJson(*baseline);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    auto result = RunSweep(spec, {.threads = threads});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(SweepToCsv(*result).ToString(), csv1)
+        << "CSV differs at threads=" << threads;
+    EXPECT_EQ(SweepToJson(*result), json1)
+        << "JSON differs at threads=" << threads;
+  }
+}
+
+// The inner (advisor-level) worker count is a second, nested parallelism
+// axis; it must not change the artifacts either.
+TEST(SweepTest, AdvisorThreadsDoNotChangeOutput) {
+  const ScenarioSpec spec = TestSpec();
+  auto a = RunSweep(spec, {.threads = 1, .advisor_threads = 1});
+  auto b = RunSweep(spec, {.threads = 2, .advisor_threads = 3});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SweepToCsv(*a).ToString(), SweepToCsv(*b).ToString());
+  EXPECT_EQ(SweepToJson(*a), SweepToJson(*b));
+}
+
+TEST(SweepTest, CsvShape) {
+  auto result = RunSweep(TestSpec(), {.threads = 2});
+  ASSERT_TRUE(result.ok());
+  const CsvWriter csv = SweepToCsv(*result);
+  EXPECT_EQ(csv.row_count(), 16u);
+  const std::string text = csv.ToString();
+  EXPECT_EQ(text.find("scenario,seed,dimensions,fact_rows"), 0u);
+}
+
+TEST(SweepTest, JsonShape) {
+  auto result = RunSweep(TestSpec(), {.threads = 2});
+  ASSERT_TRUE(result.ok());
+  const std::string json = SweepToJson(*result);
+  EXPECT_NE(json.find("\"sweep\": \"sweeptest\""), std::string::npos);
+  EXPECT_NE(json.find("\"index\": 15"), std::string::npos);
+  EXPECT_NE(json.find("\"fully_evaluated\""), std::string::npos);
+}
+
+TEST(SweepTest, RenderMentionsEveryScenario) {
+  auto result = RunSweep(TestSpec(), {.threads = 2});
+  ASSERT_TRUE(result.ok());
+  const std::string text = RenderSweep(*result);
+  EXPECT_NE(text.find("16 scenarios"), std::string::npos);
+  EXPECT_NE(text.find("sweeptest"), std::string::npos);
+}
+
+TEST(SweepTest, InvalidSpecRejected) {
+  ScenarioSpec spec = TestSpec();
+  spec.scenarios = 0;
+  EXPECT_FALSE(RunSweep(spec).ok());
+}
+
+// End-to-end through the text layer: the declarative file a DBA writes
+// drives the same deterministic pipeline.
+TEST(SweepTest, SpecTextToSweepEndToEnd) {
+  const char* text = R"(
+sweep tiny
+seed 5
+scenarios 4
+dimensions 2 2
+levels 1 2
+top_cardinality 2 3
+fanout 2 3
+fact_rows 20000 50000
+row_bytes 64 64
+query_classes 2 2
+restrictions 1 2
+disks 4 4
+samples_per_class 2
+top_k 2
+)";
+  auto spec = SpecFromText(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto result = RunSweep(*spec, {.threads = 2});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->outcomes.size(), 4u);
+  for (const auto& o : result->outcomes) {
+    EXPECT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(o.disks, 4u);
+    EXPECT_EQ(o.dimensions, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace warlock::scenario

@@ -1,0 +1,135 @@
+#include "scenario/scenario_text.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace warlock::scenario {
+namespace {
+
+TEST(ScenarioTextTest, DefaultsRoundTrip) {
+  const ScenarioSpec spec;
+  auto parsed = SpecFromText(SpecToText(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, spec);
+}
+
+TEST(ScenarioTextTest, EmptyTextIsTheDefaultSpec) {
+  auto parsed = SpecFromText("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ScenarioSpec{});
+}
+
+// Print -> parse over a fully non-default spec must be lossless, including
+// doubles that do not terminate in six significant digits.
+TEST(ScenarioTextTest, NonDefaultSpecRoundTripsLosslessly) {
+  ScenarioSpec spec;
+  spec.name = "stress";
+  spec.seed = 987654321;
+  spec.scenarios = 64;
+  spec.dimensions = {1, 6};
+  spec.levels = {2, 5};
+  spec.top_cardinality = {3, 17};
+  spec.fanout = {1, 13};
+  spec.skew_probability = 0.1234567890123456;
+  spec.skew_theta = {0.333333333333333, 1.777777777777777};
+  spec.fact_rows = {12345, 9876543};
+  spec.row_bytes = {48, 256};
+  spec.measures = {0, 5};
+  spec.query_classes = {2, 9};
+  spec.restrictions = {0, 4};
+  spec.num_values = {2, 7};
+  spec.disks = {16, 128};
+  spec.samples_per_class = 11;
+  spec.top_k = 13;
+
+  const std::string text = SpecToText(spec);
+  auto parsed = SpecFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, spec);
+  // Fixed point: serializing the parse yields the identical text.
+  EXPECT_EQ(SpecToText(*parsed), text);
+}
+
+TEST(ScenarioTextTest, CommentsAndBlanks) {
+  auto parsed = SpecFromText(
+      "# a sweep\n\nsweep demo   # named demo\nscenarios 8\n\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name, "demo");
+  EXPECT_EQ(parsed->scenarios, 8u);
+}
+
+TEST(ScenarioTextTest, Errors) {
+  EXPECT_FALSE(SpecFromText("bogus_key 1\n").ok());
+  EXPECT_FALSE(SpecFromText("seed\n").ok());                // missing value
+  EXPECT_FALSE(SpecFromText("seed 1 2\n").ok());            // extra token
+  EXPECT_FALSE(SpecFromText("dimensions 3\n").ok());        // range needs 2
+  EXPECT_FALSE(SpecFromText("dimensions 1 2 3\n").ok());    // range needs 2
+  EXPECT_FALSE(SpecFromText("dimensions abc 2\n").ok());
+  EXPECT_FALSE(SpecFromText("scenarios 0\n").ok());
+  EXPECT_FALSE(SpecFromText("samples_per_class 0\n").ok());
+  EXPECT_FALSE(SpecFromText("top_k 0\n").ok());
+  EXPECT_FALSE(SpecFromText("skew_probability 1.5\n").ok());  // Validate()
+  EXPECT_FALSE(SpecFromText("fanout 0 4\n").ok());            // lo >= 1
+  EXPECT_FALSE(SpecFromText("dimensions 4 2\n").ok());        // lo > hi
+  EXPECT_FALSE(SpecFromText("skew_theta 1.0 0.5\n").ok());    // lo > hi
+}
+
+// Negative values for unsigned keys must not strtoull-wrap into huge
+// ranges; the error carries the line number (config_text convention).
+TEST(ScenarioTextTest, NegativeValuesRejectedWithLineNumber) {
+  const char* range_keys[] = {"dimensions", "levels", "top_cardinality",
+                              "fanout", "fact_rows", "row_bytes", "measures",
+                              "query_classes", "restrictions", "num_values",
+                              "disks"};
+  for (const char* key : range_keys) {
+    auto parsed = SpecFromText(std::string(key) + " -1 4\n");
+    EXPECT_FALSE(parsed.ok()) << key;
+    EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos)
+        << key << ": got '" << parsed.status().message() << "'";
+  }
+  const char* scalar_keys[] = {"seed", "scenarios", "samples_per_class",
+                               "top_k", "skew_probability"};
+  for (const char* key : scalar_keys) {
+    auto parsed = SpecFromText(std::string(key) + " -1\n");
+    EXPECT_FALSE(parsed.ok()) << key;
+    EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos)
+        << key << ": got '" << parsed.status().message() << "'";
+  }
+  auto parsed = SpecFromText("skew_theta -0.5 1\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+}
+
+// strtod accepts "nan"/"inf", and NaN slips through every comparison-based
+// range check — the parser must reject non-finite values outright.
+TEST(ScenarioTextTest, NonFiniteDoublesRejected) {
+  EXPECT_FALSE(SpecFromText("skew_probability nan\n").ok());
+  EXPECT_FALSE(SpecFromText("skew_probability inf\n").ok());
+  EXPECT_FALSE(SpecFromText("skew_theta nan nan\n").ok());
+  EXPECT_FALSE(SpecFromText("skew_theta 0.5 inf\n").ok());
+}
+
+// Absurd range widths are rejected by the spec's sanity caps instead of
+// crashing generation (a full-width range used to overflow DrawRange's
+// width computation into a modulo-by-zero).
+TEST(ScenarioTextTest, AbsurdRangesRejected) {
+  EXPECT_FALSE(SpecFromText("measures 0 18446744073709551615\n").ok());
+  EXPECT_FALSE(SpecFromText("dimensions 1 1000\n").ok());
+  EXPECT_FALSE(SpecFromText("scenarios 4000000000\n").ok());
+  EXPECT_FALSE(SpecFromText("fanout 1 18446744073709551615\n").ok());
+}
+
+TEST(ScenarioTextTest, ErrorsCarryTheRightLineNumber) {
+  auto parsed = SpecFromText("sweep demo\nscenarios 4\ndimensions 4 2\n");
+  ASSERT_FALSE(parsed.ok());
+  // Range sanity (lo > hi) is caught by Validate() after parsing, without a
+  // line number; a malformed token on line 3 does carry it.
+  auto malformed = SpecFromText("sweep demo\nscenarios 4\ndisks x 2\n");
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_NE(malformed.status().message().find("line 3"), std::string::npos)
+      << malformed.status().message();
+}
+
+}  // namespace
+}  // namespace warlock::scenario

@@ -133,6 +133,77 @@ TEST(SchemaTextTest, RoundTrip) {
   EXPECT_EQ(SchemaToText(*parsed), text);
 }
 
+// Print -> parse over a fully non-default schema must be lossless: every
+// field set away from its default, a skew theta that does not terminate in
+// six significant digits (the printer used to truncate it), two fact tables
+// and measure widths away from the default 8.
+TEST(SchemaTextTest, NonDefaultSchemaRoundTripsLosslessly) {
+  const double theta = 0.8612345678901234;
+  auto d0 = Dimension::Create(
+      "Product", {{"Line", 7}, {"Family", 20}, {"Code", 9000}}, theta);
+  auto d1 = Dimension::Create("Channel", {{"Base", 9}});
+  ASSERT_TRUE(d0.ok());
+  ASSERT_TRUE(d1.ok());
+  auto f0 = FactTable::Create("Sales", 123457, 104,
+                              {{"Units", 4}, {"Dollars", 12}});
+  auto f1 = FactTable::Create("Returns", 999, 56, {{"Count", 2}});
+  ASSERT_TRUE(f0.ok());
+  ASSERT_TRUE(f1.ok());
+  auto s = StarSchema::Create(
+      "NonDefault", {std::move(d0).value(), std::move(d1).value()},
+      {std::move(f0).value(), std::move(f1).value()});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+
+  const std::string text = SchemaToText(*s);
+  auto parsed = SchemaFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name(), "NonDefault");
+  ASSERT_EQ(parsed->num_dimensions(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->dimension(0).zipf_theta(), theta);
+  ASSERT_EQ(parsed->num_facts(), 2u);
+  EXPECT_EQ(parsed->fact(0).row_count(), 123457u);
+  EXPECT_EQ(parsed->fact(0).row_size_bytes(), 104u);
+  ASSERT_EQ(parsed->fact(0).measures().size(), 2u);
+  EXPECT_EQ(parsed->fact(0).measures()[1].size_bytes, 12u);
+  EXPECT_EQ(parsed->fact(1).name(), "Returns");
+  ASSERT_EQ(parsed->fact(1).measures().size(), 1u);
+  EXPECT_EQ(parsed->fact(1).measures()[0].size_bytes, 2u);
+  // Fixed point: serializing the parse yields the identical text.
+  EXPECT_EQ(SchemaToText(*parsed), text);
+}
+
+// Negative counts used to wrap through strtoull into huge values; they must
+// be rejected with the line number instead.
+TEST(SchemaTextTest, NegativeCountsRejectedWithLineNumber) {
+  const char* cases[] = {
+      "schema S\ndimension D\nlevel A -2\n",
+      "schema S\ndimension D\nlevel A 2\nfact F -10 64\n",
+      "schema S\ndimension D\nlevel A 2\nfact F 10 -64\n",
+      "schema S\ndimension D\nlevel A 2\nfact F 10 64\nmeasure M -8\n",
+  };
+  for (const char* text : cases) {
+    auto parsed = SchemaFromText(text);
+    EXPECT_FALSE(parsed.ok()) << text;
+    EXPECT_NE(parsed.status().message().find("line "), std::string::npos)
+        << "error should carry a line number, got '"
+        << parsed.status().message() << "'";
+  }
+}
+
+TEST(SchemaTextTest, MeasureBytesRange) {
+  // Zero-byte and >32-bit measures used to static_cast-wrap silently.
+  EXPECT_FALSE(
+      SchemaFromText(
+          "schema S\ndimension D\nlevel A 2\nfact F 10 64\nmeasure M 0\n")
+          .ok());
+  EXPECT_FALSE(SchemaFromText("schema S\ndimension D\nlevel A 2\n"
+                              "fact F 10 64\nmeasure M 4294967296\n")
+                   .ok());
+  EXPECT_TRUE(SchemaFromText("schema S\ndimension D\nlevel A 2\n"
+                             "fact F 10 64\nmeasure M 4294967295\n")
+                  .ok());
+}
+
 TEST(SchemaTextTest, ParsesCommentsAndBlanks) {
   const char* text = R"(
 # a star schema

@@ -165,6 +165,44 @@ TEST_F(WorkloadTest, TextRoundTrip) {
   }
 }
 
+// Print -> parse must be lossless even when the normalized weights do not
+// terminate in six significant digits (three equal-weight classes normalize
+// to 1/3 each; the printer used to truncate them to 0.333333).
+TEST_F(WorkloadTest, NonDefaultMixRoundTripsLosslessly) {
+  std::vector<QueryClass> classes;
+  for (const char* name : {"A", "B", "C"}) {
+    auto qc = QueryClass::Create(
+        name, 7.0, {{0, 3, 2}, {2, 2, 3}}, *schema_);
+    ASSERT_TRUE(qc.ok()) << qc.status().ToString();
+    classes.push_back(std::move(qc).value());
+  }
+  auto mix = QueryMix::Create(std::move(classes));
+  ASSERT_TRUE(mix.ok());
+
+  const std::string text = QueryMixToText(*mix, *schema_);
+  auto parsed = QueryMixFromText(text, *schema_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    // Exact, not NEAR: the round-trip printer emits enough digits.
+    EXPECT_DOUBLE_EQ(parsed->weight(i), mix->weight(i));
+    EXPECT_EQ(parsed->query_class(i).restrictions(),
+              mix->query_class(i).restrictions());
+  }
+  // Fixed point: serializing the parse yields the identical text.
+  EXPECT_EQ(QueryMixToText(*parsed, *schema_), text);
+}
+
+// A negative IN-list size used to wrap through strtoull into a huge count
+// (then fail later without a line number); it must be rejected at parse.
+TEST_F(WorkloadTest, NegativeNumValuesRejectedWithLineNumber) {
+  auto parsed =
+      QueryMixFromText("query q 1\nrestrict Time Month -3\n", *schema_);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+      << parsed.status().message();
+}
+
 TEST_F(WorkloadTest, TextParseErrors) {
   EXPECT_FALSE(QueryMixFromText("", *schema_).ok());
   EXPECT_FALSE(QueryMixFromText("restrict Time Month\n", *schema_).ok());
