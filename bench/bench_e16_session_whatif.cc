@@ -1,0 +1,138 @@
+// E16 — Session-API state reuse: warm `Session::WhatIf` vs cold per-call
+// `Advisor` construction.
+//
+// The paper's interactive workflow is load-once, iterate-many: a DBA keeps
+// what-if'ing the same schema/mix with different knobs. The `warlock::Session`
+// facade owns exactly the state that makes iteration cheap — the bitmap
+// scheme selected once at construction, the fragment-size memo, and a
+// persistent worker pool. This driver quantifies the gap: the warm series
+// re-costs an already-seen fragmentation through the session; the cold
+// series rebuilds an `Advisor` (scheme selection + size computation) for
+// every call, which is what a stateless per-request service would pay.
+//
+// Run via scripts/bench.sh to get the JSON the CI regression gate compares
+// against bench/BENCH_advisor_baseline.json.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "core/config_text.h"
+#include "schema/schema_text.h"
+#include "warlock/session.h"
+#include "workload/workload_text.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+warlock::Result<warlock::fragment::Fragmentation> BenchFragmentation(
+    const warlock::schema::StarSchema& schema) {
+  return warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, schema);
+}
+
+void PrintExperiment() {
+  Banner("E16", "warm Session::WhatIf vs cold per-call Advisor (APB-1)");
+  std::printf(
+      "warm: one owning session, WhatIf per call (memoized scheme+sizes,\n"
+      "persistent pool). cold: Advisor constructed per call (scheme\n"
+      "re-selected, sizes recomputed) — the stateless-service strawman.\n");
+}
+
+// Warm path: the session is constructed once; every iteration is one
+// WhatIf against it. After the first iteration the fragmentation's sizes
+// are memoized, so the loop measures pure re-costing.
+void BM_SessionWhatIfWarm(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  b.config.cost.samples_per_class = 2;
+  auto session = warlock::Session::Create(b.schema, b.mix, b.config);
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  auto frag = BenchFragmentation(session->schema());
+  if (!frag.ok()) {
+    state.SkipWithError(frag.status().ToString().c_str());
+    return;
+  }
+  const warlock::WhatIfRequest request{*frag, {}};
+  for (auto _ : state) {
+    auto response = session->WhatIf(request);
+    benchmark::DoNotOptimize(response);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+  }
+  const warlock::SessionStats stats = session->stats();
+  state.counters["whatif_calls"] = static_cast<double>(stats.whatif_calls);
+  state.counters["sizes_computed"] =
+      static_cast<double>(stats.fragment_sizes_computed);
+  state.counters["sizes_reused"] =
+      static_cast<double>(stats.fragment_sizes_reused);
+}
+BENCHMARK(BM_SessionWhatIfWarm)->Unit(benchmark::kMillisecond);
+
+// Cold path: a fresh Advisor per call — bitmap-scheme selection and
+// fragment-size computation happen every iteration, exactly the
+// per-request reconstruction the session API deletes.
+void BM_AdvisorWhatIfCold(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  b.config.cost.samples_per_class = 2;
+  auto frag = BenchFragmentation(b.schema);
+  if (!frag.ok()) {
+    state.SkipWithError(frag.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+    auto ec = advisor.FullyEvaluate(*frag);
+    benchmark::DoNotOptimize(ec);
+    if (!ec.ok()) {
+      state.SkipWithError(ec.status().ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_AdvisorWhatIfCold)->Unit(benchmark::kMillisecond);
+
+// Full-session cold start for context: FromText parse + construction +
+// first WhatIf — the one-time cost the warm loop amortizes away. The
+// three input documents are serialized once up front; every iteration
+// re-parses them, exactly what a stateless file-driven run pays.
+void BM_SessionColdStart(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  b.config.cost.samples_per_class = 2;
+  const std::string schema_text = warlock::schema::SchemaToText(b.schema);
+  const std::string workload_text =
+      warlock::workload::QueryMixToText(b.mix, b.schema);
+  const std::string config_text = warlock::core::ToolConfigToText(b.config);
+  auto frag = BenchFragmentation(b.schema);
+  if (!frag.ok()) {
+    state.SkipWithError(frag.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto session =
+        warlock::Session::FromText(schema_text, workload_text, config_text);
+    if (!session.ok()) {
+      state.SkipWithError(session.status().ToString().c_str());
+      return;
+    }
+    auto response = session->WhatIf({*frag, {}});
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_SessionColdStart)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,7 +1,8 @@
 // APB-1 advisor session driven entirely through WARLOCK's input layer:
 // schema, workload, and tool configuration are provided as text (the same
-// format the files in a DBA's working directory would use), the advisor
-// runs, and every analysis view is written to stdout plus CSV files.
+// format the files in a DBA's working directory would use), a
+// `warlock::Session` runs the advisor, and every analysis view is written
+// to stdout plus CSV files.
 //
 // Usage:
 //   ./build/examples/apb1_advisor [output_dir]
@@ -13,11 +14,8 @@
 #include <cstdio>
 #include <string>
 
-#include "core/advisor.h"
-#include "core/config_text.h"
 #include "report/report.h"
-#include "schema/schema_text.h"
-#include "workload/workload_text.h"
+#include "warlock/session.h"
 
 namespace {
 
@@ -103,53 +101,39 @@ int main(int argc, char** argv) {
   using namespace warlock;
   const std::string out_dir = argc > 1 ? argv[1] : ".";
 
-  auto schema_or = schema::SchemaFromText(kSchemaText);
-  if (!schema_or.ok()) {
-    std::fprintf(stderr, "schema: %s\n",
-                 schema_or.status().ToString().c_str());
+  auto session = Session::FromText(kSchemaText, kWorkloadText, kConfigText);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
     return 1;
   }
-  auto mix_or = workload::QueryMixFromText(kWorkloadText, *schema_or);
-  if (!mix_or.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 mix_or.status().ToString().c_str());
-    return 1;
-  }
-  auto config_or = core::ToolConfigFromText(kConfigText);
-  if (!config_or.ok()) {
-    std::fprintf(stderr, "config: %s\n",
-                 config_or.status().ToString().c_str());
-    return 1;
-  }
+  const schema::StarSchema& schema = session->schema();
 
-  const core::Advisor advisor(*schema_or, *mix_or, *config_or);
-  auto result_or = advisor.Run();
-  if (!result_or.ok()) {
+  auto advice = session->Advise();
+  if (!advice.ok()) {
     std::fprintf(stderr, "advisor: %s\n",
-                 result_or.status().ToString().c_str());
+                 advice.status().ToString().c_str());
     return 1;
   }
-  const core::AdvisorResult& result = *result_or;
+  const core::AdvisorResult& result = advice->result;
 
-  std::printf("%s\n", report::RenderRanking(result, *schema_or).c_str());
-  std::printf("%s\n", report::RenderExclusions(result, *schema_or).c_str());
+  auto table = report::Renderer::Create(report::OutputFormat::kTable);
+  std::printf("%s\n", table->Ranking(result, schema).c_str());
+  std::printf("%s\n", table->Exclusions(result, schema).c_str());
 
   const std::string ranking_csv = out_dir + "/apb1_ranking.csv";
-  auto st = report::RankingToCsv(result, *schema_or).WriteFile(ranking_csv);
+  auto st = report::RankingToCsv(result, schema).WriteFile(ranking_csv);
   if (!st.ok()) {
     std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
   } else {
     std::printf("wrote %s\n", ranking_csv.c_str());
   }
 
-  if (!result.ranking.empty()) {
-    const core::EvaluatedCandidate& best =
-        result.candidates[result.ranking[0]];
+  if (const core::EvaluatedCandidate* best = advice->best()) {
     std::printf("\n%s\n",
-                report::RenderQueryStats(best, *mix_or, *schema_or).c_str());
-    std::printf("%s\n", report::RenderOccupancy(best).c_str());
+                table->QueryStats(*best, session->mix(), schema).c_str());
+    std::printf("%s\n", table->Occupancy(*best).c_str());
     const std::string stats_csv = out_dir + "/apb1_best_query_stats.csv";
-    st = report::QueryStatsToCsv(best, *mix_or, *schema_or)
+    st = report::QueryStatsToCsv(*best, session->mix(), schema)
              .WriteFile(stats_csv);
     if (st.ok()) std::printf("wrote %s\n", stats_csv.c_str());
   }

@@ -1,69 +1,112 @@
-// Quickstart: run the WARLOCK advisor on the built-in APB-1 configuration
-// and print the ranked fragmentation candidates, the detailed statistics of
-// the winner, and its disk allocation.
+// Quickstart: the WARLOCK library API in one file — build a session from
+// the three textual input-layer artifacts, run the advisor, render the
+// ranked fragmentation candidates plus the winner's statistics and disk
+// allocation, then iterate a what-if.
 //
-// Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+// This file deliberately uses only the single public include
+// `warlock/session.h`, so it doubles as the out-of-tree consumer smoke
+// test (`scripts/install_smoke.sh` builds it against an installed package
+// via `find_package(warlock CONFIG)`).
+//
+// Build & run in-tree:
+//   cmake -B build && cmake --build build
 //   ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/advisor.h"
-#include "report/report.h"
-#include "schema/apb1.h"
-#include "workload/apb1_workload.h"
+#include "warlock/session.h"
+
+namespace {
+
+// A down-scaled APB-1 star schema (~875k fact rows) so the demo finishes in
+// well under a second.
+constexpr const char* kSchemaText = R"(
+schema APB1-demo
+dimension Product
+level Division 2
+level Line 7
+level Family 20
+level Group 100
+dimension Customer
+level Retailer 90
+level Store 900
+dimension Time
+level Year 2
+level Quarter 8
+level Month 24
+fact Sales 874800 100
+measure UnitsSold 8
+)";
+
+constexpr const char* kWorkloadText = R"(
+query Month 10
+restrict Time Month
+query MonthFamily 10
+restrict Time Month
+restrict Product Family
+query MonthStore 8
+restrict Time Month
+restrict Customer Store
+query QuarterGroupRetailer 8
+restrict Time Quarter
+restrict Product Group
+restrict Customer Retailer
+)";
+
+constexpr const char* kConfigText = R"(
+disks 16
+page_size 8192
+disk_capacity_gb 16
+fact_granule auto
+bitmap_granule auto
+max_fragments 65536
+min_avg_fragment_pages 4
+leading_fraction 0.25
+top_k 5
+samples_per_class 2
+seed 42
+)";
+
+}  // namespace
 
 int main() {
   using namespace warlock;
 
-  // 1. Input layer: star schema, query mix, database & disk parameters.
-  auto schema_or = schema::Apb1Schema({.density = 0.01});
-  if (!schema_or.ok()) {
-    std::fprintf(stderr, "schema: %s\n",
-                 schema_or.status().ToString().c_str());
+  // 1. Input layer: one owning session holds schema, query mix, and
+  //    database/disk parameters — no lifetime bookkeeping for the caller.
+  auto session = Session::FromText(kSchemaText, kWorkloadText, kConfigText);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
     return 1;
   }
-  const schema::StarSchema& schema = *schema_or;
-
-  auto mix_or = workload::Apb1QueryMix(schema);
-  if (!mix_or.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 mix_or.status().ToString().c_str());
-    return 1;
-  }
-  const workload::QueryMix& mix = *mix_or;
-
-  core::ToolConfig config;
-  config.cost.disks.num_disks = 64;
-  config.thresholds.max_fragments = 1 << 20;
-  config.thresholds.min_avg_fragment_pages = 4;
-  config.ranking.top_k = 10;
 
   // 2. Prediction layer: enumerate, exclude, cost, twofold-rank.
-  core::Advisor advisor(schema, mix, config);
-  auto result_or = advisor.Run();
-  if (!result_or.ok()) {
-    std::fprintf(stderr, "advisor: %s\n",
-                 result_or.status().ToString().c_str());
+  auto advice = session->Advise();
+  if (!advice.ok()) {
+    std::fprintf(stderr, "advise: %s\n",
+                 advice.status().ToString().c_str());
     return 1;
   }
-  const core::AdvisorResult& result = *result_or;
 
-  // 3. Analysis layer: ranked list, per-query statistics, allocation.
-  std::printf("%s\n", report::RenderRanking(result, schema).c_str());
-  if (!result.ranking.empty()) {
-    const core::EvaluatedCandidate& best =
-        result.candidates[result.ranking[0]];
-    std::printf("%s\n", report::RenderQueryStats(best, mix, schema).c_str());
-    std::printf("%s\n", report::RenderOccupancy(best).c_str());
+  // 3. Analysis layer: any artifact, any backend (table / csv / json).
+  auto renderer = report::Renderer::Create(report::OutputFormat::kTable);
+  std::printf("%s\n",
+              renderer->Ranking(advice->result, session->schema()).c_str());
+  if (const core::EvaluatedCandidate* best = advice->best()) {
+    std::printf("%s\n",
+                renderer->QueryStats(*best, session->mix(), session->schema())
+                    .c_str());
+    std::printf("%s\n", renderer->Occupancy(*best).c_str());
 
-    auto profile_or = advisor.DiskAccessProfile(
-        best.fragmentation, mix.query_class(0));
-    if (profile_or.ok()) {
-      std::printf("%s\n",
-                  report::RenderDiskProfile(*profile_or,
-                                            mix.query_class(0).name())
-                      .c_str());
+    // 4. Interactive fine-tuning: the warm session reuses its memoized
+    //    bitmap scheme and fragment sizes — only the override is recosted.
+    WhatIfRequest request{best->fragmentation, {}};
+    request.overrides.num_disks = 32;
+    auto whatif = session->WhatIf(request);
+    if (whatif.ok()) {
+      std::printf("what-if (32 disks): response %.2f ms -> %.2f ms/query\n",
+                  best->cost.response_ms,
+                  whatif->candidate.cost.response_ms);
     }
   }
   return 0;

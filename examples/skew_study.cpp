@@ -4,7 +4,8 @@
 // for each skew level, the recommended fragmentation, the allocation
 // scheme the tool switches to (round-robin -> greedy), the occupancy
 // balance both schemes would achieve, and the response-time cost of
-// ignoring skew.
+// ignoring skew. One owning session per skew level; the forced-allocation
+// comparisons are warm `WhatIf` calls against it.
 //
 // Usage: ./build/examples/skew_study
 
@@ -13,8 +14,8 @@
 #include "alloc/allocators.h"
 #include "common/format.h"
 #include "common/text_table.h"
-#include "core/advisor.h"
 #include "schema/apb1.h"
+#include "warlock/session.h"
 #include "workload/apb1_workload.h"
 
 int main() {
@@ -41,33 +42,36 @@ int main() {
     config.thresholds.min_avg_fragment_pages = 4;
     config.ranking.top_k = 3;
 
-    const core::Advisor advisor(*schema_or, *mix_or, config);
-    auto result_or = advisor.Run();
-    if (!result_or.ok() || result_or->ranking.empty()) {
+    auto session_or = Session::Create(std::move(schema_or).value(),
+                                      std::move(mix_or).value(), config);
+    if (!session_or.ok()) return 1;
+    const Session& session = *session_or;
+
+    auto advice = session.Advise();
+    if (!advice.ok() || advice->best() == nullptr) {
       std::fprintf(stderr, "advisor failed at theta=%.2f\n", theta);
       continue;
     }
-    const core::EvaluatedCandidate& best =
-        result_or->candidates[result_or->ranking[0]];
+    const core::EvaluatedCandidate& best = *advice->best();
 
     // What would round-robin placement cost at this skew level?
-    core::Advisor::Overrides rr;
-    rr.allocation_scheme = alloc::AllocationScheme::kRoundRobin;
-    auto rr_ec = advisor.FullyEvaluate(best.fragmentation, rr);
-    core::Advisor::Overrides gr;
-    gr.allocation_scheme = alloc::AllocationScheme::kGreedy;
-    auto gr_ec = advisor.FullyEvaluate(best.fragmentation, gr);
+    WhatIfRequest rr{best.fragmentation, {}};
+    rr.overrides.allocation_scheme = alloc::AllocationScheme::kRoundRobin;
+    WhatIfRequest gr{best.fragmentation, {}};
+    gr.overrides.allocation_scheme = alloc::AllocationScheme::kGreedy;
+    auto rr_ec = session.WhatIf(rr);
+    auto gr_ec = session.WhatIf(gr);
     if (!rr_ec.ok() || !gr_ec.ok()) continue;
 
     table.BeginRow()
         .AddNumeric(FormatFixed(theta, 2))
-        .Add(best.fragmentation.Label(*schema_or))
+        .Add(best.fragmentation.Label(session.schema()))
         .Add(alloc::AllocationSchemeName(best.allocation_scheme))
         .AddNumeric(FormatFixed(best.size_skew_factor, 2))
-        .AddNumeric(FormatFixed(rr_ec->allocation_balance, 3))
-        .AddNumeric(FormatFixed(gr_ec->allocation_balance, 3))
+        .AddNumeric(FormatFixed(rr_ec->candidate.allocation_balance, 3))
+        .AddNumeric(FormatFixed(gr_ec->candidate.allocation_balance, 3))
         .AddNumeric(FormatMillis(best.cost.response_ms))
-        .AddNumeric(FormatMillis(rr_ec->cost.response_ms));
+        .AddNumeric(FormatMillis(rr_ec->candidate.cost.response_ms));
   }
 
   std::printf("Skew study (APB-1, 64 disks, Product bottom-level Zipf)\n\n");

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "report/renderer.h"
 #include "scenario/scenario_text.h"
 #include "scenario/sweep.h"
 
@@ -113,7 +114,8 @@ int main(int argc, char** argv) {
   }
 
   if (!quiet) {
-    std::printf("%s\n", scenario::RenderSweep(*result).c_str());
+    auto table = report::Renderer::Create(report::OutputFormat::kTable);
+    std::printf("%s\n", table->Sweep(*result).c_str());
   }
 
   size_t failures = 0;
@@ -122,7 +124,8 @@ int main(int argc, char** argv) {
   }
 
   if (!csv_path.empty()) {
-    auto st = scenario::SweepToCsv(*result).WriteFile(csv_path);
+    auto csv = report::Renderer::Create(report::OutputFormat::kCsv);
+    auto st = report::WriteArtifact(csv_path, csv->Sweep(*result));
     if (!st.ok()) {
       std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
       return 1;
@@ -130,12 +133,12 @@ int main(int argc, char** argv) {
     if (!quiet) std::printf("CSV report written to %s\n", csv_path.c_str());
   }
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) {
-      std::fprintf(stderr, "json: cannot open %s\n", json_path.c_str());
+    auto json = report::Renderer::Create(report::OutputFormat::kJson);
+    auto st = report::WriteArtifact(json_path, json->Sweep(*result));
+    if (!st.ok()) {
+      std::fprintf(stderr, "json: %s\n", st.ToString().c_str());
       return 1;
     }
-    out << scenario::SweepToJson(*result);
     if (!quiet) std::printf("JSON report written to %s\n", json_path.c_str());
   }
 

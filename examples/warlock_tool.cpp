@@ -1,6 +1,7 @@
 // The WARLOCK command-line tool: the full input -> prediction -> analysis
 // pipeline driven by the three input-layer files (star schema, weighted
-// query mix, database & disk parameters), as a DBA would run it.
+// query mix, database & disk parameters), as a DBA would run it — now a
+// thin shell over the `warlock::Session` facade.
 //
 // Usage:
 //   warlock_tool <schema.txt> <workload.txt> <config.txt> [csv_out_dir]
@@ -10,32 +11,14 @@
 //
 // Prints the ranked candidate list, the exclusion report, the winner's
 // per-query-class statistics, disk occupancy, and a per-class disk access
-// profile; optionally writes the CSV exports.
+// profile; optionally writes the CSV and JSON exports.
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "common/format.h"
 #include "common/thread_pool.h"
-#include "core/advisor.h"
-#include "core/config_text.h"
-#include "report/report.h"
-#include "schema/schema_text.h"
-#include "workload/workload_text.h"
-
-namespace {
-
-warlock::Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) return warlock::Status::IoError("cannot open " + path);
-  std::ostringstream os;
-  os << f.rdbuf();
-  return os.str();
-}
-
-}  // namespace
+#include "warlock/session.h"
 
 int main(int argc, char** argv) {
   using namespace warlock;
@@ -47,88 +30,71 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto schema_text = ReadFile(argv[1]);
-  auto workload_text = ReadFile(argv[2]);
-  auto config_text = ReadFile(argv[3]);
-  for (const auto* r : {&schema_text, &workload_text, &config_text}) {
-    if (!r->ok()) {
-      std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
-      return 1;
-    }
-  }
-
-  auto schema_or = schema::SchemaFromText(*schema_text);
-  if (!schema_or.ok()) {
-    std::fprintf(stderr, "schema: %s\n",
-                 schema_or.status().ToString().c_str());
-    return 1;
-  }
-  auto mix_or = workload::QueryMixFromText(*workload_text, *schema_or);
-  if (!mix_or.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 mix_or.status().ToString().c_str());
-    return 1;
-  }
-  auto config_or = core::ToolConfigFromText(*config_text);
-  if (!config_or.ok()) {
-    std::fprintf(stderr, "config: %s\n",
-                 config_or.status().ToString().c_str());
+  auto session = Session::FromFiles(argv[1], argv[2], argv[3]);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
     return 1;
   }
 
   std::printf("WARLOCK data allocation tool\n");
   std::printf("schema '%s': %zu dimensions, fact '%s' with %llu rows\n",
-              schema_or->name().c_str(), schema_or->num_dimensions(),
-              schema_or->fact().name().c_str(),
+              session->schema().name().c_str(),
+              session->schema().num_dimensions(),
+              session->schema().fact().name().c_str(),
               static_cast<unsigned long long>(
-                  schema_or->fact().row_count()));
-  std::printf("workload: %zu weighted query classes\n", mix_or->size());
-  std::printf("disks: %u x %s\n", config_or->cost.disks.num_disks,
-              FormatBytes(config_or->cost.disks.disk_capacity_bytes)
+                  session->schema().fact().row_count()));
+  std::printf("workload: %zu weighted query classes\n", session->mix().size());
+  std::printf("disks: %u x %s\n", session->config().cost.disks.num_disks,
+              FormatBytes(session->config().cost.disks.disk_capacity_bytes)
                   .c_str());
   std::printf("evaluation threads: %u%s\n\n",
-              common::ThreadPool::ResolveThreadCount(config_or->threads),
-              config_or->threads == 0 ? " (auto)" : "");
+              common::ThreadPool::ResolveThreadCount(
+                  session->config().threads),
+              session->config().threads == 0 ? " (auto)" : "");
 
-  const core::Advisor advisor(*schema_or, *mix_or, *config_or);
-  auto result_or = advisor.Run();
-  if (!result_or.ok()) {
+  auto advice = session->Advise();
+  if (!advice.ok()) {
     std::fprintf(stderr, "advisor: %s\n",
-                 result_or.status().ToString().c_str());
+                 advice.status().ToString().c_str());
     return 1;
   }
-  const core::AdvisorResult& result = *result_or;
+  const core::AdvisorResult& result = advice->result;
+  const schema::StarSchema& schema = session->schema();
+  const workload::QueryMix& mix = session->mix();
 
-  std::printf("%s\n", report::RenderRanking(result, *schema_or).c_str());
-  std::printf("%s\n", report::RenderExclusions(result, *schema_or).c_str());
+  auto table = report::Renderer::Create(report::OutputFormat::kTable);
+  std::printf("%s\n", table->Ranking(result, schema).c_str());
+  std::printf("%s\n", table->Exclusions(result, schema).c_str());
 
-  if (!result.ranking.empty()) {
-    const core::EvaluatedCandidate& best =
-        result.candidates[result.ranking[0]];
-    std::printf("%s\n",
-                report::RenderQueryStats(best, *mix_or, *schema_or).c_str());
-    std::printf("%s\n", report::RenderOccupancy(best).c_str());
-    auto profile = advisor.DiskAccessProfile(best.fragmentation,
-                                             mix_or->query_class(0));
+  if (const core::EvaluatedCandidate* best = advice->best()) {
+    std::printf("%s\n", table->QueryStats(*best, mix, schema).c_str());
+    std::printf("%s\n", table->Occupancy(*best).c_str());
+    auto profile = session->DiskAccessProfile(best->fragmentation,
+                                              mix.query_class(0));
     if (profile.ok()) {
       std::printf("%s\n",
-                  report::RenderDiskProfile(*profile,
-                                            mix_or->query_class(0).name())
+                  table->DiskProfile(*profile, mix.query_class(0).name())
                       .c_str());
     }
     if (argc > 4) {
       const std::string dir = argv[4];
-      auto st = report::RankingToCsv(result, *schema_or)
-                    .WriteFile(dir + "/warlock_ranking.csv");
+      auto csv = report::Renderer::Create(report::OutputFormat::kCsv);
+      auto json = report::Renderer::Create(report::OutputFormat::kJson);
+      Status st = report::WriteArtifact(dir + "/warlock_ranking.csv",
+                                        csv->Ranking(result, schema));
       if (st.ok()) {
-        st = report::QueryStatsToCsv(best, *mix_or, *schema_or)
-                 .WriteFile(dir + "/warlock_best_stats.csv");
+        st = report::WriteArtifact(dir + "/warlock_best_stats.csv",
+                                   csv->QueryStats(*best, mix, schema));
+      }
+      if (st.ok()) {
+        st = report::WriteArtifact(dir + "/warlock_ranking.json",
+                                   json->Ranking(result, schema));
       }
       if (!st.ok()) {
-        std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+        std::fprintf(stderr, "export: %s\n", st.ToString().c_str());
         return 1;
       }
-      std::printf("CSV reports written to %s\n", dir.c_str());
+      std::printf("CSV/JSON reports written to %s\n", dir.c_str());
     }
   }
   return 0;

@@ -3,6 +3,10 @@
 // disk count, prefetch granules, allocation scheme, and bitmap-index
 // exclusions — and print the performance variation each change implies.
 //
+// Every variation is one warm `Session::WhatIf` call against the same
+// owning session: the memoized bitmap scheme and fragment sizes are reused,
+// only the overridden knob is recosted.
+//
 // Usage: ./build/examples/whatif_tuning
 
 #include <cstdio>
@@ -10,8 +14,8 @@
 #include "alloc/allocators.h"
 #include "common/format.h"
 #include "common/text_table.h"
-#include "core/advisor.h"
 #include "schema/apb1.h"
+#include "warlock/session.h"
 #include "workload/apb1_workload.h"
 
 namespace {
@@ -48,68 +52,79 @@ int main() {
   config.thresholds.max_fragments = 1 << 18;
   config.thresholds.min_avg_fragment_pages = 4;
 
-  const core::Advisor advisor(*schema_or, *mix_or, config);
+  auto session_or = Session::Create(std::move(schema_or).value(),
+                                    std::move(mix_or).value(), config);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
+    return 1;
+  }
+  const Session& session = *session_or;
+  const schema::StarSchema& schema = session.schema();
+
   auto frag = fragment::Fragmentation::FromNames(
       {{"Time", "Month"}, {"Product", "Family"}, {"Channel", "Base"}},
-      *schema_or);
+      schema);
   if (!frag.ok()) return 1;
 
   std::printf("What-if tuning on %s (APB-1, 8.7M rows)\n\n",
-              frag->Label(*schema_or).c_str());
+              frag->Label(schema).c_str());
   TextTable table({"Scenario", "Work/Q", "Resp/Q", "Bitmap space",
                    "Balance", "Gf/Gb"});
 
-  auto base = advisor.FullyEvaluate(*frag);
+  auto base = session.WhatIf({*frag, {}});
   if (!base.ok()) {
     std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
     return 1;
   }
-  AddRow(table, "baseline (64 disks, Gf=32/Gb=4)", *base);
+  AddRow(table, "baseline (64 disks, Gf=32/Gb=4)", base->candidate);
 
+  // Each subsequent call is warm: only the override is recosted.
   {
-    core::Advisor::Overrides ov;
-    ov.num_disks = 128;
-    auto ec = advisor.FullyEvaluate(*frag, ov);
-    if (ec.ok()) AddRow(table, "double the disks (128)", *ec);
+    WhatIfRequest req{*frag, {}};
+    req.overrides.num_disks = 128;
+    auto ec = session.WhatIf(req);
+    if (ec.ok()) AddRow(table, "double the disks (128)", ec->candidate);
   }
   {
-    core::Advisor::Overrides ov;
-    ov.num_disks = 16;
-    auto ec = advisor.FullyEvaluate(*frag, ov);
-    if (ec.ok()) AddRow(table, "shrink to 16 disks", *ec);
+    WhatIfRequest req{*frag, {}};
+    req.overrides.num_disks = 16;
+    auto ec = session.WhatIf(req);
+    if (ec.ok()) AddRow(table, "shrink to 16 disks", ec->candidate);
   }
   {
-    core::Advisor::Overrides ov;
-    ov.fact_granule = 1;
-    ov.bitmap_granule = 1;
-    auto ec = advisor.FullyEvaluate(*frag, ov);
-    if (ec.ok()) AddRow(table, "no prefetching (granule 1/1)", *ec);
+    WhatIfRequest req{*frag, {}};
+    req.overrides.fact_granule = 1;
+    req.overrides.bitmap_granule = 1;
+    auto ec = session.WhatIf(req);
+    if (ec.ok()) AddRow(table, "no prefetching (granule 1/1)", ec->candidate);
   }
   {
-    core::Advisor::Overrides ov;
-    ov.fact_granule = 128;
-    ov.bitmap_granule = 16;
-    auto ec = advisor.FullyEvaluate(*frag, ov);
-    if (ec.ok()) AddRow(table, "aggressive prefetch (128/16)", *ec);
+    WhatIfRequest req{*frag, {}};
+    req.overrides.fact_granule = 128;
+    req.overrides.bitmap_granule = 16;
+    auto ec = session.WhatIf(req);
+    if (ec.ok()) AddRow(table, "aggressive prefetch (128/16)", ec->candidate);
   }
   {
-    core::Advisor::Overrides ov;
-    ov.allocation_scheme = alloc::AllocationScheme::kGreedy;
-    auto ec = advisor.FullyEvaluate(*frag, ov);
-    if (ec.ok()) AddRow(table, "force greedy allocation", *ec);
+    WhatIfRequest req{*frag, {}};
+    req.overrides.allocation_scheme = alloc::AllocationScheme::kGreedy;
+    auto ec = session.WhatIf(req);
+    if (ec.ok()) AddRow(table, "force greedy allocation", ec->candidate);
   }
   {
     // Drop the space-heavy encoded indexes of Product and Customer.
-    core::Advisor::Overrides ov;
-    const size_t product = schema_or->DimensionIndex("Product").value();
-    const size_t customer = schema_or->DimensionIndex("Customer").value();
-    ov.excluded_bitmaps = {
-        {static_cast<uint32_t>(product), 5},   // Code
-        {static_cast<uint32_t>(product), 4},   // Class
-        {static_cast<uint32_t>(customer), 1},  // Store
+    WhatIfRequest req{*frag, {}};
+    const auto product =
+        static_cast<uint32_t>(schema.DimensionIndex("Product").value());
+    const auto customer =
+        static_cast<uint32_t>(schema.DimensionIndex("Customer").value());
+    req.overrides.excluded_bitmaps = {
+        bitmap::BitmapRef{product, 5},   // Code
+        bitmap::BitmapRef{product, 4},   // Class
+        bitmap::BitmapRef{customer, 1},  // Store
     };
-    auto ec = advisor.FullyEvaluate(*frag, ov);
-    if (ec.ok()) AddRow(table, "drop Code/Class/Store bitmaps", *ec);
+    auto ec = session.WhatIf(req);
+    if (ec.ok()) AddRow(table, "drop Code/Class/Store bitmaps", ec->candidate);
   }
 
   std::printf("%s\n", table.ToString().c_str());

@@ -4,9 +4,11 @@
 # baseline — the regression fence CI uses once hot-path work lands.
 #
 # Drivers: bench_e13_parallel_advisor (candidate-level fan-out),
-# bench_e14_prefetch_search (nested prefetch-granule search) and
-# bench_e15_scenario_sweep (scenario-level sweep fan-out). Their JSON
-# outputs are merged into one artifact so the gate sees every series.
+# bench_e14_prefetch_search (nested prefetch-granule search),
+# bench_e15_scenario_sweep (scenario-level sweep fan-out) and
+# bench_e16_session_whatif (warm Session::WhatIf state reuse vs cold
+# per-call Advisor construction). Their JSON outputs are merged into one
+# artifact so the gate sees every series.
 #
 # Usage:
 #   scripts/bench.sh                       # build + run, writes BENCH_advisor.json
@@ -28,7 +30,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_advisor.json}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 DRIVERS=(bench_e13_parallel_advisor bench_e14_prefetch_search
-         bench_e15_scenario_sweep)
+         bench_e15_scenario_sweep bench_e16_session_whatif)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 for driver in "${DRIVERS[@]}"; do

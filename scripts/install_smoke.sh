@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Install/package smoke: `cmake --install`s the warlock package into a
+# scratch prefix and builds + runs examples/quickstart.cpp out-of-tree via
+# `find_package(warlock CONFIG)` — the consumer contract the CI `install`
+# job locks.
+#
+# Usage:
+#   scripts/install_smoke.sh               # uses build-install/
+#   BUILD_DIR=out scripts/install_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+BUILD_DIR="${BUILD_DIR:-build-install}"
+PREFIX="$PWD/$BUILD_DIR/prefix"
+OOT_DIR="$BUILD_DIR/consumer"
+
+# Library-only configure: the consumer needs the installed package, not the
+# in-tree tests/benches/examples.
+cmake -B "$BUILD_DIR" -S . \
+  -DWARLOCK_BUILD_TESTS=OFF \
+  -DWARLOCK_BUILD_BENCHES=OFF \
+  -DWARLOCK_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target warlock_core >/dev/null
+cmake --install "$BUILD_DIR" --prefix "$PREFIX" >/dev/null
+
+test -f "$PREFIX/include/warlock/warlock/session.h" \
+  || { echo "error: public header not installed" >&2; exit 1; }
+test -f "$PREFIX/lib/cmake/warlock/warlockConfig.cmake" \
+  || { echo "error: CMake package config not installed" >&2; exit 1; }
+
+cmake -B "$OOT_DIR" -S examples/install_smoke \
+  -DCMAKE_PREFIX_PATH="$PREFIX" >/dev/null
+cmake --build "$OOT_DIR" -j "$JOBS" >/dev/null
+"$OOT_DIR/quickstart" >/dev/null
+
+echo "install smoke OK: out-of-tree quickstart built and ran against $PREFIX"

@@ -1,0 +1,153 @@
+#include "api/session.h"
+
+#include <atomic>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/config_text.h"
+#include "schema/schema_text.h"
+#include "workload/workload_text.h"
+
+namespace warlock {
+
+// All session state behind one stable heap allocation: the advisor (and its
+// caches) hold references into the owned schema/mix, so none of it may
+// relocate when the Session value moves.
+struct Session::State {
+  schema::StarSchema schema;
+  workload::QueryMix mix;
+  core::ToolConfig config;
+
+  // Constructed after the owned inputs so its references are valid for the
+  // state's whole lifetime. Selecting the bitmap scheme happens here, once.
+  std::optional<core::Advisor> advisor;
+
+  // Persistent worker pool for Advise fan-outs and WhatIf prefetch
+  // searches; sized by config.threads after option overrides.
+  std::optional<common::ThreadPool> pool;
+
+  std::atomic<uint64_t> advise_calls{0};
+  std::atomic<uint64_t> whatif_calls{0};
+
+  State(schema::StarSchema s, workload::QueryMix m, core::ToolConfig c)
+      : schema(std::move(s)), mix(std::move(m)), config(std::move(c)) {}
+};
+
+namespace {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+Session::Session(std::unique_ptr<State> state) : state_(std::move(state)) {}
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
+Result<Session> Session::Create(schema::StarSchema schema,
+                                workload::QueryMix mix,
+                                core::ToolConfig config,
+                                const SessionOptions& options) {
+  if (config.fact_index >= schema.num_facts()) {
+    return Status::InvalidArgument("config fact_index out of range");
+  }
+  WARLOCK_RETURN_IF_ERROR(config.cost.disks.Validate());
+  if (options.threads.has_value()) config.threads = *options.threads;
+
+  auto state = std::make_unique<State>(std::move(schema), std::move(mix),
+                                       std::move(config));
+  state->advisor.emplace(state->schema, state->mix, state->config);
+  state->pool.emplace(state->config.threads);
+  return Session(std::move(state));
+}
+
+Result<Session> Session::FromText(std::string_view schema_text,
+                                  std::string_view workload_text,
+                                  std::string_view config_text,
+                                  const SessionOptions& options) {
+  auto schema = schema::SchemaFromText(schema_text);
+  if (!schema.ok()) return Status::Annotate("schema", schema.status());
+  auto mix = workload::QueryMixFromText(workload_text, *schema);
+  if (!mix.ok()) return Status::Annotate("workload", mix.status());
+  auto config = core::ToolConfigFromText(config_text);
+  if (!config.ok()) return Status::Annotate("config", config.status());
+  return Create(std::move(schema).value(), std::move(mix).value(),
+                std::move(config).value(), options);
+}
+
+Result<Session> Session::FromFiles(const std::string& schema_path,
+                                   const std::string& workload_path,
+                                   const std::string& config_path,
+                                   const SessionOptions& options) {
+  WARLOCK_ASSIGN_OR_RETURN(std::string schema_text,
+                           ReadFileToString(schema_path));
+  WARLOCK_ASSIGN_OR_RETURN(std::string workload_text,
+                           ReadFileToString(workload_path));
+  WARLOCK_ASSIGN_OR_RETURN(std::string config_text,
+                           ReadFileToString(config_path));
+  return FromText(schema_text, workload_text, config_text, options);
+}
+
+Result<Session> Session::FromScenario(const scenario::ScenarioSpec& spec,
+                                      uint32_t index,
+                                      const SessionOptions& options) {
+  WARLOCK_ASSIGN_OR_RETURN(scenario::Scenario scenario,
+                           scenario::GenerateScenario(spec, index));
+  return Create(std::move(scenario.schema), std::move(scenario.mix),
+                std::move(scenario.config), options);
+}
+
+Result<AdviseResponse> Session::Advise(const AdviseRequest& request) const {
+  WARLOCK_ASSIGN_OR_RETURN(core::AdvisorResult result,
+                           state_->advisor->Run(&*state_->pool));
+  if (request.top_k.has_value() && result.ranking.size() > *request.top_k) {
+    result.ranking.resize(*request.top_k);
+  }
+  state_->advise_calls.fetch_add(1, std::memory_order_relaxed);
+  return AdviseResponse{std::move(result)};
+}
+
+Result<WhatIfResponse> Session::WhatIf(const WhatIfRequest& request) const {
+  WARLOCK_ASSIGN_OR_RETURN(
+      core::EvaluatedCandidate candidate,
+      state_->advisor->FullyEvaluate(request.fragmentation, request.overrides,
+                                     &*state_->pool));
+  state_->whatif_calls.fetch_add(1, std::memory_order_relaxed);
+  return WhatIfResponse{std::move(candidate)};
+}
+
+Result<std::vector<double>> Session::DiskAccessProfile(
+    const fragment::Fragmentation& fragmentation,
+    const workload::QueryClass& query_class,
+    const core::Advisor::Overrides& overrides) const {
+  return state_->advisor->DiskAccessProfile(fragmentation, query_class,
+                                            overrides);
+}
+
+const schema::StarSchema& Session::schema() const { return state_->schema; }
+const workload::QueryMix& Session::mix() const { return state_->mix; }
+const core::ToolConfig& Session::config() const { return state_->config; }
+const core::Advisor& Session::advisor() const { return *state_->advisor; }
+
+SessionStats Session::stats() const {
+  const fragment::FragmentSizesCache& cache = state_->advisor->sizes_cache();
+  SessionStats stats;
+  stats.advise_calls = state_->advise_calls.load(std::memory_order_relaxed);
+  stats.whatif_calls = state_->whatif_calls.load(std::memory_order_relaxed);
+  stats.fragment_sizes_reused = cache.hits();
+  stats.fragment_sizes_computed = cache.misses();
+  stats.fragment_sizes_entries = cache.size();
+  stats.pool_threads = state_->pool->num_threads();
+  return stats;
+}
+
+}  // namespace warlock

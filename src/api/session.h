@@ -1,0 +1,178 @@
+#ifndef WARLOCK_API_SESSION_H_
+#define WARLOCK_API_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/advisor.h"
+#include "core/tool_config.h"
+#include "fragment/fragmentation.h"
+#include "scenario/generator.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock {
+
+/// Construction-time knobs that apply on top of the loaded/derived
+/// `ToolConfig` (the file and scenario factories parse a config first, then
+/// apply these).
+struct SessionOptions {
+  /// Overrides `ToolConfig::threads`: the size of the session's worker
+  /// pool (0 = one per hardware thread).
+  std::optional<uint32_t> threads;
+};
+
+/// Parameters of one `Session::Advise` call.
+struct AdviseRequest {
+  /// Truncates the *reported* ranking to this many rows. A view-level knob:
+  /// it never changes which candidates are evaluated or how they rank
+  /// (that is `ToolConfig::ranking`, fixed per session), so responses stay
+  /// bit-identical prefixes of the session-configured ranking.
+  std::optional<size_t> top_k;
+};
+
+/// Output of `Session::Advise`: the full advisor result, owned by the
+/// response.
+struct AdviseResponse {
+  core::AdvisorResult result;
+
+  /// The ranking winner, or nullptr when the ranking is empty. Points into
+  /// `result`.
+  const core::EvaluatedCandidate* best() const {
+    return result.ranking.empty() ? nullptr
+                                  : &result.candidates[result.ranking[0]];
+  }
+};
+
+/// Parameters of one `Session::WhatIf` call: a fragmentation to evaluate
+/// with the full allocation-aware model, plus the interactive knobs (disk
+/// count, granules, allocation scheme, bitmap exclusions).
+struct WhatIfRequest {
+  fragment::Fragmentation fragmentation;
+  core::Advisor::Overrides overrides;
+};
+
+/// Output of `Session::WhatIf`.
+struct WhatIfResponse {
+  core::EvaluatedCandidate candidate;
+};
+
+/// Reuse/bookkeeping counters of one session (monotonic; taken with relaxed
+/// atomics, so a snapshot under concurrent calls is approximate).
+struct SessionStats {
+  /// Completed successful Advise / WhatIf calls.
+  uint64_t advise_calls = 0;
+  uint64_t whatif_calls = 0;
+
+  /// Fragment-size lookups served from the session's memo vs computed.
+  /// Warm `WhatIf` calls hit; only first-contact fragmentations miss.
+  uint64_t fragment_sizes_reused = 0;
+  uint64_t fragment_sizes_computed = 0;
+  /// Fragmentations currently memoized.
+  uint64_t fragment_sizes_entries = 0;
+
+  /// Workers in the session's persistent thread pool.
+  uint32_t pool_threads = 0;
+};
+
+/// The owning, reusable entry point of the WARLOCK library — the paper's
+/// interactive workflow (load inputs once, then iterate advise/what-if
+/// against the same schema and mix) as a value-semantics API.
+///
+/// A `Session` owns its schema, query mix, and configuration (no lifetime
+/// obligations on the caller), plus the state that makes repeated calls
+/// cheap: the advisor-wide bitmap scheme (selected once at construction),
+/// the fragment-size memo (each fragmentation's sizes are computed once,
+/// then reused by every later `Advise`/`WhatIf` touching it), and a
+/// persistent worker pool (no per-call thread spawn/join).
+///
+/// Thread-safety: `Advise`, `WhatIf`, `DiskAccessProfile`, and `stats` are
+/// const and safe to call concurrently on one session — all shared state is
+/// immutable-after-construction or internally synchronized, per the
+/// advisor's shared-immutable contract. Results are deterministic: the same
+/// session inputs produce bit-identical responses at every pool size.
+///
+/// Sessions are movable but not copyable (one pool, one cache). Moving
+/// invalidates references previously returned by `schema()`/`mix()`/etc.
+/// only in the sense that they now belong to the moved-to session; the
+/// underlying state does not relocate.
+class Session {
+ public:
+  /// Builds a session from in-memory artifacts (the programmatic builder).
+  /// All three are taken by value and owned by the session.
+  static Result<Session> Create(schema::StarSchema schema,
+                                workload::QueryMix mix,
+                                core::ToolConfig config,
+                                const SessionOptions& options = {});
+
+  /// Parses the three input-layer documents (schema, weighted query mix,
+  /// database & disk parameters) from text.
+  static Result<Session> FromText(std::string_view schema_text,
+                                  std::string_view workload_text,
+                                  std::string_view config_text,
+                                  const SessionOptions& options = {});
+
+  /// Reads and parses the three input-layer files — the DBA entry point.
+  static Result<Session> FromFiles(const std::string& schema_path,
+                                   const std::string& workload_path,
+                                   const std::string& config_path,
+                                   const SessionOptions& options = {});
+
+  /// Generates scenario `index` of `spec` and wraps it in a session — the
+  /// building block of sweeps (a sweep is N sessions).
+  static Result<Session> FromScenario(const scenario::ScenarioSpec& spec,
+                                      uint32_t index,
+                                      const SessionOptions& options = {});
+
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  /// Runs the full prediction pipeline (enumerate, screen, fully evaluate,
+  /// twofold-rank) over the session's persistent pool. Repeated calls reuse
+  /// the memoized bitmap scheme and fragment sizes.
+  Result<AdviseResponse> Advise(const AdviseRequest& request = {}) const;
+
+  /// Evaluates one fragmentation with the full allocation-aware model under
+  /// the request's interactive overrides. Warm calls (a fragmentation this
+  /// session has seen in any prior Advise/WhatIf) skip both bitmap-scheme
+  /// selection and fragment-size recomputation.
+  Result<WhatIfResponse> WhatIf(const WhatIfRequest& request) const;
+
+  /// Per-disk busy-time profile of one query class under a fragmentation.
+  Result<std::vector<double>> DiskAccessProfile(
+      const fragment::Fragmentation& fragmentation,
+      const workload::QueryClass& query_class,
+      const core::Advisor::Overrides& overrides = {}) const;
+
+  /// The owned input artifacts. References are stable across calls (state
+  /// lives behind one heap allocation) and valid until the session is
+  /// destroyed or moved-from.
+  const schema::StarSchema& schema() const;
+  const workload::QueryMix& mix() const;
+  const core::ToolConfig& config() const;
+
+  /// The underlying advisor — an escape hatch for callers that need the
+  /// lower-level API; it shares this session's caches but not its pool.
+  const core::Advisor& advisor() const;
+
+  /// Reuse counters (see `SessionStats`).
+  SessionStats stats() const;
+
+ private:
+  struct State;
+  explicit Session(std::unique_ptr<State> state);
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace warlock
+
+#endif  // WARLOCK_API_SESSION_H_

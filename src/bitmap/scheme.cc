@@ -1,13 +1,23 @@
 #include "bitmap/scheme.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "bitmap/encoded_index.h"
 
 namespace warlock::bitmap {
 
+namespace {
+std::atomic<uint64_t> g_selection_count{0};
+}  // namespace
+
+uint64_t BitmapScheme::SelectionCount() {
+  return g_selection_count.load(std::memory_order_relaxed);
+}
+
 BitmapScheme BitmapScheme::Select(const schema::StarSchema& schema,
                                   const SchemeOptions& options) {
+  g_selection_count.fetch_add(1, std::memory_order_relaxed);
   BitmapScheme scheme;
   scheme.attrs_.resize(schema.num_dimensions());
   scheme.encoded_stored_planes_.assign(schema.num_dimensions(), 0);

@@ -17,6 +17,17 @@ enum class BitmapKind : uint8_t {
   kEncoded = 2,   ///< Via the dimension's hierarchically encoded index.
 };
 
+/// Names one bitmap-indexed attribute: hierarchy level `level` of dimension
+/// `dimension` (both indices into the star schema). The currency of the
+/// interactive what-if knobs — `Advisor::Overrides::excluded_bitmaps` and the
+/// session API's requests use it instead of a bare index pair.
+struct BitmapRef {
+  uint32_t dimension = 0;
+  uint32_t level = 0;
+
+  bool operator==(const BitmapRef&) const = default;
+};
+
 /// Scheme-selection knobs.
 struct SchemeOptions {
   /// Attributes with cardinality <= this get standard bitmaps; higher
@@ -36,6 +47,11 @@ class BitmapScheme {
   /// Selects the default scheme for `schema` under `options`.
   static BitmapScheme Select(const schema::StarSchema& schema,
                              const SchemeOptions& options = {});
+
+  /// Process-wide count of `Select` invocations — instrumentation for the
+  /// session API's reuse contract (tests assert that warm `Session` calls
+  /// never re-run scheme selection). Monotonic, thread-safe.
+  static uint64_t SelectionCount();
 
   /// Index kind of attribute (dim, level).
   BitmapKind kind(uint32_t dim, uint32_t level) const {

@@ -1,0 +1,32 @@
+#ifndef WARLOCK_COMMON_JSON_H_
+#define WARLOCK_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace warlock {
+
+/// The one JSON escaping/formatting core every WARLOCK JSON emitter uses
+/// (the report JSON renderer and the scenario-sweep writer), so string
+/// escaping and double formatting cannot diverge between artifacts.
+
+/// RFC 8259 string-body escaping: quote, backslash, and control characters
+/// (common ones as \n \r \t, the rest as \u00xx). Input is passed through
+/// byte-wise otherwise, so UTF-8 survives untouched.
+std::string JsonEscape(std::string_view s);
+
+/// A complete JSON string literal: opening quote + escaped body + closing
+/// quote.
+std::string JsonString(std::string_view s);
+
+/// A JSON number: the shortest decimal that round-trips the double
+/// (`FormatDoubleRoundTrip`). JSON cannot represent non-finite numbers, so
+/// NaN and infinities are emitted as `null`.
+std::string JsonNumber(double v);
+
+/// "true" / "false".
+std::string JsonBool(bool v);
+
+}  // namespace warlock
+
+#endif  // WARLOCK_COMMON_JSON_H_

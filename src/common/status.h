@@ -66,6 +66,13 @@ class Status {
     return Status(Code::kIoError, std::move(msg));
   }
 
+  /// Returns `status` with "<context>: " prepended to its message, code
+  /// preserved — attribution when a facade composes several parsers.
+  /// `status` must be an error.
+  static Status Annotate(const std::string& context, const Status& status) {
+    return Status(status.code_, context + ": " + status.message_);
+  }
+
   /// True iff this status represents success.
   bool ok() const { return code_ == Code::kOk; }
 

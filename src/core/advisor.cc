@@ -181,7 +181,16 @@ Result<std::vector<double>> Advisor::DiskAccessProfile(
   return profile;
 }
 
-Result<AdvisorResult> Advisor::Run() const {
+Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool) const {
+  // A transient pool per run keeps the historical fire-and-forget contract;
+  // session-style callers pass a persistent pool instead and amortize the
+  // spawn/join. Results are bit-identical either way (per-slot writes).
+  std::optional<common::ThreadPool> local_pool;
+  if (pool == nullptr) {
+    local_pool.emplace(config_.threads);
+    pool = &*local_pool;
+  }
+
   WARLOCK_RETURN_IF_ERROR(config_.cost.disks.Validate());
   WARLOCK_ASSIGN_OR_RETURN(
       std::vector<fragment::Candidate> raw,
@@ -193,7 +202,6 @@ Result<AdvisorResult> Advisor::Run() const {
   result.enumerated = raw.size();
   result.candidates.resize(raw.size());
 
-  common::ThreadPool pool(config_.threads);
   const Overrides no_overrides;
 
   // Phase 1: screening with the expected-value model (allocation-agnostic,
@@ -201,7 +209,7 @@ Result<AdvisorResult> Advisor::Run() const {
   // read-only over the shared state, so they fan out over the pool; slot i
   // belongs exclusively to candidate i, keeping the outcome bit-identical
   // to a serial walk regardless of scheduling.
-  pool.ParallelFor(0, raw.size(), [&](size_t i) {
+  pool->ParallelFor(0, raw.size(), [&](size_t i) {
     fragment::Candidate& cand = raw[i];
     EvaluatedCandidate& ec = result.candidates[i];
     ec.fragmentation = std::move(cand.fragmentation);
@@ -257,10 +265,10 @@ Result<AdvisorResult> Advisor::Run() const {
   // search: the nested ParallelFor work-assists, so idle workers speed up
   // the granule sweep while saturated ones cost nothing.
   std::vector<unsigned char> full_ok(leading, 0);
-  pool.ParallelFor(0, leading, [&](size_t i) {
+  pool->ParallelFor(0, leading, [&](size_t i) {
     const size_t ci = included[i];
     EvaluatedCandidate& slot = result.candidates[ci];
-    auto full_or = FullyEvaluate(slot.fragmentation, no_overrides, &pool);
+    auto full_or = FullyEvaluate(slot.fragmentation, no_overrides, pool);
     if (!full_or.ok()) {
       // E.g. capacity violation at this disk count: record as excluded.
       slot.excluded = true;

@@ -98,12 +98,19 @@ struct AdvisorResult {
 /// and safe to call concurrently.
 class Advisor {
  public:
-  /// `schema` and `mix` must outlive the advisor.
+  /// `schema` and `mix` must outlive the advisor. (`warlock::Session` is
+  /// the owning facade that discharges this lifetime obligation for API
+  /// consumers — prefer it over holding an `Advisor` directly.)
   Advisor(const schema::StarSchema& schema, const workload::QueryMix& mix,
           ToolConfig config);
 
-  /// Runs the full pipeline.
-  Result<AdvisorResult> Run() const;
+  /// Runs the full pipeline. `pool` (optional) supplies the worker pool the
+  /// two evaluation phases fan out over; nullptr spins up a transient pool
+  /// of `ToolConfig::threads` workers, exactly as before. A long-lived
+  /// caller (the session API) passes its own pool so repeated runs skip the
+  /// per-call thread spawn/join. The ranking is bit-identical either way
+  /// and at every worker count.
+  Result<AdvisorResult> Run(common::ThreadPool* pool = nullptr) const;
 
   /// Per-evaluation replacements for config values, the building block of
   /// interactive what-if tuning: fields that are set win over the config.
@@ -113,7 +120,7 @@ class Advisor {
     std::optional<uint64_t> bitmap_granule;
     std::optional<alloc::AllocationScheme> allocation_scheme;
     /// Bitmap indexes to drop, e.g. to limit space requirements.
-    std::vector<std::pair<uint32_t, uint32_t>> excluded_bitmaps;
+    std::vector<bitmap::BitmapRef> excluded_bitmaps;
   };
 
   /// Evaluates a single fragmentation with the full (phase-2)
@@ -136,6 +143,12 @@ class Advisor {
   const schema::StarSchema& schema() const { return schema_; }
   const workload::QueryMix& mix() const { return mix_; }
   const ToolConfig& config() const { return config_; }
+
+  /// The advisor-wide fragment-size memo (introspection for the session
+  /// API's cache-reuse counters).
+  const fragment::FragmentSizesCache& sizes_cache() const {
+    return sizes_cache_;
+  }
 
  private:
   // How BuildEvalContext shapes the shared state for its caller.

@@ -107,8 +107,12 @@ Result<std::shared_ptr<const FragmentSizes>> FragmentSizesCache::GetOrCompute(
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
 
   // Compute outside the lock so concurrent misses on distinct candidates
   // proceed in parallel (the screening fan-out's common case).

@@ -1,6 +1,7 @@
 #ifndef WARLOCK_FRAGMENT_FRAGMENT_SIZES_H_
 #define WARLOCK_FRAGMENT_FRAGMENT_SIZES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -103,11 +104,21 @@ class FragmentSizesCache {
   /// Entries currently memoized (test/introspection hook).
   size_t size() const;
 
+  /// Lookups served from the memo without recomputing (the session API's
+  /// warm-reuse contract is asserted against these counters).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  /// Lookups that had to run `FragmentSizes::Compute` (includes failed
+  /// computations, which are not cached).
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
  private:
   using Key = std::vector<uint64_t>;
 
   mutable std::mutex mu_;
   std::map<Key, std::shared_ptr<const FragmentSizes>> cache_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace warlock::fragment

@@ -1,0 +1,289 @@
+#include "report/renderer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "alloc/allocators.h"
+#include "common/json.h"
+#include "report/report.h"
+
+namespace warlock::report {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table backend: the interactive-terminal views report.h has always
+// rendered.
+
+class TableRenderer final : public Renderer {
+ public:
+  OutputFormat format() const override { return OutputFormat::kTable; }
+
+  std::string Ranking(const core::AdvisorResult& result,
+                      const schema::StarSchema& schema) const override {
+    return RenderRanking(result, schema);
+  }
+
+  std::string Exclusions(const core::AdvisorResult& result,
+                         const schema::StarSchema& schema) const override {
+    return RenderExclusions(result, schema);
+  }
+
+  std::string QueryStats(const core::EvaluatedCandidate& candidate,
+                         const workload::QueryMix& mix,
+                         const schema::StarSchema& schema) const override {
+    return RenderQueryStats(candidate, mix, schema);
+  }
+
+  std::string Occupancy(
+      const core::EvaluatedCandidate& candidate) const override {
+    return RenderOccupancy(candidate);
+  }
+
+  std::string DiskProfile(const std::vector<double>& profile_ms,
+                          const std::string& title) const override {
+    return RenderDiskProfile(profile_ms, title);
+  }
+
+  std::string Sweep(const scenario::SweepResult& result) const override {
+    return scenario::RenderSweep(result);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CSV backend: every artifact as one RFC-4180 document.
+
+class CsvRenderer final : public Renderer {
+ public:
+  OutputFormat format() const override { return OutputFormat::kCsv; }
+
+  std::string Ranking(const core::AdvisorResult& result,
+                      const schema::StarSchema& schema) const override {
+    return RankingToCsv(result, schema).ToString();
+  }
+
+  std::string Exclusions(const core::AdvisorResult& result,
+                         const schema::StarSchema& schema) const override {
+    return ExclusionsToCsv(result, schema).ToString();
+  }
+
+  std::string QueryStats(const core::EvaluatedCandidate& candidate,
+                         const workload::QueryMix& mix,
+                         const schema::StarSchema& schema) const override {
+    return QueryStatsToCsv(candidate, mix, schema).ToString();
+  }
+
+  std::string Occupancy(
+      const core::EvaluatedCandidate& candidate) const override {
+    return OccupancyToCsv(candidate).ToString();
+  }
+
+  std::string DiskProfile(const std::vector<double>& profile_ms,
+                          const std::string& title) const override {
+    return DiskProfileToCsv(profile_ms, title).ToString();
+  }
+
+  std::string Sweep(const scenario::SweepResult& result) const override {
+    return scenario::SweepToCsv(result).ToString();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// JSON backend: one self-describing document per artifact ("artifact" names
+// the kind). Strings go through JsonEscape, doubles through JsonNumber
+// (shortest round-trip) — the same core the sweep writer uses, so numbers
+// parse back bit-identical everywhere.
+
+// One ranked candidate as a JSON object (mirrors the ranking CSV columns).
+void AppendRankedCandidate(std::ostringstream& os, size_t rank,
+                           const core::EvaluatedCandidate& c,
+                           const schema::StarSchema& schema) {
+  os << "    {\"rank\": " << rank
+     << ", \"fragmentation\": " << JsonString(c.fragmentation.Label(schema))
+     << ", \"num_fragments\": " << c.num_fragments
+     << ", \"total_pages\": " << c.total_pages
+     << ", \"bitmap_bytes\": " << JsonNumber(c.bitmap_storage_bytes)
+     << ", \"allocation\": "
+     << JsonString(alloc::AllocationSchemeName(c.allocation_scheme))
+     << ", \"fact_granule\": " << c.fact_granule
+     << ", \"bitmap_granule\": " << c.bitmap_granule
+     << ", \"io_work_ms\": " << JsonNumber(c.cost.io_work_ms)
+     << ", \"response_ms\": " << JsonNumber(c.cost.response_ms)
+     << ", \"balance\": " << JsonNumber(c.allocation_balance)
+     << ", \"screening_io_work_ms\": "
+     << JsonNumber(c.screening_io_work_ms) << "}";
+}
+
+class JsonRenderer final : public Renderer {
+ public:
+  OutputFormat format() const override { return OutputFormat::kJson; }
+
+  std::string Ranking(const core::AdvisorResult& result,
+                      const schema::StarSchema& schema) const override {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"artifact\": \"ranking\",\n";
+    os << "  \"enumerated\": " << result.enumerated << ",\n";
+    os << "  \"excluded\": " << result.excluded << ",\n";
+    os << "  \"screened\": " << result.screened << ",\n";
+    os << "  \"fully_evaluated\": " << result.fully_evaluated << ",\n";
+    os << "  \"ranking\": [\n";
+    size_t rank = 1;
+    for (size_t i = 0; i < result.ranking.size(); ++i) {
+      AppendRankedCandidate(os, rank++, result.candidates[result.ranking[i]],
+                            schema);
+      os << (i + 1 < result.ranking.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+  }
+
+  std::string Exclusions(const core::AdvisorResult& result,
+                         const schema::StarSchema& schema) const override {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"artifact\": \"exclusions\",\n";
+    os << "  \"excluded\": " << result.excluded << ",\n";
+    os << "  \"candidates\": [\n";
+    bool first = true;
+    for (const core::EvaluatedCandidate& c : result.candidates) {
+      if (!c.excluded) continue;
+      if (!first) os << ",\n";
+      first = false;
+      os << "    {\"fragmentation\": "
+         << JsonString(c.fragmentation.Label(schema))
+         << ", \"reason\": " << JsonString(c.exclusion_reason) << "}";
+    }
+    if (!first) os << "\n";
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+  }
+
+  std::string QueryStats(const core::EvaluatedCandidate& candidate,
+                         const workload::QueryMix& mix,
+                         const schema::StarSchema& schema) const override {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"artifact\": \"query_stats\",\n";
+    os << "  \"fragmentation\": "
+       << JsonString(candidate.fragmentation.Label(schema)) << ",\n";
+    os << "  \"num_fragments\": " << candidate.num_fragments << ",\n";
+    os << "  \"total_pages\": " << candidate.total_pages << ",\n";
+    os << "  \"avg_fragment_pages\": "
+       << JsonNumber(candidate.avg_fragment_pages) << ",\n";
+    os << "  \"size_skew_factor\": "
+       << JsonNumber(candidate.size_skew_factor) << ",\n";
+    os << "  \"bitmap_bytes\": " << JsonNumber(candidate.bitmap_storage_bytes)
+       << ",\n";
+    os << "  \"allocation\": "
+       << JsonString(alloc::AllocationSchemeName(candidate.allocation_scheme))
+       << ",\n";
+    os << "  \"balance\": " << JsonNumber(candidate.allocation_balance)
+       << ",\n";
+    os << "  \"fact_granule\": " << candidate.fact_granule << ",\n";
+    os << "  \"bitmap_granule\": " << candidate.bitmap_granule << ",\n";
+    os << "  \"classes\": [\n";
+    const size_t n =
+        std::min(mix.size(), candidate.cost.per_class.size());
+    for (size_t i = 0; i < n; ++i) {
+      const cost::QueryCost& qc = candidate.cost.per_class[i];
+      os << "    {\"class\": " << JsonString(mix.query_class(i).name())
+         << ", \"weight\": " << JsonNumber(mix.weight(i))
+         << ", \"signature\": "
+         << JsonString(mix.query_class(i).Signature(schema))
+         << ", \"fragment_hits\": " << JsonNumber(qc.fragments_hit)
+         << ", \"fact_pages\": " << JsonNumber(qc.fact_pages)
+         << ", \"bitmap_pages\": " << JsonNumber(qc.bitmap_pages)
+         << ", \"fact_ios\": " << JsonNumber(qc.fact_ios)
+         << ", \"bitmap_ios\": " << JsonNumber(qc.bitmap_ios)
+         << ", \"io_work_ms\": " << JsonNumber(qc.io_work_ms)
+         << ", \"response_ms\": " << JsonNumber(qc.response_ms)
+         << ", \"disks_used\": " << JsonNumber(qc.disks_used) << "}"
+         << (i + 1 < n ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+  }
+
+  std::string Occupancy(
+      const core::EvaluatedCandidate& candidate) const override {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"artifact\": \"occupancy\",\n";
+    os << "  \"allocation\": "
+       << JsonString(alloc::AllocationSchemeName(candidate.allocation_scheme))
+       << ",\n";
+    os << "  \"balance\": " << JsonNumber(candidate.allocation_balance)
+       << ",\n";
+    os << "  \"disk_bytes\": [";
+    for (size_t d = 0; d < candidate.disk_bytes.size(); ++d) {
+      os << (d > 0 ? ", " : "") << candidate.disk_bytes[d];
+    }
+    os << "]\n";
+    os << "}\n";
+    return os.str();
+  }
+
+  std::string DiskProfile(const std::vector<double>& profile_ms,
+                          const std::string& title) const override {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"artifact\": \"disk_profile\",\n";
+    os << "  \"title\": " << JsonString(title) << ",\n";
+    os << "  \"busy_ms\": [";
+    for (size_t d = 0; d < profile_ms.size(); ++d) {
+      os << (d > 0 ? ", " : "") << JsonNumber(profile_ms[d]);
+    }
+    os << "]\n";
+    os << "}\n";
+    return os.str();
+  }
+
+  std::string Sweep(const scenario::SweepResult& result) const override {
+    return scenario::SweepToJson(result);
+  }
+};
+
+}  // namespace
+
+Result<OutputFormat> ParseOutputFormat(std::string_view text) {
+  if (text == "table") return OutputFormat::kTable;
+  if (text == "csv") return OutputFormat::kCsv;
+  if (text == "json") return OutputFormat::kJson;
+  return Status::InvalidArgument("unknown output format '" +
+                                 std::string(text) +
+                                 "' (expected table, csv, or json)");
+}
+
+const char* OutputFormatName(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable: return "table";
+    case OutputFormat::kCsv: return "csv";
+    case OutputFormat::kJson: return "json";
+  }
+  return "?";
+}
+
+std::unique_ptr<Renderer> Renderer::Create(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable: return std::make_unique<TableRenderer>();
+    case OutputFormat::kCsv: return std::make_unique<CsvRenderer>();
+    case OutputFormat::kJson: return std::make_unique<JsonRenderer>();
+  }
+  return std::make_unique<TableRenderer>();
+}
+
+Status WriteArtifact(const std::string& path, const std::string& artifact) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << artifact;
+  out.flush();
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace warlock::report

@@ -1,0 +1,80 @@
+#ifndef WARLOCK_REPORT_RENDERER_H_
+#define WARLOCK_REPORT_RENDERER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/advisor.h"
+#include "scenario/sweep.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock::report {
+
+/// Output formats of the analysis layer.
+enum class OutputFormat {
+  kTable,  ///< Human-readable text tables / ASCII bars.
+  kCsv,    ///< RFC-4180 CSV, one document per artifact.
+  kJson,   ///< Stable machine-readable JSON, one document per artifact.
+};
+
+/// Parses "table" / "csv" / "json" (the CLI `--format` values).
+Result<OutputFormat> ParseOutputFormat(std::string_view text);
+
+/// Symbolic name of a format ("table", "csv", "json").
+const char* OutputFormatName(OutputFormat format);
+
+/// Renders every analysis-layer artifact in one output format. The three
+/// backends share one formatting core — `TextTable`/`AsciiBar` for tables,
+/// `CsvWriter` for CSV, `common/json.h` for JSON (the same escaping and
+/// round-trip double formatting the sweep writers use) — so the same data
+/// renders consistently everywhere. All methods are const, stateless, and
+/// safe to call concurrently; each returns a complete document.
+class Renderer {
+ public:
+  virtual ~Renderer() = default;
+
+  /// The backend's format.
+  virtual OutputFormat format() const = 0;
+
+  /// The ranked candidate list with the advisor's bookkeeping counters.
+  virtual std::string Ranking(const core::AdvisorResult& result,
+                              const schema::StarSchema& schema) const = 0;
+
+  /// Every candidate dropped by thresholds or phase-2 failures, with its
+  /// reason.
+  virtual std::string Exclusions(const core::AdvisorResult& result,
+                                 const schema::StarSchema& schema) const = 0;
+
+  /// One candidate's database statistic and per-query-class cost breakdown
+  /// (Fig. 2 of the paper).
+  virtual std::string QueryStats(const core::EvaluatedCandidate& candidate,
+                                 const workload::QueryMix& mix,
+                                 const schema::StarSchema& schema) const = 0;
+
+  /// One candidate's per-disk occupancy under its chosen allocation.
+  virtual std::string Occupancy(
+      const core::EvaluatedCandidate& candidate) const = 0;
+
+  /// A per-disk busy-time profile of one query class.
+  virtual std::string DiskProfile(const std::vector<double>& profile_ms,
+                                  const std::string& title) const = 0;
+
+  /// A scenario sweep's per-scenario outcome rows.
+  virtual std::string Sweep(const scenario::SweepResult& result) const = 0;
+
+  /// Backend factory.
+  static std::unique_ptr<Renderer> Create(OutputFormat format);
+};
+
+/// Writes a rendered artifact to `path`, reporting open *and* write
+/// failures (a truncated artifact on a full disk must not look like
+/// success).
+Status WriteArtifact(const std::string& path, const std::string& artifact);
+
+}  // namespace warlock::report
+
+#endif  // WARLOCK_REPORT_RENDERER_H_

@@ -151,6 +151,36 @@ CsvWriter RankingToCsv(const core::AdvisorResult& result,
   return csv;
 }
 
+CsvWriter ExclusionsToCsv(const core::AdvisorResult& result,
+                          const schema::StarSchema& schema) {
+  CsvWriter csv({"fragmentation", "reason"});
+  for (const core::EvaluatedCandidate& c : result.candidates) {
+    if (!c.excluded) continue;
+    csv.BeginRow().Add(c.fragmentation.Label(schema)).Add(c.exclusion_reason);
+  }
+  return csv;
+}
+
+CsvWriter OccupancyToCsv(const core::EvaluatedCandidate& candidate) {
+  CsvWriter csv({"disk", "bytes"});
+  for (size_t d = 0; d < candidate.disk_bytes.size(); ++d) {
+    csv.BeginRow()
+        .Add(static_cast<uint64_t>(d))
+        .Add(candidate.disk_bytes[d]);
+  }
+  return csv;
+}
+
+CsvWriter DiskProfileToCsv(const std::vector<double>& profile_ms,
+                           const std::string& title) {
+  CsvWriter csv({"title", "disk", "busy_ms"});
+  for (size_t d = 0; d < profile_ms.size(); ++d) {
+    csv.BeginRow().Add(title).Add(static_cast<uint64_t>(d)).Add(
+        profile_ms[d]);
+  }
+  return csv;
+}
+
 CsvWriter QueryStatsToCsv(const core::EvaluatedCandidate& candidate,
                           const workload::QueryMix& mix,
                           const schema::StarSchema& schema) {

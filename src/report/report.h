@@ -48,6 +48,17 @@ CsvWriter QueryStatsToCsv(const core::EvaluatedCandidate& candidate,
                           const workload::QueryMix& mix,
                           const schema::StarSchema& schema);
 
+/// CSV of the excluded candidates (fragmentation, reason).
+CsvWriter ExclusionsToCsv(const core::AdvisorResult& result,
+                          const schema::StarSchema& schema);
+
+/// CSV of one candidate's per-disk occupancy (disk, bytes).
+CsvWriter OccupancyToCsv(const core::EvaluatedCandidate& candidate);
+
+/// CSV of a disk access profile (disk, busy_ms).
+CsvWriter DiskProfileToCsv(const std::vector<double>& profile_ms,
+                           const std::string& title);
+
 }  // namespace warlock::report
 
 #endif  // WARLOCK_REPORT_REPORT_H_

@@ -1,11 +1,12 @@
 #include "scenario/sweep.h"
 
-#include <cstdio>
 #include <sstream>
 #include <utility>
 
 #include "alloc/allocators.h"
+#include "api/session.h"
 #include "common/format.h"
+#include "common/json.h"
 #include "common/text_table.h"
 #include "common/thread_pool.h"
 #include "core/advisor.h"
@@ -14,73 +15,49 @@ namespace warlock::scenario {
 
 namespace {
 
-// Runs one scenario end to end and fills its outcome slot. Never throws:
-// generation or advisor failures land in `out->error`.
+// Runs one scenario end to end — a single-use `warlock::Session` (a sweep
+// is N sessions) — and fills its outcome slot. Never throws: generation or
+// advisor failures land in `out->error`.
 void RunScenario(const ScenarioSpec& spec, uint32_t index,
                  uint32_t advisor_threads, ScenarioOutcome* out) {
   out->index = index;
   out->seed = ScenarioSeed(spec.seed, index);
 
-  auto scenario_or = GenerateScenario(spec, index);
-  if (!scenario_or.ok()) {
-    out->error = scenario_or.status().message();
+  SessionOptions options;
+  options.threads = advisor_threads;
+  auto session_or = Session::FromScenario(spec, index, options);
+  if (!session_or.ok()) {
+    out->error = session_or.status().message();
     return;
   }
-  Scenario& scenario = *scenario_or;
-  scenario.config.threads = advisor_threads;
+  const Session& session = *session_or;
 
-  out->dimensions = static_cast<uint32_t>(scenario.schema.num_dimensions());
-  out->fact_rows = scenario.schema.fact().row_count();
-  out->query_classes = static_cast<uint32_t>(scenario.mix.size());
-  out->disks = scenario.config.cost.disks.num_disks;
-  out->skewed = scenario.schema.HasSkew();
+  out->dimensions = static_cast<uint32_t>(session.schema().num_dimensions());
+  out->fact_rows = session.schema().fact().row_count();
+  out->query_classes = static_cast<uint32_t>(session.mix().size());
+  out->disks = session.config().cost.disks.num_disks;
+  out->skewed = session.schema().HasSkew();
 
-  const core::Advisor advisor(scenario.schema, scenario.mix, scenario.config);
-  auto result_or = advisor.Run();
-  if (!result_or.ok()) {
-    out->error = result_or.status().message();
+  auto response_or = session.Advise();
+  if (!response_or.ok()) {
+    out->error = response_or.status().message();
     return;
   }
-  const core::AdvisorResult& result = *result_or;
+  const core::AdvisorResult& result = response_or->result;
   out->ok = true;
   out->enumerated = result.enumerated;
   out->excluded = result.excluded;
   out->screened = result.screened;
   out->fully_evaluated = result.fully_evaluated;
-  if (result.ranking.empty()) return;  // winner/allocation keep their "-"
-  const core::EvaluatedCandidate& best = result.candidates[result.ranking[0]];
-  out->winner = best.fragmentation.Label(scenario.schema);
-  out->winner_fragments = best.num_fragments;
-  out->allocation = alloc::AllocationSchemeName(best.allocation_scheme);
-  out->fact_granule = best.fact_granule;
-  out->bitmap_granule = best.bitmap_granule;
-  out->io_work_ms = best.cost.io_work_ms;
-  out->response_ms = best.cost.response_ms;
-}
-
-// Minimal JSON string escaping: the labels we emit are alphanumeric with
-// punctuation, but error messages may quote arbitrary input.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  const core::EvaluatedCandidate* best = response_or->best();
+  if (best == nullptr) return;  // winner/allocation keep their "-"
+  out->winner = best->fragmentation.Label(session.schema());
+  out->winner_fragments = best->num_fragments;
+  out->allocation = alloc::AllocationSchemeName(best->allocation_scheme);
+  out->fact_granule = best->fact_granule;
+  out->bitmap_granule = best->bitmap_granule;
+  out->io_work_ms = best->cost.io_work_ms;
+  out->response_ms = best->cost.response_ms;
 }
 
 }  // namespace
@@ -96,9 +73,9 @@ Result<SweepResult> RunSweep(const ScenarioSpec& spec,
 
   // Outer fan-out: scenarios are independent (each derives its randomness
   // from (spec.seed, index) and owns outcome slot `i` exclusively), so the
-  // pool only trades wall-clock for cores. Each scenario's advisor spins up
-  // its own inner pool of `advisor_threads` workers; its nested
-  // ParallelFor work-assists, so the two axes compose without deadlock.
+  // pool only trades wall-clock for cores. Each scenario's session owns an
+  // inner pool of `advisor_threads` workers; its nested ParallelFor
+  // work-assists, so the two axes compose without deadlock.
   common::ThreadPool pool(options.threads);
   pool.ParallelFor(0, spec.scenarios, [&](size_t i) {
     RunScenario(spec, static_cast<uint32_t>(i), options.advisor_threads,
@@ -163,8 +140,8 @@ std::string SweepToJson(const SweepResult& result) {
        << ", \"allocation\": \"" << JsonEscape(o.allocation) << "\""
        << ", \"fact_granule\": " << o.fact_granule
        << ", \"bitmap_granule\": " << o.bitmap_granule
-       << ", \"io_work_ms\": " << FormatDoubleRoundTrip(o.io_work_ms)
-       << ", \"response_ms\": " << FormatDoubleRoundTrip(o.response_ms)
+       << ", \"io_work_ms\": " << JsonNumber(o.io_work_ms)
+       << ", \"response_ms\": " << JsonNumber(o.response_ms)
        << ", \"error\": \"" << JsonEscape(o.error) << "\"}"
        << (i + 1 < result.outcomes.size() ? "," : "") << "\n";
   }

@@ -1,0 +1,31 @@
+#ifndef WARLOCK_WARLOCK_SESSION_H_
+#define WARLOCK_WARLOCK_SESSION_H_
+
+/// The WARLOCK library's single public include: the owning `warlock::Session`
+/// facade (load inputs once, then iterate Advise/WhatIf against the same
+/// schema and mix) plus the `warlock::report::Renderer` output backends
+/// (table / CSV / JSON) that turn its responses into artifacts.
+///
+/// Quickstart:
+///
+/// ```cpp
+/// #include "warlock/session.h"
+///
+/// auto session = warlock::Session::FromFiles("apb1.schema",
+///                                            "apb1.workload",
+///                                            "default.config");
+/// if (!session.ok()) { /* session.status() */ }
+/// auto advice = session->Advise();
+/// auto renderer =
+///     warlock::report::Renderer::Create(warlock::report::OutputFormat::kTable);
+/// std::cout << renderer->Ranking(advice->result, session->schema());
+/// ```
+///
+/// Everything reachable from here is installed by `cmake --install` and
+/// importable out-of-tree via `find_package(warlock CONFIG)` +
+/// `target_link_libraries(... warlock::warlock_core)`.
+
+#include "api/session.h"
+#include "report/renderer.h"
+
+#endif  // WARLOCK_WARLOCK_SESSION_H_

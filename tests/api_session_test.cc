@@ -1,0 +1,356 @@
+// Tests of the `warlock::Session` facade (the owning public API): parity
+// with the legacy `core::Advisor` path (byte-equal artifacts at every pool
+// size), the warm-reuse contract (repeat WhatIf/Advise calls skip
+// bitmap-scheme selection and fragment-size recomputation — asserted via
+// cache counters), concurrency safety, and the factory surface.
+//
+// Fixtures live in tests/testdata/ (the CTest working directory is tests/).
+#include "warlock/session.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitmap/scheme.h"
+#include "core/config_text.h"
+#include "report/report.h"
+#include "schema/schema_text.h"
+#include "workload/workload_text.h"
+
+namespace warlock {
+namespace {
+
+constexpr char kSchemaPath[] = "testdata/apb1_tiny.schema";
+constexpr char kWorkloadPath[] = "testdata/apb1_tiny.workload";
+constexpr char kConfigPath[] = "testdata/apb1_tiny.config";
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path
+                        << " (tests must run with tests/ as cwd)";
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+Session MakeTinySession(const SessionOptions& options = {}) {
+  auto session = Session::FromFiles(kSchemaPath, kWorkloadPath, kConfigPath,
+                                    options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(session).value();
+}
+
+// Every artifact of one advisor result, concatenated — byte-equality over
+// this string is the parity criterion.
+std::string AllArtifacts(const core::AdvisorResult& result,
+                         const schema::StarSchema& schema) {
+  std::string out = report::RenderRanking(result, schema);
+  out += report::RankingToCsv(result, schema).ToString();
+  out += report::Renderer::Create(report::OutputFormat::kJson)
+             ->Ranking(result, schema);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Parity with the legacy path (acceptance criterion: golden ranking
+// bit-identical through the facade, at 1/2/4/8 threads).
+
+TEST(SessionParityTest, MatchesLegacyAdvisorByteEqualAtEveryThreadCount) {
+  auto schema = schema::SchemaFromText(ReadFileOrDie(kSchemaPath));
+  ASSERT_TRUE(schema.ok());
+  auto mix = workload::QueryMixFromText(ReadFileOrDie(kWorkloadPath), *schema);
+  ASSERT_TRUE(mix.ok());
+  auto config = core::ToolConfigFromText(ReadFileOrDie(kConfigPath));
+  ASSERT_TRUE(config.ok());
+
+  // Legacy reference: bare Advisor over caller-owned inputs, one thread.
+  config->threads = 1;
+  const core::Advisor advisor(*schema, *mix, *config);
+  auto legacy = advisor.Run();
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  const std::string expected = AllArtifacts(*legacy, *schema);
+
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SessionOptions options;
+    options.threads = threads;
+    Session session = MakeTinySession(options);
+    auto advice = session.Advise();
+    ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+    EXPECT_EQ(AllArtifacts(advice->result, session.schema()), expected)
+        << "facade artifacts differ from legacy at threads=" << threads;
+  }
+}
+
+TEST(SessionParityTest, WhatIfMatchesLegacyFullyEvaluate) {
+  Session session = MakeTinySession();
+  auto frag = fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, session.schema());
+  ASSERT_TRUE(frag.ok());
+
+  core::Advisor::Overrides overrides;
+  overrides.num_disks = 8;
+  auto legacy = session.advisor().FullyEvaluate(*frag, overrides);
+  ASSERT_TRUE(legacy.ok());
+
+  auto whatif = session.WhatIf({*frag, overrides});
+  ASSERT_TRUE(whatif.ok()) << whatif.status().ToString();
+  EXPECT_EQ(whatif->candidate.cost.io_work_ms, legacy->cost.io_work_ms);
+  EXPECT_EQ(whatif->candidate.cost.response_ms, legacy->cost.response_ms);
+  EXPECT_EQ(whatif->candidate.fact_granule, legacy->fact_granule);
+  EXPECT_EQ(whatif->candidate.bitmap_granule, legacy->bitmap_granule);
+  EXPECT_EQ(whatif->candidate.disk_bytes, legacy->disk_bytes);
+}
+
+// --------------------------------------------------------------------------
+// Warm-reuse contract (acceptance criterion: warm WhatIf provably skips
+// bitmap-scheme selection and fragment-size recomputation).
+
+TEST(SessionReuseTest, WarmWhatIfSkipsSchemeSelectionAndSizeRecompute) {
+  Session session = MakeTinySession();
+  const uint64_t selections_after_init = bitmap::BitmapScheme::SelectionCount();
+
+  auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}},
+                                                 session.schema());
+  ASSERT_TRUE(frag.ok());
+
+  const SessionStats cold = session.stats();
+  EXPECT_EQ(cold.whatif_calls, 0u);
+  EXPECT_EQ(cold.fragment_sizes_computed, 0u);
+
+  auto first = session.WhatIf({*frag, {}});
+  ASSERT_TRUE(first.ok());
+  const SessionStats after_first = session.stats();
+  EXPECT_EQ(after_first.whatif_calls, 1u);
+  EXPECT_EQ(after_first.fragment_sizes_computed, 1u)
+      << "first contact computes the fragmentation's sizes";
+  EXPECT_EQ(after_first.fragment_sizes_reused, 0u);
+
+  auto second = session.WhatIf({*frag, {}});
+  ASSERT_TRUE(second.ok());
+  const SessionStats warm = session.stats();
+  EXPECT_EQ(warm.fragment_sizes_computed, 1u)
+      << "warm WhatIf must not recompute fragment sizes";
+  EXPECT_GE(warm.fragment_sizes_reused, 1u);
+  EXPECT_EQ(warm.fragment_sizes_entries, 1u);
+
+  // Bitmap-scheme selection ran exactly once, at session construction —
+  // no WhatIf (not even one excluding bitmaps, which copies the scheme)
+  // re-runs it.
+  core::Advisor::Overrides exclude;
+  exclude.excluded_bitmaps = {bitmap::BitmapRef{0, 0}};
+  ASSERT_TRUE(session.WhatIf({*frag, exclude}).ok());
+  EXPECT_EQ(bitmap::BitmapScheme::SelectionCount(), selections_after_init)
+      << "warm WhatIf re-ran bitmap scheme selection";
+
+  // Warm calls are bit-identical to cold ones.
+  EXPECT_EQ(first->candidate.cost.response_ms,
+            second->candidate.cost.response_ms);
+  EXPECT_EQ(first->candidate.cost.io_work_ms,
+            second->candidate.cost.io_work_ms);
+}
+
+TEST(SessionReuseTest, WhatIfAfterAdviseIsWarm) {
+  Session session = MakeTinySession();
+  auto advice = session.Advise();
+  ASSERT_TRUE(advice.ok());
+  ASSERT_NE(advice->best(), nullptr);
+
+  const SessionStats after_advise = session.stats();
+  EXPECT_EQ(after_advise.advise_calls, 1u);
+  EXPECT_GT(after_advise.fragment_sizes_computed, 0u);
+
+  // The winner was costed during Advise; a what-if on it reuses its sizes.
+  auto whatif = session.WhatIf({advice->best()->fragmentation, {}});
+  ASSERT_TRUE(whatif.ok());
+  const SessionStats warm = session.stats();
+  EXPECT_EQ(warm.fragment_sizes_computed,
+            after_advise.fragment_sizes_computed)
+      << "WhatIf on an Advise-seen fragmentation must hit the memo";
+  EXPECT_GT(warm.fragment_sizes_reused, after_advise.fragment_sizes_reused);
+}
+
+TEST(SessionReuseTest, RepeatedAdviseReusesSizesAndScheme) {
+  Session session = MakeTinySession();
+  const uint64_t selections_after_init = bitmap::BitmapScheme::SelectionCount();
+
+  auto first = session.Advise();
+  ASSERT_TRUE(first.ok());
+  const uint64_t computed_once = session.stats().fragment_sizes_computed;
+
+  auto second = session.Advise();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(session.stats().fragment_sizes_computed, computed_once)
+      << "a second Advise must be served from the size memo";
+  EXPECT_EQ(bitmap::BitmapScheme::SelectionCount(), selections_after_init);
+  EXPECT_EQ(AllArtifacts(first->result, session.schema()),
+            AllArtifacts(second->result, session.schema()));
+}
+
+// --------------------------------------------------------------------------
+// Concurrency: const calls on one session from several threads.
+
+TEST(SessionConcurrencyTest, ParallelAdviseCallsProduceIdenticalArtifacts) {
+  SessionOptions options;
+  options.threads = 2;
+  Session session = MakeTinySession(options);
+
+  auto reference = session.Advise();
+  ASSERT_TRUE(reference.ok());
+  const std::string expected =
+      AllArtifacts(reference->result, session.schema());
+
+  constexpr int kCallers = 4;
+  std::vector<std::string> artifacts(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&session, &artifacts, i] {
+      auto advice = session.Advise();
+      if (advice.ok()) {
+        artifacts[i] = AllArtifacts(advice->result, session.schema());
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int i = 0; i < kCallers; ++i) {
+    EXPECT_EQ(artifacts[i], expected) << "caller " << i;
+  }
+}
+
+TEST(SessionConcurrencyTest, ParallelWhatIfCallsAreSafe) {
+  Session session = MakeTinySession();
+  auto frag_a = fragment::Fragmentation::FromNames({{"Time", "Month"}},
+                                                   session.schema());
+  auto frag_b = fragment::Fragmentation::FromNames({{"Product", "Family"}},
+                                                   session.schema());
+  ASSERT_TRUE(frag_a.ok() && frag_b.ok());
+
+  std::vector<std::thread> callers;
+  std::vector<unsigned char> ok(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    const fragment::Fragmentation& frag = (i % 2 == 0) ? *frag_a : *frag_b;
+    callers.emplace_back([&session, &frag, &ok, i] {
+      auto whatif = session.WhatIf({frag, {}});
+      ok[i] = whatif.ok() ? 1 : 0;
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ok[i], 1) << "caller " << i;
+  EXPECT_EQ(session.stats().whatif_calls, 8u);
+  // Two distinct fragmentations -> exactly two size computations, however
+  // the racing callers interleaved.
+  EXPECT_EQ(session.stats().fragment_sizes_entries, 2u);
+}
+
+// --------------------------------------------------------------------------
+// Factory surface and value semantics.
+
+TEST(SessionFactoryTest, FromTextAttributesParseErrors) {
+  auto bad_schema = Session::FromText("nonsense", "", "");
+  ASSERT_FALSE(bad_schema.ok());
+  EXPECT_EQ(bad_schema.status().message().rfind("schema: ", 0), 0u)
+      << bad_schema.status().ToString();
+
+  const std::string schema_text = ReadFileOrDie(kSchemaPath);
+  auto bad_workload = Session::FromText(schema_text, "query", "");
+  ASSERT_FALSE(bad_workload.ok());
+  EXPECT_EQ(bad_workload.status().message().rfind("workload: ", 0), 0u);
+
+  auto bad_config = Session::FromText(
+      schema_text, ReadFileOrDie(kWorkloadPath), "no_such_key 1");
+  ASSERT_FALSE(bad_config.ok());
+  EXPECT_EQ(bad_config.status().message().rfind("config: ", 0), 0u);
+}
+
+TEST(SessionFactoryTest, FromFilesReportsMissingFile) {
+  auto session = Session::FromFiles("testdata/definitely_missing.schema",
+                                    kWorkloadPath, kConfigPath);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), Status::Code::kIoError);
+}
+
+TEST(SessionFactoryTest, FromScenarioMatchesGeneratorPlusAdvisor) {
+  scenario::ScenarioSpec spec;
+  spec.name = "session-test";
+  spec.seed = 7;
+  spec.scenarios = 2;
+  spec.dimensions = {2, 2};
+  spec.levels = {1, 2};
+  spec.fact_rows = {20000, 50000};
+  spec.query_classes = {2, 2};
+  spec.disks = {4, 4};
+  spec.samples_per_class = 2;
+  spec.top_k = 3;
+
+  auto session = Session::FromScenario(spec, 1);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto advice = session->Advise();
+  ASSERT_TRUE(advice.ok());
+
+  auto scenario = scenario::GenerateScenario(spec, 1);
+  ASSERT_TRUE(scenario.ok());
+  const core::Advisor advisor(scenario->schema, scenario->mix,
+                              scenario->config);
+  auto legacy = advisor.Run();
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(AllArtifacts(advice->result, session->schema()),
+            AllArtifacts(*legacy, scenario->schema));
+}
+
+TEST(SessionFactoryTest, CreateRejectsBadFactIndex) {
+  auto schema = schema::SchemaFromText(ReadFileOrDie(kSchemaPath));
+  ASSERT_TRUE(schema.ok());
+  auto mix = workload::QueryMixFromText(ReadFileOrDie(kWorkloadPath), *schema);
+  ASSERT_TRUE(mix.ok());
+  core::ToolConfig config;
+  config.fact_index = 99;
+  auto session = Session::Create(std::move(schema).value(),
+                                 std::move(mix).value(), config);
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(SessionFactoryTest, SessionIsMovable) {
+  Session session = MakeTinySession();
+  auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}},
+                                                 session.schema());
+  ASSERT_TRUE(frag.ok());
+  ASSERT_TRUE(session.WhatIf({*frag, {}}).ok());
+
+  Session moved = std::move(session);
+  // The moved-to session keeps the warm state (stable heap-backed state).
+  EXPECT_EQ(moved.stats().whatif_calls, 1u);
+  auto whatif = moved.WhatIf({*frag, {}});
+  ASSERT_TRUE(whatif.ok());
+  EXPECT_EQ(moved.stats().fragment_sizes_computed, 1u);
+}
+
+TEST(SessionFactoryTest, AdviseTopKIsAViewLevelTruncation) {
+  Session session = MakeTinySession();
+  auto full = session.Advise();
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->result.ranking.size(), 1u);
+
+  AdviseRequest request;
+  request.top_k = 1;
+  auto truncated = session.Advise(request);
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_EQ(truncated->result.ranking.size(), 1u);
+  EXPECT_EQ(truncated->result.ranking[0], full->result.ranking[0]);
+  // Evaluation is untouched: the counters match the full run.
+  EXPECT_EQ(truncated->result.fully_evaluated, full->result.fully_evaluated);
+}
+
+TEST(SessionFactoryTest, PoolThreadsReportedInStats) {
+  SessionOptions options;
+  options.threads = 3;
+  Session session = MakeTinySession(options);
+  EXPECT_EQ(session.stats().pool_threads, 3u);
+  EXPECT_EQ(session.config().threads, 3u);
+}
+
+}  // namespace
+}  // namespace warlock

@@ -1,0 +1,66 @@
+// Tests of the shared JSON escaping/formatting core (common/json.h) — the
+// single implementation behind the report JSON renderer and the sweep
+// writer.
+#include "common/json.h"
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/format.h"
+
+namespace warlock {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("Line x Month"), "Line x Month");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  EXPECT_EQ(JsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonEscapeTest, PreservesUtf8Bytes) {
+  // Multi-byte sequences are > 0x7f as unsigned chars and must pass
+  // through unmodified.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonStringTest, QuotesAndEscapes) {
+  EXPECT_EQ(JsonString("plain"), "\"plain\"");
+  EXPECT_EQ(JsonString("say \"hi\""), "\"say \\\"hi\\\"\"");
+}
+
+TEST(JsonNumberTest, RoundTripsFiniteDoubles) {
+  for (double v : {0.0, 1.0, -1.5, 0.1, 1e-300, 1.7976931348623157e308,
+                   123456.789, 0.8599999999999999}) {
+    const std::string text = JsonNumber(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+    // Identical to the shared round-trip formatter (the sweep writer's
+    // historical output format).
+    EXPECT_EQ(text, FormatDoubleRoundTrip(v));
+  }
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonBoolTest, Literals) {
+  EXPECT_EQ(JsonBool(true), "true");
+  EXPECT_EQ(JsonBool(false), "false");
+}
+
+}  // namespace
+}  // namespace warlock

@@ -1,0 +1,256 @@
+// Tests of the report::Renderer backends (table / CSV / JSON): parity of
+// the table backend with the legacy Render* functions, artifact shape per
+// format, shared escaping, and — per the PR 5 checklist — degenerate
+// results: an empty ranking, an all-excluded candidate set, and single-disk
+// occupancy.
+#include "report/renderer.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "report/report.h"
+#include "scenario/sweep.h"
+
+namespace warlock::report {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+struct Fixture {
+  schema::StarSchema schema;
+  workload::QueryMix mix;
+  core::AdvisorResult result;
+};
+
+Fixture MakeFixture() {
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto prod =
+      schema::Dimension::Create("Product", {{"Group", 10}, {"Code", 1000}});
+  auto fact = schema::FactTable::Create("Sales", 400000, 100);
+  auto s = schema::StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  auto month = workload::QueryClass::Create("Month", 2.0, {{0, 1, 1}}, *s);
+  auto month_code = workload::QueryClass::Create("MonthCode", 1.0,
+                                                 {{0, 1, 1}, {1, 1, 1}}, *s);
+  auto mix = workload::QueryMix::Create({month.value(), month_code.value()});
+
+  core::ToolConfig config;
+  config.cost.disks.num_disks = 8;
+  config.cost.disks.page_size_bytes = kPage;
+  config.cost.samples_per_class = 2;
+  config.prefetch = core::PrefetchPolicy::kFixed;
+  config.thresholds.max_fragments = 5000;
+  core::Advisor advisor(*s, *mix, config);
+  auto result = advisor.Run();
+  EXPECT_TRUE(result.ok());
+  return Fixture{std::move(s).value(), std::move(mix).value(),
+                 std::move(result).value()};
+}
+
+TEST(RendererTest, FormatRoundTrip) {
+  for (OutputFormat f : {OutputFormat::kTable, OutputFormat::kCsv,
+                         OutputFormat::kJson}) {
+    auto renderer = Renderer::Create(f);
+    ASSERT_NE(renderer, nullptr);
+    EXPECT_EQ(renderer->format(), f);
+    auto parsed = ParseOutputFormat(OutputFormatName(f));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_FALSE(ParseOutputFormat("xml").ok());
+}
+
+TEST(RendererTest, TableBackendMatchesLegacyFunctions) {
+  const Fixture fx = MakeFixture();
+  auto table = Renderer::Create(OutputFormat::kTable);
+  EXPECT_EQ(table->Ranking(fx.result, fx.schema),
+            RenderRanking(fx.result, fx.schema));
+  EXPECT_EQ(table->Exclusions(fx.result, fx.schema),
+            RenderExclusions(fx.result, fx.schema));
+  const auto& best = fx.result.candidates[fx.result.ranking[0]];
+  EXPECT_EQ(table->QueryStats(best, fx.mix, fx.schema),
+            RenderQueryStats(best, fx.mix, fx.schema));
+  EXPECT_EQ(table->Occupancy(best), RenderOccupancy(best));
+  EXPECT_EQ(table->DiskProfile({1.0, 2.0}, "Month"),
+            RenderDiskProfile({1.0, 2.0}, "Month"));
+}
+
+TEST(RendererTest, CsvBackendEmitsHeadersAndRows) {
+  const Fixture fx = MakeFixture();
+  auto csv = Renderer::Create(OutputFormat::kCsv);
+  EXPECT_EQ(csv->Ranking(fx.result, fx.schema).rfind("rank,fragmentation", 0),
+            0u);
+  EXPECT_EQ(
+      csv->Exclusions(fx.result, fx.schema).rfind("fragmentation,reason", 0),
+      0u);
+  const auto& best = fx.result.candidates[fx.result.ranking[0]];
+  EXPECT_EQ(csv->QueryStats(best, fx.mix, fx.schema).rfind("class,weight", 0),
+            0u);
+  EXPECT_EQ(csv->Occupancy(best).rfind("disk,bytes", 0), 0u);
+  // One line per disk plus header.
+  const std::string occupancy = csv->Occupancy(best);
+  size_t lines = 0;
+  for (char c : occupancy) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 1u + best.disk_bytes.size());
+  EXPECT_EQ(csv->DiskProfile({1.0, 2.0}, "M").rfind("title,disk,busy_ms", 0),
+            0u);
+}
+
+TEST(RendererTest, JsonBackendEmitsEveryArtifact) {
+  const Fixture fx = MakeFixture();
+  auto json = Renderer::Create(OutputFormat::kJson);
+
+  const std::string ranking = json->Ranking(fx.result, fx.schema);
+  EXPECT_NE(ranking.find("\"artifact\": \"ranking\""), std::string::npos);
+  EXPECT_NE(ranking.find("\"enumerated\": "), std::string::npos);
+  EXPECT_NE(ranking.find("\"rank\": 1"), std::string::npos);
+  EXPECT_NE(ranking.find("\"response_ms\": "), std::string::npos);
+
+  const std::string exclusions = json->Exclusions(fx.result, fx.schema);
+  EXPECT_NE(exclusions.find("\"artifact\": \"exclusions\""),
+            std::string::npos);
+  EXPECT_NE(exclusions.find("\"reason\": "), std::string::npos);
+
+  const auto& best = fx.result.candidates[fx.result.ranking[0]];
+  const std::string stats = json->QueryStats(best, fx.mix, fx.schema);
+  EXPECT_NE(stats.find("\"artifact\": \"query_stats\""), std::string::npos);
+  EXPECT_NE(stats.find("\"class\": \"MonthCode\""), std::string::npos);
+
+  const std::string occupancy = json->Occupancy(best);
+  EXPECT_NE(occupancy.find("\"artifact\": \"occupancy\""), std::string::npos);
+  EXPECT_NE(occupancy.find("\"disk_bytes\": ["), std::string::npos);
+
+  const std::string profile = json->DiskProfile({1.5, 0.0}, "Month");
+  EXPECT_NE(profile.find("\"artifact\": \"disk_profile\""),
+            std::string::npos);
+  EXPECT_NE(profile.find("\"busy_ms\": [1.5, 0]"), std::string::npos);
+}
+
+TEST(RendererTest, JsonEscapesReasonStrings) {
+  core::AdvisorResult result;
+  core::EvaluatedCandidate bad;
+  bad.excluded = true;
+  bad.exclusion_reason = "line1\nline2 \"quoted\" \\slash";
+  result.candidates.push_back(bad);
+  result.enumerated = 1;
+  result.excluded = 1;
+
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}});
+  auto fact = schema::FactTable::Create("Sales", 1000, 100);
+  auto schema = schema::StarSchema::Create("S", {std::move(time).value()},
+                                           std::move(fact).value());
+
+  const std::string out =
+      Renderer::Create(OutputFormat::kJson)->Exclusions(result, *schema);
+  EXPECT_NE(out.find("line1\\nline2 \\\"quoted\\\" \\\\slash"),
+            std::string::npos)
+      << out;
+}
+
+TEST(RendererTest, SweepArtifactsDelegateToSweepWriters) {
+  scenario::SweepResult sweep;
+  sweep.spec_name = "renderer-test";
+  sweep.spec_seed = 5;
+  scenario::ScenarioOutcome outcome;
+  outcome.index = 0;
+  outcome.ok = true;
+  outcome.winner = "A x B";
+  sweep.outcomes.push_back(outcome);
+
+  EXPECT_EQ(Renderer::Create(OutputFormat::kTable)->Sweep(sweep),
+            scenario::RenderSweep(sweep));
+  EXPECT_EQ(Renderer::Create(OutputFormat::kCsv)->Sweep(sweep),
+            scenario::SweepToCsv(sweep).ToString());
+  EXPECT_EQ(Renderer::Create(OutputFormat::kJson)->Sweep(sweep),
+            scenario::SweepToJson(sweep));
+}
+
+// --------------------------------------------------------------------------
+// Degenerate results (PR 5 checklist): empty ranking, all-excluded
+// candidate set, single-disk occupancy — every backend must render them
+// without crashing and with sane shapes.
+
+TEST(RendererDegenerateTest, EmptyRankingRendersInEveryFormat) {
+  const core::AdvisorResult empty;
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}});
+  auto fact = schema::FactTable::Create("Sales", 1000, 100);
+  auto schema = schema::StarSchema::Create("S", {std::move(time).value()},
+                                           std::move(fact).value());
+
+  const std::string table =
+      Renderer::Create(OutputFormat::kTable)->Ranking(empty, *schema);
+  EXPECT_NE(table.find("top 0 of 0 candidates"), std::string::npos);
+
+  const std::string csv =
+      Renderer::Create(OutputFormat::kCsv)->Ranking(empty, *schema);
+  EXPECT_EQ(csv.rfind("rank,fragmentation", 0), 0u);
+  // Header only: exactly one line.
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1);
+
+  const std::string json =
+      Renderer::Create(OutputFormat::kJson)->Ranking(empty, *schema);
+  EXPECT_NE(json.find("\"ranking\": [\n  ]"), std::string::npos) << json;
+}
+
+TEST(RendererDegenerateTest, AllExcludedCandidateSet) {
+  auto time = schema::Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto fact = schema::FactTable::Create("Sales", 400000, 100);
+  auto schema = schema::StarSchema::Create("S", {std::move(time).value()},
+                                           std::move(fact).value());
+
+  core::AdvisorResult result;
+  for (int i = 0; i < 3; ++i) {
+    core::EvaluatedCandidate c;
+    c.excluded = true;
+    c.exclusion_reason = "candidate " + std::to_string(i) + " over budget";
+    result.candidates.push_back(c);
+  }
+  result.enumerated = 3;
+  result.excluded = 3;
+
+  for (OutputFormat f : {OutputFormat::kTable, OutputFormat::kCsv,
+                         OutputFormat::kJson}) {
+    auto renderer = Renderer::Create(f);
+    const std::string ranking = renderer->Ranking(result, *schema);
+    EXPECT_FALSE(ranking.empty());
+    const std::string exclusions = renderer->Exclusions(result, *schema);
+    EXPECT_NE(exclusions.find("candidate 2 over budget"), std::string::npos)
+        << OutputFormatName(f);
+  }
+  // The table view reports the full exclusion count.
+  const std::string table =
+      Renderer::Create(OutputFormat::kTable)->Exclusions(result, *schema);
+  EXPECT_NE(table.find("Excluded candidates (3)"), std::string::npos);
+}
+
+TEST(RendererDegenerateTest, SingleDiskOccupancy) {
+  core::EvaluatedCandidate candidate;
+  candidate.disk_bytes = {123456};
+  candidate.allocation_balance = 1.0;
+
+  const std::string table =
+      Renderer::Create(OutputFormat::kTable)->Occupancy(candidate);
+  EXPECT_NE(table.find("disk  0 |"), std::string::npos);
+
+  const std::string csv =
+      Renderer::Create(OutputFormat::kCsv)->Occupancy(candidate);
+  EXPECT_NE(csv.find("0,123456"), std::string::npos);
+
+  const std::string json =
+      Renderer::Create(OutputFormat::kJson)->Occupancy(candidate);
+  EXPECT_NE(json.find("\"disk_bytes\": [123456]"), std::string::npos);
+
+  // And the fully-empty variant (zero disks) stays well-formed too.
+  core::EvaluatedCandidate none;
+  EXPECT_NE(Renderer::Create(OutputFormat::kJson)
+                ->Occupancy(none)
+                .find("\"disk_bytes\": []"),
+            std::string::npos);
+  EXPECT_FALSE(
+      Renderer::Create(OutputFormat::kTable)->Occupancy(none).empty());
+}
+
+}  // namespace
+}  // namespace warlock::report
