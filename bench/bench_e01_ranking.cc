@@ -30,6 +30,7 @@ void PrintExperiment() {
               warlock::report::RenderRanking(*result, b.schema).c_str());
   std::printf("%s\n", warlock::report::RankingToCsv(*result, b.schema)
                           .ToString()
+                          .value()
                           .c_str());
 }
 

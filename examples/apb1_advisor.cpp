@@ -117,8 +117,8 @@ int main(int argc, char** argv) {
   const core::AdvisorResult& result = advice->result;
 
   auto table = report::Renderer::Create(report::OutputFormat::kTable);
-  std::printf("%s\n", table->Ranking(result, schema).c_str());
-  std::printf("%s\n", table->Exclusions(result, schema).c_str());
+  std::printf("%s\n", table->Ranking(result, schema).value().c_str());
+  std::printf("%s\n", table->Exclusions(result, schema).value().c_str());
 
   const std::string ranking_csv = out_dir + "/apb1_ranking.csv";
   auto st = report::RankingToCsv(result, schema).WriteFile(ranking_csv);
@@ -130,8 +130,8 @@ int main(int argc, char** argv) {
 
   if (const core::EvaluatedCandidate* best = advice->best()) {
     std::printf("\n%s\n",
-                table->QueryStats(*best, session->mix(), schema).c_str());
-    std::printf("%s\n", table->Occupancy(*best).c_str());
+                table->QueryStats(*best, session->mix(), schema).value().c_str());
+    std::printf("%s\n", table->Occupancy(*best).value().c_str());
     const std::string stats_csv = out_dir + "/apb1_best_query_stats.csv";
     st = report::QueryStatsToCsv(*best, session->mix(), schema)
              .WriteFile(stats_csv);

@@ -91,12 +91,13 @@ int main() {
   // 3. Analysis layer: any artifact, any backend (table / csv / json).
   auto renderer = report::Renderer::Create(report::OutputFormat::kTable);
   std::printf("%s\n",
-              renderer->Ranking(advice->result, session->schema()).c_str());
+              renderer->Ranking(advice->result, session->schema()).value().c_str());
   if (const core::EvaluatedCandidate* best = advice->best()) {
     std::printf("%s\n",
                 renderer->QueryStats(*best, session->mix(), session->schema())
+                    .value()
                     .c_str());
-    std::printf("%s\n", renderer->Occupancy(*best).c_str());
+    std::printf("%s\n", renderer->Occupancy(*best).value().c_str());
 
     // 4. Interactive fine-tuning: the warm session reuses its memoized
     //    bitmap scheme and fragment sizes — only the override is recosted.

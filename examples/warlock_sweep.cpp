@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
 
   if (!quiet) {
     auto table = report::Renderer::Create(report::OutputFormat::kTable);
-    std::printf("%s\n", table->Sweep(*result).c_str());
+    std::printf("%s\n", table->Sweep(*result).value().c_str());
   }
 
   size_t failures = 0;

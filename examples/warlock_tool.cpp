@@ -63,17 +63,18 @@ int main(int argc, char** argv) {
   const workload::QueryMix& mix = session->mix();
 
   auto table = report::Renderer::Create(report::OutputFormat::kTable);
-  std::printf("%s\n", table->Ranking(result, schema).c_str());
-  std::printf("%s\n", table->Exclusions(result, schema).c_str());
+  std::printf("%s\n", table->Ranking(result, schema).value().c_str());
+  std::printf("%s\n", table->Exclusions(result, schema).value().c_str());
 
   if (const core::EvaluatedCandidate* best = advice->best()) {
-    std::printf("%s\n", table->QueryStats(*best, mix, schema).c_str());
-    std::printf("%s\n", table->Occupancy(*best).c_str());
+    std::printf("%s\n", table->QueryStats(*best, mix, schema).value().c_str());
+    std::printf("%s\n", table->Occupancy(*best).value().c_str());
     auto profile = session->DiskAccessProfile(best->fragmentation,
                                               mix.query_class(0));
     if (profile.ok()) {
       std::printf("%s\n",
                   table->DiskProfile(*profile, mix.query_class(0).name())
+                      .value()
                       .c_str());
     }
     if (argc > 4) {

@@ -75,9 +75,13 @@ with open(out_path, "w") as f:
 EOF
 echo "wrote $OUT"
 
+# The speedup gate compares two series of the *current* run, so it holds on
+# any machine: a warm (memo-served) WhatIf must stay >= 10x cheaper than a
+# cold per-call evaluation — the delta re-costing win.
 if [[ -n "${CHECK_BASELINE:-}" ]]; then
   python3 scripts/bench_gate.py \
     --baseline bench/BENCH_advisor_baseline.json \
     --current "$OUT" \
-    --threshold "${BENCH_THRESHOLD:-2.0}"
+    --threshold "${BENCH_THRESHOLD:-2.0}" \
+    --speedup "BM_SessionWhatIfWarm:BM_AdvisorWhatIfCold:${BENCH_WARM_SPEEDUP:-10}"
 fi

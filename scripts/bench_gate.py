@@ -8,9 +8,17 @@ catches accidental serialization of the advisor's parallel phases or an
 O(n) slip in the hot path, while staying insensitive to machine speed
 differences of CI runners within a factor of the threshold.
 
+Speedup gates (--speedup FAST:SLOW:MIN, repeatable) additionally assert a
+minimum ratio between two series *of the current run*: real_time(SLOW) /
+real_time(FAST) >= MIN. Because both sides come from the same run on the
+same machine, the ratio is immune to runner speed — it locks relative wins
+(e.g. the session's warm what-if being >= 10x cheaper than a cold
+evaluation) that an absolute threshold cannot express.
+
 Usage:
   bench_gate.py --baseline bench/BENCH_advisor_baseline.json \
-                --current BENCH_advisor.json [--threshold 2.0]
+                --current BENCH_advisor.json [--threshold 2.0] \
+                [--speedup BM_SessionWhatIfWarm:BM_AdvisorWhatIfCold:10]
 """
 
 import argparse
@@ -29,11 +37,45 @@ def load_series(path):
     return series
 
 
+def parse_speedup(spec):
+    parts = spec.rsplit(":", 2)
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--speedup expects FAST:SLOW:MIN, got '{spec}'")
+    fast, slow, minimum = parts
+    try:
+        return fast, slow, float(minimum)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--speedup minimum must be a number, got '{minimum}'")
+
+
+def check_speedups(current, specs):
+    """Returns the names of failed speedup gates."""
+    failures = []
+    for fast, slow, minimum in specs:
+        missing = [n for n in (fast, slow) if n not in current]
+        if missing:
+            print(f"bench_gate: speedup series missing from current run: "
+                  f"{missing}", file=sys.stderr)
+            failures.append(f"{fast}:{slow}")
+            continue
+        ratio = current[slow] / current[fast] if current[fast] > 0 else 0.0
+        verdict = "FAIL" if ratio < minimum else "ok"
+        print(f"  {verdict:4} speedup {slow} / {fast}: {ratio:.1f}x "
+              f"(required >= {minimum:g}x)")
+        if ratio < minimum:
+            failures.append(f"{fast}:{slow}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument("--speedup", action="append", default=[],
+                        type=parse_speedup, metavar="FAST:SLOW:MIN")
     args = parser.parse_args()
 
     baseline = load_series(args.baseline)
@@ -60,12 +102,14 @@ def main():
               file=sys.stderr)
         failures.extend(missing)
 
+    failures.extend(check_speedups(current, args.speedup))
+
     if failures:
-        print(f"bench_gate: {len(failures)} series regressed beyond "
-              f"{args.threshold}x: {failures}", file=sys.stderr)
+        print(f"bench_gate: {len(failures)} gate(s) failed: {failures}",
+              file=sys.stderr)
         return 1
     print(f"bench_gate: {len(shared)} series within {args.threshold}x "
-          "of baseline")
+          f"of baseline, {len(args.speedup)} speedup gate(s) held")
     return 0
 
 

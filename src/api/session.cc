@@ -29,11 +29,18 @@ struct Session::State {
   // searches; sized by config.threads after option overrides.
   std::optional<common::ThreadPool> pool;
 
+  // Delta re-costing memo for full evaluations (internally synchronized;
+  // a pure cache, so memo-on and memo-off responses are bit-identical).
+  core::EvalMemo memo;
+
   std::atomic<uint64_t> advise_calls{0};
   std::atomic<uint64_t> whatif_calls{0};
 
   State(schema::StarSchema s, workload::QueryMix m, core::ToolConfig c)
-      : schema(std::move(s)), mix(std::move(m)), config(std::move(c)) {}
+      : schema(std::move(s)),
+        mix(std::move(m)),
+        config(std::move(c)),
+        memo(config.eval_memo_capacity) {}
 };
 
 namespace {
@@ -107,8 +114,9 @@ Result<Session> Session::FromScenario(const scenario::ScenarioSpec& spec,
 }
 
 Result<AdviseResponse> Session::Advise(const AdviseRequest& request) const {
-  WARLOCK_ASSIGN_OR_RETURN(core::AdvisorResult result,
-                           state_->advisor->Run(&*state_->pool));
+  WARLOCK_ASSIGN_OR_RETURN(
+      core::AdvisorResult result,
+      state_->advisor->Run(&*state_->pool, &state_->memo));
   if (request.top_k.has_value() && result.ranking.size() > *request.top_k) {
     result.ranking.resize(*request.top_k);
   }
@@ -120,7 +128,7 @@ Result<WhatIfResponse> Session::WhatIf(const WhatIfRequest& request) const {
   WARLOCK_ASSIGN_OR_RETURN(
       core::EvaluatedCandidate candidate,
       state_->advisor->FullyEvaluate(request.fragmentation, request.overrides,
-                                     &*state_->pool));
+                                     &*state_->pool, &state_->memo));
   state_->whatif_calls.fetch_add(1, std::memory_order_relaxed);
   return WhatIfResponse{std::move(candidate)};
 }
@@ -146,6 +154,8 @@ SessionStats Session::stats() const {
   stats.fragment_sizes_reused = cache.hits();
   stats.fragment_sizes_computed = cache.misses();
   stats.fragment_sizes_entries = cache.size();
+  stats.fragment_sizes_evictions = cache.evictions();
+  stats.memo = state_->memo.stats();
   stats.pool_threads = state_->pool->num_threads();
   return stats;
 }

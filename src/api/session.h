@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "core/advisor.h"
+#include "core/eval_memo.h"
 #include "core/tool_config.h"
 #include "fragment/fragmentation.h"
 #include "scenario/generator.h"
@@ -75,6 +76,16 @@ struct SessionStats {
   uint64_t fragment_sizes_computed = 0;
   /// Fragmentations currently memoized.
   uint64_t fragment_sizes_entries = 0;
+  /// Fragment-size entries discarded by the
+  /// `ToolConfig::sizes_cache_capacity` LRU cap.
+  uint64_t fragment_sizes_evictions = 0;
+
+  /// The delta re-costing memo's per-stage hit/miss/invalidation counters
+  /// plus residency/eviction accounting (see `core::EvalMemoStats`). A
+  /// repeated `WhatIf` is one `memo.result` hit; a single-knob change
+  /// invalidates exactly the stages that depend on that knob (per
+  /// `cost::StageDependsOn`) and recomputes only those.
+  core::EvalMemoStats memo;
 
   /// Workers in the session's persistent thread pool.
   uint32_t pool_threads = 0;
@@ -88,8 +99,13 @@ struct SessionStats {
 /// obligations on the caller), plus the state that makes repeated calls
 /// cheap: the advisor-wide bitmap scheme (selected once at construction),
 /// the fragment-size memo (each fragmentation's sizes are computed once,
-/// then reused by every later `Advise`/`WhatIf` touching it), and a
-/// persistent worker pool (no per-call thread spawn/join).
+/// then reused by every later `Advise`/`WhatIf` touching it), the delta
+/// re-costing memo (prior evaluations' stage products keyed by their
+/// override-relevant inputs, so an incremental what-if recomputes only the
+/// stages the changed knobs feed), and a persistent worker pool (no
+/// per-call thread spawn/join). The memos are pure caches — responses are
+/// bit-identical to a cold evaluation — and LRU-bounded
+/// (`ToolConfig::eval_memo_capacity` / `sizes_cache_capacity`).
 ///
 /// Thread-safety: `Advise`, `WhatIf`, `DiskAccessProfile`, and `stats` are
 /// const and safe to call concurrently on one session — all shared state is
@@ -143,7 +159,11 @@ class Session {
   /// Evaluates one fragmentation with the full allocation-aware model under
   /// the request's interactive overrides. Warm calls (a fragmentation this
   /// session has seen in any prior Advise/WhatIf) skip both bitmap-scheme
-  /// selection and fragment-size recomputation.
+  /// selection and fragment-size recomputation; on top of that, the delta
+  /// re-costing memo diffs the request's overrides against the session's
+  /// prior evaluations of the fragmentation and recomputes only the stages
+  /// that depend on what changed — an unchanged repeat returns the memoized
+  /// result outright, a single-knob change touches O(changed) work.
   Result<WhatIfResponse> WhatIf(const WhatIfRequest& request) const;
 
   /// Per-disk busy-time profile of one query class under a fragmentation.

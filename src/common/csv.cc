@@ -1,7 +1,10 @@
 #include "common/csv.h"
 
-#include <cstdio>
+#include <cmath>
 #include <fstream>
+#include <sstream>
+
+#include "common/format.h"
 
 namespace warlock {
 
@@ -14,7 +17,12 @@ CsvWriter& CsvWriter::BeginRow() {
 }
 
 CsvWriter& CsvWriter::Add(const std::string& cell) {
-  if (rows_.empty()) rows_.emplace_back();
+  if (!status_.ok()) return *this;
+  if (rows_.empty()) {
+    status_ = Status::FailedPrecondition(
+        "CsvWriter::Add called before BeginRow (cell '" + cell + "')");
+    return *this;
+  }
   rows_.back().push_back(Escape(cell));
   return *this;
 }
@@ -24,9 +32,11 @@ CsvWriter& CsvWriter::Add(uint64_t v) { return Add(std::to_string(v)); }
 CsvWriter& CsvWriter::Add(int64_t v) { return Add(std::to_string(v)); }
 
 CsvWriter& CsvWriter::Add(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.10g", v);
-  return Add(std::string(buf));
+  // The shared double contract (see the class comment): shortest
+  // round-trip decimal for finite values, the empty cell for NaN/Inf —
+  // mirroring the JSON backend's JsonNumber (round-trip or null).
+  if (!std::isfinite(v)) return Add(std::string());
+  return Add(FormatDoubleRoundTrip(v));
 }
 
 std::string CsvWriter::Escape(const std::string& cell) {
@@ -47,7 +57,16 @@ std::string CsvWriter::Escape(const std::string& cell) {
   return out;
 }
 
-std::string CsvWriter::ToString() const {
+Result<std::string> CsvWriter::ToString() const {
+  WARLOCK_RETURN_IF_ERROR(status_);
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].size() != header_.size()) {
+      return Status::InvalidArgument(
+          "csv row " + std::to_string(r + 1) + " has " +
+          std::to_string(rows_[r].size()) + " cells, header has " +
+          std::to_string(header_.size()));
+    }
+  }
   std::ostringstream os;
   for (size_t i = 0; i < header_.size(); ++i) {
     if (i) os << ',';
@@ -65,9 +84,10 @@ std::string CsvWriter::ToString() const {
 }
 
 Status CsvWriter::WriteFile(const std::string& path) const {
+  WARLOCK_ASSIGN_OR_RETURN(const std::string document, ToString());
   std::ofstream f(path);
   if (!f) return Status::IoError("cannot open " + path + " for writing");
-  f << ToString();
+  f << document;
   if (!f) return Status::IoError("write to " + path + " failed");
   return Status::OK();
 }

@@ -2,10 +2,10 @@
 #define WARLOCK_COMMON_CSV_H_
 
 #include <cstdint>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace warlock {
@@ -13,6 +13,18 @@ namespace warlock {
 /// Minimal CSV document builder with RFC-4180 quoting. Every report table in
 /// WARLOCK's analysis layer can be exported through this writer so that
 /// experiment outputs are machine-readable.
+///
+/// Double formatting contract (shared with the JSON backend, see
+/// `common/json.h`): finite values render via `FormatDoubleRoundTrip` — the
+/// shortest decimal that parses back bit-identical — so the same artifact
+/// rendered as CSV and JSON carries the same numbers. Non-finite values
+/// (NaN, ±Inf) render as the format's null: an empty cell here, `null` in
+/// JSON.
+///
+/// Structural contract: cells may only be added to an explicitly begun row
+/// (`BeginRow`), and every row must have exactly as many cells as the
+/// header. Violations are sticky and surface as an error from `ToString` /
+/// `WriteFile` instead of silently producing a malformed document.
 class CsvWriter {
  public:
   /// Starts a document with the given column headers.
@@ -21,22 +33,29 @@ class CsvWriter {
   /// Begins a new row; subsequent Add* calls append cells to it.
   CsvWriter& BeginRow();
 
-  /// Appends a string cell (quoted when necessary).
+  /// Appends a string cell (quoted when necessary). Calling any Add*
+  /// before `BeginRow` records a FailedPrecondition error instead of
+  /// fabricating a row.
   CsvWriter& Add(const std::string& cell);
   /// Appends an integer cell.
   CsvWriter& Add(uint64_t v);
   /// Appends an integer cell.
   CsvWriter& Add(int64_t v);
-  /// Appends a floating-point cell rendered with max precision.
+  /// Appends a floating-point cell: shortest round-trip decimal for finite
+  /// values, the empty cell (CSV's null) for NaN/Inf.
   CsvWriter& Add(double v);
 
   /// Number of data rows added so far.
   size_t row_count() const { return rows_.size(); }
 
-  /// Renders the full document.
-  std::string ToString() const;
+  /// The first structural error recorded by Add* calls, OK otherwise.
+  const Status& status() const { return status_; }
 
-  /// Writes the document to `path`.
+  /// Renders the full document, or the first structural error: an Add
+  /// without BeginRow, or any row whose cell count differs from the header.
+  Result<std::string> ToString() const;
+
+  /// Writes the document to `path` (validating like `ToString`).
   Status WriteFile(const std::string& path) const;
 
  private:
@@ -44,6 +63,9 @@ class CsvWriter {
 
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+  // First structural violation; sticky so a chain of Add calls after a
+  // missing BeginRow reports the root cause.
+  Status status_;
 };
 
 }  // namespace warlock

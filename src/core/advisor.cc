@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "core/eval_memo.h"
 #include "fragment/candidates.h"
 
 namespace warlock::core {
@@ -23,6 +24,32 @@ double BitmapStorageBytes(const fragment::FragmentSizes& sizes,
   return total;
 }
 
+// Normalizes the override-relevant inputs of one evaluation into the memo's
+// signature currency. Exclusions are sorted and deduplicated — sound because
+// BitmapScheme::Exclude is idempotent and order-independent, so equal sets
+// produce equal schemes.
+EvalMemo::Inputs NormalizeInputs(const ToolConfig& config,
+                                 const Advisor::Overrides& overrides) {
+  EvalMemo::Inputs in;
+  in.num_disks =
+      overrides.num_disks.value_or(config.cost.disks.num_disks);
+  in.fact_granule = overrides.fact_granule;
+  in.bitmap_granule = overrides.bitmap_granule;
+  in.allocation_code =
+      overrides.allocation_scheme.has_value()
+          ? 1 + static_cast<uint64_t>(*overrides.allocation_scheme)
+          : 0;
+  in.excluded_bitmaps.reserve(overrides.excluded_bitmaps.size());
+  for (const auto& [dim, level] : overrides.excluded_bitmaps) {
+    in.excluded_bitmaps.push_back((static_cast<uint64_t>(dim) << 32) | level);
+  }
+  std::sort(in.excluded_bitmaps.begin(), in.excluded_bitmaps.end());
+  in.excluded_bitmaps.erase(
+      std::unique(in.excluded_bitmaps.begin(), in.excluded_bitmaps.end()),
+      in.excluded_bitmaps.end());
+  return in;
+}
+
 }  // namespace
 
 Advisor::Advisor(const schema::StarSchema& schema,
@@ -31,11 +58,18 @@ Advisor::Advisor(const schema::StarSchema& schema,
       mix_(mix),
       config_(std::move(config)),
       base_scheme_(std::make_shared<const bitmap::BitmapScheme>(
-          bitmap::BitmapScheme::Select(schema_, config_.bitmap_options))) {}
+          bitmap::BitmapScheme::Select(schema_, config_.bitmap_options))),
+      sizes_cache_(config_.sizes_cache_capacity) {}
 
 Result<Advisor::EvalContext> Advisor::BuildEvalContext(
     const fragment::Fragmentation& fragmentation, const Overrides& overrides,
-    EvalMode mode, common::ThreadPool* pool) const {
+    EvalMode mode, common::ThreadPool* pool, EvalMemo* memo) const {
+  // The memo only serves full evaluations: screening products are never
+  // placement-dependent and profile allocations skip the capacity check, so
+  // caching them would either be useless or let an unvalidated allocation
+  // masquerade as a validated one.
+  if (mode != EvalMode::kFull) memo = nullptr;
+
   EvalContext ctx;
   ctx.params = config_.cost;
   if (mode == EvalMode::kScreening) ctx.params.force_expected = true;
@@ -51,53 +85,92 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
                                 ctx.params.disks.page_size_bytes,
                                 config_.thresholds.max_fragments));
 
+  const EvalMemo::Inputs inputs =
+      memo != nullptr ? NormalizeInputs(config_, overrides)
+                      : EvalMemo::Inputs{};
+  const EvalMemo::Key cand_key =
+      memo != nullptr ? EvalMemo::CandidateKey(fragmentation)
+                      : EvalMemo::Key{};
+
   if (overrides.excluded_bitmaps.empty()) {
     ctx.scheme = base_scheme_;
   } else {
-    auto modified = std::make_shared<bitmap::BitmapScheme>(*base_scheme_);
-    for (const auto& [dim, level] : overrides.excluded_bitmaps) {
-      WARLOCK_RETURN_IF_ERROR(modified->Exclude(dim, level));
+    // Scheme variants depend only on the exclusion set, so the memo shares
+    // them across candidates (and sessions repeat the same handful of
+    // exclusion what-ifs, so this is almost always a hit when warm).
+    const EvalMemo::Sig scheme_sig =
+        memo != nullptr
+            ? EvalMemo::StageSig(cost::EvalStage::kBitmapScheme, inputs)
+            : EvalMemo::Sig{};
+    if (memo != nullptr) ctx.scheme = memo->FindScheme(scheme_sig);
+    if (ctx.scheme == nullptr) {
+      auto modified = std::make_shared<bitmap::BitmapScheme>(*base_scheme_);
+      for (const auto& [dim, level] : overrides.excluded_bitmaps) {
+        WARLOCK_RETURN_IF_ERROR(modified->Exclude(dim, level));
+      }
+      ctx.scheme = std::move(modified);
+      if (memo != nullptr) memo->PutScheme(scheme_sig, ctx.scheme);
     }
-    ctx.scheme = std::move(modified);
   }
 
   if (mode == EvalMode::kScreening) {
     // Screening is placement-agnostic: the expected-value model never reads
     // the allocation, so an empty one of the right width suffices.
-    ctx.allocation =
-        alloc::DiskAllocation(ctx.params.disks.num_disks, {}, {}, {}, {});
+    ctx.allocation = std::make_shared<const alloc::DiskAllocation>(
+        ctx.params.disks.num_disks, std::vector<uint32_t>{},
+        std::vector<uint32_t>{}, std::vector<uint64_t>{},
+        std::vector<uint64_t>{});
     return ctx;
   }
 
-  if (overrides.allocation_scheme.has_value()) {
-    ctx.alloc_scheme = *overrides.allocation_scheme;
+  const EvalMemo::Sig alloc_sig =
+      memo != nullptr ? EvalMemo::StageSig(cost::EvalStage::kAllocation, inputs)
+                      : EvalMemo::Sig{};
+  std::optional<EvalMemo::AllocationEntry> cached_alloc;
+  if (memo != nullptr) cached_alloc = memo->FindAllocation(cand_key, alloc_sig);
+  if (cached_alloc.has_value()) {
+    ctx.alloc_scheme = cached_alloc->scheme;
+    ctx.allocation = cached_alloc->allocation;
   } else {
-    switch (config_.allocation) {
-      case AllocationPolicy::kRoundRobin:
-        ctx.alloc_scheme = alloc::AllocationScheme::kRoundRobin;
-        break;
-      case AllocationPolicy::kGreedy:
-        ctx.alloc_scheme = alloc::AllocationScheme::kGreedy;
-        break;
-      case AllocationPolicy::kAuto:
-      default:
-        ctx.alloc_scheme =
-            alloc::ChooseScheme(*ctx.sizes, config_.skew_threshold);
-        break;
+    if (overrides.allocation_scheme.has_value()) {
+      ctx.alloc_scheme = *overrides.allocation_scheme;
+    } else {
+      switch (config_.allocation) {
+        case AllocationPolicy::kRoundRobin:
+          ctx.alloc_scheme = alloc::AllocationScheme::kRoundRobin;
+          break;
+        case AllocationPolicy::kGreedy:
+          ctx.alloc_scheme = alloc::AllocationScheme::kGreedy;
+          break;
+        case AllocationPolicy::kAuto:
+        default:
+          ctx.alloc_scheme =
+              alloc::ChooseScheme(*ctx.sizes, config_.skew_threshold);
+          break;
+      }
     }
-  }
-  WARLOCK_ASSIGN_OR_RETURN(
-      ctx.allocation,
-      alloc::Allocate(ctx.alloc_scheme, *ctx.sizes, *ctx.scheme,
-                      ctx.params.disks.num_disks));
-  if (mode == EvalMode::kFull) {
-    WARLOCK_RETURN_IF_ERROR(
-        ctx.allocation.ValidateCapacity(ctx.params.disks.disk_capacity_bytes));
+    WARLOCK_ASSIGN_OR_RETURN(
+        alloc::DiskAllocation placed,
+        alloc::Allocate(ctx.alloc_scheme, *ctx.sizes, *ctx.scheme,
+                        ctx.params.disks.num_disks));
+    ctx.allocation =
+        std::make_shared<const alloc::DiskAllocation>(std::move(placed));
+    if (mode == EvalMode::kFull) {
+      WARLOCK_RETURN_IF_ERROR(ctx.allocation->ValidateCapacity(
+          ctx.params.disks.disk_capacity_bytes));
+    }
+    // Cache only capacity-validated allocations (failures return above).
+    if (memo != nullptr) {
+      memo->PutAllocation(cand_key, alloc_sig,
+                          {ctx.alloc_scheme, ctx.allocation});
+    }
   }
 
   // Prefetch granule determination. Full evaluation optimizes granules per
   // candidate under the auto policy; profiles sample at the configured (or
-  // overridden) granules.
+  // overridden) granules. Granule overrides (and the fixed policy) bypass
+  // the search entirely — they feed the cost stage directly and neither
+  // consult nor disturb the memoized search product.
   if (mode == EvalMode::kFull) {
     if (overrides.fact_granule.has_value() ||
         overrides.bitmap_granule.has_value() ||
@@ -109,14 +182,33 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
         ctx.params.bitmap_granule = *overrides.bitmap_granule;
       }
     } else {
-      cost::PrefetchOptions prefetch_options;
-      prefetch_options.max_granule_pages = config_.prefetch_max_granule;
-      prefetch_options.search_samples = config_.prefetch_samples;
-      const cost::PrefetchChoice choice = cost::OptimizePrefetch(
-          schema_, config_.fact_index, fragmentation, *ctx.sizes, *ctx.scheme,
-          ctx.allocation, mix_, ctx.params, prefetch_options, pool);
-      ctx.params.fact_granule = choice.fact_granule;
-      ctx.params.bitmap_granule = choice.bitmap_granule;
+      const EvalMemo::Sig prefetch_sig =
+          memo != nullptr
+              ? EvalMemo::StageSig(cost::EvalStage::kPrefetch, inputs)
+              : EvalMemo::Sig{};
+      std::optional<EvalMemo::PrefetchEntry> cached_prefetch;
+      if (memo != nullptr) {
+        cached_prefetch = memo->FindPrefetch(cand_key, prefetch_sig);
+      }
+      if (cached_prefetch.has_value()) {
+        ctx.params.fact_granule = cached_prefetch->fact_granule;
+        ctx.params.bitmap_granule = cached_prefetch->bitmap_granule;
+      } else {
+        cost::PrefetchOptions prefetch_options;
+        prefetch_options.max_granule_pages = config_.prefetch_max_granule;
+        prefetch_options.search_samples = config_.prefetch_samples;
+        const cost::PrefetchChoice choice = cost::OptimizePrefetch(
+            schema_, config_.fact_index, fragmentation, *ctx.sizes,
+            *ctx.scheme, *ctx.allocation, mix_, ctx.params, prefetch_options,
+            pool);
+        ctx.params.fact_granule = choice.fact_granule;
+        ctx.params.bitmap_granule = choice.bitmap_granule;
+        if (memo != nullptr) {
+          memo->PutPrefetch(
+              cand_key, prefetch_sig,
+              {ctx.params.fact_granule, ctx.params.bitmap_granule});
+        }
+      }
     }
   } else {
     if (overrides.fact_granule.has_value()) {
@@ -131,10 +223,25 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
 
 Result<EvaluatedCandidate> Advisor::FullyEvaluate(
     const fragment::Fragmentation& fragmentation, const Overrides& overrides,
-    common::ThreadPool* pool) const {
+    common::ThreadPool* pool, EvalMemo* memo) const {
+  // Result-stage short circuit: a repeated what-if with unchanged
+  // override-relevant inputs returns the memoized candidate outright,
+  // without consulting (or touching the counters of) the earlier stages.
+  EvalMemo::Key cand_key;
+  EvalMemo::Sig result_sig;
+  if (memo != nullptr) {
+    cand_key = EvalMemo::CandidateKey(fragmentation);
+    result_sig = EvalMemo::StageSig(cost::EvalStage::kCost,
+                                    NormalizeInputs(config_, overrides));
+    if (std::shared_ptr<const EvaluatedCandidate> cached =
+            memo->FindResult(cand_key, result_sig)) {
+      return *cached;
+    }
+  }
+
   WARLOCK_ASSIGN_OR_RETURN(
       EvalContext ctx,
-      BuildEvalContext(fragmentation, overrides, EvalMode::kFull, pool));
+      BuildEvalContext(fragmentation, overrides, EvalMode::kFull, pool, memo));
 
   EvaluatedCandidate ec;
   ec.fragmentation = fragmentation;
@@ -144,16 +251,20 @@ Result<EvaluatedCandidate> Advisor::FullyEvaluate(
   ec.size_skew_factor = ctx.sizes->SkewFactor();
   ec.bitmap_storage_bytes = BitmapStorageBytes(*ctx.sizes, *ctx.scheme);
   ec.allocation_scheme = ctx.alloc_scheme;
-  ec.allocation_balance = ctx.allocation.BalanceRatio();
-  ec.disk_bytes = ctx.allocation.disk_bytes();
+  ec.allocation_balance = ctx.allocation->BalanceRatio();
+  ec.disk_bytes = ctx.allocation->disk_bytes();
   ec.fact_granule = ctx.params.fact_granule;
   ec.bitmap_granule = ctx.params.bitmap_granule;
 
   const cost::QueryCostModel model(schema_, config_.fact_index,
                                    fragmentation, *ctx.sizes, *ctx.scheme,
-                                   ctx.allocation, ctx.params);
+                                   *ctx.allocation, ctx.params);
   ec.cost = cost::CostMix(model, mix_, ctx.params.seed);
   ec.fully_evaluated = true;
+  if (memo != nullptr) {
+    memo->PutResult(cand_key, result_sig,
+                    std::make_shared<const EvaluatedCandidate>(ec));
+  }
   return ec;
 }
 
@@ -165,7 +276,7 @@ Result<std::vector<double>> Advisor::DiskAccessProfile(
       BuildEvalContext(fragmentation, overrides, EvalMode::kProfile));
   const cost::QueryCostModel model(schema_, config_.fact_index,
                                    fragmentation, *ctx.sizes, *ctx.scheme,
-                                   ctx.allocation, ctx.params);
+                                   *ctx.allocation, ctx.params);
 
   std::vector<double> profile(ctx.params.disks.num_disks, 0.0);
   Rng rng(ctx.params.seed ^ 0xD15CACCE55ULL);
@@ -181,7 +292,8 @@ Result<std::vector<double>> Advisor::DiskAccessProfile(
   return profile;
 }
 
-Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool) const {
+Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool,
+                                   EvalMemo* memo) const {
   // A transient pool per run keeps the historical fire-and-forget contract;
   // session-style callers pass a persistent pool instead and amortize the
   // spawn/join. Results are bit-identical either way (per-slot writes).
@@ -231,7 +343,7 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool) const {
     ec.bitmap_storage_bytes = BitmapStorageBytes(*ctx.sizes, *ctx.scheme);
     const cost::QueryCostModel model(schema_, config_.fact_index,
                                      ec.fragmentation, *ctx.sizes,
-                                     *ctx.scheme, ctx.allocation, ctx.params);
+                                     *ctx.scheme, *ctx.allocation, ctx.params);
     const cost::MixCost mc = cost::CostMix(model, mix_, ctx.params.seed);
     ec.screening_io_work_ms = mc.io_work_ms;
   });
@@ -268,7 +380,7 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool) const {
   pool->ParallelFor(0, leading, [&](size_t i) {
     const size_t ci = included[i];
     EvaluatedCandidate& slot = result.candidates[ci];
-    auto full_or = FullyEvaluate(slot.fragmentation, no_overrides, pool);
+    auto full_or = FullyEvaluate(slot.fragmentation, no_overrides, pool, memo);
     if (!full_or.ok()) {
       // E.g. capacity violation at this disk count: record as excluded.
       slot.excluded = true;

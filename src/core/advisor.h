@@ -19,6 +19,8 @@
 
 namespace warlock::core {
 
+class EvalMemo;
+
 /// One fragmentation candidate after the prediction layer ran over it.
 struct EvaluatedCandidate {
   fragment::Fragmentation fragmentation;
@@ -108,9 +110,11 @@ class Advisor {
   /// two evaluation phases fan out over; nullptr spins up a transient pool
   /// of `ToolConfig::threads` workers, exactly as before. A long-lived
   /// caller (the session API) passes its own pool so repeated runs skip the
-  /// per-call thread spawn/join. The ranking is bit-identical either way
-  /// and at every worker count.
-  Result<AdvisorResult> Run(common::ThreadPool* pool = nullptr) const;
+  /// per-call thread spawn/join. `memo` (optional) is consulted and warmed
+  /// by the phase-2 full evaluations exactly as in `FullyEvaluate`. The
+  /// ranking is bit-identical either way and at every worker count.
+  Result<AdvisorResult> Run(common::ThreadPool* pool = nullptr,
+                            EvalMemo* memo = nullptr) const;
 
   /// Per-evaluation replacements for config values, the building block of
   /// interactive what-if tuning: fields that are set win over the config.
@@ -129,10 +133,18 @@ class Advisor {
   /// a caller is already fanning candidates out over — nested
   /// `ParallelFor` work-assists, and the granule choice is bit-identical
   /// at every worker count.
+  ///
+  /// `memo` (optional) enables delta re-costing: stage products (bitmap
+  /// scheme variant, allocation, prefetch granules, the assembled result)
+  /// are served from the memo when the override-relevant inputs they depend
+  /// on (per `cost::StageDependsOn`) are unchanged, and recomputed — with
+  /// the stale slot invalidated — when they differ. The memo is a pure
+  /// cache: the returned candidate is bit-identical with and without it, at
+  /// every worker count. Failed evaluations are never cached.
   Result<EvaluatedCandidate> FullyEvaluate(
       const fragment::Fragmentation& fragmentation,
-      const Overrides& overrides = {},
-      common::ThreadPool* pool = nullptr) const;
+      const Overrides& overrides = {}, common::ThreadPool* pool = nullptr,
+      EvalMemo* memo = nullptr) const;
 
   /// Per-disk busy-time profile of one query class under a fragmentation —
   /// the data behind the analysis layer's disk access visualization.
@@ -161,19 +173,20 @@ class Advisor {
   // Everything a cost-model construction needs, assembled once per
   // evaluation: effective parameters, memoized fragment sizes, the bitmap
   // scheme (the advisor-wide one unless overrides exclude indexes), and the
-  // disk allocation. Sizes and scheme are shared immutable snapshots so
-  // concurrent evaluations never copy or mutate them.
+  // disk allocation. Sizes, scheme, and allocation are shared immutable
+  // snapshots so concurrent evaluations never copy or mutate them, and a
+  // memo can hand the same allocation to many evaluations.
   struct EvalContext {
     cost::CostParameters params;
     std::shared_ptr<const fragment::FragmentSizes> sizes;
     std::shared_ptr<const bitmap::BitmapScheme> scheme;
     alloc::AllocationScheme alloc_scheme = alloc::AllocationScheme::kRoundRobin;
-    alloc::DiskAllocation allocation{0, {}, {}, {}, {}};
+    std::shared_ptr<const alloc::DiskAllocation> allocation;
   };
   Result<EvalContext> BuildEvalContext(
       const fragment::Fragmentation& fragmentation,
       const Overrides& overrides, EvalMode mode,
-      common::ThreadPool* pool = nullptr) const;
+      common::ThreadPool* pool = nullptr, EvalMemo* memo = nullptr) const;
 
   const schema::StarSchema& schema_;
   const workload::QueryMix& mix_;

@@ -83,7 +83,8 @@ Result<ToolConfig> ToolConfigFromText(std::string_view text) {
         key == "max_dimensions" || key == "standard_max_cardinality" ||
         key == "top_k" || key == "samples_per_class" || key == "seed" ||
         key == "threads" || key == "prefetch_max_granule" ||
-        key == "prefetch_samples";
+        key == "prefetch_samples" || key == "eval_memo_capacity" ||
+        key == "sizes_cache_capacity";
     if (unsigned_key && v < 0) {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": " + key + " must be >= 0");
@@ -124,6 +125,10 @@ Result<ToolConfig> ToolConfigFromText(std::string_view text) {
       config.cost.seed = static_cast<uint64_t>(v);
     } else if (key == "threads") {
       config.threads = static_cast<uint32_t>(v);
+    } else if (key == "eval_memo_capacity") {
+      config.eval_memo_capacity = static_cast<size_t>(v);
+    } else if (key == "sizes_cache_capacity") {
+      config.sizes_cache_capacity = static_cast<size_t>(v);
     } else if (key == "skew_threshold") {
       if (v < 1.0) {
         return Status::InvalidArgument(
@@ -189,6 +194,8 @@ std::string ToolConfigToText(const ToolConfig& config) {
   os << "samples_per_class " << config.cost.samples_per_class << "\n";
   os << "seed " << config.cost.seed << "\n";
   os << "threads " << config.threads << "\n";
+  os << "eval_memo_capacity " << config.eval_memo_capacity << "\n";
+  os << "sizes_cache_capacity " << config.sizes_cache_capacity << "\n";
   return os.str();
 }
 

@@ -1,0 +1,168 @@
+#include "core/eval_memo.h"
+
+#include <utility>
+
+#include "core/advisor.h"
+
+namespace warlock::core {
+
+EvalMemo::EvalMemo(size_t capacity) : capacity_(capacity) {}
+
+EvalMemo::~EvalMemo() = default;
+
+EvalMemo::Key EvalMemo::CandidateKey(
+    const fragment::Fragmentation& fragmentation) {
+  // attrs() is normalized to schema dimension order, so equal fragmentations
+  // produce equal keys.
+  Key key;
+  key.reserve(fragmentation.attrs().size());
+  for (const fragment::FragAttr& attr : fragmentation.attrs()) {
+    key.push_back((static_cast<uint64_t>(attr.dim) << 32) | attr.level);
+  }
+  return key;
+}
+
+EvalMemo::Sig EvalMemo::StageSig(cost::EvalStage stage, const Inputs& inputs) {
+  using cost::EvalInput;
+  Sig sig;
+  sig.reserve(4 + inputs.excluded_bitmaps.size());
+  if (cost::StageDependsOn(stage, EvalInput::kNumDisks)) {
+    sig.push_back(inputs.num_disks);
+  }
+  if (cost::StageDependsOn(stage, EvalInput::kFactGranule)) {
+    // Encode presence distinctly from any value so "override = auto search
+    // result" still differs from "no override".
+    sig.push_back(inputs.fact_granule ? 1 : 0);
+    sig.push_back(inputs.fact_granule.value_or(0));
+  }
+  if (cost::StageDependsOn(stage, EvalInput::kBitmapGranule)) {
+    sig.push_back(inputs.bitmap_granule ? 1 : 0);
+    sig.push_back(inputs.bitmap_granule.value_or(0));
+  }
+  if (cost::StageDependsOn(stage, EvalInput::kAllocationScheme)) {
+    sig.push_back(inputs.allocation_code);
+  }
+  if (cost::StageDependsOn(stage, EvalInput::kExcludedBitmaps)) {
+    sig.push_back(inputs.excluded_bitmaps.size());
+    sig.insert(sig.end(), inputs.excluded_bitmaps.begin(),
+               inputs.excluded_bitmaps.end());
+  }
+  return sig;
+}
+
+std::shared_ptr<const bitmap::BitmapScheme> EvalMemo::FindScheme(
+    const Sig& sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schemes_.find(sig);
+  if (it == schemes_.end()) {
+    ++stats_.scheme.misses;
+    return nullptr;
+  }
+  ++stats_.scheme.hits;
+  return it->second;
+}
+
+void EvalMemo::PutScheme(const Sig& sig,
+                         std::shared_ptr<const bitmap::BitmapScheme> scheme) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // First insert wins: concurrent computations of the same variant are
+  // identical, keep the resident one so earlier readers stay shared.
+  schemes_.emplace(sig, std::move(scheme));
+}
+
+EvalMemo::CandidateEntry* EvalMemo::FindEntry(const Key& candidate) {
+  auto it = entries_.find(candidate);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return &it->second;
+}
+
+EvalMemo::CandidateEntry& EvalMemo::TouchEntry(const Key& candidate) {
+  if (CandidateEntry* found = FindEntry(candidate)) return *found;
+  lru_.push_front(candidate);
+  CandidateEntry& entry = entries_[candidate];
+  entry.lru = lru_.begin();
+  if (capacity_ > 0 && entries_.size() > capacity_) {
+    const Key& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return entry;
+}
+
+template <typename T>
+std::optional<T> EvalMemo::FindSlot(Slot<T> CandidateEntry::* slot,
+                                    EvalMemoCounters EvalMemoStats::* counters,
+                                    const Key& candidate, const Sig& sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CandidateEntry* entry = FindEntry(candidate);
+  if (entry == nullptr || !(entry->*slot).valid) {
+    ++(stats_.*counters).misses;
+    return std::nullopt;
+  }
+  Slot<T>& s = entry->*slot;
+  if (s.sig != sig) {
+    // Stale: an input this stage depends on changed. Drop the product so a
+    // later lookup with the old signature counts as a plain miss.
+    s.valid = false;
+    s.value = T{};
+    ++(stats_.*counters).invalidations;
+    return std::nullopt;
+  }
+  ++(stats_.*counters).hits;
+  return s.value;
+}
+
+template <typename T>
+void EvalMemo::PutSlot(Slot<T> CandidateEntry::* slot, const Key& candidate,
+                       const Sig& sig, T value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot<T>& s = TouchEntry(candidate).*slot;
+  s.valid = true;
+  s.sig = sig;
+  s.value = std::move(value);
+}
+
+std::optional<EvalMemo::AllocationEntry> EvalMemo::FindAllocation(
+    const Key& candidate, const Sig& sig) {
+  return FindSlot(&CandidateEntry::allocation, &EvalMemoStats::allocation,
+                  candidate, sig);
+}
+
+void EvalMemo::PutAllocation(const Key& candidate, const Sig& sig,
+                             AllocationEntry entry) {
+  PutSlot(&CandidateEntry::allocation, candidate, sig, std::move(entry));
+}
+
+std::optional<EvalMemo::PrefetchEntry> EvalMemo::FindPrefetch(
+    const Key& candidate, const Sig& sig) {
+  return FindSlot(&CandidateEntry::prefetch, &EvalMemoStats::prefetch,
+                  candidate, sig);
+}
+
+void EvalMemo::PutPrefetch(const Key& candidate, const Sig& sig,
+                           PrefetchEntry entry) {
+  PutSlot(&CandidateEntry::prefetch, candidate, sig, entry);
+}
+
+std::shared_ptr<const EvaluatedCandidate> EvalMemo::FindResult(
+    const Key& candidate, const Sig& sig) {
+  return FindSlot(&CandidateEntry::result, &EvalMemoStats::result, candidate,
+                  sig)
+      .value_or(nullptr);
+}
+
+void EvalMemo::PutResult(const Key& candidate, const Sig& sig,
+                         std::shared_ptr<const EvaluatedCandidate> result) {
+  PutSlot(&CandidateEntry::result, candidate, sig, std::move(result));
+}
+
+EvalMemoStats EvalMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvalMemoStats snapshot = stats_;
+  snapshot.entries = entries_.size();
+  return snapshot;
+}
+
+}  // namespace warlock::core

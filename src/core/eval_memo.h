@@ -1,0 +1,195 @@
+#ifndef WARLOCK_CORE_EVAL_MEMO_H_
+#define WARLOCK_CORE_EVAL_MEMO_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "alloc/allocators.h"
+#include "bitmap/scheme.h"
+#include "cost/eval_deps.h"
+#include "fragment/fragmentation.h"
+
+namespace warlock::core {
+
+struct EvaluatedCandidate;
+
+/// Hit/miss/invalidation counters of one memoized evaluation stage.
+/// A lookup is a *hit* when the stored signature matches, a *miss* when the
+/// stage was never computed for the candidate, and an *invalidation* when a
+/// stored product had to be discarded because an override-relevant input it
+/// depends on changed since the last evaluation.
+struct EvalMemoCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+};
+
+/// Snapshot of an `EvalMemo`'s bookkeeping (one counter set per stage of
+/// `cost::EvalStage` that the memo caches, plus capacity accounting).
+struct EvalMemoStats {
+  /// Bitmap-scheme variants (keyed by exclusion set; never invalidated —
+  /// a variant stays valid for the session's lifetime).
+  EvalMemoCounters scheme;
+  /// Scheme choice + disk placement per candidate.
+  EvalMemoCounters allocation;
+  /// Auto prefetch-granule search per candidate.
+  EvalMemoCounters prefetch;
+  /// The fully assembled evaluation result per candidate.
+  EvalMemoCounters result;
+  /// Candidate entries currently resident.
+  uint64_t entries = 0;
+  /// Candidate entries discarded by the LRU size cap.
+  uint64_t evictions = 0;
+};
+
+/// Per-session delta re-costing memo: keeps the products of every evaluation
+/// stage per candidate, keyed by signatures built from exactly the
+/// override-relevant inputs that stage depends on (`cost::StageDependsOn`).
+/// A what-if that changes one knob therefore recomputes only the dependent
+/// stages — the rest are served from the memo — and a repeated request is a
+/// single result-stage hit.
+///
+/// The memo is a pure cache: every stage is a deterministic function of its
+/// signature, so memo-on and memo-off evaluations are bit-identical (the
+/// session parity tests enforce this at every thread count).
+///
+/// Thread-safety: all methods are internally synchronized; concurrent misses
+/// on the same slot may compute twice, and the last insert wins — both
+/// callers observe a value consistent with its signature. Values are shared
+/// immutable snapshots, safe to hand to concurrent cost-model
+/// constructions.
+///
+/// Growth is bounded by `capacity` candidate entries (0 = unbounded),
+/// evicted least-recently-used; evictions are surfaced in `stats()` and via
+/// `Session::stats()`.
+class EvalMemo {
+ public:
+  /// Candidate identity: the fragmentation's attribute list, encoded.
+  using Key = std::vector<uint64_t>;
+  /// A stage's input signature (see `StageSig`).
+  using Sig = std::vector<uint64_t>;
+
+  /// The normalized override-relevant inputs of one evaluation, the common
+  /// currency signatures are built from. Built once per call via
+  /// `Normalize`; session-constant inputs are not represented (they cannot
+  /// change under one memo).
+  struct Inputs {
+    /// Effective disk count (override applied over the config).
+    uint32_t num_disks = 0;
+    /// Granule overrides (unset = auto search / config default).
+    std::optional<uint64_t> fact_granule;
+    std::optional<uint64_t> bitmap_granule;
+    /// 0 = the session config's allocation policy; 1 + scheme otherwise.
+    uint64_t allocation_code = 0;
+    /// Excluded bitmaps as sorted, deduplicated (dim << 32 | level) codes.
+    std::vector<uint64_t> excluded_bitmaps;
+  };
+
+  /// The allocation stage's product.
+  struct AllocationEntry {
+    alloc::AllocationScheme scheme = alloc::AllocationScheme::kRoundRobin;
+    std::shared_ptr<const alloc::DiskAllocation> allocation;
+  };
+
+  /// The prefetch stage's product.
+  struct PrefetchEntry {
+    uint64_t fact_granule = 1;
+    uint64_t bitmap_granule = 1;
+  };
+
+  explicit EvalMemo(size_t capacity = kDefaultCapacity);
+  ~EvalMemo();
+
+  EvalMemo(const EvalMemo&) = delete;
+  EvalMemo& operator=(const EvalMemo&) = delete;
+
+  /// Default candidate-entry cap (`ToolConfig::eval_memo_capacity`).
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  /// Encodes a fragmentation's identity.
+  static Key CandidateKey(const fragment::Fragmentation& fragmentation);
+
+  /// Builds `stage`'s signature from the inputs it depends on, per
+  /// `cost::StageDependsOn` (the fragmentation is the candidate key, not
+  /// part of stage signatures).
+  static Sig StageSig(cost::EvalStage stage, const Inputs& inputs);
+
+  // --- Bitmap-scheme variants (session-wide, keyed by exclusion set) ----
+
+  std::shared_ptr<const bitmap::BitmapScheme> FindScheme(const Sig& sig);
+  void PutScheme(const Sig& sig,
+                 std::shared_ptr<const bitmap::BitmapScheme> scheme);
+
+  // --- Per-candidate stage slots ----------------------------------------
+  // Find returns the stored product when its signature matches (hit);
+  // otherwise records a miss (no product) or an invalidation (stale
+  // product discarded) and returns empty. Put installs value + signature.
+
+  std::optional<AllocationEntry> FindAllocation(const Key& candidate,
+                                                const Sig& sig);
+  void PutAllocation(const Key& candidate, const Sig& sig,
+                     AllocationEntry entry);
+
+  std::optional<PrefetchEntry> FindPrefetch(const Key& candidate,
+                                            const Sig& sig);
+  void PutPrefetch(const Key& candidate, const Sig& sig, PrefetchEntry entry);
+
+  std::shared_ptr<const EvaluatedCandidate> FindResult(const Key& candidate,
+                                                       const Sig& sig);
+  void PutResult(const Key& candidate, const Sig& sig,
+                 std::shared_ptr<const EvaluatedCandidate> result);
+
+  /// Bookkeeping snapshot (counters are taken under the memo lock, so the
+  /// snapshot is consistent).
+  EvalMemoStats stats() const;
+
+  /// The candidate-entry cap this memo was built with (0 = unbounded).
+  size_t capacity() const { return capacity_; }
+
+ private:
+  template <typename T>
+  struct Slot {
+    bool valid = false;
+    Sig sig;
+    T value{};
+  };
+
+  struct CandidateEntry {
+    Slot<AllocationEntry> allocation;
+    Slot<PrefetchEntry> prefetch;
+    Slot<std::shared_ptr<const EvaluatedCandidate>> result;
+    std::list<Key>::iterator lru;
+  };
+
+  // Returns the entry for `candidate`, creating it (and evicting the LRU
+  // tail past capacity) if needed. Caller must hold mu_.
+  CandidateEntry& TouchEntry(const Key& candidate);
+  // Returns nullptr when the candidate has no entry. Caller must hold mu_.
+  CandidateEntry* FindEntry(const Key& candidate);
+
+  template <typename T>
+  std::optional<T> FindSlot(Slot<T> CandidateEntry::* slot,
+                            EvalMemoCounters EvalMemoStats::* counters,
+                            const Key& candidate, const Sig& sig);
+  template <typename T>
+  void PutSlot(Slot<T> CandidateEntry::* slot, const Key& candidate,
+               const Sig& sig, T value);
+
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::map<Sig, std::shared_ptr<const bitmap::BitmapScheme>> schemes_;
+  std::map<Key, CandidateEntry> entries_;
+  // Front = most recently used candidate key.
+  std::list<Key> lru_;
+  EvalMemoStats stats_;
+};
+
+}  // namespace warlock::core
+
+#endif  // WARLOCK_CORE_EVAL_MEMO_H_

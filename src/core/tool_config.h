@@ -77,6 +77,16 @@ struct ToolConfig {
   /// (0 = one per hardware thread). Results are bit-identical for every
   /// thread count; this knob only trades wall-clock for cores.
   uint32_t threads = 0;
+
+  /// Size caps of the long-lived memos (entries; 0 = unbounded), evicted
+  /// least-recently-used. They bound a session's memory under open-ended
+  /// what-if streams and never change results — an evicted entry is simply
+  /// recomputed on next use. `eval_memo_capacity` caps the session's delta
+  /// re-costing memo (candidates with memoized stage products);
+  /// `sizes_cache_capacity` caps the fragment-size memo. Evictions are
+  /// surfaced in `Session::stats()`.
+  size_t eval_memo_capacity = 1024;
+  size_t sizes_cache_capacity = 4096;
 };
 
 }  // namespace warlock::core

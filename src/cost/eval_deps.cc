@@ -1,0 +1,46 @@
+#include "cost/eval_deps.h"
+
+namespace warlock::cost {
+
+namespace {
+
+// Row-major [stage][input] truth table; see the header's matrix.
+constexpr bool kDeps[kNumEvalStages][kNumEvalInputs] = {
+    // frag, disks, factG, bmpG, alloc, exclB
+    {true, false, false, false, false, false},  // kFragmentSizes
+    {false, false, false, false, false, true},  // kBitmapScheme
+    {true, true, false, false, true, true},     // kAllocation
+    {true, true, false, false, true, true},     // kPrefetch
+    {true, true, true, true, true, true},       // kCost
+};
+
+}  // namespace
+
+bool StageDependsOn(EvalStage stage, EvalInput input) {
+  return kDeps[static_cast<int>(stage)][static_cast<int>(input)];
+}
+
+const char* EvalStageName(EvalStage stage) {
+  switch (stage) {
+    case EvalStage::kFragmentSizes: return "fragment_sizes";
+    case EvalStage::kBitmapScheme: return "bitmap_scheme";
+    case EvalStage::kAllocation: return "allocation";
+    case EvalStage::kPrefetch: return "prefetch";
+    case EvalStage::kCost: return "cost";
+  }
+  return "?";
+}
+
+const char* EvalInputName(EvalInput input) {
+  switch (input) {
+    case EvalInput::kFragmentation: return "fragmentation";
+    case EvalInput::kNumDisks: return "num_disks";
+    case EvalInput::kFactGranule: return "fact_granule";
+    case EvalInput::kBitmapGranule: return "bitmap_granule";
+    case EvalInput::kAllocationScheme: return "allocation_scheme";
+    case EvalInput::kExcludedBitmaps: return "excluded_bitmaps";
+  }
+  return "?";
+}
+
+}  // namespace warlock::cost

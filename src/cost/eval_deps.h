@@ -1,0 +1,59 @@
+#ifndef WARLOCK_COST_EVAL_DEPS_H_
+#define WARLOCK_COST_EVAL_DEPS_H_
+
+#include <cstdint>
+
+namespace warlock::cost {
+
+/// The override-relevant inputs of a full candidate evaluation — exactly the
+/// knobs `core::Advisor::Overrides` can change between two what-if calls on
+/// the same session. Session-constant inputs (schema, mix, the rest of the
+/// config) are deliberately absent: within one session they can never
+/// invalidate anything.
+enum class EvalInput : uint8_t {
+  kFragmentation = 0,    ///< The candidate fragmentation itself.
+  kNumDisks,             ///< Effective disk count (override or config).
+  kFactGranule,          ///< Fact prefetch-granule override.
+  kBitmapGranule,        ///< Bitmap prefetch-granule override.
+  kAllocationScheme,     ///< Allocation-scheme override (or config policy).
+  kExcludedBitmaps,      ///< Bitmap indexes dropped from the scheme.
+};
+inline constexpr int kNumEvalInputs = 6;
+
+/// The stages of a full evaluation, in pipeline order. Each consumes the
+/// previous stages' products plus a subset of the inputs above.
+enum class EvalStage : uint8_t {
+  kFragmentSizes = 0,  ///< Per-fragment size statistics.
+  kBitmapScheme,       ///< The (possibly exclusion-modified) bitmap scheme.
+  kAllocation,         ///< Scheme choice + fragment/bitmap disk placement.
+  kPrefetch,           ///< The auto prefetch-granule search.
+  kCost,               ///< Final sampling-based mix costing + result assembly.
+};
+inline constexpr int kNumEvalStages = 5;
+
+/// The dependency matrix of the evaluation pipeline: true when a change to
+/// `input` can change `stage`'s product. `core::EvalMemo` builds each
+/// stage's cache signature from exactly the inputs this declares, so a
+/// single-knob what-if invalidates precisely the dependent stages and
+/// nothing else. Keep this in sync with the actual dataflow in
+/// `Advisor::BuildEvalContext` / `FullyEvaluate`:
+///
+///   stage \ input   frag  disks  factG  bmpG  alloc  exclB
+///   FragmentSizes     x
+///   BitmapScheme                                       x
+///   Allocation        x     x                    x     x
+///   Prefetch          x     x                    x     x
+///   Cost              x     x      x      x      x     x
+///
+/// Notes: the granule overrides bypass (rather than invalidate) the
+/// prefetch search, so they feed only the cost stage; the allocation reads
+/// the scheme because bitmap-bundle sizes participate in placement.
+bool StageDependsOn(EvalStage stage, EvalInput input);
+
+/// Symbolic names for diagnostics and tests.
+const char* EvalStageName(EvalStage stage);
+const char* EvalInputName(EvalInput input);
+
+}  // namespace warlock::cost
+
+#endif  // WARLOCK_COST_EVAL_DEPS_H_

@@ -109,7 +109,8 @@ Result<std::shared_ptr<const FragmentSizes>> FragmentSizesCache::GetOrCompute(
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.sizes;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -123,9 +124,23 @@ Result<std::shared_ptr<const FragmentSizes>> FragmentSizesCache::GetOrCompute(
   auto snapshot = std::make_shared<const FragmentSizes>(std::move(sizes));
 
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = cache_.emplace(std::move(key), std::move(snapshot));
-  (void)inserted;  // a racing insert won; hand out the surviving snapshot
-  return it->second;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A racing insert won; hand out the surviving snapshot so earlier
+    // readers keep sharing it.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.sizes;
+  }
+  lru_.push_front(key);
+  Entry& entry = cache_[key];
+  entry.sizes = std::move(snapshot);
+  entry.lru = lru_.begin();
+  if (capacity_ > 0 && cache_.size() > capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return entry.sizes;
 }
 
 size_t FragmentSizesCache::size() const {

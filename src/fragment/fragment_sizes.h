@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -90,8 +91,20 @@ class FragmentSizes {
 /// Entries are shared immutable snapshots (`shared_ptr<const>`), so hits are
 /// safe to hand to concurrent cost-model constructions. Failed computations
 /// are not cached (callers exclude those candidates before re-asking).
+///
+/// Residency is bounded by `capacity` entries (0 = unbounded), evicted
+/// least-recently-used so a long-lived session sweeping many distinct
+/// fragmentations cannot grow the memo without bound. Evicting never
+/// invalidates handed-out snapshots (they are shared), only forces a
+/// recompute on the next lookup.
 class FragmentSizesCache {
  public:
+  /// Default entry cap (`ToolConfig::sizes_cache_capacity`).
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit FragmentSizesCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
   /// Returns the cached sizes for the key, computing and inserting on miss.
   /// Concurrent misses on the same key may compute twice; the first insert
   /// wins and both callers observe the same snapshot. The schema's address
@@ -104,6 +117,9 @@ class FragmentSizesCache {
   /// Entries currently memoized (test/introspection hook).
   size_t size() const;
 
+  /// The entry cap this cache was built with (0 = unbounded).
+  size_t capacity() const { return capacity_; }
+
   /// Lookups served from the memo without recomputing (the session API's
   /// warm-reuse contract is asserted against these counters).
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -112,13 +128,27 @@ class FragmentSizesCache {
   /// computations, which are not cached).
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Entries discarded by the size cap (surfaced in `Session::stats()`).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Key = std::vector<uint64_t>;
+  struct Entry {
+    std::shared_ptr<const FragmentSizes> sizes;
+    std::list<Key>::iterator lru;
+  };
+
+  const size_t capacity_;
 
   mutable std::mutex mu_;
-  std::map<Key, std::shared_ptr<const FragmentSizes>> cache_;
+  std::map<Key, Entry> cache_;
+  // Front = most recently used key.
+  std::list<Key> lru_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace warlock::fragment

@@ -20,33 +20,33 @@ class TableRenderer final : public Renderer {
  public:
   OutputFormat format() const override { return OutputFormat::kTable; }
 
-  std::string Ranking(const core::AdvisorResult& result,
+  Result<std::string> Ranking(const core::AdvisorResult& result,
                       const schema::StarSchema& schema) const override {
     return RenderRanking(result, schema);
   }
 
-  std::string Exclusions(const core::AdvisorResult& result,
+  Result<std::string> Exclusions(const core::AdvisorResult& result,
                          const schema::StarSchema& schema) const override {
     return RenderExclusions(result, schema);
   }
 
-  std::string QueryStats(const core::EvaluatedCandidate& candidate,
+  Result<std::string> QueryStats(const core::EvaluatedCandidate& candidate,
                          const workload::QueryMix& mix,
                          const schema::StarSchema& schema) const override {
     return RenderQueryStats(candidate, mix, schema);
   }
 
-  std::string Occupancy(
+  Result<std::string> Occupancy(
       const core::EvaluatedCandidate& candidate) const override {
     return RenderOccupancy(candidate);
   }
 
-  std::string DiskProfile(const std::vector<double>& profile_ms,
+  Result<std::string> DiskProfile(const std::vector<double>& profile_ms,
                           const std::string& title) const override {
     return RenderDiskProfile(profile_ms, title);
   }
 
-  std::string Sweep(const scenario::SweepResult& result) const override {
+  Result<std::string> Sweep(const scenario::SweepResult& result) const override {
     return scenario::RenderSweep(result);
   }
 };
@@ -58,33 +58,33 @@ class CsvRenderer final : public Renderer {
  public:
   OutputFormat format() const override { return OutputFormat::kCsv; }
 
-  std::string Ranking(const core::AdvisorResult& result,
+  Result<std::string> Ranking(const core::AdvisorResult& result,
                       const schema::StarSchema& schema) const override {
     return RankingToCsv(result, schema).ToString();
   }
 
-  std::string Exclusions(const core::AdvisorResult& result,
+  Result<std::string> Exclusions(const core::AdvisorResult& result,
                          const schema::StarSchema& schema) const override {
     return ExclusionsToCsv(result, schema).ToString();
   }
 
-  std::string QueryStats(const core::EvaluatedCandidate& candidate,
+  Result<std::string> QueryStats(const core::EvaluatedCandidate& candidate,
                          const workload::QueryMix& mix,
                          const schema::StarSchema& schema) const override {
     return QueryStatsToCsv(candidate, mix, schema).ToString();
   }
 
-  std::string Occupancy(
+  Result<std::string> Occupancy(
       const core::EvaluatedCandidate& candidate) const override {
     return OccupancyToCsv(candidate).ToString();
   }
 
-  std::string DiskProfile(const std::vector<double>& profile_ms,
+  Result<std::string> DiskProfile(const std::vector<double>& profile_ms,
                           const std::string& title) const override {
     return DiskProfileToCsv(profile_ms, title).ToString();
   }
 
-  std::string Sweep(const scenario::SweepResult& result) const override {
+  Result<std::string> Sweep(const scenario::SweepResult& result) const override {
     return scenario::SweepToCsv(result).ToString();
   }
 };
@@ -119,7 +119,7 @@ class JsonRenderer final : public Renderer {
  public:
   OutputFormat format() const override { return OutputFormat::kJson; }
 
-  std::string Ranking(const core::AdvisorResult& result,
+  Result<std::string> Ranking(const core::AdvisorResult& result,
                       const schema::StarSchema& schema) const override {
     std::ostringstream os;
     os << "{\n";
@@ -140,7 +140,7 @@ class JsonRenderer final : public Renderer {
     return os.str();
   }
 
-  std::string Exclusions(const core::AdvisorResult& result,
+  Result<std::string> Exclusions(const core::AdvisorResult& result,
                          const schema::StarSchema& schema) const override {
     std::ostringstream os;
     os << "{\n";
@@ -162,7 +162,7 @@ class JsonRenderer final : public Renderer {
     return os.str();
   }
 
-  std::string QueryStats(const core::EvaluatedCandidate& candidate,
+  Result<std::string> QueryStats(const core::EvaluatedCandidate& candidate,
                          const workload::QueryMix& mix,
                          const schema::StarSchema& schema) const override {
     std::ostringstream os;
@@ -209,7 +209,7 @@ class JsonRenderer final : public Renderer {
     return os.str();
   }
 
-  std::string Occupancy(
+  Result<std::string> Occupancy(
       const core::EvaluatedCandidate& candidate) const override {
     std::ostringstream os;
     os << "{\n";
@@ -228,7 +228,7 @@ class JsonRenderer final : public Renderer {
     return os.str();
   }
 
-  std::string DiskProfile(const std::vector<double>& profile_ms,
+  Result<std::string> DiskProfile(const std::vector<double>& profile_ms,
                           const std::string& title) const override {
     std::ostringstream os;
     os << "{\n";
@@ -243,7 +243,7 @@ class JsonRenderer final : public Renderer {
     return os.str();
   }
 
-  std::string Sweep(const scenario::SweepResult& result) const override {
+  Result<std::string> Sweep(const scenario::SweepResult& result) const override {
     return scenario::SweepToJson(result);
   }
 };
@@ -284,6 +284,12 @@ Status WriteArtifact(const std::string& path, const std::string& artifact) {
   out.flush();
   if (!out) return Status::IoError("write to " + path + " failed");
   return Status::OK();
+}
+
+Status WriteArtifact(const std::string& path,
+                     const Result<std::string>& artifact) {
+  WARLOCK_RETURN_IF_ERROR(artifact.status());
+  return WriteArtifact(path, artifact.value());
 }
 
 }  // namespace warlock::report

@@ -30,9 +30,12 @@ const char* OutputFormatName(OutputFormat format);
 /// Renders every analysis-layer artifact in one output format. The three
 /// backends share one formatting core — `TextTable`/`AsciiBar` for tables,
 /// `CsvWriter` for CSV, `common/json.h` for JSON (the same escaping and
-/// round-trip double formatting the sweep writers use) — so the same data
-/// renders consistently everywhere. All methods are const, stateless, and
-/// safe to call concurrently; each returns a complete document.
+/// shortest round-trip double formatting, so the same artifact carries the
+/// same numbers in every format) — so the same data renders consistently
+/// everywhere. All methods are const, stateless, and safe to call
+/// concurrently; each returns a complete document or an error (e.g. a CSV
+/// builder bug producing a structurally malformed document surfaces as a
+/// Status instead of silently writing broken output).
 class Renderer {
  public:
   virtual ~Renderer() = default;
@@ -41,30 +44,30 @@ class Renderer {
   virtual OutputFormat format() const = 0;
 
   /// The ranked candidate list with the advisor's bookkeeping counters.
-  virtual std::string Ranking(const core::AdvisorResult& result,
+  virtual Result<std::string> Ranking(const core::AdvisorResult& result,
                               const schema::StarSchema& schema) const = 0;
 
   /// Every candidate dropped by thresholds or phase-2 failures, with its
   /// reason.
-  virtual std::string Exclusions(const core::AdvisorResult& result,
+  virtual Result<std::string> Exclusions(const core::AdvisorResult& result,
                                  const schema::StarSchema& schema) const = 0;
 
   /// One candidate's database statistic and per-query-class cost breakdown
   /// (Fig. 2 of the paper).
-  virtual std::string QueryStats(const core::EvaluatedCandidate& candidate,
+  virtual Result<std::string> QueryStats(const core::EvaluatedCandidate& candidate,
                                  const workload::QueryMix& mix,
                                  const schema::StarSchema& schema) const = 0;
 
   /// One candidate's per-disk occupancy under its chosen allocation.
-  virtual std::string Occupancy(
+  virtual Result<std::string> Occupancy(
       const core::EvaluatedCandidate& candidate) const = 0;
 
   /// A per-disk busy-time profile of one query class.
-  virtual std::string DiskProfile(const std::vector<double>& profile_ms,
+  virtual Result<std::string> DiskProfile(const std::vector<double>& profile_ms,
                                   const std::string& title) const = 0;
 
   /// A scenario sweep's per-scenario outcome rows.
-  virtual std::string Sweep(const scenario::SweepResult& result) const = 0;
+  virtual Result<std::string> Sweep(const scenario::SweepResult& result) const = 0;
 
   /// Backend factory.
   static std::unique_ptr<Renderer> Create(OutputFormat format);
@@ -74,6 +77,11 @@ class Renderer {
 /// failures (a truncated artifact on a full disk must not look like
 /// success).
 Status WriteArtifact(const std::string& path, const std::string& artifact);
+
+/// Convenience overload: feeds a Renderer method's Result straight in,
+/// propagating a render error instead of writing anything.
+Status WriteArtifact(const std::string& path,
+                     const Result<std::string>& artifact);
 
 }  // namespace warlock::report
 

@@ -18,7 +18,7 @@
 /// auto advice = session->Advise();
 /// auto renderer =
 ///     warlock::report::Renderer::Create(warlock::report::OutputFormat::kTable);
-/// std::cout << renderer->Ranking(advice->result, session->schema());
+/// std::cout << renderer->Ranking(advice->result, session->schema()).value();
 /// ```
 ///
 /// Everything reachable from here is installed by `cmake --install` and

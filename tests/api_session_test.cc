@@ -8,6 +8,7 @@
 #include "warlock/session.h"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -49,9 +50,10 @@ Session MakeTinySession(const SessionOptions& options = {}) {
 std::string AllArtifacts(const core::AdvisorResult& result,
                          const schema::StarSchema& schema) {
   std::string out = report::RenderRanking(result, schema);
-  out += report::RankingToCsv(result, schema).ToString();
+  out += report::RankingToCsv(result, schema).ToString().value();
   out += report::Renderer::Create(report::OutputFormat::kJson)
-             ->Ranking(result, schema);
+             ->Ranking(result, schema)
+             .value();
   return out;
 }
 
@@ -134,7 +136,9 @@ TEST(SessionReuseTest, WarmWhatIfSkipsSchemeSelectionAndSizeRecompute) {
   const SessionStats warm = session.stats();
   EXPECT_EQ(warm.fragment_sizes_computed, 1u)
       << "warm WhatIf must not recompute fragment sizes";
-  EXPECT_GE(warm.fragment_sizes_reused, 1u);
+  // The repeat is a result-stage memo hit: it returns the memoized
+  // candidate outright without even consulting the size memo.
+  EXPECT_EQ(warm.memo.result.hits, after_first.memo.result.hits + 1);
   EXPECT_EQ(warm.fragment_sizes_entries, 1u);
 
   // Bitmap-scheme selection ran exactly once, at session construction —
@@ -163,14 +167,19 @@ TEST(SessionReuseTest, WhatIfAfterAdviseIsWarm) {
   EXPECT_EQ(after_advise.advise_calls, 1u);
   EXPECT_GT(after_advise.fragment_sizes_computed, 0u);
 
-  // The winner was costed during Advise; a what-if on it reuses its sizes.
+  // The winner was fully costed during Advise with default overrides, so a
+  // default-override what-if on it is a pure result-stage memo hit: nothing
+  // is recomputed, not even a size lookup.
   auto whatif = session.WhatIf({advice->best()->fragmentation, {}});
   ASSERT_TRUE(whatif.ok());
   const SessionStats warm = session.stats();
   EXPECT_EQ(warm.fragment_sizes_computed,
             after_advise.fragment_sizes_computed)
       << "WhatIf on an Advise-seen fragmentation must hit the memo";
-  EXPECT_GT(warm.fragment_sizes_reused, after_advise.fragment_sizes_reused);
+  EXPECT_EQ(warm.memo.result.hits, after_advise.memo.result.hits + 1);
+  EXPECT_EQ(whatif->candidate.cost.response_ms,
+            advice->best()->cost.response_ms);
+  EXPECT_EQ(whatif->candidate.cost.io_work_ms, advice->best()->cost.io_work_ms);
 }
 
 TEST(SessionReuseTest, RepeatedAdviseReusesSizesAndScheme) {
@@ -188,6 +197,247 @@ TEST(SessionReuseTest, RepeatedAdviseReusesSizesAndScheme) {
   EXPECT_EQ(bitmap::BitmapScheme::SelectionCount(), selections_after_init);
   EXPECT_EQ(AllArtifacts(first->result, session.schema()),
             AllArtifacts(second->result, session.schema()));
+}
+
+// --------------------------------------------------------------------------
+// The delta re-costing memo: per-stage invalidation matrix, warm-vs-cold
+// parity at every thread count, and capacity bounds.
+
+// Field-exact (bit-identical doubles included) comparison of two evaluated
+// candidates — the memo-parity criterion.
+void ExpectSameCandidate(const core::EvaluatedCandidate& a,
+                         const core::EvaluatedCandidate& b,
+                         const std::string& context) {
+  EXPECT_EQ(a.num_fragments, b.num_fragments) << context;
+  EXPECT_EQ(a.total_pages, b.total_pages) << context;
+  EXPECT_EQ(a.avg_fragment_pages, b.avg_fragment_pages) << context;
+  EXPECT_EQ(a.size_skew_factor, b.size_skew_factor) << context;
+  EXPECT_EQ(a.bitmap_storage_bytes, b.bitmap_storage_bytes) << context;
+  EXPECT_EQ(a.allocation_scheme, b.allocation_scheme) << context;
+  EXPECT_EQ(a.allocation_balance, b.allocation_balance) << context;
+  EXPECT_EQ(a.disk_bytes, b.disk_bytes) << context;
+  EXPECT_EQ(a.fact_granule, b.fact_granule) << context;
+  EXPECT_EQ(a.bitmap_granule, b.bitmap_granule) << context;
+  EXPECT_EQ(a.cost.io_work_ms, b.cost.io_work_ms) << context;
+  EXPECT_EQ(a.cost.response_ms, b.cost.response_ms) << context;
+}
+
+TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
+  Session session = MakeTinySession();
+  auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}},
+                                                 session.schema());
+  ASSERT_TRUE(frag.ok());
+
+  // Cold call: every per-candidate stage misses once.
+  ASSERT_TRUE(session.WhatIf({*frag, {}}).ok());
+  const SessionStats s1 = session.stats();
+  EXPECT_EQ(s1.memo.result.misses, 1u);
+  EXPECT_EQ(s1.memo.allocation.misses, 1u);
+  EXPECT_EQ(s1.memo.prefetch.misses, 1u);
+  EXPECT_EQ(s1.memo.result.hits + s1.memo.allocation.hits +
+                s1.memo.prefetch.hits,
+            0u);
+  EXPECT_EQ(s1.memo.entries, 1u);
+  EXPECT_EQ(s1.fragment_sizes_computed, 1u);
+
+  // Unchanged repeat: one result-stage hit, earlier stages untouched.
+  ASSERT_TRUE(session.WhatIf({*frag, {}}).ok());
+  const SessionStats s2 = session.stats();
+  EXPECT_EQ(s2.memo.result.hits, 1u);
+  EXPECT_EQ(s2.memo.allocation.hits, s1.memo.allocation.hits);
+  EXPECT_EQ(s2.memo.allocation.misses, s1.memo.allocation.misses);
+  EXPECT_EQ(s2.memo.prefetch.hits, s1.memo.prefetch.hits);
+  EXPECT_EQ(s2.memo.prefetch.misses, s1.memo.prefetch.misses);
+
+  // fact_granule feeds only the cost stage: the allocation is reused (hit),
+  // the prefetch search is bypassed (untouched), the result is re-costed.
+  core::Advisor::Overrides granule;
+  granule.fact_granule = 16;
+  ASSERT_TRUE(session.WhatIf({*frag, granule}).ok());
+  const SessionStats s3 = session.stats();
+  EXPECT_EQ(s3.memo.result.invalidations, s2.memo.result.invalidations + 1);
+  EXPECT_EQ(s3.memo.allocation.hits, s2.memo.allocation.hits + 1);
+  EXPECT_EQ(s3.memo.allocation.invalidations,
+            s2.memo.allocation.invalidations);
+  EXPECT_EQ(s3.memo.prefetch.hits, s2.memo.prefetch.hits);
+  EXPECT_EQ(s3.memo.prefetch.misses, s2.memo.prefetch.misses);
+  EXPECT_EQ(s3.memo.prefetch.invalidations, s2.memo.prefetch.invalidations);
+
+  // num_disks feeds allocation, prefetch, and cost: all three invalidate.
+  core::Advisor::Overrides disks;
+  disks.num_disks = 8;
+  ASSERT_TRUE(session.WhatIf({*frag, disks}).ok());
+  const SessionStats s4 = session.stats();
+  EXPECT_EQ(s4.memo.result.invalidations, s3.memo.result.invalidations + 1);
+  EXPECT_EQ(s4.memo.allocation.invalidations,
+            s3.memo.allocation.invalidations + 1);
+  EXPECT_EQ(s4.memo.prefetch.invalidations,
+            s3.memo.prefetch.invalidations + 1);
+
+  // allocation_scheme likewise (the prefetch search runs on the placement).
+  core::Advisor::Overrides scheme;
+  scheme.allocation_scheme = alloc::AllocationScheme::kGreedy;
+  ASSERT_TRUE(session.WhatIf({*frag, scheme}).ok());
+  const SessionStats s5 = session.stats();
+  EXPECT_EQ(s5.memo.result.invalidations, s4.memo.result.invalidations + 1);
+  EXPECT_EQ(s5.memo.allocation.invalidations,
+            s4.memo.allocation.invalidations + 1);
+  EXPECT_EQ(s5.memo.prefetch.invalidations,
+            s4.memo.prefetch.invalidations + 1);
+
+  // excluded_bitmaps: first contact computes the scheme variant (miss) and
+  // invalidates the downstream stages.
+  core::Advisor::Overrides exclude;
+  exclude.excluded_bitmaps = {bitmap::BitmapRef{0, 0}};
+  ASSERT_TRUE(session.WhatIf({*frag, exclude}).ok());
+  const SessionStats s6 = session.stats();
+  EXPECT_EQ(s6.memo.scheme.misses, 1u);
+  EXPECT_EQ(s6.memo.scheme.hits, 0u);
+  EXPECT_EQ(s6.memo.result.invalidations, s5.memo.result.invalidations + 1);
+  EXPECT_EQ(s6.memo.allocation.invalidations,
+            s5.memo.allocation.invalidations + 1);
+  EXPECT_EQ(s6.memo.prefetch.invalidations,
+            s5.memo.prefetch.invalidations + 1);
+
+  // Repeating the exclusion is a pure result hit (the earlier stages,
+  // including the scheme variant lookup, are not even consulted).
+  ASSERT_TRUE(session.WhatIf({*frag, exclude}).ok());
+  const SessionStats s7 = session.stats();
+  EXPECT_EQ(s7.memo.result.hits, s6.memo.result.hits + 1);
+  EXPECT_EQ(s7.memo.scheme.misses, s6.memo.scheme.misses);
+  EXPECT_EQ(s7.memo.scheme.hits, s6.memo.scheme.hits);
+
+  // The same exclusion on a different fragmentation shares the scheme
+  // variant (session-wide cache) while the per-candidate stages miss.
+  auto frag_b = fragment::Fragmentation::FromNames({{"Product", "Family"}},
+                                                   session.schema());
+  ASSERT_TRUE(frag_b.ok());
+  ASSERT_TRUE(session.WhatIf({*frag_b, exclude}).ok());
+  const SessionStats s8 = session.stats();
+  EXPECT_EQ(s8.memo.scheme.hits, s7.memo.scheme.hits + 1);
+  EXPECT_EQ(s8.memo.allocation.misses, s7.memo.allocation.misses + 1);
+  EXPECT_EQ(s8.memo.entries, 2u);
+
+  // Throughout the whole matrix the fragmentation's sizes were computed
+  // exactly once per fragmentation (stage kFragmentSizes depends only on
+  // the candidate identity).
+  EXPECT_EQ(s8.fragment_sizes_computed, 2u);
+}
+
+TEST(SessionMemoTest, WarmWhatIfParityWithColdAtEveryThreadCount) {
+  // The memo must be invisible in the results: warm (memoized) what-ifs are
+  // field-exact equal to cold memo-less evaluations, at every pool size.
+  std::vector<core::Advisor::Overrides> knobs(5);
+  knobs[1].num_disks = 8;
+  knobs[2].fact_granule = 16;
+  knobs[3].allocation_scheme = alloc::AllocationScheme::kGreedy;
+  knobs[4].excluded_bitmaps = {bitmap::BitmapRef{0, 0}};
+
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SessionOptions options;
+    options.threads = threads;
+    Session session = MakeTinySession(options);
+    auto frag = fragment::Fragmentation::FromNames(
+        {{"Time", "Month"}, {"Product", "Family"}}, session.schema());
+    ASSERT_TRUE(frag.ok());
+
+    for (size_t k = 0; k < knobs.size(); ++k) {
+      // Cold reference: the bare advisor path, no memo, no session pool.
+      auto cold = session.advisor().FullyEvaluate(*frag, knobs[k]);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      // First (miss/invalidate) and second (result hit) warm calls must
+      // both match the cold evaluation bit-for-bit.
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        auto warm = session.WhatIf({*frag, knobs[k]});
+        ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+        ExpectSameCandidate(
+            warm->candidate, *cold,
+            "threads=" + std::to_string(threads) + " knob=" +
+                std::to_string(k) + " repeat=" + std::to_string(repeat));
+      }
+    }
+    // Returning to the first knob set after the invalidation churn still
+    // reproduces the original cold result exactly.
+    auto cold0 = session.advisor().FullyEvaluate(*frag, knobs[0]);
+    ASSERT_TRUE(cold0.ok());
+    auto warm0 = session.WhatIf({*frag, knobs[0]});
+    ASSERT_TRUE(warm0.ok());
+    ExpectSameCandidate(warm0->candidate, *cold0,
+                        "threads=" + std::to_string(threads) + " return");
+  }
+}
+
+TEST(SessionMemoTest, ConcurrentWhatIfCallsStayParityExact) {
+  Session session = MakeTinySession();
+  auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}},
+                                                 session.schema());
+  ASSERT_TRUE(frag.ok());
+
+  core::Advisor::Overrides disks;
+  disks.num_disks = 8;
+  auto cold_plain = session.advisor().FullyEvaluate(*frag, {});
+  auto cold_disks = session.advisor().FullyEvaluate(*frag, disks);
+  ASSERT_TRUE(cold_plain.ok() && cold_disks.ok());
+
+  // Racing callers alternate two override sets — hits, misses, and
+  // invalidations interleave arbitrarily, but every response must equal its
+  // cold reference.
+  constexpr int kCallers = 8;
+  std::vector<std::optional<WhatIfResponse>> responses(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&, i] {
+      WhatIfRequest request{*frag, {}};
+      if (i % 2 == 1) request.overrides = disks;
+      auto whatif = session.WhatIf(request);
+      if (whatif.ok()) responses[i] = std::move(whatif).value();
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int i = 0; i < kCallers; ++i) {
+    ASSERT_TRUE(responses[i].has_value()) << "caller " << i;
+    ExpectSameCandidate(responses[i]->candidate,
+                        i % 2 == 0 ? *cold_plain : *cold_disks,
+                        "caller " + std::to_string(i));
+  }
+}
+
+TEST(SessionMemoTest, CapacityKnobsBoundResidencyAndSurfaceEvictions) {
+  // A capacity-1 session evicts the older candidate on every alternation —
+  // results stay correct, residency stays bounded, evictions are counted.
+  std::string config_text = ReadFileOrDie(kConfigPath);
+  config_text += "\neval_memo_capacity 1\nsizes_cache_capacity 1\n";
+  auto session = Session::FromText(ReadFileOrDie(kSchemaPath),
+                                   ReadFileOrDie(kWorkloadPath), config_text);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(session->config().eval_memo_capacity, 1u);
+  EXPECT_EQ(session->config().sizes_cache_capacity, 1u);
+
+  auto frag_a = fragment::Fragmentation::FromNames({{"Time", "Month"}},
+                                                   session->schema());
+  auto frag_b = fragment::Fragmentation::FromNames({{"Product", "Family"}},
+                                                   session->schema());
+  ASSERT_TRUE(frag_a.ok() && frag_b.ok());
+
+  auto cold_a = session->advisor().FullyEvaluate(*frag_a);
+  auto cold_b = session->advisor().FullyEvaluate(*frag_b);
+  ASSERT_TRUE(cold_a.ok() && cold_b.ok());
+
+  for (int round = 0; round < 3; ++round) {
+    auto a = session->WhatIf({*frag_a, {}});
+    auto b = session->WhatIf({*frag_b, {}});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectSameCandidate(a->candidate, *cold_a,
+                        "round " + std::to_string(round));
+    ExpectSameCandidate(b->candidate, *cold_b,
+                        "round " + std::to_string(round));
+  }
+  const SessionStats stats = session->stats();
+  EXPECT_LE(stats.memo.entries, 1u);
+  EXPECT_GT(stats.memo.evictions, 0u);
+  EXPECT_LE(stats.fragment_sizes_entries, 1u);
+  EXPECT_GT(stats.fragment_sizes_evictions, 0u);
 }
 
 // --------------------------------------------------------------------------

@@ -1,4 +1,5 @@
 #include <cstdlib>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -11,7 +12,7 @@ namespace {
 
 TEST(CsvTest, HeaderOnly) {
   CsvWriter csv({"a", "b"});
-  EXPECT_EQ(csv.ToString(), "a,b\n");
+  EXPECT_EQ(csv.ToString().value(), "a,b\n");
   EXPECT_EQ(csv.row_count(), 0u);
 }
 
@@ -19,7 +20,7 @@ TEST(CsvTest, SimpleRows) {
   CsvWriter csv({"name", "value"});
   csv.BeginRow().Add(std::string("x")).Add(uint64_t{42});
   csv.BeginRow().Add(std::string("y")).Add(3.5);
-  EXPECT_EQ(csv.ToString(), "name,value\nx,42\ny,3.5\n");
+  EXPECT_EQ(csv.ToString().value(), "name,value\nx,42\ny,3.5\n");
   EXPECT_EQ(csv.row_count(), 2u);
 }
 
@@ -28,7 +29,7 @@ TEST(CsvTest, QuotesSpecialCharacters) {
   csv.BeginRow().Add(std::string("a,b"));
   csv.BeginRow().Add(std::string("say \"hi\""));
   csv.BeginRow().Add(std::string("line\nbreak"));
-  EXPECT_EQ(csv.ToString(),
+  EXPECT_EQ(csv.ToString().value(),
             "c\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n");
 }
 
@@ -36,7 +37,57 @@ TEST(CsvTest, NegativeAndDoubleFormats) {
   CsvWriter csv({"v"});
   csv.BeginRow().Add(int64_t{-7});
   csv.BeginRow().Add(0.125);
-  EXPECT_EQ(csv.ToString(), "v\n-7\n0.125\n");
+  EXPECT_EQ(csv.ToString().value(), "v\n-7\n0.125\n");
+}
+
+TEST(CsvTest, DoublesUseSharedRoundTripFormatting) {
+  // The CSV and JSON backends share one double contract: finite values
+  // render as the shortest round-trip decimal, exactly FormatDoubleRoundTrip.
+  const double values[] = {1.0 / 3.0, 0.8612345678901234, 1e-9, 1e300};
+  for (double v : values) {
+    CsvWriter csv({"v"});
+    csv.BeginRow().Add(v);
+    EXPECT_EQ(csv.ToString().value(), "v\n" + FormatDoubleRoundTrip(v) + "\n");
+  }
+}
+
+TEST(CsvTest, NonFiniteDoublesRenderAsEmptyCell) {
+  CsvWriter csv({"a", "b"});
+  csv.BeginRow()
+      .Add(std::numeric_limits<double>::quiet_NaN())
+      .Add(std::numeric_limits<double>::infinity());
+  // CSV's null (the empty cell), mirroring the JSON backend's null.
+  EXPECT_EQ(csv.ToString().value(), "a,b\n,\n");
+}
+
+TEST(CsvTest, AddBeforeBeginRowIsAStickyError) {
+  CsvWriter csv({"a"});
+  csv.Add(std::string("orphan"));
+  EXPECT_EQ(csv.status().code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(csv.row_count(), 0u);
+  // Later well-formed rows do not clear the root-cause error.
+  csv.BeginRow().Add(std::string("x"));
+  auto out = csv.ToString();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), Status::Code::kFailedPrecondition);
+  EXPECT_NE(out.status().message().find("orphan"), std::string::npos);
+  EXPECT_FALSE(csv.WriteFile("/dev/null").ok());
+}
+
+TEST(CsvTest, RowWidthMustMatchHeader) {
+  CsvWriter narrow({"a", "b"});
+  narrow.BeginRow().Add(std::string("only-one"));
+  auto out = narrow.ToString();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), Status::Code::kInvalidArgument);
+
+  CsvWriter wide({"a"});
+  wide.BeginRow().Add(std::string("x")).Add(std::string("extra"));
+  EXPECT_FALSE(wide.ToString().ok());
+
+  CsvWriter exact({"a", "b"});
+  exact.BeginRow().Add(std::string("x")).Add(std::string("y"));
+  EXPECT_TRUE(exact.ToString().ok());
 }
 
 TEST(TextTableTest, AlignsColumns) {

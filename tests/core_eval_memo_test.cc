@@ -1,0 +1,224 @@
+// Unit tests of the delta re-costing memo: the stage/input dependency
+// matrix, signature construction, per-slot hit/miss/invalidation
+// accounting, the session-wide scheme-variant cache, and the LRU bound.
+// The end-to-end contract (warm WhatIf parity with cold evaluation) lives
+// in api_session_test.cc.
+#include "core/eval_memo.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "schema/star_schema.h"
+
+namespace warlock::core {
+namespace {
+
+using cost::EvalInput;
+using cost::EvalStage;
+
+// --------------------------------------------------------------------------
+// Dependency matrix.
+
+TEST(EvalDepsTest, MatrixMatchesDocumentedContract) {
+  // One row per stage: frag, disks, fact granule, bitmap granule,
+  // allocation scheme, excluded bitmaps. This mirrors the table in
+  // cost/eval_deps.h; a change there must be deliberate enough to edit both.
+  const bool expected[cost::kNumEvalStages][cost::kNumEvalInputs] = {
+      {true, false, false, false, false, false},  // kFragmentSizes
+      {false, false, false, false, false, true},  // kBitmapScheme
+      {true, true, false, false, true, true},     // kAllocation
+      {true, true, false, false, true, true},     // kPrefetch
+      {true, true, true, true, true, true},       // kCost
+  };
+  for (int s = 0; s < cost::kNumEvalStages; ++s) {
+    for (int i = 0; i < cost::kNumEvalInputs; ++i) {
+      EXPECT_EQ(cost::StageDependsOn(static_cast<EvalStage>(s),
+                                     static_cast<EvalInput>(i)),
+                expected[s][i])
+          << cost::EvalStageName(static_cast<EvalStage>(s)) << " vs "
+          << cost::EvalInputName(static_cast<EvalInput>(i));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Signatures.
+
+EvalMemo::Inputs BaseInputs() {
+  EvalMemo::Inputs inputs;
+  inputs.num_disks = 16;
+  inputs.allocation_code = 0;
+  return inputs;
+}
+
+// Mutates exactly one override-relevant input.
+EvalMemo::Inputs Mutate(EvalInput input) {
+  EvalMemo::Inputs inputs = BaseInputs();
+  switch (input) {
+    case EvalInput::kFragmentation:
+      break;  // Not part of Inputs: the fragmentation is the candidate key.
+    case EvalInput::kNumDisks:
+      inputs.num_disks = 8;
+      break;
+    case EvalInput::kFactGranule:
+      inputs.fact_granule = 32;
+      break;
+    case EvalInput::kBitmapGranule:
+      inputs.bitmap_granule = 8;
+      break;
+    case EvalInput::kAllocationScheme:
+      inputs.allocation_code = 2;
+      break;
+    case EvalInput::kExcludedBitmaps:
+      inputs.excluded_bitmaps = {(uint64_t{1} << 32) | 2};
+      break;
+  }
+  return inputs;
+}
+
+TEST(EvalMemoSigTest, SignatureChangesExactlyWithDependedOnInputs) {
+  const EvalMemo::Inputs base = BaseInputs();
+  for (int s = 0; s < cost::kNumEvalStages; ++s) {
+    const auto stage = static_cast<EvalStage>(s);
+    const EvalMemo::Sig base_sig = EvalMemo::StageSig(stage, base);
+    // The fragmentation is carried by the candidate key, not by stage
+    // signatures, so only the five Inputs fields are exercised here.
+    for (EvalInput input :
+         {EvalInput::kNumDisks, EvalInput::kFactGranule,
+          EvalInput::kBitmapGranule, EvalInput::kAllocationScheme,
+          EvalInput::kExcludedBitmaps}) {
+      const EvalMemo::Sig mutated = EvalMemo::StageSig(stage, Mutate(input));
+      EXPECT_EQ(mutated != base_sig, cost::StageDependsOn(stage, input))
+          << cost::EvalStageName(stage) << " vs "
+          << cost::EvalInputName(input);
+    }
+  }
+}
+
+TEST(EvalMemoSigTest, GranulePresenceIsEncodedDistinctly) {
+  // An explicit granule of 0 must not collide with "no override": the
+  // signature encodes presence separately from the value.
+  EvalMemo::Inputs absent = BaseInputs();
+  EvalMemo::Inputs zero = BaseInputs();
+  zero.fact_granule = 0;
+  EXPECT_NE(EvalMemo::StageSig(EvalStage::kCost, absent),
+            EvalMemo::StageSig(EvalStage::kCost, zero));
+}
+
+TEST(EvalMemoSigTest, CandidateKeyEncodesTheAttributeList) {
+  auto time =
+      schema::Dimension::Create("Time", {{"Year", 2}, {"Month", 24}});
+  auto prod =
+      schema::Dimension::Create("Product", {{"Group", 10}, {"Code", 100}});
+  auto fact = schema::FactTable::Create("Sales", 10000, 100);
+  auto schema = schema::StarSchema::Create(
+      "S", {std::move(time).value(), std::move(prod).value()},
+      std::move(fact).value());
+  auto a = fragment::Fragmentation::FromNames({{"Time", "Month"}}, *schema);
+  auto a2 = fragment::Fragmentation::FromNames({{"Time", "Month"}}, *schema);
+  auto b = fragment::Fragmentation::FromNames({{"Time", "Year"}}, *schema);
+  auto c = fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Group"}}, *schema);
+  EXPECT_EQ(EvalMemo::CandidateKey(*a), EvalMemo::CandidateKey(*a2));
+  EXPECT_NE(EvalMemo::CandidateKey(*a), EvalMemo::CandidateKey(*b));
+  EXPECT_NE(EvalMemo::CandidateKey(*a), EvalMemo::CandidateKey(*c));
+}
+
+// --------------------------------------------------------------------------
+// Slot semantics: miss -> put -> hit -> (signature change) invalidation.
+
+TEST(EvalMemoSlotTest, MissPutHitInvalidateAccounting) {
+  EvalMemo memo(4);
+  const EvalMemo::Key cand{1, 2};
+  const EvalMemo::Sig sig_a{10};
+  const EvalMemo::Sig sig_b{20};
+
+  EXPECT_FALSE(memo.FindPrefetch(cand, sig_a).has_value());
+  EXPECT_EQ(memo.stats().prefetch.misses, 1u);
+
+  memo.PutPrefetch(cand, sig_a, {64, 8});
+  auto hit = memo.FindPrefetch(cand, sig_a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->fact_granule, 64u);
+  EXPECT_EQ(hit->bitmap_granule, 8u);
+  EXPECT_EQ(memo.stats().prefetch.hits, 1u);
+
+  // A different signature discards the stale product (one invalidation);
+  // the slot is then empty, so re-finding is a plain miss.
+  EXPECT_FALSE(memo.FindPrefetch(cand, sig_b).has_value());
+  EXPECT_EQ(memo.stats().prefetch.invalidations, 1u);
+  EXPECT_FALSE(memo.FindPrefetch(cand, sig_b).has_value());
+  EXPECT_EQ(memo.stats().prefetch.misses, 2u);
+
+  // Slots are independent: the prefetch churn never touched the result
+  // stage counters.
+  const EvalMemoStats stats = memo.stats();
+  EXPECT_EQ(stats.result.hits + stats.result.misses +
+                stats.result.invalidations,
+            0u);
+}
+
+TEST(EvalMemoSlotTest, ResultSlotSharesTheStoredCandidate) {
+  EvalMemo memo(4);
+  const EvalMemo::Key cand{7};
+  const EvalMemo::Sig sig{1};
+  auto value = std::make_shared<const EvaluatedCandidate>();
+  memo.PutResult(cand, sig, value);
+  EXPECT_EQ(memo.FindResult(cand, sig), value);
+  EXPECT_EQ(memo.FindResult(cand, EvalMemo::Sig{2}), nullptr);
+}
+
+TEST(EvalMemoSlotTest, SchemeVariantsAreSessionWideAndSticky) {
+  EvalMemo memo(1);
+  const EvalMemo::Sig sig{42};
+  EXPECT_EQ(memo.FindScheme(sig), nullptr);
+  auto scheme = std::make_shared<const bitmap::BitmapScheme>();
+  memo.PutScheme(sig, scheme);
+  EXPECT_EQ(memo.FindScheme(sig), scheme);
+  // Scheme variants are keyed by exclusion set only and are not subject to
+  // the candidate LRU: churning candidates far past capacity keeps them.
+  for (uint64_t i = 0; i < 8; ++i) {
+    memo.PutPrefetch(EvalMemo::Key{i}, EvalMemo::Sig{i}, {1, 1});
+  }
+  EXPECT_EQ(memo.FindScheme(sig), scheme);
+  EXPECT_EQ(memo.stats().scheme.hits, 2u);
+  EXPECT_EQ(memo.stats().scheme.misses, 1u);
+}
+
+// --------------------------------------------------------------------------
+// LRU bound.
+
+TEST(EvalMemoLruTest, EvictsLeastRecentlyUsedCandidate) {
+  EvalMemo memo(2);
+  const EvalMemo::Sig sig{1};
+  memo.PutPrefetch(EvalMemo::Key{1}, sig, {10, 1});
+  memo.PutPrefetch(EvalMemo::Key{2}, sig, {20, 1});
+  // Touch candidate 1 so that candidate 2 is the LRU victim.
+  EXPECT_TRUE(memo.FindPrefetch(EvalMemo::Key{1}, sig).has_value());
+  memo.PutPrefetch(EvalMemo::Key{3}, sig, {30, 1});
+
+  EvalMemoStats stats = memo.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_TRUE(memo.FindPrefetch(EvalMemo::Key{1}, sig).has_value());
+  EXPECT_TRUE(memo.FindPrefetch(EvalMemo::Key{3}, sig).has_value());
+  EXPECT_FALSE(memo.FindPrefetch(EvalMemo::Key{2}, sig).has_value());
+}
+
+TEST(EvalMemoLruTest, ZeroCapacityMeansUnbounded) {
+  EvalMemo memo(0);
+  const EvalMemo::Sig sig{1};
+  for (uint64_t i = 0; i < 64; ++i) {
+    memo.PutPrefetch(EvalMemo::Key{i}, sig, {i, 1});
+  }
+  EXPECT_EQ(memo.stats().entries, 64u);
+  EXPECT_EQ(memo.stats().evictions, 0u);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(memo.FindPrefetch(EvalMemo::Key{i}, sig).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace warlock::core

@@ -65,36 +65,43 @@ TEST(RendererTest, FormatRoundTrip) {
 TEST(RendererTest, TableBackendMatchesLegacyFunctions) {
   const Fixture fx = MakeFixture();
   auto table = Renderer::Create(OutputFormat::kTable);
-  EXPECT_EQ(table->Ranking(fx.result, fx.schema),
+  EXPECT_EQ(table->Ranking(fx.result, fx.schema).value(),
             RenderRanking(fx.result, fx.schema));
-  EXPECT_EQ(table->Exclusions(fx.result, fx.schema),
+  EXPECT_EQ(table->Exclusions(fx.result, fx.schema).value(),
             RenderExclusions(fx.result, fx.schema));
   const auto& best = fx.result.candidates[fx.result.ranking[0]];
-  EXPECT_EQ(table->QueryStats(best, fx.mix, fx.schema),
+  EXPECT_EQ(table->QueryStats(best, fx.mix, fx.schema).value(),
             RenderQueryStats(best, fx.mix, fx.schema));
-  EXPECT_EQ(table->Occupancy(best), RenderOccupancy(best));
-  EXPECT_EQ(table->DiskProfile({1.0, 2.0}, "Month"),
+  EXPECT_EQ(table->Occupancy(best).value(), RenderOccupancy(best));
+  EXPECT_EQ(table->DiskProfile({1.0, 2.0}, "Month").value(),
             RenderDiskProfile({1.0, 2.0}, "Month"));
 }
 
 TEST(RendererTest, CsvBackendEmitsHeadersAndRows) {
   const Fixture fx = MakeFixture();
   auto csv = Renderer::Create(OutputFormat::kCsv);
-  EXPECT_EQ(csv->Ranking(fx.result, fx.schema).rfind("rank,fragmentation", 0),
+  EXPECT_EQ(csv->Ranking(fx.result, fx.schema)
+                .value()
+                .rfind("rank,fragmentation", 0),
             0u);
-  EXPECT_EQ(
-      csv->Exclusions(fx.result, fx.schema).rfind("fragmentation,reason", 0),
-      0u);
+  EXPECT_EQ(csv->Exclusions(fx.result, fx.schema)
+                .value()
+                .rfind("fragmentation,reason", 0),
+            0u);
   const auto& best = fx.result.candidates[fx.result.ranking[0]];
-  EXPECT_EQ(csv->QueryStats(best, fx.mix, fx.schema).rfind("class,weight", 0),
+  EXPECT_EQ(csv->QueryStats(best, fx.mix, fx.schema)
+                .value()
+                .rfind("class,weight", 0),
             0u);
-  EXPECT_EQ(csv->Occupancy(best).rfind("disk,bytes", 0), 0u);
+  EXPECT_EQ(csv->Occupancy(best).value().rfind("disk,bytes", 0), 0u);
   // One line per disk plus header.
-  const std::string occupancy = csv->Occupancy(best);
+  const std::string occupancy = csv->Occupancy(best).value();
   size_t lines = 0;
   for (char c : occupancy) lines += (c == '\n') ? 1 : 0;
   EXPECT_EQ(lines, 1u + best.disk_bytes.size());
-  EXPECT_EQ(csv->DiskProfile({1.0, 2.0}, "M").rfind("title,disk,busy_ms", 0),
+  EXPECT_EQ(csv->DiskProfile({1.0, 2.0}, "M")
+                .value()
+                .rfind("title,disk,busy_ms", 0),
             0u);
 }
 
@@ -102,27 +109,29 @@ TEST(RendererTest, JsonBackendEmitsEveryArtifact) {
   const Fixture fx = MakeFixture();
   auto json = Renderer::Create(OutputFormat::kJson);
 
-  const std::string ranking = json->Ranking(fx.result, fx.schema);
+  const std::string ranking = json->Ranking(fx.result, fx.schema).value();
   EXPECT_NE(ranking.find("\"artifact\": \"ranking\""), std::string::npos);
   EXPECT_NE(ranking.find("\"enumerated\": "), std::string::npos);
   EXPECT_NE(ranking.find("\"rank\": 1"), std::string::npos);
   EXPECT_NE(ranking.find("\"response_ms\": "), std::string::npos);
 
-  const std::string exclusions = json->Exclusions(fx.result, fx.schema);
+  const std::string exclusions =
+      json->Exclusions(fx.result, fx.schema).value();
   EXPECT_NE(exclusions.find("\"artifact\": \"exclusions\""),
             std::string::npos);
   EXPECT_NE(exclusions.find("\"reason\": "), std::string::npos);
 
   const auto& best = fx.result.candidates[fx.result.ranking[0]];
-  const std::string stats = json->QueryStats(best, fx.mix, fx.schema);
+  const std::string stats =
+      json->QueryStats(best, fx.mix, fx.schema).value();
   EXPECT_NE(stats.find("\"artifact\": \"query_stats\""), std::string::npos);
   EXPECT_NE(stats.find("\"class\": \"MonthCode\""), std::string::npos);
 
-  const std::string occupancy = json->Occupancy(best);
+  const std::string occupancy = json->Occupancy(best).value();
   EXPECT_NE(occupancy.find("\"artifact\": \"occupancy\""), std::string::npos);
   EXPECT_NE(occupancy.find("\"disk_bytes\": ["), std::string::npos);
 
-  const std::string profile = json->DiskProfile({1.5, 0.0}, "Month");
+  const std::string profile = json->DiskProfile({1.5, 0.0}, "Month").value();
   EXPECT_NE(profile.find("\"artifact\": \"disk_profile\""),
             std::string::npos);
   EXPECT_NE(profile.find("\"busy_ms\": [1.5, 0]"), std::string::npos);
@@ -142,8 +151,9 @@ TEST(RendererTest, JsonEscapesReasonStrings) {
   auto schema = schema::StarSchema::Create("S", {std::move(time).value()},
                                            std::move(fact).value());
 
-  const std::string out =
-      Renderer::Create(OutputFormat::kJson)->Exclusions(result, *schema);
+  const std::string out = Renderer::Create(OutputFormat::kJson)
+                              ->Exclusions(result, *schema)
+                              .value();
   EXPECT_NE(out.find("line1\\nline2 \\\"quoted\\\" \\\\slash"),
             std::string::npos)
       << out;
@@ -159,11 +169,11 @@ TEST(RendererTest, SweepArtifactsDelegateToSweepWriters) {
   outcome.winner = "A x B";
   sweep.outcomes.push_back(outcome);
 
-  EXPECT_EQ(Renderer::Create(OutputFormat::kTable)->Sweep(sweep),
+  EXPECT_EQ(Renderer::Create(OutputFormat::kTable)->Sweep(sweep).value(),
             scenario::RenderSweep(sweep));
-  EXPECT_EQ(Renderer::Create(OutputFormat::kCsv)->Sweep(sweep),
-            scenario::SweepToCsv(sweep).ToString());
-  EXPECT_EQ(Renderer::Create(OutputFormat::kJson)->Sweep(sweep),
+  EXPECT_EQ(Renderer::Create(OutputFormat::kCsv)->Sweep(sweep).value(),
+            scenario::SweepToCsv(sweep).ToString().value());
+  EXPECT_EQ(Renderer::Create(OutputFormat::kJson)->Sweep(sweep).value(),
             scenario::SweepToJson(sweep));
 }
 
@@ -179,18 +189,21 @@ TEST(RendererDegenerateTest, EmptyRankingRendersInEveryFormat) {
   auto schema = schema::StarSchema::Create("S", {std::move(time).value()},
                                            std::move(fact).value());
 
-  const std::string table =
-      Renderer::Create(OutputFormat::kTable)->Ranking(empty, *schema);
+  const std::string table = Renderer::Create(OutputFormat::kTable)
+                                ->Ranking(empty, *schema)
+                                .value();
   EXPECT_NE(table.find("top 0 of 0 candidates"), std::string::npos);
 
-  const std::string csv =
-      Renderer::Create(OutputFormat::kCsv)->Ranking(empty, *schema);
+  const std::string csv = Renderer::Create(OutputFormat::kCsv)
+                              ->Ranking(empty, *schema)
+                              .value();
   EXPECT_EQ(csv.rfind("rank,fragmentation", 0), 0u);
   // Header only: exactly one line.
   EXPECT_EQ(csv.find('\n'), csv.size() - 1);
 
-  const std::string json =
-      Renderer::Create(OutputFormat::kJson)->Ranking(empty, *schema);
+  const std::string json = Renderer::Create(OutputFormat::kJson)
+                               ->Ranking(empty, *schema)
+                               .value();
   EXPECT_NE(json.find("\"ranking\": [\n  ]"), std::string::npos) << json;
 }
 
@@ -213,15 +226,17 @@ TEST(RendererDegenerateTest, AllExcludedCandidateSet) {
   for (OutputFormat f : {OutputFormat::kTable, OutputFormat::kCsv,
                          OutputFormat::kJson}) {
     auto renderer = Renderer::Create(f);
-    const std::string ranking = renderer->Ranking(result, *schema);
+    const std::string ranking = renderer->Ranking(result, *schema).value();
     EXPECT_FALSE(ranking.empty());
-    const std::string exclusions = renderer->Exclusions(result, *schema);
+    const std::string exclusions =
+        renderer->Exclusions(result, *schema).value();
     EXPECT_NE(exclusions.find("candidate 2 over budget"), std::string::npos)
         << OutputFormatName(f);
   }
   // The table view reports the full exclusion count.
-  const std::string table =
-      Renderer::Create(OutputFormat::kTable)->Exclusions(result, *schema);
+  const std::string table = Renderer::Create(OutputFormat::kTable)
+                                ->Exclusions(result, *schema)
+                                .value();
   EXPECT_NE(table.find("Excluded candidates (3)"), std::string::npos);
 }
 
@@ -231,25 +246,26 @@ TEST(RendererDegenerateTest, SingleDiskOccupancy) {
   candidate.allocation_balance = 1.0;
 
   const std::string table =
-      Renderer::Create(OutputFormat::kTable)->Occupancy(candidate);
+      Renderer::Create(OutputFormat::kTable)->Occupancy(candidate).value();
   EXPECT_NE(table.find("disk  0 |"), std::string::npos);
 
   const std::string csv =
-      Renderer::Create(OutputFormat::kCsv)->Occupancy(candidate);
+      Renderer::Create(OutputFormat::kCsv)->Occupancy(candidate).value();
   EXPECT_NE(csv.find("0,123456"), std::string::npos);
 
   const std::string json =
-      Renderer::Create(OutputFormat::kJson)->Occupancy(candidate);
+      Renderer::Create(OutputFormat::kJson)->Occupancy(candidate).value();
   EXPECT_NE(json.find("\"disk_bytes\": [123456]"), std::string::npos);
 
   // And the fully-empty variant (zero disks) stays well-formed too.
   core::EvaluatedCandidate none;
   EXPECT_NE(Renderer::Create(OutputFormat::kJson)
                 ->Occupancy(none)
+                .value()
                 .find("\"disk_bytes\": []"),
             std::string::npos);
   EXPECT_FALSE(
-      Renderer::Create(OutputFormat::kTable)->Occupancy(none).empty());
+      Renderer::Create(OutputFormat::kTable)->Occupancy(none).value().empty());
 }
 
 }  // namespace

@@ -91,7 +91,7 @@ TEST(ReportTest, RankingCsv) {
   const Fixture fx = MakeFixture();
   CsvWriter csv = RankingToCsv(fx.result, fx.schema);
   EXPECT_EQ(csv.row_count(), fx.result.ranking.size());
-  const std::string out = csv.ToString();
+  const std::string out = csv.ToString().value();
   EXPECT_NE(out.find("rank,fragmentation"), std::string::npos);
 }
 
@@ -100,7 +100,7 @@ TEST(ReportTest, QueryStatsCsv) {
   const auto& best = fx.result.candidates[fx.result.ranking[0]];
   CsvWriter csv = QueryStatsToCsv(best, fx.mix, fx.schema);
   EXPECT_EQ(csv.row_count(), fx.mix.size());
-  EXPECT_NE(csv.ToString().find("class,weight"), std::string::npos);
+  EXPECT_NE(csv.ToString().value().find("class,weight"), std::string::npos);
 }
 
 }  // namespace

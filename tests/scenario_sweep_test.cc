@@ -54,12 +54,12 @@ TEST(SweepTest, OutputBitIdenticalAcrossWorkerCounts) {
   const ScenarioSpec spec = TestSpec();
   auto baseline = RunSweep(spec, {.threads = 1});
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
-  const std::string csv1 = SweepToCsv(*baseline).ToString();
+  const std::string csv1 = SweepToCsv(*baseline).ToString().value();
   const std::string json1 = SweepToJson(*baseline);
   for (uint32_t threads : {2u, 4u, 8u}) {
     auto result = RunSweep(spec, {.threads = threads});
     ASSERT_TRUE(result.ok()) << result.status().ToString();
-    EXPECT_EQ(SweepToCsv(*result).ToString(), csv1)
+    EXPECT_EQ(SweepToCsv(*result).ToString().value(), csv1)
         << "CSV differs at threads=" << threads;
     EXPECT_EQ(SweepToJson(*result), json1)
         << "JSON differs at threads=" << threads;
@@ -74,7 +74,8 @@ TEST(SweepTest, AdvisorThreadsDoNotChangeOutput) {
   auto b = RunSweep(spec, {.threads = 2, .advisor_threads = 3});
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_EQ(SweepToCsv(*a).ToString(), SweepToCsv(*b).ToString());
+  EXPECT_EQ(SweepToCsv(*a).ToString().value(),
+            SweepToCsv(*b).ToString().value());
   EXPECT_EQ(SweepToJson(*a), SweepToJson(*b));
 }
 
@@ -83,7 +84,7 @@ TEST(SweepTest, CsvShape) {
   ASSERT_TRUE(result.ok());
   const CsvWriter csv = SweepToCsv(*result);
   EXPECT_EQ(csv.row_count(), 16u);
-  const std::string text = csv.ToString();
+  const std::string text = csv.ToString().value();
   EXPECT_EQ(text.find("scenario,seed,dimensions,fact_rows"), 0u);
 }
 
