@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 
 namespace {
@@ -78,6 +79,36 @@ BENCHMARK(BM_AdvisorRunThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same pipeline, but under a live (never-firing) deadline + cancel token:
+// every iteration of both ParallelFor phases now goes through the token's
+// CheckStop/ShouldStop path. Compared against BM_AdvisorRunThreads by the
+// bench-gate speedup rule, this locks the claim that cooperative
+// cancellation checks are in the noise (<= ~25% even on the smallest
+// workload; in practice indistinguishable).
+void BM_AdvisorRunDeadlineCheck(benchmark::State& state) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  b.config.cost.samples_per_class = 2;
+  b.config.threads = static_cast<uint32_t>(state.range(0));
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  warlock::common::CancelSource source;
+  const warlock::common::CancelToken token = source.token().WithDeadline(
+      warlock::common::Deadline::After(std::chrono::hours(24)));
+  for (auto _ : state) {
+    auto result = advisor.Run(nullptr, nullptr, token);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+  }
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AdvisorRunDeadlineCheck)
+    ->Arg(1)
+    ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

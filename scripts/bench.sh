@@ -75,13 +75,16 @@ with open(out_path, "w") as f:
 EOF
 echo "wrote $OUT"
 
-# The speedup gate compares two series of the *current* run, so it holds on
+# The speedup gates compare two series of the *current* run, so they hold on
 # any machine: a warm (memo-served) WhatIf must stay >= 10x cheaper than a
-# cold per-call evaluation — the delta re-costing win.
+# cold per-call evaluation (the delta re-costing win), and a Run() under a
+# live deadline/cancel token must stay within ~1.25x of an unbounded Run()
+# (ratio >= 0.8 — the cooperative-cancellation checks are in the noise).
 if [[ -n "${CHECK_BASELINE:-}" ]]; then
   python3 scripts/bench_gate.py \
     --baseline bench/BENCH_advisor_baseline.json \
     --current "$OUT" \
     --threshold "${BENCH_THRESHOLD:-2.0}" \
-    --speedup "BM_SessionWhatIfWarm:BM_AdvisorWhatIfCold:${BENCH_WARM_SPEEDUP:-10}"
+    --speedup "BM_SessionWhatIfWarm:BM_AdvisorWhatIfCold:${BENCH_WARM_SPEEDUP:-10}" \
+    --speedup "BM_AdvisorRunDeadlineCheck/1/real_time:BM_AdvisorRunThreads/1/real_time:${BENCH_DEADLINE_RATIO:-0.8}"
 fi

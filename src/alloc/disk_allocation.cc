@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "common/failpoint.h"
+
 namespace warlock::alloc {
 
 DiskAllocation::DiskAllocation(uint32_t num_disks,
@@ -53,6 +55,11 @@ double DiskAllocation::OccupancyCv() const {
 }
 
 Status DiskAllocation::ValidateCapacity(uint64_t capacity_bytes) const {
+  // Fault seam: a synthetic capacity failure exercises the same path as a
+  // genuinely overfull disk — the advisor must exclude the candidate (and
+  // cache nothing), a what-if must return the error cleanly.
+  WARLOCK_RETURN_IF_ERROR(
+      common::failpoint::Check(common::failpoint::kValidateCapacity));
   for (uint32_t d = 0; d < num_disks_; ++d) {
     if (disk_bytes_[d] > capacity_bytes) {
       return Status::ResourceExhausted(

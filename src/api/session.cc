@@ -1,11 +1,13 @@
 #include "api/session.h"
 
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/config_text.h"
 #include "schema/schema_text.h"
@@ -45,11 +47,25 @@ struct Session::State {
 
 namespace {
 
+// Reads one input file, distinguishing the two ways it can fail: a path
+// that does not exist is kNotFound (caller typo or missing artifact — fix
+// the path), anything present but unreadable is kIoError (permissions, a
+// directory, a failing device — fix the file).
 Result<std::string> ReadFileToString(const std::string& path) {
+  WARLOCK_RETURN_IF_ERROR(
+      common::failpoint::Check(common::failpoint::kReadFile));
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return Status::NotFound("no such file: " + path);
+  }
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    return Status::IoError("not a regular file: " + path);
+  }
   std::ifstream f(path);
   if (!f) return Status::IoError("cannot open " + path);
   std::ostringstream os;
   os << f.rdbuf();
+  if (f.bad() || os.fail()) return Status::IoError("read failed: " + path);
   return os.str();
 }
 
@@ -81,10 +97,28 @@ Result<Session> Session::FromText(std::string_view schema_text,
                                   std::string_view workload_text,
                                   std::string_view config_text,
                                   const SessionOptions& options) {
+  // Fault seams: each parser can be failed independently, so tests can
+  // prove a fault in any one input yields a clean, annotated error and a
+  // construction that never half-succeeds.
+  if (const Status s =
+          common::failpoint::Check(common::failpoint::kParseSchema);
+      !s.ok()) {
+    return Status::Annotate("schema", s);
+  }
   auto schema = schema::SchemaFromText(schema_text);
   if (!schema.ok()) return Status::Annotate("schema", schema.status());
+  if (const Status s =
+          common::failpoint::Check(common::failpoint::kParseWorkload);
+      !s.ok()) {
+    return Status::Annotate("workload", s);
+  }
   auto mix = workload::QueryMixFromText(workload_text, *schema);
   if (!mix.ok()) return Status::Annotate("workload", mix.status());
+  if (const Status s =
+          common::failpoint::Check(common::failpoint::kParseConfig);
+      !s.ok()) {
+    return Status::Annotate("config", s);
+  }
   auto config = core::ToolConfigFromText(config_text);
   if (!config.ok()) return Status::Annotate("config", config.status());
   return Create(std::move(schema).value(), std::move(mix).value(),
@@ -95,13 +129,21 @@ Result<Session> Session::FromFiles(const std::string& schema_path,
                                    const std::string& workload_path,
                                    const std::string& config_path,
                                    const SessionOptions& options) {
-  WARLOCK_ASSIGN_OR_RETURN(std::string schema_text,
-                           ReadFileToString(schema_path));
-  WARLOCK_ASSIGN_OR_RETURN(std::string workload_text,
-                           ReadFileToString(workload_path));
-  WARLOCK_ASSIGN_OR_RETURN(std::string config_text,
-                           ReadFileToString(config_path));
-  return FromText(schema_text, workload_text, config_text, options);
+  // Annotate which of the three inputs failed — the caller passed three
+  // paths and the status message should say which one to fix.
+  auto schema_text = ReadFileToString(schema_path);
+  if (!schema_text.ok()) {
+    return Status::Annotate("schema file", schema_text.status());
+  }
+  auto workload_text = ReadFileToString(workload_path);
+  if (!workload_text.ok()) {
+    return Status::Annotate("workload file", workload_text.status());
+  }
+  auto config_text = ReadFileToString(config_path);
+  if (!config_text.ok()) {
+    return Status::Annotate("config file", config_text.status());
+  }
+  return FromText(*schema_text, *workload_text, *config_text, options);
 }
 
 Result<Session> Session::FromScenario(const scenario::ScenarioSpec& spec,
@@ -114,23 +156,45 @@ Result<Session> Session::FromScenario(const scenario::ScenarioSpec& spec,
 }
 
 Result<AdviseResponse> Session::Advise(const AdviseRequest& request) const {
-  WARLOCK_ASSIGN_OR_RETURN(
-      core::AdvisorResult result,
-      state_->advisor->Run(&*state_->pool, &state_->memo));
-  if (request.top_k.has_value() && result.ranking.size() > *request.top_k) {
-    result.ranking.resize(*request.top_k);
+  // One effective token: caller cancellation composed with the request
+  // deadline (cancellation wins when both have fired).
+  const common::CancelToken cancel =
+      request.cancel_token.WithDeadline(request.deadline);
+  try {
+    WARLOCK_ASSIGN_OR_RETURN(
+        core::AdvisorResult result,
+        state_->advisor->Run(&*state_->pool, &state_->memo, cancel));
+    if (request.top_k.has_value() && result.ranking.size() > *request.top_k) {
+      result.ranking.resize(*request.top_k);
+    }
+    state_->advise_calls.fetch_add(1, std::memory_order_relaxed);
+    return AdviseResponse{std::move(result)};
+  } catch (const std::exception& e) {
+    // The facade never throws: anything that escaped the advisor's own
+    // containment (e.g. an allocation failure while assembling the result)
+    // degrades to a clean status.
+    return Status::Internal(std::string("advise failed: ") + e.what());
+  } catch (...) {
+    return Status::Internal("advise failed");
   }
-  state_->advise_calls.fetch_add(1, std::memory_order_relaxed);
-  return AdviseResponse{std::move(result)};
 }
 
 Result<WhatIfResponse> Session::WhatIf(const WhatIfRequest& request) const {
-  WARLOCK_ASSIGN_OR_RETURN(
-      core::EvaluatedCandidate candidate,
-      state_->advisor->FullyEvaluate(request.fragmentation, request.overrides,
-                                     &*state_->pool, &state_->memo));
-  state_->whatif_calls.fetch_add(1, std::memory_order_relaxed);
-  return WhatIfResponse{std::move(candidate)};
+  const common::CancelToken cancel =
+      request.cancel_token.WithDeadline(request.deadline);
+  try {
+    WARLOCK_ASSIGN_OR_RETURN(
+        core::EvaluatedCandidate candidate,
+        state_->advisor->FullyEvaluate(request.fragmentation,
+                                       request.overrides, &*state_->pool,
+                                       &state_->memo, cancel));
+    state_->whatif_calls.fetch_add(1, std::memory_order_relaxed);
+    return WhatIfResponse{std::move(candidate)};
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("what-if failed: ") + e.what());
+  } catch (...) {
+    return Status::Internal("what-if failed");
+  }
 }
 
 Result<std::vector<double>> Session::DiskAccessProfile(
@@ -157,6 +221,7 @@ SessionStats Session::stats() const {
   stats.fragment_sizes_evictions = cache.evictions();
   stats.memo = state_->memo.stats();
   stats.pool_threads = state_->pool->num_threads();
+  stats.pool_dropped_exceptions = state_->pool->dropped_exceptions();
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "core/advisor.h"
 #include "core/eval_memo.h"
@@ -35,6 +36,19 @@ struct AdviseRequest {
   /// (that is `ToolConfig::ranking`, fixed per session), so responses stay
   /// bit-identical prefixes of the session-configured ranking.
   std::optional<size_t> top_k;
+
+  /// Wall-clock bound on the call (default: unbounded). An expired deadline
+  /// surfaces as kDeadlineExceeded; a call that finishes in time is
+  /// byte-identical to an unbounded one. An advisor run is all-or-nothing —
+  /// a deadline never yields a partial ranking.
+  common::Deadline deadline{};
+
+  /// Cooperative cancellation handle (default: never fires). Fire the
+  /// owning `common::CancelSource` from any thread; the call returns
+  /// kCancelled within one candidate-evaluation's latency. Cancellation
+  /// wins over the deadline when both have fired. The session stays fully
+  /// usable afterwards — cancelled calls cache nothing.
+  common::CancelToken cancel_token{};
 };
 
 /// Output of `Session::Advise`: the full advisor result, owned by the
@@ -56,6 +70,12 @@ struct AdviseResponse {
 struct WhatIfRequest {
   fragment::Fragmentation fragmentation;
   core::Advisor::Overrides overrides;
+
+  /// Deadline/cancellation, with the same contract as `AdviseRequest`:
+  /// stop statuses are all-or-nothing, nothing partial is cached, and the
+  /// session stays usable.
+  common::Deadline deadline{};
+  common::CancelToken cancel_token{};
 };
 
 /// Output of `Session::WhatIf`.
@@ -89,6 +109,11 @@ struct SessionStats {
 
   /// Workers in the session's persistent thread pool.
   uint32_t pool_threads = 0;
+
+  /// Exceptions the pool observed but could not surface to any caller (see
+  /// `ThreadPool::dropped_exceptions`). Zero in healthy operation; nonzero
+  /// means some failure was reported only here.
+  uint64_t pool_dropped_exceptions = 0;
 };
 
 /// The owning, reusable entry point of the WARLOCK library — the paper's

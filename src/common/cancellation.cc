@@ -1,0 +1,13 @@
+#include "common/cancellation.h"
+
+namespace warlock::common {
+
+Status CancelToken::CheckStop() const {
+  if (cancel_requested()) return Status::Cancelled("cancel requested");
+  if (deadline_expired()) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace warlock::common

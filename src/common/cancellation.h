@@ -1,0 +1,155 @@
+#ifndef WARLOCK_COMMON_CANCELLATION_H_
+#define WARLOCK_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace warlock::common {
+
+/// A steady-clock expiry point. Default-constructed deadlines are unbounded
+/// (they never expire), so a `Deadline` member can sit in a request struct
+/// without changing behavior until a caller sets it.
+///
+/// Deadlines deliberately use the steady clock: a wall-clock jump (NTP,
+/// suspend/resume) must never cancel — or un-cancel — a running evaluation.
+class Deadline {
+ public:
+  /// Unbounded: `expired()` is always false.
+  Deadline() = default;
+
+  /// Expires `budget` from now.
+  static Deadline After(std::chrono::nanoseconds budget) {
+    return Deadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  /// Expires at `when`.
+  static Deadline At(std::chrono::steady_clock::time_point when) {
+    return Deadline(when);
+  }
+
+  /// True when this deadline can ever expire.
+  bool bounded() const { return when_.has_value(); }
+
+  /// True when the deadline has passed. One clock read; never true for an
+  /// unbounded deadline.
+  bool expired() const {
+    return when_.has_value() && std::chrono::steady_clock::now() >= *when_;
+  }
+
+  /// The expiry point; only meaningful when `bounded()`.
+  std::chrono::steady_clock::time_point when() const {
+    return when_.value_or(std::chrono::steady_clock::time_point::max());
+  }
+
+  /// The earlier of two deadlines (unbounded is the identity).
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    if (!a.bounded()) return b;
+    if (!b.bounded()) return a;
+    return Deadline(std::min(*a.when_, *b.when_));
+  }
+
+ private:
+  explicit Deadline(std::chrono::steady_clock::time_point when)
+      : when_(when) {}
+
+  std::optional<std::chrono::steady_clock::time_point> when_;
+};
+
+/// The observer half of cooperative cancellation: a cheap, copyable handle
+/// that long-running evaluations poll between units of work. A token
+/// optionally carries a `Deadline`, so one object plumbs both "the caller
+/// hung up" and "the time budget ran out" through the evaluation stack.
+///
+/// A default-constructed token never requests a stop — every evaluation
+/// entry point takes one by value with `{}` as the default, keeping
+/// unbounded callers on a branch-predictable "no flag, no deadline" path.
+///
+/// Thread-safety: tokens are immutable snapshots; `stop_requested()` et al.
+/// are safe from any thread (the flag is a relaxed atomic load — the stop
+/// signal carries no data, so no ordering is needed).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True when the owning `CancelSource` requested cancellation.
+  bool cancel_requested() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when the attached deadline (if any) has passed.
+  bool deadline_expired() const { return deadline_.expired(); }
+
+  /// True when work should stop for either reason. The per-iteration check
+  /// of the cancel-aware loops.
+  bool stop_requested() const {
+    return cancel_requested() || deadline_expired();
+  }
+
+  /// OK, or the `Status` a stopped evaluation must surface: explicit
+  /// cancellation wins over an expired deadline when both fired (the caller
+  /// acted; tell them their action took effect).
+  Status CheckStop() const;
+
+  /// A token observing this token's flag plus `deadline` (the earlier one
+  /// when this token already carries a deadline). How request structs
+  /// combine their `cancel_token`/`deadline` pair into the one object the
+  /// evaluation stack plumbs.
+  CancelToken WithDeadline(const Deadline& deadline) const {
+    CancelToken t = *this;
+    t.deadline_ = Deadline::Earlier(deadline_, deadline);
+    return t;
+  }
+
+  /// The attached deadline (unbounded when none).
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  Deadline deadline_;
+};
+
+/// The owner half: creates tokens and fires them. The source may outlive or
+/// predecease its tokens freely (shared ownership of the flag).
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// A token observing this source. Cheap; hand copies to every
+  /// participant.
+  CancelToken token() const { return CancelToken(flag_); }
+
+  /// Requests cancellation. Idempotent; safe from any thread. Cooperative:
+  /// running work stops at its next token check, it is never interrupted
+  /// mid-unit.
+  void RequestCancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  /// True once `RequestCancel` has been called.
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// True when `status` is one of the two cooperative-stop outcomes
+/// (`kCancelled` / `kDeadlineExceeded`) — the codes graceful-degradation
+/// layers (the sweep runner, `warlockd` one day) treat as "incomplete, not
+/// broken".
+inline bool IsStopStatus(const Status& status) {
+  return status.code() == Status::Code::kCancelled ||
+         status.code() == Status::Code::kDeadlineExceeded;
+}
+
+}  // namespace warlock::common
+
+#endif  // WARLOCK_COMMON_CANCELLATION_H_

@@ -1,0 +1,163 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace warlock::common::failpoint {
+
+namespace {
+
+// The registry. Every seam in the codebase checks one of these names;
+// keep the list in sync with the call sites (the fault-sweep test walks it
+// and asserts each entry actually injects).
+const char* const kRegistered[] = {
+    kReadFile,         kParseSchema, kParseWorkload,
+    kParseConfig,      kMemoPut,     kValidateCapacity,
+    kThreadPoolDispatch,
+};
+
+// armed_total: fast-path gate. -1 = env spec not parsed yet (forces one
+// trip through the slow path, which parses WARLOCK_FAILPOINTS and settles
+// the gate); 0 = nothing armed; > 0 = number of armed entries.
+std::atomic<int> armed_total{-1};
+
+std::mutex mu;
+// name -> remaining firings (< 0 = unlimited). Guarded by mu.
+std::map<std::string, int>& ArmedMap() {
+  static std::map<std::string, int> armed;
+  return armed;
+}
+
+bool IsRegistered(const std::string& name) {
+  return std::find_if(std::begin(kRegistered), std::end(kRegistered),
+                      [&name](const char* n) { return name == n; }) !=
+         std::end(kRegistered);
+}
+
+// Caller must hold mu.
+void SettleGate() {
+  armed_total.store(static_cast<int>(ArmedMap().size()),
+                    std::memory_order_relaxed);
+}
+
+// Caller must hold mu. Parses WARLOCK_FAILPOINTS exactly once per process;
+// an invalid spec is deliberately fatal-free: the bad entry is skipped (the
+// env var is a test/ops tool — a typo must not take the process down).
+void ParseEnvOnce() {
+  static bool parsed = false;
+  if (parsed) return;
+  parsed = true;
+  const char* spec = std::getenv("WARLOCK_FAILPOINTS");
+  if (spec == nullptr) return;
+  std::string entry;
+  for (const char* p = spec;; ++p) {
+    if (*p != '\0' && *p != ';') {
+      entry.push_back(*p);
+      continue;
+    }
+    if (!entry.empty()) {
+      std::string name = entry;
+      int count = -1;
+      const size_t eq = entry.find('=');
+      if (eq != std::string::npos) {
+        name = entry.substr(0, eq);
+        count = std::atoi(entry.c_str() + eq + 1);
+      }
+      if (IsRegistered(name) && count != 0) ArmedMap()[name] = count;
+    }
+    entry.clear();
+    if (*p == '\0') break;
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllFailpoints() {
+  static const std::vector<std::string> all(std::begin(kRegistered),
+                                            std::end(kRegistered));
+  return all;
+}
+
+Status Arm(const std::string& name, int count) {
+  if constexpr (!kEnabled) {
+    return Status::InvalidArgument(
+        "failpoint layer is compiled out (release build); cannot arm " +
+        name);
+  }
+  if (!IsRegistered(name)) {
+    return Status::NotFound("unknown failpoint: " + name);
+  }
+  if (count == 0) return Status::InvalidArgument("arm count must be nonzero");
+  std::lock_guard<std::mutex> lock(mu);
+  ParseEnvOnce();
+  ArmedMap()[name] = count;
+  SettleGate();
+  return Status::OK();
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu);
+  ParseEnvOnce();
+  ArmedMap().erase(name);
+  SettleGate();
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu);
+  ParseEnvOnce();
+  ArmedMap().clear();
+  SettleGate();
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  std::string entry;
+  for (size_t i = 0;; ++i) {
+    if (i < spec.size() && spec[i] != ';') {
+      entry.push_back(spec[i]);
+      continue;
+    }
+    if (!entry.empty()) {
+      std::string name = entry;
+      int count = -1;
+      const size_t eq = entry.find('=');
+      if (eq != std::string::npos) {
+        name = entry.substr(0, eq);
+        count = std::atoi(entry.c_str() + eq + 1);
+      }
+      WARLOCK_RETURN_IF_ERROR(Arm(name, count));
+    }
+    entry.clear();
+    if (i >= spec.size()) break;
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+bool FireImpl(const char* name) {
+  if (armed_total.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu);
+  ParseEnvOnce();
+  SettleGate();  // resolves the -1 sentinel after env parsing
+  auto it = ArmedMap().find(name);
+  if (it == ArmedMap().end()) return false;
+  if (it->second > 0 && --it->second == 0) {
+    ArmedMap().erase(it);
+    SettleGate();
+  }
+  return true;
+}
+
+}  // namespace internal
+
+void MaybeThrow(const char* name) {
+  if (Fire(name)) {
+    throw std::runtime_error(std::string("injected failure at ") + name);
+  }
+}
+
+}  // namespace warlock::common::failpoint

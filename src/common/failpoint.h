@@ -1,0 +1,96 @@
+#ifndef WARLOCK_COMMON_FAILPOINT_H_
+#define WARLOCK_COMMON_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// Compile-time switch for the fault-injection layer. Off in release
+/// (NDEBUG) builds: every check below collapses to an `if constexpr
+/// (false)` — zero code, zero branches on the hot path. Debug, asan, and
+/// tsan builds compile the layer in; the fault-sweep tests skip themselves
+/// when it is off. Override with -DWARLOCK_FAILPOINTS_ENABLED=0/1.
+#ifndef WARLOCK_FAILPOINTS_ENABLED
+#ifdef NDEBUG
+#define WARLOCK_FAILPOINTS_ENABLED 0
+#else
+#define WARLOCK_FAILPOINTS_ENABLED 1
+#endif
+#endif
+
+namespace warlock::common::failpoint {
+
+inline constexpr bool kEnabled = WARLOCK_FAILPOINTS_ENABLED != 0;
+
+/// The registered failpoint names — the single source of truth the seams
+/// and the fault-sweep harness share. A seam checks exactly one of these;
+/// `Arm` rejects anything else, so a typo in a test or in the env spec is
+/// an error, not a silently dead injection.
+///
+/// Error seams (an armed check surfaces as a non-OK `Status` to the
+/// caller):
+inline constexpr char kReadFile[] = "api.read_file";
+inline constexpr char kParseSchema[] = "parse.schema";
+inline constexpr char kParseWorkload[] = "parse.workload";
+inline constexpr char kParseConfig[] = "parse.config";
+inline constexpr char kValidateCapacity[] = "alloc.validate_capacity";
+/// Degradation seams (an armed check sheds work — a dropped cache insert, a
+/// lost pool helper — and the operation must still succeed byte-identically):
+inline constexpr char kMemoPut[] = "memo.put";
+inline constexpr char kThreadPoolDispatch[] = "threadpool.dispatch";
+
+/// True when the layer is compiled in (tests gate on this).
+constexpr bool Enabled() { return kEnabled; }
+
+/// Every registered failpoint name, in a stable order.
+const std::vector<std::string>& AllFailpoints();
+
+/// Arms `name` to fire `count` times (count < 0 = until disarmed).
+/// Fails with NotFound for an unregistered name and InvalidArgument when
+/// the layer is compiled out (arming a no-op registry would report fault
+/// coverage that never ran).
+Status Arm(const std::string& name, int count = -1);
+
+/// Disarms `name` (idempotent) / every armed failpoint.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Arms every entry of an activation spec — the `WARLOCK_FAILPOINTS` env
+/// syntax: `name[=count][;name[=count]]...`, e.g.
+/// `parse.schema;memo.put=2`. A bare name fires until disarmed.
+Status ArmFromSpec(const std::string& spec);
+
+namespace internal {
+bool FireImpl(const char* name);
+}  // namespace internal
+
+/// True when `name` is armed (consuming one firing of a counted arm).
+/// The hot-path primitive: compiled out in release; one relaxed atomic load
+/// when the layer is on and nothing is armed. The `WARLOCK_FAILPOINTS` env
+/// var is parsed on the first call.
+inline bool Fire(const char* name) {
+  if constexpr (!kEnabled) {
+    (void)name;
+    return false;
+  } else {
+    return internal::FireImpl(name);
+  }
+}
+
+/// `Fire` for Status-returning seams: OK when unarmed, otherwise the
+/// injected error `Internal("injected failure at <name>")`.
+inline Status Check(const char* name) {
+  if (Fire(name)) {
+    return Status::Internal(std::string("injected failure at ") + name);
+  }
+  return Status::OK();
+}
+
+/// `Fire` for exception seams (the thread-pool dispatch path): throws
+/// `std::runtime_error("injected failure at <name>")` when armed.
+void MaybeThrow(const char* name);
+
+}  // namespace warlock::common::failpoint
+
+#endif  // WARLOCK_COMMON_FAILPOINT_H_

@@ -20,6 +20,10 @@ const char* StatusCodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kIoError:
       return "IoError";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ class Status {
     kResourceExhausted = 5,
     kInternal = 6,
     kIoError = 7,
+    kCancelled = 8,
+    kDeadlineExceeded = 9,
   };
 
   /// Constructs an OK status.
@@ -64,6 +66,17 @@ class Status {
   /// Returns an error for a failed I/O operation (config files etc.).
   static Status IoError(std::string msg) {
     return Status(Code::kIoError, std::move(msg));
+  }
+
+  /// Returns the error a cooperatively cancelled operation surfaces.
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+
+  /// Returns the error an operation that ran out of its time budget
+  /// surfaces.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   /// Returns `status` with "<context>: " prepended to its message, code

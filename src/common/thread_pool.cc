@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace warlock::common {
 
 unsigned ThreadPool::ResolveThreadCount(unsigned requested) {
@@ -26,6 +28,11 @@ ThreadPool::~ThreadPool() {
   work_cv_.notify_all();
   for (std::thread& worker : workers_) {
     worker.join();
+  }
+  // An error recorded after the last Wait() dies with the pool — count it,
+  // so at least the bookkeeping admits the loss.
+  if (first_error_) {
+    dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -55,13 +62,18 @@ void ThreadPool::RunLoop(LoopState& state) {
   }
   size_t i;
   while (!state.has_error.load(std::memory_order_relaxed) &&
+         !state.cancel.stop_requested() &&
          (i = state.cursor.fetch_add(1, std::memory_order_relaxed)) <
              state.end) {
     try {
       state.fn(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(state.mu);
-      if (!state.error) state.error = std::current_exception();
+      if (!state.error) {
+        state.error = std::current_exception();
+      } else {
+        dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      }
       state.has_error.store(true, std::memory_order_relaxed);
     }
   }
@@ -70,11 +82,17 @@ void ThreadPool::RunLoop(LoopState& state) {
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
-                             const std::function<void(size_t)>& fn) {
+                             const std::function<void(size_t)>& fn,
+                             const CancelToken& cancel) {
   if (end <= begin) return;
   const size_t count = end - begin;
   if (num_threads() == 1 || count == 1) {
-    for (size_t i = begin; i < end; ++i) fn(i);
+    // The inline path mirrors the pooled one: stop claiming indices once
+    // the token fires; the caller inspects the token afterwards.
+    for (size_t i = begin; i < end; ++i) {
+      if (cancel.stop_requested()) return;
+      fn(i);
+    }
     return;
   }
 
@@ -85,10 +103,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   state->cursor.store(begin, std::memory_order_relaxed);
   state->end = end;
   state->fn = fn;
+  state->cancel = cancel;
 
   const size_t helpers = std::min<size_t>(num_threads(), count) - 1;
   for (size_t c = 0; c < helpers; ++c) {
-    Submit([state] { RunLoop(*state); });
+    Submit([this, state] { RunLoop(*state); });
   }
 
   // Work-assist: the caller claims iterations of its own loop. When every
@@ -99,13 +118,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 
   // Stragglers: helpers still running a claimed iteration. Helpers that
   // have not started cannot claim anything anymore (the cursor is
-  // exhausted, or the error flag stops them), so waiting for active == 0
-  // means every iteration has finished.
+  // exhausted, or the error/cancel short-circuit stops them), so waiting
+  // for active == 0 means every iteration has finished.
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&state] {
     return state->active == 0 &&
            (state->cursor.load(std::memory_order_relaxed) >= state->end ||
-            state->has_error.load(std::memory_order_relaxed));
+            state->has_error.load(std::memory_order_relaxed) ||
+            state->cancel.stop_requested());
   });
   if (state->error) {
     std::exception_ptr error = state->error;
@@ -125,6 +145,12 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
     }
     try {
+      // Fault seam: an armed "threadpool.dispatch" failpoint makes the
+      // dispatch itself fail (the task is lost), exercising the same path
+      // as a throwing task. ParallelFor survives losing helpers — the
+      // caller work-assists its loop to completion — which is exactly the
+      // degradation the fault-sweep test locks in.
+      failpoint::MaybeThrow(failpoint::kThreadPoolDispatch);
       task();
     } catch (...) {
       RecordError(std::current_exception());
@@ -141,6 +167,8 @@ void ThreadPool::RecordError(std::exception_ptr error) {
   if (!first_error_) {
     first_error_ = std::move(error);
     has_error_.store(true, std::memory_order_relaxed);
+  } else {
+    dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -11,6 +12,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/cancellation.h"
 
 namespace warlock::common {
 
@@ -44,7 +47,7 @@ class ThreadPool {
 
   /// Drains outstanding tasks, then joins the workers. Any exception a
   /// still-running task threw is swallowed (call `Wait` first to observe
-  /// it).
+  /// it) and counted in `dropped_exceptions()`.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -73,8 +76,29 @@ class ThreadPool {
   /// innermost caller drives its own loop to completion even when no
   /// worker is free. Rethrows the first exception thrown by `fn`; once an
   /// exception is recorded, participants stop claiming further indices.
+  ///
+  /// `cancel` makes the loop cooperative: once the token fires,
+  /// participants stop claiming indices (mirroring the error
+  /// short-circuit) while already-claimed iterations run to completion —
+  /// ParallelFor still returns only when no iteration is in flight. The
+  /// loop itself reports nothing; the caller checks the token afterwards
+  /// and decides whether the partial slot writes are a result (the sweep's
+  /// graceful degradation) or garbage (a cancelled advisor run). A token
+  /// that never fires leaves the iteration set — and therefore every slot
+  /// write — identical to the default unbounded token.
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& fn);
+                   const std::function<void(size_t)>& fn,
+                   const CancelToken& cancel = CancelToken());
+
+  /// Exceptions this pool has dropped on the floor: every task exception
+  /// after the first between two `Wait`s, every loop exception after the
+  /// first per `ParallelFor`, and an uncollected first error at
+  /// destruction. A nonzero count means some failure was observed only as
+  /// this counter — the service-layer signal that error reporting lost
+  /// information (surfaced via `Session::stats()`).
+  uint64_t dropped_exceptions() const {
+    return dropped_exceptions_.load(std::memory_order_relaxed);
+  }
 
   /// `0` resolves to `std::thread::hardware_concurrency()` (at least 1);
   /// any other value is returned unchanged.
@@ -89,13 +113,14 @@ class ThreadPool {
     size_t end = 0;
     std::function<void(size_t)> fn;  // owned copy — helpers may outlive
                                      // the caller's reference
+    CancelToken cancel;  // participants stop claiming once it fires
     std::atomic<bool> has_error{false};
     std::mutex mu;
     std::condition_variable done_cv;
     size_t active = 0;  // participants currently claiming/running
     std::exception_ptr error;
   };
-  static void RunLoop(LoopState& state);
+  void RunLoop(LoopState& state);
 
   void WorkerLoop();
   void RecordError(std::exception_ptr error);
@@ -107,6 +132,7 @@ class ThreadPool {
   size_t pending_ = 0;  // queued + currently running tasks
   std::exception_ptr first_error_;
   std::atomic<bool> has_error_{false};
+  std::atomic<uint64_t> dropped_exceptions_{0};
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

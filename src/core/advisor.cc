@@ -50,6 +50,23 @@ EvalMemo::Inputs NormalizeInputs(const ToolConfig& config,
   return in;
 }
 
+// Runs one fan-out phase, converting a task exception (ParallelFor rethrows
+// the first one — e.g. an injected dispatch fault) into a Status so Run
+// keeps its no-throw contract.
+Status RunPhase(common::ThreadPool* pool, size_t n,
+                const std::function<void(size_t)>& fn,
+                const common::CancelToken& cancel) {
+  try {
+    pool->ParallelFor(0, n, fn, cancel);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("evaluation task failed: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("evaluation task failed");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Advisor::Advisor(const schema::StarSchema& schema,
@@ -63,7 +80,8 @@ Advisor::Advisor(const schema::StarSchema& schema,
 
 Result<Advisor::EvalContext> Advisor::BuildEvalContext(
     const fragment::Fragmentation& fragmentation, const Overrides& overrides,
-    EvalMode mode, common::ThreadPool* pool, EvalMemo* memo) const {
+    EvalMode mode, common::ThreadPool* pool, EvalMemo* memo,
+    const common::CancelToken& cancel) const {
   // The memo only serves full evaluations: screening products are never
   // placement-dependent and profile allocations skip the capacity check, so
   // caching them would either be useless or let an unvalidated allocation
@@ -200,7 +218,11 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
         const cost::PrefetchChoice choice = cost::OptimizePrefetch(
             schema_, config_.fact_index, fragmentation, *ctx.sizes,
             *ctx.scheme, *ctx.allocation, mix_, ctx.params, prefetch_options,
-            pool);
+            pool, cancel);
+        // A fired token makes the choice a partial-grid artifact: discard it
+        // (and above all never memoize it) by surfacing the stop status
+        // before the granules are consumed or cached.
+        WARLOCK_RETURN_IF_ERROR(cancel.CheckStop());
         ctx.params.fact_granule = choice.fact_granule;
         ctx.params.bitmap_granule = choice.bitmap_granule;
         if (memo != nullptr) {
@@ -223,7 +245,9 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
 
 Result<EvaluatedCandidate> Advisor::FullyEvaluate(
     const fragment::Fragmentation& fragmentation, const Overrides& overrides,
-    common::ThreadPool* pool, EvalMemo* memo) const {
+    common::ThreadPool* pool, EvalMemo* memo,
+    const common::CancelToken& cancel) const {
+  WARLOCK_RETURN_IF_ERROR(cancel.CheckStop());
   // Result-stage short circuit: a repeated what-if with unchanged
   // override-relevant inputs returns the memoized candidate outright,
   // without consulting (or touching the counters of) the earlier stages.
@@ -241,7 +265,8 @@ Result<EvaluatedCandidate> Advisor::FullyEvaluate(
 
   WARLOCK_ASSIGN_OR_RETURN(
       EvalContext ctx,
-      BuildEvalContext(fragmentation, overrides, EvalMode::kFull, pool, memo));
+      BuildEvalContext(fragmentation, overrides, EvalMode::kFull, pool, memo,
+                       cancel));
 
   EvaluatedCandidate ec;
   ec.fragmentation = fragmentation;
@@ -292,8 +317,9 @@ Result<std::vector<double>> Advisor::DiskAccessProfile(
   return profile;
 }
 
-Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool,
-                                   EvalMemo* memo) const {
+Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
+                                   const common::CancelToken& cancel) const {
+  WARLOCK_RETURN_IF_ERROR(cancel.CheckStop());
   // A transient pool per run keeps the historical fire-and-forget contract;
   // session-style callers pass a persistent pool instead and amortize the
   // spawn/join. Results are bit-identical either way (per-slot writes).
@@ -320,8 +346,10 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool,
   // cheap enough for the whole space). Candidates are independent and
   // read-only over the shared state, so they fan out over the pool; slot i
   // belongs exclusively to candidate i, keeping the outcome bit-identical
-  // to a serial walk regardless of scheduling.
-  pool->ParallelFor(0, raw.size(), [&](size_t i) {
+  // to a serial walk regardless of scheduling. A fired token stops the
+  // fan-out between candidates; the partial slots are discarded with the
+  // whole run when the stop status surfaces below.
+  WARLOCK_RETURN_IF_ERROR(RunPhase(pool, raw.size(), [&](size_t i) {
     fragment::Candidate& cand = raw[i];
     EvaluatedCandidate& ec = result.candidates[i];
     ec.fragmentation = std::move(cand.fragmentation);
@@ -346,7 +374,8 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool,
                                      *ctx.scheme, *ctx.allocation, ctx.params);
     const cost::MixCost mc = cost::CostMix(model, mix_, ctx.params.seed);
     ec.screening_io_work_ms = mc.io_work_ms;
-  });
+  }, cancel));
+  WARLOCK_RETURN_IF_ERROR(cancel.CheckStop());
 
   std::vector<size_t> included;
   for (size_t i = 0; i < result.candidates.size(); ++i) {
@@ -377,12 +406,17 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool,
   // search: the nested ParallelFor work-assists, so idle workers speed up
   // the granule sweep while saturated ones cost nothing.
   std::vector<unsigned char> full_ok(leading, 0);
-  pool->ParallelFor(0, leading, [&](size_t i) {
+  WARLOCK_RETURN_IF_ERROR(RunPhase(pool, leading, [&](size_t i) {
     const size_t ci = included[i];
     EvaluatedCandidate& slot = result.candidates[ci];
-    auto full_or = FullyEvaluate(slot.fragmentation, no_overrides, pool, memo);
+    auto full_or =
+        FullyEvaluate(slot.fragmentation, no_overrides, pool, memo, cancel);
     if (!full_or.ok()) {
-      // E.g. capacity violation at this disk count: record as excluded.
+      // A stop status is not a verdict on the candidate — leave the slot
+      // untouched; the whole run is discarded when Run surfaces the stop
+      // below. Real failures (e.g. a capacity violation at this disk
+      // count) record as excluded, exactly as before.
+      if (common::IsStopStatus(full_or.status())) return;
       slot.excluded = true;
       slot.exclusion_reason = full_or.status().message();
       return;
@@ -391,7 +425,8 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool,
     full.screening_io_work_ms = slot.screening_io_work_ms;
     slot = std::move(full);
     full_ok[i] = 1;
-  });
+  }, cancel));
+  WARLOCK_RETURN_IF_ERROR(cancel.CheckStop());
   // Final buckets: a phase-2 failure moves the candidate from "screened"
   // to "excluded", keeping fully_evaluated + excluded + screened ==
   // enumerated (the invariant the analysis layer reports against).

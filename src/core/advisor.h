@@ -113,8 +113,20 @@ class Advisor {
   /// per-call thread spawn/join. `memo` (optional) is consulted and warmed
   /// by the phase-2 full evaluations exactly as in `FullyEvaluate`. The
   /// ranking is bit-identical either way and at every worker count.
+  ///
+  /// `cancel` bounds the run cooperatively: it is checked between phases,
+  /// per candidate, and inside the nested prefetch search, so a fired
+  /// token (or expired deadline) surfaces as kCancelled/kDeadlineExceeded
+  /// within one candidate-evaluation's latency. A single advisor run is
+  /// all-or-nothing — a cancelled run returns the error status, never a
+  /// partial ranking (graceful degradation lives at the sweep level). A
+  /// token that never fires leaves the result byte-identical to an
+  /// unbounded run at every worker count. Task exceptions (including
+  /// injected dispatch faults) are caught and surfaced as kInternal — Run
+  /// never throws and never leaves the advisor's caches inconsistent.
   Result<AdvisorResult> Run(common::ThreadPool* pool = nullptr,
-                            EvalMemo* memo = nullptr) const;
+                            EvalMemo* memo = nullptr,
+                            const common::CancelToken& cancel = {}) const;
 
   /// Per-evaluation replacements for config values, the building block of
   /// interactive what-if tuning: fields that are set win over the config.
@@ -141,10 +153,15 @@ class Advisor {
   /// the stale slot invalidated — when they differ. The memo is a pure
   /// cache: the returned candidate is bit-identical with and without it, at
   /// every worker count. Failed evaluations are never cached.
+  ///
+  /// `cancel` is checked at the stage boundaries and inside the prefetch
+  /// search; a cancelled evaluation returns kCancelled/kDeadlineExceeded
+  /// and caches nothing (partial stage products are discarded, so the memo
+  /// can never serve a half-searched granule pair).
   Result<EvaluatedCandidate> FullyEvaluate(
       const fragment::Fragmentation& fragmentation,
       const Overrides& overrides = {}, common::ThreadPool* pool = nullptr,
-      EvalMemo* memo = nullptr) const;
+      EvalMemo* memo = nullptr, const common::CancelToken& cancel = {}) const;
 
   /// Per-disk busy-time profile of one query class under a fragmentation —
   /// the data behind the analysis layer's disk access visualization.
@@ -186,7 +203,8 @@ class Advisor {
   Result<EvalContext> BuildEvalContext(
       const fragment::Fragmentation& fragmentation,
       const Overrides& overrides, EvalMode mode,
-      common::ThreadPool* pool = nullptr, EvalMemo* memo = nullptr) const;
+      common::ThreadPool* pool = nullptr, EvalMemo* memo = nullptr,
+      const common::CancelToken& cancel = {}) const;
 
   const schema::StarSchema& schema_;
   const workload::QueryMix& mix_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/advisor.h"
 
 namespace warlock::core {
@@ -64,6 +65,10 @@ std::shared_ptr<const bitmap::BitmapScheme> EvalMemo::FindScheme(
 
 void EvalMemo::PutScheme(const Sig& sig,
                          std::shared_ptr<const bitmap::BitmapScheme> scheme) {
+  // Fault seam: drop the insert (the memo is a pure cache, so losing
+  // entries must never change any response — the property the fault-sweep
+  // test locks in byte-for-byte).
+  if (common::failpoint::Fire(common::failpoint::kMemoPut)) return;
   std::lock_guard<std::mutex> lock(mu_);
   // First insert wins: concurrent computations of the same variant are
   // identical, keep the resident one so earlier readers stay shared.
@@ -117,6 +122,9 @@ std::optional<T> EvalMemo::FindSlot(Slot<T> CandidateEntry::* slot,
 template <typename T>
 void EvalMemo::PutSlot(Slot<T> CandidateEntry::* slot, const Key& candidate,
                        const Sig& sig, T value) {
+  // Fault seam: drop the insert before it touches the LRU, so an injected
+  // fault sheds caching without ever creating a half-written entry.
+  if (common::failpoint::Fire(common::failpoint::kMemoPut)) return;
   std::lock_guard<std::mutex> lock(mu_);
   Slot<T>& s = TouchEntry(candidate).*slot;
   s.valid = true;

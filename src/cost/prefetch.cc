@@ -77,7 +77,8 @@ PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
                                 const workload::QueryMix& mix,
                                 const CostParameters& base_params,
                                 const PrefetchOptions& options,
-                                common::ThreadPool* pool) {
+                                common::ThreadPool* pool,
+                                const common::CancelToken& cancel) {
   // Independent caps: fact granules never span past the largest fact
   // fragment; bitmap granules never span past the largest fragment's
   // stored bitmaps (orders of magnitude smaller — capping both by the
@@ -108,9 +109,12 @@ PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
                           points[i].second, options.search_samples);
     };
     if (pool != nullptr) {
-      pool->ParallelFor(0, points.size(), eval_point);
+      pool->ParallelFor(0, points.size(), eval_point, cancel);
     } else {
-      for (size_t i = 0; i < points.size(); ++i) eval_point(i);
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (cancel.stop_requested()) break;
+        eval_point(i);
+      }
     }
     return slots;
   };
@@ -123,6 +127,10 @@ PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
   for (uint64_t gf : fact_grid) points.emplace_back(gf, gb0);
   const std::vector<Score> phase1 = evaluate_batch(points);
   out.evaluations += points.size();
+  // Stopped mid-grid: the slots past the fired token are unevaluated, so
+  // any reduction over them would be garbage. Return immediately; the
+  // caller's token check discards the choice.
+  if (cancel.stop_requested()) return out;
 
   uint64_t best_gf = fact_grid.front();
   Score best{1e300, 1e300};
@@ -144,6 +152,7 @@ PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
   }
   const std::vector<Score> phase2 = evaluate_batch(points);
   out.evaluations += points.size();
+  if (cancel.stop_requested()) return out;
 
   uint64_t best_gb = gb0;
   best = {1e300, 1e300};

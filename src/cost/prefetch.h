@@ -6,6 +6,7 @@
 
 #include "alloc/disk_allocation.h"
 #include "bitmap/scheme.h"
+#include "common/cancellation.h"
 #include "cost/mix_cost.h"
 #include "fragment/fragment_sizes.h"
 #include "fragment/fragmentation.h"
@@ -66,6 +67,13 @@ uint64_t LargestBitmapPages(const fragment::FragmentSizes& sizes,
 /// stream, and the winner is reduced in grid order, so the chosen pair is
 /// bit-identical at every worker count (nullptr = serial). Safe to call
 /// from inside a pool task (the pool's `ParallelFor` work-assists).
+///
+/// `cancel` stops the search cooperatively: once the token fires, no
+/// further grid points are costed and the function returns promptly. The
+/// returned choice is then built from an incomplete grid and MUST be
+/// discarded — the caller checks the token after the call (the advisor
+/// does, and surfaces kCancelled/kDeadlineExceeded instead). A token that
+/// never fires leaves the search bit-identical to an unbounded one.
 PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
                                 size_t fact_index,
                                 const fragment::Fragmentation& fragmentation,
@@ -75,7 +83,8 @@ PrefetchChoice OptimizePrefetch(const schema::StarSchema& schema,
                                 const workload::QueryMix& mix,
                                 const CostParameters& base_params,
                                 const PrefetchOptions& options = {},
-                                common::ThreadPool* pool = nullptr);
+                                common::ThreadPool* pool = nullptr,
+                                const common::CancelToken& cancel = {});
 
 }  // namespace warlock::cost
 

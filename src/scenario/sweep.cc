@@ -15,13 +15,35 @@ namespace warlock::scenario {
 
 namespace {
 
-// Runs one scenario end to end — a single-use `warlock::Session` (a sweep
-// is N sessions) — and fills its outcome slot. Never throws: generation or
-// advisor failures land in `out->error`.
-void RunScenario(const ScenarioSpec& spec, uint32_t index,
-                 uint32_t advisor_threads, ScenarioOutcome* out) {
+// What stopped us: cancellation wins over the deadline, matching
+// CancelToken::CheckStop.
+std::string StopMessage(const common::CancelToken& cancel) {
+  return cancel.cancel_requested() ? "cancelled" : "deadline exceeded";
+}
+
+// Marks an outcome slot the sweep's token stopped (shape fields keep their
+// defaults — the scenario was never generated, or its results discarded).
+void MarkCancelled(const ScenarioSpec& spec, uint32_t index,
+                   const common::CancelToken& cancel, ScenarioOutcome* out) {
   out->index = index;
   out->seed = ScenarioSeed(spec.seed, index);
+  out->cancelled = true;
+  out->error = StopMessage(cancel);
+}
+
+// Runs one scenario end to end — a single-use `warlock::Session` (a sweep
+// is N sessions) — and fills its outcome slot. Never throws: generation or
+// advisor failures land in `out->error`, sweep-level stops mark the slot
+// cancelled.
+void RunScenario(const ScenarioSpec& spec, uint32_t index,
+                 uint32_t advisor_threads, const common::CancelToken& cancel,
+                 ScenarioOutcome* out) {
+  out->index = index;
+  out->seed = ScenarioSeed(spec.seed, index);
+  if (cancel.stop_requested()) {
+    MarkCancelled(spec, index, cancel, out);
+    return;
+  }
 
   SessionOptions options;
   options.threads = advisor_threads;
@@ -38,8 +60,16 @@ void RunScenario(const ScenarioSpec& spec, uint32_t index,
   out->disks = session.config().cost.disks.num_disks;
   out->skewed = session.schema().HasSkew();
 
-  auto response_or = session.Advise();
+  // The sweep's token reaches into the advisor run, so a stop mid-scenario
+  // surfaces within one candidate-evaluation's latency.
+  AdviseRequest request;
+  request.cancel_token = cancel;
+  auto response_or = session.Advise(request);
   if (!response_or.ok()) {
+    if (common::IsStopStatus(response_or.status())) {
+      MarkCancelled(spec, index, cancel, out);
+      return;
+    }
     out->error = response_or.status().message();
     return;
   }
@@ -76,11 +106,31 @@ Result<SweepResult> RunSweep(const ScenarioSpec& spec,
   // pool only trades wall-clock for cores. Each scenario's session owns an
   // inner pool of `advisor_threads` workers; its nested ParallelFor
   // work-assists, so the two axes compose without deadlock.
+  const common::CancelToken cancel =
+      options.cancel_token.WithDeadline(options.deadline);
+  // `done[i]` marks slots whose RunScenario call actually ran; slots a
+  // fired token kept from ever being claimed are filled in below, so every
+  // row of a stopped sweep is either a complete result or an explicit
+  // cancellation — never a default-initialized ghost.
+  std::vector<unsigned char> done(spec.scenarios, 0);
   common::ThreadPool pool(options.threads);
-  pool.ParallelFor(0, spec.scenarios, [&](size_t i) {
-    RunScenario(spec, static_cast<uint32_t>(i), options.advisor_threads,
-                &result.outcomes[i]);
-  });
+  try {
+    pool.ParallelFor(
+        0, spec.scenarios,
+        [&](size_t i) {
+          RunScenario(spec, static_cast<uint32_t>(i), options.advisor_threads,
+                      cancel, &result.outcomes[i]);
+          done[i] = 1;
+        },
+        cancel);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("sweep task failed: ") + e.what());
+  }
+  if (cancel.stop_requested()) {
+    for (uint32_t i = 0; i < spec.scenarios; ++i) {
+      if (!done[i]) MarkCancelled(spec, i, cancel, &result.outcomes[i]);
+    }
+  }
   return result;
 }
 
@@ -99,7 +149,7 @@ CsvWriter SweepToCsv(const SweepResult& result) {
         .Add(static_cast<uint64_t>(o.query_classes))
         .Add(static_cast<uint64_t>(o.disks))
         .Add(std::string(o.skewed ? "yes" : "no"))
-        .Add(std::string(o.ok ? "ok" : "error"))
+        .Add(std::string(o.ok ? "ok" : (o.cancelled ? "cancelled" : "error")))
         .Add(o.enumerated)
         .Add(o.excluded)
         .Add(o.screened)
@@ -131,6 +181,7 @@ std::string SweepToJson(const SweepResult& result) {
        << ", \"disks\": " << o.disks
        << ", \"skewed\": " << (o.skewed ? "true" : "false")
        << ", \"ok\": " << (o.ok ? "true" : "false")
+       << ", \"cancelled\": " << (o.cancelled ? "true" : "false")
        << ", \"enumerated\": " << o.enumerated
        << ", \"excluded\": " << o.excluded
        << ", \"screened\": " << o.screened

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/csv.h"
 #include "common/result.h"
 #include "scenario/generator.h"
@@ -23,6 +24,18 @@ struct SweepOptions {
   /// and large. Results are bit-identical for every combination of the two
   /// knobs.
   uint32_t advisor_threads = 1;
+
+  /// Wall-clock bound on the whole sweep (default: unbounded). Unlike the
+  /// all-or-nothing advisor, the sweep degrades gracefully: scenarios that
+  /// finished before the deadline keep their full outcome rows, the rest
+  /// are marked cancelled. A sweep that beats its deadline is
+  /// byte-identical to an unbounded one.
+  common::Deadline deadline{};
+
+  /// Cooperative cancellation handle (default: never fires), composed with
+  /// `deadline` into one effective token. Same graceful-degradation
+  /// contract.
+  common::CancelToken cancel_token{};
 };
 
 /// Per-scenario result row of a sweep: the scenario's shape, the advisor's
@@ -40,7 +53,11 @@ struct ScenarioOutcome {
 
   // Run verdict. `error` is set when generation or the advisor failed; the
   // sweep keeps going (one degenerate scenario must not sink the batch).
+  // `cancelled` distinguishes "the sweep's deadline/cancellation stopped
+  // this scenario" (re-run with more time) from a real per-scenario failure
+  // (fix the scenario); `error` then says which of the two stops fired.
   bool ok = false;
+  bool cancelled = false;
   std::string error;
 
   // Advisor counters (fully_evaluated + excluded + screened == enumerated).
@@ -73,6 +90,13 @@ struct SweepResult {
 /// pre-sized outcome slot and each scenario derives all randomness from
 /// (spec.seed, index), so the result — and the CSV/JSON renderings below —
 /// is bit-identical at every worker count.
+///
+/// Deadline/cancellation (see `SweepOptions`) stop the sweep between
+/// scenarios and inside each scenario's advisor run. The call still
+/// returns OK: completed scenarios keep their rows exactly as an unbounded
+/// run would have produced them, stopped ones are marked
+/// `cancelled` — the batch-level graceful degradation the all-or-nothing
+/// advisor deliberately does not provide.
 Result<SweepResult> RunSweep(const ScenarioSpec& spec,
                              const SweepOptions& options = {});
 

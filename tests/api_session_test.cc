@@ -7,6 +7,7 @@
 // Fixtures live in tests/testdata/ (the CTest working directory is tests/).
 #include "warlock/session.h"
 
+#include <chrono>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -57,6 +58,14 @@ std::string AllArtifacts(const core::AdvisorResult& result,
   return out;
 }
 
+WhatIfRequest Req(const fragment::Fragmentation& frag,
+                  const core::Advisor::Overrides& overrides = {}) {
+  WhatIfRequest request;
+  request.fragmentation = frag;
+  request.overrides = overrides;
+  return request;
+}
+
 // --------------------------------------------------------------------------
 // Parity with the legacy path (acceptance criterion: golden ranking
 // bit-identical through the facade, at 1/2/4/8 threads).
@@ -98,7 +107,7 @@ TEST(SessionParityTest, WhatIfMatchesLegacyFullyEvaluate) {
   auto legacy = session.advisor().FullyEvaluate(*frag, overrides);
   ASSERT_TRUE(legacy.ok());
 
-  auto whatif = session.WhatIf({*frag, overrides});
+  auto whatif = session.WhatIf(Req(*frag, overrides));
   ASSERT_TRUE(whatif.ok()) << whatif.status().ToString();
   EXPECT_EQ(whatif->candidate.cost.io_work_ms, legacy->cost.io_work_ms);
   EXPECT_EQ(whatif->candidate.cost.response_ms, legacy->cost.response_ms);
@@ -123,7 +132,7 @@ TEST(SessionReuseTest, WarmWhatIfSkipsSchemeSelectionAndSizeRecompute) {
   EXPECT_EQ(cold.whatif_calls, 0u);
   EXPECT_EQ(cold.fragment_sizes_computed, 0u);
 
-  auto first = session.WhatIf({*frag, {}});
+  auto first = session.WhatIf(Req(*frag));
   ASSERT_TRUE(first.ok());
   const SessionStats after_first = session.stats();
   EXPECT_EQ(after_first.whatif_calls, 1u);
@@ -131,7 +140,7 @@ TEST(SessionReuseTest, WarmWhatIfSkipsSchemeSelectionAndSizeRecompute) {
       << "first contact computes the fragmentation's sizes";
   EXPECT_EQ(after_first.fragment_sizes_reused, 0u);
 
-  auto second = session.WhatIf({*frag, {}});
+  auto second = session.WhatIf(Req(*frag));
   ASSERT_TRUE(second.ok());
   const SessionStats warm = session.stats();
   EXPECT_EQ(warm.fragment_sizes_computed, 1u)
@@ -146,7 +155,7 @@ TEST(SessionReuseTest, WarmWhatIfSkipsSchemeSelectionAndSizeRecompute) {
   // re-runs it.
   core::Advisor::Overrides exclude;
   exclude.excluded_bitmaps = {bitmap::BitmapRef{0, 0}};
-  ASSERT_TRUE(session.WhatIf({*frag, exclude}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag, exclude)).ok());
   EXPECT_EQ(bitmap::BitmapScheme::SelectionCount(), selections_after_init)
       << "warm WhatIf re-ran bitmap scheme selection";
 
@@ -170,7 +179,7 @@ TEST(SessionReuseTest, WhatIfAfterAdviseIsWarm) {
   // The winner was fully costed during Advise with default overrides, so a
   // default-override what-if on it is a pure result-stage memo hit: nothing
   // is recomputed, not even a size lookup.
-  auto whatif = session.WhatIf({advice->best()->fragmentation, {}});
+  auto whatif = session.WhatIf(Req(advice->best()->fragmentation));
   ASSERT_TRUE(whatif.ok());
   const SessionStats warm = session.stats();
   EXPECT_EQ(warm.fragment_sizes_computed,
@@ -229,7 +238,7 @@ TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
   ASSERT_TRUE(frag.ok());
 
   // Cold call: every per-candidate stage misses once.
-  ASSERT_TRUE(session.WhatIf({*frag, {}}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag)).ok());
   const SessionStats s1 = session.stats();
   EXPECT_EQ(s1.memo.result.misses, 1u);
   EXPECT_EQ(s1.memo.allocation.misses, 1u);
@@ -241,7 +250,7 @@ TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
   EXPECT_EQ(s1.fragment_sizes_computed, 1u);
 
   // Unchanged repeat: one result-stage hit, earlier stages untouched.
-  ASSERT_TRUE(session.WhatIf({*frag, {}}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag)).ok());
   const SessionStats s2 = session.stats();
   EXPECT_EQ(s2.memo.result.hits, 1u);
   EXPECT_EQ(s2.memo.allocation.hits, s1.memo.allocation.hits);
@@ -253,7 +262,7 @@ TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
   // the prefetch search is bypassed (untouched), the result is re-costed.
   core::Advisor::Overrides granule;
   granule.fact_granule = 16;
-  ASSERT_TRUE(session.WhatIf({*frag, granule}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag, granule)).ok());
   const SessionStats s3 = session.stats();
   EXPECT_EQ(s3.memo.result.invalidations, s2.memo.result.invalidations + 1);
   EXPECT_EQ(s3.memo.allocation.hits, s2.memo.allocation.hits + 1);
@@ -266,7 +275,7 @@ TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
   // num_disks feeds allocation, prefetch, and cost: all three invalidate.
   core::Advisor::Overrides disks;
   disks.num_disks = 8;
-  ASSERT_TRUE(session.WhatIf({*frag, disks}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag, disks)).ok());
   const SessionStats s4 = session.stats();
   EXPECT_EQ(s4.memo.result.invalidations, s3.memo.result.invalidations + 1);
   EXPECT_EQ(s4.memo.allocation.invalidations,
@@ -277,7 +286,7 @@ TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
   // allocation_scheme likewise (the prefetch search runs on the placement).
   core::Advisor::Overrides scheme;
   scheme.allocation_scheme = alloc::AllocationScheme::kGreedy;
-  ASSERT_TRUE(session.WhatIf({*frag, scheme}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag, scheme)).ok());
   const SessionStats s5 = session.stats();
   EXPECT_EQ(s5.memo.result.invalidations, s4.memo.result.invalidations + 1);
   EXPECT_EQ(s5.memo.allocation.invalidations,
@@ -289,7 +298,7 @@ TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
   // invalidates the downstream stages.
   core::Advisor::Overrides exclude;
   exclude.excluded_bitmaps = {bitmap::BitmapRef{0, 0}};
-  ASSERT_TRUE(session.WhatIf({*frag, exclude}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag, exclude)).ok());
   const SessionStats s6 = session.stats();
   EXPECT_EQ(s6.memo.scheme.misses, 1u);
   EXPECT_EQ(s6.memo.scheme.hits, 0u);
@@ -301,7 +310,7 @@ TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
 
   // Repeating the exclusion is a pure result hit (the earlier stages,
   // including the scheme variant lookup, are not even consulted).
-  ASSERT_TRUE(session.WhatIf({*frag, exclude}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag, exclude)).ok());
   const SessionStats s7 = session.stats();
   EXPECT_EQ(s7.memo.result.hits, s6.memo.result.hits + 1);
   EXPECT_EQ(s7.memo.scheme.misses, s6.memo.scheme.misses);
@@ -312,7 +321,7 @@ TEST(SessionMemoTest, OverrideKnobsInvalidateExactlyDependentStages) {
   auto frag_b = fragment::Fragmentation::FromNames({{"Product", "Family"}},
                                                    session.schema());
   ASSERT_TRUE(frag_b.ok());
-  ASSERT_TRUE(session.WhatIf({*frag_b, exclude}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag_b, exclude)).ok());
   const SessionStats s8 = session.stats();
   EXPECT_EQ(s8.memo.scheme.hits, s7.memo.scheme.hits + 1);
   EXPECT_EQ(s8.memo.allocation.misses, s7.memo.allocation.misses + 1);
@@ -348,7 +357,7 @@ TEST(SessionMemoTest, WarmWhatIfParityWithColdAtEveryThreadCount) {
       // First (miss/invalidate) and second (result hit) warm calls must
       // both match the cold evaluation bit-for-bit.
       for (int repeat = 0; repeat < 2; ++repeat) {
-        auto warm = session.WhatIf({*frag, knobs[k]});
+        auto warm = session.WhatIf(Req(*frag, knobs[k]));
         ASSERT_TRUE(warm.ok()) << warm.status().ToString();
         ExpectSameCandidate(
             warm->candidate, *cold,
@@ -360,7 +369,7 @@ TEST(SessionMemoTest, WarmWhatIfParityWithColdAtEveryThreadCount) {
     // reproduces the original cold result exactly.
     auto cold0 = session.advisor().FullyEvaluate(*frag, knobs[0]);
     ASSERT_TRUE(cold0.ok());
-    auto warm0 = session.WhatIf({*frag, knobs[0]});
+    auto warm0 = session.WhatIf(Req(*frag, knobs[0]));
     ASSERT_TRUE(warm0.ok());
     ExpectSameCandidate(warm0->candidate, *cold0,
                         "threads=" + std::to_string(threads) + " return");
@@ -388,7 +397,7 @@ TEST(SessionMemoTest, ConcurrentWhatIfCallsStayParityExact) {
   callers.reserve(kCallers);
   for (int i = 0; i < kCallers; ++i) {
     callers.emplace_back([&, i] {
-      WhatIfRequest request{*frag, {}};
+      WhatIfRequest request = Req(*frag);
       if (i % 2 == 1) request.overrides = disks;
       auto whatif = session.WhatIf(request);
       if (whatif.ok()) responses[i] = std::move(whatif).value();
@@ -425,8 +434,8 @@ TEST(SessionMemoTest, CapacityKnobsBoundResidencyAndSurfaceEvictions) {
   ASSERT_TRUE(cold_a.ok() && cold_b.ok());
 
   for (int round = 0; round < 3; ++round) {
-    auto a = session->WhatIf({*frag_a, {}});
-    auto b = session->WhatIf({*frag_b, {}});
+    auto a = session->WhatIf(Req(*frag_a));
+    auto b = session->WhatIf(Req(*frag_b));
     ASSERT_TRUE(a.ok() && b.ok());
     ExpectSameCandidate(a->candidate, *cold_a,
                         "round " + std::to_string(round));
@@ -484,7 +493,7 @@ TEST(SessionConcurrencyTest, ParallelWhatIfCallsAreSafe) {
   for (int i = 0; i < 8; ++i) {
     const fragment::Fragmentation& frag = (i % 2 == 0) ? *frag_a : *frag_b;
     callers.emplace_back([&session, &frag, &ok, i] {
-      auto whatif = session.WhatIf({frag, {}});
+      auto whatif = session.WhatIf(Req(frag));
       ok[i] = whatif.ok() ? 1 : 0;
     });
   }
@@ -516,11 +525,37 @@ TEST(SessionFactoryTest, FromTextAttributesParseErrors) {
   EXPECT_EQ(bad_config.status().message().rfind("config: ", 0), 0u);
 }
 
-TEST(SessionFactoryTest, FromFilesReportsMissingFile) {
+TEST(SessionFactoryTest, FromFilesReportsMissingFileAsNotFound) {
   auto session = Session::FromFiles("testdata/definitely_missing.schema",
                                     kWorkloadPath, kConfigPath);
   ASSERT_FALSE(session.ok());
+  // A bad path is kNotFound (fix the path), and the message names both the
+  // failing role and the path.
+  EXPECT_EQ(session.status().code(), Status::Code::kNotFound);
+  EXPECT_NE(session.status().message().find("schema file"), std::string::npos)
+      << session.status().ToString();
+  EXPECT_NE(session.status().message().find("definitely_missing.schema"),
+            std::string::npos)
+      << session.status().ToString();
+
+  // The role annotation tracks which input failed.
+  auto bad_config = Session::FromFiles(kSchemaPath, kWorkloadPath,
+                                       "testdata/definitely_missing.config");
+  ASSERT_FALSE(bad_config.ok());
+  EXPECT_EQ(bad_config.status().code(), Status::Code::kNotFound);
+  EXPECT_NE(bad_config.status().message().find("config file"),
+            std::string::npos)
+      << bad_config.status().ToString();
+}
+
+TEST(SessionFactoryTest, FromFilesReportsUnreadableFileAsIoError) {
+  // A path that exists but is not a readable regular file (a directory) is
+  // kIoError — present but broken, as opposed to kNotFound's bad path.
+  auto session = Session::FromFiles("testdata", kWorkloadPath, kConfigPath);
+  ASSERT_FALSE(session.ok());
   EXPECT_EQ(session.status().code(), Status::Code::kIoError);
+  EXPECT_NE(session.status().message().find("schema file"), std::string::npos)
+      << session.status().ToString();
 }
 
 TEST(SessionFactoryTest, FromScenarioMatchesGeneratorPlusAdvisor) {
@@ -568,12 +603,12 @@ TEST(SessionFactoryTest, SessionIsMovable) {
   auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}},
                                                  session.schema());
   ASSERT_TRUE(frag.ok());
-  ASSERT_TRUE(session.WhatIf({*frag, {}}).ok());
+  ASSERT_TRUE(session.WhatIf(Req(*frag)).ok());
 
   Session moved = std::move(session);
   // The moved-to session keeps the warm state (stable heap-backed state).
   EXPECT_EQ(moved.stats().whatif_calls, 1u);
-  auto whatif = moved.WhatIf({*frag, {}});
+  auto whatif = moved.WhatIf(Req(*frag));
   ASSERT_TRUE(whatif.ok());
   EXPECT_EQ(moved.stats().fragment_sizes_computed, 1u);
 }
@@ -600,6 +635,148 @@ TEST(SessionFactoryTest, PoolThreadsReportedInStats) {
   Session session = MakeTinySession(options);
   EXPECT_EQ(session.stats().pool_threads, 3u);
   EXPECT_EQ(session.config().threads, 3u);
+  // Healthy operation drops nothing.
+  EXPECT_EQ(session.stats().pool_dropped_exceptions, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Deadlines and cancellation through the facade.
+
+TEST(SessionCancelTest, FarDeadlineAdviseIsByteIdenticalAtEveryThreadCount) {
+  // Acceptance criterion: a run that finishes before its deadline is
+  // byte-identical to an unbounded run, at every thread count.
+  std::string expected;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SessionOptions options;
+    options.threads = threads;
+    Session session = MakeTinySession(options);
+    auto unbounded = session.Advise();
+    ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+    if (expected.empty()) {
+      expected = AllArtifacts(unbounded->result, session.schema());
+    }
+
+    AdviseRequest request;
+    request.deadline = common::Deadline::After(std::chrono::hours(24));
+    auto bounded = session.Advise(request);
+    ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+    EXPECT_EQ(AllArtifacts(bounded->result, session.schema()), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SessionCancelTest, PreCancelledAdviseReturnsCancelled) {
+  Session session = MakeTinySession();
+  common::CancelSource source;
+  source.RequestCancel();
+  AdviseRequest request;
+  request.cancel_token = source.token();
+  auto advice = session.Advise(request);
+  ASSERT_FALSE(advice.ok());
+  EXPECT_EQ(advice.status().code(), Status::Code::kCancelled);
+}
+
+TEST(SessionCancelTest, ExpiredDeadlineAdviseReturnsDeadlineExceeded) {
+  Session session = MakeTinySession();
+  AdviseRequest request;
+  request.deadline = common::Deadline::After(std::chrono::nanoseconds(0));
+  auto advice = session.Advise(request);
+  ASSERT_FALSE(advice.ok());
+  EXPECT_EQ(advice.status().code(), Status::Code::kDeadlineExceeded);
+}
+
+TEST(SessionCancelTest, WhatIfHonorsDeadlineAndCancellation) {
+  Session session = MakeTinySession();
+  auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}},
+                                                 session.schema());
+  ASSERT_TRUE(frag.ok());
+
+  common::CancelSource source;
+  source.RequestCancel();
+  WhatIfRequest cancelled = Req(*frag);
+  cancelled.cancel_token = source.token();
+  auto c = session.WhatIf(cancelled);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), Status::Code::kCancelled);
+
+  WhatIfRequest expired = Req(*frag);
+  expired.deadline = common::Deadline::After(std::chrono::nanoseconds(0));
+  auto e = session.WhatIf(expired);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Status::Code::kDeadlineExceeded);
+
+  // A generous deadline changes nothing.
+  auto plain = session.WhatIf(Req(*frag));
+  ASSERT_TRUE(plain.ok());
+  WhatIfRequest bounded = Req(*frag);
+  bounded.deadline = common::Deadline::After(std::chrono::hours(24));
+  auto b = session.WhatIf(bounded);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->candidate.cost.io_work_ms, plain->candidate.cost.io_work_ms);
+  EXPECT_EQ(b->candidate.cost.response_ms,
+            plain->candidate.cost.response_ms);
+  EXPECT_EQ(b->candidate.disk_bytes, plain->candidate.disk_bytes);
+}
+
+TEST(SessionCancelTest, SessionRemainsParityExactAfterCancelledCalls) {
+  Session fresh = MakeTinySession();
+  auto baseline = fresh.Advise();
+  ASSERT_TRUE(baseline.ok());
+  const std::string expected =
+      AllArtifacts(baseline->result, fresh.schema());
+
+  Session session = MakeTinySession();
+  common::CancelSource source;
+  source.RequestCancel();
+  AdviseRequest cancelled;
+  cancelled.cancel_token = source.token();
+  ASSERT_FALSE(session.Advise(cancelled).ok());
+
+  // A cancelled run cached nothing partial: the next unbounded run matches
+  // a never-cancelled session byte for byte.
+  auto after = session.Advise();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(AllArtifacts(after->result, session.schema()), expected);
+}
+
+// The race: cancellation arrives from another thread while Advise runs.
+// Whatever the timing, the outcome is binary — a clean kCancelled or a
+// complete, parity-exact result — and the session survives either way.
+TEST(SessionCancelTest, MidAdviseCancellationRaceIsCleanEitherWay) {
+  Session fresh = MakeTinySession();
+  auto baseline = fresh.Advise();
+  ASSERT_TRUE(baseline.ok());
+  const std::string expected =
+      AllArtifacts(baseline->result, fresh.schema());
+
+  for (uint32_t threads : {2u, 4u}) {
+    SessionOptions options;
+    options.threads = threads;
+    Session session = MakeTinySession(options);
+    for (int round = 0; round < 3; ++round) {
+      common::CancelSource source;
+      std::thread firer([&source, round] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+        source.RequestCancel();
+      });
+      AdviseRequest request;
+      request.cancel_token = source.token();
+      auto advice = session.Advise(request);
+      firer.join();
+      if (advice.ok()) {
+        EXPECT_EQ(AllArtifacts(advice->result, session.schema()), expected)
+            << "threads=" << threads << " round=" << round;
+      } else {
+        EXPECT_EQ(advice.status().code(), Status::Code::kCancelled)
+            << advice.status().ToString();
+      }
+    }
+    // However the races resolved, the session still answers exactly.
+    auto after = session.Advise();
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(AllArtifacts(after->result, session.schema()), expected)
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

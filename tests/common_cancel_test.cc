@@ -1,0 +1,249 @@
+#include "common/cancellation.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace warlock::common {
+namespace {
+
+using std::chrono::hours;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+TEST(DeadlineTest, DefaultIsUnbounded) {
+  Deadline d;
+  EXPECT_FALSE(d.bounded());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, AfterZeroOrNegativeBudgetIsExpired) {
+  EXPECT_TRUE(Deadline::After(nanoseconds(0)).expired());
+  EXPECT_TRUE(Deadline::After(milliseconds(-5)).expired());
+}
+
+TEST(DeadlineTest, FarDeadlineIsBoundedButNotExpired) {
+  Deadline d = Deadline::After(hours(24));
+  EXPECT_TRUE(d.bounded());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, EarlierPicksTheSoonerAndTreatsUnboundedAsIdentity) {
+  const Deadline unbounded;
+  const Deadline soon = Deadline::After(milliseconds(1));
+  const Deadline late = Deadline::After(hours(24));
+  EXPECT_EQ(Deadline::Earlier(unbounded, late).when(), late.when());
+  EXPECT_EQ(Deadline::Earlier(late, unbounded).when(), late.when());
+  EXPECT_EQ(Deadline::Earlier(soon, late).when(), soon.when());
+  EXPECT_EQ(Deadline::Earlier(late, soon).when(), soon.when());
+  EXPECT_FALSE(Deadline::Earlier(unbounded, unbounded).bounded());
+}
+
+TEST(CancelTokenTest, DefaultTokenNeverStops) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_TRUE(token.CheckStop().ok());
+}
+
+TEST(CancelTokenTest, SourceFiresItsTokens) {
+  CancelSource source;
+  CancelToken token = source.token();
+  EXPECT_FALSE(token.stop_requested());
+  source.RequestCancel();
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_TRUE(token.stop_requested());
+  // Idempotent.
+  source.RequestCancel();
+  EXPECT_TRUE(token.stop_requested());
+  // Copies observe the same flag, including copies taken before the fire.
+  CancelToken copy = token;
+  EXPECT_TRUE(copy.stop_requested());
+}
+
+TEST(CancelTokenTest, TokenOutlivesSource) {
+  CancelToken token;
+  {
+    CancelSource source;
+    token = source.token();
+    source.RequestCancel();
+  }
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+TEST(CancelTokenTest, CheckStopStatusCodes) {
+  CancelSource source;
+  source.RequestCancel();
+  const Status cancelled = source.token().CheckStop();
+  EXPECT_EQ(cancelled.code(), Status::Code::kCancelled);
+  EXPECT_TRUE(IsStopStatus(cancelled));
+
+  const Status expired =
+      CancelToken().WithDeadline(Deadline::After(nanoseconds(0))).CheckStop();
+  EXPECT_EQ(expired.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(IsStopStatus(expired));
+
+  EXPECT_FALSE(IsStopStatus(Status::OK()));
+  EXPECT_FALSE(IsStopStatus(Status::Internal("boom")));
+}
+
+// When both the flag and the deadline fired, explicit cancellation wins:
+// the caller acted, and the status should say their action took effect.
+TEST(CancelTokenTest, CancellationWinsOverExpiredDeadline) {
+  CancelSource source;
+  source.RequestCancel();
+  const CancelToken token =
+      source.token().WithDeadline(Deadline::After(nanoseconds(0)));
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_EQ(token.CheckStop().code(), Status::Code::kCancelled);
+}
+
+TEST(CancelTokenTest, WithDeadlineKeepsTheEarlierOfTwo) {
+  const Deadline soon = Deadline::After(milliseconds(1));
+  const CancelToken token =
+      CancelToken().WithDeadline(Deadline::After(hours(24))).WithDeadline(soon);
+  EXPECT_EQ(token.deadline().when(), soon.when());
+}
+
+TEST(CancelParallelForTest, PreCancelledTokenRunsZeroIterations) {
+  CancelSource source;
+  source.RequestCancel();
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> calls{0};
+    pool.ParallelFor(
+        0, 1000, [&calls](size_t) { calls.fetch_add(1); }, source.token());
+    EXPECT_EQ(calls.load(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(CancelParallelForTest, ExpiredDeadlineRunsZeroIterations) {
+  const CancelToken token =
+      CancelToken().WithDeadline(Deadline::After(nanoseconds(0)));
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 1000, [&calls](size_t) { calls.fetch_add(1); }, token);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+// A token that never fires must leave the iteration set — and therefore
+// every slot write — identical to the default unbounded token.
+TEST(CancelParallelForTest, NonFiringDeadlineIsByteIdenticalToUnbounded) {
+  auto f = [](size_t i) { return static_cast<double>(i * 31 + 7) * 0.25; };
+  constexpr size_t kN = 4096;
+  std::vector<double> serial(kN);
+  for (size_t i = 0; i < kN; ++i) serial[i] = f(i);
+
+  const CancelToken token =
+      CancelToken().WithDeadline(Deadline::After(hours(24)));
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<double> bounded(kN);
+    pool.ParallelFor(
+        0, kN, [&](size_t i) { bounded[i] = f(i); }, token);
+    EXPECT_EQ(bounded, serial) << "threads=" << threads;
+  }
+}
+
+// Cancelling from inside an iteration: cooperative stop means no NEW
+// indices are claimed once the flag is up, every claimed iteration still
+// finishes, and no index ever runs twice.
+TEST(CancelParallelForTest, CancelFromInsideStopsClaiming) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    CancelSource source;
+    constexpr size_t kN = 100000;
+    std::vector<std::atomic<int>> hits(kN);
+    std::atomic<int> executed{0};
+    pool.ParallelFor(
+        0, kN,
+        [&](size_t i) {
+          hits[i].fetch_add(1);
+          executed.fetch_add(1);
+          if (executed.load() >= 16) source.RequestCancel();
+        },
+        source.token());
+    EXPECT_GE(executed.load(), 16) << "threads=" << threads;
+    EXPECT_LT(executed.load(), static_cast<int>(kN)) << "threads=" << threads;
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_LE(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+// The race variant: the cancel arrives from a thread outside the pool while
+// the loop is running. The loop must return promptly (no hang on done_cv)
+// and the exactly-once property must hold for every iteration that ran.
+TEST(CancelParallelForTest, CancelFromSeparateThreadMidLoop) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    CancelSource source;
+    std::atomic<bool> started{false};
+    std::thread firer([&] {
+      while (!started.load()) std::this_thread::yield();
+      std::this_thread::sleep_for(milliseconds(1));
+      source.RequestCancel();
+    });
+    constexpr size_t kN = 1 << 20;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(
+        0, kN,
+        [&](size_t i) {
+          started.store(true);
+          hits[i].fetch_add(1);
+          std::this_thread::sleep_for(microseconds(10));
+        },
+        source.token());
+    firer.join();
+    EXPECT_TRUE(source.cancel_requested());
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_LE(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+// Expiring deadline mid-loop: same prompt-return contract without any
+// explicit cancel call.
+TEST(CancelParallelForTest, DeadlineExpiryStopsTheLoop) {
+  ThreadPool pool(4);
+  const CancelToken token =
+      CancelToken().WithDeadline(Deadline::After(milliseconds(2)));
+  constexpr size_t kN = 1 << 20;
+  std::atomic<int> executed{0};
+  pool.ParallelFor(
+      0, kN,
+      [&](size_t) {
+        executed.fetch_add(1);
+        std::this_thread::sleep_for(microseconds(20));
+      },
+      token);
+  EXPECT_GT(executed.load(), 0);
+  EXPECT_LT(executed.load(), static_cast<int>(kN));
+}
+
+// A cancelled loop leaves the pool fully usable for the next caller.
+TEST(CancelParallelForTest, PoolUsableAfterCancelledLoop) {
+  ThreadPool pool(4);
+  CancelSource source;
+  source.RequestCancel();
+  pool.ParallelFor(
+      0, 1000, [](size_t) {}, source.token());
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, 64, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 65);
+}
+
+}  // namespace
+}  // namespace warlock::common

@@ -36,6 +36,9 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
             Status::Code::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), Status::Code::kIoError);
+  EXPECT_EQ(Status::Cancelled("x").code(), Status::Code::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            Status::Code::kDeadlineExceeded);
 }
 
 TEST(StatusTest, CodeNames) {
@@ -43,6 +46,9 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(Status::Code::kNotFound), "NotFound");
   EXPECT_STREQ(StatusCodeName(Status::Code::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(StatusTest, Equality) {

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+
 namespace warlock::common {
 namespace {
 
@@ -230,6 +232,62 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     // No Wait(): the destructor must still run every queued task.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+// --------------------------------------------------------------------------
+// Dropped-exception accounting: every exception beyond the one a caller can
+// observe is counted, never silently lost.
+
+TEST(ThreadPoolTest, DroppedExceptionsStartAtZeroAndStayZeroWhenHealthy) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+  pool.ParallelFor(0, 100, [](size_t) {});
+  pool.Submit([] {});
+  pool.Wait();
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+}
+
+TEST(ThreadPoolTest, EverySubmitExceptionAfterTheFirstIsCounted) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([] { throw std::runtime_error("each"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // One surfaced via Wait, the other 31 were dropped — and counted.
+  EXPECT_EQ(pool.dropped_exceptions(), 31u);
+}
+
+TEST(ThreadPoolTest, SerialParallelForThrowDropsNothing) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 10,
+                       [](size_t i) {
+                         if (i == 3) throw std::runtime_error("inline");
+                       }),
+      std::runtime_error);
+  // The inline path rethrows directly: nothing to drop, nothing counted.
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+}
+
+// The dispatch failpoint makes task dispatch itself fail — the direct test
+// of the pool's last-resort containment (fault-sweep covers the ParallelFor
+// flows end to end).
+TEST(ThreadPoolTest, DispatchFailpointSurfacesThroughWaitAndPoolRecovers) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "fault-injection layer compiled out (NDEBUG build)";
+  }
+  failpoint::DisarmAll();
+  ThreadPool pool(2);
+  ASSERT_TRUE(failpoint::Arm(failpoint::kThreadPoolDispatch, 1).ok());
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 0);  // the injected fault consumed the task
+  failpoint::DisarmAll();
+  // The pool is fully usable afterwards.
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
 }
 
 }  // namespace

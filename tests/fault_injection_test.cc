@@ -1,0 +1,362 @@
+// The fault-sweep harness: walks every registered failpoint and proves the
+// stack degrades the way each seam's contract promises — error seams
+// surface one clean, annotated `Status` (never a crash, hang, or partial
+// artifact), degradation seams shed work without changing a single output
+// byte — and that a session that lived through a fault answers byte-
+// identically to a fresh one afterwards (no cache poisoning).
+//
+// The whole suite skips itself when the layer is compiled out (release).
+#include "common/failpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "report/renderer.h"
+#include "report/report.h"
+
+namespace warlock {
+namespace {
+
+namespace fp = common::failpoint;
+
+constexpr char kSchemaPath[] = "testdata/apb1_tiny.schema";
+constexpr char kWorkloadPath[] = "testdata/apb1_tiny.workload";
+constexpr char kConfigPath[] = "testdata/apb1_tiny.config";
+
+Session MakeTinySession(uint32_t threads) {
+  SessionOptions options;
+  options.threads = threads;
+  auto session =
+      Session::FromFiles(kSchemaPath, kWorkloadPath, kConfigPath, options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(session).value();
+}
+
+// Every artifact of one advisor result, concatenated — byte-equality over
+// this string is the parity criterion.
+std::string AllArtifacts(const core::AdvisorResult& result,
+                         const schema::StarSchema& schema) {
+  std::string out = report::RenderRanking(result, schema);
+  out += report::RankingToCsv(result, schema).ToString().value();
+  out += report::Renderer::Create(report::OutputFormat::kJson)
+             ->Ranking(result, schema)
+             .value();
+  return out;
+}
+
+// One what-if probe, serialized for byte-comparison.
+std::string WhatIfProbe(const Session& session) {
+  auto frag = fragment::Fragmentation::FromNames({{"Time", "Month"}},
+                                                 session.schema());
+  EXPECT_TRUE(frag.ok()) << frag.status().ToString();
+  WhatIfRequest request;
+  request.fragmentation = *frag;
+  auto response = session.WhatIf(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  const core::EvaluatedCandidate& c = response->candidate;
+  std::ostringstream os;
+  os.precision(17);
+  os << c.cost.io_work_ms << '|' << c.cost.response_ms << '|'
+     << c.fact_granule << '|' << c.bitmap_granule;
+  for (uint64_t b : c.disk_bytes) os << '|' << b;
+  return os.str();
+}
+
+// How each registered failpoint is allowed to manifest.
+enum class FaultKind {
+  kConstruction,  // Session::FromFiles fails cleanly; no session exists
+  kEvaluation,    // session works; the faulted evaluation errors cleanly
+  kDegradation,   // everything succeeds, byte-identical to fault-free
+};
+
+const std::map<std::string, FaultKind>& ExpectationTable() {
+  static const std::map<std::string, FaultKind> table = {
+      {fp::kReadFile, FaultKind::kConstruction},
+      {fp::kParseSchema, FaultKind::kConstruction},
+      {fp::kParseWorkload, FaultKind::kConstruction},
+      {fp::kParseConfig, FaultKind::kConstruction},
+      {fp::kValidateCapacity, FaultKind::kEvaluation},
+      {fp::kMemoPut, FaultKind::kDegradation},
+      {fp::kThreadPoolDispatch, FaultKind::kDegradation},
+  };
+  return table;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fp::Enabled()) {
+      GTEST_SKIP() << "fault-injection layer compiled out (NDEBUG build)";
+    }
+    fp::DisarmAll();
+  }
+  void TearDown() override {
+    if (fp::Enabled()) fp::DisarmAll();
+  }
+};
+
+// --------------------------------------------------------------------------
+// Registry mechanics.
+
+TEST_F(FaultInjectionTest, RegistryRejectsUnknownAndDegenerateArms) {
+  EXPECT_EQ(fp::Arm("no.such.failpoint").code(), Status::Code::kNotFound);
+  EXPECT_EQ(fp::Arm(fp::kMemoPut, 0).code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(fp::Arm(fp::kMemoPut, 1).ok());
+  fp::Disarm(fp::kMemoPut);
+  EXPECT_FALSE(fp::Fire(fp::kMemoPut));
+}
+
+TEST_F(FaultInjectionTest, CountedArmsFireExactlyNTimes) {
+  ASSERT_TRUE(fp::Arm(fp::kMemoPut, 2).ok());
+  EXPECT_TRUE(fp::Fire(fp::kMemoPut));
+  EXPECT_TRUE(fp::Fire(fp::kMemoPut));
+  EXPECT_FALSE(fp::Fire(fp::kMemoPut));
+  EXPECT_FALSE(fp::Fire(fp::kMemoPut));
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecParsesTheEnvSyntax) {
+  ASSERT_TRUE(fp::ArmFromSpec("memo.put=1;alloc.validate_capacity").ok());
+  EXPECT_TRUE(fp::Fire(fp::kMemoPut));
+  EXPECT_FALSE(fp::Fire(fp::kMemoPut));  // count exhausted
+  EXPECT_TRUE(fp::Fire(fp::kValidateCapacity));
+  EXPECT_TRUE(fp::Fire(fp::kValidateCapacity));  // bare name: unlimited
+  fp::DisarmAll();
+  EXPECT_FALSE(fp::Fire(fp::kValidateCapacity));
+
+  EXPECT_FALSE(fp::ArmFromSpec("not.registered").ok());
+}
+
+TEST_F(FaultInjectionTest, ExpectationTableCoversEveryRegisteredFailpoint) {
+  const std::vector<std::string>& all = fp::AllFailpoints();
+  EXPECT_EQ(all.size(), ExpectationTable().size());
+  for (const std::string& name : all) {
+    EXPECT_TRUE(ExpectationTable().count(name) == 1)
+        << "unclassified failpoint: " << name
+        << " — add it to the expectation table (and a seam contract)";
+  }
+}
+
+// --------------------------------------------------------------------------
+// Error seams, one by one.
+
+TEST_F(FaultInjectionTest, ReadFileFaultFailsConstructionWithAnnotatedError) {
+  ASSERT_TRUE(fp::Arm(fp::kReadFile).ok());
+  auto session = Session::FromFiles(kSchemaPath, kWorkloadPath, kConfigPath);
+  ASSERT_FALSE(session.ok());
+  EXPECT_NE(session.status().message().find("injected failure"),
+            std::string::npos)
+      << session.status().ToString();
+  EXPECT_NE(session.status().message().find("schema file"), std::string::npos)
+      << "the first read is the schema; the error must say so: "
+      << session.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, EachParseFaultNamesItsInput) {
+  const std::vector<std::pair<const char*, const char*>> cases = {
+      {fp::kParseSchema, "schema"},
+      {fp::kParseWorkload, "workload"},
+      {fp::kParseConfig, "config"},
+  };
+  for (const auto& [name, role] : cases) {
+    fp::DisarmAll();
+    ASSERT_TRUE(fp::Arm(name).ok());
+    auto session = Session::FromFiles(kSchemaPath, kWorkloadPath, kConfigPath);
+    ASSERT_FALSE(session.ok()) << name;
+    EXPECT_NE(session.status().message().find("injected failure"),
+              std::string::npos)
+        << name << ": " << session.status().ToString();
+    EXPECT_NE(session.status().message().find(role), std::string::npos)
+        << name << ": " << session.status().ToString();
+  }
+}
+
+TEST_F(FaultInjectionTest, CapacityFaultInWhatIfErrorsCleanlyAndRecovers) {
+  Session session = MakeTinySession(2);
+  const std::string expected = WhatIfProbe(session);  // warm, fault-free
+
+  ASSERT_TRUE(fp::Arm(fp::kValidateCapacity).ok());
+  auto frag = fragment::Fragmentation::FromNames({{"Product", "Family"}},
+                                                 session.schema());
+  ASSERT_TRUE(frag.ok());
+  WhatIfRequest request;
+  request.fragmentation = *frag;
+  auto faulted = session.WhatIf(request);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_NE(faulted.status().message().find("injected failure"),
+            std::string::npos)
+      << faulted.status().ToString();
+  fp::DisarmAll();
+
+  // The failed evaluation cached nothing and poisoned nothing: the same
+  // request now succeeds, and an unrelated warm probe is byte-identical.
+  auto recovered = session.WhatIf(request);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(WhatIfProbe(session), expected);
+}
+
+TEST_F(FaultInjectionTest, CapacityFaultInAdviseExcludesButSucceeds) {
+  Session fresh = MakeTinySession(2);
+  auto baseline = fresh.Advise();
+  ASSERT_TRUE(baseline.ok());
+  const std::string expected =
+      AllArtifacts(baseline->result, fresh.schema());
+
+  // Unlimited capacity faults: every phase-2 candidate fails validation and
+  // must land in the "excluded" bucket — Advise itself still succeeds, and
+  // the bucket invariant holds.
+  Session session = MakeTinySession(2);
+  ASSERT_TRUE(fp::Arm(fp::kValidateCapacity).ok());
+  auto faulted = session.Advise();
+  fp::DisarmAll();
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_TRUE(faulted->result.ranking.empty());
+  EXPECT_EQ(faulted->result.fully_evaluated, 0u);
+  EXPECT_EQ(faulted->result.fully_evaluated + faulted->result.excluded +
+                faulted->result.screened,
+            faulted->result.enumerated);
+
+  // Nothing from the faulted run was cached: the same session now produces
+  // the fault-free artifacts byte-for-byte.
+  auto recovered = session.Advise();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(AllArtifacts(recovered->result, session.schema()), expected);
+}
+
+// --------------------------------------------------------------------------
+// Degradation seams: shed work, change nothing.
+
+TEST_F(FaultInjectionTest, DegradationSeamsAreByteInvisible) {
+  // Fault-free reference, per thread count.
+  std::map<uint32_t, std::string> expected_advise;
+  std::map<uint32_t, std::string> expected_whatif;
+  for (uint32_t threads : {1u, 4u}) {
+    Session session = MakeTinySession(threads);
+    auto advice = session.Advise();
+    ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+    expected_advise[threads] = AllArtifacts(advice->result, session.schema());
+    expected_whatif[threads] = WhatIfProbe(session);
+  }
+
+  // A small LCG varies the arm counts deterministically (Nth firing only,
+  // a few firings, unlimited) so the sweep hits early, late, and permanent
+  // fault arrivals without depending on wall-clock or real randomness.
+  uint64_t lcg = 0x5DEECE66DULL;
+  auto next_count = [&lcg]() {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int pick = static_cast<int>((lcg >> 33) % 3);
+    return pick == 0 ? 1 : (pick == 1 ? 7 : -1);
+  };
+
+  for (const char* seam : {fp::kMemoPut, fp::kThreadPoolDispatch}) {
+    for (uint32_t threads : {1u, 4u}) {
+      for (int round = 0; round < 3; ++round) {
+        const int count = next_count();
+        fp::DisarmAll();
+        ASSERT_TRUE(fp::Arm(seam, count).ok());
+        Session session = MakeTinySession(threads);
+        auto advice = session.Advise();
+        ASSERT_TRUE(advice.ok())
+            << seam << " count=" << count << " threads=" << threads << ": "
+            << advice.status().ToString();
+        EXPECT_EQ(AllArtifacts(advice->result, session.schema()),
+                  expected_advise[threads])
+            << seam << " count=" << count << " threads=" << threads;
+        EXPECT_EQ(WhatIfProbe(session), expected_whatif[threads])
+            << seam << " count=" << count << " threads=" << threads;
+        fp::DisarmAll();
+        // Post-fault, same session: still byte-identical.
+        auto after = session.Advise();
+        ASSERT_TRUE(after.ok()) << after.status().ToString();
+        EXPECT_EQ(AllArtifacts(after->result, session.schema()),
+                  expected_advise[threads])
+            << seam << " count=" << count << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Lost pool helpers are not silent: the dispatch seam's dropped tasks show
+// up in the session's dropped-exception counter (the satellite contract
+// that error reporting may degrade but never lies by omission).
+TEST_F(FaultInjectionTest, DispatchFaultsSurfaceInDroppedExceptionCounter) {
+  ASSERT_TRUE(fp::Arm(fp::kThreadPoolDispatch).ok());
+  Session session = MakeTinySession(4);
+  auto advice = session.Advise();
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  fp::DisarmAll();
+  // With every dispatch failing, at least one ParallelFor helper was lost.
+  EXPECT_GT(session.stats().pool_dropped_exceptions, 0u);
+}
+
+// --------------------------------------------------------------------------
+// The sweep: every registered failpoint, walked through the full pipeline
+// at multiple thread counts. The assertion is the contract table; the
+// meta-assertion is that nothing crashes, hangs, or half-succeeds.
+
+TEST_F(FaultInjectionTest, FaultSweepEveryFailpointEveryThreadCount) {
+  std::map<uint32_t, std::string> expected_advise;
+  for (uint32_t threads : {1u, 4u}) {
+    Session session = MakeTinySession(threads);
+    auto advice = session.Advise();
+    ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+    expected_advise[threads] = AllArtifacts(advice->result, session.schema());
+  }
+
+  for (const std::string& name : fp::AllFailpoints()) {
+    const FaultKind kind = ExpectationTable().at(name);
+    for (uint32_t threads : {1u, 4u}) {
+      fp::DisarmAll();
+      ASSERT_TRUE(fp::Arm(name).ok()) << name;
+
+      SessionOptions options;
+      options.threads = threads;
+      auto session_or =
+          Session::FromFiles(kSchemaPath, kWorkloadPath, kConfigPath, options);
+      if (kind == FaultKind::kConstruction) {
+        EXPECT_FALSE(session_or.ok()) << name << " threads=" << threads;
+        EXPECT_NE(session_or.status().message().find("injected failure"),
+                  std::string::npos)
+            << name << ": " << session_or.status().ToString();
+        fp::DisarmAll();
+        continue;
+      }
+      ASSERT_TRUE(session_or.ok())
+          << name << " threads=" << threads << ": "
+          << session_or.status().ToString();
+      const Session& session = *session_or;
+
+      auto advice = session.Advise();
+      ASSERT_TRUE(advice.ok())
+          << name << " threads=" << threads << ": "
+          << advice.status().ToString();
+      EXPECT_EQ(advice->result.fully_evaluated + advice->result.excluded +
+                    advice->result.screened,
+                advice->result.enumerated)
+          << name << " threads=" << threads;
+      if (kind == FaultKind::kDegradation) {
+        EXPECT_EQ(AllArtifacts(advice->result, session.schema()),
+                  expected_advise[threads])
+            << name << " threads=" << threads;
+      }
+
+      // Recovery: disarm, and the surviving session must answer
+      // byte-identically to a never-faulted one.
+      fp::DisarmAll();
+      auto after = session.Advise();
+      ASSERT_TRUE(after.ok()) << name << ": " << after.status().ToString();
+      EXPECT_EQ(AllArtifacts(after->result, session.schema()),
+                expected_advise[threads])
+          << name << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace warlock

@@ -1,9 +1,13 @@
 #include "scenario/sweep.h"
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
 #include "scenario/scenario_text.h"
 
 namespace warlock::scenario {
@@ -139,6 +143,102 @@ top_k 2
     EXPECT_TRUE(o.ok) << o.error;
     EXPECT_EQ(o.disks, 4u);
     EXPECT_EQ(o.dimensions, 2u);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Deadlines and cancellation: the sweep's graceful-degradation contract.
+
+TEST(SweepCancelTest, PreCancelledSweepMarksEveryScenarioCancelled) {
+  common::CancelSource source;
+  source.RequestCancel();
+  SweepOptions options;
+  options.threads = 4;
+  options.cancel_token = source.token();
+  auto result = RunSweep(TestSpec(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->outcomes.size(), 16u);
+  for (const ScenarioOutcome& o : result->outcomes) {
+    EXPECT_FALSE(o.ok) << "scenario " << o.index;
+    EXPECT_TRUE(o.cancelled) << "scenario " << o.index;
+    EXPECT_EQ(o.error, "cancelled") << "scenario " << o.index;
+    EXPECT_EQ(o.seed, ScenarioSeed(99, o.index)) << "scenario " << o.index;
+  }
+  // The renderings carry the verdict.
+  EXPECT_NE(SweepToCsv(*result).ToString().value().find(",cancelled,"),
+            std::string::npos);
+  EXPECT_NE(SweepToJson(*result).find("\"cancelled\": true"),
+            std::string::npos);
+}
+
+TEST(SweepCancelTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  SweepOptions options;
+  options.threads = 2;
+  options.deadline = common::Deadline::After(std::chrono::nanoseconds(0));
+  auto result = RunSweep(TestSpec(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const ScenarioOutcome& o : result->outcomes) {
+    EXPECT_TRUE(o.cancelled) << "scenario " << o.index;
+    EXPECT_EQ(o.error, "deadline exceeded") << "scenario " << o.index;
+  }
+}
+
+// Acceptance criterion: a sweep under a deadline that never fires is
+// byte-identical to an unbounded one, at every worker count.
+TEST(SweepCancelTest, NonFiringDeadlineIsByteIdenticalAtEveryWorkerCount) {
+  const ScenarioSpec spec = TestSpec();
+  auto unbounded = RunSweep(spec, {.threads = 1});
+  ASSERT_TRUE(unbounded.ok());
+  const std::string csv = SweepToCsv(*unbounded).ToString().value();
+  const std::string json = SweepToJson(*unbounded);
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SweepOptions options;
+    options.threads = threads;
+    options.deadline = common::Deadline::After(std::chrono::hours(24));
+    auto bounded = RunSweep(spec, options);
+    ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+    EXPECT_EQ(SweepToCsv(*bounded).ToString().value(), csv)
+        << "threads=" << threads;
+    EXPECT_EQ(SweepToJson(*bounded), json) << "threads=" << threads;
+  }
+}
+
+// The race: cancellation fires from another thread mid-sweep. Every outcome
+// row must be either a complete result or an explicit cancellation — no
+// ghosts, no hang — and completed rows must match the unbounded sweep's
+// rows exactly (per-scenario determinism is independent of the stop).
+TEST(SweepCancelTest, MidSweepCancelLeavesOnlyCompleteOrCancelledRows) {
+  const ScenarioSpec spec = TestSpec();
+  auto unbounded = RunSweep(spec, {.threads = 1});
+  ASSERT_TRUE(unbounded.ok());
+
+  for (uint32_t threads : {1u, 4u}) {
+    common::CancelSource source;
+    std::thread firer([&source] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      source.RequestCancel();
+    });
+    SweepOptions options;
+    options.threads = threads;
+    options.cancel_token = source.token();
+    auto result = RunSweep(spec, options);
+    firer.join();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->outcomes.size(), 16u);
+    for (const ScenarioOutcome& o : result->outcomes) {
+      if (o.cancelled) {
+        EXPECT_FALSE(o.ok) << "scenario " << o.index;
+        continue;
+      }
+      // A non-cancelled row must be exactly what the unbounded sweep
+      // produced for this index.
+      const ScenarioOutcome& ref = unbounded->outcomes[o.index];
+      EXPECT_EQ(o.ok, ref.ok) << "scenario " << o.index;
+      EXPECT_EQ(o.error, ref.error) << "scenario " << o.index;
+      EXPECT_EQ(o.winner, ref.winner) << "scenario " << o.index;
+      EXPECT_EQ(o.io_work_ms, ref.io_work_ms) << "scenario " << o.index;
+      EXPECT_EQ(o.response_ms, ref.response_ms) << "scenario " << o.index;
+    }
   }
 }
 
