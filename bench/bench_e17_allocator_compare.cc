@@ -1,0 +1,98 @@
+// E17 — Allocation-backend head-to-head: the paper's "warlock" heuristic
+// (ChooseScheme + round-robin/greedy) vs the co-access graph-partitioning
+// placer ("graph", after Golab et al.), on the APB-1 fixture both uniform
+// and under heavy product skew.
+//
+// Each series is one full candidate evaluation (allocation + prefetch +
+// cost model) through `Advisor::FullyEvaluate` with the backend forced via
+// `Overrides::allocator` and no memo, so every iteration pays the real
+// placement cost — the graph backend's coarsening + affinity matrix +
+// greedy partition against the warlock backend's single sort/heap pass.
+// The per-series counters record what the cost model thought of the
+// resulting placement (response time, balance ratio), which is the number
+// the sweep's `allocator_winner` column is derived from.
+//
+// Run via scripts/bench.sh to get the JSON the CI regression gate compares
+// against bench/BENCH_advisor_baseline.json.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "core/advisor.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+warlock::Result<warlock::fragment::Fragmentation> BenchFragmentation(
+    const warlock::schema::StarSchema& schema) {
+  return warlock::fragment::Fragmentation::FromNames(
+      {{"Time", "Month"}, {"Product", "Family"}}, schema);
+}
+
+void PrintExperiment() {
+  Banner("E17", "allocation backends: warlock heuristic vs graph partition");
+  std::printf(
+      "one FullyEvaluate per iteration, backend forced via overrides, no\n"
+      "memo: the placement cost is paid every time. uniform and skewed\n"
+      "(product_theta=1.0) APB-1; counters carry the cost model's verdict.\n");
+}
+
+void RunBackend(benchmark::State& state, const char* backend, double theta) {
+  Apb1Bench b = Apb1Bench::Make(0.002, theta);
+  b.config.cost.samples_per_class = 2;
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  auto frag = BenchFragmentation(b.schema);
+  if (!frag.ok()) {
+    state.SkipWithError(frag.status().ToString().c_str());
+    return;
+  }
+  warlock::core::Advisor::Overrides overrides;
+  overrides.allocator = backend;
+  double response_ms = 0.0;
+  double balance = 0.0;
+  for (auto _ : state) {
+    auto ec = advisor.FullyEvaluate(*frag, overrides);
+    benchmark::DoNotOptimize(ec);
+    if (!ec.ok()) {
+      state.SkipWithError(ec.status().ToString().c_str());
+      return;
+    }
+    response_ms = ec->cost.response_ms;
+    balance = ec->allocation_balance;
+  }
+  state.counters["model_response_ms"] = response_ms;
+  state.counters["balance_ratio"] = balance;
+}
+
+void BM_AllocatorWarlockUniform(benchmark::State& state) {
+  RunBackend(state, "warlock", 0.0);
+}
+BENCHMARK(BM_AllocatorWarlockUniform)->Unit(benchmark::kMillisecond);
+
+void BM_AllocatorGraphUniform(benchmark::State& state) {
+  RunBackend(state, "graph", 0.0);
+}
+BENCHMARK(BM_AllocatorGraphUniform)->Unit(benchmark::kMillisecond);
+
+void BM_AllocatorWarlockSkewed(benchmark::State& state) {
+  RunBackend(state, "warlock", 1.0);
+}
+BENCHMARK(BM_AllocatorWarlockSkewed)->Unit(benchmark::kMillisecond);
+
+void BM_AllocatorGraphSkewed(benchmark::State& state) {
+  RunBackend(state, "graph", 1.0);
+}
+BENCHMARK(BM_AllocatorGraphSkewed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

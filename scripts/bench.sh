@@ -7,8 +7,10 @@
 # bench_e14_prefetch_search (nested prefetch-granule search),
 # bench_e15_scenario_sweep (scenario-level sweep fan-out) and
 # bench_e16_session_whatif (warm Session::WhatIf state reuse vs cold
-# per-call Advisor construction). Their JSON outputs are merged into one
-# artifact so the gate sees every series.
+# per-call Advisor construction) and bench_e17_allocator_compare (the
+# "warlock" heuristic vs the "graph" partitioning allocation backend).
+# Their JSON outputs are merged into one artifact so the gate sees every
+# series.
 #
 # Usage:
 #   scripts/bench.sh                       # build + run, writes BENCH_advisor.json
@@ -30,7 +32,8 @@ BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_advisor.json}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 DRIVERS=(bench_e13_parallel_advisor bench_e14_prefetch_search
-         bench_e15_scenario_sweep bench_e16_session_whatif)
+         bench_e15_scenario_sweep bench_e16_session_whatif
+         bench_e17_allocator_compare)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 for driver in "${DRIVERS[@]}"; do

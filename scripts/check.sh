@@ -30,3 +30,18 @@ fi
   --csv "$BUILD_DIR/sweep_smoke.csv" --json "$BUILD_DIR/sweep_smoke.json" \
   --quiet
 echo "warlock_sweep smoke OK"
+
+# The sweep's allocation-backend comparison must actually populate the
+# winner column: every data row carries "warlock" or "graph" (cancelled or
+# failed rows keep "-"; the smoke spec has none).
+python3 - "$BUILD_DIR/sweep_smoke.csv" <<'EOF'
+import csv, sys
+with open(sys.argv[1]) as f:
+    rows = list(csv.DictReader(f))
+assert rows, "sweep smoke CSV has no rows"
+for row in rows:
+    winner = row["allocator_winner"]
+    assert winner in ("warlock", "graph"), (
+        f"scenario {row['index']}: unexpected allocator_winner {winner!r}")
+print(f"allocator_winner column OK ({len(rows)} rows)")
+EOF

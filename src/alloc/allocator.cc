@@ -1,0 +1,196 @@
+#include "alloc/allocator.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace warlock::alloc {
+
+namespace {
+
+// Coarsening cap of the graph backend: fragments are grouped into at most
+// this many contiguous-logical-id nodes so the greedy partition stays
+// O(nodes^2) regardless of fragment count. Contiguous grouping preserves
+// locality — neighbors in logical order are exactly the fragments the
+// co-access windows correlate.
+constexpr uint64_t kMaxGraphNodes = 512;
+
+// Load headroom over the perfectly balanced per-disk share a node placement
+// may use before the balance constraint overrides the affinity choice.
+constexpr double kBalanceSlack = 1.15;
+
+}  // namespace
+
+std::string_view WarlockAllocator::name() const { return kWarlockAllocator; }
+
+AllocationScheme WarlockAllocator::ResolveScheme(
+    const AllocationContext& context) const {
+  if (context.forced_scheme.has_value()) return *context.forced_scheme;
+  return ChooseScheme(*context.sizes, context.skew_threshold);
+}
+
+Result<DiskAllocation> WarlockAllocator::Allocate(
+    const AllocationContext& context) const {
+  return alloc::Allocate(ResolveScheme(context), *context.sizes,
+                         *context.scheme, context.num_disks);
+}
+
+std::string_view GraphPartitionAllocator::name() const {
+  return kGraphAllocator;
+}
+
+const char* GraphPartitionAllocator::MethodLabel(
+    const AllocationContext& context) const {
+  (void)context;
+  return "graph";
+}
+
+Result<DiskAllocation> GraphPartitionAllocator::Allocate(
+    const AllocationContext& context) const {
+  const uint32_t num_disks = context.num_disks;
+  if (num_disks == 0) {
+    return Status::InvalidArgument("allocation needs at least one disk");
+  }
+  WARLOCK_RETURN_IF_ERROR(
+      common::failpoint::Check(common::failpoint::kAllocPartition));
+
+  const fragment::FragmentSizes& sizes = *context.sizes;
+  std::vector<uint64_t> fact_bytes, bitmap_bytes;
+  ComputePieceSizes(sizes, *context.scheme, &fact_bytes, &bitmap_bytes);
+  const uint64_t m = sizes.num_fragments();
+
+  // Coarsen: node j covers the contiguous fragment range
+  // [j * group, min(m, (j + 1) * group)); its co-access behavior is
+  // represented by the middle member's logical coordinates.
+  const uint64_t group = (m + kMaxGraphNodes - 1) / kMaxGraphNodes;
+  const uint64_t num_nodes = group == 0 ? 0 : (m + group - 1) / group;
+  std::vector<uint64_t> node_bytes(num_nodes, 0);
+  std::vector<std::vector<uint64_t>> node_coords(num_nodes);
+  const CoAccessModel* coaccess = context.coaccess;
+  uint64_t total_fact = 0;
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    const uint64_t begin = n * group;
+    const uint64_t end = std::min(m, begin + group);
+    for (uint64_t f = begin; f < end; ++f) node_bytes[n] += fact_bytes[f];
+    total_fact += node_bytes[n];
+    if (coaccess != nullptr) {
+      node_coords[n] =
+          coaccess->fragmentation().Coordinates(begin + (end - begin - 1) / 2);
+    }
+  }
+
+  // Node-pair affinities (symmetric; the diagonal is unused).
+  std::vector<double> affinity(num_nodes * num_nodes, 0.0);
+  if (coaccess != nullptr) {
+    for (uint64_t a = 0; a < num_nodes; ++a) {
+      for (uint64_t b = a + 1; b < num_nodes; ++b) {
+        const double w = coaccess->AffinityAt(node_coords[a], node_coords[b]);
+        affinity[a * num_nodes + b] = w;
+        affinity[b * num_nodes + a] = w;
+      }
+    }
+  }
+
+  // Greedy partition, heaviest node first (stable by node id). Each node
+  // joins the eligible disk holding the most co-accessed bytes-so-far
+  // (maximizing kept edge weight == minimizing cut weight); balance is a
+  // hard cap with `kBalanceSlack` headroom so affinity cannot starve disks.
+  std::vector<uint64_t> order(num_nodes);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    return node_bytes[a] > node_bytes[b];
+  });
+  const uint64_t max_node =
+      num_nodes == 0 ? 0
+                     : *std::max_element(node_bytes.begin(), node_bytes.end());
+  const double target =
+      static_cast<double>(total_fact) / static_cast<double>(num_disks);
+  const double cap =
+      std::max(target * kBalanceSlack, target + static_cast<double>(max_node));
+
+  std::vector<uint64_t> load(num_disks, 0);
+  std::vector<std::vector<uint64_t>> placed(num_disks);
+  std::vector<uint32_t> node_disk(num_nodes, 0);
+  for (uint64_t n : order) {
+    uint32_t best_disk = UINT32_MAX;
+    double best_score = -1.0;
+    for (uint32_t d = 0; d < num_disks; ++d) {
+      const double new_load =
+          static_cast<double>(load[d] + node_bytes[n]);
+      if (new_load > cap) continue;
+      double score = 0.0;
+      for (uint64_t p : placed[d]) score += affinity[n * num_nodes + p];
+      if (score > best_score) {
+        best_score = score;
+        best_disk = d;
+      }
+    }
+    if (best_disk == UINT32_MAX) {
+      // No disk has headroom (degenerate sizes): fall back to least loaded,
+      // ties to the lower disk id.
+      best_disk = 0;
+      for (uint32_t d = 1; d < num_disks; ++d) {
+        if (load[d] < load[best_disk]) best_disk = d;
+      }
+    }
+    node_disk[n] = best_disk;
+    load[best_disk] += node_bytes[n];
+    placed[best_disk].push_back(n);
+  }
+
+  std::vector<uint32_t> fact_disk(m), bitmap_disk(m);
+  for (uint64_t f = 0; f < m; ++f) fact_disk[f] = node_disk[f / group];
+
+  // Bitmap bundles, heaviest first (stable by fragment id): least-loaded
+  // disk other than the fragment's fact disk (the anti-affinity rule), ties
+  // to the lower disk id.
+  std::vector<uint64_t> bundle_order(m);
+  std::iota(bundle_order.begin(), bundle_order.end(), 0);
+  std::stable_sort(bundle_order.begin(), bundle_order.end(),
+                   [&](uint64_t a, uint64_t b) {
+                     return bitmap_bytes[a] > bitmap_bytes[b];
+                   });
+  for (uint64_t f : bundle_order) {
+    uint32_t best_disk = UINT32_MAX;
+    for (uint32_t d = 0; d < num_disks; ++d) {
+      if (num_disks > 1 && d == fact_disk[f]) continue;
+      if (best_disk == UINT32_MAX || load[d] < load[best_disk]) best_disk = d;
+    }
+    bitmap_disk[f] = best_disk;
+    load[best_disk] += bitmap_bytes[f];
+  }
+
+  return DiskAllocation(num_disks, std::move(fact_disk),
+                        std::move(bitmap_disk), std::move(fact_bytes),
+                        std::move(bitmap_bytes));
+}
+
+Result<const Allocator*> GetAllocator(std::string_view name) {
+  static const WarlockAllocator warlock_backend;
+  static const GraphPartitionAllocator graph_backend;
+  static const std::map<std::string, const Allocator*, std::less<>>
+      registry = {
+          {kWarlockAllocator, &warlock_backend},
+          {kGraphAllocator, &graph_backend},
+      };
+  const auto it = registry.find(name);
+  if (it == registry.end()) {
+    std::string valid;
+    for (const auto& [key, unused] : registry) {
+      if (!valid.empty()) valid += ", ";
+      valid += key;
+    }
+    return Status::InvalidArgument("unknown allocator '" + std::string(name) +
+                                   "' (valid: " + valid + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> AllocatorNames() {
+  return {kGraphAllocator, kWarlockAllocator};
+}
+
+}  // namespace warlock::alloc

@@ -1,0 +1,114 @@
+#ifndef WARLOCK_ALLOC_ALLOCATOR_H_
+#define WARLOCK_ALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alloc/allocators.h"
+#include "alloc/coaccess.h"
+#include "alloc/disk_allocation.h"
+#include "bitmap/scheme.h"
+#include "common/result.h"
+#include "fragment/fragment_sizes.h"
+
+namespace warlock::alloc {
+
+/// Everything an allocation backend may consult when placing one
+/// fragmentation's pieces onto disks. Pointers are non-owning views into the
+/// caller's evaluation state; `sizes` and `scheme` are always set,
+/// `coaccess` may be null for callers without a workload (backends that need
+/// it fall back to pure balance placement).
+struct AllocationContext {
+  const fragment::FragmentSizes* sizes = nullptr;
+  const bitmap::BitmapScheme* scheme = nullptr;
+  uint32_t num_disks = 0;
+
+  /// The WARLOCK auto-policy's skew cutoff (`ToolConfig::skew_threshold`).
+  double skew_threshold = 1.25;
+
+  /// Forces the paper's round-robin/greedy choice instead of the backend's
+  /// own classification (the advisor's `allocation` policy and the what-if
+  /// `allocation_scheme` override). Backends that do not place by scheme
+  /// (e.g. "graph") ignore it.
+  std::optional<AllocationScheme> forced_scheme;
+
+  /// Per-fragment co-access weights derived from the query mix.
+  const CoAccessModel* coaccess = nullptr;
+};
+
+/// One allocation backend: a deterministic strategy mapping an
+/// `AllocationContext` to a `DiskAllocation`. Implementations are stateless
+/// and shared (the registry hands out singletons), so `Allocate` must be
+/// const and thread-safe, and bit-identical for identical contexts — the
+/// advisor evaluates candidates in parallel and the determinism contract
+/// extends to every backend.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Registry key ("warlock", "graph", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Places every fact fragment and bitmap bundle onto a disk.
+  virtual Result<DiskAllocation> Allocate(
+      const AllocationContext& context) const = 0;
+
+  /// The paper-scheme classification of the placement this backend would
+  /// produce for `context` — what `EvaluatedCandidate::allocation_scheme`
+  /// reports. Backends without a round-robin/greedy dichotomy keep the
+  /// default.
+  virtual AllocationScheme ResolveScheme(const AllocationContext& context) const {
+    (void)context;
+    return AllocationScheme::kRoundRobin;
+  }
+
+  /// Human-readable placement-method label for reports ("round-robin",
+  /// "greedy", "graph", ...).
+  virtual const char* MethodLabel(const AllocationContext& context) const {
+    (void)context;
+    return AllocationSchemeName(ResolveScheme(context));
+  }
+};
+
+/// The paper's heuristic backend: `ChooseScheme` (greedy above the skew
+/// threshold, round-robin otherwise — overridable via `forced_scheme`), then
+/// `RoundRobinAllocate`/`GreedyAllocate`. Byte-identical to calling those
+/// free functions directly.
+class WarlockAllocator final : public Allocator {
+ public:
+  std::string_view name() const override;
+  Result<DiskAllocation> Allocate(const AllocationContext& context) const override;
+  AllocationScheme ResolveScheme(const AllocationContext& context) const override;
+};
+
+/// Co-access-aware backend after Golab et al.: coarsens the fragments into
+/// contiguous-logical-id nodes, then greedily partitions the node co-access
+/// graph (edge weights from `AllocationContext::coaccess`) into `num_disks`
+/// balanced parts minimizing cut weight, with deterministic tie-breaking.
+/// Bitmap bundles keep the fact/bitmap anti-affinity rule: a fragment's
+/// bundle goes to the least-loaded disk other than its fact disk.
+class GraphPartitionAllocator final : public Allocator {
+ public:
+  std::string_view name() const override;
+  Result<DiskAllocation> Allocate(const AllocationContext& context) const override;
+  const char* MethodLabel(const AllocationContext& context) const override;
+};
+
+/// Registry keys of the built-in backends.
+inline constexpr char kWarlockAllocator[] = "warlock";
+inline constexpr char kGraphAllocator[] = "graph";
+
+/// Looks a backend up by registry key. The returned singleton is
+/// process-lifetime and shared. Fails with InvalidArgument (naming the valid
+/// keys) for an unknown name.
+Result<const Allocator*> GetAllocator(std::string_view name);
+
+/// Every registered backend name, sorted.
+std::vector<std::string> AllocatorNames();
+
+}  // namespace warlock::alloc
+
+#endif  // WARLOCK_ALLOC_ALLOCATOR_H_

@@ -7,15 +7,10 @@
 
 namespace warlock::alloc {
 
-namespace {
-
-// Computes per-fragment fact and bitmap byte sizes. Bitmap bundles are
-// rounded up to whole pages (they are stored page-aligned like any other
-// database object).
-void PieceSizes(const fragment::FragmentSizes& sizes,
-                const bitmap::BitmapScheme& scheme,
-                std::vector<uint64_t>* fact_bytes,
-                std::vector<uint64_t>* bitmap_bytes) {
+void ComputePieceSizes(const fragment::FragmentSizes& sizes,
+                       const bitmap::BitmapScheme& scheme,
+                       std::vector<uint64_t>* fact_bytes,
+                       std::vector<uint64_t>* bitmap_bytes) {
   const uint64_t m = sizes.num_fragments();
   const double page = static_cast<double>(sizes.page_size());
   fact_bytes->resize(m);
@@ -28,8 +23,6 @@ void PieceSizes(const fragment::FragmentSizes& sizes,
   }
 }
 
-}  // namespace
-
 Result<DiskAllocation> RoundRobinAllocate(const fragment::FragmentSizes& sizes,
                                           const bitmap::BitmapScheme& scheme,
                                           uint32_t num_disks,
@@ -39,7 +32,7 @@ Result<DiskAllocation> RoundRobinAllocate(const fragment::FragmentSizes& sizes,
   }
   if (bitmap_offset == UINT32_MAX) bitmap_offset = num_disks / 2;
   std::vector<uint64_t> fact_bytes, bitmap_bytes;
-  PieceSizes(sizes, scheme, &fact_bytes, &bitmap_bytes);
+  ComputePieceSizes(sizes, scheme, &fact_bytes, &bitmap_bytes);
   const uint64_t m = sizes.num_fragments();
   std::vector<uint32_t> fact_disk(m), bitmap_disk(m);
   for (uint64_t f = 0; f < m; ++f) {
@@ -58,7 +51,7 @@ Result<DiskAllocation> GreedyAllocate(const fragment::FragmentSizes& sizes,
     return Status::InvalidArgument("allocation needs at least one disk");
   }
   std::vector<uint64_t> fact_bytes, bitmap_bytes;
-  PieceSizes(sizes, scheme, &fact_bytes, &bitmap_bytes);
+  ComputePieceSizes(sizes, scheme, &fact_bytes, &bitmap_bytes);
   const uint64_t m = sizes.num_fragments();
 
   // Piece ids: [0, m) are fact fragments, [m, 2m) bitmap bundles.

@@ -2,6 +2,7 @@
 #define WARLOCK_ALLOC_ALLOCATORS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "alloc/disk_allocation.h"
 #include "bitmap/scheme.h"
@@ -50,6 +51,14 @@ AllocationScheme ChooseScheme(const fragment::FragmentSizes& sizes,
 
 /// Name for reports ("round-robin" / "greedy").
 const char* AllocationSchemeName(AllocationScheme scheme);
+
+/// Per-fragment fact and bitmap-bundle byte sizes — the pieces every
+/// allocation backend places. Bitmap bundles are rounded up to whole pages
+/// (they are stored page-aligned like any other database object).
+void ComputePieceSizes(const fragment::FragmentSizes& sizes,
+                       const bitmap::BitmapScheme& scheme,
+                       std::vector<uint64_t>* fact_bytes,
+                       std::vector<uint64_t>* bitmap_bytes);
 
 }  // namespace warlock::alloc
 

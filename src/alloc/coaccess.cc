@@ -1,0 +1,69 @@
+#include "alloc/coaccess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace warlock::alloc {
+
+CoAccessModel CoAccessModel::Build(
+    const fragment::Fragmentation& fragmentation,
+    const schema::StarSchema& schema, const workload::QueryMix& mix) {
+  CoAccessModel model;
+  model.fragmentation_ = fragmentation;
+  model.cards_.reserve(fragmentation.num_attrs());
+  for (uint64_t c : fragmentation.cardinalities()) {
+    model.cards_.push_back(static_cast<double>(c));
+  }
+
+  model.classes_.reserve(mix.size());
+  for (size_t q = 0; q < mix.size(); ++q) {
+    const workload::QueryClass& qc = mix.query_class(q);
+    ClassWindows cw;
+    cw.weight = mix.weight(q);
+    cw.widths.reserve(fragmentation.num_attrs());
+    for (const fragment::FragAttr& a : fragmentation.attrs()) {
+      const schema::Dimension& d = schema.dimension(a.dim);
+      const double card_f = static_cast<double>(d.cardinality(a.level));
+      const workload::Restriction* r = qc.RestrictionFor(a.dim);
+      if (r == nullptr) {
+        // Unrestricted dimension: the class scans every value — window
+        // spans the whole attribute.
+        cw.widths.push_back(card_f);
+        continue;
+      }
+      const double card_q = static_cast<double>(d.cardinality(r->level));
+      const double nv = static_cast<double>(r->num_values);
+      // Same width math as fragment::AnalyzeExpected's hits_d.
+      const double w = r->level <= a.level
+                           ? std::min(card_f, nv * card_f / card_q)
+                           : std::min(card_f,
+                                      (nv - 1.0) * card_f / card_q + 1.0);
+      cw.widths.push_back(w);
+    }
+    model.classes_.push_back(std::move(cw));
+  }
+  return model;
+}
+
+double CoAccessModel::Affinity(uint64_t f, uint64_t g) const {
+  return AffinityAt(fragmentation_.Coordinates(f),
+                    fragmentation_.Coordinates(g));
+}
+
+double CoAccessModel::AffinityAt(const std::vector<uint64_t>& coords_f,
+                                 const std::vector<uint64_t>& coords_g) const {
+  double affinity = 0.0;
+  for (const ClassWindows& cw : classes_) {
+    double joint = cw.weight;
+    for (size_t i = 0; i < cards_.size() && joint > 0.0; ++i) {
+      const double d = std::abs(static_cast<double>(coords_f[i]) -
+                                static_cast<double>(coords_g[i]));
+      joint *= std::max(0.0, cw.widths[i] - d) / cards_[i];
+    }
+    affinity += joint;
+  }
+  return affinity;
+}
+
+}  // namespace warlock::alloc

@@ -1,0 +1,64 @@
+#ifndef WARLOCK_ALLOC_COACCESS_H_
+#define WARLOCK_ALLOC_COACCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fragment/fragmentation.h"
+#include "schema/star_schema.h"
+#include "workload/query_mix.h"
+
+namespace warlock::alloc {
+
+/// Expected co-access weights between fragments of one fragmentation under a
+/// weighted query mix — the edge weights of the fragment co-access graph
+/// that graph-partitioning placement (Golab et al.) cuts.
+///
+/// The model mirrors `fragment::AnalyzeExpected`: each query class hits, per
+/// fragmentation attribute, an expected contiguous window of W_qi attribute
+/// values (the class's restriction projected to the fragmentation level).
+/// Two fragments at per-attribute coordinate distance d_i then land in the
+/// same window with probability max(0, W_qi - d_i) / C_i per attribute, and
+/// the affinity of a fragment pair is the mix-weighted sum of those joint
+/// probabilities — large when the mix frequently reads both fragments in one
+/// query, zero when no class can span them.
+class CoAccessModel {
+ public:
+  /// Derives the per-class windows from the mix. Weights are the mix's
+  /// normalized class weights, so affinities are comparable across
+  /// fragmentations of one workload.
+  static CoAccessModel Build(const fragment::Fragmentation& fragmentation,
+                             const schema::StarSchema& schema,
+                             const workload::QueryMix& mix);
+
+  /// Affinity of fragments `f` and `g` (symmetric; `Affinity(f, f)` is the
+  /// mix-weighted probability a query touches `f`'s neighborhood at all).
+  double Affinity(uint64_t f, uint64_t g) const;
+
+  /// Same, over pre-computed logical coordinates (avoids the per-call
+  /// `Fragmentation::Coordinates` materialization in tight loops).
+  double AffinityAt(const std::vector<uint64_t>& coords_f,
+                    const std::vector<uint64_t>& coords_g) const;
+
+  /// The fragmentation the model was built for.
+  const fragment::Fragmentation& fragmentation() const {
+    return fragmentation_;
+  }
+
+ private:
+  struct ClassWindows {
+    double weight = 0.0;
+    // Expected hit-window width per fragmentation attribute, parallel to
+    // fragmentation().attrs().
+    std::vector<double> widths;
+  };
+
+  fragment::Fragmentation fragmentation_;
+  // Attribute cardinalities, parallel to fragmentation().attrs().
+  std::vector<double> cards_;
+  std::vector<ClassWindows> classes_;
+};
+
+}  // namespace warlock::alloc
+
+#endif  // WARLOCK_ALLOC_COACCESS_H_

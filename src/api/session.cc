@@ -161,9 +161,12 @@ Result<AdviseResponse> Session::Advise(const AdviseRequest& request) const {
   const common::CancelToken cancel =
       request.cancel_token.WithDeadline(request.deadline);
   try {
+    core::Advisor::Overrides overrides;
+    overrides.allocator = request.allocator;
     WARLOCK_ASSIGN_OR_RETURN(
         core::AdvisorResult result,
-        state_->advisor->Run(&*state_->pool, &state_->memo, cancel));
+        state_->advisor->Run(&*state_->pool, &state_->memo, cancel,
+                             overrides));
     if (request.top_k.has_value() && result.ranking.size() > *request.top_k) {
       result.ranking.resize(*request.top_k);
     }

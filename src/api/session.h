@@ -37,6 +37,13 @@ struct AdviseRequest {
   /// bit-identical prefixes of the session-configured ranking.
   std::optional<size_t> top_k;
 
+  /// Allocation backend for every candidate evaluation of this call (see
+  /// `alloc::GetAllocator`); unset = the session config's `allocator` key.
+  /// Unlike `top_k` this is an evaluation-level knob: the ranking is the
+  /// one the chosen backend's placements produce under the shared cost
+  /// model.
+  std::optional<std::string> allocator;
+
   /// Wall-clock bound on the call (default: unbounded). An expired deadline
   /// surfaces as kDeadlineExceeded; a call that finishes in time is
   /// byte-identical to an unbounded one. An advisor run is all-or-nothing —

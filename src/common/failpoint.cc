@@ -15,9 +15,9 @@ namespace {
 // keep the list in sync with the call sites (the fault-sweep test walks it
 // and asserts each entry actually injects).
 const char* const kRegistered[] = {
-    kReadFile,         kParseSchema, kParseWorkload,
-    kParseConfig,      kMemoPut,     kValidateCapacity,
-    kThreadPoolDispatch,
+    kReadFile,         kParseSchema,      kParseWorkload,
+    kParseConfig,      kMemoPut,          kValidateCapacity,
+    kAllocPartition,   kThreadPoolDispatch,
 };
 
 // armed_total: fast-path gate. -1 = env spec not parsed yet (forces one

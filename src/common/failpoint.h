@@ -35,6 +35,7 @@ inline constexpr char kParseSchema[] = "parse.schema";
 inline constexpr char kParseWorkload[] = "parse.workload";
 inline constexpr char kParseConfig[] = "parse.config";
 inline constexpr char kValidateCapacity[] = "alloc.validate_capacity";
+inline constexpr char kAllocPartition[] = "alloc.partition";
 /// Degradation seams (an armed check sheds work — a dropped cache insert, a
 /// lost pool helper — and the operation must still succeed byte-identically):
 inline constexpr char kMemoPut[] = "memo.put";

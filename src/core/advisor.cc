@@ -6,6 +6,8 @@
 #include <numeric>
 #include <utility>
 
+#include "alloc/allocator.h"
+#include "alloc/coaccess.h"
 #include "common/thread_pool.h"
 #include "core/eval_memo.h"
 #include "fragment/candidates.h"
@@ -13,6 +15,17 @@
 namespace warlock::core {
 
 namespace {
+
+// FNV-1a over the backend name — a stable nonzero code for memo signatures
+// (0 is reserved for "the session config's backend").
+uint64_t AllocatorCode(const std::string& name) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash == 0 ? 1 : hash;
+}
 
 // Total bitmap storage of a scheme over all fragments.
 double BitmapStorageBytes(const fragment::FragmentSizes& sizes,
@@ -47,6 +60,9 @@ EvalMemo::Inputs NormalizeInputs(const ToolConfig& config,
   in.excluded_bitmaps.erase(
       std::unique(in.excluded_bitmaps.begin(), in.excluded_bitmaps.end()),
       in.excluded_bitmaps.end());
+  in.allocator_code = overrides.allocator.has_value()
+                          ? AllocatorCode(*overrides.allocator)
+                          : 0;
   return in;
 }
 
@@ -148,29 +164,44 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
   if (memo != nullptr) cached_alloc = memo->FindAllocation(cand_key, alloc_sig);
   if (cached_alloc.has_value()) {
     ctx.alloc_scheme = cached_alloc->scheme;
+    ctx.alloc_method = cached_alloc->method;
     ctx.allocation = cached_alloc->allocation;
   } else {
+    // Resolve the allocation backend (override wins over the config key)
+    // and hand it everything a placement may consult, including the
+    // workload's co-access model.
+    WARLOCK_ASSIGN_OR_RETURN(
+        const alloc::Allocator* backend,
+        alloc::GetAllocator(overrides.allocator.has_value()
+                                ? *overrides.allocator
+                                : config_.allocator));
+    const alloc::CoAccessModel coaccess =
+        alloc::CoAccessModel::Build(fragmentation, schema_, mix_);
+    alloc::AllocationContext actx;
+    actx.sizes = ctx.sizes.get();
+    actx.scheme = ctx.scheme.get();
+    actx.num_disks = ctx.params.disks.num_disks;
+    actx.skew_threshold = config_.skew_threshold;
+    actx.coaccess = &coaccess;
     if (overrides.allocation_scheme.has_value()) {
-      ctx.alloc_scheme = *overrides.allocation_scheme;
+      actx.forced_scheme = *overrides.allocation_scheme;
     } else {
       switch (config_.allocation) {
         case AllocationPolicy::kRoundRobin:
-          ctx.alloc_scheme = alloc::AllocationScheme::kRoundRobin;
+          actx.forced_scheme = alloc::AllocationScheme::kRoundRobin;
           break;
         case AllocationPolicy::kGreedy:
-          ctx.alloc_scheme = alloc::AllocationScheme::kGreedy;
+          actx.forced_scheme = alloc::AllocationScheme::kGreedy;
           break;
         case AllocationPolicy::kAuto:
         default:
-          ctx.alloc_scheme =
-              alloc::ChooseScheme(*ctx.sizes, config_.skew_threshold);
-          break;
+          break;  // the backend classifies (ChooseScheme for "warlock")
       }
     }
-    WARLOCK_ASSIGN_OR_RETURN(
-        alloc::DiskAllocation placed,
-        alloc::Allocate(ctx.alloc_scheme, *ctx.sizes, *ctx.scheme,
-                        ctx.params.disks.num_disks));
+    ctx.alloc_scheme = backend->ResolveScheme(actx);
+    ctx.alloc_method = backend->MethodLabel(actx);
+    WARLOCK_ASSIGN_OR_RETURN(alloc::DiskAllocation placed,
+                             backend->Allocate(actx));
     ctx.allocation =
         std::make_shared<const alloc::DiskAllocation>(std::move(placed));
     if (mode == EvalMode::kFull) {
@@ -180,7 +211,8 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
     // Cache only capacity-validated allocations (failures return above).
     if (memo != nullptr) {
       memo->PutAllocation(cand_key, alloc_sig,
-                          {ctx.alloc_scheme, ctx.allocation});
+                          {ctx.alloc_scheme, ctx.alloc_method,
+                           ctx.allocation});
     }
   }
 
@@ -276,6 +308,7 @@ Result<EvaluatedCandidate> Advisor::FullyEvaluate(
   ec.size_skew_factor = ctx.sizes->SkewFactor();
   ec.bitmap_storage_bytes = BitmapStorageBytes(*ctx.sizes, *ctx.scheme);
   ec.allocation_scheme = ctx.alloc_scheme;
+  ec.allocation_method = ctx.alloc_method;
   ec.allocation_balance = ctx.allocation->BalanceRatio();
   ec.disk_bytes = ctx.allocation->disk_bytes();
   ec.fact_granule = ctx.params.fact_granule;
@@ -318,8 +351,16 @@ Result<std::vector<double>> Advisor::DiskAccessProfile(
 }
 
 Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
-                                   const common::CancelToken& cancel) const {
+                                   const common::CancelToken& cancel,
+                                   const Overrides& overrides) const {
   WARLOCK_RETURN_IF_ERROR(cancel.CheckStop());
+  // An unknown backend name must fail the run up front — deferring it to
+  // phase 2 would silently exclude every candidate instead of reporting the
+  // caller's typo.
+  if (overrides.allocator.has_value()) {
+    WARLOCK_RETURN_IF_ERROR(
+        alloc::GetAllocator(*overrides.allocator).status());
+  }
   // A transient pool per run keeps the historical fire-and-forget contract;
   // session-style callers pass a persistent pool instead and amortize the
   // spawn/join. Results are bit-identical either way (per-slot writes).
@@ -340,7 +381,6 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
   result.enumerated = raw.size();
   result.candidates.resize(raw.size());
 
-  const Overrides no_overrides;
 
   // Phase 1: screening with the expected-value model (allocation-agnostic,
   // cheap enough for the whole space). Candidates are independent and
@@ -357,7 +397,7 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
     ec.exclusion_reason = std::move(cand.exclusion_reason);
     if (ec.excluded) return;
     auto ctx_or =
-        BuildEvalContext(ec.fragmentation, no_overrides, EvalMode::kScreening);
+        BuildEvalContext(ec.fragmentation, overrides, EvalMode::kScreening);
     if (!ctx_or.ok()) {
       ec.excluded = true;
       ec.exclusion_reason = ctx_or.status().message();
@@ -410,7 +450,7 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
     const size_t ci = included[i];
     EvaluatedCandidate& slot = result.candidates[ci];
     auto full_or =
-        FullyEvaluate(slot.fragmentation, no_overrides, pool, memo, cancel);
+        FullyEvaluate(slot.fragmentation, overrides, pool, memo, cancel);
     if (!full_or.ok()) {
       // A stop status is not a verdict on the candidate — leave the slot
       // untouched; the whole run is discarded when Run surfaces the stop

@@ -41,6 +41,11 @@ struct EvaluatedCandidate {
   /// Chosen allocation scheme and its balance (max/avg occupancy).
   alloc::AllocationScheme allocation_scheme =
       alloc::AllocationScheme::kRoundRobin;
+  /// The backend's placement-method label ("round-robin", "greedy",
+  /// "graph", ...) — what reports print. For the "warlock" backend this is
+  /// exactly `AllocationSchemeName(allocation_scheme)`; other backends keep
+  /// the scheme field at its round-robin default and label themselves here.
+  std::string allocation_method = "round-robin";
   double allocation_balance = 1.0;
   /// Occupied bytes per disk under the chosen allocation.
   std::vector<uint64_t> disk_bytes;
@@ -106,6 +111,20 @@ class Advisor {
   Advisor(const schema::StarSchema& schema, const workload::QueryMix& mix,
           ToolConfig config);
 
+  /// Per-evaluation replacements for config values, the building block of
+  /// interactive what-if tuning: fields that are set win over the config.
+  struct Overrides {
+    std::optional<uint32_t> num_disks;
+    std::optional<uint64_t> fact_granule;
+    std::optional<uint64_t> bitmap_granule;
+    std::optional<alloc::AllocationScheme> allocation_scheme;
+    /// Bitmap indexes to drop, e.g. to limit space requirements.
+    std::vector<bitmap::BitmapRef> excluded_bitmaps;
+    /// Allocation backend registry key (see `alloc::GetAllocator`); unset =
+    /// the config's `allocator`.
+    std::optional<std::string> allocator;
+  };
+
   /// Runs the full pipeline. `pool` (optional) supplies the worker pool the
   /// two evaluation phases fan out over; nullptr spins up a transient pool
   /// of `ToolConfig::threads` workers, exactly as before. A long-lived
@@ -124,20 +143,15 @@ class Advisor {
   /// unbounded run at every worker count. Task exceptions (including
   /// injected dispatch faults) are caught and surfaced as kInternal — Run
   /// never throws and never leaves the advisor's caches inconsistent.
+  ///
+  /// `overrides` applies to every candidate evaluation of the run (both
+  /// phases), e.g. to rank the whole space under a different allocation
+  /// backend; the default leaves the run byte-identical to before the knob
+  /// existed.
   Result<AdvisorResult> Run(common::ThreadPool* pool = nullptr,
                             EvalMemo* memo = nullptr,
-                            const common::CancelToken& cancel = {}) const;
-
-  /// Per-evaluation replacements for config values, the building block of
-  /// interactive what-if tuning: fields that are set win over the config.
-  struct Overrides {
-    std::optional<uint32_t> num_disks;
-    std::optional<uint64_t> fact_granule;
-    std::optional<uint64_t> bitmap_granule;
-    std::optional<alloc::AllocationScheme> allocation_scheme;
-    /// Bitmap indexes to drop, e.g. to limit space requirements.
-    std::vector<bitmap::BitmapRef> excluded_bitmaps;
-  };
+                            const common::CancelToken& cancel = {},
+                            const Overrides& overrides = {}) const;
 
   /// Evaluates a single fragmentation with the full (phase-2)
   /// allocation-aware model. `pool` (optional) parallelizes the prefetch
@@ -198,6 +212,7 @@ class Advisor {
     std::shared_ptr<const fragment::FragmentSizes> sizes;
     std::shared_ptr<const bitmap::BitmapScheme> scheme;
     alloc::AllocationScheme alloc_scheme = alloc::AllocationScheme::kRoundRobin;
+    std::string alloc_method = "round-robin";
     std::shared_ptr<const alloc::DiskAllocation> allocation;
   };
   Result<EvalContext> BuildEvalContext(

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <vector>
 
+#include "alloc/allocator.h"
 #include "common/parse_text.h"
 
 namespace warlock::core {
@@ -55,6 +56,16 @@ Result<ToolConfig> ToolConfigFromText(std::string_view text) {
       } else {
         if (granule != 0) config.cost.bitmap_granule = granule;
       }
+      continue;
+    }
+    if (key == "allocator") {
+      // Validate against the backend registry so a typo fails at parse time
+      // with the line number, not deep inside the first evaluation.
+      if (!alloc::GetAllocator(value).ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": unknown allocator '" + value + "'");
+      }
+      config.allocator = value;
       continue;
     }
     if (key == "allocation") {
@@ -189,6 +200,7 @@ std::string ToolConfigToText(const ToolConfig& config) {
                           : (config.allocation == AllocationPolicy::kGreedy
                                  ? "greedy"
                                  : "roundrobin");
+  os << "allocator " << config.allocator << "\n";
   os << "allocation " << alloc << "\n";
   os << "skew_threshold " << config.skew_threshold << "\n";
   os << "samples_per_class " << config.cost.samples_per_class << "\n";

@@ -48,6 +48,9 @@ EvalMemo::Sig EvalMemo::StageSig(cost::EvalStage stage, const Inputs& inputs) {
     sig.insert(sig.end(), inputs.excluded_bitmaps.begin(),
                inputs.excluded_bitmaps.end());
   }
+  if (cost::StageDependsOn(stage, EvalInput::kAllocator)) {
+    sig.push_back(inputs.allocator_code);
+  }
   return sig;
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "alloc/allocators.h"
@@ -88,11 +89,17 @@ class EvalMemo {
     uint64_t allocation_code = 0;
     /// Excluded bitmaps as sorted, deduplicated (dim << 32 | level) codes.
     std::vector<uint64_t> excluded_bitmaps;
+    /// 0 = the session config's allocation backend; the backend name's
+    /// FNV-1a hash otherwise (see `Advisor`'s `NormalizeInputs`).
+    uint64_t allocator_code = 0;
   };
 
   /// The allocation stage's product.
   struct AllocationEntry {
     alloc::AllocationScheme scheme = alloc::AllocationScheme::kRoundRobin;
+    /// The backend's placement-method label ("round-robin", "greedy",
+    /// "graph", ...) — what reports print.
+    std::string method = "round-robin";
     std::shared_ptr<const alloc::DiskAllocation> allocation;
   };
 

@@ -2,6 +2,7 @@
 #define WARLOCK_CORE_TOOL_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "bitmap/scheme.h"
 #include "cost/prefetch.h"
@@ -54,6 +55,13 @@ struct ToolConfig {
 
   /// Allocation scheme policy.
   AllocationPolicy allocation = AllocationPolicy::kAuto;
+
+  /// Allocation backend registry key (see `alloc::GetAllocator`; config
+  /// text: `allocator`). "warlock" is the paper's heuristic pair and the
+  /// default; "graph" is the co-access graph-partitioning placer. The
+  /// `allocation` policy above steers the scheme choice *within* the
+  /// "warlock" backend; other backends place their own way.
+  std::string allocator = "warlock";
 
   /// Prefetch determination policy.
   PrefetchPolicy prefetch = PrefetchPolicy::kAuto;

@@ -6,12 +6,12 @@ namespace {
 
 // Row-major [stage][input] truth table; see the header's matrix.
 constexpr bool kDeps[kNumEvalStages][kNumEvalInputs] = {
-    // frag, disks, factG, bmpG, alloc, exclB
-    {true, false, false, false, false, false},  // kFragmentSizes
-    {false, false, false, false, false, true},  // kBitmapScheme
-    {true, true, false, false, true, true},     // kAllocation
-    {true, true, false, false, true, true},     // kPrefetch
-    {true, true, true, true, true, true},       // kCost
+    // frag, disks, factG, bmpG, alloc, exclB, backend
+    {true, false, false, false, false, false, false},  // kFragmentSizes
+    {false, false, false, false, false, true, false},  // kBitmapScheme
+    {true, true, false, false, true, true, true},      // kAllocation
+    {true, true, false, false, true, true, true},      // kPrefetch
+    {true, true, true, true, true, true, true},        // kCost
 };
 
 }  // namespace
@@ -39,6 +39,7 @@ const char* EvalInputName(EvalInput input) {
     case EvalInput::kBitmapGranule: return "bitmap_granule";
     case EvalInput::kAllocationScheme: return "allocation_scheme";
     case EvalInput::kExcludedBitmaps: return "excluded_bitmaps";
+    case EvalInput::kAllocator: return "allocator";
   }
   return "?";
 }

@@ -17,8 +17,9 @@ enum class EvalInput : uint8_t {
   kBitmapGranule,        ///< Bitmap prefetch-granule override.
   kAllocationScheme,     ///< Allocation-scheme override (or config policy).
   kExcludedBitmaps,      ///< Bitmap indexes dropped from the scheme.
+  kAllocator,            ///< Allocation backend (override or config key).
 };
-inline constexpr int kNumEvalInputs = 6;
+inline constexpr int kNumEvalInputs = 7;
 
 /// The stages of a full evaluation, in pipeline order. Each consumes the
 /// previous stages' products plus a subset of the inputs above.
@@ -38,16 +39,18 @@ inline constexpr int kNumEvalStages = 5;
 /// nothing else. Keep this in sync with the actual dataflow in
 /// `Advisor::BuildEvalContext` / `FullyEvaluate`:
 ///
-///   stage \ input   frag  disks  factG  bmpG  alloc  exclB
+///   stage \ input   frag  disks  factG  bmpG  alloc  exclB  backend
 ///   FragmentSizes     x
 ///   BitmapScheme                                       x
-///   Allocation        x     x                    x     x
-///   Prefetch          x     x                    x     x
-///   Cost              x     x      x      x      x     x
+///   Allocation        x     x                    x     x       x
+///   Prefetch          x     x                    x     x       x
+///   Cost              x     x      x      x      x     x       x
 ///
 /// Notes: the granule overrides bypass (rather than invalidate) the
 /// prefetch search, so they feed only the cost stage; the allocation reads
-/// the scheme because bitmap-bundle sizes participate in placement.
+/// the scheme because bitmap-bundle sizes participate in placement; the
+/// backend (the `alloc::Allocator` chosen by config or override) changes
+/// the placement and everything downstream of it.
 bool StageDependsOn(EvalStage stage, EvalInput input);
 
 /// Symbolic names for diagnostics and tests.

@@ -105,7 +105,7 @@ void AppendRankedCandidate(std::ostringstream& os, size_t rank,
      << ", \"total_pages\": " << c.total_pages
      << ", \"bitmap_bytes\": " << JsonNumber(c.bitmap_storage_bytes)
      << ", \"allocation\": "
-     << JsonString(alloc::AllocationSchemeName(c.allocation_scheme))
+     << JsonString(c.allocation_method)
      << ", \"fact_granule\": " << c.fact_granule
      << ", \"bitmap_granule\": " << c.bitmap_granule
      << ", \"io_work_ms\": " << JsonNumber(c.cost.io_work_ms)
@@ -179,7 +179,7 @@ class JsonRenderer final : public Renderer {
     os << "  \"bitmap_bytes\": " << JsonNumber(candidate.bitmap_storage_bytes)
        << ",\n";
     os << "  \"allocation\": "
-       << JsonString(alloc::AllocationSchemeName(candidate.allocation_scheme))
+       << JsonString(candidate.allocation_method)
        << ",\n";
     os << "  \"balance\": " << JsonNumber(candidate.allocation_balance)
        << ",\n";
@@ -215,7 +215,7 @@ class JsonRenderer final : public Renderer {
     os << "{\n";
     os << "  \"artifact\": \"occupancy\",\n";
     os << "  \"allocation\": "
-       << JsonString(alloc::AllocationSchemeName(candidate.allocation_scheme))
+       << JsonString(candidate.allocation_method)
        << ",\n";
     os << "  \"balance\": " << JsonNumber(candidate.allocation_balance)
        << ",\n";

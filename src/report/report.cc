@@ -22,7 +22,7 @@ std::string RenderRanking(const core::AdvisorResult& result,
         .AddNumeric(FormatCount(static_cast<double>(c.num_fragments)))
         .AddNumeric(FormatCount(static_cast<double>(c.total_pages)))
         .AddNumeric(FormatFixed(c.bitmap_storage_bytes / (1 << 20), 1))
-        .Add(alloc::AllocationSchemeName(c.allocation_scheme))
+        .Add(c.allocation_method)
         .AddNumeric(std::to_string(c.fact_granule))
         .AddNumeric(std::to_string(c.bitmap_granule))
         .AddNumeric(FormatMillis(c.cost.io_work_ms))
@@ -67,7 +67,7 @@ std::string RenderQueryStats(const core::EvaluatedCandidate& candidate,
   os << "Prefetch suggestion: fact granule " << candidate.fact_granule
      << " pages, bitmap granule " << candidate.bitmap_granule << " pages\n";
   os << "Allocation: "
-     << alloc::AllocationSchemeName(candidate.allocation_scheme)
+     << candidate.allocation_method
      << ", balance " << FormatFixed(candidate.allocation_balance, 3) << "\n";
 
   TextTable table({"Class", "Weight", "Signature", "#FragHits", "FactPages",
@@ -140,7 +140,7 @@ CsvWriter RankingToCsv(const core::AdvisorResult& result,
         .Add(c.num_fragments)
         .Add(c.total_pages)
         .Add(c.bitmap_storage_bytes)
-        .Add(std::string(alloc::AllocationSchemeName(c.allocation_scheme)))
+        .Add(c.allocation_method)
         .Add(c.fact_granule)
         .Add(c.bitmap_granule)
         .Add(c.cost.io_work_ms)

@@ -1,8 +1,11 @@
 #include "scenario/sweep.h"
 
+#include <array>
+#include <limits>
 #include <sstream>
 #include <utility>
 
+#include "alloc/allocator.h"
 #include "alloc/allocators.h"
 #include "api/session.h"
 #include "common/format.h"
@@ -83,11 +86,48 @@ void RunScenario(const ScenarioSpec& spec, uint32_t index,
   if (best == nullptr) return;  // winner/allocation keep their "-"
   out->winner = best->fragmentation.Label(session.schema());
   out->winner_fragments = best->num_fragments;
-  out->allocation = alloc::AllocationSchemeName(best->allocation_scheme);
+  out->allocation = best->allocation_method;
   out->fact_granule = best->fact_granule;
   out->bitmap_granule = best->bitmap_granule;
   out->io_work_ms = best->cost.io_work_ms;
   out->response_ms = best->cost.response_ms;
+
+  // Head-to-head backend comparison: re-score the winning fragmentation
+  // under each registered backend with the same cost model. A stop firing
+  // mid-comparison cancels the whole row — rows are complete-or-cancelled,
+  // never half-compared — so completed rows stay byte-identical to an
+  // unbounded run. A backend that fails to place (e.g. capacity) simply
+  // cannot win; the sweep keeps going.
+  constexpr double kUnscored = std::numeric_limits<double>::infinity();
+  const std::array<const char*, 2> backends = {alloc::kWarlockAllocator,
+                                               alloc::kGraphAllocator};
+  std::array<double, 2> response{kUnscored, kUnscored};
+  std::array<double, 2> io_work{kUnscored, kUnscored};
+  for (size_t b = 0; b < backends.size(); ++b) {
+    WhatIfRequest what_if;
+    what_if.fragmentation = best->fragmentation;
+    what_if.overrides.allocator = backends[b];
+    what_if.cancel_token = cancel;
+    auto scored = session.WhatIf(what_if);
+    if (!scored.ok()) {
+      if (common::IsStopStatus(scored.status())) {
+        *out = ScenarioOutcome{};
+        MarkCancelled(spec, index, cancel, out);
+        return;
+      }
+      continue;
+    }
+    response[b] = scored->candidate.cost.response_ms;
+    io_work[b] = scored->candidate.cost.io_work_ms;
+  }
+  if (response[0] != kUnscored) out->warlock_response_ms = response[0];
+  if (response[1] != kUnscored) out->graph_response_ms = response[1];
+  if (response[0] != kUnscored || response[1] != kUnscored) {
+    const bool graph_wins =
+        response[1] < response[0] ||
+        (response[1] == response[0] && io_work[1] < io_work[0]);
+    out->allocator_winner = backends[graph_wins ? 1 : 0];
+  }
 }
 
 }  // namespace
@@ -138,7 +178,8 @@ CsvWriter SweepToCsv(const SweepResult& result) {
   CsvWriter csv({"scenario", "seed", "dimensions", "fact_rows",
                  "query_classes", "disks", "skewed", "status", "enumerated",
                  "excluded", "screened", "fully_evaluated", "winner",
-                 "winner_fragments", "allocation", "fact_granule",
+                 "winner_fragments", "allocation", "allocator_winner",
+                 "warlock_response_ms", "graph_response_ms", "fact_granule",
                  "bitmap_granule", "io_work_ms", "response_ms", "error"});
   for (const ScenarioOutcome& o : result.outcomes) {
     csv.BeginRow()
@@ -157,6 +198,9 @@ CsvWriter SweepToCsv(const SweepResult& result) {
         .Add(o.winner)
         .Add(o.winner_fragments)
         .Add(o.allocation)
+        .Add(o.allocator_winner)
+        .Add(o.warlock_response_ms)
+        .Add(o.graph_response_ms)
         .Add(o.fact_granule)
         .Add(o.bitmap_granule)
         .Add(o.io_work_ms)
@@ -189,6 +233,10 @@ std::string SweepToJson(const SweepResult& result) {
        << ", \"winner\": \"" << JsonEscape(o.winner) << "\""
        << ", \"winner_fragments\": " << o.winner_fragments
        << ", \"allocation\": \"" << JsonEscape(o.allocation) << "\""
+       << ", \"allocator_winner\": \"" << JsonEscape(o.allocator_winner)
+       << "\""
+       << ", \"warlock_response_ms\": " << JsonNumber(o.warlock_response_ms)
+       << ", \"graph_response_ms\": " << JsonNumber(o.graph_response_ms)
        << ", \"fact_granule\": " << o.fact_granule
        << ", \"bitmap_granule\": " << o.bitmap_granule
        << ", \"io_work_ms\": " << JsonNumber(o.io_work_ms)
@@ -203,7 +251,8 @@ std::string SweepToJson(const SweepResult& result) {
 
 std::string RenderSweep(const SweepResult& result) {
   TextTable table({"Scenario", "Dims", "FactRows", "Classes", "Disks",
-                   "Cands", "Winner", "#Frags", "Alloc", "Work/Q", "Resp/Q"});
+                   "Cands", "Winner", "#Frags", "Alloc", "AllocWin", "Work/Q",
+                   "Resp/Q"});
   size_t failures = 0;
   for (const ScenarioOutcome& o : result.outcomes) {
     if (!o.ok) {
@@ -217,6 +266,7 @@ std::string RenderSweep(const SweepResult& result) {
           .AddNumeric("-")
           .Add("error: " + o.error)
           .AddNumeric("-")
+          .Add("-")
           .Add("-")
           .AddNumeric("-")
           .AddNumeric("-");
@@ -232,6 +282,7 @@ std::string RenderSweep(const SweepResult& result) {
         .Add(o.winner)
         .AddNumeric(FormatCount(static_cast<double>(o.winner_fragments)))
         .Add(o.allocation)
+        .Add(o.allocator_winner)
         .AddNumeric(FormatMillis(o.io_work_ms))
         .AddNumeric(FormatMillis(o.response_ms));
   }

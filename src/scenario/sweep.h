@@ -74,6 +74,16 @@ struct ScenarioOutcome {
   uint64_t bitmap_granule = 1;
   double io_work_ms = 0.0;
   double response_ms = 0.0;
+
+  // Head-to-head allocation-backend comparison: the winning fragmentation
+  // re-scored under each registered backend with the same cost model
+  // (response time per query; 0 when that backend failed to place). The
+  // winner is the backend with the lower response time, ties broken by I/O
+  // work then in the paper backend's favor ("-" when the ranking is empty
+  // or the run failed).
+  std::string allocator_winner = "-";
+  double warlock_response_ms = 0.0;
+  double graph_response_ms = 0.0;
 };
 
 /// Output of `RunSweep`: one outcome per scenario, in scenario-index order.

@@ -1,0 +1,330 @@
+// Tests of the pluggable allocation-backend layer: the name-keyed
+// registry, byte-parity of the "warlock" backend with the free allocation
+// functions it wraps, determinism and placement invariants of the "graph"
+// backend, the co-access model its edge weights come from, and the
+// session-level `AdviseRequest::allocator` knob (fixtures in
+// tests/testdata/; the CTest working directory is tests/).
+#include "alloc/allocator.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "report/report.h"
+#include "schema/apb1.h"
+#include "warlock/session.h"
+#include "workload/apb1_workload.h"
+
+namespace warlock::alloc {
+namespace {
+
+constexpr uint32_t kPage = 8192;
+
+struct TestBed {
+  schema::StarSchema schema;
+  workload::QueryMix mix;
+  fragment::Fragmentation fragmentation;
+  fragment::FragmentSizes sizes;
+  bitmap::BitmapScheme scheme;
+  CoAccessModel coaccess;
+};
+
+TestBed MakeSetup(double theta) {
+  auto s = schema::Apb1Schema({.product_theta = theta});
+  EXPECT_TRUE(s.ok());
+  auto mix = workload::Apb1QueryMix(*s);
+  EXPECT_TRUE(mix.ok());
+  auto frag = fragment::Fragmentation::FromNames(
+      {{"Product", "Group"}, {"Time", "Month"}}, *s);
+  EXPECT_TRUE(frag.ok());
+  auto sizes = fragment::FragmentSizes::Compute(*frag, *s, 0, kPage);
+  EXPECT_TRUE(sizes.ok());
+  bitmap::BitmapScheme scheme = bitmap::BitmapScheme::Select(*s);
+  CoAccessModel coaccess = CoAccessModel::Build(*frag, *s, *mix);
+  return TestBed{std::move(s).value(),      std::move(mix).value(),
+                 std::move(frag).value(),   std::move(sizes).value(),
+                 std::move(scheme),         std::move(coaccess)};
+}
+
+AllocationContext MakeContext(const TestBed& su, uint32_t num_disks,
+                              bool with_coaccess = true) {
+  AllocationContext context;
+  context.sizes = &su.sizes;
+  context.scheme = &su.scheme;
+  context.num_disks = num_disks;
+  if (with_coaccess) context.coaccess = &su.coaccess;
+  return context;
+}
+
+void ExpectSameAllocation(const DiskAllocation& a, const DiskAllocation& b) {
+  ASSERT_EQ(a.num_disks(), b.num_disks());
+  ASSERT_EQ(a.num_fragments(), b.num_fragments());
+  EXPECT_EQ(a.disk_bytes(), b.disk_bytes());
+  for (uint64_t f = 0; f < a.num_fragments(); ++f) {
+    ASSERT_EQ(a.FactDisk(f), b.FactDisk(f)) << "fragment " << f;
+    ASSERT_EQ(a.BitmapDisk(f), b.BitmapDisk(f)) << "fragment " << f;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Registry.
+
+TEST(AllocatorRegistryTest, LooksUpBackendsByName) {
+  auto warlock = GetAllocator(kWarlockAllocator);
+  ASSERT_TRUE(warlock.ok());
+  EXPECT_EQ((*warlock)->name(), "warlock");
+  auto graph = GetAllocator(kGraphAllocator);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ((*graph)->name(), "graph");
+  // Singletons: repeated lookups hand out the same instance.
+  EXPECT_EQ(*warlock, *GetAllocator(kWarlockAllocator));
+}
+
+TEST(AllocatorRegistryTest, UnknownNameFailsNamingTheValidKeys) {
+  auto r = GetAllocator("simulated-annealing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("simulated-annealing"),
+            std::string::npos);
+  EXPECT_NE(r.status().ToString().find("warlock"), std::string::npos);
+  EXPECT_NE(r.status().ToString().find("graph"), std::string::npos);
+}
+
+TEST(AllocatorRegistryTest, NamesAreSortedAndComplete) {
+  EXPECT_EQ(AllocatorNames(),
+            (std::vector<std::string>{"graph", "warlock"}));
+}
+
+// --------------------------------------------------------------------------
+// "warlock" backend: byte-parity with the free functions it re-expresses.
+
+TEST(WarlockBackendTest, ForcedSchemesMatchFreeFunctionsByteForByte) {
+  for (double theta : {0.0, 1.0}) {
+    const TestBed su = MakeSetup(theta);
+    auto backend = GetAllocator(kWarlockAllocator);
+    ASSERT_TRUE(backend.ok());
+
+    AllocationContext context = MakeContext(su, 64);
+    context.forced_scheme = AllocationScheme::kRoundRobin;
+    auto via_backend = (*backend)->Allocate(context);
+    auto direct = RoundRobinAllocate(su.sizes, su.scheme, 64);
+    ASSERT_TRUE(via_backend.ok());
+    ASSERT_TRUE(direct.ok());
+    ExpectSameAllocation(*via_backend, *direct);
+
+    context.forced_scheme = AllocationScheme::kGreedy;
+    via_backend = (*backend)->Allocate(context);
+    direct = GreedyAllocate(su.sizes, su.scheme, 64);
+    ASSERT_TRUE(via_backend.ok());
+    ASSERT_TRUE(direct.ok());
+    ExpectSameAllocation(*via_backend, *direct);
+  }
+}
+
+TEST(WarlockBackendTest, AutoClassificationMatchesChooseScheme) {
+  for (double theta : {0.0, 1.0}) {
+    const TestBed su = MakeSetup(theta);
+    auto backend = GetAllocator(kWarlockAllocator);
+    ASSERT_TRUE(backend.ok());
+    const AllocationContext context = MakeContext(su, 64);
+    const AllocationScheme expected = ChooseScheme(su.sizes, 1.25);
+    EXPECT_EQ((*backend)->ResolveScheme(context), expected);
+    EXPECT_STREQ((*backend)->MethodLabel(context),
+                 AllocationSchemeName(expected));
+    auto via_backend = (*backend)->Allocate(context);
+    auto direct = Allocate(expected, su.sizes, su.scheme, 64);
+    ASSERT_TRUE(via_backend.ok());
+    ASSERT_TRUE(direct.ok());
+    ExpectSameAllocation(*via_backend, *direct);
+  }
+}
+
+// --------------------------------------------------------------------------
+// "graph" backend.
+
+TEST(GraphBackendTest, RepeatedCallsAreByteIdentical) {
+  const TestBed su = MakeSetup(1.0);
+  auto backend = GetAllocator(kGraphAllocator);
+  ASSERT_TRUE(backend.ok());
+  const AllocationContext context = MakeContext(su, 16);
+  auto first = (*backend)->Allocate(context);
+  auto second = (*backend)->Allocate(context);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSameAllocation(*first, *second);
+  EXPECT_STREQ((*backend)->MethodLabel(context), "graph");
+}
+
+TEST(GraphBackendTest, KeepsFactBitmapAntiAffinity) {
+  const TestBed su = MakeSetup(0.0);
+  auto backend = GetAllocator(kGraphAllocator);
+  ASSERT_TRUE(backend.ok());
+  auto a = (*backend)->Allocate(MakeContext(su, 8));
+  ASSERT_TRUE(a.ok());
+  for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+    EXPECT_NE(a->BitmapDisk(f), a->FactDisk(f)) << "fragment " << f;
+  }
+}
+
+TEST(GraphBackendTest, ConservesBytesAndPassesCapacityValidation) {
+  const TestBed su = MakeSetup(1.0);
+  auto backend = GetAllocator(kGraphAllocator);
+  ASSERT_TRUE(backend.ok());
+  auto a = (*backend)->Allocate(MakeContext(su, 16));
+  ASSERT_TRUE(a.ok());
+  uint64_t sum = 0;
+  for (uint64_t b : a->disk_bytes()) sum += b;
+  EXPECT_EQ(sum, a->TotalBytes());
+  EXPECT_TRUE(a->ValidateCapacity(a->TotalBytes()).ok());
+  EXPECT_GE(a->BalanceRatio(), 1.0);
+}
+
+TEST(GraphBackendTest, UniformDataStaysBalanced) {
+  const TestBed su = MakeSetup(0.0);
+  auto backend = GetAllocator(kGraphAllocator);
+  ASSERT_TRUE(backend.ok());
+  auto a = (*backend)->Allocate(MakeContext(su, 16));
+  ASSERT_TRUE(a.ok());
+  // The greedy partitioner's balance cap bounds every part near the ideal
+  // split; bitmaps go least-loaded, so uniform data cannot end up skewed.
+  EXPECT_LT(a->BalanceRatio(), 1.5);
+}
+
+TEST(GraphBackendTest, SingleDiskTakesEverything) {
+  const TestBed su = MakeSetup(1.0);
+  auto backend = GetAllocator(kGraphAllocator);
+  ASSERT_TRUE(backend.ok());
+  auto a = (*backend)->Allocate(MakeContext(su, 1));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->disk_bytes()[0], a->TotalBytes());
+  for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+    EXPECT_EQ(a->FactDisk(f), 0u);
+    EXPECT_EQ(a->BitmapDisk(f), 0u);
+  }
+}
+
+TEST(GraphBackendTest, ZeroDisksRejected) {
+  const TestBed su = MakeSetup(0.0);
+  auto backend = GetAllocator(kGraphAllocator);
+  ASSERT_TRUE(backend.ok());
+  auto a = (*backend)->Allocate(MakeContext(su, 0));
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphBackendTest, WorksWithoutACoAccessModel) {
+  // Callers without a workload (coaccess == nullptr) still get a valid,
+  // deterministic balance-only placement.
+  const TestBed su = MakeSetup(1.0);
+  auto backend = GetAllocator(kGraphAllocator);
+  ASSERT_TRUE(backend.ok());
+  const AllocationContext context =
+      MakeContext(su, 8, /*with_coaccess=*/false);
+  auto first = (*backend)->Allocate(context);
+  auto second = (*backend)->Allocate(context);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSameAllocation(*first, *second);
+}
+
+// --------------------------------------------------------------------------
+// Co-access model.
+
+TEST(CoAccessModelTest, AffinityIsSymmetricAndPeaksAtSelf) {
+  const TestBed su = MakeSetup(0.0);
+  const uint64_t m = su.fragmentation.NumFragments();
+  ASSERT_GE(m, 3u);
+  EXPECT_DOUBLE_EQ(su.coaccess.Affinity(0, 1), su.coaccess.Affinity(1, 0));
+  EXPECT_DOUBLE_EQ(su.coaccess.Affinity(0, m - 1),
+                   su.coaccess.Affinity(m - 1, 0));
+  EXPECT_GE(su.coaccess.Affinity(0, 0), su.coaccess.Affinity(0, 1));
+  EXPECT_GT(su.coaccess.Affinity(0, 0), 0.0);
+}
+
+TEST(CoAccessModelTest, AffinityDecaysWithLogicalDistance) {
+  // Fragments 0, 1, 2 differ only in the innermost coordinate, at distance
+  // 1 and 2: the expected shared-window probability is non-increasing in
+  // that distance.
+  const TestBed su = MakeSetup(0.0);
+  EXPECT_GE(su.coaccess.Affinity(0, 1), su.coaccess.Affinity(0, 2));
+}
+
+// --------------------------------------------------------------------------
+// Session plumbing: the AdviseRequest-level backend knob.
+
+constexpr char kSchemaPath[] = "testdata/apb1_tiny.schema";
+constexpr char kWorkloadPath[] = "testdata/apb1_tiny.workload";
+constexpr char kConfigPath[] = "testdata/apb1_tiny.config";
+
+std::string AllArtifacts(const core::AdvisorResult& result,
+                         const schema::StarSchema& schema) {
+  std::string out = report::RenderRanking(result, schema);
+  out += report::RankingToCsv(result, schema).ToString().value();
+  return out;
+}
+
+Session MakeTinySession(uint32_t threads) {
+  SessionOptions options;
+  options.threads = threads;
+  auto session =
+      Session::FromFiles(kSchemaPath, kWorkloadPath, kConfigPath, options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(session).value();
+}
+
+TEST(SessionBackendTest, ExplicitWarlockMatchesDefaultAtEveryThreadCount) {
+  // The config default is the "warlock" backend, so requesting it
+  // explicitly must be artifact-identical to not requesting anything — at
+  // every pool size (acceptance criterion of the backend refactor).
+  Session reference = MakeTinySession(1);
+  auto baseline = reference.Advise();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string expected =
+      AllArtifacts(baseline->result, reference.schema());
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    Session session = MakeTinySession(threads);
+    AdviseRequest request;
+    request.allocator = "warlock";
+    auto advice = session.Advise(request);
+    ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+    EXPECT_EQ(AllArtifacts(advice->result, session.schema()), expected)
+        << "explicit warlock backend diverges at threads=" << threads;
+  }
+}
+
+TEST(SessionBackendTest, GraphBackendIsDeterministicAtEveryThreadCount) {
+  Session reference = MakeTinySession(1);
+  AdviseRequest request;
+  request.allocator = "graph";
+  auto baseline = reference.Advise(request);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string expected =
+      AllArtifacts(baseline->result, reference.schema());
+  for (size_t i : baseline->result.ranking) {
+    EXPECT_EQ(baseline->result.candidates[i].allocation_method, "graph");
+  }
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    Session session = MakeTinySession(threads);
+    auto advice = session.Advise(request);
+    ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+    EXPECT_EQ(AllArtifacts(advice->result, session.schema()), expected)
+        << "graph backend diverges at threads=" << threads;
+  }
+}
+
+TEST(SessionBackendTest, UnknownBackendFailsCleanly) {
+  Session session = MakeTinySession(1);
+  AdviseRequest request;
+  request.allocator = "annealing";
+  auto advice = session.Advise(request);
+  ASSERT_FALSE(advice.ok());
+  EXPECT_EQ(advice.status().code(), Status::Code::kInvalidArgument);
+  // The session stays usable after the rejected request.
+  EXPECT_TRUE(session.Advise().ok());
+}
+
+}  // namespace
+}  // namespace warlock::alloc

@@ -168,6 +168,66 @@ TEST(AllocTest, SchemeNames) {
   EXPECT_STREQ(AllocationSchemeName(AllocationScheme::kGreedy), "greedy");
 }
 
+TEST(AllocTest, ZeroOccupiedBytesYieldsNeutralBalanceStats) {
+  // Regression: an allocation whose pieces occupy zero bytes must not
+  // divide by the zero average — balance is neutral, dispersion is zero.
+  const DiskAllocation zero_pieces(4, {0, 1}, {1, 0}, {0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(zero_pieces.BalanceRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(zero_pieces.OccupancyCv(), 0.0);
+  const DiskAllocation no_pieces(3, {}, {}, {}, {});
+  EXPECT_DOUBLE_EQ(no_pieces.BalanceRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(no_pieces.OccupancyCv(), 0.0);
+}
+
+TEST(AllocTest, SingleDiskRoundRobinTakesEverything) {
+  const TestBed su = MakeSetup(0.9);
+  auto a = RoundRobinAllocate(su.sizes, su.scheme, 1);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->BalanceRatio(), 1.0);
+  EXPECT_EQ(a->disk_bytes()[0], a->TotalBytes());
+  for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+    EXPECT_EQ(a->FactDisk(f), 0u);
+    EXPECT_EQ(a->BitmapDisk(f), 0u);
+  }
+}
+
+TEST(AllocTest, FewerFragmentsThanDisks) {
+  // A coarse fragmentation on many disks: some disks legitimately stay
+  // empty, every placement stays in range, and both schemes succeed.
+  const TestBed su = MakeSetup(0.0, {{"Time", "Year"}});
+  ASSERT_LT(su.sizes.num_fragments(), 64u);
+  for (auto scheme_choice :
+       {AllocationScheme::kRoundRobin, AllocationScheme::kGreedy}) {
+    auto a = Allocate(scheme_choice, su.sizes, su.scheme, 64);
+    ASSERT_TRUE(a.ok());
+    size_t occupied = 0;
+    for (uint64_t b : a->disk_bytes()) occupied += b > 0 ? 1 : 0;
+    EXPECT_LE(occupied, 2 * su.sizes.num_fragments());
+    EXPECT_GE(occupied, 1u);
+    for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+      EXPECT_LT(a->FactDisk(f), 64u);
+      EXPECT_LT(a->BitmapDisk(f), 64u);
+    }
+    EXPECT_GE(a->BalanceRatio(), 1.0);
+  }
+}
+
+TEST(GreedyTest, EqualSizeTiesBreakByLogicalOrderCyclically) {
+  // Uniform data makes every fact piece (and every bitmap bundle) the same
+  // size, so placement is decided purely by the tie-breaks: stable_sort
+  // keeps logical id order and the min-heap prefers the lower disk id, so
+  // equal pieces must cycle the disks in logical order — the property that
+  // keeps greedy deterministic under ties.
+  const TestBed su = MakeSetup(0.0);
+  ASSERT_EQ(su.sizes.num_fragments() % 16, 0u);
+  auto a = GreedyAllocate(su.sizes, su.scheme, 16);
+  ASSERT_TRUE(a.ok());
+  for (uint64_t f = 0; f < a->num_fragments(); ++f) {
+    EXPECT_EQ(a->FactDisk(f), f % 16);
+    EXPECT_EQ(a->BitmapDisk(f), f % 16);
+  }
+}
+
 TEST(AllocTest, MoreDisksNeverWorseBalanceAbsolute) {
   // Greedy with D disks: max load is within fragments' granularity of
   // perfect; with more disks the absolute max occupancy never grows.

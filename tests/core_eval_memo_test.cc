@@ -23,14 +23,15 @@ using cost::EvalStage;
 
 TEST(EvalDepsTest, MatrixMatchesDocumentedContract) {
   // One row per stage: frag, disks, fact granule, bitmap granule,
-  // allocation scheme, excluded bitmaps. This mirrors the table in
-  // cost/eval_deps.h; a change there must be deliberate enough to edit both.
+  // allocation scheme, excluded bitmaps, allocation backend. This mirrors
+  // the table in cost/eval_deps.h; a change there must be deliberate enough
+  // to edit both.
   const bool expected[cost::kNumEvalStages][cost::kNumEvalInputs] = {
-      {true, false, false, false, false, false},  // kFragmentSizes
-      {false, false, false, false, false, true},  // kBitmapScheme
-      {true, true, false, false, true, true},     // kAllocation
-      {true, true, false, false, true, true},     // kPrefetch
-      {true, true, true, true, true, true},       // kCost
+      {true, false, false, false, false, false, false},  // kFragmentSizes
+      {false, false, false, false, false, true, false},  // kBitmapScheme
+      {true, true, false, false, true, true, true},      // kAllocation
+      {true, true, false, false, true, true, true},      // kPrefetch
+      {true, true, true, true, true, true, true},        // kCost
   };
   for (int s = 0; s < cost::kNumEvalStages; ++s) {
     for (int i = 0; i < cost::kNumEvalInputs; ++i) {
@@ -74,6 +75,9 @@ EvalMemo::Inputs Mutate(EvalInput input) {
     case EvalInput::kExcludedBitmaps:
       inputs.excluded_bitmaps = {(uint64_t{1} << 32) | 2};
       break;
+    case EvalInput::kAllocator:
+      inputs.allocator_code = 0x9E3779B97F4A7C15ULL;
+      break;
   }
   return inputs;
 }
@@ -84,11 +88,11 @@ TEST(EvalMemoSigTest, SignatureChangesExactlyWithDependedOnInputs) {
     const auto stage = static_cast<EvalStage>(s);
     const EvalMemo::Sig base_sig = EvalMemo::StageSig(stage, base);
     // The fragmentation is carried by the candidate key, not by stage
-    // signatures, so only the five Inputs fields are exercised here.
+    // signatures, so only the six Inputs fields are exercised here.
     for (EvalInput input :
          {EvalInput::kNumDisks, EvalInput::kFactGranule,
           EvalInput::kBitmapGranule, EvalInput::kAllocationScheme,
-          EvalInput::kExcludedBitmaps}) {
+          EvalInput::kExcludedBitmaps, EvalInput::kAllocator}) {
       const EvalMemo::Sig mutated = EvalMemo::StageSig(stage, Mutate(input));
       EXPECT_EQ(mutated != base_sig, cost::StageDependsOn(stage, input))
           << cost::EvalStageName(stage) << " vs "

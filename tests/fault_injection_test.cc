@@ -83,6 +83,7 @@ const std::map<std::string, FaultKind>& ExpectationTable() {
       {fp::kParseWorkload, FaultKind::kConstruction},
       {fp::kParseConfig, FaultKind::kConstruction},
       {fp::kValidateCapacity, FaultKind::kEvaluation},
+      {fp::kAllocPartition, FaultKind::kEvaluation},
       {fp::kMemoPut, FaultKind::kDegradation},
       {fp::kThreadPoolDispatch, FaultKind::kDegradation},
   };
@@ -198,6 +199,36 @@ TEST_F(FaultInjectionTest, CapacityFaultInWhatIfErrorsCleanlyAndRecovers) {
   // request now succeeds, and an unrelated warm probe is byte-identical.
   auto recovered = session.WhatIf(request);
   EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(WhatIfProbe(session), expected);
+}
+
+TEST_F(FaultInjectionTest, PartitionFaultFailsGraphWhatIfCleanlyAndRecovers) {
+  // The alloc.partition seam lives inside the graph backend only: a default
+  // (warlock) probe sails through it, a graph-backend what-if errors with
+  // one clean status, and after disarming the same request succeeds with
+  // nothing poisoned.
+  Session session = MakeTinySession(2);
+  const std::string expected = WhatIfProbe(session);  // warm, fault-free
+
+  auto frag = fragment::Fragmentation::FromNames({{"Product", "Family"}},
+                                                 session.schema());
+  ASSERT_TRUE(frag.ok());
+  WhatIfRequest request;
+  request.fragmentation = *frag;
+  request.overrides.allocator = "graph";
+
+  ASSERT_TRUE(fp::Arm(fp::kAllocPartition).ok());
+  EXPECT_EQ(WhatIfProbe(session), expected);  // warlock path: seam not hit
+  auto faulted = session.WhatIf(request);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_NE(faulted.status().message().find("injected failure"),
+            std::string::npos)
+      << faulted.status().ToString();
+  fp::DisarmAll();
+
+  auto recovered = session.WhatIf(request);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->candidate.allocation_method, "graph");
   EXPECT_EQ(WhatIfProbe(session), expected);
 }
 
