@@ -1,0 +1,136 @@
+// E18 — warlockd round-trip economics: a warm cached service request vs
+// the cold session build it amortizes away.
+//
+// The daemon exists so that repeated advise requests over the same
+// (schema, mix, config) triple stop paying parse + bitmap-scheme selection
+// + pool spawn per request. The warm series measures the full client/server
+// loopback round trip — frame, parse, content-hash lookup, rendered-advise
+// memo hit, frame back — against an already-hot cache; the cold series
+// measures what each of those requests would cost stateless: build the
+// session from text and run the advise pipeline. The CI gate locks the
+// warm:cold ratio (scripts/bench_gate.py --speedup), not absolute times.
+//
+// Run via scripts/bench.sh to get the JSON the CI regression gate compares
+// against bench/BENCH_advisor_baseline.json.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <string>
+
+#include "bench_util.h"
+#include "core/config_text.h"
+#include "schema/schema_text.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "warlock/session.h"
+#include "workload/workload_text.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+struct BenchInputs {
+  std::string schema_text;
+  std::string workload_text;
+  std::string config_text;
+};
+
+BenchInputs MakeInputs() {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  b.config.cost.samples_per_class = 2;
+  return {warlock::schema::SchemaToText(b.schema),
+          warlock::workload::QueryMixToText(b.mix, b.schema),
+          warlock::core::ToolConfigToText(b.config)};
+}
+
+void PrintExperiment() {
+  Banner("E18", "warm warlockd round trip vs cold session build (APB-1)");
+  std::printf(
+      "warm: loopback advise against a hot session cache (content-hash\n"
+      "lookup + rendered-artifact memo; no parse, no pipeline). cold: the\n"
+      "stateless alternative — Session::FromText + Advise per request.\n");
+}
+
+// Warm path: one daemon, one connection; the first request primes the
+// session cache and the rendered-advise memo, every measured iteration is
+// a pure cached round trip.
+void BM_ServiceWarmRoundtrip(benchmark::State& state) {
+  const BenchInputs in = MakeInputs();
+
+  warlock::service::ServerOptions options;
+  options.port = 0;
+  options.session_threads = 1;
+  warlock::service::Server server(options);
+  warlock::Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  auto client = warlock::service::Client::Connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    state.SkipWithError(client.status().ToString().c_str());
+    return;
+  }
+
+  warlock::service::AdviseCall call;
+  call.schema_text = in.schema_text;
+  call.workload_text = in.workload_text;
+  call.config_text = in.config_text;
+
+  // Prime: build the session and render the artifact once, off the clock.
+  auto primed = client->Advise(call);
+  if (!primed.ok() || !primed->status.ok()) {
+    state.SkipWithError("prime request failed");
+    return;
+  }
+
+  for (auto _ : state) {
+    auto response = client->Advise(call);
+    benchmark::DoNotOptimize(response);
+    if (!response.ok() || !response->status.ok()) {
+      state.SkipWithError("warm request failed");
+      return;
+    }
+  }
+
+  const warlock::service::ServerStats stats = server.stats();
+  state.counters["cache_hits"] = static_cast<double>(stats.cache.hits);
+  state.counters["cache_misses"] = static_cast<double>(stats.cache.misses);
+  state.counters["payload_hits"] =
+      static_cast<double>(stats.advise_payload_hits);
+}
+BENCHMARK(BM_ServiceWarmRoundtrip)->Unit(benchmark::kMillisecond);
+
+// Cold path: what every one of those requests costs without the daemon's
+// cache — parse the three documents, select the bitmap scheme, spawn the
+// pool, run the advise pipeline, render the artifact.
+void BM_ServiceColdSessionBuild(benchmark::State& state) {
+  const BenchInputs in = MakeInputs();
+  for (auto _ : state) {
+    auto session = warlock::Session::FromText(
+        in.schema_text, in.workload_text, in.config_text,
+        warlock::SessionOptions{1});
+    if (!session.ok()) {
+      state.SkipWithError(session.status().ToString().c_str());
+      return;
+    }
+    auto advice = session->Advise();
+    benchmark::DoNotOptimize(advice);
+    if (!advice.ok()) {
+      state.SkipWithError(advice.status().ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ServiceColdSessionBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,219 @@
+// warlock_client: the CLI side of the warlockd protocol. Sends one request
+// and prints (or writes) the returned renderer artifact.
+//
+// Usage:
+//   warlock_client --port N [--host ADDR] [--deadline-ms N] [--out PATH]
+//     advise <schema> <workload> <config> [--top-k N] [--allocator NAME]
+//   warlock_client --port N whatif <schema> <workload> <config>
+//     --frag DIM:LEVEL [--frag DIM:LEVEL ...] [--num-disks N]
+//   warlock_client --port N sweep <spec> [--threads N] [--advisor-threads N]
+//   warlock_client --port N stats
+//   warlock_client --port N health
+//
+// Exit status: 0 on an ok response, 1 on any transport or server error
+// (the structured error document's code and message go to stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/client.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port N [--host ADDR] [--deadline-ms N] [--out PATH]\n"
+      "  advise <schema> <workload> <config> [--top-k N] "
+      "[--allocator NAME]\n"
+      "  whatif <schema> <workload> <config> --frag DIM:LEVEL [...]\n"
+      "         [--num-disks N] [--fact-granule N] [--bitmap-granule N]\n"
+      "  sweep <spec> [--threads N] [--advisor-threads N]\n"
+      "  stats | health\n",
+      argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  *out = buf.str();
+  return f.good() || f.eof();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace warlock;
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::optional<uint64_t> deadline_ms;
+  std::string out_path;
+  std::string method;
+  std::vector<std::string> paths;
+  std::optional<uint64_t> top_k;
+  std::optional<std::string> allocator;
+  std::vector<std::pair<std::string, std::string>> fragmentation;
+  std::optional<uint32_t> num_disks, threads, advisor_threads;
+  std::optional<uint64_t> fact_granule, bitmap_granule;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") return Usage(argv[0]);
+    if (arg == "--host") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--deadline-ms") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      deadline_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--top-k") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      top_k = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--allocator") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      allocator = std::string(v);
+    } else if (arg == "--frag") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "--frag wants DIM:LEVEL, got '%s'\n", v);
+        return 2;
+      }
+      fragmentation.emplace_back(std::string(v, colon), std::string(colon + 1));
+    } else if (arg == "--num-disks") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      num_disks = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--fact-granule") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      fact_granule = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--bitmap-granule") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      bitmap_granule = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      threads = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--advisor-threads") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      advisor_threads = static_cast<uint32_t>(std::atoi(v));
+    } else if (method.empty()) {
+      method = arg;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (port == 0 || method.empty()) return Usage(argv[0]);
+
+  auto client = service::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<service::Response> response =
+      Status::InvalidArgument("unknown method: " + method);
+  if (method == "advise" || method == "whatif") {
+    if (paths.size() != 3) return Usage(argv[0]);
+    std::string schema_text, workload_text, config_text;
+    if (!ReadFile(paths[0], &schema_text) ||
+        !ReadFile(paths[1], &workload_text) ||
+        !ReadFile(paths[2], &config_text)) {
+      std::fprintf(stderr, "cannot read input files\n");
+      return 1;
+    }
+    if (method == "advise") {
+      service::AdviseCall call;
+      call.schema_text = std::move(schema_text);
+      call.workload_text = std::move(workload_text);
+      call.config_text = std::move(config_text);
+      call.top_k = top_k;
+      call.allocator = allocator;
+      call.deadline_ms = deadline_ms;
+      response = client->Advise(call);
+    } else {
+      service::WhatIfCall call;
+      call.schema_text = std::move(schema_text);
+      call.workload_text = std::move(workload_text);
+      call.config_text = std::move(config_text);
+      call.fragmentation = fragmentation;
+      call.num_disks = num_disks;
+      call.fact_granule = fact_granule;
+      call.bitmap_granule = bitmap_granule;
+      call.allocator = allocator;
+      call.deadline_ms = deadline_ms;
+      response = client->WhatIf(call);
+    }
+  } else if (method == "sweep") {
+    if (paths.size() != 1) return Usage(argv[0]);
+    service::SweepCall call;
+    if (!ReadFile(paths[0], &call.spec_text)) {
+      std::fprintf(stderr, "cannot read sweep spec\n");
+      return 1;
+    }
+    call.threads = threads;
+    call.advisor_threads = advisor_threads;
+    call.deadline_ms = deadline_ms;
+    response = client->Sweep(call);
+  } else if (method == "stats") {
+    response = client->Stats();
+  } else if (method == "health") {
+    response = client->Health();
+  } else {
+    return Usage(argv[0]);
+  }
+
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->status.ok()) {
+    std::fprintf(stderr, "%s\n", response->status.ToString().c_str());
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path, std::ios::binary);
+    f << response->payload;
+    f.close();
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s artifact written to %s (cache_hit=%s)\n",
+                 response->method.c_str(), out_path.c_str(),
+                 response->session_cache_hit ? "true" : "false");
+  } else {
+    std::fputs(response->payload.c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// warlockd: the long-lived WARLOCK advisor daemon. Binds a loopback TCP
+// port, speaks the versioned JSON protocol of `service/protocol.h`, and
+// amortizes session construction across requests through the
+// content-addressed session cache.
+//
+// Usage:
+//   warlockd [--host ADDR] [--port N] [--workers N] [--max-active N]
+//            [--cache-capacity N] [--session-threads N] [--port-file PATH]
+//
+//   --port 0 (the default) picks an ephemeral port; --port-file writes the
+//   bound port as a decimal line so scripts can find the daemon.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests complete
+// or are answered with a structured Cancelled document, never truncated.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free state; the main thread polls
+// this flag and runs the actual (lock-taking) shutdown.
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host ADDR] [--port N] [--workers N] "
+               "[--max-active N] [--cache-capacity N] "
+               "[--session-threads N] [--port-file PATH]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace warlock;
+
+  service::ServerOptions options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") return Usage(argv[0]);
+    if (value == nullptr) return Usage(argv[0]);
+    if (arg == "--host") {
+      options.host = value;
+    } else if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (arg == "--workers") {
+      options.workers = static_cast<uint32_t>(std::atoi(value));
+    } else if (arg == "--max-active") {
+      options.max_active = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--cache-capacity") {
+      options.cache_capacity = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--session-threads") {
+      options.session_threads = static_cast<uint32_t>(std::atoi(value));
+    } else if (arg == "--port-file") {
+      port_file = value;
+    } else {
+      return Usage(argv[0]);
+    }
+    ++i;
+  }
+
+  service::Server server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "warlockd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::printf("warlockd: serving warlock_protocol %d on %s:%u\n",
+              service::kProtocolVersion, options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warlockd: cannot write port file %s\n",
+                   port_file.c_str());
+      server.Shutdown();
+      return 1;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+    std::fclose(f);
+  }
+
+  // Park until a signal arrives. sigsuspend-free portable loop: the token
+  // poll interval only bounds shutdown latency, not request latency.
+  while (g_stop == 0) {
+    struct timespec ts;
+    ts.tv_sec = 0;
+    ts.tv_nsec = 100 * 1000 * 1000;
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("warlockd: shutting down\n");
+  std::fflush(stdout);
+  server.Shutdown();
+
+  const service::ServerStats stats = server.stats();
+  std::printf(
+      "warlockd: served %llu ok / %llu error (%llu accepted, %llu shed, "
+      "cache %llu hits / %llu misses / %llu evictions)\n",
+      static_cast<unsigned long long>(stats.requests_ok),
+      static_cast<unsigned long long>(stats.requests_error),
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.evictions));
+  return 0;
+}

@@ -7,10 +7,11 @@
 # bench_e14_prefetch_search (nested prefetch-granule search),
 # bench_e15_scenario_sweep (scenario-level sweep fan-out) and
 # bench_e16_session_whatif (warm Session::WhatIf state reuse vs cold
-# per-call Advisor construction) and bench_e17_allocator_compare (the
-# "warlock" heuristic vs the "graph" partitioning allocation backend).
-# Their JSON outputs are merged into one artifact so the gate sees every
-# series.
+# per-call Advisor construction), bench_e17_allocator_compare (the
+# "warlock" heuristic vs the "graph" partitioning allocation backend) and
+# bench_e18_service_roundtrip (a warm cached warlockd request over loopback
+# vs the cold session build it amortizes). Their JSON outputs are merged
+# into one artifact so the gate sees every series.
 #
 # Usage:
 #   scripts/bench.sh                       # build + run, writes BENCH_advisor.json
@@ -33,7 +34,7 @@ OUT="${OUT:-BENCH_advisor.json}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 DRIVERS=(bench_e13_parallel_advisor bench_e14_prefetch_search
          bench_e15_scenario_sweep bench_e16_session_whatif
-         bench_e17_allocator_compare)
+         bench_e17_allocator_compare bench_e18_service_roundtrip)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 for driver in "${DRIVERS[@]}"; do
@@ -80,14 +81,17 @@ echo "wrote $OUT"
 
 # The speedup gates compare two series of the *current* run, so they hold on
 # any machine: a warm (memo-served) WhatIf must stay >= 10x cheaper than a
-# cold per-call evaluation (the delta re-costing win), and a Run() under a
+# cold per-call evaluation (the delta re-costing win), a Run() under a
 # live deadline/cancel token must stay within ~1.25x of an unbounded Run()
-# (ratio >= 0.8 — the cooperative-cancellation checks are in the noise).
+# (ratio >= 0.8 — the cooperative-cancellation checks are in the noise),
+# and a warm cached warlockd round trip must stay >= 5x cheaper than the
+# cold session build it replaces (the daemon's reason to exist).
 if [[ -n "${CHECK_BASELINE:-}" ]]; then
   python3 scripts/bench_gate.py \
     --baseline bench/BENCH_advisor_baseline.json \
     --current "$OUT" \
     --threshold "${BENCH_THRESHOLD:-2.0}" \
     --speedup "BM_SessionWhatIfWarm:BM_AdvisorWhatIfCold:${BENCH_WARM_SPEEDUP:-10}" \
-    --speedup "BM_AdvisorRunDeadlineCheck/1/real_time:BM_AdvisorRunThreads/1/real_time:${BENCH_DEADLINE_RATIO:-0.8}"
+    --speedup "BM_AdvisorRunDeadlineCheck/1/real_time:BM_AdvisorRunThreads/1/real_time:${BENCH_DEADLINE_RATIO:-0.8}" \
+    --speedup "BM_ServiceWarmRoundtrip:BM_ServiceColdSessionBuild:${BENCH_SERVICE_SPEEDUP:-5}"
 fi

@@ -45,3 +45,40 @@ for row in rows:
         f"scenario {row['index']}: unexpected allocator_winner {winner!r}")
 print(f"allocator_winner column OK ({len(rows)} rows)")
 EOF
+
+# Service smoke: warlockd end to end on loopback — start the daemon on an
+# ephemeral port, run one advise through warlock_client, and require the
+# returned artifact to be byte-identical to the direct CLI's JSON ranking;
+# then a clean SIGTERM shutdown (exit 0).
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"; [[ -n "${WARLOCKD_PID:-}" ]] && kill "$WARLOCKD_PID" 2>/dev/null || true' EXIT
+
+"$BUILD_DIR/examples/warlockd" --port 0 --port-file "$SMOKE_DIR/port" \
+  --workers 2 &
+WARLOCKD_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SMOKE_DIR/port" ]] && break
+  sleep 0.1
+done
+[[ -s "$SMOKE_DIR/port" ]] || { echo "error: warlockd wrote no port file" >&2; exit 1; }
+PORT="$(cat "$SMOKE_DIR/port")"
+
+"$BUILD_DIR/examples/warlock_client" --port "$PORT" \
+  --out "$SMOKE_DIR/service_ranking.json" \
+  advise examples/data/apb1.schema examples/data/apb1.workload \
+  examples/data/default.config
+
+"$BUILD_DIR/examples/warlock_tool" examples/data/apb1.schema \
+  examples/data/apb1.workload examples/data/default.config \
+  "$SMOKE_DIR" >/dev/null
+
+diff "$SMOKE_DIR/service_ranking.json" "$SMOKE_DIR/warlock_ranking.json" \
+  || { echo "error: service artifact diverges from direct CLI output" >&2; exit 1; }
+
+kill -TERM "$WARLOCKD_PID"
+WARLOCKD_STATUS=0
+wait "$WARLOCKD_PID" || WARLOCKD_STATUS=$?
+WARLOCKD_PID=""
+[[ "$WARLOCKD_STATUS" -eq 0 ]] \
+  || { echo "error: warlockd exited $WARLOCKD_STATUS on SIGTERM" >&2; exit 1; }
+echo "warlockd service smoke OK (port $PORT, clean shutdown)"

@@ -1,0 +1,54 @@
+#include "common/content_hash.h"
+
+#include <cstdio>
+
+namespace warlock::common {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t MixByte(uint64_t hash, unsigned char byte) {
+  hash ^= byte;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+uint64_t MixBytes(uint64_t hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    hash = MixByte(hash, static_cast<unsigned char>(c));
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  return MixBytes(14695981039346656037ULL, bytes);
+}
+
+ContentHash& ContentHash::Update(std::string_view part) {
+  hash_ = MixBytes(hash_, part);
+  // Length tag, little-endian, so part boundaries are part of the identity.
+  uint64_t len = part.size();
+  for (int i = 0; i < 8; ++i) {
+    hash_ = MixByte(hash_, static_cast<unsigned char>(len & 0xff));
+    len >>= 8;
+  }
+  return *this;
+}
+
+std::string ContentHash::Hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash_));
+  return std::string(buf, 16);
+}
+
+std::string ContentHashHex(std::initializer_list<std::string_view> parts) {
+  ContentHash h;
+  for (const std::string_view part : parts) h.Update(part);
+  return h.Hex();
+}
+
+}  // namespace warlock::common

@@ -1,0 +1,48 @@
+#ifndef WARLOCK_COMMON_CONTENT_HASH_H_
+#define WARLOCK_COMMON_CONTENT_HASH_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace warlock::common {
+
+/// 64-bit FNV-1a over one byte string — the codebase's one stable
+/// content-hash primitive (memo signatures, the service session cache).
+/// The constants are the standard FNV-1a offset basis and prime, so the
+/// value of any given input never changes across builds or platforms.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// An incremental content hash over an *ordered sequence* of byte strings.
+/// Each part is hashed FNV-1a followed by its length, so part boundaries
+/// are part of the identity: ("ab", "c") and ("a", "bc") hash differently
+/// even though their concatenations are equal — exactly what a cache keyed
+/// by (schema text, workload text, config text) needs.
+class ContentHash {
+ public:
+  ContentHash() = default;
+
+  /// Mixes one part (bytes, then an 8-byte little-endian length tag) into
+  /// the running hash. Returns *this for chaining.
+  ContentHash& Update(std::string_view part);
+
+  /// The current 64-bit hash value.
+  uint64_t value64() const { return hash_; }
+
+  /// The canonical printable form: exactly 16 lowercase hex digits,
+  /// zero-padded. This form is stable (unit-tested against fixed vectors)
+  /// because it is used as an externally visible cache key.
+  std::string Hex() const;
+
+ private:
+  // FNV-1a offset basis.
+  uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/// One-shot convenience: the `Hex()` of hashing `parts` in order.
+std::string ContentHashHex(std::initializer_list<std::string_view> parts);
+
+}  // namespace warlock::common
+
+#endif  // WARLOCK_COMMON_CONTENT_HASH_H_

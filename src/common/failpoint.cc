@@ -15,9 +15,10 @@ namespace {
 // keep the list in sync with the call sites (the fault-sweep test walks it
 // and asserts each entry actually injects).
 const char* const kRegistered[] = {
-    kReadFile,         kParseSchema,      kParseWorkload,
-    kParseConfig,      kMemoPut,          kValidateCapacity,
-    kAllocPartition,   kThreadPoolDispatch,
+    kReadFile,         kParseSchema,        kParseWorkload,
+    kParseConfig,      kMemoPut,            kValidateCapacity,
+    kAllocPartition,   kThreadPoolDispatch, kServiceAccept,
+    kServiceParseRequest,
 };
 
 // armed_total: fast-path gate. -1 = env spec not parsed yet (forces one

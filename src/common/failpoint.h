@@ -36,6 +36,13 @@ inline constexpr char kParseWorkload[] = "parse.workload";
 inline constexpr char kParseConfig[] = "parse.config";
 inline constexpr char kValidateCapacity[] = "alloc.validate_capacity";
 inline constexpr char kAllocPartition[] = "alloc.partition";
+/// Service seams (`warlockd`): an armed accept drops the incoming
+/// connection before it is admitted (the client sees a closed socket, the
+/// server keeps serving); an armed parse turns one request into a
+/// structured error document (clean error frame, no partial response,
+/// connection and server stay usable).
+inline constexpr char kServiceAccept[] = "service.accept";
+inline constexpr char kServiceParseRequest[] = "service.parse_request";
 /// Degradation seams (an armed check sheds work — a dropped cache insert, a
 /// lost pool helper — and the operation must still succeed byte-identically):
 inline constexpr char kMemoPut[] = "memo.put";

@@ -24,8 +24,33 @@ const char* StatusCodeName(Status::Code code) {
       return "Cancelled";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromName(std::string_view name, Status::Code* code) {
+  static constexpr Status::Code kAll[] = {
+      Status::Code::kOk,
+      Status::Code::kInvalidArgument,
+      Status::Code::kNotFound,
+      Status::Code::kOutOfRange,
+      Status::Code::kFailedPrecondition,
+      Status::Code::kResourceExhausted,
+      Status::Code::kInternal,
+      Status::Code::kIoError,
+      Status::Code::kCancelled,
+      Status::Code::kDeadlineExceeded,
+      Status::Code::kUnavailable,
+  };
+  for (const Status::Code c : kAll) {
+    if (name == StatusCodeName(c)) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

@@ -2,6 +2,7 @@
 #define WARLOCK_COMMON_STATUS_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace warlock {
@@ -25,6 +26,7 @@ class Status {
     kIoError = 7,
     kCancelled = 8,
     kDeadlineExceeded = 9,
+    kUnavailable = 10,
   };
 
   /// Constructs an OK status.
@@ -79,6 +81,14 @@ class Status {
     return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
+  /// Returns the error a temporarily overloaded service surfaces when it
+  /// sheds a request (admission control). Distinguishable from client
+  /// mistakes: the correct reaction is retry-with-backoff, not fix-and-
+  /// resend.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+
   /// Returns `status` with "<context>: " prepended to its message, code
   /// preserved — attribution when a facade composes several parsers.
   /// `status` must be an error.
@@ -111,6 +121,11 @@ class Status {
 
 /// Returns the symbolic name of a status code, e.g. "InvalidArgument".
 const char* StatusCodeName(Status::Code code);
+
+/// Parses a symbolic name back into its code (the inverse of
+/// `StatusCodeName`, the wire-format currency of the service protocol).
+/// Returns false for an unknown name, leaving `*code` untouched.
+bool StatusCodeFromName(std::string_view name, Status::Code* code);
 
 /// Propagates an error status from the current function.
 #define WARLOCK_RETURN_IF_ERROR(expr)              \

@@ -8,6 +8,7 @@
 
 #include "alloc/allocator.h"
 #include "alloc/coaccess.h"
+#include "common/content_hash.h"
 #include "common/thread_pool.h"
 #include "core/eval_memo.h"
 #include "fragment/candidates.h"
@@ -19,11 +20,7 @@ namespace {
 // FNV-1a over the backend name — a stable nonzero code for memo signatures
 // (0 is reserved for "the session config's backend").
 uint64_t AllocatorCode(const std::string& name) {
-  uint64_t hash = 14695981039346656037ULL;
-  for (const char c : name) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
+  const uint64_t hash = common::Fnv1a64(name);
   return hash == 0 ? 1 : hash;
 }
 

@@ -1,0 +1,185 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/json.h"
+
+namespace warlock::service {
+
+namespace {
+
+void AppendOpt(std::string& doc, std::string_view key,
+               const std::optional<uint64_t>& value) {
+  if (!value) return;
+  doc += ", ";
+  doc += JsonString(key);
+  doc += ": ";
+  doc += std::to_string(*value);
+}
+
+void AppendOpt32(std::string& doc, std::string_view key,
+                 const std::optional<uint32_t>& value) {
+  if (!value) return;
+  doc += ", ";
+  doc += JsonString(key);
+  doc += ": ";
+  doc += std::to_string(*value);
+}
+
+void AppendOptStr(std::string& doc, std::string_view key,
+                  const std::optional<std::string>& value) {
+  if (!value) return;
+  doc += ", ";
+  doc += JsonString(key);
+  doc += ": ";
+  doc += JsonString(*value);
+}
+
+std::string RequestHead(std::string_view method) {
+  std::string doc = "{\"warlock_protocol\": ";
+  doc += std::to_string(kProtocolVersion);
+  doc += ", \"method\": ";
+  doc += JsonString(method);
+  return doc;
+}
+
+void AppendInputs(std::string& doc, const std::string& schema_text,
+                  const std::string& workload_text,
+                  const std::string& config_text) {
+  doc += ", \"schema\": " + JsonString(schema_text);
+  doc += ", \"workload\": " + JsonString(workload_text);
+  doc += ", \"config\": " + JsonString(config_text);
+}
+
+}  // namespace
+
+std::string AdviseRequestJson(const AdviseCall& call) {
+  std::string doc = RequestHead(kMethodAdvise);
+  AppendInputs(doc, call.schema_text, call.workload_text, call.config_text);
+  AppendOpt(doc, "top_k", call.top_k);
+  AppendOptStr(doc, "allocator", call.allocator);
+  AppendOpt(doc, "deadline_ms", call.deadline_ms);
+  doc += "}";
+  return doc;
+}
+
+std::string WhatIfRequestJson(const WhatIfCall& call) {
+  std::string doc = RequestHead(kMethodWhatIf);
+  AppendInputs(doc, call.schema_text, call.workload_text, call.config_text);
+  doc += ", \"fragmentation\": [";
+  for (size_t i = 0; i < call.fragmentation.size(); ++i) {
+    if (i > 0) doc += ", ";
+    doc += "{\"dimension\": " + JsonString(call.fragmentation[i].first) +
+           ", \"level\": " + JsonString(call.fragmentation[i].second) + "}";
+  }
+  doc += "]";
+  AppendOpt32(doc, "num_disks", call.num_disks);
+  AppendOpt(doc, "fact_granule", call.fact_granule);
+  AppendOpt(doc, "bitmap_granule", call.bitmap_granule);
+  AppendOptStr(doc, "allocator", call.allocator);
+  AppendOpt(doc, "deadline_ms", call.deadline_ms);
+  doc += "}";
+  return doc;
+}
+
+std::string SweepRequestJson(const SweepCall& call) {
+  std::string doc = RequestHead(kMethodSweep);
+  doc += ", \"spec\": " + JsonString(call.spec_text);
+  AppendOpt32(doc, "threads", call.threads);
+  AppendOpt32(doc, "advisor_threads", call.advisor_threads);
+  AppendOpt(doc, "deadline_ms", call.deadline_ms);
+  doc += "}";
+  return doc;
+}
+
+std::string StatsRequestJson(std::optional<uint64_t> deadline_ms) {
+  std::string doc = RequestHead(kMethodStats);
+  AppendOpt(doc, "deadline_ms", deadline_ms);
+  doc += "}";
+  return doc;
+}
+
+std::string HealthRequestJson(std::optional<uint64_t> deadline_ms) {
+  std::string doc = RequestHead(kMethodHealth);
+  AppendOpt(doc, "deadline_ms", deadline_ms);
+  doc += "}";
+  return doc;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable server address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") +
+                               std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status st = Status::Unavailable(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Response> Client::Call(std::string_view request_json,
+                              const common::CancelToken& token) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  WARLOCK_RETURN_IF_ERROR(WriteFrame(fd_, request_json, token));
+  WARLOCK_ASSIGN_OR_RETURN(std::string body, ReadFrame(fd_, token));
+  return ParseResponse(body);
+}
+
+Result<Response> Client::Advise(const AdviseCall& call,
+                                const common::CancelToken& token) {
+  return Call(AdviseRequestJson(call), token);
+}
+
+Result<Response> Client::WhatIf(const WhatIfCall& call,
+                                const common::CancelToken& token) {
+  return Call(WhatIfRequestJson(call), token);
+}
+
+Result<Response> Client::Sweep(const SweepCall& call,
+                               const common::CancelToken& token) {
+  return Call(SweepRequestJson(call), token);
+}
+
+Result<Response> Client::Stats(const common::CancelToken& token) {
+  return Call(StatsRequestJson(), token);
+}
+
+Result<Response> Client::Health(const common::CancelToken& token) {
+  return Call(HealthRequestJson(), token);
+}
+
+}  // namespace warlock::service

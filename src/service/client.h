@@ -1,0 +1,101 @@
+#ifndef WARLOCK_SERVICE_CLIENT_H_
+#define WARLOCK_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "service/protocol.h"
+
+namespace warlock::service {
+
+/// Knobs of one client-side advise request (mirrors the wire fields).
+struct AdviseCall {
+  std::string schema_text;
+  std::string workload_text;
+  std::string config_text;
+  std::optional<uint64_t> top_k;
+  std::optional<std::string> allocator;
+  std::optional<uint64_t> deadline_ms;
+};
+
+/// Knobs of one client-side what-if request.
+struct WhatIfCall {
+  std::string schema_text;
+  std::string workload_text;
+  std::string config_text;
+  /// (dimension, level) name pairs.
+  std::vector<std::pair<std::string, std::string>> fragmentation;
+  std::optional<uint32_t> num_disks;
+  std::optional<uint64_t> fact_granule;
+  std::optional<uint64_t> bitmap_granule;
+  std::optional<std::string> allocator;
+  std::optional<uint64_t> deadline_ms;
+};
+
+/// Knobs of one client-side sweep request.
+struct SweepCall {
+  std::string spec_text;
+  std::optional<uint32_t> threads;
+  std::optional<uint32_t> advisor_threads;
+  std::optional<uint64_t> deadline_ms;
+};
+
+/// Request-document builders (exposed so tests can speak the protocol
+/// without a socket).
+std::string AdviseRequestJson(const AdviseCall& call);
+std::string WhatIfRequestJson(const WhatIfCall& call);
+std::string SweepRequestJson(const SweepCall& call);
+std::string StatsRequestJson(std::optional<uint64_t> deadline_ms = {});
+std::string HealthRequestJson(std::optional<uint64_t> deadline_ms = {});
+
+/// A blocking `warlockd` client: one TCP connection, sequential
+/// request/response frames. Move-only (owns the socket). Not internally
+/// synchronized — use one Client per thread, or serialize calls.
+///
+/// Transport failures (connection refused, truncated frame) surface as the
+/// call's own error status; *server-reported* errors come back as the
+/// `Response::status` with the server's code restored, annotated
+/// "server:" so the two are distinguishable.
+class Client {
+ public:
+  /// Connects to `host:port`. Fails with kUnavailable when the daemon is
+  /// not reachable.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request document and reads one response frame. The token
+  /// bounds the whole round trip client-side (the server additionally
+  /// honors the request's own `deadline_ms`).
+  Result<Response> Call(std::string_view request_json,
+                        const common::CancelToken& token = {});
+
+  /// Convenience wrappers: build + send + parse.
+  Result<Response> Advise(const AdviseCall& call,
+                          const common::CancelToken& token = {});
+  Result<Response> WhatIf(const WhatIfCall& call,
+                          const common::CancelToken& token = {});
+  Result<Response> Sweep(const SweepCall& call,
+                         const common::CancelToken& token = {});
+  Result<Response> Stats(const common::CancelToken& token = {});
+  Result<Response> Health(const common::CancelToken& token = {});
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace warlock::service
+
+#endif  // WARLOCK_SERVICE_CLIENT_H_

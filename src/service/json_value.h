@@ -1,0 +1,77 @@
+#ifndef WARLOCK_SERVICE_JSON_VALUE_H_
+#define WARLOCK_SERVICE_JSON_VALUE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace warlock::service {
+
+/// A parsed JSON document — the read half of the service protocol (the
+/// write half is `common/json.h`, whose escaping this parser inverts
+/// exactly, so a string value round-trips byte-identically through
+/// `JsonString` -> wire -> `JsonValue`).
+///
+/// Deliberately minimal: enough of RFC 8259 for the versioned request
+/// schema (objects, arrays, strings, finite numbers, booleans, null) with
+/// a nesting-depth cap instead of recursion-limit surprises. Not a general
+/// DOM — numbers are doubles, object keys are unique (last wins), and
+/// documents above `kMaxDocumentBytes` are rejected before parsing.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; must only be called when the kind matches.
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_members() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Largest accepted document (16 MiB): a service must bound untrusted
+/// input before allocating for it.
+inline constexpr size_t kMaxDocumentBytes = 16u << 20;
+
+/// Parses one complete JSON document (trailing garbage is an error).
+/// Errors are `kInvalidArgument` with a byte offset, so a client can see
+/// where its request went wrong.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace warlock::service
+
+#endif  // WARLOCK_SERVICE_JSON_VALUE_H_

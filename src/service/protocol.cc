@@ -1,0 +1,360 @@
+#include "service/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/json.h"
+#include "service/json_value.h"
+
+namespace warlock::service {
+
+namespace {
+
+// How long a blocked read/write sleeps between cancellation checks.
+constexpr int kPollMs = 50;
+
+Status FieldError(const std::string& field, const std::string& what) {
+  return Status::InvalidArgument("request field '" + field + "' " + what);
+}
+
+// Fetches an optional unsigned integer field: absent -> unset, present ->
+// must be a non-negative whole number that fits `max`.
+template <typename T>
+Status ReadOptionalUnsigned(const JsonValue& doc, const std::string& field,
+                            uint64_t max, std::optional<T>* out) {
+  const JsonValue* v = doc.Find(field);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_number()) return FieldError(field, "must be a number");
+  const double d = v->number_value();
+  if (!std::isfinite(d) || d < 0 || d != std::floor(d)) {
+    return FieldError(field, "must be a non-negative integer");
+  }
+  if (d > static_cast<double>(max)) return FieldError(field, "is too large");
+  *out = static_cast<T>(d);
+  return Status::OK();
+}
+
+// Fetches a required non-empty string field.
+Result<std::string> ReadRequiredString(const JsonValue& doc,
+                                       const std::string& field) {
+  const JsonValue* v = doc.Find(field);
+  if (v == nullptr) return FieldError(field, "is required");
+  if (!v->is_string()) return FieldError(field, "must be a string");
+  return v->string_value();
+}
+
+Status ReadOptionalString(const JsonValue& doc, const std::string& field,
+                          std::optional<std::string>* out) {
+  const JsonValue* v = doc.Find(field);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_string()) return FieldError(field, "must be a string");
+  *out = v->string_value();
+  return Status::OK();
+}
+
+Status ReadInputTexts(const JsonValue& doc, Request* request) {
+  WARLOCK_ASSIGN_OR_RETURN(request->schema_text,
+                           ReadRequiredString(doc, "schema"));
+  WARLOCK_ASSIGN_OR_RETURN(request->workload_text,
+                           ReadRequiredString(doc, "workload"));
+  WARLOCK_ASSIGN_OR_RETURN(request->config_text,
+                           ReadRequiredString(doc, "config"));
+  return Status::OK();
+}
+
+Status ReadFragmentation(const JsonValue& doc, Request* request) {
+  const JsonValue* frag = doc.Find("fragmentation");
+  if (frag == nullptr) return FieldError("fragmentation", "is required");
+  if (!frag->is_array() || frag->array_items().empty()) {
+    return FieldError("fragmentation", "must be a non-empty array");
+  }
+  for (const JsonValue& item : frag->array_items()) {
+    const JsonValue* dim = item.Find("dimension");
+    const JsonValue* level = item.Find("level");
+    if (!item.is_object() || dim == nullptr || level == nullptr ||
+        !dim->is_string() || !level->is_string()) {
+      return FieldError("fragmentation",
+                        "items must be {\"dimension\": ..., \"level\": ...} "
+                        "string pairs");
+    }
+    request->fragmentation.emplace_back(dim->string_value(),
+                                        level->string_value());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+common::Deadline Request::MakeDeadline() const {
+  if (!deadline_ms.has_value()) return common::Deadline();
+  return common::Deadline::After(std::chrono::milliseconds(*deadline_ms));
+}
+
+Result<Request> ParseRequest(std::string_view json) {
+  WARLOCK_RETURN_IF_ERROR(
+      common::failpoint::Check(common::failpoint::kServiceParseRequest));
+  WARLOCK_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const JsonValue* version = doc.Find("warlock_protocol");
+  if (version == nullptr || !version->is_number()) {
+    return Status::InvalidArgument(
+        "request field 'warlock_protocol' is required and must be a number");
+  }
+  if (version->number_value() != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "unsupported protocol version (this server speaks warlock_protocol " +
+        std::to_string(kProtocolVersion) + ")");
+  }
+
+  Request request;
+  WARLOCK_ASSIGN_OR_RETURN(request.method, ReadRequiredString(doc, "method"));
+  WARLOCK_RETURN_IF_ERROR(ReadOptionalUnsigned<uint64_t>(
+      doc, "deadline_ms", 24ull * 3600 * 1000, &request.deadline_ms));
+
+  if (request.method == kMethodAdvise) {
+    WARLOCK_RETURN_IF_ERROR(ReadInputTexts(doc, &request));
+    WARLOCK_RETURN_IF_ERROR(ReadOptionalUnsigned<uint64_t>(
+        doc, "top_k", 1ull << 32, &request.top_k));
+    WARLOCK_RETURN_IF_ERROR(
+        ReadOptionalString(doc, "allocator", &request.allocator));
+  } else if (request.method == kMethodWhatIf) {
+    WARLOCK_RETURN_IF_ERROR(ReadInputTexts(doc, &request));
+    WARLOCK_RETURN_IF_ERROR(ReadFragmentation(doc, &request));
+    WARLOCK_RETURN_IF_ERROR(
+        ReadOptionalString(doc, "allocator", &request.allocator));
+    WARLOCK_RETURN_IF_ERROR(ReadOptionalUnsigned<uint32_t>(
+        doc, "num_disks", 1u << 20, &request.num_disks));
+    WARLOCK_RETURN_IF_ERROR(ReadOptionalUnsigned<uint64_t>(
+        doc, "fact_granule", 1ull << 40, &request.fact_granule));
+    WARLOCK_RETURN_IF_ERROR(ReadOptionalUnsigned<uint64_t>(
+        doc, "bitmap_granule", 1ull << 40, &request.bitmap_granule));
+  } else if (request.method == kMethodSweep) {
+    WARLOCK_ASSIGN_OR_RETURN(request.sweep_spec,
+                             ReadRequiredString(doc, "spec"));
+    WARLOCK_RETURN_IF_ERROR(ReadOptionalUnsigned<uint32_t>(
+        doc, "threads", 1024, &request.sweep_threads));
+    WARLOCK_RETURN_IF_ERROR(ReadOptionalUnsigned<uint32_t>(
+        doc, "advisor_threads", 1024, &request.advisor_threads));
+  } else if (request.method == kMethodStats ||
+             request.method == kMethodHealth) {
+    // No further fields.
+  } else {
+    return Status::InvalidArgument(
+        "unknown method '" + request.method +
+        "' (expected advise|whatif|sweep|stats|health)");
+  }
+  return request;
+}
+
+std::string OkResponse(std::string_view method, std::string_view payload_json,
+                       bool session_cache_hit) {
+  std::string out = "{\"warlock_protocol\":";
+  out += std::to_string(kProtocolVersion);
+  out += ",\"ok\":true,\"method\":";
+  out += JsonString(method);
+  out += ",\"session_cache_hit\":";
+  out += JsonBool(session_cache_hit);
+  out += ",\"payload\":";
+  out += JsonString(payload_json);
+  out += "}";
+  return out;
+}
+
+std::string ErrorResponse(const Status& status) {
+  std::string out = "{\"warlock_protocol\":";
+  out += std::to_string(kProtocolVersion);
+  out += ",\"ok\":false,\"error\":{\"code\":";
+  out += JsonString(StatusCodeName(status.code()));
+  out += ",\"message\":";
+  out += JsonString(status.message());
+  out += "}}";
+  return out;
+}
+
+Result<Response> ParseResponse(std::string_view json) {
+  WARLOCK_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  const JsonValue* version = doc.Find("warlock_protocol");
+  if (version == nullptr || !version->is_number() ||
+      version->number_value() != kProtocolVersion) {
+    return Status::InvalidArgument("response lacks warlock_protocol 1");
+  }
+  const JsonValue* ok = doc.Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Status::InvalidArgument("response lacks boolean 'ok'");
+  }
+
+  Response response;
+  if (!ok->bool_value()) {
+    const JsonValue* error = doc.Find("error");
+    const JsonValue* code = error ? error->Find("code") : nullptr;
+    const JsonValue* message = error ? error->Find("message") : nullptr;
+    if (code == nullptr || !code->is_string() || message == nullptr ||
+        !message->is_string()) {
+      return Status::InvalidArgument("error response lacks code/message");
+    }
+    Status::Code parsed = Status::Code::kInternal;
+    StatusCodeFromName(code->string_value(), &parsed);
+    response.status = Status::Annotate("server", [&] {
+      switch (parsed) {
+        case Status::Code::kInvalidArgument:
+          return Status::InvalidArgument(message->string_value());
+        case Status::Code::kNotFound:
+          return Status::NotFound(message->string_value());
+        case Status::Code::kOutOfRange:
+          return Status::OutOfRange(message->string_value());
+        case Status::Code::kFailedPrecondition:
+          return Status::FailedPrecondition(message->string_value());
+        case Status::Code::kResourceExhausted:
+          return Status::ResourceExhausted(message->string_value());
+        case Status::Code::kIoError:
+          return Status::IoError(message->string_value());
+        case Status::Code::kCancelled:
+          return Status::Cancelled(message->string_value());
+        case Status::Code::kDeadlineExceeded:
+          return Status::DeadlineExceeded(message->string_value());
+        case Status::Code::kUnavailable:
+          return Status::Unavailable(message->string_value());
+        default:
+          return Status::Internal(message->string_value());
+      }
+    }());
+    return response;
+  }
+
+  const JsonValue* method = doc.Find("method");
+  const JsonValue* payload = doc.Find("payload");
+  const JsonValue* hit = doc.Find("session_cache_hit");
+  if (method == nullptr || !method->is_string() || payload == nullptr ||
+      !payload->is_string() || hit == nullptr || !hit->is_bool()) {
+    return Status::InvalidArgument(
+        "ok response lacks method/payload/session_cache_hit");
+  }
+  response.method = method->string_value();
+  response.payload = payload->string_value();
+  response.session_cache_hit = hit->bool_value();
+  return response;
+}
+
+// --- Framing --------------------------------------------------------------
+
+namespace {
+
+constexpr char kFramePrefix[] = "warlock/1 ";
+
+// Waits for fd readiness, interleaving cancellation checks. `events` is
+// POLLIN or POLLOUT.
+Status PollFd(int fd, short events, const common::CancelToken& token) {
+  while (true) {
+    WARLOCK_RETURN_IF_ERROR(token.CheckStop());
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, kPollMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (n > 0) return Status::OK();
+  }
+}
+
+// Reads exactly `want` bytes, appending to `out`. EOF before `want` bytes
+// with an empty partial read of a fresh frame is reported as kNotFound so
+// callers can distinguish "peer closed between frames" from a truncation.
+Status ReadExact(int fd, size_t want, const common::CancelToken& token,
+                 bool eof_ok_at_start, std::string* out) {
+  size_t got = 0;
+  char buf[4096];
+  while (got < want) {
+    WARLOCK_RETURN_IF_ERROR(PollFd(fd, POLLIN, token));
+    const size_t chunk = std::min(want - got, sizeof(buf));
+    const ssize_t n = ::read(fd, buf, chunk);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (eof_ok_at_start && got == 0 && out->empty()) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::IoError("connection closed mid-frame");
+    }
+    out->append(buf, static_cast<size_t>(n));
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFrame(int fd, const common::CancelToken& token) {
+  // Header: `warlock/1 <len>\n`, read byte-wise up to a small cap (the
+  // header is tiny; a peer that sends junk fails fast).
+  std::string header;
+  while (true) {
+    WARLOCK_RETURN_IF_ERROR(
+        ReadExact(fd, 1, token, /*eof_ok_at_start=*/header.empty(), &header));
+    if (header.back() == '\n') break;
+    if (header.size() > 64) {
+      return Status::InvalidArgument("malformed frame header");
+    }
+  }
+  const std::string_view prefix(kFramePrefix);
+  if (header.size() <= prefix.size() ||
+      std::string_view(header).substr(0, prefix.size()) != prefix) {
+    return Status::InvalidArgument("malformed frame header");
+  }
+  uint64_t len = 0;
+  for (size_t i = prefix.size(); i + 1 < header.size(); ++i) {
+    const char c = header[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed frame length");
+    }
+    len = len * 10 + static_cast<uint64_t>(c - '0');
+    if (len > kMaxDocumentBytes) {
+      return Status::InvalidArgument("frame too large");
+    }
+  }
+  std::string body;
+  body.reserve(len);
+  WARLOCK_RETURN_IF_ERROR(
+      ReadExact(fd, len, token, /*eof_ok_at_start=*/false, &body));
+  return body;
+}
+
+Status WriteFrame(int fd, std::string_view body,
+                  const common::CancelToken& token) {
+  std::string frame = kFramePrefix;
+  frame += std::to_string(body.size());
+  frame += '\n';
+  frame.append(body);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    WARLOCK_RETURN_IF_ERROR(PollFd(fd, POLLOUT, token));
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE -> kIoError,
+    // never as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace warlock::service

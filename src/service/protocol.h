@@ -1,0 +1,134 @@
+#ifndef WARLOCK_SERVICE_PROTOCOL_H_
+#define WARLOCK_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace warlock::service {
+
+/// The versioned request/response schema of the `warlockd` wire protocol.
+///
+/// One request / one response, both a single JSON object:
+///
+///   {"warlock_protocol": 1, "method": "advise",
+///    "schema": "<schema text>", "workload": "<workload text>",
+///    "config": "<config text>", "top_k": 5, "deadline_ms": 2000}
+///
+/// Success responses wrap the existing stable `report::Renderer` JSON
+/// artifacts as the payload (embedded as an escaped JSON string, so
+/// framing never depends on the payload's own layout and a client
+/// recovers the artifact byte-identically by unescaping):
+///
+///   {"warlock_protocol": 1, "ok": true, "method": "advise",
+///    "session_cache_hit": true, "payload": "<escaped artifact>"}
+///
+/// Errors map the `common::Status` taxonomy onto a structured document —
+/// admission sheds are `Unavailable`, a fired deadline/cancel is
+/// `DeadlineExceeded`/`Cancelled`, client mistakes are
+/// `InvalidArgument`/`NotFound`:
+///
+///   {"warlock_protocol": 1, "ok": false,
+///    "error": {"code": "Unavailable", "message": "..."}}
+///
+/// Methods: "advise" | "whatif" | "sweep" | "stats" | "health". Every
+/// method accepts an optional `deadline_ms` wall-clock budget.
+inline constexpr int kProtocolVersion = 1;
+
+/// Known method names (the parser rejects anything else).
+inline constexpr char kMethodAdvise[] = "advise";
+inline constexpr char kMethodWhatIf[] = "whatif";
+inline constexpr char kMethodSweep[] = "sweep";
+inline constexpr char kMethodStats[] = "stats";
+inline constexpr char kMethodHealth[] = "health";
+
+/// One parsed, validated request.
+struct Request {
+  std::string method;
+
+  /// The three input-layer documents ("advise"/"whatif"; the session-cache
+  /// key is a content hash of exactly these three texts).
+  std::string schema_text;
+  std::string workload_text;
+  std::string config_text;
+
+  /// "advise" knobs (see `warlock::AdviseRequest`).
+  std::optional<uint64_t> top_k;
+  std::optional<std::string> allocator;
+
+  /// "whatif": the fragmentation as (dimension, level) name pairs plus the
+  /// interactive override knobs.
+  std::vector<std::pair<std::string, std::string>> fragmentation;
+  std::optional<uint32_t> num_disks;
+  std::optional<uint64_t> fact_granule;
+  std::optional<uint64_t> bitmap_granule;
+
+  /// "sweep": the scenario spec text plus fan-out knobs.
+  std::string sweep_spec;
+  std::optional<uint32_t> sweep_threads;
+  std::optional<uint32_t> advisor_threads;
+
+  /// Wall-clock budget for the request, any method (unset = unbounded).
+  std::optional<uint64_t> deadline_ms;
+
+  /// The deadline `deadline_ms` denotes, anchored at the call; unbounded
+  /// when the request carries none.
+  common::Deadline MakeDeadline() const;
+};
+
+/// Parses and validates one request document. Errors are
+/// `kInvalidArgument` (malformed JSON, wrong/missing protocol version,
+/// unknown method, missing or mistyped fields) and name the offending
+/// field. Checks the `service.parse_request` failpoint first.
+Result<Request> ParseRequest(std::string_view json);
+
+/// Builds a success response. `payload_json` is the renderer artifact (or
+/// any JSON document) to embed; `session_cache_hit` reports whether the
+/// request was served from an already-built session.
+std::string OkResponse(std::string_view method, std::string_view payload_json,
+                       bool session_cache_hit);
+
+/// Builds a structured error document from a non-OK status.
+std::string ErrorResponse(const Status& status);
+
+/// One parsed response, from the client's side.
+struct Response {
+  /// OK, or the error the server reported (code restored from the wire
+  /// name; an unknown name maps to kInternal).
+  Status status;
+  std::string method;
+  /// The unescaped payload artifact; empty for errors.
+  std::string payload;
+  bool session_cache_hit = false;
+};
+
+/// Parses a response document (the inverse of `OkResponse`/
+/// `ErrorResponse`).
+Result<Response> ParseResponse(std::string_view json);
+
+/// --- Framing ------------------------------------------------------------
+///
+/// Length-prefixed frames, so payloads may contain anything (the renderer
+/// artifacts are multi-line): the ASCII header line `warlock/1 <len>\n`
+/// followed by exactly `len` bytes of document. Both sides poll with
+/// `token` so a blocked peer cannot wedge a worker past shutdown.
+
+/// Largest accepted frame body; mirrors `kMaxDocumentBytes`.
+Result<std::string> ReadFrame(int fd, const common::CancelToken& token);
+
+/// Writes one frame (header + body), handling partial writes. Returns
+/// kCancelled/kDeadlineExceeded when `token` fires mid-write, kIoError on
+/// a closed or failing peer.
+Status WriteFrame(int fd, std::string_view body,
+                  const common::CancelToken& token);
+
+}  // namespace warlock::service
+
+#endif  // WARLOCK_SERVICE_PROTOCOL_H_

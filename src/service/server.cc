@@ -1,0 +1,396 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/json.h"
+#include "report/renderer.h"
+#include "scenario/scenario_text.h"
+#include "scenario/sweep.h"
+
+namespace warlock::service {
+
+namespace {
+
+// Acceptor poll granularity: the shutdown-latency upper bound for an idle
+// listener.
+constexpr int kAcceptPollMs = 100;
+
+// A stop-immune write budget for response frames: once a response is being
+// written it must complete (never truncate mid-frame), but a peer that
+// stopped reading cannot wedge a worker forever either.
+common::CancelToken WriteGraceToken() {
+  return common::CancelToken().WithDeadline(
+      common::Deadline::After(std::chrono::seconds(30)));
+}
+
+// A shorter budget for best-effort error documents written from the
+// acceptor thread (admission sheds): the acceptor must not stall.
+common::CancelToken ShedGraceToken() {
+  return common::CancelToken().WithDeadline(
+      common::Deadline::After(std::chrono::seconds(1)));
+}
+
+std::string JsonU64(uint64_t v) { return std::to_string(v); }
+
+// Empties the socket's receive queue without blocking, then closes it.
+// Closing with unread data makes TCP send an RST, which can discard a
+// response frame still sitting in the peer's receive buffer — exactly the
+// truncation the shutdown contract forbids.
+void DrainAndClose(int fd) {
+  char buf[4096];
+  while (::recv(fd, buf, sizeof(buf), MSG_DONTWAIT) > 0) {
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity,
+             SessionOptions{options_.session_threads == 0
+                                ? std::optional<uint32_t>()
+                                : std::optional<uint32_t>(
+                                      options_.session_threads)}) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable listen address: " +
+                                   options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Status::Unavailable(
+        "bind " + options_.host + ":" + std::to_string(options_.port) +
+        ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status st =
+        Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status st = Status::Unavailable(std::string("getsockname: ") +
+                                          std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+
+  workers_.emplace(options_.workers);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (shut_down_.exchange(true)) {
+    // Second caller: wait for the first to have finished tearing down.
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  stop_.RequestCancel();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // ThreadPool destruction drains every queued/running handler; each sees
+  // the fired token and answers kCancelled or closes between frames.
+  workers_.reset();
+}
+
+void Server::AcceptLoop() {
+  const common::CancelToken token = stop_.token();
+  while (!token.stop_requested()) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, kAcceptPollMs);
+    if (n <= 0) continue;  // timeout / EINTR: re-check the token
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (common::failpoint::Fire(common::failpoint::kServiceAccept)) {
+      // Injected accept fault: the connection is dropped before admission.
+      // The client sees a clean close; the server keeps serving.
+      ::close(client);
+      continue;
+    }
+
+    if (active_.load(std::memory_order_relaxed) >= options_.max_active) {
+      // Admission control: shed with a structured document instead of
+      // queueing unboundedly. The client's request frame is read (and
+      // discarded) first so the close is clean — unread data would turn
+      // the close into an RST racing the error frame off the wire.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      requests_error_.fetch_add(1, std::memory_order_relaxed);
+      const common::CancelToken grace = ShedGraceToken();
+      (void)ReadFrame(client, grace);
+      WriteFrame(client,
+                 ErrorResponse(Status::Unavailable(
+                     "server at capacity (" +
+                     std::to_string(options_.max_active) +
+                     " connections admitted); retry with backoff")),
+                 grace);
+      DrainAndClose(client);
+      continue;
+    }
+
+    active_.fetch_add(1, std::memory_order_relaxed);
+    workers_->Submit([this, client] {
+      try {
+        HandleConnection(client);
+      } catch (...) {
+        // HandleConnection is exception-free by construction; this is the
+        // belt-and-braces backstop keeping one connection from poisoning
+        // the pool.
+      }
+      DrainAndClose(client);
+      active_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  const common::CancelToken token = stop_.token();
+  while (true) {
+    auto body = ReadFrame(fd, token);
+    if (!body.ok()) {
+      const Status& st = body.status();
+      if (st.code() == Status::Code::kNotFound) break;  // peer hung up
+      if (common::IsStopStatus(st)) {
+        // Shutdown arrived between frames (or mid-read): answer the
+        // connection with a structured Cancelled document, then close —
+        // never silently truncate.
+        requests_error_.fetch_add(1, std::memory_order_relaxed);
+        WriteFrame(fd,
+                   ErrorResponse(
+                       Status::Cancelled("server shutting down")),
+                   WriteGraceToken());
+        break;
+      }
+      if (st.code() == Status::Code::kInvalidArgument) {
+        // Broken framing: report it, then close (the stream cannot be
+        // resynchronized).
+        requests_error_.fetch_add(1, std::memory_order_relaxed);
+        WriteFrame(fd, ErrorResponse(st), WriteGraceToken());
+      }
+      break;
+    }
+
+    const std::string response = HandleRequest(*body);
+    if (!WriteFrame(fd, response, WriteGraceToken()).ok()) break;
+  }
+}
+
+std::string Server::Ok(std::string_view method, std::string_view payload,
+                       bool cache_hit) const {
+  requests_ok_.fetch_add(1, std::memory_order_relaxed);
+  return OkResponse(method, payload, cache_hit);
+}
+
+std::string Server::Error(const Status& status) const {
+  requests_error_.fetch_add(1, std::memory_order_relaxed);
+  return ErrorResponse(status);
+}
+
+std::string Server::HandleRequest(const std::string& body) const {
+  auto request = ParseRequest(body);
+  if (!request.ok()) return Error(request.status());
+
+  // One token carries both "the daemon is shutting down" and the
+  // request's own deadline through the evaluation stack.
+  const common::CancelToken token =
+      stop_.token().WithDeadline(request->MakeDeadline());
+
+  if (request->method == kMethodHealth) {
+    return Ok(kMethodHealth,
+              "{\"artifact\":\"health\",\"status\":\"serving\","
+              "\"warlock_protocol\":" +
+                  std::to_string(kProtocolVersion) + "}",
+              false);
+  }
+  if (request->method == kMethodStats) return DispatchStats();
+  if (request->method == kMethodAdvise) {
+    return DispatchAdvise(*request, token);
+  }
+  if (request->method == kMethodWhatIf) {
+    return DispatchWhatIf(*request, token);
+  }
+  return DispatchSweep(*request, token);
+}
+
+std::string Server::DispatchAdvise(const Request& request,
+                                   const common::CancelToken& token) const {
+  bool cache_hit = false;
+  auto entry = cache_.GetOrCreate(request.schema_text, request.workload_text,
+                                  request.config_text, &cache_hit);
+  if (!entry.ok()) return Error(entry.status());
+  const CachedSession& cached = **entry;
+
+  // The rendered-artifact memo: identical knobs on a warm session skip the
+  // pipeline entirely. The deadline is deliberately not part of the key —
+  // it bounds the computation but never changes the artifact's bytes.
+  std::string request_key = "top_k=";
+  request_key += request.top_k ? std::to_string(*request.top_k) : "-";
+  request_key += ";allocator=";
+  request_key += request.allocator ? *request.allocator : "-";
+  if (auto payload = cached.FindAdvisePayload(request_key)) {
+    advise_payload_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Ok(kMethodAdvise, *payload, cache_hit);
+  }
+
+  AdviseRequest advise;
+  if (request.top_k) advise.top_k = static_cast<size_t>(*request.top_k);
+  advise.allocator = request.allocator;
+  advise.cancel_token = token;
+  auto advice = cached.session().Advise(advise);
+  if (!advice.ok()) return Error(advice.status());
+
+  auto renderer = report::Renderer::Create(report::OutputFormat::kJson);
+  auto artifact =
+      renderer->Ranking(advice->result, cached.session().schema());
+  if (!artifact.ok()) return Error(artifact.status());
+
+  cached.StoreAdvisePayload(
+      request_key, std::make_shared<const std::string>(*artifact));
+  return Ok(kMethodAdvise, *artifact, cache_hit);
+}
+
+std::string Server::DispatchWhatIf(const Request& request,
+                                   const common::CancelToken& token) const {
+  bool cache_hit = false;
+  auto entry = cache_.GetOrCreate(request.schema_text, request.workload_text,
+                                  request.config_text, &cache_hit);
+  if (!entry.ok()) return Error(entry.status());
+  const CachedSession& cached = **entry;
+
+  auto fragmentation = fragment::Fragmentation::FromNames(
+      request.fragmentation, cached.session().schema());
+  if (!fragmentation.ok()) return Error(fragmentation.status());
+
+  WhatIfRequest whatif;
+  whatif.fragmentation = std::move(fragmentation).value();
+  whatif.overrides.num_disks = request.num_disks;
+  whatif.overrides.fact_granule = request.fact_granule;
+  whatif.overrides.bitmap_granule = request.bitmap_granule;
+  whatif.overrides.allocator = request.allocator;
+  whatif.cancel_token = token;
+  auto response = cached.session().WhatIf(whatif);
+  if (!response.ok()) return Error(response.status());
+
+  auto renderer = report::Renderer::Create(report::OutputFormat::kJson);
+  auto artifact =
+      renderer->QueryStats(response->candidate, cached.session().mix(),
+                           cached.session().schema());
+  if (!artifact.ok()) return Error(artifact.status());
+  return Ok(kMethodWhatIf, *artifact, cache_hit);
+}
+
+std::string Server::DispatchSweep(const Request& request,
+                                  const common::CancelToken& token) const {
+  auto spec = scenario::SpecFromText(request.sweep_spec);
+  if (!spec.ok()) return Error(spec.status());
+
+  scenario::SweepOptions options;
+  options.threads = request.sweep_threads.value_or(1);
+  options.advisor_threads = request.advisor_threads.value_or(1);
+  options.cancel_token = token;
+  auto result = scenario::RunSweep(*spec, options);
+  if (!result.ok()) return Error(result.status());
+
+  auto renderer = report::Renderer::Create(report::OutputFormat::kJson);
+  auto artifact = renderer->Sweep(*result);
+  if (!artifact.ok()) return Error(artifact.status());
+  return Ok(kMethodSweep, *artifact, false);
+}
+
+std::string Server::DispatchStats() const {
+  const ServerStats stats = this->stats();
+  std::string doc = "{\n  \"artifact\": \"service_stats\",\n";
+  doc += "  \"warlock_protocol\": " + std::to_string(kProtocolVersion) +
+         ",\n";
+  doc += "  \"accepted\": " + JsonU64(stats.accepted) + ",\n";
+  doc += "  \"shed\": " + JsonU64(stats.shed) + ",\n";
+  doc += "  \"requests_ok\": " + JsonU64(stats.requests_ok) + ",\n";
+  doc += "  \"requests_error\": " + JsonU64(stats.requests_error) + ",\n";
+  doc += "  \"advise_payload_hits\": " + JsonU64(stats.advise_payload_hits) +
+         ",\n";
+  doc += "  \"session_cache\": {\"hits\": " + JsonU64(stats.cache.hits) +
+         ", \"misses\": " + JsonU64(stats.cache.misses) +
+         ", \"evictions\": " + JsonU64(stats.cache.evictions) +
+         ", \"entries\": " + JsonU64(stats.cache.entries) +
+         ", \"capacity\": " + JsonU64(cache_.capacity()) + "},\n";
+  doc += "  \"sessions\": [";
+  bool first = true;
+  for (const auto& cached : cache_.Snapshot()) {
+    const SessionStats s = cached->session().stats();
+    doc += first ? "\n" : ",\n";
+    first = false;
+    doc += "    {\"key\": " + JsonString(cached->key()) +
+           ", \"advise_calls\": " + JsonU64(s.advise_calls) +
+           ", \"whatif_calls\": " + JsonU64(s.whatif_calls) +
+           ", \"fragment_sizes_reused\": " +
+           JsonU64(s.fragment_sizes_reused) +
+           ", \"memo_result_hits\": " + JsonU64(s.memo.result.hits) +
+           ", \"memo_result_misses\": " + JsonU64(s.memo.result.misses) +
+           ", \"pool_threads\": " + JsonU64(s.pool_threads) +
+           ", \"pool_dropped_exceptions\": " +
+           JsonU64(s.pool_dropped_exceptions) + "}";
+  }
+  doc += first ? "]\n" : "\n  ]\n";
+  doc += "}\n";
+  return Ok(kMethodStats, doc, false);
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+  stats.requests_error = requests_error_.load(std::memory_order_relaxed);
+  stats.advise_payload_hits =
+      advise_payload_hits_.load(std::memory_order_relaxed);
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+}  // namespace warlock::service

@@ -1,0 +1,145 @@
+#ifndef WARLOCK_SERVICE_SERVER_H_
+#define WARLOCK_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "service/protocol.h"
+#include "service/session_cache.h"
+
+namespace warlock::service {
+
+/// Construction-time knobs of one `warlockd` server.
+struct ServerOptions {
+  /// Listen address. The default binds loopback only — exposing an
+  /// advisory daemon beyond the host is a deliberate act.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via `port()`).
+  uint16_t port = 0;
+
+  /// Request worker threads (0 = one per hardware thread).
+  uint32_t workers = 0;
+
+  /// Admission bound: connections admitted (queued + in service) at once.
+  /// A connection arriving past the bound is answered with a structured
+  /// `Unavailable` error and closed instead of queueing unboundedly.
+  size_t max_active = 64;
+
+  /// Session-cache capacity in entries (0 = unbounded).
+  size_t cache_capacity = 16;
+
+  /// Worker threads of each cached session's internal pool (the
+  /// `SessionOptions::threads` override; 0 honors each config's `threads`
+  /// key). Defaults to 1: request-level parallelism comes from `workers`,
+  /// so per-session fan-out on top of it would oversubscribe.
+  uint32_t session_threads = 1;
+};
+
+/// Aggregate counters of one server (monotonic; relaxed snapshots).
+struct ServerStats {
+  /// Connections accepted at the socket level.
+  uint64_t accepted = 0;
+  /// Connections shed by admission control with an Unavailable document.
+  uint64_t shed = 0;
+  /// Requests answered with ok=true / with a structured error.
+  uint64_t requests_ok = 0;
+  uint64_t requests_error = 0;
+  /// Advise requests served straight from a cached rendered artifact
+  /// (no pipeline run at all).
+  uint64_t advise_payload_hits = 0;
+  /// Session-cache counters.
+  SessionCacheStats cache;
+};
+
+/// The long-lived advisor daemon: a blocking TCP front end over the
+/// concurrency-safe `warlock::Session`, speaking the versioned JSON
+/// protocol of `service/protocol.h`.
+///
+/// Architecture: one acceptor thread + a bounded `common::ThreadPool` of
+/// request workers; each admitted connection is handled start-to-finish by
+/// one worker (multiple length-prefixed request frames per connection).
+/// All per-request state is session-cache entries shared via `shared_ptr`,
+/// so cache eviction never invalidates an in-flight request.
+///
+/// Shutdown contract: `Shutdown()` (or destruction) stops accepting, then
+/// cooperatively cancels in-flight work — a request already being
+/// evaluated returns a structured `Cancelled` error document (the
+/// evaluation stack's kCancelled, rendered onto the wire); idle
+/// connections are closed between frames. Nothing is ever truncated
+/// mid-frame.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Shuts down (see `Shutdown`) and joins every thread.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the acceptor + worker pool. Fails with
+  /// kUnavailable when the address cannot be bound.
+  Status Start();
+
+  /// The bound TCP port (after `Start`); resolves option port 0.
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown; idempotent and safe from any thread (it is the
+  /// SIGINT/SIGTERM path). Blocks until the acceptor and every worker
+  /// have drained.
+  void Shutdown();
+
+  /// A token observing the server's shutdown state.
+  common::CancelToken shutdown_token() const { return stop_.token(); }
+
+  ServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Parses + dispatches one request body, returning the response
+  /// document. Never throws; every failure is a structured error.
+  std::string HandleRequest(const std::string& body) const;
+
+  /// Response builders that keep the ok/error counters honest.
+  std::string Ok(std::string_view method, std::string_view payload,
+                 bool cache_hit) const;
+  std::string Error(const Status& status) const;
+
+  std::string DispatchAdvise(const Request& request,
+                             const common::CancelToken& token) const;
+  std::string DispatchWhatIf(const Request& request,
+                             const common::CancelToken& token) const;
+  std::string DispatchSweep(const Request& request,
+                            const common::CancelToken& token) const;
+  std::string DispatchStats() const;
+
+  const ServerOptions options_;
+  common::CancelSource stop_;
+  mutable SessionCache cache_;
+  std::optional<common::ThreadPool> workers_;
+  std::thread acceptor_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> shut_down_{false};
+
+  std::atomic<uint64_t> active_{0};
+  mutable std::atomic<uint64_t> accepted_{0};
+  mutable std::atomic<uint64_t> shed_{0};
+  mutable std::atomic<uint64_t> requests_ok_{0};
+  mutable std::atomic<uint64_t> requests_error_{0};
+  mutable std::atomic<uint64_t> advise_payload_hits_{0};
+};
+
+}  // namespace warlock::service
+
+#endif  // WARLOCK_SERVICE_SERVER_H_

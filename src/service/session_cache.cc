@@ -1,0 +1,111 @@
+#include "service/session_cache.h"
+
+#include <utility>
+
+#include "common/content_hash.h"
+
+namespace warlock::service {
+
+std::shared_ptr<const std::string> CachedSession::FindAdvisePayload(
+    const std::string& request_key) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  auto it = advise_payloads_.find(request_key);
+  return it == advise_payloads_.end() ? nullptr : it->second;
+}
+
+void CachedSession::StoreAdvisePayload(
+    const std::string& request_key,
+    std::shared_ptr<const std::string> payload) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  advise_payloads_[request_key] = std::move(payload);
+}
+
+SessionCache::SessionCache(size_t capacity,
+                           const SessionOptions& session_options)
+    : capacity_(capacity), session_options_(session_options) {}
+
+std::string SessionCache::KeyFor(std::string_view schema_text,
+                                 std::string_view workload_text,
+                                 std::string_view config_text) {
+  return common::ContentHashHex({schema_text, workload_text, config_text});
+}
+
+Result<std::shared_ptr<const CachedSession>> SessionCache::GetOrCreate(
+    std::string_view schema_text, std::string_view workload_text,
+    std::string_view config_text, bool* was_hit) {
+  const std::string key = KeyFor(schema_text, workload_text, config_text);
+  if (was_hit != nullptr) *was_hit = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // first contact: this thread builds
+    if (it->second.building) {
+      // Another request is building this very session; wait for it rather
+      // than parsing the same inputs twice. A failed build erases the
+      // entry, so re-check from scratch after every wakeup.
+      built_cv_.wait(lock);
+      continue;
+    }
+    ++stats_.hits;
+    if (was_hit != nullptr) *was_hit = true;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.session;
+  }
+
+  Entry& entry = entries_[key];
+  entry.building = true;
+  ++stats_.misses;
+  lock.unlock();
+
+  // Build outside the lock: parsing + bitmap-scheme selection is the
+  // expensive cold start the cache exists to amortize, and it must not
+  // serialize requests for other keys.
+  auto session = Session::FromText(schema_text, workload_text, config_text,
+                                   session_options_);
+
+  lock.lock();
+  if (!session.ok()) {
+    entries_.erase(key);
+    built_cv_.notify_all();
+    return session.status();
+  }
+  auto built =
+      std::make_shared<const CachedSession>(key, std::move(session).value());
+  auto it = entries_.find(key);
+  it->second.session = built;
+  it->second.building = false;
+  lru_.push_front(key);
+  it->second.lru = lru_.begin();
+  while (capacity_ > 0 && lru_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  built_cv_.notify_all();
+  return built;
+}
+
+std::vector<std::shared_ptr<const CachedSession>> SessionCache::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const CachedSession>> out;
+  out.reserve(lru_.size());
+  for (const std::string& key : lru_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.session != nullptr) {
+      out.push_back(it->second.session);
+    }
+  }
+  return out;
+}
+
+SessionCacheStats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionCacheStats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  return snapshot;
+}
+
+}  // namespace warlock::service

@@ -1,0 +1,130 @@
+#ifndef WARLOCK_SERVICE_SESSION_CACHE_H_
+#define WARLOCK_SERVICE_SESSION_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/session.h"
+#include "common/result.h"
+
+namespace warlock::service {
+
+/// One cached, shared, long-lived session plus its per-session response
+/// memo. Immutable after construction except for the internally
+/// synchronized memo — safe to share across concurrent requests.
+class CachedSession {
+ public:
+  CachedSession(std::string key, Session session)
+      : key_(std::move(key)), session_(std::move(session)) {}
+
+  /// The content-hash key (16 hex chars) this entry is filed under.
+  const std::string& key() const { return key_; }
+
+  /// The session itself (const: `Advise`/`WhatIf`/`stats` are
+  /// concurrency-safe by the Session contract).
+  const Session& session() const { return session_; }
+
+  /// Rendered-advise memo: repeated identical advise requests on a warm
+  /// session skip the whole pipeline, not just the parse. Keyed by the
+  /// normalized request knobs; only complete, successful artifacts are
+  /// ever stored, so a memoized response is byte-identical to a fresh
+  /// evaluation. Returns nullptr on miss.
+  std::shared_ptr<const std::string> FindAdvisePayload(
+      const std::string& request_key) const;
+  void StoreAdvisePayload(const std::string& request_key,
+                          std::shared_ptr<const std::string> payload) const;
+
+ private:
+  const std::string key_;
+  const Session session_;
+
+  mutable std::mutex memo_mu_;
+  mutable std::map<std::string, std::shared_ptr<const std::string>>
+      advise_payloads_;
+};
+
+/// Counters of the cache (monotonic except `entries`).
+struct SessionCacheStats {
+  /// Lookups served by an already-built session (no input re-parse).
+  uint64_t hits = 0;
+  /// Lookups that had to parse the inputs and build a session.
+  uint64_t misses = 0;
+  /// Entries discarded by the LRU capacity bound.
+  uint64_t evictions = 0;
+  /// Entries currently resident.
+  uint64_t entries = 0;
+};
+
+/// The daemon's content-addressed session cache: sessions keyed by a
+/// `common::ContentHash` of (schema text, workload text, config text), so
+/// clients that resend the same inputs amortize the cold start (parse +
+/// bitmap-scheme selection + pool spawn) across requests.
+///
+/// - LRU-bounded by `capacity` entries (0 = unbounded); eviction only
+///   drops the cache's reference — sessions are handed out as
+///   `shared_ptr`, so an in-flight request keeps its session alive.
+/// - Internally synchronized. Concurrent first contacts of one key build
+///   the session exactly once: one builder constructs while the others
+///   wait, then everyone shares the entry (waiters count as hits — their
+///   inputs were never re-parsed).
+/// - A failed build caches nothing and unblocks waiters with the error.
+class SessionCache {
+ public:
+  explicit SessionCache(size_t capacity,
+                        const SessionOptions& session_options = {});
+
+  SessionCache(const SessionCache&) = delete;
+  SessionCache& operator=(const SessionCache&) = delete;
+
+  /// The cache key for one input triple (exposed for tests and logging).
+  static std::string KeyFor(std::string_view schema_text,
+                            std::string_view workload_text,
+                            std::string_view config_text);
+
+  /// Returns the shared session for the triple, building it on first
+  /// contact. Build errors (parse failures etc.) propagate unchanged.
+  /// `was_hit` (optional) reports whether this lookup was served without
+  /// re-parsing the inputs.
+  Result<std::shared_ptr<const CachedSession>> GetOrCreate(
+      std::string_view schema_text, std::string_view workload_text,
+      std::string_view config_text, bool* was_hit = nullptr);
+
+  /// Every resident session, most recently used first (the `stats`
+  /// method's per-session view).
+  std::vector<std::shared_ptr<const CachedSession>> Snapshot() const;
+
+  SessionCacheStats stats() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedSession> session;  // null while building
+    bool building = false;
+    bool failed = false;
+    Status error;
+    std::list<std::string>::iterator lru;
+  };
+
+  const size_t capacity_;
+  const SessionOptions session_options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable built_cv_;
+  std::map<std::string, Entry> entries_;
+  // Front = most recently used key. Only *built* entries live on the LRU
+  // list; an entry under construction cannot be evicted.
+  std::list<std::string> lru_;
+  SessionCacheStats stats_;
+};
+
+}  // namespace warlock::service
+
+#endif  // WARLOCK_SERVICE_SESSION_CACHE_H_

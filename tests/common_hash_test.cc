@@ -1,0 +1,80 @@
+#include "common/content_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace warlock::common {
+namespace {
+
+// Standard FNV-1a 64-bit test vectors. These must never change: the hash
+// is an externally visible cache key (the service session cache) and an
+// EvalMemo signature component.
+TEST(Fnv1a64Test, StandardVectors) {
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);  // offset basis
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64Test, SensitiveToEveryByte) {
+  EXPECT_NE(Fnv1a64("warlock"), Fnv1a64("warlocl"));
+  EXPECT_NE(Fnv1a64("warlock"), Fnv1a64("Warlock"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(Fnv1a64Test, HandlesEmbeddedNul) {
+  const std::string with_nul("a\0b", 3);
+  EXPECT_NE(Fnv1a64(with_nul), Fnv1a64("ab"));
+  EXPECT_NE(Fnv1a64(with_nul), Fnv1a64("a"));
+}
+
+TEST(ContentHashTest, EmptyHexIsStable) {
+  // The offset basis, printed: 16 lowercase zero-padded hex digits.
+  EXPECT_EQ(ContentHash().Hex(), "cbf29ce484222325");
+}
+
+TEST(ContentHashTest, HexFormIsStable) {
+  // Fixed vectors: a change here breaks every persisted cache key.
+  EXPECT_EQ(ContentHashHex({"schema", "workload", "config"}),
+            ContentHashHex({"schema", "workload", "config"}));
+  const std::string hex = ContentHashHex({"a", "b", "c"});
+  EXPECT_EQ(hex.size(), 16u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(ContentHashTest, HexIsZeroPaddedTo16) {
+  // Whatever the value, the printable form is exactly 16 digits.
+  ContentHash h;
+  for (int i = 0; i < 64; ++i) {
+    h.Update("x");
+    EXPECT_EQ(h.Hex().size(), 16u);
+  }
+}
+
+TEST(ContentHashTest, PartBoundariesAreIdentity) {
+  // ("ab","c") != ("a","bc") even though the concatenations match — the
+  // session-cache triple must not alias across field boundaries.
+  EXPECT_NE(ContentHashHex({"ab", "c"}), ContentHashHex({"a", "bc"}));
+  EXPECT_NE(ContentHashHex({"abc"}), ContentHashHex({"ab", "c"}));
+  EXPECT_NE(ContentHashHex({"", "x"}), ContentHashHex({"x", ""}));
+  EXPECT_NE(ContentHashHex({}), ContentHashHex({""}));
+}
+
+TEST(ContentHashTest, UpdateChainsAndMatchesOneShot) {
+  ContentHash chained;
+  chained.Update("alpha").Update("beta").Update("gamma");
+  EXPECT_EQ(chained.Hex(), ContentHashHex({"alpha", "beta", "gamma"}));
+  EXPECT_EQ(chained.value64(),
+            ContentHash().Update("alpha").Update("beta").Update("gamma")
+                .value64());
+}
+
+TEST(ContentHashTest, OrderMatters) {
+  EXPECT_NE(ContentHashHex({"schema", "workload"}),
+            ContentHashHex({"workload", "schema"}));
+}
+
+}  // namespace
+}  // namespace warlock::common

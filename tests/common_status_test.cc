@@ -39,6 +39,7 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Cancelled("x").code(), Status::Code::kCancelled);
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), Status::Code::kUnavailable);
 }
 
 TEST(StatusTest, CodeNames) {
@@ -49,6 +50,37 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(Status::Code::kCancelled), "Cancelled");
   EXPECT_STREQ(StatusCodeName(Status::Code::kDeadlineExceeded),
                "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, CodeFromNameRoundTripsEveryCode) {
+  // The wire protocol serializes codes by name; every code must survive
+  // the round trip or a daemon error would mutate in transit.
+  constexpr Status::Code kAll[] = {
+      Status::Code::kOk,
+      Status::Code::kInvalidArgument,
+      Status::Code::kNotFound,
+      Status::Code::kOutOfRange,
+      Status::Code::kFailedPrecondition,
+      Status::Code::kResourceExhausted,
+      Status::Code::kInternal,
+      Status::Code::kIoError,
+      Status::Code::kCancelled,
+      Status::Code::kDeadlineExceeded,
+      Status::Code::kUnavailable,
+  };
+  for (Status::Code code : kAll) {
+    Status::Code parsed = Status::Code::kInternal;
+    EXPECT_TRUE(StatusCodeFromName(StatusCodeName(code), &parsed))
+        << StatusCodeName(code);
+    EXPECT_EQ(parsed, code) << StatusCodeName(code);
+  }
+}
+
+TEST(StatusTest, CodeFromNameRejectsUnknown) {
+  Status::Code parsed = Status::Code::kOk;
+  EXPECT_FALSE(StatusCodeFromName("NoSuchCode", &parsed));
+  EXPECT_FALSE(StatusCodeFromName("", &parsed));
 }
 
 TEST(StatusTest, Equality) {

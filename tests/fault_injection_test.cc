@@ -20,6 +20,8 @@
 #include "api/session.h"
 #include "report/renderer.h"
 #include "report/report.h"
+#include "service/client.h"
+#include "service/server.h"
 
 namespace warlock {
 namespace {
@@ -74,6 +76,10 @@ enum class FaultKind {
   kConstruction,  // Session::FromFiles fails cleanly; no session exists
   kEvaluation,    // session works; the faulted evaluation errors cleanly
   kDegradation,   // everything succeeds, byte-identical to fault-free
+  kService,       // daemon-layer seam: invisible to the library pipeline
+                  // (the sweep proves that); its contract — clean
+                  // structured error / dropped connection, server keeps
+                  // serving — has dedicated tests below
 };
 
 const std::map<std::string, FaultKind>& ExpectationTable() {
@@ -86,6 +92,8 @@ const std::map<std::string, FaultKind>& ExpectationTable() {
       {fp::kAllocPartition, FaultKind::kEvaluation},
       {fp::kMemoPut, FaultKind::kDegradation},
       {fp::kThreadPoolDispatch, FaultKind::kDegradation},
+      {fp::kServiceAccept, FaultKind::kService},
+      {fp::kServiceParseRequest, FaultKind::kService},
   };
   return table;
 }
@@ -327,6 +335,68 @@ TEST_F(FaultInjectionTest, DispatchFaultsSurfaceInDroppedExceptionCounter) {
 }
 
 // --------------------------------------------------------------------------
+// Service seams: the daemon sheds the faulted connection or request with a
+// clean, structured outcome and keeps serving — no partial response, no
+// poisoned server state.
+
+TEST_F(FaultInjectionTest, ServiceAcceptFaultDropsConnectionServerSurvives) {
+  service::ServerOptions options;
+  options.port = 0;
+  service::Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(fp::Arm(fp::kServiceAccept, 1).ok());
+  {
+    // The faulted connection is dropped before admission: the client sees
+    // a clean close (or reset), never a partial or malformed frame.
+    auto client = service::Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto response = client->Health();
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().message().find("mid-frame"),
+              std::string::npos)
+        << response.status().ToString();
+    EXPECT_EQ(response.status().message().find("malformed"),
+              std::string::npos)
+        << response.status().ToString();
+  }
+  fp::DisarmAll();
+
+  // The next connection is served normally.
+  auto client = service::Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Health();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok()) << response->status.ToString();
+}
+
+TEST_F(FaultInjectionTest, ServiceParseFaultIsStructuredErrorServerSurvives) {
+  service::ServerOptions options;
+  options.port = 0;
+  service::Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = service::Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(fp::Arm(fp::kServiceParseRequest, 1).ok());
+  auto faulted = client->Health();
+  fp::DisarmAll();
+  // The fault arrives as a complete, structured error document — the
+  // transport round trip itself succeeds.
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  ASSERT_FALSE(faulted->status.ok());
+  EXPECT_NE(faulted->status.message().find("injected failure"),
+            std::string::npos)
+      << faulted->status.ToString();
+
+  // Same connection, next request: served normally.
+  auto response = client->Health();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok()) << response->status.ToString();
+}
+
+// --------------------------------------------------------------------------
 // The sweep: every registered failpoint, walked through the full pipeline
 // at multiple thread counts. The assertion is the contract table; the
 // meta-assertion is that nothing crashes, hangs, or half-succeeds.
@@ -371,7 +441,9 @@ TEST_F(FaultInjectionTest, FaultSweepEveryFailpointEveryThreadCount) {
                     advice->result.screened,
                 advice->result.enumerated)
           << name << " threads=" << threads;
-      if (kind == FaultKind::kDegradation) {
+      if (kind == FaultKind::kDegradation || kind == FaultKind::kService) {
+        // Degradation seams shed work invisibly; service seams live above
+        // the library entirely — either way the artifacts must not move.
         EXPECT_EQ(AllArtifacts(advice->result, session.schema()),
                   expected_advise[threads])
             << name << " threads=" << threads;

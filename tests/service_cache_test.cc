@@ -1,0 +1,181 @@
+// Tests of the daemon's content-addressed session cache: hit/miss/eviction
+// accounting, single-construction under concurrent first contact, and the
+// shared_ptr lifetime contract (eviction never invalidates a live session).
+//
+// Fixtures live in tests/testdata/ (the CTest working directory is tests/).
+#include "service/session_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace warlock::service {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path
+                        << " (tests must run with tests/ as cwd)";
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+struct Inputs {
+  std::string schema;
+  std::string workload;
+  std::string config;
+};
+
+Inputs TinyInputs() {
+  return {ReadFileOrDie("testdata/apb1_tiny.schema"),
+          ReadFileOrDie("testdata/apb1_tiny.workload"),
+          ReadFileOrDie("testdata/apb1_tiny.config")};
+}
+
+TEST(SessionCacheTest, KeyIsContentAddressed) {
+  const std::string key = SessionCache::KeyFor("s", "w", "c");
+  EXPECT_EQ(key.size(), 16u);
+  EXPECT_EQ(key, SessionCache::KeyFor("s", "w", "c"));
+  EXPECT_NE(key, SessionCache::KeyFor("s", "w", "c2"));
+  // Field boundaries are part of the identity.
+  EXPECT_NE(SessionCache::KeyFor("sw", "", "c"),
+            SessionCache::KeyFor("s", "w", "c"));
+}
+
+TEST(SessionCacheTest, MissThenHit) {
+  const Inputs in = TinyInputs();
+  SessionCache cache(4);
+
+  bool hit = true;
+  auto first = cache.GetOrCreate(in.schema, in.workload, in.config, &hit);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(hit);
+
+  auto second = cache.GetOrCreate(in.schema, in.workload, in.config, &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first->get(), second->get());  // the same shared session
+
+  const SessionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SessionCacheTest, FailedBuildCachesNothing) {
+  SessionCache cache(4);
+  auto bad = cache.GetOrCreate("not a schema", "not a workload",
+                               "not a config");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // The failure is not cached either: a retry re-attempts the build.
+  EXPECT_FALSE(
+      cache.GetOrCreate("not a schema", "not a workload", "not a config")
+          .ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(SessionCacheTest, CapacityOneEvictsLruButKeepsLiveSessions) {
+  const Inputs in = TinyInputs();
+  // A second, distinct triple: same schema/workload, different config text
+  // (trailing comment changes the content hash, not the semantics).
+  const std::string config2 = in.config + "\n";
+
+  SessionCache cache(1);
+  auto first = cache.GetOrCreate(in.schema, in.workload, in.config);
+  ASSERT_TRUE(first.ok());
+  std::shared_ptr<const CachedSession> held = *first;
+
+  auto second = cache.GetOrCreate(in.schema, in.workload, config2);
+  ASSERT_TRUE(second.ok());
+
+  SessionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // The evicted session stays fully usable through the held reference.
+  auto advice = held->session().Advise();
+  EXPECT_TRUE(advice.ok()) << advice.status().ToString();
+
+  // Re-requesting the evicted triple is a miss (rebuild), not a crash.
+  bool hit = true;
+  auto third = cache.GetOrCreate(in.schema, in.workload, in.config, &hit);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_NE(third->get(), held.get());
+}
+
+TEST(SessionCacheTest, ZeroCapacityIsUnbounded) {
+  const Inputs in = TinyInputs();
+  SessionCache cache(0);
+  ASSERT_TRUE(cache.GetOrCreate(in.schema, in.workload, in.config).ok());
+  ASSERT_TRUE(
+      cache.GetOrCreate(in.schema, in.workload, in.config + "\n").ok());
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(SessionCacheTest, ConcurrentFirstContactBuildsOnce) {
+  const Inputs in = TinyInputs();
+  SessionCache cache(4);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const CachedSession>> results(kThreads);
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto entry = cache.GetOrCreate(in.schema, in.workload, in.config);
+      if (entry.ok()) results[i] = *entry;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(results[i], nullptr) << "thread " << i;
+    EXPECT_EQ(results[i].get(), results[0].get());
+  }
+  const SessionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // exactly one build
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(SessionCacheTest, SnapshotListsMostRecentFirst) {
+  const Inputs in = TinyInputs();
+  SessionCache cache(4);
+  ASSERT_TRUE(cache.GetOrCreate(in.schema, in.workload, in.config).ok());
+  ASSERT_TRUE(
+      cache.GetOrCreate(in.schema, in.workload, in.config + "\n").ok());
+  auto snapshot = cache.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0]->key(),
+            SessionCache::KeyFor(in.schema, in.workload, in.config + "\n"));
+  EXPECT_EQ(snapshot[1]->key(),
+            SessionCache::KeyFor(in.schema, in.workload, in.config));
+}
+
+TEST(CachedSessionTest, AdvisePayloadMemo) {
+  const Inputs in = TinyInputs();
+  SessionCache cache(1);
+  auto entry = cache.GetOrCreate(in.schema, in.workload, in.config);
+  ASSERT_TRUE(entry.ok());
+  const CachedSession& cached = **entry;
+
+  EXPECT_EQ(cached.FindAdvisePayload("top_k=-;allocator=-"), nullptr);
+  cached.StoreAdvisePayload("top_k=-;allocator=-",
+                            std::make_shared<const std::string>("artifact"));
+  auto found = cached.FindAdvisePayload("top_k=-;allocator=-");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, "artifact");
+  EXPECT_EQ(cached.FindAdvisePayload("top_k=3;allocator=-"), nullptr);
+}
+
+}  // namespace
+}  // namespace warlock::service

@@ -1,0 +1,320 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "common/cancellation.h"
+#include "common/json.h"
+#include "service/json_value.h"
+
+namespace warlock::service {
+namespace {
+
+// --- JsonValue parser -----------------------------------------------------
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e2")->number_value(), -150.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonValueTest, ParsesNestedStructures) {
+  auto doc = ParseJson(
+      "{\"a\": [1, 2, {\"b\": true}], \"c\": {\"d\": null}, \"e\": \"x\"}");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array_items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array_items()[0].number_value(), 1.0);
+  EXPECT_TRUE(a->array_items()[2].Find("b")->bool_value());
+  EXPECT_TRUE(doc->Find("c")->Find("d")->is_null());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, UnescapesStrings) {
+  auto doc = ParseJson("\"a\\n\\t\\\"\\\\b\\u0041\\u00e9\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "a\n\t\"\\bA\xc3\xa9");
+}
+
+TEST(JsonValueTest, UnescapesSurrogatePairs) {
+  // U+1F600 as \ud83d\ude00 -> 4-byte UTF-8.
+  auto doc = ParseJson("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonValueTest, RoundTripsJsonEscape) {
+  // The parser must exactly invert the writer used for payloads; this is
+  // what makes artifacts byte-identical across the wire.
+  const std::string original =
+      "line1\nline2\t\"quoted\" \\slash\\ \x01 control and UTF-8: \xc3\xa9";
+  auto doc = ParseJson(JsonString(original));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), original);
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(ParseJson("{\"a\": 1} x").ok());
+}
+
+TEST(JsonValueTest, RejectsRunawayDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+// --- Request parsing ------------------------------------------------------
+
+std::string AdviseDoc(const std::string& extra = "") {
+  return "{\"warlock_protocol\": 1, \"method\": \"advise\", "
+         "\"schema\": \"s\", \"workload\": \"w\", \"config\": \"c\"" +
+         extra + "}";
+}
+
+TEST(ParseRequestTest, ParsesAdvise) {
+  auto request =
+      ParseRequest(AdviseDoc(", \"top_k\": 5, \"allocator\": \"greedy\", "
+                             "\"deadline_ms\": 2000"));
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->method, kMethodAdvise);
+  EXPECT_EQ(request->schema_text, "s");
+  EXPECT_EQ(request->workload_text, "w");
+  EXPECT_EQ(request->config_text, "c");
+  ASSERT_TRUE(request->top_k.has_value());
+  EXPECT_EQ(*request->top_k, 5u);
+  ASSERT_TRUE(request->allocator.has_value());
+  EXPECT_EQ(*request->allocator, "greedy");
+  ASSERT_TRUE(request->deadline_ms.has_value());
+  EXPECT_EQ(*request->deadline_ms, 2000u);
+}
+
+TEST(ParseRequestTest, ParsesWhatIf) {
+  auto request = ParseRequest(
+      "{\"warlock_protocol\": 1, \"method\": \"whatif\", \"schema\": \"s\", "
+      "\"workload\": \"w\", \"config\": \"c\", \"fragmentation\": "
+      "[{\"dimension\": \"time\", \"level\": \"month\"}, "
+      "{\"dimension\": \"product\", \"level\": \"family\"}], "
+      "\"num_disks\": 8}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_EQ(request->fragmentation.size(), 2u);
+  EXPECT_EQ(request->fragmentation[0].first, "time");
+  EXPECT_EQ(request->fragmentation[0].second, "month");
+  EXPECT_EQ(request->fragmentation[1].first, "product");
+  ASSERT_TRUE(request->num_disks.has_value());
+  EXPECT_EQ(*request->num_disks, 8u);
+}
+
+TEST(ParseRequestTest, ParsesStatsAndHealth) {
+  EXPECT_TRUE(
+      ParseRequest("{\"warlock_protocol\": 1, \"method\": \"stats\"}").ok());
+  EXPECT_TRUE(
+      ParseRequest("{\"warlock_protocol\": 1, \"method\": \"health\"}").ok());
+}
+
+TEST(ParseRequestTest, RejectsBadDocuments) {
+  struct Case {
+    const char* name;
+    std::string doc;
+  };
+  const Case cases[] = {
+      {"not json", "not json"},
+      {"not an object", "[1]"},
+      {"no version", "{\"method\": \"health\"}"},
+      {"wrong version", "{\"warlock_protocol\": 2, \"method\": \"health\"}"},
+      {"no method", "{\"warlock_protocol\": 1}"},
+      {"unknown method",
+       "{\"warlock_protocol\": 1, \"method\": \"destroy\"}"},
+      {"advise missing inputs",
+       "{\"warlock_protocol\": 1, \"method\": \"advise\", \"schema\": "
+       "\"s\"}"},
+      {"mistyped top_k", AdviseDoc(", \"top_k\": \"five\"}")},
+      {"negative top_k", AdviseDoc(", \"top_k\": -1")},
+      {"fractional top_k", AdviseDoc(", \"top_k\": 1.5")},
+      {"oversized deadline", AdviseDoc(", \"deadline_ms\": 1e18")},
+      {"whatif without fragmentation",
+       "{\"warlock_protocol\": 1, \"method\": \"whatif\", \"schema\": "
+       "\"s\", \"workload\": \"w\", \"config\": \"c\"}"},
+      {"whatif with malformed fragmentation item",
+       "{\"warlock_protocol\": 1, \"method\": \"whatif\", \"schema\": "
+       "\"s\", \"workload\": \"w\", \"config\": \"c\", \"fragmentation\": "
+       "[{\"dimension\": \"time\"}]}"},
+      {"sweep without spec",
+       "{\"warlock_protocol\": 1, \"method\": \"sweep\"}"},
+  };
+  for (const Case& c : cases) {
+    auto request = ParseRequest(c.doc);
+    EXPECT_FALSE(request.ok()) << c.name;
+    if (!request.ok()) {
+      EXPECT_EQ(request.status().code(), Status::Code::kInvalidArgument)
+          << c.name;
+    }
+  }
+}
+
+TEST(ParseRequestTest, DefaultDeadlineIsUnbounded) {
+  auto request =
+      ParseRequest("{\"warlock_protocol\": 1, \"method\": \"health\"}");
+  ASSERT_TRUE(request.ok());
+  EXPECT_FALSE(request->deadline_ms.has_value());
+  EXPECT_FALSE(request->MakeDeadline().bounded());
+}
+
+// --- Response round-trips -------------------------------------------------
+
+TEST(ResponseTest, OkRoundTripsMultiLinePayload) {
+  const std::string artifact =
+      "{\n  \"artifact\": \"ranking\",\n  \"rows\": [1, 2]\n}\n";
+  auto response = ParseResponse(OkResponse(kMethodAdvise, artifact, true));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok());
+  EXPECT_EQ(response->method, kMethodAdvise);
+  EXPECT_EQ(response->payload, artifact);  // byte-identical
+  EXPECT_TRUE(response->session_cache_hit);
+}
+
+TEST(ResponseTest, ErrorRoundTripsStatusTaxonomy) {
+  const Status cases[] = {
+      Status::InvalidArgument("bad field"),
+      Status::NotFound("no such level"),
+      Status::Cancelled("shutdown"),
+      Status::DeadlineExceeded("too slow"),
+      Status::Unavailable("at capacity"),
+      Status::Internal("bug"),
+  };
+  for (const Status& original : cases) {
+    auto response = ParseResponse(ErrorResponse(original));
+    ASSERT_TRUE(response.ok()) << original.ToString();
+    EXPECT_EQ(response->status.code(), original.code());
+    // The client-side annotation marks server-reported errors.
+    EXPECT_EQ(response->status.message(),
+              "server: " + original.message());
+  }
+}
+
+TEST(ResponseTest, UnknownErrorCodeMapsToInternal) {
+  auto response = ParseResponse(
+      "{\"warlock_protocol\": 1, \"ok\": false, \"error\": "
+      "{\"code\": \"FutureCode\", \"message\": \"m\"}}");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), Status::Code::kInternal);
+}
+
+TEST(ResponseTest, RejectsMalformedResponses) {
+  EXPECT_FALSE(ParseResponse("{}").ok());
+  EXPECT_FALSE(
+      ParseResponse("{\"warlock_protocol\": 1, \"ok\": true}").ok());
+  EXPECT_FALSE(
+      ParseResponse("{\"warlock_protocol\": 1, \"ok\": false}").ok());
+}
+
+// --- Framing --------------------------------------------------------------
+
+class FramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramingTest, RoundTripsArbitraryBytes) {
+  std::string body = "multi\nline\n\"payload\" with \x01 bytes";
+  body.push_back('\0');
+  body += "after nul";
+  common::CancelToken token;
+  ASSERT_TRUE(WriteFrame(fds_[0], body, token).ok());
+  auto read = ReadFrame(fds_[1], token);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, body);
+}
+
+TEST_F(FramingTest, RoundTripsEmptyAndSequentialFrames) {
+  common::CancelToken token;
+  ASSERT_TRUE(WriteFrame(fds_[0], "", token).ok());
+  ASSERT_TRUE(WriteFrame(fds_[0], "second", token).ok());
+  EXPECT_EQ(*ReadFrame(fds_[1], token), "");
+  EXPECT_EQ(*ReadFrame(fds_[1], token), "second");
+}
+
+TEST_F(FramingTest, CleanCloseBetweenFramesIsNotFound) {
+  common::CancelToken token;
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  auto read = ReadFrame(fds_[1], token);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kNotFound);
+}
+
+TEST_F(FramingTest, TruncationMidFrameIsIoError) {
+  common::CancelToken token;
+  const char partial[] = "warlock/1 100\nonly a few bytes";
+  ASSERT_GT(::send(fds_[0], partial, sizeof(partial) - 1, MSG_NOSIGNAL), 0);
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  auto read = ReadFrame(fds_[1], token);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kIoError);
+}
+
+TEST_F(FramingTest, GarbageHeaderIsInvalidArgument) {
+  common::CancelToken token;
+  const char junk[] = "GET / HTTP/1.1\r\n";
+  ASSERT_GT(::send(fds_[0], junk, sizeof(junk) - 1, MSG_NOSIGNAL), 0);
+  auto read = ReadFrame(fds_[1], token);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(FramingTest, OversizedLengthIsRejected) {
+  common::CancelToken token;
+  const std::string header = "warlock/1 99999999999\n";
+  ASSERT_GT(::send(fds_[0], header.data(), header.size(), MSG_NOSIGNAL), 0);
+  auto read = ReadFrame(fds_[1], token);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(FramingTest, ReadHonorsCancellation) {
+  common::CancelSource source;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    source.RequestCancel();
+  });
+  // No bytes ever arrive; the read must return kCancelled, not hang.
+  auto read = ReadFrame(fds_[1], source.token());
+  canceller.join();
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kCancelled);
+}
+
+TEST_F(FramingTest, ReadHonorsDeadline) {
+  common::CancelToken token = common::CancelToken().WithDeadline(
+      common::Deadline::After(std::chrono::milliseconds(80)));
+  auto read = ReadFrame(fds_[1], token);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace warlock::service

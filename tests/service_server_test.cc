@@ -1,0 +1,378 @@
+// End-to-end tests of the warlockd server over real loopback sockets:
+// artifact byte-parity with direct Session calls, cache-hit accounting
+// under concurrent hammering, eviction with in-flight requests, admission
+// shedding, deadlines, malformed frames, and the graceful-shutdown
+// contract (in-flight requests complete or get a structured Cancelled —
+// never a truncated frame).
+//
+// Fixtures live in tests/testdata/ (the CTest working directory is tests/).
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/renderer.h"
+#include "service/client.h"
+#include "warlock/session.h"
+
+namespace warlock::service {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path
+                        << " (tests must run with tests/ as cwd)";
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+struct Inputs {
+  std::string schema;
+  std::string workload;
+  std::string config;
+};
+
+Inputs TinyInputs() {
+  return {ReadFileOrDie("testdata/apb1_tiny.schema"),
+          ReadFileOrDie("testdata/apb1_tiny.workload"),
+          ReadFileOrDie("testdata/apb1_tiny.config")};
+}
+
+// The artifact a direct (no daemon) Session call renders for `in` — the
+// byte-parity reference.
+std::string DirectAdviseArtifact(const Inputs& in,
+                                 std::optional<size_t> top_k = {}) {
+  auto session = Session::FromText(in.schema, in.workload, in.config,
+                                   SessionOptions{1});
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  AdviseRequest request;
+  request.top_k = top_k;
+  auto advice = session->Advise(request);
+  EXPECT_TRUE(advice.ok()) << advice.status().ToString();
+  auto json = report::Renderer::Create(report::OutputFormat::kJson);
+  return json->Ranking(advice->result, session->schema()).value();
+}
+
+AdviseCall MakeAdviseCall(const Inputs& in) {
+  AdviseCall call;
+  call.schema_text = in.schema;
+  call.workload_text = in.workload;
+  call.config_text = in.config;
+  return call;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    options.port = 0;  // ephemeral
+    server_.emplace(std::move(options));
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  Client ConnectOrDie() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  std::optional<Server> server_;
+};
+
+TEST_F(ServerTest, AdviseMatchesDirectSessionByteForByte) {
+  const Inputs in = TinyInputs();
+  StartServer();
+  Client client = ConnectOrDie();
+
+  auto response = client.Advise(MakeAdviseCall(in));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  EXPECT_EQ(response->method, kMethodAdvise);
+  EXPECT_FALSE(response->session_cache_hit);  // cold first contact
+  EXPECT_EQ(response->payload, DirectAdviseArtifact(in));
+
+  // The repeat is a session-cache hit and stays byte-identical.
+  auto warm = client.Advise(MakeAdviseCall(in));
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->status.ok());
+  EXPECT_TRUE(warm->session_cache_hit);
+  EXPECT_EQ(warm->payload, response->payload);
+
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_GE(stats.cache.hits, 1u);
+  EXPECT_GE(stats.advise_payload_hits, 1u);  // the warm repeat ran nothing
+}
+
+TEST_F(ServerTest, TopKIsHonoredPerRequest) {
+  const Inputs in = TinyInputs();
+  StartServer();
+  Client client = ConnectOrDie();
+
+  AdviseCall call = MakeAdviseCall(in);
+  call.top_k = 1;
+  auto response = client.Advise(call);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  EXPECT_EQ(response->payload, DirectAdviseArtifact(in, 1));
+  // Distinct knobs on one session stay distinct (no memo aliasing).
+  auto full = client.Advise(MakeAdviseCall(in));
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full->status.ok());
+  EXPECT_NE(full->payload, response->payload);
+}
+
+TEST_F(ServerTest, WhatIfHealthAndStatsRoundTrip) {
+  const Inputs in = TinyInputs();
+  StartServer();
+  Client client = ConnectOrDie();
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  ASSERT_TRUE(health->status.ok());
+  EXPECT_NE(health->payload.find("\"serving\""), std::string::npos);
+
+  // A whatif against the advise winner's fragmentation: take any valid
+  // (dimension, level) pair from the schema via a direct session.
+  auto session = Session::FromText(in.schema, in.workload, in.config,
+                                   SessionOptions{1});
+  ASSERT_TRUE(session.ok());
+  auto advice = session->Advise();
+  ASSERT_TRUE(advice.ok());
+  ASSERT_NE(advice->best(), nullptr);
+
+  WhatIfCall whatif;
+  whatif.schema_text = in.schema;
+  whatif.workload_text = in.workload;
+  whatif.config_text = in.config;
+  for (const fragment::FragAttr& attr :
+       advice->best()->fragmentation.attrs()) {
+    const schema::Dimension& dim = session->schema().dimension(attr.dim);
+    whatif.fragmentation.emplace_back(dim.name(), dim.level(attr.level).name);
+  }
+  auto response = client.WhatIf(whatif);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  EXPECT_EQ(response->method, kMethodWhatIf);
+  EXPECT_FALSE(response->payload.empty());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->status.ok());
+  EXPECT_NE(stats->payload.find("\"session_cache\""), std::string::npos);
+  EXPECT_NE(stats->payload.find("\"sessions\""), std::string::npos);
+  EXPECT_NE(stats->payload.find("\"advise_calls\""), std::string::npos);
+}
+
+TEST_F(ServerTest, UnknownLevelNameIsStructuredError) {
+  const Inputs in = TinyInputs();
+  StartServer();
+  Client client = ConnectOrDie();
+
+  WhatIfCall whatif;
+  whatif.schema_text = in.schema;
+  whatif.workload_text = in.workload;
+  whatif.config_text = in.config;
+  whatif.fragmentation.emplace_back("no_such_dimension", "no_such_level");
+  auto response = client.WhatIf(whatif);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->status.ok());
+  // The server stays healthy afterwards.
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health->status.ok());
+}
+
+TEST_F(ServerTest, ConcurrentHammeringOnTwoTriples) {
+  const Inputs in = TinyInputs();
+  Inputs in2 = in;
+  in2.config += "\n";  // distinct content hash, same semantics
+
+  ServerOptions options;
+  options.cache_capacity = 4;
+  StartServer(options);
+
+  const std::string expected = DirectAdviseArtifact(in);
+  const std::string expected2 = DirectAdviseArtifact(in2);
+  EXPECT_EQ(expected, expected2);  // the texts are semantically equal
+
+  constexpr int kThreadsPerTriple = 6;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2 * kThreadsPerTriple; ++t) {
+    const Inputs& inputs = (t % 2 == 0) ? in : in2;
+    const std::string& want = (t % 2 == 0) ? expected : expected2;
+    threads.emplace_back([&, inputs, want] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      auto response = client->Advise(MakeAdviseCall(inputs));
+      if (!response.ok() || !response->status.ok()) {
+        ++failures;
+        return;
+      }
+      if (response->payload != want) ++mismatches;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Exactly one build per triple: every other lookup was served without
+  // re-parsing the inputs.
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.cache.misses, 2u);
+  EXPECT_GE(stats.cache.hits,
+            static_cast<uint64_t>(2 * kThreadsPerTriple - 2));
+}
+
+TEST_F(ServerTest, CapacityOneEvictionNeverBreaksInFlightRequests) {
+  const Inputs in = TinyInputs();
+  Inputs in2 = in;
+  in2.config += "\n";
+
+  ServerOptions options;
+  options.cache_capacity = 1;  // every other request evicts
+  StartServer(options);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    const Inputs& inputs = (t % 2 == 0) ? in : in2;
+    threads.emplace_back([&, inputs] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        auto response = client->Advise(MakeAdviseCall(inputs));
+        if (!response.ok() || !response->status.ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->stats().cache.entries, 1u);
+}
+
+TEST_F(ServerTest, AdmissionControlShedsWithUnavailable) {
+  ServerOptions options;
+  options.max_active = 0;  // everything sheds
+  StartServer(options);
+  Client client = ConnectOrDie();
+
+  auto response = client.Health();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(server_->stats().shed, 1u);
+}
+
+TEST_F(ServerTest, TinyDeadlineIsDeadlineExceeded) {
+  const Inputs in = TinyInputs();
+  StartServer();
+  Client client = ConnectOrDie();
+
+  AdviseCall call = MakeAdviseCall(in);
+  call.deadline_ms = 0;  // already expired on arrival
+  auto response = client.Advise(call);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status.code(), Status::Code::kDeadlineExceeded);
+
+  // The connection and the server both survive.
+  auto retry = client.Advise(MakeAdviseCall(in));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->status.ok());
+}
+
+TEST_F(ServerTest, MalformedRequestIsStructuredErrorAndServerSurvives) {
+  StartServer();
+  Client client = ConnectOrDie();
+
+  auto bad = client.Call("this is not json");
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_EQ(bad->status.code(), Status::Code::kInvalidArgument);
+
+  auto wrong_version = client.Call("{\"warlock_protocol\": 99}");
+  ASSERT_TRUE(wrong_version.ok());
+  EXPECT_EQ(wrong_version->status.code(), Status::Code::kInvalidArgument);
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health->status.ok());
+}
+
+TEST_F(ServerTest, ShutdownAnswersInFlightRequestsWithCancelledOrResult) {
+  const Inputs in = TinyInputs();
+  StartServer();
+
+  constexpr int kThreads = 4;
+  std::atomic<int> truncated{0};
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) return;
+      ++started;
+      for (int round = 0; round < 50; ++round) {
+        auto response = client->Advise(MakeAdviseCall(in));
+        if (!response.ok()) {
+          // Transport errors during shutdown must be whole-connection
+          // teardowns (clean close, broken pipe), never a frame the
+          // server started and abandoned: a half-written frame surfaces
+          // as "mid-frame" truncation or a malformed/garbled header.
+          const std::string& message = response.status().message();
+          if (message.find("mid-frame") != std::string::npos ||
+              message.find("malformed") != std::string::npos) {
+            ++truncated;
+          }
+          return;
+        }
+        // A response that did arrive is either a full artifact or a
+        // structured stop error.
+        if (!response->status.ok() &&
+            !common::IsStopStatus(response->status)) {
+          ++truncated;
+          return;
+        }
+      }
+    });
+  }
+
+  // Let the hammering get going, then pull the plug mid-flight.
+  while (started.load() < kThreads) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server_->Shutdown();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(truncated.load(), 0);
+}
+
+TEST_F(ServerTest, ShutdownIsIdempotent) {
+  StartServer();
+  server_->Shutdown();
+  server_->Shutdown();
+  EXPECT_TRUE(server_->shutdown_token().stop_requested());
+}
+
+}  // namespace
+}  // namespace warlock::service
