@@ -1,0 +1,72 @@
+// E19 — Observability overhead (metrics registry + stage timers).
+//
+// Measures `Advisor::Run()` with the observability timing switch on versus
+// off. The instrumentation budget is five ScopedTimers per run (one per
+// pipeline stage) plus always-on sharded counters that exist in both
+// configurations, so the two series should be indistinguishable; the
+// bench-gate speedup rule (BM_AdvisorRunMetricsOn vs
+// BM_AdvisorRunMetricsOff) locks the instrumented run within 1.05x of the
+// disabled one.
+//
+// Run via scripts/bench.sh to get the JSON the CI regression gate compares
+// against bench/BENCH_advisor_baseline.json.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using warlock::bench::Apb1Bench;
+using warlock::bench::Banner;
+
+void PrintExperiment() {
+  Banner("E19", "observability overhead (APB-1, 64 disks)");
+  std::printf(
+      "Advisor::Run with stage timers enabled vs disabled; the ratio is the\n"
+      "whole observability tax on the hot path (counters are always on).\n");
+}
+
+// One warm serial advisor run with the given observability setting. The
+// switch is flipped per-iteration-batch and restored afterwards so the
+// two series can run in either order within one process.
+void RunAdvisor(benchmark::State& state, bool metrics_enabled) {
+  Apb1Bench b = Apb1Bench::Make(0.002);
+  b.config.cost.samples_per_class = 2;
+  b.config.threads = 1;
+  const warlock::core::Advisor advisor(b.schema, b.mix, b.config);
+  const bool previous = warlock::obs::Enabled();
+  warlock::obs::SetEnabled(metrics_enabled);
+  (void)advisor.Run();  // warm-up: populates the per-advisor size memo
+  for (auto _ : state) {
+    auto result = advisor.Run();
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) {
+      warlock::obs::SetEnabled(previous);
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    state.counters["candidates"] = static_cast<double>(result->enumerated);
+  }
+  warlock::obs::SetEnabled(previous);
+}
+
+void BM_AdvisorRunMetricsOn(benchmark::State& state) {
+  RunAdvisor(state, true);
+}
+BENCHMARK(BM_AdvisorRunMetricsOn)->Unit(benchmark::kMillisecond);
+
+void BM_AdvisorRunMetricsOff(benchmark::State& state) {
+  RunAdvisor(state, false);
+}
+BENCHMARK(BM_AdvisorRunMetricsOff)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

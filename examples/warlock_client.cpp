@@ -9,6 +9,7 @@
 //   warlock_client --port N sweep <spec> [--threads N] [--advisor-threads N]
 //   warlock_client --port N stats
 //   warlock_client --port N health
+//   warlock_client --port N metrics [--format json|prometheus|table|csv]
 //
 // Exit status: 0 on an ok response, 1 on any transport or server error
 // (the structured error document's code and message go to stderr).
@@ -35,7 +36,8 @@ int Usage(const char* argv0) {
       "  whatif <schema> <workload> <config> --frag DIM:LEVEL [...]\n"
       "         [--num-disks N] [--fact-granule N] [--bitmap-granule N]\n"
       "  sweep <spec> [--threads N] [--advisor-threads N]\n"
-      "  stats | health\n",
+      "  stats | health\n"
+      "  metrics [--format json|prometheus|table|csv]  (default: table)\n",
       argv0);
   return 2;
 }
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> fragmentation;
   std::optional<uint32_t> num_disks, threads, advisor_threads;
   std::optional<uint64_t> fact_granule, bitmap_granule;
+  std::optional<std::string> metrics_format;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -125,6 +128,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return Usage(argv[0]);
       advisor_threads = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--format") {
+      const char* v = value();
+      if (!v) return Usage(argv[0]);
+      metrics_format = std::string(v);
     } else if (method.empty()) {
       method = arg;
     } else {
@@ -188,6 +195,9 @@ int main(int argc, char** argv) {
     response = client->Stats();
   } else if (method == "health") {
     response = client->Health();
+  } else if (method == "metrics") {
+    // Interactive default is the pretty table; scripts pass --format.
+    response = client->Metrics(metrics_format.value_or("table"));
   } else {
     return Usage(argv[0]);
   }

@@ -10,8 +10,9 @@
 # per-call Advisor construction), bench_e17_allocator_compare (the
 # "warlock" heuristic vs the "graph" partitioning allocation backend) and
 # bench_e18_service_roundtrip (a warm cached warlockd request over loopback
-# vs the cold session build it amortizes). Their JSON outputs are merged
-# into one artifact so the gate sees every series.
+# vs the cold session build it amortizes) and bench_e19_metrics_overhead
+# (Advisor::Run with the observability timing switch on vs off). Their JSON
+# outputs are merged into one artifact so the gate sees every series.
 #
 # Usage:
 #   scripts/bench.sh                       # build + run, writes BENCH_advisor.json
@@ -34,7 +35,8 @@ OUT="${OUT:-BENCH_advisor.json}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 DRIVERS=(bench_e13_parallel_advisor bench_e14_prefetch_search
          bench_e15_scenario_sweep bench_e16_session_whatif
-         bench_e17_allocator_compare bench_e18_service_roundtrip)
+         bench_e17_allocator_compare bench_e18_service_roundtrip
+         bench_e19_metrics_overhead)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 for driver in "${DRIVERS[@]}"; do
@@ -84,8 +86,10 @@ echo "wrote $OUT"
 # cold per-call evaluation (the delta re-costing win), a Run() under a
 # live deadline/cancel token must stay within ~1.25x of an unbounded Run()
 # (ratio >= 0.8 — the cooperative-cancellation checks are in the noise),
-# and a warm cached warlockd round trip must stay >= 5x cheaper than the
-# cold session build it replaces (the daemon's reason to exist).
+# a warm cached warlockd round trip must stay >= 5x cheaper than the
+# cold session build it replaces (the daemon's reason to exist), and an
+# instrumented Run() must stay within ~1.05x of a registry-disabled one
+# (ratio >= 0.95 — five stage timers per run are in the noise).
 if [[ -n "${CHECK_BASELINE:-}" ]]; then
   python3 scripts/bench_gate.py \
     --baseline bench/BENCH_advisor_baseline.json \
@@ -93,5 +97,6 @@ if [[ -n "${CHECK_BASELINE:-}" ]]; then
     --threshold "${BENCH_THRESHOLD:-2.0}" \
     --speedup "BM_SessionWhatIfWarm:BM_AdvisorWhatIfCold:${BENCH_WARM_SPEEDUP:-10}" \
     --speedup "BM_AdvisorRunDeadlineCheck/1/real_time:BM_AdvisorRunThreads/1/real_time:${BENCH_DEADLINE_RATIO:-0.8}" \
-    --speedup "BM_ServiceWarmRoundtrip:BM_ServiceColdSessionBuild:${BENCH_SERVICE_SPEEDUP:-5}"
+    --speedup "BM_ServiceWarmRoundtrip:BM_ServiceColdSessionBuild:${BENCH_SERVICE_SPEEDUP:-5}" \
+    --speedup "BM_AdvisorRunMetricsOn:BM_AdvisorRunMetricsOff:${BENCH_METRICS_RATIO:-0.95}"
 fi

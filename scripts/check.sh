@@ -75,6 +75,38 @@ PORT="$(cat "$SMOKE_DIR/port")"
 diff "$SMOKE_DIR/service_ranking.json" "$SMOKE_DIR/warlock_ranking.json" \
   || { echo "error: service artifact diverges from direct CLI output" >&2; exit 1; }
 
+# Metrics smoke: the daemon's `metrics` method end to end, in both
+# exposition formats. The Prometheus text must carry the key server series
+# (the advise above guarantees non-trivial values), the JSON must be a
+# well-formed "metrics" artifact.
+"$BUILD_DIR/examples/warlock_client" --port "$PORT" \
+  --out "$SMOKE_DIR/metrics.prom" metrics --format prometheus
+python3 - "$SMOKE_DIR/metrics.prom" <<'EOF'
+import sys
+text = open(sys.argv[1]).read()
+required = [
+    "warlock_server_accepted",
+    "warlock_server_uptime_ms",
+    "warlock_server_requests_advise",
+    "warlock_server_latency_us_advise_count",
+    "warlock_session_cache_misses",
+]
+for series in required:
+    assert series in text, f"metrics exposition missing {series}"
+print(f"prometheus exposition OK ({len(text.splitlines())} lines)")
+EOF
+
+"$BUILD_DIR/examples/warlock_client" --port "$PORT" \
+  --out "$SMOKE_DIR/metrics.json" metrics --format json
+python3 - "$SMOKE_DIR/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["artifact"] == "metrics", doc.get("artifact")
+assert doc["counters"]["server.requests.advise"] >= 1
+assert "server.latency_us.advise" in doc["histograms"]
+print("metrics JSON artifact OK")
+EOF
+
 kill -TERM "$WARLOCKD_PID"
 WARLOCKD_STATUS=0
 wait "$WARLOCKD_PID" || WARLOCKD_STATUS=$?

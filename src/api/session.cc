@@ -35,8 +35,13 @@ struct Session::State {
   // a pure cache, so memo-on and memo-off responses are bit-identical).
   core::EvalMemo memo;
 
-  std::atomic<uint64_t> advise_calls{0};
-  std::atomic<uint64_t> whatif_calls{0};
+  // The session-wide instrument directory; every component registers its
+  // counters/gauges/histograms here in Create (after advisor and pool
+  // exist), so one Snapshot() is a consistent cross-component view.
+  obs::MetricRegistry metrics;
+
+  obs::Counter advise_calls;
+  obs::Counter whatif_calls;
 
   State(schema::StarSchema s, workload::QueryMix m, core::ToolConfig c)
       : schema(std::move(s)),
@@ -90,6 +95,13 @@ Result<Session> Session::Create(schema::StarSchema schema,
                                        std::move(config));
   state->advisor.emplace(state->schema, state->mix, state->config);
   state->pool.emplace(state->config.threads);
+  state->advisor->RegisterMetrics(state->metrics);
+  state->memo.RegisterMetrics(state->metrics, "memo.");
+  state->pool->RegisterMetrics(state->metrics, "pool.");
+  state->metrics.RegisterCounter("session.advise_calls",
+                                 &state->advise_calls);
+  state->metrics.RegisterCounter("session.whatif_calls",
+                                 &state->whatif_calls);
   return Session(std::move(state));
 }
 
@@ -170,7 +182,7 @@ Result<AdviseResponse> Session::Advise(const AdviseRequest& request) const {
     if (request.top_k.has_value() && result.ranking.size() > *request.top_k) {
       result.ranking.resize(*request.top_k);
     }
-    state_->advise_calls.fetch_add(1, std::memory_order_relaxed);
+    state_->advise_calls.Increment();
     return AdviseResponse{std::move(result)};
   } catch (const std::exception& e) {
     // The facade never throws: anything that escaped the advisor's own
@@ -191,7 +203,7 @@ Result<WhatIfResponse> Session::WhatIf(const WhatIfRequest& request) const {
         state_->advisor->FullyEvaluate(request.fragmentation,
                                        request.overrides, &*state_->pool,
                                        &state_->memo, cancel));
-    state_->whatif_calls.fetch_add(1, std::memory_order_relaxed);
+    state_->whatif_calls.Increment();
     return WhatIfResponse{std::move(candidate)};
   } catch (const std::exception& e) {
     return Status::Internal(std::string("what-if failed: ") + e.what());
@@ -212,12 +224,15 @@ const schema::StarSchema& Session::schema() const { return state_->schema; }
 const workload::QueryMix& Session::mix() const { return state_->mix; }
 const core::ToolConfig& Session::config() const { return state_->config; }
 const core::Advisor& Session::advisor() const { return *state_->advisor; }
+const obs::MetricRegistry& Session::metrics() const {
+  return state_->metrics;
+}
 
 SessionStats Session::stats() const {
   const fragment::FragmentSizesCache& cache = state_->advisor->sizes_cache();
   SessionStats stats;
-  stats.advise_calls = state_->advise_calls.load(std::memory_order_relaxed);
-  stats.whatif_calls = state_->whatif_calls.load(std::memory_order_relaxed);
+  stats.advise_calls = state_->advise_calls.Value();
+  stats.whatif_calls = state_->whatif_calls.Value();
   stats.fragment_sizes_reused = cache.hits();
   stats.fragment_sizes_computed = cache.misses();
   stats.fragment_sizes_entries = cache.size();

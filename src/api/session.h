@@ -14,6 +14,7 @@
 #include "core/eval_memo.h"
 #include "core/tool_config.h"
 #include "fragment/fragmentation.h"
+#include "obs/metrics.h"
 #include "scenario/generator.h"
 #include "schema/star_schema.h"
 #include "workload/query_mix.h"
@@ -217,6 +218,14 @@ class Session {
 
   /// Reuse counters (see `SessionStats`).
   SessionStats stats() const;
+
+  /// The session's metric registry: every component instrument (advisor
+  /// stage histograms, `sizes_cache.*`, `memo.*`, `pool.*`,
+  /// `session.{advise,whatif}_calls`) is registered here at construction,
+  /// so `metrics().Snapshot()` is one consistent pass over all of them —
+  /// the skew-free counterpart of the per-component reads `stats()` keeps
+  /// doing for API compatibility.
+  const obs::MetricRegistry& metrics() const;
 
  private:
   struct State;

@@ -18,7 +18,7 @@ const char* const kRegistered[] = {
     kReadFile,         kParseSchema,        kParseWorkload,
     kParseConfig,      kMemoPut,            kValidateCapacity,
     kAllocPartition,   kThreadPoolDispatch, kServiceAccept,
-    kServiceParseRequest,
+    kServiceParseRequest, kObsExport,
 };
 
 // armed_total: fast-path gate. -1 = env spec not parsed yet (forces one

@@ -43,6 +43,11 @@ inline constexpr char kAllocPartition[] = "alloc.partition";
 /// connection and server stay usable).
 inline constexpr char kServiceAccept[] = "service.accept";
 inline constexpr char kServiceParseRequest[] = "service.parse_request";
+/// Exposition seam (`obs/exposition.*`): an armed check fails every metrics
+/// rendering (any format) into a clean structured error; `warlockd` surfaces
+/// it as an error document for the `metrics` method and keeps serving. It is
+/// never on the library advise/whatif path, so artifacts stay byte-identical.
+inline constexpr char kObsExport[] = "obs.export";
 /// Degradation seams (an armed check sheds work — a dropped cache insert, a
 /// lost pool helper — and the operation must still succeed byte-identically):
 inline constexpr char kMemoPut[] = "memo.put";

@@ -14,6 +14,7 @@ unsigned ThreadPool::ResolveThreadCount(unsigned requested) {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   const unsigned n = ResolveThreadCount(num_threads);
+  threads_.Set(static_cast<int64_t>(n));
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -32,8 +33,17 @@ ThreadPool::~ThreadPool() {
   // An error recorded after the last Wait() dies with the pool — count it,
   // so at least the bookkeeping admits the loss.
   if (first_error_) {
-    dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    dropped_exceptions_.Increment();
   }
+}
+
+void ThreadPool::RegisterMetrics(obs::MetricRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.RegisterCounter(prefix + "tasks_run", &tasks_run_);
+  registry.RegisterCounter(prefix + "dropped_exceptions",
+                           &dropped_exceptions_);
+  registry.RegisterGauge(prefix + "queue_depth", &queue_depth_);
+  registry.RegisterGauge(prefix + "threads", &threads_);
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -42,6 +52,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push(std::move(task));
     ++pending_;
   }
+  queue_depth_.Add(1);
   work_cv_.notify_one();
 }
 
@@ -72,7 +83,7 @@ void ThreadPool::RunLoop(LoopState& state) {
       if (!state.error) {
         state.error = std::current_exception();
       } else {
-        dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+        dropped_exceptions_.Increment();
       }
       state.has_error.store(true, std::memory_order_relaxed);
     }
@@ -155,6 +166,8 @@ void ThreadPool::WorkerLoop() {
     } catch (...) {
       RecordError(std::current_exception());
     }
+    tasks_run_.Increment();
+    queue_depth_.Add(-1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) idle_cv_.notify_all();
@@ -168,7 +181,7 @@ void ThreadPool::RecordError(std::exception_ptr error) {
     first_error_ = std::move(error);
     has_error_.store(true, std::memory_order_relaxed);
   } else {
-    dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    dropped_exceptions_.Increment();
   }
 }
 

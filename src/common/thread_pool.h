@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "obs/metrics.h"
 
 namespace warlock::common {
 
@@ -96,9 +97,14 @@ class ThreadPool {
   /// destruction. A nonzero count means some failure was observed only as
   /// this counter — the service-layer signal that error reporting lost
   /// information (surfaced via `Session::stats()`).
-  uint64_t dropped_exceptions() const {
-    return dropped_exceptions_.load(std::memory_order_relaxed);
-  }
+  uint64_t dropped_exceptions() const { return dropped_exceptions_.Value(); }
+
+  /// Registers this pool's instruments (`<prefix>tasks_run`,
+  /// `<prefix>queue_depth`, `<prefix>threads`, `<prefix>dropped_exceptions`)
+  /// as views on `registry`. The pool keeps owning the instruments; the
+  /// registry must not outlive it.
+  void RegisterMetrics(obs::MetricRegistry& registry,
+                       const std::string& prefix = "pool.") const;
 
   /// `0` resolves to `std::thread::hardware_concurrency()` (at least 1);
   /// any other value is returned unchanged.
@@ -132,7 +138,13 @@ class ThreadPool {
   size_t pending_ = 0;  // queued + currently running tasks
   std::exception_ptr first_error_;
   std::atomic<bool> has_error_{false};
-  std::atomic<uint64_t> dropped_exceptions_{0};
+  // Registry-visible instruments. The counters are always live (the
+  // dropped_exceptions() accessor is part of the SessionStats contract);
+  // queue_depth_ mirrors pending_ (queued + running tasks).
+  obs::Counter dropped_exceptions_;
+  obs::Counter tasks_run_;
+  obs::Gauge queue_depth_;
+  obs::Gauge threads_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -197,13 +197,16 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
     }
     ctx.alloc_scheme = backend->ResolveScheme(actx);
     ctx.alloc_method = backend->MethodLabel(actx);
-    WARLOCK_ASSIGN_OR_RETURN(alloc::DiskAllocation placed,
-                             backend->Allocate(actx));
-    ctx.allocation =
-        std::make_shared<const alloc::DiskAllocation>(std::move(placed));
-    if (mode == EvalMode::kFull) {
-      WARLOCK_RETURN_IF_ERROR(ctx.allocation->ValidateCapacity(
-          ctx.params.disks.disk_capacity_bytes));
+    {
+      obs::ScopedTimer allocate_timer(&stage_metrics_.allocate_us);
+      WARLOCK_ASSIGN_OR_RETURN(alloc::DiskAllocation placed,
+                               backend->Allocate(actx));
+      ctx.allocation =
+          std::make_shared<const alloc::DiskAllocation>(std::move(placed));
+      if (mode == EvalMode::kFull) {
+        WARLOCK_RETURN_IF_ERROR(ctx.allocation->ValidateCapacity(
+            ctx.params.disks.disk_capacity_bytes));
+      }
     }
     // Cache only capacity-validated allocations (failures return above).
     if (memo != nullptr) {
@@ -244,10 +247,14 @@ Result<Advisor::EvalContext> Advisor::BuildEvalContext(
         cost::PrefetchOptions prefetch_options;
         prefetch_options.max_granule_pages = config_.prefetch_max_granule;
         prefetch_options.search_samples = config_.prefetch_samples;
-        const cost::PrefetchChoice choice = cost::OptimizePrefetch(
-            schema_, config_.fact_index, fragmentation, *ctx.sizes,
-            *ctx.scheme, *ctx.allocation, mix_, ctx.params, prefetch_options,
-            pool, cancel);
+        cost::PrefetchChoice choice;
+        {
+          obs::ScopedTimer prefetch_timer(&stage_metrics_.prefetch_us);
+          choice = cost::OptimizePrefetch(
+              schema_, config_.fact_index, fragmentation, *ctx.sizes,
+              *ctx.scheme, *ctx.allocation, mix_, ctx.params, prefetch_options,
+              pool, cancel);
+        }
         // A fired token makes the choice a partial-grid artifact: discard it
         // (and above all never memoize it) by surfacing the stop status
         // before the granules are consumed or cached.
@@ -368,11 +375,14 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
   }
 
   WARLOCK_RETURN_IF_ERROR(config_.cost.disks.Validate());
-  WARLOCK_ASSIGN_OR_RETURN(
-      std::vector<fragment::Candidate> raw,
-      fragment::EnumerateCandidates(schema_, config_.fact_index,
-                                    config_.cost.disks.page_size_bytes,
-                                    config_.thresholds));
+  std::vector<fragment::Candidate> raw;
+  {
+    obs::ScopedTimer enumerate_timer(&stage_metrics_.enumerate_us);
+    WARLOCK_ASSIGN_OR_RETURN(
+        raw, fragment::EnumerateCandidates(schema_, config_.fact_index,
+                                           config_.cost.disks.page_size_bytes,
+                                           config_.thresholds));
+  }
 
   AdvisorResult result;
   result.enumerated = raw.size();
@@ -386,6 +396,11 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
   // to a serial walk regardless of scheduling. A fired token stops the
   // fan-out between candidates; the partial slots are discarded with the
   // whole run when the stop status surfaces below.
+  // The phase timer lives in an optional so the span closes (and records)
+  // right after the fan-out returns, while an early error return still
+  // records on scope exit.
+  std::optional<obs::ScopedTimer> screen_timer(
+      std::in_place, &stage_metrics_.screen_us);
   WARLOCK_RETURN_IF_ERROR(RunPhase(pool, raw.size(), [&](size_t i) {
     fragment::Candidate& cand = raw[i];
     EvaluatedCandidate& ec = result.candidates[i];
@@ -412,6 +427,7 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
     const cost::MixCost mc = cost::CostMix(model, mix_, ctx.params.seed);
     ec.screening_io_work_ms = mc.io_work_ms;
   }, cancel));
+  screen_timer.reset();
   WARLOCK_RETURN_IF_ERROR(cancel.CheckStop());
 
   std::vector<size_t> included;
@@ -443,6 +459,8 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
   // search: the nested ParallelFor work-assists, so idle workers speed up
   // the granule sweep while saturated ones cost nothing.
   std::vector<unsigned char> full_ok(leading, 0);
+  std::optional<obs::ScopedTimer> full_eval_timer(
+      std::in_place, &stage_metrics_.full_eval_us);
   WARLOCK_RETURN_IF_ERROR(RunPhase(pool, leading, [&](size_t i) {
     const size_t ci = included[i];
     EvaluatedCandidate& slot = result.candidates[ci];
@@ -463,6 +481,7 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
     slot = std::move(full);
     full_ok[i] = 1;
   }, cancel));
+  full_eval_timer.reset();
   WARLOCK_RETURN_IF_ERROR(cancel.CheckStop());
   // Final buckets: a phase-2 failure moves the candidate from "screened"
   // to "excluded", keeping fully_evaluated + excluded + screened ==
@@ -497,6 +516,19 @@ Result<AdvisorResult> Advisor::Run(common::ThreadPool* pool, EvalMemo* memo,
   }
   result.ranking = std::move(ranked);
   return result;
+}
+
+void Advisor::RegisterMetrics(obs::MetricRegistry& registry) const {
+  registry.RegisterHistogram("advisor.enumerate_us",
+                             &stage_metrics_.enumerate_us);
+  registry.RegisterHistogram("advisor.screen_us", &stage_metrics_.screen_us);
+  registry.RegisterHistogram("advisor.full_eval_us",
+                             &stage_metrics_.full_eval_us);
+  registry.RegisterHistogram("advisor.prefetch_us",
+                             &stage_metrics_.prefetch_us);
+  registry.RegisterHistogram("advisor.allocate_us",
+                             &stage_metrics_.allocate_us);
+  sizes_cache_.RegisterMetrics(registry, "sizes_cache.");
 }
 
 }  // namespace warlock::core

@@ -14,6 +14,7 @@
 #include "cost/mix_cost.h"
 #include "cost/prefetch.h"
 #include "fragment/fragment_sizes.h"
+#include "obs/metrics.h"
 #include "schema/star_schema.h"
 #include "workload/query_mix.h"
 
@@ -193,6 +194,13 @@ class Advisor {
     return sizes_cache_;
   }
 
+  /// Registers the advisor's pipeline-stage latency histograms
+  /// (`advisor.{enumerate,screen,full_eval,prefetch,allocate}_us`) and the
+  /// fragment-size cache's counters (`sizes_cache.*`) as views on
+  /// `registry`. The advisor keeps owning the instruments; the registry
+  /// must not outlive it.
+  void RegisterMetrics(obs::MetricRegistry& registry) const;
+
  private:
   // How BuildEvalContext shapes the shared state for its caller.
   enum class EvalMode {
@@ -232,6 +240,20 @@ class Advisor {
   // Memo of per-candidate fragment sizes (screening derives them, full
   // evaluation and what-if calls reuse them). Internally synchronized.
   mutable fragment::FragmentSizesCache sizes_cache_;
+
+  // Pipeline-stage wall-time histograms (µs). enumerate/screen/full_eval
+  // time a phase once per Run; prefetch/allocate are recorded per candidate
+  // from inside the fan-out (the sharded histograms tolerate concurrent
+  // recording). Timers are gated on obs::Enabled() and never touch any
+  // artifact.
+  struct StageMetrics {
+    obs::Histogram enumerate_us;
+    obs::Histogram screen_us;
+    obs::Histogram full_eval_us;
+    obs::Histogram prefetch_us;
+    obs::Histogram allocate_us;
+  };
+  mutable StageMetrics stage_metrics_;
 };
 
 }  // namespace warlock::core

@@ -59,10 +59,10 @@ std::shared_ptr<const bitmap::BitmapScheme> EvalMemo::FindScheme(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = schemes_.find(sig);
   if (it == schemes_.end()) {
-    ++stats_.scheme.misses;
+    scheme_metrics_.misses.Increment();
     return nullptr;
   }
-  ++stats_.scheme.hits;
+  scheme_metrics_.hits.Increment();
   return it->second;
 }
 
@@ -94,19 +94,20 @@ EvalMemo::CandidateEntry& EvalMemo::TouchEntry(const Key& candidate) {
     const Key& victim = lru_.back();
     entries_.erase(victim);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.Increment();
   }
+  entries_gauge_.Set(static_cast<int64_t>(entries_.size()));
   return entry;
 }
 
 template <typename T>
 std::optional<T> EvalMemo::FindSlot(Slot<T> CandidateEntry::* slot,
-                                    EvalMemoCounters EvalMemoStats::* counters,
+                                    StageInstruments* counters,
                                     const Key& candidate, const Sig& sig) {
   std::lock_guard<std::mutex> lock(mu_);
   CandidateEntry* entry = FindEntry(candidate);
   if (entry == nullptr || !(entry->*slot).valid) {
-    ++(stats_.*counters).misses;
+    counters->misses.Increment();
     return std::nullopt;
   }
   Slot<T>& s = entry->*slot;
@@ -115,10 +116,10 @@ std::optional<T> EvalMemo::FindSlot(Slot<T> CandidateEntry::* slot,
     // later lookup with the old signature counts as a plain miss.
     s.valid = false;
     s.value = T{};
-    ++(stats_.*counters).invalidations;
+    counters->invalidations.Increment();
     return std::nullopt;
   }
-  ++(stats_.*counters).hits;
+  counters->hits.Increment();
   return s.value;
 }
 
@@ -137,8 +138,8 @@ void EvalMemo::PutSlot(Slot<T> CandidateEntry::* slot, const Key& candidate,
 
 std::optional<EvalMemo::AllocationEntry> EvalMemo::FindAllocation(
     const Key& candidate, const Sig& sig) {
-  return FindSlot(&CandidateEntry::allocation, &EvalMemoStats::allocation,
-                  candidate, sig);
+  return FindSlot(&CandidateEntry::allocation, &allocation_metrics_, candidate,
+                  sig);
 }
 
 void EvalMemo::PutAllocation(const Key& candidate, const Sig& sig,
@@ -148,8 +149,8 @@ void EvalMemo::PutAllocation(const Key& candidate, const Sig& sig,
 
 std::optional<EvalMemo::PrefetchEntry> EvalMemo::FindPrefetch(
     const Key& candidate, const Sig& sig) {
-  return FindSlot(&CandidateEntry::prefetch, &EvalMemoStats::prefetch,
-                  candidate, sig);
+  return FindSlot(&CandidateEntry::prefetch, &prefetch_metrics_, candidate,
+                  sig);
 }
 
 void EvalMemo::PutPrefetch(const Key& candidate, const Sig& sig,
@@ -159,8 +160,7 @@ void EvalMemo::PutPrefetch(const Key& candidate, const Sig& sig,
 
 std::shared_ptr<const EvaluatedCandidate> EvalMemo::FindResult(
     const Key& candidate, const Sig& sig) {
-  return FindSlot(&CandidateEntry::result, &EvalMemoStats::result, candidate,
-                  sig)
+  return FindSlot(&CandidateEntry::result, &result_metrics_, candidate, sig)
       .value_or(nullptr);
 }
 
@@ -171,9 +171,38 @@ void EvalMemo::PutResult(const Key& candidate, const Sig& sig,
 
 EvalMemoStats EvalMemo::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  EvalMemoStats snapshot = stats_;
+  const auto stage = [](const StageInstruments& s) {
+    EvalMemoCounters c;
+    c.hits = s.hits.Value();
+    c.misses = s.misses.Value();
+    c.invalidations = s.invalidations.Value();
+    return c;
+  };
+  EvalMemoStats snapshot;
+  snapshot.scheme = stage(scheme_metrics_);
+  snapshot.allocation = stage(allocation_metrics_);
+  snapshot.prefetch = stage(prefetch_metrics_);
+  snapshot.result = stage(result_metrics_);
   snapshot.entries = entries_.size();
+  snapshot.evictions = evictions_.Value();
   return snapshot;
+}
+
+void EvalMemo::RegisterMetrics(obs::MetricRegistry& registry,
+                               const std::string& prefix) const {
+  const auto stage = [&registry, &prefix](const std::string& name,
+                                          const StageInstruments& s) {
+    registry.RegisterCounter(prefix + name + ".hits", &s.hits);
+    registry.RegisterCounter(prefix + name + ".misses", &s.misses);
+    registry.RegisterCounter(prefix + name + ".invalidations",
+                             &s.invalidations);
+  };
+  stage("scheme", scheme_metrics_);
+  stage("allocation", allocation_metrics_);
+  stage("prefetch", prefetch_metrics_);
+  stage("result", result_metrics_);
+  registry.RegisterCounter(prefix + "evictions", &evictions_);
+  registry.RegisterGauge(prefix + "entries", &entries_gauge_);
 }
 
 }  // namespace warlock::core

@@ -14,6 +14,7 @@
 #include "bitmap/scheme.h"
 #include "cost/eval_deps.h"
 #include "fragment/fragmentation.h"
+#include "obs/metrics.h"
 
 namespace warlock::core {
 
@@ -155,6 +156,13 @@ class EvalMemo {
   /// snapshot is consistent).
   EvalMemoStats stats() const;
 
+  /// Registers the memo's instruments as views on `registry`:
+  /// `<prefix>{scheme,allocation,prefetch,result}.{hits,misses,invalidations}`
+  /// plus `<prefix>entries` / `<prefix>evictions`. The memo keeps owning
+  /// them; the registry must not outlive it.
+  void RegisterMetrics(obs::MetricRegistry& registry,
+                       const std::string& prefix = "memo.") const;
+
   /// The candidate-entry cap this memo was built with (0 = unbounded).
   size_t capacity() const { return capacity_; }
 
@@ -179,10 +187,18 @@ class EvalMemo {
   // Returns nullptr when the candidate has no entry. Caller must hold mu_.
   CandidateEntry* FindEntry(const Key& candidate);
 
+  // One stage's registry-visible counters. The EvalMemoCounters snapshot
+  // struct stays the public currency (`stats()` assembles it from these).
+  struct StageInstruments {
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter invalidations;
+  };
+
   template <typename T>
   std::optional<T> FindSlot(Slot<T> CandidateEntry::* slot,
-                            EvalMemoCounters EvalMemoStats::* counters,
-                            const Key& candidate, const Sig& sig);
+                            StageInstruments* counters, const Key& candidate,
+                            const Sig& sig);
   template <typename T>
   void PutSlot(Slot<T> CandidateEntry::* slot, const Key& candidate,
                const Sig& sig, T value);
@@ -194,7 +210,14 @@ class EvalMemo {
   std::map<Key, CandidateEntry> entries_;
   // Front = most recently used candidate key.
   std::list<Key> lru_;
-  EvalMemoStats stats_;
+  // Mutated under mu_ (the obs instruments tolerate concurrency, but taking
+  // them under the lock keeps `stats()` snapshots consistent as before).
+  StageInstruments scheme_metrics_;
+  StageInstruments allocation_metrics_;
+  StageInstruments prefetch_metrics_;
+  StageInstruments result_metrics_;
+  obs::Counter evictions_;
+  obs::Gauge entries_gauge_;
 };
 
 }  // namespace warlock::core

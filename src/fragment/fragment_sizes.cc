@@ -108,12 +108,12 @@ Result<std::shared_ptr<const FragmentSizes>> FragmentSizesCache::GetOrCompute(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Increment();
       lru_.splice(lru_.begin(), lru_, it->second.lru);
       return it->second.sizes;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Increment();
 
   // Compute outside the lock so concurrent misses on distinct candidates
   // proceed in parallel (the screening fan-out's common case).
@@ -138,14 +138,23 @@ Result<std::shared_ptr<const FragmentSizes>> FragmentSizesCache::GetOrCompute(
   if (capacity_ > 0 && cache_.size() > capacity_) {
     cache_.erase(lru_.back());
     lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Increment();
   }
+  entries_.Set(static_cast<int64_t>(cache_.size()));
   return entry.sizes;
 }
 
 size_t FragmentSizesCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+void FragmentSizesCache::RegisterMetrics(obs::MetricRegistry& registry,
+                                         const std::string& prefix) const {
+  registry.RegisterCounter(prefix + "hits", &hits_);
+  registry.RegisterCounter(prefix + "misses", &misses_);
+  registry.RegisterCounter(prefix + "evictions", &evictions_);
+  registry.RegisterGauge(prefix + "entries", &entries_);
 }
 
 }  // namespace warlock::fragment

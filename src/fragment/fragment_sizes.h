@@ -1,16 +1,17 @@
 #ifndef WARLOCK_FRAGMENT_FRAGMENT_SIZES_H_
 #define WARLOCK_FRAGMENT_FRAGMENT_SIZES_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "fragment/fragmentation.h"
+#include "obs/metrics.h"
 #include "schema/star_schema.h"
 
 namespace warlock::fragment {
@@ -122,16 +123,20 @@ class FragmentSizesCache {
 
   /// Lookups served from the memo without recomputing (the session API's
   /// warm-reuse contract is asserted against these counters).
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.Value(); }
 
   /// Lookups that had to run `FragmentSizes::Compute` (includes failed
   /// computations, which are not cached).
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.Value(); }
 
   /// Entries discarded by the size cap (surfaced in `Session::stats()`).
-  uint64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
+  uint64_t evictions() const { return evictions_.Value(); }
+
+  /// Registers the cache's instruments (`<prefix>hits`, `<prefix>misses`,
+  /// `<prefix>evictions`, `<prefix>entries`) as views on `registry`. The
+  /// cache keeps owning them; the registry must not outlive it.
+  void RegisterMetrics(obs::MetricRegistry& registry,
+                       const std::string& prefix = "sizes_cache.") const;
 
  private:
   using Key = std::vector<uint64_t>;
@@ -146,9 +151,10 @@ class FragmentSizesCache {
   std::map<Key, Entry> cache_;
   // Front = most recently used key.
   std::list<Key> lru_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Gauge entries_;
 };
 
 }  // namespace warlock::fragment

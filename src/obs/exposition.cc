@@ -1,0 +1,208 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/json.h"
+
+namespace warlock::obs {
+
+namespace {
+
+namespace fp = common::failpoint;
+
+// Dotted internal names ("server.latency_us.advise") flatten to Prometheus
+// series names ("warlock_server_latency_us_advise").
+std::string PrometheusName(const std::string& name) {
+  std::string out = "warlock_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Formats a percentile bound for the human-readable renderers: an integral
+// microsecond value, "inf" for the overflow bucket, "-" for no samples.
+std::string PercentileCell(const HistogramSnapshot& h, double p) {
+  if (h.count == 0) return "-";
+  const double v = h.PercentileMicros(p);
+  if (!std::isfinite(v)) return "inf";
+  std::ostringstream os;
+  os << static_cast<uint64_t>(v);
+  return os.str();
+}
+
+}  // namespace
+
+Result<std::string> RenderPrometheus(const MetricsSnapshot& snapshot) {
+  WARLOCK_RETURN_IF_ERROR(fp::Check(fp::kObsExport));
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pn = PrometheusName(name);
+    os << "# TYPE " << pn << " counter\n";
+    os << pn << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pn = PrometheusName(name);
+    os << "# TYPE " << pn << " gauge\n";
+    os << pn << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string pn = PrometheusName(name);
+    os << "# TYPE " << pn << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const uint64_t upper = Histogram::BucketUpperMicros(i);
+      os << pn << "_bucket{le=\"";
+      if (upper == 0) {
+        os << "+Inf";
+      } else {
+        os << upper;
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << pn << "_sum " << h.sum_micros << "\n";
+    os << pn << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+Result<std::string> RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  WARLOCK_RETURN_IF_ERROR(fp::Check(fp::kObsExport));
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"artifact\": \"metrics\",\n";
+
+  os << "  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n    " << JsonString(snapshot.counters[i].first) << ": "
+       << snapshot.counters[i].second;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n    " << JsonString(snapshot.gauges[i].first) << ": "
+       << snapshot.gauges[i].second;
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n";
+
+  // Bucket upper bounds are a process-wide constant; emit the table once
+  // and each histogram as cumulative counts against it (last bucket is
+  // +Inf, represented by the trailing count == total).
+  os << "  \"histogram_le_us\": [";
+  for (size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    if (i > 0) os << ", ";
+    os << Histogram::BucketUpperMicros(i);
+  }
+  os << "],\n";
+
+  os << "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot.histograms[i];
+    if (i > 0) os << ",";
+    os << "\n    " << JsonString(name) << ": {\n";
+    os << "      \"count\": " << h.count << ",\n";
+    os << "      \"sum_us\": " << h.sum_micros << ",\n";
+    os << "      \"p50_us\": "
+       << (h.count == 0 ? "null" : JsonNumber(h.PercentileMicros(0.50)))
+       << ",\n";
+    os << "      \"p95_us\": "
+       << (h.count == 0 ? "null" : JsonNumber(h.PercentileMicros(0.95)))
+       << ",\n";
+    os << "      \"p99_us\": "
+       << (h.count == 0 ? "null" : JsonNumber(h.PercentileMicros(0.99)))
+       << ",\n";
+    os << "      \"buckets\": [";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      if (b > 0) os << ", ";
+      os << cumulative;
+    }
+    os << "]\n";
+    os << "    }";
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+Result<std::string> RenderMetricsTable(const MetricsSnapshot& snapshot) {
+  WARLOCK_RETURN_IF_ERROR(fp::Check(fp::kObsExport));
+  std::ostringstream os;
+  os << "WARLOCK metrics\n";
+  os << "counters:\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "  " << std::left << std::setw(44) << name << std::right
+       << std::setw(12) << value << "\n";
+  }
+  os << "gauges:\n";
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "  " << std::left << std::setw(44) << name << std::right
+       << std::setw(12) << value << "\n";
+  }
+  os << "histograms (us):\n";
+  os << "  " << std::left << std::setw(36) << "name" << std::right
+     << std::setw(10) << "count" << std::setw(12) << "sum" << std::setw(8)
+     << "p50" << std::setw(8) << "p95" << std::setw(8) << "p99" << "\n";
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "  " << std::left << std::setw(36) << name << std::right
+       << std::setw(10) << h.count << std::setw(12) << h.sum_micros
+       << std::setw(8) << PercentileCell(h, 0.50) << std::setw(8)
+       << PercentileCell(h, 0.95) << std::setw(8) << PercentileCell(h, 0.99)
+       << "\n";
+  }
+  return os.str();
+}
+
+Result<std::string> RenderMetricsCsv(const MetricsSnapshot& snapshot) {
+  WARLOCK_RETURN_IF_ERROR(fp::Check(fp::kObsExport));
+  CsvWriter csv({"kind", "name", "value", "count", "sum_us", "p50_us",
+                 "p95_us", "p99_us"});
+  for (const auto& [name, value] : snapshot.counters) {
+    csv.BeginRow()
+        .Add(std::string("counter"))
+        .Add(name)
+        .Add(value)
+        .Add(std::string())
+        .Add(std::string())
+        .Add(std::string())
+        .Add(std::string())
+        .Add(std::string());
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    csv.BeginRow()
+        .Add(std::string("gauge"))
+        .Add(name)
+        .Add(value)
+        .Add(std::string())
+        .Add(std::string())
+        .Add(std::string())
+        .Add(std::string())
+        .Add(std::string());
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    csv.BeginRow()
+        .Add(std::string("histogram"))
+        .Add(name)
+        .Add(std::string())
+        .Add(h.count)
+        .Add(h.sum_micros)
+        .Add(PercentileCell(h, 0.50))
+        .Add(PercentileCell(h, 0.95))
+        .Add(PercentileCell(h, 0.99));
+  }
+  return csv.ToString();
+}
+
+}  // namespace warlock::obs

@@ -1,0 +1,36 @@
+#ifndef WARLOCK_OBS_EXPOSITION_H_
+#define WARLOCK_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+// Rendering of a MetricsSnapshot into the supported exposition formats. All
+// renderers consume the same snapshot, so one scrape is internally
+// consistent regardless of format. Every entry point checks the
+// `obs.export` failpoint so the fault sweep can prove a broken exposition
+// path degrades into a structured error without taking the service down.
+
+namespace warlock::obs {
+
+/// Prometheus-style text format: `warlock_`-prefixed series with dotted
+/// names flattened to underscores; histograms expose cumulative
+/// `_bucket{le="..."}` series plus `_sum` (µs) and `_count`.
+Result<std::string> RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON document with `"artifact": "metrics"`. Histogram buckets are
+/// emitted as cumulative counts against the shared `histogram_le_us` bound
+/// table; p50/p95/p99 are bucket upper bounds (null when the rank falls in
+/// the overflow bucket).
+Result<std::string> RenderMetricsJson(const MetricsSnapshot& snapshot);
+
+/// Fixed-width human-readable table (warlock_client's pretty-print).
+Result<std::string> RenderMetricsTable(const MetricsSnapshot& snapshot);
+
+/// One row per series: kind,name,value,count,sum_us,p50_us,p95_us,p99_us.
+Result<std::string> RenderMetricsCsv(const MetricsSnapshot& snapshot);
+
+}  // namespace warlock::obs
+
+#endif  // WARLOCK_OBS_EXPOSITION_H_

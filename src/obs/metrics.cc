@@ -1,0 +1,122 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace warlock::obs {
+
+namespace {
+// Timing is on by default: the overhead gate (bench_e19) holds instrumented
+// Advisor::Run within 1.05x of a disabled run, so always-on is affordable.
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t Counter::ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+double HistogramSnapshot::PercentileMicros(double p) const {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      const uint64_t upper = Histogram::BucketUpperMicros(i);
+      if (upper == 0) return std::numeric_limits<double>::infinity();
+      return static_cast<double>(upper);
+    }
+  }
+  // Unreachable when count == sum(buckets); be conservative otherwise.
+  return std::numeric_limits<double>::infinity();
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBuckets);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].Value();
+    snap.count += snap.buckets[i];
+  }
+  snap.sum_micros = sum_micros_.Value();
+  return snap;
+}
+
+void MetricRegistry::RegisterCounter(const std::string& name,
+                                     const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = counter;
+}
+
+void MetricRegistry::RegisterGauge(const std::string& name, const Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = gauge;
+}
+
+void MetricRegistry::RegisterHistogram(const std::string& name,
+                                       const Histogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name] = histogram;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owned_counters_.find(name);
+  if (it != owned_counters_.end()) return it->second;
+  Counter* c = &counter_storage_.emplace_back();
+  owned_counters_[name] = c;
+  counters_[name] = c;
+  return c;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owned_gauges_.find(name);
+  if (it != owned_gauges_.end()) return it->second;
+  Gauge* g = &gauge_storage_.emplace_back();
+  owned_gauges_[name] = g;
+  gauges_[name] = g;
+  return g;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owned_histograms_.find(name);
+  if (it != owned_histograms_.end()) return it->second;
+  Histogram* h = &histogram_storage_.emplace_back();
+  owned_histograms_[name] = h;
+  histograms_[name] = h;
+  return h;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace warlock::obs

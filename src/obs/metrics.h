@@ -1,0 +1,225 @@
+#ifndef WARLOCK_OBS_METRICS_H_
+#define WARLOCK_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+// WARLOCK observability primitives. This header is deliberately free of any
+// other warlock dependency (no Result/Status/json) so that the lowest layers
+// of the library — common/thread_pool.h included — can instrument themselves
+// without creating an include cycle.
+//
+// Design contract:
+//  - Counters and gauges are always live: existing accessors such as
+//    `ThreadPool::dropped_exceptions()` or `Session::stats()` are re-expressed
+//    on top of these instruments and their semantics must not depend on
+//    whether observability is "on".
+//  - Timers (ScopedTimer / latency histograms) are gated by the process-wide
+//    `Enabled()` switch: when disabled they take no clock reading and record
+//    nothing. This is the knob `bench_e19_metrics_overhead` uses to compare
+//    an instrumented `Advisor::Run` against a registry-disabled run.
+//  - Nothing in this file ever touches an artifact: metrics are observable
+//    only through the explicit exposition paths (obs/exposition.h and the
+//    service `metrics` method), keeping every existing output byte-identical.
+
+namespace warlock::obs {
+
+/// Process-wide switch for the *timing* side of observability. Counters and
+/// gauges ignore it (they back public stats APIs); ScopedTimer consults it
+/// once per scope with a relaxed load.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// A monotonically increasing counter, sharded across cache lines so that
+/// hot-path increments from many threads are wait-free and do not ping-pong
+/// a single cache line. `Value()` is a relaxed sum over the shards: exact
+/// once writers quiesce, momentarily stale (never torn) while they run.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    shards_[ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  // Threads are spread over shards round-robin at first touch; the slot is
+  // thread-local so the increment itself is a single relaxed fetch_add.
+  static size_t ThisThreadShard();
+
+  Shard shards_[kShards];
+};
+
+/// A last-write-wins signed gauge (queue depth, resident entries, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time view of one histogram, produced under the registry lock so
+/// a single exposition is internally consistent.
+struct HistogramSnapshot {
+  /// Per-bucket (non-cumulative) sample counts; size == Histogram::kBuckets,
+  /// last bucket is the overflow (+Inf) bucket.
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+
+  /// Upper-bound estimate for percentile `p` in (0, 1], in microseconds.
+  /// Returns the upper bound of the bucket containing the rank: 0 for an
+  /// empty histogram, +infinity when the rank falls in the overflow bucket.
+  double PercentileMicros(double p) const;
+};
+
+/// Fixed-bucket latency histogram over microseconds. Bucket `i` covers
+/// `(2^(i-1), 2^i]` µs (bucket 0 covers `[0, 1]`), with the last bucket
+/// catching everything above the largest finite bound (~67 s). Power-of-two
+/// bounds make bucketing a `bit_width` — deterministic across platforms and
+/// cheap enough for always-on paths.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 28;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t micros) {
+    buckets_[BucketIndex(micros)].Increment();
+    sum_micros_.Increment(micros);
+  }
+
+  /// Index of the bucket that `micros` falls into.
+  static size_t BucketIndex(uint64_t micros) {
+    if (micros <= 1) return 0;
+    const size_t w = static_cast<size_t>(std::bit_width(micros - 1));
+    return w < kBuckets - 1 ? w : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket `i` in µs; 0 for the overflow bucket
+  /// (whose bound is +Inf).
+  static uint64_t BucketUpperMicros(size_t i) {
+    return i + 1 < kBuckets ? (uint64_t{1} << i) : 0;
+  }
+
+  /// Total samples recorded (sum of bucket counts).
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const Counter& b : buckets_) total += b.Value();
+    return total;
+  }
+
+  uint64_t SumMicros() const { return sum_micros_.Value(); }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  Counter buckets_[kBuckets];
+  Counter sum_micros_;
+};
+
+/// One consistent view of every registered instrument, taken in a single
+/// pass under the registry lock. Entries are sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Name -> instrument directory. Components keep owning their instruments
+/// (so their hot paths touch member atomics directly, registry not in the
+/// loop) and register const views here; callers that have no natural owner
+/// (e.g. `scenario::RunSweep`) can ask the registry to own instruments for
+/// them via the Get* methods. The mutex guards only registration and
+/// snapshotting — never an increment.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Register views of component-owned instruments. Re-registering a name
+  /// replaces the previous view.
+  void RegisterCounter(const std::string& name, const Counter* counter);
+  void RegisterGauge(const std::string& name, const Gauge* gauge);
+  void RegisterHistogram(const std::string& name, const Histogram* histogram);
+
+  /// Get-or-create registry-owned instruments (stable addresses for the
+  /// registry's lifetime).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, const Counter*> counters_;
+  std::map<std::string, const Gauge*> gauges_;
+  std::map<std::string, const Histogram*> histograms_;
+  std::map<std::string, Counter*> owned_counters_;
+  std::map<std::string, Gauge*> owned_gauges_;
+  std::map<std::string, Histogram*> owned_histograms_;
+  std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
+  std::deque<Histogram> histogram_storage_;
+};
+
+/// Records the elapsed wall time of a scope into a histogram. Null-safe
+/// (a null histogram disables the timer) and gated on `Enabled()`: when
+/// observability is off the constructor takes no clock reading at all.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(Enabled() ? h : nullptr) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (h_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+    h_->Record(micros < 0 ? 0 : static_cast<uint64_t>(micros));
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace warlock::obs
+
+#endif  // WARLOCK_OBS_METRICS_H_

@@ -6,6 +6,7 @@
 
 #include "alloc/allocators.h"
 #include "common/json.h"
+#include "obs/exposition.h"
 #include "report/report.h"
 
 namespace warlock::report {
@@ -49,6 +50,11 @@ class TableRenderer final : public Renderer {
   Result<std::string> Sweep(const scenario::SweepResult& result) const override {
     return scenario::RenderSweep(result);
   }
+
+  Result<std::string> Metrics(
+      const obs::MetricsSnapshot& snapshot) const override {
+    return obs::RenderMetricsTable(snapshot);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -86,6 +92,11 @@ class CsvRenderer final : public Renderer {
 
   Result<std::string> Sweep(const scenario::SweepResult& result) const override {
     return scenario::SweepToCsv(result).ToString();
+  }
+
+  Result<std::string> Metrics(
+      const obs::MetricsSnapshot& snapshot) const override {
+    return obs::RenderMetricsCsv(snapshot);
   }
 };
 
@@ -245,6 +256,11 @@ class JsonRenderer final : public Renderer {
 
   Result<std::string> Sweep(const scenario::SweepResult& result) const override {
     return scenario::SweepToJson(result);
+  }
+
+  Result<std::string> Metrics(
+      const obs::MetricsSnapshot& snapshot) const override {
+    return obs::RenderMetricsJson(snapshot);
   }
 };
 

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/advisor.h"
+#include "obs/metrics.h"
 #include "scenario/sweep.h"
 #include "schema/star_schema.h"
 #include "workload/query_mix.h"
@@ -68,6 +69,12 @@ class Renderer {
 
   /// A scenario sweep's per-scenario outcome rows.
   virtual Result<std::string> Sweep(const scenario::SweepResult& result) const = 0;
+
+  /// One registry snapshot: counters, gauges, and latency histograms with
+  /// percentiles (the `"artifact": "metrics"` document in JSON; see
+  /// `obs/exposition.h` for the format contracts).
+  virtual Result<std::string> Metrics(
+      const obs::MetricsSnapshot& snapshot) const = 0;
 
   /// Backend factory.
   static std::unique_ptr<Renderer> Create(OutputFormat format);

@@ -148,6 +148,14 @@ Result<SweepResult> RunSweep(const ScenarioSpec& spec,
   // work-assists, so the two axes compose without deadlock.
   const common::CancelToken cancel =
       options.cancel_token.WithDeadline(options.deadline);
+  // Optional observation: per-scenario wall-clock plus outcome counters.
+  // Instruments are registry-owned (get-or-create), so repeated sweeps on
+  // one registry accumulate.
+  obs::Histogram* scenario_us = nullptr;
+  if (options.metrics != nullptr) {
+    scenario_us = options.metrics->GetHistogram("sweep.scenario_us");
+  }
+
   // `done[i]` marks slots whose RunScenario call actually ran; slots a
   // fired token kept from ever being claimed are filled in below, so every
   // row of a stopped sweep is either a complete result or an explicit
@@ -158,6 +166,7 @@ Result<SweepResult> RunSweep(const ScenarioSpec& spec,
     pool.ParallelFor(
         0, spec.scenarios,
         [&](size_t i) {
+          obs::ScopedTimer timer(scenario_us);
           RunScenario(spec, static_cast<uint32_t>(i), options.advisor_threads,
                       cancel, &result.outcomes[i]);
           done[i] = 1;
@@ -170,6 +179,16 @@ Result<SweepResult> RunSweep(const ScenarioSpec& spec,
     for (uint32_t i = 0; i < spec.scenarios; ++i) {
       if (!done[i]) MarkCancelled(spec, i, cancel, &result.outcomes[i]);
     }
+  }
+  if (options.metrics != nullptr) {
+    uint64_t ok = 0, failed = 0, cancelled = 0;
+    for (const ScenarioOutcome& o : result.outcomes) {
+      (o.ok ? ok : o.cancelled ? cancelled : failed) += 1;
+    }
+    options.metrics->GetCounter("sweep.scenarios_ok")->Increment(ok);
+    options.metrics->GetCounter("sweep.scenarios_failed")->Increment(failed);
+    options.metrics->GetCounter("sweep.scenarios_cancelled")
+        ->Increment(cancelled);
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #include "common/cancellation.h"
 #include "common/csv.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "scenario/generator.h"
 
 namespace warlock::scenario {
@@ -36,6 +37,14 @@ struct SweepOptions {
   /// `deadline` into one effective token. Same graceful-degradation
   /// contract.
   common::CancelToken cancel_token{};
+
+  /// Optional instrument sink. When set, the sweep records a per-scenario
+  /// wall-clock histogram (`sweep.scenario_us`) plus outcome counters
+  /// (`sweep.scenarios_ok` / `sweep.scenarios_failed` /
+  /// `sweep.scenarios_cancelled`) into the registry's owned instruments.
+  /// Observation only — results are bit-identical with or without it. The
+  /// registry must outlive the call.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Per-scenario result row of a sweep: the scenario's shape, the advisor's

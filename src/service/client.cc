@@ -112,6 +112,15 @@ std::string HealthRequestJson(std::optional<uint64_t> deadline_ms) {
   return doc;
 }
 
+std::string MetricsRequestJson(std::optional<std::string> format,
+                               std::optional<uint64_t> deadline_ms) {
+  std::string doc = RequestHead(kMethodMetrics);
+  AppendOptStr(doc, "format", format);
+  AppendOpt(doc, "deadline_ms", deadline_ms);
+  doc += "}";
+  return doc;
+}
+
 Result<Client> Client::Connect(const std::string& host, uint16_t port) {
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -180,6 +189,11 @@ Result<Response> Client::Stats(const common::CancelToken& token) {
 
 Result<Response> Client::Health(const common::CancelToken& token) {
   return Call(HealthRequestJson(), token);
+}
+
+Result<Response> Client::Metrics(std::optional<std::string> format,
+                                 const common::CancelToken& token) {
+  return Call(MetricsRequestJson(std::move(format)), token);
 }
 
 }  // namespace warlock::service

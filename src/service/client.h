@@ -53,6 +53,10 @@ std::string WhatIfRequestJson(const WhatIfCall& call);
 std::string SweepRequestJson(const SweepCall& call);
 std::string StatsRequestJson(std::optional<uint64_t> deadline_ms = {});
 std::string HealthRequestJson(std::optional<uint64_t> deadline_ms = {});
+/// `format` is one of "json" | "prometheus" | "table" | "csv" (unset =
+/// server default, json).
+std::string MetricsRequestJson(std::optional<std::string> format = {},
+                               std::optional<uint64_t> deadline_ms = {});
 
 /// A blocking `warlockd` client: one TCP connection, sequential
 /// request/response frames. Move-only (owns the socket). Not internally
@@ -89,6 +93,8 @@ class Client {
                          const common::CancelToken& token = {});
   Result<Response> Stats(const common::CancelToken& token = {});
   Result<Response> Health(const common::CancelToken& token = {});
+  Result<Response> Metrics(std::optional<std::string> format = {},
+                           const common::CancelToken& token = {});
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -144,13 +144,24 @@ Result<Request> ParseRequest(std::string_view json) {
         doc, "threads", 1024, &request.sweep_threads));
     WARLOCK_RETURN_IF_ERROR(ReadOptionalUnsigned<uint32_t>(
         doc, "advisor_threads", 1024, &request.advisor_threads));
+  } else if (request.method == kMethodMetrics) {
+    WARLOCK_RETURN_IF_ERROR(
+        ReadOptionalString(doc, "format", &request.metrics_format));
+    if (request.metrics_format.has_value() &&
+        *request.metrics_format != "json" &&
+        *request.metrics_format != "prometheus" &&
+        *request.metrics_format != "table" &&
+        *request.metrics_format != "csv") {
+      return FieldError("format",
+                        "must be one of json|prometheus|table|csv");
+    }
   } else if (request.method == kMethodStats ||
              request.method == kMethodHealth) {
     // No further fields.
   } else {
     return Status::InvalidArgument(
         "unknown method '" + request.method +
-        "' (expected advise|whatif|sweep|stats|health)");
+        "' (expected advise|whatif|sweep|stats|health|metrics)");
   }
   return request;
 }

@@ -38,8 +38,9 @@ namespace warlock::service {
 ///   {"warlock_protocol": 1, "ok": false,
 ///    "error": {"code": "Unavailable", "message": "..."}}
 ///
-/// Methods: "advise" | "whatif" | "sweep" | "stats" | "health". Every
-/// method accepts an optional `deadline_ms` wall-clock budget.
+/// Methods: "advise" | "whatif" | "sweep" | "stats" | "health" |
+/// "metrics". Every method accepts an optional `deadline_ms` wall-clock
+/// budget.
 inline constexpr int kProtocolVersion = 1;
 
 /// Known method names (the parser rejects anything else).
@@ -48,6 +49,7 @@ inline constexpr char kMethodWhatIf[] = "whatif";
 inline constexpr char kMethodSweep[] = "sweep";
 inline constexpr char kMethodStats[] = "stats";
 inline constexpr char kMethodHealth[] = "health";
+inline constexpr char kMethodMetrics[] = "metrics";
 
 /// One parsed, validated request.
 struct Request {
@@ -74,6 +76,10 @@ struct Request {
   std::string sweep_spec;
   std::optional<uint32_t> sweep_threads;
   std::optional<uint32_t> advisor_threads;
+
+  /// "metrics": exposition format, one of "json" | "prometheus" | "table"
+  /// | "csv" (unset = json).
+  std::optional<std::string> metrics_format;
 
   /// Wall-clock budget for the request, any method (unset = unbounded).
   std::optional<uint64_t> deadline_ms;

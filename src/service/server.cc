@@ -13,6 +13,7 @@
 
 #include "common/failpoint.h"
 #include "common/json.h"
+#include "obs/exposition.h"
 #include "report/renderer.h"
 #include "scenario/scenario_text.h"
 #include "scenario/sweep.h"
@@ -61,7 +62,26 @@ Server::Server(ServerOptions options)
              SessionOptions{options_.session_threads == 0
                                 ? std::optional<uint32_t>()
                                 : std::optional<uint32_t>(
-                                      options_.session_threads)}) {}
+                                      options_.session_threads)}) {
+  metrics_.RegisterCounter("server.accepted", &accepted_);
+  metrics_.RegisterCounter("server.shed", &shed_);
+  metrics_.RegisterCounter("server.requests_ok", &requests_ok_);
+  metrics_.RegisterCounter("server.requests_error", &requests_error_);
+  metrics_.RegisterCounter("server.advise_payload_hits",
+                           &advise_payload_hits_);
+  metrics_.RegisterGauge("server.uptime_ms", &uptime_ms_);
+  const std::pair<const char*, MethodMetrics*> methods[] = {
+      {kMethodAdvise, &advise_metrics_}, {kMethodWhatIf, &whatif_metrics_},
+      {kMethodSweep, &sweep_metrics_},   {kMethodStats, &stats_metrics_},
+      {kMethodHealth, &health_metrics_}, {kMethodMetrics, &metrics_metrics_}};
+  for (const auto& [name, mm] : methods) {
+    metrics_.RegisterCounter(std::string("server.requests.") + name,
+                             &mm->requests);
+    metrics_.RegisterHistogram(std::string("server.latency_us.") + name,
+                               &mm->latency_us);
+  }
+  cache_.RegisterMetrics(metrics_, "session_cache.");
+}
 
 Server::~Server() { Shutdown(); }
 
@@ -112,6 +132,7 @@ Status Server::Start() {
   listen_fd_ = fd;
 
   workers_.emplace(options_.workers);
+  start_time_ = std::chrono::steady_clock::now();
   acceptor_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
   return Status::OK();
@@ -146,7 +167,7 @@ void Server::AcceptLoop() {
 
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.Increment();
 
     if (common::failpoint::Fire(common::failpoint::kServiceAccept)) {
       // Injected accept fault: the connection is dropped before admission.
@@ -160,8 +181,8 @@ void Server::AcceptLoop() {
       // queueing unboundedly. The client's request frame is read (and
       // discarded) first so the close is clean — unread data would turn
       // the close into an RST racing the error frame off the wire.
-      shed_.fetch_add(1, std::memory_order_relaxed);
-      requests_error_.fetch_add(1, std::memory_order_relaxed);
+      shed_.Increment();
+      requests_error_.Increment();
       const common::CancelToken grace = ShedGraceToken();
       (void)ReadFrame(client, grace);
       WriteFrame(client,
@@ -200,7 +221,7 @@ void Server::HandleConnection(int fd) {
         // Shutdown arrived between frames (or mid-read): answer the
         // connection with a structured Cancelled document, then close —
         // never silently truncate.
-        requests_error_.fetch_add(1, std::memory_order_relaxed);
+        requests_error_.Increment();
         WriteFrame(fd,
                    ErrorResponse(
                        Status::Cancelled("server shutting down")),
@@ -210,7 +231,7 @@ void Server::HandleConnection(int fd) {
       if (st.code() == Status::Code::kInvalidArgument) {
         // Broken framing: report it, then close (the stream cannot be
         // resynchronized).
-        requests_error_.fetch_add(1, std::memory_order_relaxed);
+        requests_error_.Increment();
         WriteFrame(fd, ErrorResponse(st), WriteGraceToken());
       }
       break;
@@ -223,18 +244,43 @@ void Server::HandleConnection(int fd) {
 
 std::string Server::Ok(std::string_view method, std::string_view payload,
                        bool cache_hit) const {
-  requests_ok_.fetch_add(1, std::memory_order_relaxed);
+  requests_ok_.Increment();
   return OkResponse(method, payload, cache_hit);
 }
 
 std::string Server::Error(const Status& status) const {
-  requests_error_.fetch_add(1, std::memory_order_relaxed);
+  requests_error_.Increment();
   return ErrorResponse(status);
+}
+
+Server::MethodMetrics* Server::MetricsForMethod(
+    const std::string& method) const {
+  if (method == kMethodAdvise) return &advise_metrics_;
+  if (method == kMethodWhatIf) return &whatif_metrics_;
+  if (method == kMethodSweep) return &sweep_metrics_;
+  if (method == kMethodStats) return &stats_metrics_;
+  if (method == kMethodHealth) return &health_metrics_;
+  if (method == kMethodMetrics) return &metrics_metrics_;
+  return nullptr;
+}
+
+void Server::RefreshUptime() const {
+  if (start_time_ == std::chrono::steady_clock::time_point{}) return;
+  uptime_ms_.Set(std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start_time_)
+                     .count());
 }
 
 std::string Server::HandleRequest(const std::string& body) const {
   auto request = ParseRequest(body);
   if (!request.ok()) return Error(request.status());
+
+  // Per-method bookkeeping: count every parsed request and time its whole
+  // dispatch (the timer records on scope exit, so errors are timed too).
+  MethodMetrics* method_metrics = MetricsForMethod(request->method);
+  if (method_metrics != nullptr) method_metrics->requests.Increment();
+  obs::ScopedTimer latency_timer(
+      method_metrics != nullptr ? &method_metrics->latency_us : nullptr);
 
   // One token carries both "the daemon is shutting down" and the
   // request's own deadline through the evaluation stack.
@@ -249,6 +295,7 @@ std::string Server::HandleRequest(const std::string& body) const {
               false);
   }
   if (request->method == kMethodStats) return DispatchStats();
+  if (request->method == kMethodMetrics) return DispatchMetrics(*request);
   if (request->method == kMethodAdvise) {
     return DispatchAdvise(*request, token);
   }
@@ -274,7 +321,7 @@ std::string Server::DispatchAdvise(const Request& request,
   request_key += ";allocator=";
   request_key += request.allocator ? *request.allocator : "-";
   if (auto payload = cached.FindAdvisePayload(request_key)) {
-    advise_payload_hits_.fetch_add(1, std::memory_order_relaxed);
+    advise_payload_hits_.Increment();
     return Ok(kMethodAdvise, *payload, cache_hit);
   }
 
@@ -334,6 +381,7 @@ std::string Server::DispatchSweep(const Request& request,
   options.threads = request.sweep_threads.value_or(1);
   options.advisor_threads = request.advisor_threads.value_or(1);
   options.cancel_token = token;
+  options.metrics = &metrics_;
   auto result = scenario::RunSweep(*spec, options);
   if (!result.ok()) return Error(result.status());
 
@@ -344,16 +392,38 @@ std::string Server::DispatchSweep(const Request& request,
 }
 
 std::string Server::DispatchStats() const {
+  RefreshUptime();
   const ServerStats stats = this->stats();
   std::string doc = "{\n  \"artifact\": \"service_stats\",\n";
   doc += "  \"warlock_protocol\": " + std::to_string(kProtocolVersion) +
          ",\n";
+  doc += "  \"uptime_ms\": " +
+         JsonU64(static_cast<uint64_t>(uptime_ms_.Value())) + ",\n";
   doc += "  \"accepted\": " + JsonU64(stats.accepted) + ",\n";
   doc += "  \"shed\": " + JsonU64(stats.shed) + ",\n";
   doc += "  \"requests_ok\": " + JsonU64(stats.requests_ok) + ",\n";
   doc += "  \"requests_error\": " + JsonU64(stats.requests_error) + ",\n";
   doc += "  \"advise_payload_hits\": " + JsonU64(stats.advise_payload_hits) +
          ",\n";
+  doc += "  \"methods\": {";
+  {
+    const std::pair<const char*, const MethodMetrics*> methods[] = {
+        {kMethodAdvise, &advise_metrics_}, {kMethodWhatIf, &whatif_metrics_},
+        {kMethodSweep, &sweep_metrics_},   {kMethodStats, &stats_metrics_},
+        {kMethodHealth, &health_metrics_}, {kMethodMetrics, &metrics_metrics_}};
+    bool first_method = true;
+    for (const auto& [name, mm] : methods) {
+      const obs::HistogramSnapshot lat = mm->latency_us.Snapshot();
+      doc += first_method ? "\n" : ",\n";
+      first_method = false;
+      doc += "    \"" + std::string(name) +
+             "\": {\"requests\": " + JsonU64(mm->requests.Value()) +
+             ", \"p50_us\": " + JsonNumber(lat.PercentileMicros(0.50)) +
+             ", \"p95_us\": " + JsonNumber(lat.PercentileMicros(0.95)) +
+             ", \"p99_us\": " + JsonNumber(lat.PercentileMicros(0.99)) + "}";
+    }
+    doc += "\n  },\n";
+  }
   doc += "  \"session_cache\": {\"hits\": " + JsonU64(stats.cache.hits) +
          ", \"misses\": " + JsonU64(stats.cache.misses) +
          ", \"evictions\": " + JsonU64(stats.cache.evictions) +
@@ -381,14 +451,30 @@ std::string Server::DispatchStats() const {
   return Ok(kMethodStats, doc, false);
 }
 
+std::string Server::DispatchMetrics(const Request& request) const {
+  RefreshUptime();
+  // One Snapshot() call: counters, gauges, and histograms land in the same
+  // consistent view, whatever exposition format renders them.
+  const obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  const std::string format = request.metrics_format.value_or("json");
+  auto render = [&]() -> Result<std::string> {
+    if (format == "prometheus") return obs::RenderPrometheus(snapshot);
+    if (format == "table") return obs::RenderMetricsTable(snapshot);
+    if (format == "csv") return obs::RenderMetricsCsv(snapshot);
+    return obs::RenderMetricsJson(snapshot);
+  };
+  auto artifact = render();
+  if (!artifact.ok()) return Error(artifact.status());
+  return Ok(kMethodMetrics, *artifact, false);
+}
+
 ServerStats Server::stats() const {
   ServerStats stats;
-  stats.accepted = accepted_.load(std::memory_order_relaxed);
-  stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.requests_ok = requests_ok_.load(std::memory_order_relaxed);
-  stats.requests_error = requests_error_.load(std::memory_order_relaxed);
-  stats.advise_payload_hits =
-      advise_payload_hits_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.Value();
+  stats.shed = shed_.Value();
+  stats.requests_ok = requests_ok_.Value();
+  stats.requests_error = requests_error_.Value();
+  stats.advise_payload_hits = advise_payload_hits_.Value();
   stats.cache = cache_.stats();
   return stats;
 }

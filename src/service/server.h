@@ -2,6 +2,7 @@
 #define WARLOCK_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -11,6 +12,7 @@
 #include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "service/protocol.h"
 #include "service/session_cache.h"
 
@@ -102,7 +104,20 @@ class Server {
 
   ServerStats stats() const;
 
+  /// The server-wide instrument directory: server.* counters, per-method
+  /// request counts and latency histograms, and the session-cache
+  /// instruments — one `Snapshot()` is a consistent cross-component view
+  /// (this is what the `metrics` protocol method serves).
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
  private:
+  /// Per-method instruments: a request counter plus an end-to-end dispatch
+  /// latency histogram (parse excluded; the method is unknown before it).
+  struct MethodMetrics {
+    obs::Counter requests;
+    obs::Histogram latency_us;
+  };
+
   void AcceptLoop();
   void HandleConnection(int fd);
   /// Parses + dispatches one request body, returning the response
@@ -121,6 +136,15 @@ class Server {
   std::string DispatchSweep(const Request& request,
                             const common::CancelToken& token) const;
   std::string DispatchStats() const;
+  std::string DispatchMetrics(const Request& request) const;
+
+  /// The instruments of one known method name (nullptr for none — the
+  /// parser rejects unknown methods before dispatch, so this is a
+  /// belt-and-braces guard, not a reachable path).
+  MethodMetrics* MetricsForMethod(const std::string& method) const;
+
+  /// Refreshes the derived `server.uptime_ms` gauge from the start time.
+  void RefreshUptime() const;
 
   const ServerOptions options_;
   common::CancelSource stop_;
@@ -133,11 +157,29 @@ class Server {
   std::atomic<bool> shut_down_{false};
 
   std::atomic<uint64_t> active_{0};
-  mutable std::atomic<uint64_t> accepted_{0};
-  mutable std::atomic<uint64_t> shed_{0};
-  mutable std::atomic<uint64_t> requests_ok_{0};
-  mutable std::atomic<uint64_t> requests_error_{0};
-  mutable std::atomic<uint64_t> advise_payload_hits_{0};
+
+  // Anchors the server.uptime_ms gauge; set once in Start().
+  std::chrono::steady_clock::time_point start_time_{};
+
+  // Registry-backed counters (the ServerStats struct stays the public
+  // snapshot currency; stats() assembles it from these). Mutable because
+  // the whole request path is const.
+  mutable obs::Counter accepted_;
+  mutable obs::Counter shed_;
+  mutable obs::Counter requests_ok_;
+  mutable obs::Counter requests_error_;
+  mutable obs::Counter advise_payload_hits_;
+  mutable obs::Gauge uptime_ms_;
+  mutable MethodMetrics advise_metrics_;
+  mutable MethodMetrics whatif_metrics_;
+  mutable MethodMetrics sweep_metrics_;
+  mutable MethodMetrics stats_metrics_;
+  mutable MethodMetrics health_metrics_;
+  mutable MethodMetrics metrics_metrics_;
+
+  // Declared after every instrument it views so registration in the
+  // constructor sees fully-constructed members.
+  mutable obs::MetricRegistry metrics_;
 };
 
 }  // namespace warlock::service

@@ -47,7 +47,7 @@ Result<std::shared_ptr<const CachedSession>> SessionCache::GetOrCreate(
       built_cv_.wait(lock);
       continue;
     }
-    ++stats_.hits;
+    hits_.Increment();
     if (was_hit != nullptr) *was_hit = true;
     lru_.splice(lru_.begin(), lru_, it->second.lru);
     return it->second.session;
@@ -55,7 +55,7 @@ Result<std::shared_ptr<const CachedSession>> SessionCache::GetOrCreate(
 
   Entry& entry = entries_[key];
   entry.building = true;
-  ++stats_.misses;
+  misses_.Increment();
   lock.unlock();
 
   // Build outside the lock: parsing + bitmap-scheme selection is the
@@ -80,9 +80,9 @@ Result<std::shared_ptr<const CachedSession>> SessionCache::GetOrCreate(
   while (capacity_ > 0 && lru_.size() > capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.Increment();
   }
-  stats_.entries = lru_.size();
+  entries_gauge_.Set(static_cast<int64_t>(lru_.size()));
   built_cv_.notify_all();
   return built;
 }
@@ -103,9 +103,20 @@ std::vector<std::shared_ptr<const CachedSession>> SessionCache::Snapshot()
 
 SessionCacheStats SessionCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  SessionCacheStats snapshot = stats_;
+  SessionCacheStats snapshot;
+  snapshot.hits = hits_.Value();
+  snapshot.misses = misses_.Value();
+  snapshot.evictions = evictions_.Value();
   snapshot.entries = lru_.size();
   return snapshot;
+}
+
+void SessionCache::RegisterMetrics(obs::MetricRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.RegisterCounter(prefix + "hits", &hits_);
+  registry.RegisterCounter(prefix + "misses", &misses_);
+  registry.RegisterCounter(prefix + "evictions", &evictions_);
+  registry.RegisterGauge(prefix + "entries", &entries_gauge_);
 }
 
 }  // namespace warlock::service

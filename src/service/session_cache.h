@@ -13,6 +13,7 @@
 
 #include "api/session.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 
 namespace warlock::service {
 
@@ -102,6 +103,12 @@ class SessionCache {
 
   SessionCacheStats stats() const;
 
+  /// Registers the cache's instruments (`<prefix>hits`, `<prefix>misses`,
+  /// `<prefix>evictions`, `<prefix>entries`) as views on `registry`. The
+  /// cache keeps owning them; the registry must not outlive it.
+  void RegisterMetrics(obs::MetricRegistry& registry,
+                       const std::string& prefix = "session_cache.") const;
+
   size_t capacity() const { return capacity_; }
 
  private:
@@ -122,7 +129,12 @@ class SessionCache {
   // Front = most recently used key. Only *built* entries live on the LRU
   // list; an entry under construction cannot be evicted.
   std::list<std::string> lru_;
-  SessionCacheStats stats_;
+  // Mutated under mu_; the SessionCacheStats struct stays the public
+  // snapshot currency (`stats()` assembles it from these).
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Gauge entries_gauge_;
 };
 
 }  // namespace warlock::service

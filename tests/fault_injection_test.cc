@@ -94,6 +94,7 @@ const std::map<std::string, FaultKind>& ExpectationTable() {
       {fp::kThreadPoolDispatch, FaultKind::kDegradation},
       {fp::kServiceAccept, FaultKind::kService},
       {fp::kServiceParseRequest, FaultKind::kService},
+      {fp::kObsExport, FaultKind::kService},
   };
   return table;
 }
@@ -394,6 +395,36 @@ TEST_F(FaultInjectionTest, ServiceParseFaultIsStructuredErrorServerSurvives) {
   auto response = client->Health();
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_TRUE(response->status.ok()) << response->status.ToString();
+}
+
+TEST_F(FaultInjectionTest, ObsExportFaultIsStructuredErrorServerSurvives) {
+  // The exposition seam fails the *rendering* of a metrics snapshot, never
+  // the collection: the daemon answers with one structured error and keeps
+  // serving, and the very next metrics request succeeds.
+  service::ServerOptions options;
+  options.port = 0;
+  service::Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = service::Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(fp::Arm(fp::kObsExport, 1).ok());
+  auto faulted = client->Metrics("prometheus");
+  fp::DisarmAll();
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  ASSERT_FALSE(faulted->status.ok());
+  EXPECT_NE(faulted->status.message().find("injected failure"),
+            std::string::npos)
+      << faulted->status.ToString();
+
+  // Same connection, next metrics request: served normally.
+  auto response = client->Metrics("prometheus");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok()) << response->status.ToString();
+  EXPECT_NE(response->payload.find("warlock_server_accepted"),
+            std::string::npos)
+      << response->payload;
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,350 @@
+// The observability subsystem's contracts: deterministic power-of-two
+// bucketing, percentile estimation, wait-free counters under contention,
+// one-pass consistent registry snapshots, ScopedTimer gating on the
+// process-wide switch, the exposition formats — and the headline
+// byte-parity guarantee: flipping observability off (or on) changes no
+// artifact byte anywhere.
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "obs/exposition.h"
+#include "report/renderer.h"
+
+namespace warlock {
+namespace {
+
+// Restores the timing switch whatever a test does to it.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool enabled) : previous_(obs::Enabled()) {
+    obs::SetEnabled(enabled);
+  }
+  ~ScopedEnable() { obs::SetEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+// --------------------------------------------------------------------------
+// Bucketing: pure integer arithmetic, identical on every platform.
+
+TEST(ObsHistogramTest, BucketBoundariesAreDeterministic) {
+  // Bucket 0 is [0, 1]; bucket i>0 covers (2^(i-1), 2^i].
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(5), 3u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(8), 3u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(9), 4u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1024), 10u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1025), 11u);
+
+  // Every sample lands in the bucket whose bounds contain it.
+  for (uint64_t micros : {0ull, 1ull, 2ull, 3ull, 100ull, 65536ull,
+                          1000000ull, 60000000ull}) {
+    const size_t i = obs::Histogram::BucketIndex(micros);
+    const uint64_t upper = obs::Histogram::BucketUpperMicros(i);
+    ASSERT_LT(i, obs::Histogram::kBuckets);
+    if (upper != 0) EXPECT_LE(micros, upper) << micros;
+    if (i > 0) {
+      EXPECT_GT(micros, obs::Histogram::BucketUpperMicros(i - 1)) << micros;
+    }
+  }
+
+  // Values past the largest finite bound land in the overflow bucket.
+  EXPECT_EQ(obs::Histogram::BucketIndex(UINT64_MAX),
+            obs::Histogram::kBuckets - 1);
+  EXPECT_EQ(obs::Histogram::BucketUpperMicros(obs::Histogram::kBuckets - 1),
+            0u);
+}
+
+TEST(ObsHistogramTest, RecordFillsBucketsAndSum) {
+  obs::Histogram h;
+  h.Record(1);
+  h.Record(3);
+  h.Record(3);
+  h.Record(100);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.SumMicros(), 107u);
+
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.buckets.size(), obs::Histogram::kBuckets);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum_micros, 107u);
+  EXPECT_EQ(snap.buckets[obs::Histogram::BucketIndex(1)], 1u);
+  EXPECT_EQ(snap.buckets[obs::Histogram::BucketIndex(3)], 2u);
+  EXPECT_EQ(snap.buckets[obs::Histogram::BucketIndex(100)], 1u);
+}
+
+TEST(ObsHistogramTest, PercentilesWalkTheCumulativeDistribution) {
+  obs::HistogramSnapshot empty;
+  empty.buckets.assign(obs::Histogram::kBuckets, 0);
+  EXPECT_EQ(empty.PercentileMicros(0.5), 0.0);
+
+  // 90 samples in [0,1], 10 samples in (64,128]: p50 resolves to the first
+  // bucket's bound, p95 and p99 to the tail bucket's.
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(1);
+  for (int i = 0; i < 10; ++i) h.Record(100);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.PercentileMicros(0.50), 1.0);
+  EXPECT_EQ(snap.PercentileMicros(0.90), 1.0);
+  EXPECT_EQ(snap.PercentileMicros(0.95), 128.0);
+  EXPECT_EQ(snap.PercentileMicros(0.99), 128.0);
+
+  // A sample in the overflow bucket makes the tail percentile +infinity.
+  obs::Histogram over;
+  over.Record(UINT64_MAX);
+  EXPECT_TRUE(std::isinf(over.Snapshot().PercentileMicros(0.99)));
+}
+
+// --------------------------------------------------------------------------
+// Counters and gauges.
+
+TEST(ObsCounterTest, ConcurrentIncrementsAreLossless) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  obs::Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsCounterTest, IncrementByDelta) {
+  obs::Counter counter;
+  counter.Increment(41);
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(ObsGaugeTest, SetAndAdd) {
+  obs::Gauge gauge;
+  gauge.Set(7);
+  gauge.Add(5);
+  gauge.Add(-12);
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(-3);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+// --------------------------------------------------------------------------
+// Registry.
+
+TEST(ObsRegistryTest, SnapshotIsSortedAndCoversViewsAndOwned) {
+  obs::MetricRegistry registry;
+  obs::Counter view;
+  view.Increment(3);
+  registry.RegisterCounter("z.view", &view);
+  registry.GetCounter("a.owned")->Increment(5);
+  // Get-or-create: the same name returns the same instrument.
+  registry.GetCounter("a.owned")->Increment(2);
+  obs::Gauge gauge;
+  gauge.Set(11);
+  registry.RegisterGauge("g.depth", &gauge);
+  registry.GetHistogram("h.lat")->Record(4);
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.owned");
+  EXPECT_EQ(snap.counters[0].second, 7u);
+  EXPECT_EQ(snap.counters[1].first, "z.view");
+  EXPECT_EQ(snap.counters[1].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 11);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+// --------------------------------------------------------------------------
+// ScopedTimer gating.
+
+TEST(ObsScopedTimerTest, RecordsWhenEnabledSilentWhenDisabled) {
+  obs::Histogram h;
+  {
+    ScopedEnable on(true);
+    obs::ScopedTimer timer(&h);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  {
+    ScopedEnable off(false);
+    obs::ScopedTimer timer(&h);
+  }
+  EXPECT_EQ(h.Count(), 1u) << "disabled timer must record nothing";
+  {
+    ScopedEnable on(true);
+    obs::ScopedTimer null_timer(nullptr);  // null-safe
+  }
+}
+
+// --------------------------------------------------------------------------
+// Exposition formats.
+
+obs::MetricsSnapshot SampleSnapshot() {
+  obs::MetricRegistry registry;
+  registry.GetCounter("server.requests.advise")->Increment(4);
+  registry.GetGauge("pool.queue_depth")->Set(2);
+  obs::Histogram* h = registry.GetHistogram("server.latency_us.advise");
+  h->Record(1);
+  h->Record(3);
+  h->Record(500);
+  return registry.Snapshot();
+}
+
+TEST(ObsExpositionTest, PrometheusFormatFlattensNamesAndCumulates) {
+  auto text = obs::RenderPrometheus(SampleSnapshot());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE warlock_server_requests_advise counter"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("warlock_server_requests_advise 4"),
+            std::string::npos);
+  EXPECT_NE(text->find("# TYPE warlock_pool_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text->find(
+                "# TYPE warlock_server_latency_us_advise histogram"),
+            std::string::npos);
+  // Cumulative buckets: the le="1" bucket holds 1 sample, le="+Inf" all 3.
+  EXPECT_NE(
+      text->find("warlock_server_latency_us_advise_bucket{le=\"1\"} 1"),
+      std::string::npos)
+      << *text;
+  EXPECT_NE(
+      text->find("warlock_server_latency_us_advise_bucket{le=\"+Inf\"} 3"),
+      std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("warlock_server_latency_us_advise_sum 504"),
+            std::string::npos);
+  EXPECT_NE(text->find("warlock_server_latency_us_advise_count 3"),
+            std::string::npos);
+}
+
+TEST(ObsExpositionTest, JsonFormatIsSelfDescribing) {
+  auto json = obs::RenderMetricsJson(SampleSnapshot());
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("\"artifact\": \"metrics\""), std::string::npos)
+      << *json;
+  EXPECT_NE(json->find("\"server.requests.advise\": 4"), std::string::npos);
+  EXPECT_NE(json->find("\"pool.queue_depth\": 2"), std::string::npos);
+  EXPECT_NE(json->find("\"server.latency_us.advise\""), std::string::npos);
+  EXPECT_NE(json->find("\"histogram_le_us\""), std::string::npos);
+}
+
+TEST(ObsExpositionTest, TableAndCsvRender) {
+  const obs::MetricsSnapshot snap = SampleSnapshot();
+  auto table = obs::RenderMetricsTable(snap);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_NE(table->find("server.requests.advise"), std::string::npos);
+  auto csv = obs::RenderMetricsCsv(snap);
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  EXPECT_NE(csv->find("kind,name,value,count,sum_us"), std::string::npos)
+      << *csv;
+  EXPECT_NE(csv->find("counter,server.requests.advise,4"),
+            std::string::npos)
+      << *csv;
+}
+
+// The renderer facade serves the same documents.
+TEST(ObsExpositionTest, RendererBackendsDelegateToExposition) {
+  const obs::MetricsSnapshot snap = SampleSnapshot();
+  for (report::OutputFormat format :
+       {report::OutputFormat::kTable, report::OutputFormat::kCsv,
+        report::OutputFormat::kJson}) {
+    auto renderer = report::Renderer::Create(format);
+    auto artifact = renderer->Metrics(snap);
+    ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+    EXPECT_NE(artifact->find("server.requests.advise"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------------------
+// The headline guarantee: observability is byte-invisible. The same inputs
+// produce byte-identical ranking and advise artifacts whether the timing
+// side is on or off, at one and several threads.
+
+constexpr char kSchemaPath[] = "testdata/apb1_tiny.schema";
+constexpr char kWorkloadPath[] = "testdata/apb1_tiny.workload";
+constexpr char kConfigPath[] = "testdata/apb1_tiny.config";
+
+std::string AdviseArtifacts(uint32_t threads) {
+  SessionOptions options;
+  options.threads = threads;
+  auto session =
+      Session::FromFiles(kSchemaPath, kWorkloadPath, kConfigPath, options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  auto advice = session->Advise();
+  EXPECT_TRUE(advice.ok()) << advice.status().ToString();
+  std::string out;
+  for (report::OutputFormat format :
+       {report::OutputFormat::kTable, report::OutputFormat::kCsv,
+        report::OutputFormat::kJson}) {
+    auto artifact = report::Renderer::Create(format)->Ranking(
+        advice->result, session->schema());
+    EXPECT_TRUE(artifact.ok()) << artifact.status().ToString();
+    out += *artifact;
+  }
+  return out;
+}
+
+TEST(ObsParityTest, MetricsOffProducesByteIdenticalArtifacts) {
+  for (uint32_t threads : {1u, 4u}) {
+    std::string with_obs, without_obs;
+    {
+      ScopedEnable on(true);
+      with_obs = AdviseArtifacts(threads);
+    }
+    {
+      ScopedEnable off(false);
+      without_obs = AdviseArtifacts(threads);
+    }
+    EXPECT_EQ(with_obs, without_obs) << "threads=" << threads;
+    EXPECT_FALSE(with_obs.empty());
+  }
+}
+
+// And the instruments actually observed the run: stage histograms filled,
+// session counters moved, the registry snapshot names the expected series.
+TEST(ObsParityTest, SessionRegistryObservesTheRun) {
+  ScopedEnable on(true);
+  auto session = Session::FromFiles(kSchemaPath, kWorkloadPath, kConfigPath);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_TRUE(session->Advise().ok());
+
+  const obs::MetricsSnapshot snap = session->metrics().Snapshot();
+  uint64_t advise_calls = 0;
+  bool saw_sizes_cache = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "session.advise_calls") advise_calls = value;
+    if (name == "sizes_cache.misses" && value > 0) saw_sizes_cache = true;
+  }
+  EXPECT_EQ(advise_calls, 1u);
+  EXPECT_TRUE(saw_sizes_cache);
+
+  bool saw_stage_samples = false;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "advisor.enumerate_us" && hist.count > 0) {
+      saw_stage_samples = true;
+    }
+  }
+  EXPECT_TRUE(saw_stage_samples)
+      << "advisor stage histograms must observe an Advise run";
+}
+
+}  // namespace
+}  // namespace warlock
